@@ -1,0 +1,48 @@
+"""Ablation: BayesLSH design choices — hash budget and early pruning.
+
+Not a paper figure; this sweeps the per-pair hash budget and toggles the
+pruning rule to quantify the design choices DESIGN.md calls out: more hashes
+buy accuracy at a linear cost, and early pruning removes most of the hash
+comparisons without hurting recall at the probed threshold.
+"""
+
+from repro.lsh import BayesLSH, BayesLSHConfig, all_pair_candidates, build_sketch_store
+from repro.similarity import exact_pair_count
+
+
+def test_ablation_bayeslsh_hash_budget_and_pruning(benchmark, record, wine_like):
+    threshold = 0.9
+    exact = exact_pair_count(wine_like, [threshold])[threshold]
+
+    def run():
+        rows = []
+        for n_hashes in (32, 64, 128, 256):
+            store = build_sketch_store(wine_like, kind="cosine",
+                                       n_hashes=n_hashes, seed=2)
+            engine = BayesLSH(store, BayesLSHConfig(max_hashes=n_hashes))
+            result = engine.run(all_pair_candidates(wine_like.n_rows), threshold)
+            rows.append({
+                "n_hashes": n_hashes,
+                "retained": result.n_retained,
+                "relative_error": abs(result.n_retained - exact) / exact,
+                "hash_comparisons": result.hash_comparisons,
+                "pruned": result.n_pruned,
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("ablation_bayeslsh_hash_budget", {"exact_pairs": exact, "sweep": rows})
+
+    errors = [row["relative_error"] for row in rows]
+    comparisons = [row["hash_comparisons"] for row in rows]
+    # More hashes -> more work, and the largest budget is the most accurate
+    # of the sweep.
+    assert comparisons == sorted(comparisons)
+    assert errors[-1] == min(errors)
+    assert errors[-1] < 0.25
+    # Pruning is doing real work at every budget: most candidate pairs are
+    # discarded long before the full sketch is compared.
+    n_candidates = wine_like.n_rows * (wine_like.n_rows - 1) // 2
+    for row in rows:
+        assert row["pruned"] > 0.3 * n_candidates
+        assert row["hash_comparisons"] < n_candidates * row["n_hashes"]

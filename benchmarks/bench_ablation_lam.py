@@ -1,0 +1,49 @@
+"""Ablation: LAM design choices — pass count and partition size.
+
+Not a paper figure; this quantifies the two knobs DESIGN.md calls out for
+LAM: additional passes keep improving compression with roughly linear extra
+cost, and the partition-size threshold trades per-partition mining cost
+against the reach of each pattern.
+"""
+
+import time
+
+from repro.lam import LAM
+
+
+def test_ablation_lam_passes_and_partition_size(benchmark, record, planted_db):
+    def run():
+        by_passes = []
+        for n_passes in (1, 2, 5, 8):
+            start = time.perf_counter()
+            result = LAM(n_passes=n_passes, max_partition_size=100, seed=0) \
+                .run(planted_db)
+            by_passes.append({"passes": n_passes,
+                              "ratio": result.compression_ratio,
+                              "seconds": time.perf_counter() - start,
+                              "patterns": result.n_patterns})
+        by_partition = []
+        for size in (20, 100, 400):
+            result = LAM(n_passes=3, max_partition_size=size, seed=0).run(planted_db)
+            by_partition.append({"max_partition_size": size,
+                                 "ratio": result.compression_ratio,
+                                 "partitions_first_pass": result.passes[0].n_partitions})
+        return by_passes, by_partition
+
+    by_passes, by_partition = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("ablation_lam", {"by_passes": by_passes, "by_partition": by_partition})
+
+    ratios = [row["ratio"] for row in by_passes]
+    # Compression is monotone in the number of passes with diminishing returns.
+    assert ratios == sorted(ratios)
+    assert ratios[1] - ratios[0] >= ratios[-1] - ratios[-2] - 0.05
+    # Runtime grows with passes.
+    assert by_passes[-1]["seconds"] > by_passes[0]["seconds"]
+    # Smaller partitions mean more of them ...
+    partitions = [row["partitions_first_pass"] for row in by_partition]
+    assert partitions == sorted(partitions, reverse=True)
+    # ... and localization itself earns its keep: mining min-hash-localized
+    # partitions compresses at least as well as mining one giant partition,
+    # because the greedy consumption sees groups of genuinely similar rows.
+    assert max(row["ratio"] for row in by_partition[:-1]) >= \
+        by_partition[-1]["ratio"] - 0.05

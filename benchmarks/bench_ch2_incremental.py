@@ -1,0 +1,53 @@
+"""Figures 2.6-2.8: incremental number-of-pairs estimates while a probe runs.
+
+The estimates for other thresholds converge to their final values after only
+a small fraction of the candidate pairs have been processed (10-20% in the
+paper), which is what makes partial results useful interactively.
+"""
+
+import pytest
+
+from repro.core import PlasmaSession
+from repro.lsh.bayeslsh import BayesLSHConfig
+
+
+CASES = [
+    # (fixture name, probe threshold t1, report thresholds t2)
+    ("wine_like", 0.5, (0.75, 0.8, 0.85)),
+    ("twitter_like", 0.95, (0.75, 0.85, 0.95)),
+    ("rcv1_like", 0.9, (0.5, 0.9, 0.95)),
+]
+
+
+@pytest.mark.parametrize("fixture_name,probe_threshold,report_thresholds", CASES)
+def test_figures_2_6_to_2_8_incremental_estimates(benchmark, record, request,
+                                                  fixture_name, probe_threshold,
+                                                  report_thresholds):
+    dataset = request.getfixturevalue(fixture_name)
+    session = PlasmaSession(dataset, n_hashes=160, seed=11,
+                            config=BayesLSHConfig(max_hashes=160))
+
+    def probe():
+        return session.probe(probe_threshold,
+                             incremental_thresholds=report_thresholds,
+                             incremental_checkpoints=20)
+
+    result = benchmark.pedantic(probe, rounds=1, iterations=1)
+    series = result.incremental_estimates
+    record(f"figures_2_6_2_8_incremental_{fixture_name}", {
+        "probe_threshold": probe_threshold,
+        "checkpoints": [
+            {"fraction": fraction, "estimates": estimates}
+            for fraction, estimates in series
+        ],
+    })
+
+    assert len(series) >= 10
+    final_estimates = series[-1][1]
+    # By the time ~20-25% of the candidates are processed the estimates are
+    # already close to their final values (the paper's 5-10x early answer).
+    early = next(estimates for fraction, estimates in series if fraction >= 0.2)
+    for threshold in report_thresholds:
+        final = final_estimates[threshold]
+        if final >= 50:
+            assert early[threshold] == pytest.approx(final, rel=0.35)

@@ -1,0 +1,36 @@
+"""Figure 2.9: time to generate initial sketches versus processing time.
+
+Sketch generation is a start-up cost paid before any incremental output can
+be shown; its share of the total runtime varies by dataset and motivates
+caching the sketches across probes.
+"""
+
+from repro.core import PlasmaSession
+from repro.lsh.bayeslsh import BayesLSHConfig
+
+
+def test_figure_2_9_initial_sketch_time(benchmark, record, wine_like,
+                                        twitter_like, rcv1_like):
+    datasets = {"wine": wine_like, "twitter": twitter_like, "rcv1": rcv1_like}
+
+    def measure():
+        rows = []
+        for name, dataset in datasets.items():
+            session = PlasmaSession(dataset, n_hashes=160, seed=13,
+                                    config=BayesLSHConfig(max_hashes=160))
+            result = session.probe(0.9)
+            rows.append({
+                "dataset": name,
+                "sketch_seconds": result.sketch_seconds,
+                "processing_seconds": result.processing_seconds,
+                "sketch_fraction": result.sketch_fraction,
+            })
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    record("figure_2_9_sketch_time", rows)
+
+    for row in rows:
+        # Sketching is a real but minority share of the first probe.
+        assert row["sketch_seconds"] > 0
+        assert 0.0 < row["sketch_fraction"] < 0.9

@@ -1,0 +1,41 @@
+"""Figure 2.5: triangle count estimates, triangle histogram and density plot
+for the wine dataset, generated from the knowledge cache alone."""
+
+from repro.core import PlasmaSession
+from repro.graphs.measures import triangle_count
+from repro.graphs.similarity_graph import similarity_graph
+from repro.lsh.bayeslsh import BayesLSHConfig
+
+
+def test_figure_2_5_wine_triangle_cues(benchmark, record, wine_like):
+    session = PlasmaSession(wine_like, n_hashes=192, seed=5,
+                            config=BayesLSHConfig(max_hashes=192))
+    session.probe(0.9)
+
+    def cues():
+        histogram = session.triangle_histogram(0.95, bins=15)
+        plot = session.density_plot(0.95)
+        return histogram, plot
+
+    histogram, plot = benchmark.pedantic(cues, rounds=1, iterations=1)
+
+    exact_graph = similarity_graph(wine_like, 0.95)
+    exact_triangles = triangle_count(exact_graph)
+
+    record("figure_2_5_visual_cues", {
+        "estimated_triangles": histogram.total_triangles,
+        "exact_triangles": exact_triangles,
+        "max_triangles_per_vertex": histogram.max_per_vertex,
+        "histogram_counts": histogram.counts.tolist(),
+        "density_plateaus": plot.plateaus,
+    })
+
+    # The cue is produced without touching the data again and tracks the
+    # exact triangle count within a reasonable factor.
+    assert histogram.counts.sum() == wine_like.n_rows
+    if exact_triangles > 0:
+        ratio = histogram.total_triangles / exact_triangles
+        assert 0.4 < ratio < 2.5
+    # Clusterable data shows high-density plateaus in the density plot.
+    assert plot.plateaus
+    assert max(p[2] for p in plot.plateaus) > 0.5

@@ -1,0 +1,42 @@
+"""Figures 3.19-3.20: runtime of graph measures as density increases.
+
+The expensive, combinatoric measures get dramatically slower as edges double,
+while the analytic complete-graph shortcut keeps the final (complete) point
+cheap for measures that support it.
+"""
+
+import time
+
+from repro.graphs.measures import compute_measure
+from repro.growth import build_densifying_series, edge_count_schedule
+
+MEASURES = ["triangle_count", "average_clustering", "mean_betweenness",
+            "number_of_cliques", "mean_core_number", "number_connected_components"]
+
+
+def test_figures_3_19_3_20_measure_runtimes_vs_density(benchmark, record,
+                                                       growth_dataset):
+    schedule = edge_count_schedule(growth_dataset.n_rows, n_steps=6)
+    series = build_densifying_series(growth_dataset, schedule)
+
+    def time_measures():
+        timings = {measure: [] for measure in MEASURES}
+        for graph in series.graphs:
+            for measure in MEASURES:
+                start = time.perf_counter()
+                compute_measure(graph, measure)
+                timings[measure].append(time.perf_counter() - start)
+        return timings
+
+    timings = benchmark.pedantic(time_measures, rounds=1, iterations=1)
+    record("figures_3_19_3_20_measure_runtimes", {
+        "edge_counts": [g.n_edges for g in series.graphs],
+        "seconds": timings})
+
+    for measure in ("triangle_count", "average_clustering", "mean_betweenness"):
+        runtimes = timings[measure]
+        # Dense graphs cost substantially more than sparse graphs.
+        assert runtimes[-1] > runtimes[0]
+        assert max(runtimes) > 2 * min(r for r in runtimes if r > 0)
+    # Cheap measures stay cheap at every density.
+    assert max(timings["number_connected_components"]) < 1.0

@@ -1,0 +1,59 @@
+"""Figures 3.1-3.6: graph measures across densities, real data versus the
+Erdos-Renyi and random geometric generation models.
+
+The headline observation: data-driven densifying graphs carry much more local
+structure (triangles, clustering) than ER graphs of the same size, with the
+geometric model sitting in between / closer to the data.
+"""
+
+import numpy as np
+
+from repro.growth import build_densifying_series, edge_count_schedule
+
+MEASURES = ["triangle_count", "average_clustering", "mean_core_number",
+            "largest_connected_component", "number_connected_components",
+            "mean_degree"]
+
+
+def test_figures_3_1_to_3_6_measures_vs_generation_models(benchmark, record,
+                                                          growth_dataset):
+    n_nodes = growth_dataset.n_rows
+    schedule = edge_count_schedule(n_nodes, n_steps=6)
+
+    def compute():
+        series = {
+            "data": build_densifying_series(growth_dataset, schedule),
+            "erdos_renyi": build_densifying_series(n_nodes, schedule,
+                                                   model="erdos_renyi", seed=1),
+            "random_geometric": build_densifying_series(n_nodes, schedule,
+                                                        model="random_geometric",
+                                                        seed=1),
+        }
+        curves = {}
+        for source, dens_series in series.items():
+            curves[source] = {measure: dens_series.measures(measure)
+                              for measure in MEASURES}
+        return curves
+
+    curves = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record("figures_3_1_3_6_measures_vs_models", {
+        "edge_counts": schedule, "curves": curves})
+
+    data = curves["data"]
+    er = curves["erdos_renyi"]
+    geom = curves["random_geometric"]
+
+    # Real (clustered) data has far more triangles and clustering than an ER
+    # graph with the same number of edges, at every density.
+    for step in range(2, len(schedule)):
+        assert data["triangle_count"][step] > er["triangle_count"][step]
+        assert data["average_clustering"][step] > er["average_clustering"][step]
+    # The geometric model captures local structure better than ER.
+    assert sum(geom["triangle_count"]) > sum(er["triangle_count"])
+    # Connectivity measures grow monotonically with density for every source.
+    for source_curves in curves.values():
+        lcc = source_curves["largest_connected_component"]
+        assert all(later >= earlier for earlier, later in zip(lcc, lcc[1:]))
+        components = source_curves["number_connected_components"]
+        assert all(later <= earlier for earlier, later in zip(components,
+                                                              components[1:]))

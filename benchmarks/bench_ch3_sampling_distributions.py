@@ -1,0 +1,46 @@
+"""Figure 3.18: distribution of pairwise similarity values under each
+sampling method (Abalone).
+
+Concentrated samples skew towards high similarities; random and stratified
+samples closely track each other and the full dataset's distribution.
+"""
+
+import numpy as np
+
+from repro.datasets import make_clustered_vectors
+from repro.growth import sample_dataset
+from repro.similarity import pairwise_similarity_matrix
+
+
+def _upper_triangle(dataset):
+    sims = pairwise_similarity_matrix(dataset)
+    return sims[np.triu_indices(dataset.n_rows, k=1)]
+
+
+def test_figure_3_18_sampling_similarity_distributions(benchmark, record):
+    dataset = make_clustered_vectors(300, 8, 3, separation=4.0, seed=71,
+                                     name="abalone-like")
+
+    def compute():
+        distributions = {"actual": _upper_triangle(dataset)}
+        for method in ("concentrated", "random", "stratified"):
+            sample = sample_dataset(dataset, 100, method=method, seed=3)
+            distributions[method] = _upper_triangle(sample)
+        return distributions
+
+    distributions = benchmark.pedantic(compute, rounds=1, iterations=1)
+    summary = {
+        name: {"mean": float(values.mean()), "median": float(np.median(values)),
+               "q90": float(np.quantile(values, 0.9))}
+        for name, values in distributions.items()}
+    record("figure_3_18_sampling_distributions", summary)
+
+    # Concentrated sampling produces a similarity distribution shifted towards
+    # high values compared to every other method.
+    assert summary["concentrated"]["mean"] > summary["random"]["mean"]
+    assert summary["concentrated"]["mean"] > summary["actual"]["mean"]
+    # Random and stratified sampling closely track each other (the paper's
+    # observation that the learned strata add little over random sampling).
+    assert abs(summary["random"]["mean"] - summary["stratified"]["mean"]) < 0.1
+    # Both are close to the full dataset's distribution.
+    assert abs(summary["random"]["mean"] - summary["actual"]["mean"]) < 0.1

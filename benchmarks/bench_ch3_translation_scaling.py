@@ -1,0 +1,32 @@
+"""Figures 3.7-3.11: translation-scaling predictions of triangle counts."""
+
+from repro.growth import GraphGrowthEstimator
+
+
+def test_figures_3_7_to_3_11_translation_scaling(benchmark, record, growth_dataset):
+    def run():
+        results = {}
+        for method in ("random", "concentrated", "stratified"):
+            estimator = GraphGrowthEstimator(
+                measure="triangle_count", sampling_method=method,
+                prediction_method="translation_scaling", sample_size=70, seed=5)
+            results[method] = estimator.run(growth_dataset)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("figures_3_7_3_11_translation_scaling", {
+        method: {
+            "predicted": estimate.predicted_values,
+            "actual": estimate.actual_values,
+            "sample_curve": estimate.sample_values,
+            "mean_log_error": estimate.error()[0],
+        } for method, estimate in results.items()})
+
+    for method, estimate in results.items():
+        mean_error, _ = estimate.error()
+        # Paper band for translation-scaling: ~0.3% up to ~28% log error.
+        assert mean_error < 0.35, f"{method} error too high: {mean_error}"
+        # The sample graph always has fewer triangles than the full graph.
+        dense_half = len(estimate.predicted_values)
+        assert all(s <= a for s, a in zip(estimate.sample_values[-dense_half:],
+                                          estimate.actual_values))

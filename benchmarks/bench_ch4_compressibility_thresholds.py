@@ -1,0 +1,49 @@
+"""Figure 4.14: LAM compression ratio of the similarity graph across
+similarity thresholds, for corpus-like and clustered datasets.
+
+The required shape: ratios are always above 1 (LAM always finds structure),
+the curve is not monotone/flat everywhere, and inflection points — the
+thresholds PLASMA-HD would surface for further exploration — exist.
+"""
+
+from repro.core.exploration import find_inflection_points
+from repro.datasets import make_clustered_vectors
+from repro.lam import LAM, compressibility_scan
+
+THRESHOLDS = [0.3, 0.45, 0.6, 0.75, 0.9]
+
+
+def test_figure_4_14_compressibility_across_thresholds(benchmark, record,
+                                                       twitter_like):
+    clustered = make_clustered_vectors(120, 10, 5, separation=5.0, cluster_std=0.8,
+                                       seed=57, name="wiki-like")
+    datasets = {"twitter_like": twitter_like, "wiki_like": clustered}
+
+    def run():
+        curves = {}
+        for name, dataset in datasets.items():
+            points, interesting = compressibility_scan(
+                dataset, THRESHOLDS, lam=LAM(n_passes=3, max_partition_size=150))
+            curves[name] = {
+                "thresholds": [p.threshold for p in points],
+                "compression_ratio": [p.compression_ratio for p in points],
+                "edges": [p.n_edges for p in points],
+                "interesting_thresholds": interesting,
+            }
+        return curves
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("figure_4_14_compressibility_thresholds", curves)
+
+    for name, curve in curves.items():
+        ratios = curve["compression_ratio"]
+        populated = [r for r, e in zip(ratios, curve["edges"]) if e > 0]
+        # Compression ratios always exceed 1.0 wherever the graph has edges.
+        assert all(ratio >= 1.0 for ratio in populated)
+        assert max(populated) > 1.1
+        # The curve varies across thresholds (it is not flat), which is what
+        # makes it a useful clusterability signal.
+        assert max(populated) - min(populated) > 0.05
+    # At least one dataset exhibits explicit inflection points for the
+    # PLASMA-HD workflow to propose.
+    assert any(curve["interesting_thresholds"] for curve in curves.values())

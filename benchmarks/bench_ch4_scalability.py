@@ -1,0 +1,47 @@
+"""Table 4.5 and Figure 4.12: serial LAM cost, PLAM scalability, and
+compression across passes.
+
+The PLAM numbers are produced with the longest-processing-time scheduling
+model over the measured per-partition mining times (see DESIGN.md), which is
+the quantity behind the paper's speedup-versus-machines curve.
+"""
+
+import time
+
+from repro.lam import LAM, parallel_speedup_estimate
+
+
+def test_table_4_5_figure_4_12_scalability(benchmark, record, webgraph_db):
+    def run():
+        start = time.perf_counter()
+        result = LAM(n_passes=5, max_partition_size=60, seed=0).run(webgraph_db)
+        serial_seconds = time.perf_counter() - start
+        partition_seconds = [t for stats in result.passes
+                             for t in stats.partition_seconds]
+        speedups = {workers: parallel_speedup_estimate(partition_seconds, workers)
+                    for workers in (1, 2, 4, 8, 16, 32)}
+        per_pass_ratio = [stats.compression_ratio for stats in result.passes]
+        return result, serial_seconds, speedups, per_pass_ratio
+
+    result, serial_seconds, speedups, per_pass_ratio = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+
+    record("table_4_5_figure_4_12_scalability", {
+        "serial_seconds": serial_seconds,
+        "useful_itemsets": result.n_patterns,
+        "mean_dereferences": result.compressed.mean_dereferences(),
+        "speedup_by_workers": speedups,
+        "compression_by_pass": per_pass_ratio,
+    })
+
+    # Table 4.5: a meaningful number of useful itemsets is produced and the
+    # pointer chains stay shallow (paper: 1.4-1.5 dereferences on average).
+    assert result.n_patterns > 0
+    assert result.compressed.mean_dereferences() < 3.0
+    # Figure 4.12(1): speedup grows with workers and stays sub-linear.
+    assert speedups[1] == 1.0
+    assert speedups[8] > speedups[2] >= 1.0
+    assert speedups[32] >= speedups[8]
+    assert speedups[8] <= 8.0 + 1e-9
+    # Figure 4.12(2): compression improves with successive passes.
+    assert per_pass_ratio[-1] >= per_pass_ratio[0]

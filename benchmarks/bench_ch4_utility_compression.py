@@ -1,0 +1,31 @@
+"""Figure 4.5: LAM5 compression ratio under the Area and RC utilities.
+
+The two utilities produce very similar compression (RC occasionally a touch
+better), so Area — the cheaper one — is the default.
+"""
+
+from repro.lam import LAM
+
+
+def test_figure_4_5_utility_compression(benchmark, record, planted_db, webgraph_db):
+    datasets = {"mushroom_like": planted_db, "eu_like": webgraph_db}
+
+    def run():
+        ratios = {}
+        for name, database in datasets.items():
+            for utility in ("area", "rc"):
+                result = LAM(n_passes=5, utility=utility, max_partition_size=100,
+                             seed=0).run(database)
+                ratios[f"{name}/{utility}"] = result.compression_ratio
+        return ratios
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("figure_4_5_utility_compression", ratios)
+
+    for name in ("mushroom_like", "eu_like"):
+        area = ratios[f"{name}/area"]
+        rc = ratios[f"{name}/rc"]
+        assert area > 1.0 and rc > 1.0
+        # Differences between the two utilities are marginal (paper: "largely
+        # negligible").
+        assert abs(area - rc) / max(area, rc) < 0.25

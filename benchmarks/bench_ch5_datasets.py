@@ -1,0 +1,28 @@
+"""Table 5.1: the parallel-coordinates dataset characteristics."""
+
+from repro.datasets import dataset_spec, load_dataset
+
+TABLE_5_1 = ["forestfires", "water_treatment", "wdbc", "parkinsons",
+             "pima_indians_diabetes", "wine", "eighthr"]
+
+
+def test_table_5_1_parcoords_datasets(benchmark, record):
+    def build():
+        rows = []
+        for name in TABLE_5_1:
+            dataset = load_dataset(name, scale=0.3, seed=5)
+            spec = dataset_spec(name)
+            rows.append({"name": name, "dimensions": dataset.n_features,
+                         "paper_rows": spec.paper_rows,
+                         "generated_rows": dataset.n_rows})
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    record("table_5_1_datasets", rows)
+
+    by_name = {row["name"]: row for row in rows}
+    assert len(rows) == 7
+    # Moderate dimensionality is the point of the chapter (5-72 dimensions).
+    assert all(4 <= row["dimensions"] <= 80 for row in rows)
+    assert by_name["wine"]["dimensions"] == 13
+    assert by_name["eighthr"]["dimensions"] == 72

@@ -1,0 +1,76 @@
+"""Figures 5.4-5.10: visualization effects per dataset.
+
+Rendered pictures cannot be compared automatically, so the quantitative
+proxies for "de-cluttered" are used: dimension reordering reduces the total
+crossing count, and the energy layout tightens clusters around their centers
+(smaller within-cluster spread on the assistant coordinates) while the total
+energy decreases monotonically.
+"""
+
+import numpy as np
+
+from repro.datasets import make_uci_like
+from repro.parcoords import EnergyModel, ParallelCoordinatesModel
+
+FIGURE_DATASETS = {
+    "forestfires": 6, "water_treatment": 3, "wdbc": 4, "parkinsons": 4,
+    "pima_indians_diabetes": 10, "wine": 4, "eighthr": 2,
+}
+
+
+def _within_cluster_spread(positions, labels):
+    spreads = []
+    for label in np.unique(labels):
+        members = positions[labels == label]
+        if len(members) > 1:
+            spreads.append(float(np.std(members)))
+    return float(np.mean(spreads)) if spreads else 0.0
+
+
+def test_figures_5_4_to_5_10_visual_effects(benchmark, record):
+    datasets = {}
+    for name, n_clusters in FIGURE_DATASETS.items():
+        dataset = make_uci_like(name, scale=0.25, seed=5, noise_fraction=0.0)
+        # The paper clusters each dataset first and visualizes those clusters;
+        # the generator's ground-truth labels play that role here, re-mapped to
+        # the figure's cluster count by modulo grouping.
+        labels = dataset.labels % n_clusters
+        datasets[name] = (dataset, labels)
+
+    def run():
+        rows = {}
+        for name, (dataset, labels) in datasets.items():
+            model = ParallelCoordinatesModel(
+                ordering_method="mst",
+                energy_model=EnergyModel(1 / 3, 1 / 3, 1 / 3))
+            layout = model.layout(dataset.to_dense()[:, :12], labels)
+            assistant = layout.assistant_positions()
+            baseline = np.column_stack([
+                (layout.normalized[:, layout.dimension_order[i]]
+                 + layout.normalized[:, layout.dimension_order[i + 1]]) / 2
+                for i in range(len(layout.dimension_order) - 1)])
+            rows[name] = {
+                "crossings_before": layout.crossings_before,
+                "crossings_after": layout.crossings_after_ordering,
+                "spread_without_energy": _within_cluster_spread(baseline, labels),
+                "spread_with_energy": _within_cluster_spread(assistant, labels),
+                "max_energy_iterations": layout.max_energy_iterations,
+                "energy_monotone": all(
+                    np.all(np.diff(result.energy_history) <= 1e-9)
+                    for result in layout.energy_results),
+            }
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("figures_5_4_5_10_visual_effects", rows)
+
+    improved_crossings = 0
+    for name, row in rows.items():
+        assert row["energy_monotone"], name
+        # The energy layout pulls cluster members together between axes.
+        assert row["spread_with_energy"] <= row["spread_without_energy"] + 1e-9, name
+        assert row["crossings_after"] <= row["crossings_before"], name
+        if row["crossings_after"] < row["crossings_before"]:
+            improved_crossings += 1
+    # Reordering strictly helps on most datasets.
+    assert improved_crossings >= len(rows) - 2

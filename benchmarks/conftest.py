@@ -1,0 +1,88 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the dissertation at
+laptop scale: it computes the same rows/series the paper reports, asserts the
+qualitative shape (who wins, the direction of trends, where inflections
+fall), records the numbers as JSON under ``benchmarks/results/`` so
+EXPERIMENTS.md can reference them, and times the core computation through
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import (
+    load_dataset,
+    make_clustered_vectors,
+    make_labeled_transactions,
+    make_planted_transactions,
+    make_weblike_graph_transactions,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record_result(name: str, payload) -> Path:
+    """Write *payload* as JSON under benchmarks/results/<name>.json."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, default=float)
+    return path
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Fixture exposing :func:`record_result`."""
+    return record_result
+
+
+@pytest.fixture(scope="session")
+def wine_like():
+    """Wine-sized dense dataset (Table 2.1 row 1), unit-normalised."""
+    return load_dataset("wine", seed=7).l2_normalized()
+
+
+@pytest.fixture(scope="session")
+def twitter_like():
+    """A scaled-down sparse corpus standing in for the Twitter dataset."""
+    return load_dataset("twitter", max_rows=250, seed=7)
+
+
+@pytest.fixture(scope="session")
+def rcv1_like():
+    """A scaled-down sparse corpus standing in for RCV1."""
+    return load_dataset("rcv1", max_rows=250, seed=7)
+
+
+@pytest.fixture(scope="session")
+def growth_dataset():
+    """Image-segmentation-like clustered data for the Chapter 3 benches."""
+    return make_clustered_vectors(180, 10, 5, separation=4.5, cluster_std=0.9,
+                                  seed=33, name="image-segmentation-like")
+
+
+@pytest.fixture(scope="session")
+def planted_db():
+    """FIMI-like transaction database with planted patterns (Table 4.4)."""
+    return make_planted_transactions(400, 180, n_patterns=12,
+                                     pattern_support=(0.08, 0.22), seed=41,
+                                     name="mushroom-like")
+
+
+@pytest.fixture(scope="session")
+def webgraph_db():
+    """Web-graph adjacency transactions (Table 4.3, EU2005-like)."""
+    return make_weblike_graph_transactions(500, avg_degree=14, n_communities=15,
+                                           seed=43, name="eu2005-like")
+
+
+@pytest.fixture(scope="session")
+def labeled_db():
+    """Labeled transactions for the compressed-analytics classification bench."""
+    return make_labeled_transactions(300, 80, 3, class_pattern_support=0.7,
+                                     seed=47, name="labeled")

@@ -1,0 +1,57 @@
+"""De-clutter a parallel-coordinates view of clustered data.
+
+Reproduces the Chapter 5 workflow: normalise a moderate-dimensional dataset,
+choose a dimension order that minimises line crossings (MST 2-approximation
+versus exact search), run the energy-reduction model between adjacent axes,
+and report the de-cluttering statistics.  The resulting polyline geometry is
+what a front end would draw; here it is summarised textually.
+
+Run with:  python examples/parallel_coordinates_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import make_uci_like
+from repro.parcoords import EnergyModel, ParallelCoordinatesModel
+
+
+def main() -> None:
+    dataset = make_uci_like("wine", seed=5, noise_fraction=0.0)
+    labels = dataset.labels % 4  # the paper visualises wine with 4 clusters
+    data = dataset.to_dense()
+    print(f"Dataset: {dataset.characteristics()} with "
+          f"{len(np.unique(labels))} clusters\n")
+
+    model = ParallelCoordinatesModel(ordering_method="mst",
+                                     energy_model=EnergyModel(1 / 3, 1 / 3, 1 / 3))
+
+    comparison = model.compare_orderings(data[:, :9], labels)
+    print("Dimension-ordering comparison (first 9 dimensions):")
+    for method, stats in comparison.items():
+        print(f"  {method:7s} crossings {stats['crossings']:10.0f}  "
+              f"time {stats['seconds'] * 1000:7.2f} ms")
+
+    layout = model.layout(data, labels)
+    print(f"\nFull layout over {data.shape[1]} dimensions:")
+    print(f"  dimension order            : {layout.dimension_order}")
+    print(f"  crossings (natural order)  : {layout.crossings_before}")
+    print(f"  crossings (chosen order)   : {layout.crossings_after_ordering}")
+    print(f"  energy iterations (max)    : {layout.max_energy_iterations}")
+    print(f"  ordering / energy time     : {layout.ordering_seconds:.3f}s / "
+          f"{layout.energy_seconds:.3f}s")
+
+    assistant = layout.assistant_positions()
+    spread_by_cluster = {
+        int(cluster): float(np.mean(np.std(assistant[labels == cluster], axis=0)))
+        for cluster in np.unique(labels)}
+    print(f"  within-cluster spread on assistant axes: {spread_by_cluster}")
+
+    polyline = layout.polyline(0, curved=True, n_points=8)
+    print(f"\nFirst item's curved polyline has {polyline.shape[0]} geometry points "
+          f"spanning x ∈ [{polyline[0, 0]:.0f}, {polyline[-1, 0]:.0f}]")
+
+
+if __name__ == "__main__":
+    main()

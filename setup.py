@@ -1,0 +1,23 @@
+"""Setuptools entry point.
+
+A classic setup.py (rather than a PEP 517 pyproject build) is used because the
+target environment has no network access and no `wheel` package, so editable
+installs must go through the legacy `setup.py develop` path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of PLASMA-HD: probing the lattice structure and "
+        "makeup of high-dimensional data"
+    ),
+    author="PLASMA-HD reproduction authors",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy", "scipy", "networkx"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

@@ -1,0 +1,28 @@
+"""repro: a reproduction of PLASMA-HD and its supporting subsystems.
+
+The package is organised by subsystem:
+
+``repro.datasets``
+    Sparse/dense vector datasets, transaction databases and synthetic
+    generators standing in for the corpora used in the dissertation.
+``repro.similarity``
+    Similarity measures and the exact all-pairs similarity search baseline.
+``repro.lsh``
+    Locality-sensitive hashing sketches and BayesLSH inference.
+``repro.core``
+    The PLASMA-HD engine: knowledge cache, cumulative APSS graph,
+    incremental estimation, interactive session and visual cues.
+``repro.graphs``
+    Graph substrate: measures, generators and similarity-graph construction.
+``repro.growth``
+    Graph Growth: sampling and prediction of measures of densifying graphs.
+``repro.lam``
+    The Localized Approximate Miner, compression baselines, compressed
+    analytics and compressibility-versus-threshold scans.
+``repro.parcoords``
+    The enhanced parallel-coordinates visualization model.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,29 @@
+"""PLASMA-HD core: knowledge caching, cumulative APSS estimation, visual cues
+and the interactive probing session."""
+
+from repro.core.knowledge_cache import CachedPair, KnowledgeCache
+from repro.core.apss_graph import ThresholdEstimate, CumulativeApssGraph
+from repro.core.exploration import find_knee, find_inflection_points, suggest_next_threshold
+from repro.core.visual_cues import (
+    TriangleHistogram,
+    DensityPlot,
+    triangle_vertex_histogram,
+    density_plot,
+)
+from repro.core.session import PlasmaSession, ProbeResult
+
+__all__ = [
+    "CachedPair",
+    "KnowledgeCache",
+    "ThresholdEstimate",
+    "CumulativeApssGraph",
+    "find_knee",
+    "find_inflection_points",
+    "suggest_next_threshold",
+    "TriangleHistogram",
+    "DensityPlot",
+    "triangle_vertex_histogram",
+    "density_plot",
+    "PlasmaSession",
+    "ProbeResult",
+]

@@ -1,0 +1,104 @@
+"""Threshold-space exploration helpers: knees, inflection points, suggestions.
+
+The interactive scenario of Section 2.2.2 has the user notice the "knee" in
+the cumulative pair-count curve and probe there next.  These helpers detect
+such knees and other shape changes (phase shifts, peaks, plateaus) so the
+session object can propose the next threshold to probe — and so the LAM
+compressibility curves of Section 4.6 can be scanned for interesting regions
+the same way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["find_knee", "find_inflection_points", "suggest_next_threshold"]
+
+
+def _normalize(values: np.ndarray) -> np.ndarray:
+    values = np.asarray(values, dtype=float)
+    span = values.max() - values.min()
+    if span == 0:
+        return np.zeros_like(values)
+    return (values - values.min()) / span
+
+
+def find_knee(xs, ys) -> float:
+    """The x position of the knee of a monotone curve (Kneedle-style).
+
+    The knee is the point of maximum distance between the normalised curve and
+    the straight line joining its endpoints.  Works for both increasing and
+    decreasing curves.
+    """
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if len(xs) != len(ys) or len(xs) < 3:
+        raise ValueError("need at least three (x, y) points")
+    order = np.argsort(xs)
+    xs, ys = xs[order], ys[order]
+    nx, ny = _normalize(xs), _normalize(ys)
+    # Distance from each point to the chord between the endpoints.
+    chord = ny[-1] - ny[0]
+    line = ny[0] + chord * nx
+    distances = np.abs(ny - line)
+    return float(xs[int(np.argmax(distances))])
+
+
+def find_inflection_points(xs, ys, min_relative_change: float = 0.15) -> list[float]:
+    """x positions where the slope of the curve changes materially.
+
+    A point is reported when the discrete slope on its two sides differs by at
+    least *min_relative_change* of the curve's maximum absolute slope.  These
+    are the "phase shifts" the compressibility scans look for.
+    """
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if len(xs) < 3:
+        return []
+    order = np.argsort(xs)
+    xs, ys = xs[order], ys[order]
+    dx = np.diff(xs)
+    dx[dx == 0] = 1e-12
+    slopes = np.diff(ys) / dx
+    max_slope = np.max(np.abs(slopes))
+    if max_slope == 0:
+        return []
+    points = []
+    for i in range(1, len(slopes)):
+        change = abs(slopes[i] - slopes[i - 1]) / max_slope
+        if change >= min_relative_change:
+            points.append(float(xs[i]))
+    return points
+
+
+def suggest_next_threshold(thresholds, expected_counts, probed) -> float:
+    """Suggest the next threshold to probe given the current estimate curve.
+
+    Preference order: the knee of the cumulative curve if it has not been
+    probed yet; otherwise the unprobed inflection point farthest from any
+    probed threshold; otherwise the midpoint of the largest unprobed gap.
+    """
+    thresholds = np.asarray(thresholds, dtype=float)
+    expected_counts = np.asarray(expected_counts, dtype=float)
+    probed = sorted(float(t) for t in probed)
+
+    def is_unprobed(t: float, tolerance: float = 0.025) -> bool:
+        return all(abs(t - p) > tolerance for p in probed)
+
+    knee = find_knee(thresholds, expected_counts)
+    if is_unprobed(knee):
+        return knee
+
+    candidates = [t for t in find_inflection_points(thresholds, expected_counts)
+                  if is_unprobed(t)]
+    if candidates:
+        def distance_to_probed(t: float) -> float:
+            return min(abs(t - p) for p in probed) if probed else 1.0
+        return max(candidates, key=distance_to_probed)
+
+    # Fall back to bisecting the largest gap between probed thresholds
+    # (including the ends of the grid).
+    anchors = [float(thresholds.min())] + probed + [float(thresholds.max())]
+    gaps = [(anchors[i + 1] - anchors[i], i) for i in range(len(anchors) - 1)]
+    width, index = max(gaps)
+    return float(anchors[index] + width / 2.0)

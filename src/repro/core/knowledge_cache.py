@@ -1,0 +1,153 @@
+"""The PLASMA-HD knowledge cache.
+
+BayesLSH, as originally proposed, throws away the per-pair hash-match counts
+and similarity estimates it computes while verifying candidates.  PLASMA-HD's
+key enhancement is to *memoize* that information (Section 2.2.1):
+
+* for every candidate pair evaluated — whether retained or pruned — the number
+  of hashes compared, the number that matched, the maximum a posteriori
+  similarity estimate and its variance are recorded;
+* later probes at other thresholds resume each pair's evaluation from the
+  cached (hashes, matches) state instead of starting from scratch, which is
+  where the 16–29% interactive speedups of Figure 2.10 come from;
+* the cached estimate distribution doubles as an empirical prior for new
+  probes and as the data behind the Cumulative APSS Graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CachedPair", "KnowledgeCache"]
+
+
+@dataclass
+class CachedPair:
+    """Memoized evaluation state for one candidate pair."""
+
+    first: int
+    second: int
+    n_hashes: int
+    matches: int
+    estimate: float
+    variance: float
+
+    @property
+    def pair(self) -> tuple[int, int]:
+        return (self.first, self.second)
+
+
+class KnowledgeCache:
+    """Stores per-pair BayesLSH evaluation state across probes.
+
+    The cache exposes the two hooks :class:`repro.lsh.bayeslsh.BayesLSH`
+    understands — ``lookup`` and ``record`` — plus aggregate views used by the
+    cumulative APSS graph and by prior construction.
+    """
+
+    def __init__(self) -> None:
+        self._pairs: dict[tuple[int, int], CachedPair] = {}
+        self.probed_thresholds: list[float] = []
+        self.hashes_saved = 0
+
+    # ------------------------------------------------------------------ #
+    # BayesLSH hooks
+    # ------------------------------------------------------------------ #
+    def lookup(self, pair: tuple[int, int]) -> tuple[int, int] | None:
+        """Return cached ``(n_hashes, matches)`` for *pair*, or ``None``."""
+        cached = self._pairs.get(self._key(pair))
+        if cached is None:
+            return None
+        self.hashes_saved += cached.n_hashes
+        return (cached.n_hashes, cached.matches)
+
+    def record(self, evaluation) -> None:
+        """Record a :class:`~repro.lsh.bayeslsh.PairEvaluation`.
+
+        Only ever *upgrades* the cached state: an evaluation based on fewer
+        hashes than what is already cached is ignored.
+        """
+        key = self._key((evaluation.first, evaluation.second))
+        existing = self._pairs.get(key)
+        if existing is not None and existing.n_hashes >= evaluation.n_hashes:
+            return
+        self._pairs[key] = CachedPair(
+            first=key[0], second=key[1], n_hashes=evaluation.n_hashes,
+            matches=evaluation.matches, estimate=evaluation.estimate,
+            variance=evaluation.variance)
+
+    # ------------------------------------------------------------------ #
+    # Aggregate views
+    # ------------------------------------------------------------------ #
+    @property
+    def n_pairs(self) -> int:
+        return len(self._pairs)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __contains__(self, pair: tuple[int, int]) -> bool:
+        return self._key(pair) in self._pairs
+
+    def get(self, pair: tuple[int, int]) -> CachedPair | None:
+        return self._pairs.get(self._key(pair))
+
+    def pairs(self) -> list[CachedPair]:
+        """All cached pair states (unspecified order)."""
+        return list(self._pairs.values())
+
+    def estimates(self) -> np.ndarray:
+        """Array of cached similarity estimates (one per pair)."""
+        if not self._pairs:
+            return np.empty(0)
+        return np.array([p.estimate for p in self._pairs.values()])
+
+    def estimate_histogram(self, bins: int = 50,
+                           value_range: tuple[float, float] = (0.0, 1.0)
+                           ) -> tuple[np.ndarray, np.ndarray]:
+        """Histogram of cached similarity estimates (counts, bin_edges).
+
+        Plotting this cumulative distribution "gives a useful hint to the
+        user as to the number of pairs to expect at different thresholds".
+        """
+        estimates = np.clip(self.estimates(), value_range[0], value_range[1])
+        return np.histogram(estimates, bins=bins, range=value_range)
+
+    def pairs_at_threshold(self, threshold: float) -> list[tuple[int, int]]:
+        """Pairs whose cached estimate meets *threshold* (no data access)."""
+        return [cached.pair for cached in self._pairs.values()
+                if cached.estimate >= threshold]
+
+    def prior_weights(self, similarity_grid: np.ndarray,
+                      strength: float = 0.5) -> np.ndarray:
+        """Empirical-prior weights over *similarity_grid* from cached estimates.
+
+        A mixture of the uniform prior and a kernel-smoothed histogram of the
+        cached estimates; ``strength`` is the weight of the empirical part.
+        With an empty cache the prior is uniform.
+        """
+        uniform = np.ones_like(similarity_grid, dtype=float)
+        uniform /= uniform.sum()
+        estimates = self.estimates()
+        if len(estimates) == 0 or not 0.0 < strength <= 1.0:
+            return uniform
+        bandwidth = 0.05
+        deltas = similarity_grid[:, None] - estimates[None, :]
+        kernel = np.exp(-0.5 * (deltas / bandwidth) ** 2).sum(axis=1)
+        if kernel.sum() == 0:
+            return uniform
+        empirical = kernel / kernel.sum()
+        mixed = strength * empirical + (1.0 - strength) * uniform
+        return mixed / mixed.sum()
+
+    def clear(self) -> None:
+        self._pairs.clear()
+        self.probed_thresholds.clear()
+        self.hashes_saved = 0
+
+    @staticmethod
+    def _key(pair: tuple[int, int]) -> tuple[int, int]:
+        first, second = int(pair[0]), int(pair[1])
+        return (first, second) if first <= second else (second, first)

@@ -1,0 +1,178 @@
+"""Visual cues driven solely by the knowledge cache.
+
+Once an all-pairs probe has been run at one threshold, PLASMA-HD can render
+structure cues for *any* other threshold without touching the source data:
+the cached pair estimates define a similarity graph at the requested
+threshold, and from it we compute
+
+* the **triangle vertex-cover histogram** (Figure 2.5b) — the distribution of
+  the number of triangles incident on each vertex, a proxy for clusterability;
+* the **triangle density plot** (Figure 2.5c) — vertices in degeneracy
+  (peeling) order with the running edge density of each prefix; flat, high
+  plateaus indicate potential cliques / cohesive subgraphs.
+
+The functions also accept an explicit :class:`~repro.graphs.Graph`, so the
+same cues can be produced from exact graphs in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.knowledge_cache import KnowledgeCache
+from repro.graphs.graph import Graph
+from repro.graphs.measures import triangle_count, triangles_per_vertex
+from repro.graphs.similarity_graph import graph_from_pairs
+
+__all__ = ["TriangleHistogram", "DensityPlot", "triangle_vertex_histogram",
+           "density_plot", "graph_at_threshold"]
+
+
+@dataclass(frozen=True)
+class TriangleHistogram:
+    """Histogram of per-vertex triangle counts plus summary statistics."""
+
+    bin_edges: np.ndarray
+    counts: np.ndarray
+    total_triangles: int
+    max_per_vertex: int
+    mean_per_vertex: float
+
+    def as_series(self) -> tuple[np.ndarray, np.ndarray]:
+        centers = (self.bin_edges[:-1] + self.bin_edges[1:]) / 2.0
+        return centers, self.counts
+
+
+@dataclass(frozen=True)
+class DensityPlot:
+    """Running edge density over the degeneracy (peeling) vertex order.
+
+    ``positions[i]`` is the prefix size and ``densities[i]`` the edge density
+    of the subgraph induced by the first ``positions[i]`` vertices in peeling
+    order.  ``plateaus`` lists (start, stop, density) runs where the density
+    stays within a small tolerance — candidate cohesive subgraphs.
+    """
+
+    order: np.ndarray
+    positions: np.ndarray
+    densities: np.ndarray
+    plateaus: list[tuple[int, int, float]]
+
+
+def graph_at_threshold(cache: KnowledgeCache, n_nodes: int,
+                       threshold: float) -> Graph:
+    """Similarity graph induced by cached estimates at *threshold*."""
+    return graph_from_pairs(n_nodes, cache.pairs_at_threshold(threshold))
+
+
+def triangle_vertex_histogram(source, threshold: float | None = None,
+                              n_nodes: int | None = None,
+                              bins: int = 20) -> TriangleHistogram:
+    """Triangle vertex-cover histogram from a Graph or a KnowledgeCache.
+
+    Parameters
+    ----------
+    source:
+        Either a :class:`~repro.graphs.Graph` or a :class:`KnowledgeCache`
+        (in which case *threshold* and *n_nodes* are required).
+    """
+    graph = _resolve_graph(source, threshold, n_nodes)
+    per_vertex = triangles_per_vertex(graph)
+    max_count = int(per_vertex.max(initial=0))
+    counts, edges = np.histogram(per_vertex, bins=bins,
+                                 range=(0, max(1, max_count)))
+    return TriangleHistogram(
+        bin_edges=edges,
+        counts=counts,
+        total_triangles=int(triangle_count(graph)),
+        max_per_vertex=max_count,
+        mean_per_vertex=float(per_vertex.mean()) if len(per_vertex) else 0.0,
+    )
+
+
+def density_plot(source, threshold: float | None = None,
+                 n_nodes: int | None = None,
+                 plateau_tolerance: float = 0.05,
+                 min_plateau_length: int = 3) -> DensityPlot:
+    """Triangle/clique density plot from a Graph or a KnowledgeCache.
+
+    Vertices are peeled in increasing-degree order (degeneracy order
+    reversed), so the *end* of the x axis holds the densest core.  Plateaus of
+    near-constant high density correspond to near-cliques.
+    """
+    graph = _resolve_graph(source, threshold, n_nodes)
+    order = _degeneracy_order(graph)
+    # Build prefixes from the densest end: reverse the peeling order so the
+    # first vertices added are the core.
+    order = order[::-1]
+    member_index = {node: i for i, node in enumerate(order)}
+
+    positions = []
+    densities = []
+    edges_so_far = 0
+    for prefix_size, node in enumerate(order, start=1):
+        for neighbor in graph.neighbors(node):
+            if member_index[neighbor] < prefix_size - 1:
+                edges_so_far += 1
+        possible = prefix_size * (prefix_size - 1) / 2
+        density = edges_so_far / possible if possible else 0.0
+        positions.append(prefix_size)
+        densities.append(density)
+
+    densities_arr = np.array(densities)
+    plateaus = _find_plateaus(densities_arr, plateau_tolerance, min_plateau_length)
+    return DensityPlot(order=np.array(order), positions=np.array(positions),
+                       densities=densities_arr, plateaus=plateaus)
+
+
+# --------------------------------------------------------------------------- #
+def _resolve_graph(source, threshold, n_nodes) -> Graph:
+    if isinstance(source, Graph):
+        return source
+    if isinstance(source, KnowledgeCache):
+        if threshold is None or n_nodes is None:
+            raise ValueError("threshold and n_nodes are required with a KnowledgeCache")
+        return graph_at_threshold(source, n_nodes, threshold)
+    raise TypeError("source must be a Graph or a KnowledgeCache")
+
+
+def _degeneracy_order(graph: Graph) -> list[int]:
+    """Peeling order: repeatedly remove a minimum-degree vertex."""
+    import heapq
+
+    degrees = graph.degrees()
+    removed = [False] * graph.n_nodes
+    heap = [(degrees[v], v) for v in range(graph.n_nodes)]
+    heapq.heapify(heap)
+    order: list[int] = []
+    current = list(degrees)
+    while heap:
+        degree, node = heapq.heappop(heap)
+        if removed[node] or degree != current[node]:
+            continue
+        removed[node] = True
+        order.append(node)
+        for neighbor in graph.neighbors(node):
+            if not removed[neighbor]:
+                current[neighbor] -= 1
+                heapq.heappush(heap, (current[neighbor], neighbor))
+    return order
+
+
+def _find_plateaus(densities: np.ndarray, tolerance: float,
+                   min_length: int) -> list[tuple[int, int, float]]:
+    plateaus: list[tuple[int, int, float]] = []
+    if len(densities) == 0:
+        return plateaus
+    start = 0
+    for i in range(1, len(densities) + 1):
+        at_end = i == len(densities)
+        breaks = (not at_end
+                  and abs(densities[i] - densities[start]) > tolerance)
+        if at_end or breaks:
+            if i - start >= min_length:
+                plateaus.append((start, i - 1, float(densities[start:i].mean())))
+            start = i
+    return plateaus

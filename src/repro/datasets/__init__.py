@@ -1,0 +1,49 @@
+"""Datasets: sparse/dense vector data, transaction databases and generators.
+
+The dissertation evaluates on UCI machine-learning datasets (wine, abalone,
+mushroom, image segmentation, ...), large sparse text/graph corpora (Twitter,
+RCV1, Wikipedia, Orkut, web graphs) and FIMI transaction databases.  None of
+those can be downloaded in this offline environment, so this package provides
+deterministic synthetic generators whose *shape* (record count, dimensionality,
+sparsity, cluster structure, weighting scheme) matches the documented
+characteristics, scaled to laptop size.  Every generator takes a ``seed`` so
+experiments are reproducible.
+"""
+
+from repro.datasets.vectors import VectorDataset
+from repro.datasets.synthetic import (
+    make_clustered_vectors,
+    make_toy_dataset,
+    make_uci_like,
+)
+from repro.datasets.text import make_sparse_corpus
+from repro.datasets.transactions import (
+    TransactionDatabase,
+    make_planted_transactions,
+    make_weblike_graph_transactions,
+    make_labeled_transactions,
+)
+from repro.datasets.registry import (
+    DatasetSpec,
+    available_datasets,
+    dataset_spec,
+    load_dataset,
+    load_transactions,
+)
+
+__all__ = [
+    "VectorDataset",
+    "make_clustered_vectors",
+    "make_toy_dataset",
+    "make_uci_like",
+    "make_sparse_corpus",
+    "TransactionDatabase",
+    "make_planted_transactions",
+    "make_weblike_graph_transactions",
+    "make_labeled_transactions",
+    "DatasetSpec",
+    "available_datasets",
+    "dataset_spec",
+    "load_dataset",
+    "load_transactions",
+]

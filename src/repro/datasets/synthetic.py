@@ -1,0 +1,167 @@
+"""Synthetic dense/moderate-dimensional vector datasets.
+
+These generators stand in for the UCI datasets the dissertation evaluates on
+(wine, abalone, adult, image segmentation, ...).  They produce mixtures of
+Gaussian clusters with controllable separation, per-cluster covariance scale
+and background noise, which is the property that actually drives every
+reported trend: well-separated clusters make the thresholded similarity graph
+show clear community structure at intermediate thresholds, produce triangle
+and compressibility "phase shifts", and give parallel-coordinates clusters to
+de-clutter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.vectors import VectorDataset
+from repro.utils.random_state import ensure_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["make_clustered_vectors", "make_toy_dataset", "make_uci_like"]
+
+
+def make_clustered_vectors(n_rows: int, n_features: int, n_clusters: int, *,
+                           separation: float = 4.0, cluster_std: float = 1.0,
+                           noise_fraction: float = 0.0, weights=None,
+                           seed=None, name: str = "clustered") -> VectorDataset:
+    """Generate a Gaussian-mixture dataset with known cluster labels.
+
+    Parameters
+    ----------
+    n_rows, n_features, n_clusters:
+        Size of the dataset.
+    separation:
+        Distance scale between cluster centroids; larger values give cleaner
+        community structure in the induced similarity graph.
+    cluster_std:
+        Standard deviation of points around their centroid.
+    noise_fraction:
+        Fraction of rows drawn uniformly from the bounding box instead of any
+        cluster (label ``-1``).
+    weights:
+        Optional relative cluster sizes (defaults to balanced clusters).
+    seed:
+        Seed or generator for reproducibility.
+    """
+    check_positive_int(n_rows, "n_rows")
+    check_positive_int(n_features, "n_features")
+    check_positive_int(n_clusters, "n_clusters")
+    if not 0.0 <= noise_fraction < 1.0:
+        raise ValueError("noise_fraction must lie in [0, 1)")
+    rng = ensure_rng(seed)
+
+    if weights is None:
+        weights = np.full(n_clusters, 1.0 / n_clusters)
+    else:
+        weights = np.asarray(weights, dtype=float)
+        if len(weights) != n_clusters:
+            raise ValueError("weights must have one entry per cluster")
+        weights = weights / weights.sum()
+
+    centroids = rng.normal(scale=separation, size=(n_clusters, n_features))
+    n_noise = int(round(noise_fraction * n_rows))
+    n_clustered = n_rows - n_noise
+
+    assignments = rng.choice(n_clusters, size=n_clustered, p=weights)
+    points = centroids[assignments] + rng.normal(
+        scale=cluster_std, size=(n_clustered, n_features))
+    labels = assignments.astype(np.int64)
+
+    if n_noise:
+        low = points.min(axis=0) if n_clustered else -separation * np.ones(n_features)
+        high = points.max(axis=0) if n_clustered else separation * np.ones(n_features)
+        noise = rng.uniform(low=low, high=high, size=(n_noise, n_features))
+        points = np.vstack([points, noise])
+        labels = np.concatenate([labels, np.full(n_noise, -1, dtype=np.int64)])
+
+    order = rng.permutation(n_rows)
+    return VectorDataset.from_dense(points[order], labels=labels[order],
+                                    name=name, prune_zeros=False)
+
+
+def make_toy_dataset(seed: int = 7) -> VectorDataset:
+    """The 50-record, 3-attribute toy dataset of Figure 2.2.
+
+    Three attributes in [0, 1] with three latent groups whose cosine
+    similarities are arranged so the figure's thresholds behave as described:
+    t = 0.8 leaves the data too sparsely connected, t = 0.5 reveals the
+    community structure, and t = 0.2 over-connects it.
+    """
+    rng = ensure_rng(seed)
+    directions = np.array([
+        [1.0, 0.1, 0.1],
+        [0.1, 1.0, 0.1],
+        [0.1, 0.1, 1.0],
+    ])
+    rows = []
+    labels = []
+    for i in range(50):
+        cluster = i % 3
+        point = directions[cluster] + rng.normal(scale=0.16, size=3)
+        scale = rng.uniform(0.4, 0.95)
+        rows.append(np.clip(point * scale, 0.01, 0.99))
+        labels.append(cluster)
+    return VectorDataset.from_dense(np.array(rows), labels=np.array(labels),
+                                    name="d1-toy", prune_zeros=False)
+
+
+# --------------------------------------------------------------------------- #
+# UCI-style dataset profiles
+# --------------------------------------------------------------------------- #
+#: Documented characteristics of the UCI datasets used across Chapters 2, 3
+#: and 5 (attribute count, row count, and a rough number of latent classes).
+#: Row counts are the paper's; ``load_dataset`` scales them down by default.
+UCI_PROFILES: dict[str, dict[str, int]] = {
+    "wine": {"n_rows": 178, "n_features": 13, "n_clusters": 3},
+    "credit": {"n_rows": 690, "n_features": 39, "n_clusters": 2},
+    "abalone": {"n_rows": 4177, "n_features": 8, "n_clusters": 3},
+    "adult": {"n_rows": 8000, "n_features": 5, "n_clusters": 2},
+    "image_segmentation": {"n_rows": 2100, "n_features": 18, "n_clusters": 7},
+    "letter_recognition": {"n_rows": 8000, "n_features": 16, "n_clusters": 26},
+    "mushroom": {"n_rows": 8000, "n_features": 21, "n_clusters": 2},
+    "online_news": {"n_rows": 8000, "n_features": 57, "n_clusters": 5},
+    "spambase": {"n_rows": 4601, "n_features": 57, "n_clusters": 2},
+    "statlog": {"n_rows": 4435, "n_features": 36, "n_clusters": 6},
+    "waveform": {"n_rows": 5000, "n_features": 21, "n_clusters": 3},
+    "wine_quality_red": {"n_rows": 1599, "n_features": 11, "n_clusters": 6},
+    "wine_quality_white": {"n_rows": 4898, "n_features": 11, "n_clusters": 7},
+    "yeast": {"n_rows": 1484, "n_features": 8, "n_clusters": 10},
+    "forestfires": {"n_rows": 517, "n_features": 10, "n_clusters": 6},
+    "water_treatment": {"n_rows": 527, "n_features": 38, "n_clusters": 3},
+    "wdbc": {"n_rows": 569, "n_features": 30, "n_clusters": 4},
+    "parkinsons": {"n_rows": 195, "n_features": 22, "n_clusters": 4},
+    "pima_indians_diabetes": {"n_rows": 768, "n_features": 8, "n_clusters": 10},
+    "eighthr": {"n_rows": 2534, "n_features": 72, "n_clusters": 2},
+    "iris": {"n_rows": 150, "n_features": 4, "n_clusters": 3},
+}
+
+
+def make_uci_like(profile_name: str, *, scale: float = 1.0, seed=None,
+                  separation: float = 3.5, cluster_std: float = 1.0,
+                  noise_fraction: float = 0.05) -> VectorDataset:
+    """Generate a synthetic stand-in for the named UCI dataset.
+
+    Parameters
+    ----------
+    profile_name:
+        One of the keys of :data:`UCI_PROFILES`.
+    scale:
+        Multiplier on the documented row count (use < 1 to keep experiments
+        fast; dimensionality and cluster count are kept as documented).
+    """
+    if profile_name not in UCI_PROFILES:
+        raise KeyError(f"unknown UCI profile {profile_name!r}; known: "
+                       f"{sorted(UCI_PROFILES)}")
+    profile = UCI_PROFILES[profile_name]
+    n_rows = max(profile["n_clusters"] * 4, int(round(profile["n_rows"] * scale)))
+    return make_clustered_vectors(
+        n_rows=n_rows,
+        n_features=profile["n_features"],
+        n_clusters=profile["n_clusters"],
+        separation=separation,
+        cluster_std=cluster_std,
+        noise_fraction=noise_fraction,
+        seed=seed,
+        name=profile_name,
+    )

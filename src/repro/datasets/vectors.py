@@ -1,0 +1,225 @@
+"""Sparse vector dataset container used throughout the library.
+
+PLASMA-HD treats every input record as a sparse non-negative weighted vector
+(TF/IDF weighted text, z-normed UCI attributes, adjacency lists, ...).  The
+container stores rows in a compressed sparse row layout built on numpy arrays,
+which keeps memory predictable and lets similarity kernels and LSH sketch
+construction run vectorised.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["VectorDataset"]
+
+
+class VectorDataset:
+    """A collection of sparse vectors sharing one feature space.
+
+    Parameters
+    ----------
+    indptr, indices, data:
+        Standard CSR arrays.  Row ``i`` owns ``indices[indptr[i]:indptr[i+1]]``
+        with weights ``data[indptr[i]:indptr[i+1]]``.
+    n_features:
+        Dimensionality of the feature space.
+    labels:
+        Optional per-row class labels (used by the compressed-analytics
+        classification experiments and by stratified sampling).
+    name:
+        Human-readable dataset name.
+    """
+
+    def __init__(self, indptr, indices, data, n_features, labels=None,
+                 name: str = "dataset") -> None:
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+        self.n_features = int(n_features)
+        self.name = name
+        if self.indptr.ndim != 1 or self.indptr[0] != 0:
+            raise ValueError("indptr must be 1-D and start at 0")
+        if self.indptr[-1] != len(self.indices):
+            raise ValueError("indptr[-1] must equal len(indices)")
+        if len(self.indices) != len(self.data):
+            raise ValueError("indices and data must have equal length")
+        if len(self.indices) and self.indices.max(initial=0) >= self.n_features:
+            raise ValueError("feature index out of range")
+        self.labels = None if labels is None else np.asarray(labels)
+        if self.labels is not None and len(self.labels) != self.n_rows:
+            raise ValueError("labels must have one entry per row")
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_rows(cls, rows: Sequence[dict[int, float] | Iterable[tuple[int, float]]],
+                  n_features: int | None = None, labels=None,
+                  name: str = "dataset") -> "VectorDataset":
+        """Build a dataset from per-row ``{feature: weight}`` mappings."""
+        indptr = [0]
+        indices: list[int] = []
+        data: list[float] = []
+        max_feature = -1
+        for row in rows:
+            items = row.items() if isinstance(row, dict) else row
+            pairs = sorted((int(k), float(v)) for k, v in items)
+            seen = set()
+            for feature, weight in pairs:
+                if feature < 0:
+                    raise ValueError("feature indices must be non-negative")
+                if feature in seen:
+                    raise ValueError(f"duplicate feature {feature} in a row")
+                seen.add(feature)
+                indices.append(feature)
+                data.append(weight)
+                max_feature = max(max_feature, feature)
+            indptr.append(len(indices))
+        if n_features is None:
+            n_features = max_feature + 1
+        return cls(indptr, indices, data, n_features, labels=labels, name=name)
+
+    @classmethod
+    def from_dense(cls, matrix, labels=None, name: str = "dataset",
+                   prune_zeros: bool = True) -> "VectorDataset":
+        """Build a dataset from a dense ``(n_rows, n_features)`` matrix."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError("matrix must be 2-D")
+        n_rows, n_features = matrix.shape
+        indptr = [0]
+        indices: list[int] = []
+        data: list[float] = []
+        for i in range(n_rows):
+            row = matrix[i]
+            if prune_zeros:
+                nz = np.nonzero(row)[0]
+            else:
+                nz = np.arange(n_features)
+            indices.extend(nz.tolist())
+            data.extend(row[nz].tolist())
+            indptr.append(len(indices))
+        return cls(indptr, indices, data, n_features, labels=labels, name=name)
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def n_rows(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def nnz(self) -> int:
+        """Total number of stored (non-zero) entries."""
+        return len(self.indices)
+
+    @property
+    def average_length(self) -> float:
+        """Average number of non-zeros per row ("Avg. len" in Table 2.1)."""
+        if self.n_rows == 0:
+            return 0.0
+        return self.nnz / self.n_rows
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(indices, weights)`` views for row *i*."""
+        start, stop = self.indptr[i], self.indptr[i + 1]
+        return self.indices[start:stop], self.data[start:stop]
+
+    def row_dict(self, i: int) -> dict[int, float]:
+        """Return row *i* as a ``{feature: weight}`` dict (copy)."""
+        idx, vals = self.row(i)
+        return dict(zip(idx.tolist(), vals.tolist()))
+
+    def row_set(self, i: int) -> frozenset[int]:
+        """Return the set of features present in row *i* (for Jaccard)."""
+        idx, _ = self.row(i)
+        return frozenset(idx.tolist())
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __iter__(self):
+        for i in range(self.n_rows):
+            yield self.row(i)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"VectorDataset(name={self.name!r}, rows={self.n_rows}, "
+                f"features={self.n_features}, nnz={self.nnz})")
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+    def to_dense(self) -> np.ndarray:
+        """Materialise the dataset as a dense numpy array."""
+        out = np.zeros((self.n_rows, self.n_features))
+        for i in range(self.n_rows):
+            idx, vals = self.row(i)
+            out[i, idx] = vals
+        return out
+
+    def l2_normalized(self) -> "VectorDataset":
+        """Return a copy with every row scaled to unit Euclidean norm.
+
+        Rows that are entirely zero are left untouched.
+        """
+        data = self.data.copy()
+        for i in range(self.n_rows):
+            start, stop = self.indptr[i], self.indptr[i + 1]
+            norm = np.sqrt(np.sum(data[start:stop] ** 2))
+            if norm > 0:
+                data[start:stop] /= norm
+        return VectorDataset(self.indptr.copy(), self.indices.copy(), data,
+                             self.n_features, labels=self.labels,
+                             name=self.name)
+
+    def z_normalized(self) -> "VectorDataset":
+        """Z-normalise each feature column (the Chapter 3 preprocessing).
+
+        The result is dense in the sense that previously-zero entries of a
+        column with non-zero mean become explicit values, so this is intended
+        for the moderate-dimensional UCI-style datasets, not huge corpora.
+        """
+        dense = self.to_dense()
+        mean = dense.mean(axis=0)
+        std = dense.std(axis=0)
+        std[std == 0] = 1.0
+        dense = (dense - mean) / std
+        return VectorDataset.from_dense(dense, labels=self.labels,
+                                        name=self.name, prune_zeros=False)
+
+    def subset(self, row_ids: Sequence[int], name: str | None = None) -> "VectorDataset":
+        """Return a new dataset containing only *row_ids* (in that order)."""
+        row_ids = list(row_ids)
+        indptr = [0]
+        indices: list[np.ndarray] = []
+        data: list[np.ndarray] = []
+        for i in row_ids:
+            idx, vals = self.row(int(i))
+            indices.append(idx)
+            data.append(vals)
+            indptr.append(indptr[-1] + len(idx))
+        labels = None if self.labels is None else self.labels[row_ids]
+        merged_idx = np.concatenate(indices) if indices else np.empty(0, dtype=np.int64)
+        merged_data = np.concatenate(data) if data else np.empty(0)
+        return VectorDataset(indptr, merged_idx, merged_data, self.n_features,
+                             labels=labels,
+                             name=name or f"{self.name}[{len(row_ids)} rows]")
+
+    def binarized(self) -> "VectorDataset":
+        """Return a copy with all stored weights replaced by 1.0."""
+        return VectorDataset(self.indptr.copy(), self.indices.copy(),
+                             np.ones_like(self.data), self.n_features,
+                             labels=self.labels, name=self.name)
+
+    def characteristics(self) -> dict[str, float]:
+        """Summary row matching the dataset tables in the dissertation."""
+        return {
+            "name": self.name,
+            "vectors": self.n_rows,
+            "dimensions": self.n_features,
+            "avg_len": round(self.average_length, 2),
+            "nnz": self.nnz,
+        }

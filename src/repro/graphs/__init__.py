@@ -1,0 +1,37 @@
+"""Graph substrate: structure, measures, generators and similarity graphs."""
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators import (
+    erdos_renyi_graph,
+    preferential_attachment_graph,
+    random_geometric_graph,
+    generate_with_edge_count,
+)
+from repro.graphs.measures import (
+    MEASURES,
+    available_measures,
+    compute_measure,
+    compute_measures,
+)
+from repro.graphs.similarity_graph import (
+    graph_from_pairs,
+    similarity_graph,
+    threshold_for_edge_count,
+    densifying_series,
+)
+
+__all__ = [
+    "Graph",
+    "erdos_renyi_graph",
+    "preferential_attachment_graph",
+    "random_geometric_graph",
+    "generate_with_edge_count",
+    "MEASURES",
+    "available_measures",
+    "compute_measure",
+    "compute_measures",
+    "graph_from_pairs",
+    "similarity_graph",
+    "threshold_for_edge_count",
+    "densifying_series",
+]

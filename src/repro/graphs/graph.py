@@ -1,0 +1,129 @@
+"""A small undirected graph container tuned for the library's access patterns.
+
+The dissertation's graph work needs fast neighbour-set access (triangle
+counting, clique search, core decomposition), cheap edge iteration, node
+sub-sampling and conversion to/from ``networkx`` for the handful of measures
+delegated to it.  A dict-of-sets adjacency structure covers all of that
+without the overhead of a full graph framework in the inner loops.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import networkx as nx
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An undirected, unweighted graph over integer node ids ``0..n-1``.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes.  All nodes exist even if isolated, matching the
+        similarity-graph setting where every record is a vertex.
+    edges:
+        Optional iterable of ``(u, v)`` pairs to add.
+    """
+
+    def __init__(self, n_nodes: int, edges: Iterable[tuple[int, int]] = ()) -> None:
+        if n_nodes < 0:
+            raise ValueError("n_nodes must be non-negative")
+        self.n_nodes = int(n_nodes)
+        self._adjacency: list[set[int]] = [set() for _ in range(self.n_nodes)]
+        self._n_edges = 0
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_edges(self) -> int:
+        return self._n_edges
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Add edge (u, v); returns True if the edge was new."""
+        u, v = int(u), int(v)
+        if u == v:
+            return False
+        if not (0 <= u < self.n_nodes and 0 <= v < self.n_nodes):
+            raise ValueError(f"edge ({u}, {v}) out of range for {self.n_nodes} nodes")
+        if v in self._adjacency[u]:
+            return False
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        self._n_edges += 1
+        return True
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self._adjacency[u]
+
+    def neighbors(self, u: int) -> set[int]:
+        """The neighbour set of *u* (a live view; do not mutate)."""
+        return self._adjacency[u]
+
+    def degree(self, u: int) -> int:
+        return len(self._adjacency[u])
+
+    def degrees(self) -> list[int]:
+        return [len(adj) for adj in self._adjacency]
+
+    def edges(self) -> Iterable[tuple[int, int]]:
+        """Iterate over edges as (u, v) with u < v."""
+        for u in range(self.n_nodes):
+            for v in self._adjacency[u]:
+                if u < v:
+                    yield (u, v)
+
+    def density(self) -> float:
+        """Edge density: fraction of possible edges present."""
+        if self.n_nodes < 2:
+            return 0.0
+        possible = self.n_nodes * (self.n_nodes - 1) / 2
+        return self._n_edges / possible
+
+    def is_complete(self) -> bool:
+        possible = self.n_nodes * (self.n_nodes - 1) // 2
+        return self._n_edges == possible
+
+    def copy(self) -> "Graph":
+        clone = Graph(self.n_nodes)
+        clone._adjacency = [set(adj) for adj in self._adjacency]
+        clone._n_edges = self._n_edges
+        return clone
+
+    def subgraph(self, nodes: Iterable[int]) -> "Graph":
+        """Node-induced subgraph, relabelled to ``0..len(nodes)-1``.
+
+        The relabelling preserves the order of *nodes*.
+        """
+        node_list = [int(n) for n in nodes]
+        index = {node: i for i, node in enumerate(node_list)}
+        sub = Graph(len(node_list))
+        for node in node_list:
+            for neighbor in self._adjacency[node]:
+                if neighbor in index and node < neighbor:
+                    sub.add_edge(index[node], index[neighbor])
+        return sub
+
+    def adjacency_dict(self) -> dict[int, list[int]]:
+        """Adjacency lists as plain sorted lists (the transactional view)."""
+        return {u: sorted(self._adjacency[u]) for u in range(self.n_nodes)}
+
+    def to_networkx(self) -> nx.Graph:
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.n_nodes))
+        graph.add_edges_from(self.edges())
+        return graph
+
+    @classmethod
+    def from_networkx(cls, graph: nx.Graph) -> "Graph":
+        mapping = {node: i for i, node in enumerate(graph.nodes())}
+        result = cls(graph.number_of_nodes())
+        for u, v in graph.edges():
+            result.add_edge(mapping[u], mapping[v])
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(n_nodes={self.n_nodes}, n_edges={self._n_edges})"

@@ -1,0 +1,352 @@
+"""Graph measures gamma(G) used across Chapters 2 and 3.
+
+Chapter 3 lists the candidate measures of interest (connected components,
+degree, core number, diameter, cliques, triangles, clustering coefficient,
+eigenvalues, betweenness centrality).  Each measure here is a function
+``Graph -> float`` registered in :data:`MEASURES`, so the growth-prediction
+machinery can remain measure-agnostic, exactly as the estimation-model
+desiderata in Section 3.5 require.
+
+Two implementation notes:
+
+* Triangle counting is implemented natively (neighbour-set intersections over
+  edges) because it is the headline measure of Chapter 3 and is also needed
+  per-vertex by the PLASMA-HD visual cues.
+* The combinatorially expensive measures (cliques, diameter, betweenness)
+  special-case the complete graph with the closed-form value, mirroring the
+  analytic shortcut discussed for translation–scaling (for a complete graph
+  the triangle count is C(n, 3), the clique number is n, and so on).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "edge_count",
+    "triangle_count",
+    "triangles_per_vertex",
+    "average_clustering",
+    "global_clustering_coefficient",
+    "mean_degree",
+    "degree_variance",
+    "number_connected_components",
+    "largest_connected_component",
+    "mean_core_number",
+    "clique_number",
+    "number_of_cliques",
+    "diameter_largest_component",
+    "mean_betweenness",
+    "top_eigenvalue",
+    "mean_average_neighbor_degree",
+    "mean_degree_centrality",
+    "MEASURES",
+    "available_measures",
+    "compute_measure",
+    "compute_measures",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Local measures
+# --------------------------------------------------------------------------- #
+def edge_count(graph: Graph) -> float:
+    """Number of edges |E|."""
+    return float(graph.n_edges)
+
+
+def triangles_per_vertex(graph: Graph) -> np.ndarray:
+    """Number of triangles incident on each vertex.
+
+    Uses the standard edge-iterator algorithm: for each edge (u, v) the
+    triangles through the edge are the common neighbours of u and v.  Each
+    triangle is counted once per incident vertex.
+    """
+    counts = np.zeros(graph.n_nodes, dtype=np.int64)
+    for u, v in graph.edges():
+        common = graph.neighbors(u) & graph.neighbors(v)
+        if common:
+            counts[u] += len(common)
+            counts[v] += len(common)
+            for w in common:
+                counts[w] += 1
+    # Each triangle was found once per edge (3 edges) and attributed to all
+    # three vertices each time, so divide per-vertex counts by 3.
+    return counts // 3
+
+
+def triangle_count(graph: Graph) -> float:
+    """Total number of triangles in the graph.
+
+    The complete graph short-circuits to C(n, 3), the analytic special case
+    Chapter 3 uses instead of exhaustive enumeration.
+    """
+    n = graph.n_nodes
+    if graph.is_complete():
+        return float(n * (n - 1) * (n - 2) / 6)
+    total = 0
+    for u, v in graph.edges():
+        total += len(graph.neighbors(u) & graph.neighbors(v))
+    return float(total // 3)
+
+
+def global_clustering_coefficient(graph: Graph) -> float:
+    """Transitivity: 3 * triangles / number of connected triples."""
+    triangles = triangle_count(graph)
+    triples = sum(d * (d - 1) / 2 for d in graph.degrees())
+    if triples == 0:
+        return 0.0
+    return float(3.0 * triangles / triples)
+
+
+def average_clustering(graph: Graph) -> float:
+    """Mean local clustering coefficient over all nodes."""
+    per_vertex = triangles_per_vertex(graph)
+    coefficients = []
+    for node in range(graph.n_nodes):
+        degree = graph.degree(node)
+        if degree < 2:
+            coefficients.append(0.0)
+        else:
+            coefficients.append(2.0 * per_vertex[node] / (degree * (degree - 1)))
+    if not coefficients:
+        return 0.0
+    return float(np.mean(coefficients))
+
+
+def mean_degree(graph: Graph) -> float:
+    if graph.n_nodes == 0:
+        return 0.0
+    return float(2.0 * graph.n_edges / graph.n_nodes)
+
+
+def degree_variance(graph: Graph) -> float:
+    if graph.n_nodes == 0:
+        return 0.0
+    return float(np.var(graph.degrees()))
+
+
+def mean_degree_centrality(graph: Graph) -> float:
+    """Mean degree centrality (degree / (n - 1))."""
+    if graph.n_nodes <= 1:
+        return 0.0
+    return float(np.mean(graph.degrees()) / (graph.n_nodes - 1))
+
+
+def mean_average_neighbor_degree(graph: Graph) -> float:
+    """Mean over nodes of the average degree of their neighbours."""
+    values = []
+    for node in range(graph.n_nodes):
+        neighbors = graph.neighbors(node)
+        if neighbors:
+            values.append(np.mean([graph.degree(v) for v in neighbors]))
+    if not values:
+        return 0.0
+    return float(np.mean(values))
+
+
+# --------------------------------------------------------------------------- #
+# Component / connectivity measures
+# --------------------------------------------------------------------------- #
+def _connected_components(graph: Graph) -> list[list[int]]:
+    seen = [False] * graph.n_nodes
+    components: list[list[int]] = []
+    for start in range(graph.n_nodes):
+        if seen[start]:
+            continue
+        stack = [start]
+        seen[start] = True
+        component = []
+        while stack:
+            node = stack.pop()
+            component.append(node)
+            for neighbor in graph.neighbors(node):
+                if not seen[neighbor]:
+                    seen[neighbor] = True
+                    stack.append(neighbor)
+        components.append(component)
+    return components
+
+
+def number_connected_components(graph: Graph) -> float:
+    return float(len(_connected_components(graph)))
+
+
+def largest_connected_component(graph: Graph) -> float:
+    components = _connected_components(graph)
+    if not components:
+        return 0.0
+    return float(max(len(c) for c in components))
+
+
+def mean_core_number(graph: Graph) -> float:
+    """Mean k-core number over all nodes (peeling algorithm)."""
+    degrees = graph.degrees()
+    core = list(degrees)
+    order = sorted(range(graph.n_nodes), key=lambda v: degrees[v])
+    removed = [False] * graph.n_nodes
+    current_degrees = list(degrees)
+    # Simple O(n^2)-ish peeling suitable for the graph sizes used here.
+    import heapq
+
+    heap = [(degrees[v], v) for v in order]
+    heapq.heapify(heap)
+    k = 0
+    while heap:
+        degree, node = heapq.heappop(heap)
+        if removed[node] or degree > current_degrees[node]:
+            continue
+        k = max(k, current_degrees[node])
+        core[node] = k
+        removed[node] = True
+        for neighbor in graph.neighbors(node):
+            if not removed[neighbor]:
+                current_degrees[neighbor] -= 1
+                heapq.heappush(heap, (current_degrees[neighbor], neighbor))
+    if graph.n_nodes == 0:
+        return 0.0
+    return float(np.mean(core))
+
+
+def diameter_largest_component(graph: Graph) -> float:
+    """Diameter of the largest connected component (BFS from every node)."""
+    components = _connected_components(graph)
+    if not components:
+        return 0.0
+    component = max(components, key=len)
+    if len(component) == 1:
+        return 0.0
+    if graph.is_complete():
+        return 1.0
+    members = set(component)
+    diameter = 0
+    from collections import deque
+
+    for source in component:
+        distances = {source: 0}
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for neighbor in graph.neighbors(node):
+                if neighbor in members and neighbor not in distances:
+                    distances[neighbor] = distances[node] + 1
+                    queue.append(neighbor)
+        diameter = max(diameter, max(distances.values()))
+    return float(diameter)
+
+
+# --------------------------------------------------------------------------- #
+# Combinatorial / spectral / path measures (delegated where sensible)
+# --------------------------------------------------------------------------- #
+def clique_number(graph: Graph) -> float:
+    """Size of the largest clique (complete graphs short-circuit to n)."""
+    if graph.n_nodes == 0:
+        return 0.0
+    if graph.is_complete():
+        return float(graph.n_nodes)
+    import networkx as nx
+
+    return float(max((len(c) for c in nx.find_cliques(graph.to_networkx())),
+                     default=1))
+
+
+def number_of_cliques(graph: Graph) -> float:
+    """Number of maximal cliques (complete graphs short-circuit to 1)."""
+    if graph.n_nodes == 0:
+        return 0.0
+    if graph.is_complete():
+        return 1.0
+    import networkx as nx
+
+    return float(sum(1 for _ in nx.find_cliques(graph.to_networkx())))
+
+
+def mean_betweenness(graph: Graph, sample_size: int = 64, seed: int = 0) -> float:
+    """Mean betweenness centrality, estimated from a node sample for scale."""
+    if graph.n_nodes == 0:
+        return 0.0
+    import networkx as nx
+
+    nx_graph = graph.to_networkx()
+    k = min(sample_size, graph.n_nodes)
+    centrality = nx.betweenness_centrality(nx_graph, k=k, seed=seed)
+    return float(np.mean(list(centrality.values())))
+
+
+def top_eigenvalue(graph: Graph) -> float:
+    """Largest eigenvalue of the adjacency matrix (power iteration)."""
+    n = graph.n_nodes
+    if n == 0 or graph.n_edges == 0:
+        return 0.0
+    rng = np.random.default_rng(0)
+    vector = rng.random(n)
+    vector /= np.linalg.norm(vector)
+    adjacency = [np.fromiter(graph.neighbors(u), dtype=np.int64, count=graph.degree(u))
+                 for u in range(n)]
+    eigenvalue = 0.0
+    for _ in range(60):
+        next_vector = np.zeros(n)
+        for u in range(n):
+            if len(adjacency[u]):
+                next_vector[u] = vector[adjacency[u]].sum()
+        norm = np.linalg.norm(next_vector)
+        if norm == 0:
+            return 0.0
+        next_vector /= norm
+        eigenvalue = float(next_vector @ _multiply(adjacency, next_vector))
+        vector = next_vector
+    return eigenvalue
+
+
+def _multiply(adjacency: list[np.ndarray], vector: np.ndarray) -> np.ndarray:
+    out = np.zeros(len(vector))
+    for u, neighbors in enumerate(adjacency):
+        if len(neighbors):
+            out[u] = vector[neighbors].sum()
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+MEASURES: dict[str, callable] = {
+    "edge_count": edge_count,
+    "triangle_count": triangle_count,
+    "average_clustering": average_clustering,
+    "global_clustering": global_clustering_coefficient,
+    "mean_degree": mean_degree,
+    "degree_variance": degree_variance,
+    "mean_degree_centrality": mean_degree_centrality,
+    "mean_average_neighbor_degree": mean_average_neighbor_degree,
+    "number_connected_components": number_connected_components,
+    "largest_connected_component": largest_connected_component,
+    "mean_core_number": mean_core_number,
+    "clique_number": clique_number,
+    "number_of_cliques": number_of_cliques,
+    "diameter": diameter_largest_component,
+    "mean_betweenness": mean_betweenness,
+    "top_eigenvalue": top_eigenvalue,
+}
+
+
+def available_measures() -> list[str]:
+    """Names of all registered graph measures."""
+    return sorted(MEASURES)
+
+
+def compute_measure(graph: Graph, name: str) -> float:
+    """Compute the named measure gamma(G)."""
+    try:
+        func = MEASURES[name]
+    except KeyError:
+        raise KeyError(f"unknown measure {name!r}; known: {available_measures()}") from None
+    return float(func(graph))
+
+
+def compute_measures(graph: Graph, names=None) -> dict[str, float]:
+    """Compute several measures at once (all registered ones by default)."""
+    if names is None:
+        names = available_measures()
+    return {name: compute_measure(graph, name) for name in names}

@@ -1,0 +1,93 @@
+"""Thresholded similarity graphs and densifying graph series.
+
+The graph transformation at the heart of PLASMA-HD: connect every pair of
+records whose similarity meets a threshold.  Decreasing the threshold
+monotonically adds edges, which is precisely the "densifying graph" series
+Chapter 3 studies (network growth simulated from non-network data by
+connecting the most similar pairs first).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.vectors import VectorDataset
+from repro.graphs.graph import Graph
+from repro.similarity.allpairs import SimilarPair
+from repro.similarity.measures import pairwise_similarity_matrix
+
+__all__ = ["graph_from_pairs", "similarity_graph", "threshold_for_edge_count",
+           "densifying_series"]
+
+
+def graph_from_pairs(n_nodes: int, pairs) -> Graph:
+    """Build a graph from (first, second[, similarity]) pairs."""
+    graph = Graph(n_nodes)
+    for pair in pairs:
+        if isinstance(pair, SimilarPair):
+            graph.add_edge(pair.first, pair.second)
+        else:
+            graph.add_edge(int(pair[0]), int(pair[1]))
+    return graph
+
+
+def similarity_graph(dataset: VectorDataset, threshold: float,
+                     measure: str = "cosine",
+                     similarities: np.ndarray | None = None) -> Graph:
+    """Exact thresholded similarity graph of *dataset*.
+
+    Parameters
+    ----------
+    similarities:
+        Optional precomputed dense similarity matrix; supplying it lets a
+        caller build a whole densifying series from one pass of pairwise
+        similarity computation.
+    """
+    if similarities is None:
+        similarities = pairwise_similarity_matrix(dataset, measure=measure)
+    n = dataset.n_rows
+    graph = Graph(n)
+    rows, cols = np.nonzero(np.triu(similarities >= threshold, k=1))
+    for u, v in zip(rows.tolist(), cols.tolist()):
+        graph.add_edge(u, v)
+    return graph
+
+
+def threshold_for_edge_count(similarities: np.ndarray, target_edges: int) -> float:
+    """The similarity threshold that yields approximately *target_edges* edges.
+
+    Chapter 3 controls graph density through edge count (|E_i| = 2^i * N); the
+    corresponding threshold is the matching upper quantile of the pairwise
+    similarity distribution.
+    """
+    n = similarities.shape[0]
+    upper = similarities[np.triu_indices(n, k=1)]
+    if target_edges <= 0:
+        return float(upper.max()) + 1.0
+    if target_edges >= len(upper):
+        return float(upper.min())
+    # The k-th largest similarity is the threshold admitting exactly k pairs.
+    partitioned = np.partition(upper, len(upper) - target_edges)
+    return float(partitioned[len(upper) - target_edges])
+
+
+def densifying_series(dataset: VectorDataset, edge_counts,
+                      measure: str = "cosine",
+                      similarities: np.ndarray | None = None
+                      ) -> list[tuple[float, Graph]]:
+    """Build a series of graphs of increasing density from one dataset.
+
+    Returns a list of ``(threshold, graph)`` in the order of *edge_counts*.
+    Edge counts are matched by choosing the similarity threshold at the
+    appropriate quantile, so the series is nested: every graph contains the
+    edges of all sparser graphs.
+    """
+    if similarities is None:
+        similarities = pairwise_similarity_matrix(dataset, measure=measure)
+    series = []
+    for target in edge_counts:
+        threshold = threshold_for_edge_count(similarities, int(target))
+        graph = similarity_graph(dataset, threshold, measure=measure,
+                                 similarities=similarities)
+        series.append((threshold, graph))
+    return series

@@ -1,0 +1,35 @@
+"""Graph Growth: predicting measures of densifying graphs (Chapter 3)."""
+
+from repro.growth.sampling import (
+    random_sample,
+    concentrated_sample,
+    stratified_sample,
+    sample_dataset,
+    SAMPLING_METHODS,
+)
+from repro.growth.densify import edge_count_schedule, DensifyingSeries, build_densifying_series
+from repro.growth.predictors import (
+    TranslationScalingPredictor,
+    PiecewiseRegressionPredictor,
+    analytic_complete_value,
+)
+from repro.growth.evaluation import mean_relative_error, log_measure_errors
+from repro.growth.pipeline import GraphGrowthEstimator, GrowthEstimate
+
+__all__ = [
+    "random_sample",
+    "concentrated_sample",
+    "stratified_sample",
+    "sample_dataset",
+    "SAMPLING_METHODS",
+    "edge_count_schedule",
+    "DensifyingSeries",
+    "build_densifying_series",
+    "TranslationScalingPredictor",
+    "PiecewiseRegressionPredictor",
+    "analytic_complete_value",
+    "mean_relative_error",
+    "log_measure_errors",
+    "GraphGrowthEstimator",
+    "GrowthEstimate",
+]

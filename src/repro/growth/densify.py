@@ -1,0 +1,134 @@
+"""Densifying graph series construction (Section 3.5's experimental setup).
+
+Chapter 3 controls density through edge count rather than threshold: the
+series of graphs built from a dataset has edge counts ``2^0 N, 2^1 N, ...``
+(doubling each step) because real-world graphs are sparse and most measures
+are combinatoric, so a superlinear schedule is more representative than a
+linear one.  ``DensifyingSeries`` carries the graphs together with the
+threshold/parameter value of each step so measure curves can be plotted
+against a density axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.vectors import VectorDataset
+from repro.graphs.generators import generate_with_edge_count
+from repro.graphs.graph import Graph
+from repro.graphs.measures import compute_measure
+from repro.graphs.similarity_graph import densifying_series
+from repro.similarity.measures import pairwise_similarity_matrix
+from repro.utils.validation import check_positive_int
+
+__all__ = ["edge_count_schedule", "DensifyingSeries", "build_densifying_series"]
+
+
+def edge_count_schedule(n_nodes: int, n_steps: int | None = None,
+                        base_multiplier: int = 1) -> list[int]:
+    """The doubling edge-count schedule |E_i| = 2^i * N of Section 3.5.
+
+    The schedule stops at (or is capped by) the complete-graph edge count.
+    """
+    check_positive_int(n_nodes, "n_nodes")
+    max_edges = n_nodes * (n_nodes - 1) // 2
+    counts: list[int] = []
+    i = 0
+    while True:
+        count = (2 ** i) * n_nodes * base_multiplier
+        if count >= max_edges:
+            counts.append(max_edges)
+            break
+        counts.append(count)
+        if n_steps is not None and len(counts) >= n_steps:
+            break
+        i += 1
+    if n_steps is not None:
+        counts = counts[:n_steps]
+    return counts
+
+
+@dataclass
+class DensifyingSeries:
+    """A series of graphs of increasing density over a fixed node set.
+
+    Attributes
+    ----------
+    graphs:
+        The graphs, ordered sparse to dense.
+    edge_counts:
+        Requested edge count of each step.
+    parameters:
+        The density parameter of each step — the similarity threshold for
+        data-driven series, or the edge count itself for model-generated
+        series (both are monotone in density).
+    source:
+        ``"data"`` or the generation-model name.
+    """
+
+    graphs: list[Graph]
+    edge_counts: list[int]
+    parameters: list[float]
+    source: str = "data"
+    measure_cache: dict[str, list[float]] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.graphs)
+
+    def measures(self, measure: str) -> list[float]:
+        """gamma(G_i) for every graph in the series (memoised)."""
+        if measure not in self.measure_cache:
+            self.measure_cache[measure] = [
+                compute_measure(graph, measure) for graph in self.graphs]
+        return self.measure_cache[measure]
+
+    def actual_edge_counts(self) -> list[int]:
+        return [graph.n_edges for graph in self.graphs]
+
+    def split_sparse_dense(self) -> tuple[list[int], list[int]]:
+        """Indices of the sparser half and the denser half of the series."""
+        half = len(self.graphs) // 2
+        indices = list(range(len(self.graphs)))
+        return indices[:half], indices[half:]
+
+
+def build_densifying_series(source, edge_counts=None, *, n_steps: int | None = None,
+                            measure: str = "cosine", model: str | None = None,
+                            seed=None) -> DensifyingSeries:
+    """Build a densifying series from a dataset or a generation model.
+
+    Parameters
+    ----------
+    source:
+        A :class:`VectorDataset` (data-driven series via decreasing similarity
+        thresholds) or an ``int`` node count (model-generated series; *model*
+        must then name a generator).
+    edge_counts:
+        Explicit edge-count schedule; defaults to ``edge_count_schedule``.
+    model:
+        Generation model name when *source* is a node count.
+    """
+    if isinstance(source, VectorDataset):
+        n_nodes = source.n_rows
+        if edge_counts is None:
+            edge_counts = edge_count_schedule(n_nodes, n_steps)
+        similarities = pairwise_similarity_matrix(source, measure=measure)
+        pairs = densifying_series(source, edge_counts, measure=measure,
+                                  similarities=similarities)
+        thresholds = [threshold for threshold, _ in pairs]
+        graphs = [graph for _, graph in pairs]
+        return DensifyingSeries(graphs=graphs, edge_counts=list(edge_counts),
+                                parameters=thresholds, source="data")
+
+    n_nodes = int(source)
+    if model is None:
+        raise ValueError("model is required when source is a node count")
+    if edge_counts is None:
+        edge_counts = edge_count_schedule(n_nodes, n_steps)
+    graphs = [generate_with_edge_count(model, n_nodes, count, seed=seed)
+              for count in edge_counts]
+    return DensifyingSeries(graphs=graphs, edge_counts=list(edge_counts),
+                            parameters=[float(c) for c in edge_counts],
+                            source=model)

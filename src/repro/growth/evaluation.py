@@ -1,0 +1,37 @@
+"""Error metrics for growth-prediction experiments (Table 3.2).
+
+The dissertation evaluates predictions with the mean relative error of
+``log(measure)`` — measuring error in the same (log) space the curves are
+plotted in, so that high-density errors do not drown out low-density ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mean_relative_error", "log_measure_errors"]
+
+
+def log_measure_errors(predicted, actual, floor: float = 1.0) -> np.ndarray:
+    """Per-point relative error of log10(measure).
+
+    Values below *floor* are clipped before taking logs (a measure of 0 or 1
+    has log 0, which would blow up a relative error).
+    """
+    predicted = np.maximum(np.asarray(predicted, dtype=float), floor)
+    actual = np.maximum(np.asarray(actual, dtype=float), floor)
+    if predicted.shape != actual.shape:
+        raise ValueError("predicted and actual must have the same shape")
+    log_predicted = np.log10(predicted)
+    log_actual = np.log10(actual)
+    denominator = np.where(log_actual == 0.0, 1.0, np.abs(log_actual))
+    return np.abs(log_predicted - log_actual) / denominator
+
+
+def mean_relative_error(predicted, actual, floor: float = 1.0
+                        ) -> tuple[float, float]:
+    """Mean and standard deviation of the log-space relative error."""
+    errors = log_measure_errors(predicted, actual, floor=floor)
+    if errors.size == 0:
+        return 0.0, 0.0
+    return float(errors.mean()), float(errors.std())

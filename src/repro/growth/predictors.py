@@ -1,0 +1,214 @@
+"""Prediction models for measures of dense graphs (Section 3.4).
+
+Both predictors view the problem in a two-dimensional space with a density
+parameter on the X axis and the measure gamma on the Y axis.  A *synthetic*
+curve comes from the p-node sample graph series; a *real* curve from the full
+graph series (known on the sparse half, to be predicted on the dense half).
+
+* **Translation–scaling** linearly maps the sample curve onto the real curve
+  using only the endpoints; the dense-end anchor gamma(G_complete) is obtained
+  analytically (e.g. C(n, 3) triangles for the complete graph).
+* **Piecewise regression** discretises both curves into ``q`` linear pieces
+  and fits ordinary least squares with predictors (synth_x, synth_y, real_x)
+  for the response real_y, trained on the sparse half.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.measures import compute_measure
+
+__all__ = ["analytic_complete_value", "TranslationScalingPredictor",
+           "PiecewiseRegressionPredictor"]
+
+
+def analytic_complete_value(measure: str, n_nodes: int) -> float:
+    """gamma(K_n) in closed form for the measures where that is possible.
+
+    Falls back to explicitly building the complete graph for other measures
+    (acceptable because it is done once, and only for moderate ``n``).
+    """
+    closed_forms = {
+        "edge_count": lambda n: n * (n - 1) / 2,
+        "triangle_count": lambda n: math.comb(n, 3),
+        "mean_degree": lambda n: float(n - 1),
+        "mean_degree_centrality": lambda n: 1.0,
+        "average_clustering": lambda n: 1.0 if n >= 3 else 0.0,
+        "global_clustering": lambda n: 1.0 if n >= 3 else 0.0,
+        "clique_number": lambda n: float(n),
+        "number_of_cliques": lambda n: 1.0,
+        "diameter": lambda n: 1.0 if n > 1 else 0.0,
+        "number_connected_components": lambda n: 1.0,
+        "largest_connected_component": lambda n: float(n),
+        "mean_core_number": lambda n: float(n - 1),
+        "top_eigenvalue": lambda n: float(n - 1),
+        "mean_betweenness": lambda n: 0.0,
+        "degree_variance": lambda n: 0.0,
+        "mean_average_neighbor_degree": lambda n: float(n - 1),
+    }
+    if measure in closed_forms:
+        return float(closed_forms[measure](n_nodes))
+    complete = Graph(n_nodes, edges=[(i, j) for i in range(n_nodes)
+                                     for j in range(i + 1, n_nodes)])
+    return compute_measure(complete, measure)
+
+
+class TranslationScalingPredictor:
+    """Linearly translate and scale the sample curve onto the real curve.
+
+    Parameters
+    ----------
+    log_space:
+        Fit and predict the measure in ``log10`` space, which is how the
+        triangle-count experiments are evaluated (errors at high densities
+        would otherwise dominate).
+    """
+
+    def __init__(self, log_space: bool = True) -> None:
+        self.log_space = log_space
+        self._fitted = False
+
+    def fit(self, synth_x, synth_y, real_first_y: float, real_last_y: float,
+            real_x=None) -> "TranslationScalingPredictor":
+        """Fit from the sample curve and the two known real-curve endpoints.
+
+        Parameters
+        ----------
+        synth_x, synth_y:
+            Density parameter and measure values of the sample series.
+        real_first_y, real_last_y:
+            gamma of the sparsest real graph (cheap to compute exactly) and of
+            the complete real graph (known analytically).
+        real_x:
+            Density parameters of the real series (defaults to ``synth_x``).
+        """
+        synth_x = np.asarray(synth_x, dtype=float)
+        synth_y = self._transform(np.asarray(synth_y, dtype=float))
+        if real_x is None:
+            real_x = synth_x
+        real_x = np.asarray(real_x, dtype=float)
+        if len(synth_x) < 2:
+            raise ValueError("need at least two sample points")
+
+        self._synth_min_x, self._synth_max_x = float(synth_x.min()), float(synth_x.max())
+        self._synth_min_y, self._synth_max_y = float(synth_y.min()), float(synth_y.max())
+        self._real_min_x, self._real_max_x = float(real_x.min()), float(real_x.max())
+        self._real_min_y = float(self._transform(np.array([real_first_y]))[0])
+        self._real_max_y = float(self._transform(np.array([real_last_y]))[0])
+        self._fitted = True
+        return self
+
+    def predict(self, synth_x, synth_y) -> np.ndarray:
+        """Predicted real-curve measure values for sample points."""
+        if not self._fitted:
+            raise RuntimeError("predictor must be fitted before predicting")
+        synth_y = self._transform(np.asarray(synth_y, dtype=float))
+        span_y = self._synth_max_y - self._synth_min_y
+        if span_y == 0:
+            scaled = np.full_like(synth_y, self._real_min_y)
+        else:
+            scaled = (self._real_min_y
+                      + (synth_y - self._synth_min_y)
+                      * (self._real_max_y - self._real_min_y) / span_y)
+        return self._inverse(scaled)
+
+    def _transform(self, values: np.ndarray) -> np.ndarray:
+        if not self.log_space:
+            return values
+        return np.log10(np.maximum(values, 1.0))
+
+    def _inverse(self, values: np.ndarray) -> np.ndarray:
+        if not self.log_space:
+            return values
+        return 10.0 ** values
+
+
+class PiecewiseRegressionPredictor:
+    """Least-squares regression over piecewise-linearised curves.
+
+    The model is ``real_y = b0 + b1*synth_x + b2*synth_y + b3*real_x`` fitted
+    on the training (sparse) portion of the curves after resampling both onto
+    ``q`` evenly spaced density positions.  Features are standardised and a
+    small ridge penalty is applied so that the short, highly collinear
+    training curves that arise at laptop scale do not produce wild
+    extrapolations on the dense half.
+    """
+
+    def __init__(self, n_pieces: int = 100, log_space: bool = True,
+                 ridge: float = 1e-2) -> None:
+        if n_pieces < 2:
+            raise ValueError("n_pieces must be at least 2")
+        if ridge < 0:
+            raise ValueError("ridge must be non-negative")
+        self.n_pieces = n_pieces
+        self.log_space = log_space
+        self.ridge = ridge
+        self.coefficients: np.ndarray | None = None
+        self._feature_mean: np.ndarray | None = None
+        self._feature_scale: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    def fit(self, synth_x, synth_y, real_x, real_y) -> "PiecewiseRegressionPredictor":
+        """Fit the regression on aligned (sample, real) training curves."""
+        synth_x = np.asarray(synth_x, dtype=float)
+        synth_y = self._transform(np.asarray(synth_y, dtype=float))
+        real_x = np.asarray(real_x, dtype=float)
+        real_y = self._transform(np.asarray(real_y, dtype=float))
+        if not (len(synth_x) == len(synth_y) == len(real_x) == len(real_y)):
+            raise ValueError("training curves must have equal length")
+        if len(synth_x) < 2:
+            raise ValueError("need at least two training points")
+
+        grid = np.linspace(0.0, 1.0, min(self.n_pieces, max(2, len(synth_x) * 4)))
+        features = np.column_stack([
+            _resample(synth_x, grid),
+            _resample(synth_y, grid),
+            _resample(real_x, grid),
+        ])
+        target = _resample(real_y, grid)
+
+        self._feature_mean = features.mean(axis=0)
+        scale = features.std(axis=0)
+        scale[scale == 0] = 1.0
+        self._feature_scale = scale
+        standardized = (features - self._feature_mean) / self._feature_scale
+
+        design = np.column_stack([np.ones(len(grid)), standardized])
+        penalty = self.ridge * np.eye(design.shape[1])
+        penalty[0, 0] = 0.0  # never penalise the intercept
+        gram = design.T @ design + penalty
+        self.coefficients = np.linalg.solve(gram, design.T @ target)
+        return self
+
+    def predict(self, synth_x, synth_y, real_x) -> np.ndarray:
+        """Predict real-curve measure values at the given positions."""
+        if self.coefficients is None:
+            raise RuntimeError("predictor must be fitted before predicting")
+        features = np.column_stack([
+            np.asarray(synth_x, dtype=float),
+            self._transform(np.asarray(synth_y, dtype=float)),
+            np.asarray(real_x, dtype=float),
+        ])
+        standardized = (features - self._feature_mean) / self._feature_scale
+        design = np.column_stack([np.ones(len(features)), standardized])
+        return self._inverse(design @ self.coefficients)
+
+    def _transform(self, values: np.ndarray) -> np.ndarray:
+        if not self.log_space:
+            return values
+        return np.log10(np.maximum(values, 1.0))
+
+    def _inverse(self, values: np.ndarray) -> np.ndarray:
+        if not self.log_space:
+            return values
+        return 10.0 ** values
+
+
+def _resample(values: np.ndarray, grid: np.ndarray) -> np.ndarray:
+    """Resample a curve (indexed by its position order) onto a unit grid."""
+    positions = np.linspace(0.0, 1.0, len(values))
+    return np.interp(grid, positions, values)

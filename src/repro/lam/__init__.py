@@ -1,0 +1,44 @@
+"""Localized Approximate Miner (LAM) and compression baselines (Chapter 4)."""
+
+from repro.lam.codetable import CodeTable, CompressedDatabase
+from repro.lam.utility import area_utility, relative_closedness, get_utility, UTILITY_FUNCTIONS
+from repro.lam.localize import localize_phase
+from repro.lam.trie import PatternTrie, PotentialItemset
+from repro.lam.mining import mine_consume_phase
+from repro.lam.lam import LAM, LamResult, parallel_speedup_estimate
+from repro.lam.baselines import (
+    frequent_itemsets,
+    closed_itemsets,
+    krimp_compress,
+    slim_compress,
+    cdb_compress,
+    BaselineResult,
+)
+from repro.lam.classify import PatternClassifier, train_test_split_transactions
+from repro.lam.compressibility import CompressibilityPoint, compressibility_scan
+
+__all__ = [
+    "CodeTable",
+    "CompressedDatabase",
+    "area_utility",
+    "relative_closedness",
+    "get_utility",
+    "UTILITY_FUNCTIONS",
+    "localize_phase",
+    "PatternTrie",
+    "PotentialItemset",
+    "mine_consume_phase",
+    "LAM",
+    "LamResult",
+    "parallel_speedup_estimate",
+    "frequent_itemsets",
+    "closed_itemsets",
+    "krimp_compress",
+    "slim_compress",
+    "cdb_compress",
+    "BaselineResult",
+    "PatternClassifier",
+    "train_test_split_transactions",
+    "CompressibilityPoint",
+    "compressibility_scan",
+]

@@ -1,0 +1,98 @@
+"""Phase 2 of LAM: approximate mining and consumption (Algorithm 4).
+
+Within one localized partition the working transactions are inserted into a
+:class:`~repro.lam.trie.PatternTrie`, potential itemsets are read off the
+trie, ranked by the chosen utility function, and greedily consumed using the
+LocalOptimal strategy: each consumed itemset is removed from the transactions
+that contain it, replaced by a pointer to its new code-table entry.  Because
+consumption changes the transactions, each candidate's utility is re-checked
+(in O(1) per covered transaction) immediately before it is consumed, and
+fruitless candidates are discarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lam.codetable import CodeTable
+from repro.lam.trie import PatternTrie
+from repro.lam.utility import get_utility
+
+__all__ = ["ConsumedPattern", "mine_consume_phase"]
+
+
+@dataclass(frozen=True)
+class ConsumedPattern:
+    """A pattern that was consumed into the code table."""
+
+    symbol: int
+    items: tuple[int, ...]
+    n_covered: int
+    utility: float
+
+
+def mine_consume_phase(rows: list[set[int]], partition: list[int],
+                       code_table: CodeTable, *, utility: str = "area",
+                       min_item_count: int = 2) -> list[ConsumedPattern]:
+    """Mine one partition and consume its high-utility itemsets in place.
+
+    Parameters
+    ----------
+    rows:
+        The whole database's working rows (sets of item/code symbols);
+        mutated in place as patterns are consumed.
+    partition:
+        Row indices belonging to this localized partition.
+    code_table:
+        Shared code table; consumed patterns are appended to it.
+    utility:
+        ``"area"`` or ``"rc"``.
+    min_item_count:
+        Items occurring fewer times than this within the partition are not
+        inserted into the trie.
+
+    Returns
+    -------
+    The list of patterns consumed from this partition, in consumption order.
+    """
+    utility_func = get_utility(utility)
+    transactions = {row_id: tuple(sorted(rows[row_id])) for row_id in partition
+                    if rows[row_id]}
+    if len(transactions) < 2:
+        return []
+
+    trie = PatternTrie.from_transactions(transactions,
+                                         min_item_count=min_item_count)
+    potentials = trie.potential_itemsets()
+    if not potentials:
+        return []
+
+    def initial_utility(potential) -> float:
+        lengths = [len(rows[row_id]) for row_id in potential.transaction_ids]
+        return utility_func(potential.items, lengths)
+
+    ranked = sorted(potentials, key=initial_utility, reverse=True)
+
+    consumed: list[ConsumedPattern] = []
+    for potential in ranked:
+        items = set(potential.items)
+        if len(items) < 2:
+            continue
+        # Consumption of earlier patterns may have invalidated this candidate;
+        # recompute which of its transactions still contain it.
+        covered = [row_id for row_id in potential.transaction_ids
+                   if items.issubset(rows[row_id])]
+        if len(covered) < 2:
+            continue
+        current_utility = utility_func(potential.items,
+                                       [len(rows[row_id]) for row_id in covered])
+        if current_utility <= 0:
+            continue
+        symbol = code_table.add(potential.items)
+        for row_id in covered:
+            rows[row_id] -= items
+            rows[row_id].add(symbol)
+        consumed.append(ConsumedPattern(symbol=symbol, items=potential.items,
+                                        n_covered=len(covered),
+                                        utility=float(current_utility)))
+    return consumed

@@ -1,0 +1,152 @@
+"""The mining trie and potential-itemset generation (Algorithms 5 and 6).
+
+Transactions of a localized partition are inserted into a trie after being
+reordered by descending item frequency (so common prefixes are shared, as in
+FP-growth).  Each trie node carries the set of transaction ids whose reordered
+transaction passes through it.  Potential itemsets are then read off the trie:
+from each deep node with at least two supporting transactions, a walk back to
+the root emits the path as an itemset, and un-coloured ancestors with strictly
+longer transaction lists contribute additional (shorter, more frequent)
+itemsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TrieNode", "PatternTrie", "PotentialItemset"]
+
+
+@dataclass
+class TrieNode:
+    """One node of the pattern trie."""
+
+    item: int | None
+    depth: int
+    parent: "TrieNode | None" = None
+    children: dict[int, "TrieNode"] = field(default_factory=dict)
+    transaction_ids: list[int] = field(default_factory=list)
+    colored: bool = False
+
+    @property
+    def count(self) -> int:
+        return len(self.transaction_ids)
+
+
+@dataclass(frozen=True)
+class PotentialItemset:
+    """A candidate itemset read from the trie, with its supporting rows."""
+
+    items: tuple[int, ...]
+    transaction_ids: tuple[int, ...]
+
+    @property
+    def length(self) -> int:
+        return len(self.items)
+
+    @property
+    def frequency(self) -> int:
+        return len(self.transaction_ids)
+
+
+class PatternTrie:
+    """Trie over frequency-reordered transactions of one partition."""
+
+    def __init__(self) -> None:
+        self.root = TrieNode(item=None, depth=0)
+        self.n_nodes = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_transactions(cls, transactions: dict[int, tuple[int, ...]],
+                          min_item_count: int = 2) -> "PatternTrie":
+        """Build a trie from ``{transaction_id: items}``.
+
+        Items occurring fewer than *min_item_count* times across the partition
+        are dropped (singletons cannot participate in a shared pattern), and
+        each transaction's remaining items are sorted by descending frequency
+        before insertion, improving prefix sharing.
+        """
+        counts: dict[int, int] = {}
+        for items in transactions.values():
+            for item in items:
+                counts[item] = counts.get(item, 0) + 1
+
+        trie = cls()
+        for transaction_id, items in transactions.items():
+            kept = [item for item in items if counts[item] >= min_item_count]
+            kept.sort(key=lambda item: (-counts[item], item))
+            if kept:
+                trie.insert(transaction_id, kept)
+        return trie
+
+    def insert(self, transaction_id: int, items) -> None:
+        """Insert an already-ordered transaction into the trie."""
+        node = self.root
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = TrieNode(item=int(item), depth=node.depth + 1, parent=node)
+                node.children[item] = child
+                self.n_nodes += 1
+            child.transaction_ids.append(transaction_id)
+            node = child
+
+    # ------------------------------------------------------------------ #
+    # Potential itemset generation (Algorithms 5 and 6)
+    # ------------------------------------------------------------------ #
+    def potential_itemsets(self) -> list[PotentialItemset]:
+        """Generate candidate itemsets by walking to deep nodes and back up.
+
+        A "deep" node is the last node on a root-to-leaf path whose
+        transaction list still has length greater than one; from each such
+        node the walk back towards the root emits the full path as an itemset
+        and, via the colouring scheme of Algorithm 6, shorter/higher-support
+        prefixes as further candidates.
+        """
+        potentials: list[PotentialItemset] = []
+        deep_nodes: list[TrieNode] = []
+        stack = [child for child in self.root.children.values() if child.count > 1]
+        while stack:
+            node = stack.pop()
+            supported_children = [c for c in node.children.values() if c.count > 1]
+            if supported_children:
+                stack.extend(supported_children)
+            else:
+                deep_nodes.append(node)
+        for node in deep_nodes:
+            self._mark_node(node, potentials)
+        return potentials
+
+    def _path_items(self, node: TrieNode) -> list[int]:
+        items: list[int] = []
+        walker: TrieNode | None = node
+        while walker is not None and walker.depth > 0:
+            items.append(walker.item)
+            walker = walker.parent
+        return items
+
+    def _mark_node(self, node: TrieNode, potentials: list[PotentialItemset]) -> None:
+        """Algorithm 6: emit the full prefix through *node*, then recurse upward."""
+        count = node.count
+        if not node.colored and count > 1:
+            items = self._path_items(node)
+            if len(items) >= 2:
+                potentials.append(PotentialItemset(
+                    items=tuple(sorted(items)),
+                    transaction_ids=tuple(node.transaction_ids)))
+            # Colour the equal-count segment so sibling walks terminate early.
+            walker: TrieNode | None = node
+            while walker is not None and walker.depth > 0 and walker.count == count:
+                walker.colored = True
+                walker = walker.parent
+            # ``walker`` is the first ancestor with a longer transaction list;
+            # it contributes a shorter, more frequent candidate.
+            if walker is not None and walker.depth > 0 and not walker.colored:
+                self._mark_node(walker, potentials)
+        else:
+            ancestor = node.parent
+            if ancestor is not None and ancestor.depth > 0 and not ancestor.colored:
+                self._mark_node(ancestor, potentials)

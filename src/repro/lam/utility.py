@@ -1,0 +1,56 @@
+"""Pattern utility functions (Section 4.4.2).
+
+Two easy-to-compute utilities rank the potential itemsets mined inside a
+localized partition:
+
+* **Area**: ``(L - 1) * (F - 1)`` where ``L`` is the itemset length and ``F``
+  its frequency within the partition — the symbols saved by replacing each
+  occurrence with a pointer and storing the itemset once.
+* **Relative Closedness (RC)**: ``sum over covered transactions of |I| / |t|``
+  — how much of each covered transaction the itemset explains.
+"""
+
+from __future__ import annotations
+
+__all__ = ["area_utility", "relative_closedness", "UTILITY_FUNCTIONS", "get_utility"]
+
+
+def area_utility(items, transaction_lengths) -> float:
+    """Area utility (L - 1) * (F - 1) of an itemset.
+
+    Parameters
+    ----------
+    items:
+        The itemset (any sized collection).
+    transaction_lengths:
+        Lengths of the transactions the itemset covers (only their count is
+        used here; the lengths themselves matter for RC).
+    """
+    length = len(items)
+    frequency = len(transaction_lengths)
+    return float(max(length - 1, 0) * max(frequency - 1, 0))
+
+
+def relative_closedness(items, transaction_lengths) -> float:
+    """Relative-closedness utility: sum of |I| / |t| over covered transactions."""
+    length = len(items)
+    total = 0.0
+    for t_length in transaction_lengths:
+        if t_length > 0:
+            total += length / t_length
+    return float(total)
+
+
+UTILITY_FUNCTIONS = {
+    "area": area_utility,
+    "rc": relative_closedness,
+}
+
+
+def get_utility(name: str):
+    """Look up a utility function by name ('area' or 'rc')."""
+    try:
+        return UTILITY_FUNCTIONS[name]
+    except KeyError:
+        raise KeyError(f"unknown utility {name!r}; known: {sorted(UTILITY_FUNCTIONS)}"
+                       ) from None

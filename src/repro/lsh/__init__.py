@@ -1,0 +1,22 @@
+"""Locality-sensitive hashing substrate: sketches, candidates and BayesLSH."""
+
+from repro.lsh.minhash import MinHashSketcher
+from repro.lsh.random_projection import CosineSketcher
+from repro.lsh.sketches import SketchStore, build_sketch_store
+from repro.lsh.candidates import all_pair_candidates, banded_candidates
+from repro.lsh.inference import PosteriorGrid
+from repro.lsh.bayeslsh import BayesLSH, BayesLSHConfig, PairEvaluation, ApssResult
+
+__all__ = [
+    "MinHashSketcher",
+    "CosineSketcher",
+    "SketchStore",
+    "build_sketch_store",
+    "all_pair_candidates",
+    "banded_candidates",
+    "PosteriorGrid",
+    "BayesLSH",
+    "BayesLSHConfig",
+    "PairEvaluation",
+    "ApssResult",
+]

@@ -1,0 +1,229 @@
+"""BayesLSH: Bayesian early pruning and concentration for all-pairs search.
+
+For every candidate pair, hashes are compared incrementally in small batches.
+After each batch the posterior over the pair's similarity is updated and two
+stopping rules are checked:
+
+* **prune** (Equation 2.1): the probability that the similarity meets the
+  user threshold has dropped below ``epsilon`` — stop, discard the pair.
+* **concentrate** (Equation 2.2): the similarity estimate is within ``delta``
+  of the true value with probability at least ``1 - gamma`` — stop, accept
+  the estimate (the pair is *retained* if the estimate meets the threshold).
+
+PLASMA-HD's crucial enhancement is that the evaluation of every candidate —
+pruned or not — is *memoized* (hash match counts, MAP estimate, variance) so
+that estimates at other thresholds and later probes can reuse the work.  The
+``cache`` hook below is how that knowledge cache plugs in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.lsh.inference import PosteriorGrid
+from repro.lsh.sketches import SketchStore
+from repro.similarity.allpairs import SimilarPair
+from repro.utils.timers import PhaseTimer
+from repro.utils.validation import check_fraction, check_threshold
+
+__all__ = ["BayesLSHConfig", "PairEvaluation", "ApssResult", "BayesLSH"]
+
+
+@dataclass(frozen=True)
+class BayesLSHConfig:
+    """Tunable parameters of the BayesLSH stopping rules.
+
+    Attributes
+    ----------
+    epsilon:
+        Allowed false-negative probability for pruning (Equation 2.1).
+    delta, gamma:
+        Accuracy requirement for accepted estimates (Equation 2.2): the
+        estimate must be within ``delta`` of the truth with probability at
+        least ``1 - gamma``.
+    hash_batch:
+        Number of hashes compared between consecutive posterior updates.
+    max_hashes:
+        Cap on hashes per pair (bounded by the sketch length at run time).
+    resolution:
+        Grid resolution of the posterior.
+    """
+
+    epsilon: float = 0.03
+    delta: float = 0.05
+    gamma: float = 0.05
+    hash_batch: int = 16
+    max_hashes: int = 256
+    resolution: int = 201
+
+    def __post_init__(self) -> None:
+        check_fraction(self.epsilon, "epsilon", inclusive_low=False)
+        check_fraction(self.delta, "delta", inclusive_low=False)
+        check_fraction(self.gamma, "gamma", inclusive_low=False)
+        if self.hash_batch <= 0:
+            raise ValueError("hash_batch must be positive")
+        if self.max_hashes < self.hash_batch:
+            raise ValueError("max_hashes must be at least hash_batch")
+
+
+@dataclass
+class PairEvaluation:
+    """Outcome of evaluating one candidate pair.
+
+    ``estimate`` is the maximum a posteriori similarity given the hashes
+    compared so far; ``variance`` its posterior variance.  ``outcome`` is one
+    of ``"pruned"``, ``"concentrated"`` or ``"exhausted"`` (ran out of
+    hashes before either rule fired).
+    """
+
+    first: int
+    second: int
+    n_hashes: int
+    matches: int
+    estimate: float
+    variance: float
+    outcome: str
+    retained: bool
+    cached_hashes: int = 0
+
+    @property
+    def pair(self) -> tuple[int, int]:
+        return (self.first, self.second)
+
+
+@dataclass
+class ApssResult:
+    """Result of one BayesLSH all-pairs run at a single threshold."""
+
+    threshold: float
+    pairs: list[SimilarPair] = field(default_factory=list)
+    evaluations: list[PairEvaluation] = field(default_factory=list)
+    n_candidates: int = 0
+    n_pruned: int = 0
+    hash_comparisons: int = 0
+    cached_hash_reuse: int = 0
+    timers: PhaseTimer = field(default_factory=PhaseTimer)
+
+    @property
+    def n_retained(self) -> int:
+        return len(self.pairs)
+
+    def pair_count(self) -> int:
+        return len(self.pairs)
+
+
+class BayesLSH:
+    """Runs BayesLSH verification over candidate pairs from a sketch store.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.lsh.sketches.SketchStore` with per-row sketches.
+    config:
+        Stopping-rule parameters.
+    prior:
+        Optional prior weights over the collision-probability grid; supplied
+        by the knowledge cache to sharpen estimates across probes.
+    """
+
+    def __init__(self, store: SketchStore, config: BayesLSHConfig | None = None,
+                 prior=None) -> None:
+        self.store = store
+        self.config = config or BayesLSHConfig()
+        self.grid = PosteriorGrid(store.sketcher, resolution=self.config.resolution,
+                                  prior=prior)
+
+    # ------------------------------------------------------------------ #
+    def evaluate_pair(self, first: int, second: int, threshold: float,
+                      cached: tuple[int, int] | None = None) -> PairEvaluation:
+        """Evaluate one candidate pair against *threshold*.
+
+        Parameters
+        ----------
+        cached:
+            Optional ``(n_hashes, matches)`` carried over from a previous
+            probe of the same pair; evaluation resumes from there instead of
+            starting at zero, which is the knowledge-caching speedup.
+        """
+        check_threshold(threshold)
+        config = self.config
+        max_hashes = min(config.max_hashes, self.store.n_hashes)
+
+        n_hashes, matches = (0, 0) if cached is None else cached
+        n_hashes = min(n_hashes, max_hashes)
+        cached_hashes = n_hashes
+
+        posterior = self.grid.posterior(matches, n_hashes)
+        outcome = "exhausted"
+        while True:
+            if n_hashes > 0:
+                prob_above = self.grid.prob_similarity_above(posterior, threshold)
+                if prob_above < config.epsilon:
+                    outcome = "pruned"
+                    break
+                estimate = self.grid.map_similarity(posterior)
+                outside = self.grid.prob_outside_band(posterior, estimate, config.delta)
+                if outside < config.gamma:
+                    outcome = "concentrated"
+                    break
+            if n_hashes >= max_hashes:
+                outcome = "exhausted"
+                break
+            batch = min(config.hash_batch, max_hashes - n_hashes)
+            matches += self.store.matches(first, second, batch, offset=n_hashes)
+            n_hashes += batch
+            posterior = self.grid.posterior(matches, n_hashes)
+
+        estimate = self.grid.map_similarity(posterior)
+        variance = self.grid.similarity_variance(posterior)
+        retained = outcome != "pruned" and estimate >= threshold
+        return PairEvaluation(first=first, second=second, n_hashes=n_hashes,
+                              matches=matches, estimate=estimate,
+                              variance=variance, outcome=outcome,
+                              retained=retained, cached_hashes=cached_hashes)
+
+    # ------------------------------------------------------------------ #
+    def run(self, candidates, threshold: float, cache=None,
+            progress_callback=None, progress_every: int = 0) -> ApssResult:
+        """Run the all-pairs verification over *candidates* at *threshold*.
+
+        Parameters
+        ----------
+        candidates:
+            Iterable of (i, j) candidate pairs.
+        cache:
+            Optional knowledge cache exposing ``lookup(pair)`` returning
+            ``(n_hashes, matches)`` or ``None``, and ``record(evaluation)``.
+        progress_callback:
+            Called as ``progress_callback(fraction_done, result)`` every
+            *progress_every* candidates — this powers the incremental
+            estimates of Figures 2.6–2.8.
+        """
+        check_threshold(threshold)
+        candidates = list(candidates)
+        result = ApssResult(threshold=threshold, n_candidates=len(candidates))
+        self.store.reset_counters()
+
+        with result.timers.phase("verification"):
+            for position, (first, second) in enumerate(candidates):
+                cached = cache.lookup((first, second)) if cache is not None else None
+                evaluation = self.evaluate_pair(first, second, threshold,
+                                                cached=cached)
+                result.evaluations.append(evaluation)
+                result.cached_hash_reuse += evaluation.cached_hashes
+                if evaluation.outcome == "pruned" and not evaluation.retained:
+                    result.n_pruned += 1
+                if evaluation.retained:
+                    result.pairs.append(
+                        SimilarPair(first, second, evaluation.estimate))
+                if cache is not None:
+                    cache.record(evaluation)
+                if (progress_callback is not None and progress_every > 0
+                        and (position + 1) % progress_every == 0):
+                    fraction = (position + 1) / len(candidates)
+                    progress_callback(fraction, result)
+
+        result.hash_comparisons = self.store.hash_comparisons
+        return result

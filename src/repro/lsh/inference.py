@@ -1,0 +1,126 @@
+"""Bayesian inference over hash-collision probabilities.
+
+BayesLSH reasons about a candidate pair's unknown similarity through the
+posterior distribution of its hash-collision probability ``p`` after observing
+``m`` matches among ``n`` compared hashes (a binomial likelihood).  The
+posterior is maintained on a discrete grid, which keeps the implementation
+measure-agnostic: the sketcher supplies the monotone map between collision
+probability and similarity (identity for min-hash / Jaccard,
+``cos(pi(1-p))`` for signed random projections / cosine).
+
+Two questions are asked of the posterior (Equations 2.1 and 2.2):
+
+* *pruning*   — is ``Pr(S >= t | m, n)`` below ``epsilon``?
+* *concentration* — is ``Pr(|s_hat - S| >= delta)`` below ``gamma``?
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_fraction
+
+__all__ = ["PosteriorGrid"]
+
+
+class PosteriorGrid:
+    """Discrete posterior over the hash-collision probability of one pair.
+
+    Parameters
+    ----------
+    converter:
+        Object exposing ``collision_to_similarity`` /
+        ``similarity_to_collision`` (any sketcher class works).
+    resolution:
+        Number of grid points on [0, 1].
+    prior:
+        Optional prior weights over the grid (defaults to uniform).  The
+        PLASMA-HD knowledge cache passes the empirical similarity histogram
+        from earlier probes here, which is how cached knowledge sharpens new
+        estimates.
+    """
+
+    def __init__(self, converter, resolution: int = 201, prior=None) -> None:
+        if resolution < 3:
+            raise ValueError("resolution must be at least 3")
+        self.converter = converter
+        self.grid = np.linspace(0.0, 1.0, resolution)
+        self.similarity_grid = np.array(
+            [converter.collision_to_similarity(p) for p in self.grid])
+        if prior is None:
+            prior = np.ones(resolution)
+        prior = np.asarray(prior, dtype=np.float64)
+        if len(prior) != resolution:
+            raise ValueError("prior must have one weight per grid point")
+        if np.any(prior < 0) or prior.sum() == 0:
+            raise ValueError("prior weights must be non-negative and not all zero")
+        self.prior = prior / prior.sum()
+
+    # ------------------------------------------------------------------ #
+    def with_prior(self, prior) -> "PosteriorGrid":
+        """Return a new grid with the same converter/resolution but a new prior."""
+        return PosteriorGrid(self.converter, resolution=len(self.grid), prior=prior)
+
+    def posterior(self, matches: int, n_hashes: int) -> np.ndarray:
+        """Posterior weights after observing *matches* of *n_hashes* hashes."""
+        if n_hashes < 0 or matches < 0 or matches > n_hashes:
+            raise ValueError("need 0 <= matches <= n_hashes")
+        if n_hashes == 0:
+            return self.prior.copy()
+        # Binomial likelihood on the grid, computed in log space for stability.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            log_like = (matches * np.log(self.grid)
+                        + (n_hashes - matches) * np.log(1.0 - self.grid))
+        log_like[np.isnan(log_like)] = -np.inf
+        # p=0 with matches=0 and p=1 with matches=n are legitimate mass points.
+        if matches == 0:
+            log_like[0] = 0.0
+        if matches == n_hashes:
+            log_like[-1] = 0.0
+        log_like -= log_like.max()
+        weights = self.prior * np.exp(log_like)
+        total = weights.sum()
+        if total == 0:
+            return self.prior.copy()
+        return weights / total
+
+    # ------------------------------------------------------------------ #
+    # Queries used by the BayesLSH stopping rules
+    # ------------------------------------------------------------------ #
+    def prob_similarity_above(self, posterior: np.ndarray, threshold: float) -> float:
+        """``Pr(S >= threshold)`` under *posterior*."""
+        return float(posterior[self.similarity_grid >= threshold].sum())
+
+    def mean_similarity(self, posterior: np.ndarray) -> float:
+        """Posterior mean of the similarity."""
+        return float(np.dot(posterior, self.similarity_grid))
+
+    def map_similarity(self, posterior: np.ndarray) -> float:
+        """Maximum a posteriori similarity estimate."""
+        return float(self.similarity_grid[int(np.argmax(posterior))])
+
+    def similarity_variance(self, posterior: np.ndarray) -> float:
+        """Posterior variance of the similarity."""
+        mean = self.mean_similarity(posterior)
+        return float(np.dot(posterior, (self.similarity_grid - mean) ** 2))
+
+    def prob_outside_band(self, posterior: np.ndarray, estimate: float,
+                          delta: float) -> float:
+        """``Pr(|estimate - S| >= delta)`` under *posterior* (Equation 2.2)."""
+        check_fraction(delta, "delta")
+        inside = np.abs(self.similarity_grid - estimate) < delta
+        return float(posterior[~inside].sum())
+
+    def credible_interval(self, posterior: np.ndarray,
+                          mass: float = 0.95) -> tuple[float, float]:
+        """Central credible interval for the similarity (used for error bars)."""
+        check_fraction(mass, "mass")
+        order = np.argsort(self.similarity_grid)
+        sims = self.similarity_grid[order]
+        weights = posterior[order]
+        cumulative = np.cumsum(weights)
+        lower_q = (1.0 - mass) / 2.0
+        upper_q = 1.0 - lower_q
+        lower = sims[np.searchsorted(cumulative, lower_q, side="left").clip(0, len(sims) - 1)]
+        upper = sims[np.searchsorted(cumulative, upper_q, side="left").clip(0, len(sims) - 1)]
+        return float(lower), float(upper)

@@ -1,0 +1,86 @@
+"""Min-wise hashing for Jaccard similarity estimation.
+
+A min-hash under a random permutation pi collides for two sets with
+probability equal to their Jaccard similarity (Equation 4.1 in the
+dissertation).  We use the standard universal-hash approximation of random
+permutations: ``h(x) = (a*x + b) mod p`` with a large prime ``p``, one (a, b)
+pair per hash function.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.random_state import ensure_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["MinHashSketcher"]
+
+_MERSENNE_PRIME = (1 << 61) - 1
+_EMPTY_SENTINEL = _MERSENNE_PRIME
+
+
+class MinHashSketcher:
+    """Computes k-way min-hash signatures of integer item sets.
+
+    Parameters
+    ----------
+    n_hashes:
+        Number of independent hash functions (the signature length ``k``).
+    seed:
+        Seed or generator controlling the hash coefficients.
+    """
+
+    #: Min-hash is an LSH family for Jaccard similarity: collision
+    #: probability equals similarity, so conversions are the identity.
+    similarity_kind = "jaccard"
+
+    def __init__(self, n_hashes: int, seed=None) -> None:
+        check_positive_int(n_hashes, "n_hashes")
+        rng = ensure_rng(seed)
+        self.n_hashes = n_hashes
+        self._a = rng.integers(1, _MERSENNE_PRIME, size=n_hashes, dtype=np.int64)
+        self._b = rng.integers(0, _MERSENNE_PRIME, size=n_hashes, dtype=np.int64)
+
+    def sketch(self, items) -> np.ndarray:
+        """Return the length-``n_hashes`` signature of an item collection.
+
+        Empty inputs get a sentinel signature that never collides with
+        non-empty ones.
+        """
+        items = np.asarray(list(items), dtype=np.int64)
+        if items.size == 0:
+            return np.full(self.n_hashes, _EMPTY_SENTINEL, dtype=np.int64)
+        # hashes[h, i] = (a_h * item_i + b_h) mod p ; take min over items.
+        hashed = (self._a[:, None] * items[None, :] + self._b[:, None]) % _MERSENNE_PRIME
+        return hashed.min(axis=1)
+
+    def sketch_many(self, item_sets) -> np.ndarray:
+        """Signatures for an iterable of item collections, stacked row-wise."""
+        return np.vstack([self.sketch(items) for items in item_sets])
+
+    @staticmethod
+    def collision_to_similarity(collision_probability: float) -> float:
+        """Map hash-collision probability to Jaccard similarity (identity)."""
+        return float(collision_probability)
+
+    @staticmethod
+    def similarity_to_collision(similarity: float) -> float:
+        """Map Jaccard similarity to hash-collision probability (identity)."""
+        return float(similarity)
+
+    @staticmethod
+    def estimate_similarity(signature_a: np.ndarray, signature_b: np.ndarray,
+                            n_hashes: int | None = None) -> float:
+        """Fraction of matching positions between two signatures.
+
+        If *n_hashes* is given, only the first that many positions are
+        compared (supporting incremental evaluation).
+        """
+        if n_hashes is None:
+            n_hashes = len(signature_a)
+        if n_hashes == 0:
+            return 0.0
+        a = signature_a[:n_hashes]
+        b = signature_b[:n_hashes]
+        return float(np.count_nonzero(a == b)) / n_hashes

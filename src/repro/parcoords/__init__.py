@@ -1,0 +1,29 @@
+"""Enhanced parallel-coordinates visualization model (Chapter 5)."""
+
+from repro.parcoords.crossings import count_crossings, count_crossings_brute_force, crossing_matrix
+from repro.parcoords.ordering import (
+    order_dimensions_exact,
+    order_dimensions_mst,
+    order_dimensions_greedy,
+    order_dimensions,
+    path_cost,
+)
+from repro.parcoords.energy import EnergyModel, EnergyResult
+from repro.parcoords.bezier import quadratic_bezier
+from repro.parcoords.model import ParallelCoordinatesModel, ParallelCoordinatesLayout
+
+__all__ = [
+    "count_crossings",
+    "count_crossings_brute_force",
+    "crossing_matrix",
+    "order_dimensions_exact",
+    "order_dimensions_mst",
+    "order_dimensions_greedy",
+    "order_dimensions",
+    "path_cost",
+    "EnergyModel",
+    "EnergyResult",
+    "quadratic_bezier",
+    "ParallelCoordinatesModel",
+    "ParallelCoordinatesLayout",
+]

@@ -1,0 +1,55 @@
+"""Bézier curve geometry for smoothly bent polylines (Section 5.1.1).
+
+Instead of bending a polyline sharply at the assistant coordinate, the
+visualization connects the left point, the assistant-coordinate point and the
+right point with a quadratic Bézier curve, which softens the distortion the
+assistant coordinate introduces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["quadratic_bezier", "polyline_with_assistant"]
+
+
+def quadratic_bezier(start, control, end, n_points: int = 32) -> np.ndarray:
+    """Sample a quadratic Bézier curve defined by three 2-D points.
+
+    Returns an ``(n_points, 2)`` array from *start* to *end*; the curve is
+    pulled towards *control* (it passes through the control point's influence
+    at t = 0.5 but not through the point itself, per the Bézier definition).
+    """
+    if n_points < 2:
+        raise ValueError("n_points must be at least 2")
+    start = np.asarray(start, dtype=float)
+    control = np.asarray(control, dtype=float)
+    end = np.asarray(end, dtype=float)
+    if start.shape != (2,) or control.shape != (2,) or end.shape != (2,):
+        raise ValueError("points must be 2-D")
+    t = np.linspace(0.0, 1.0, n_points)[:, None]
+    return ((1 - t) ** 2) * start + 2 * (1 - t) * t * control + (t ** 2) * end
+
+
+def polyline_with_assistant(left_x: float, left_value: float, right_x: float,
+                            right_value: float, assistant_value: float,
+                            n_points: int = 32, curved: bool = True) -> np.ndarray:
+    """Geometry of one item's line between two coordinates with an assistant.
+
+    The assistant coordinate sits halfway between the two coordinate axes.
+    With ``curved=True`` the three points are joined by a quadratic Bézier
+    curve whose control point is lifted so the curve passes through the
+    assistant position at its midpoint; otherwise two straight segments are
+    returned.
+    """
+    assistant_x = (left_x + right_x) / 2.0
+    start = np.array([left_x, left_value])
+    end = np.array([right_x, right_value])
+    if not curved:
+        middle = np.array([assistant_x, assistant_value])
+        return np.vstack([start, middle, end])
+    # A quadratic Bézier passes through (start + end)/4 + control/2 at t=0.5;
+    # choose the control point so that midpoint equals the assistant position.
+    control_y = 2.0 * assistant_value - (left_value + right_value) / 2.0
+    control = np.array([assistant_x, control_y])
+    return quadratic_bezier(start, control, end, n_points=n_points)

@@ -1,0 +1,226 @@
+"""The 2-dimensional energy-reduction visualization model (Section 5.1.1).
+
+Between two adjacent coordinates an assistant coordinate is inserted; every
+polyline crosses it at a position ``z_i`` chosen to minimise a physics-style
+energy with three terms:
+
+* elastic    — ``alpha * (z_i - (x_i + y_i)/2)^2`` keeps lines straight;
+* attraction — ``beta * (z_i - c_p)^2`` pulls a line towards its cluster's
+  (pseudo-)center on the assistant coordinate;
+* repulsion  — ``gamma * [w_prev (z_i - c_{p-1})^2 + w_next (z_i - c_{p+1})^2]``
+  keeps adjacent clusters apart; formulated as attraction towards the two
+  neighbouring centers, it is minimised midway between them.  The unweighted
+  model uses ``w_prev = w_next = 1`` (Lemmas 1-2); the size-weighted variant
+  (Corollaries 1-2) sets the weights from neighbouring cluster sizes so
+  larger clusters get more room.
+
+Algorithm 7 alternates closed-form position updates and pseudo-center updates
+until the total energy stops decreasing; Lemma 3 guarantees pseudo-centers
+track the true centers, and Theorem 1 guarantees convergence, which the test
+suite checks as a monotone-energy invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_fraction
+
+__all__ = ["EnergyModel", "EnergyResult"]
+
+
+@dataclass
+class EnergyResult:
+    """Converged assistant-coordinate layout for one pair of coordinates."""
+
+    positions: np.ndarray
+    centers: np.ndarray
+    cluster_order: list
+    energy_history: list[float]
+    iterations: int
+    converged: bool
+
+    @property
+    def final_energy(self) -> float:
+        return self.energy_history[-1] if self.energy_history else 0.0
+
+
+class EnergyModel:
+    """Energy-reduction layout of polylines on an assistant coordinate.
+
+    Parameters
+    ----------
+    alpha, beta, gamma:
+        Weights of the elastic, attraction and repulsion energies (the paper's
+        experiments use 1/3 each).  Any non-negative weights with a positive
+        sum are accepted and normalised to sum to one.
+    weighted:
+        Use the cluster-size-weighted repulsion variant (Corollaries 1-2).
+    tolerance:
+        Relative energy-decrease threshold at which iteration stops.
+    max_iterations:
+        Hard cap on iterations.
+    """
+
+    def __init__(self, alpha: float = 1 / 3, beta: float = 1 / 3,
+                 gamma: float = 1 / 3, *, weighted: bool = False,
+                 tolerance: float = 1e-4, max_iterations: int = 500) -> None:
+        if alpha < 0 or beta < 0 or gamma < 0:
+            raise ValueError("energy weights must be non-negative")
+        total = alpha + beta + gamma
+        if total <= 0:
+            raise ValueError("at least one energy weight must be positive")
+        self.alpha = alpha / total
+        self.beta = beta / total
+        self.gamma = gamma / total
+        self.weighted = weighted
+        check_fraction(tolerance, "tolerance", inclusive_low=False)
+        self.tolerance = tolerance
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be positive")
+        self.max_iterations = max_iterations
+
+    # ------------------------------------------------------------------ #
+    def layout(self, x_values, y_values, clusters) -> EnergyResult:
+        """Compute assistant-coordinate positions for every polyline.
+
+        Parameters
+        ----------
+        x_values, y_values:
+            Values of each item on the left and right coordinate.
+        clusters:
+            Cluster label of each item (any hashable labels).
+        """
+        x = np.asarray(x_values, dtype=float)
+        y = np.asarray(y_values, dtype=float)
+        labels = np.asarray(clusters)
+        if not (len(x) == len(y) == len(labels)):
+            raise ValueError("x_values, y_values and clusters must have equal length")
+        if len(x) == 0:
+            return EnergyResult(np.empty(0), np.empty(0), [], [], 0, True)
+
+        midpoints = (x + y) / 2.0
+
+        # Clusters are ranked by their initial center on the assistant axis.
+        unique_labels = list(dict.fromkeys(labels.tolist()))
+        initial_centers = {label: float(midpoints[labels == label].mean())
+                           for label in unique_labels}
+        ordered_labels = sorted(unique_labels, key=lambda lab: initial_centers[lab])
+        cluster_of = {label: i for i, label in enumerate(ordered_labels)}
+        members = [np.where(labels == label)[0] for label in ordered_labels]
+        sizes = np.array([len(m) for m in members], dtype=float)
+        item_cluster = np.array([cluster_of[label] for label in labels.tolist()])
+
+        centers = np.array([initial_centers[label] for label in ordered_labels])
+        z = midpoints.copy()
+
+        energy_history = [self._total_energy(z, midpoints, centers, members, sizes)]
+        converged = False
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            z = self._update_positions(midpoints, centers, item_cluster, sizes)
+            centers = self._update_centers(z, centers, members, sizes)
+            energy = self._total_energy(z, midpoints, centers, members, sizes)
+            previous = energy_history[-1]
+            energy_history.append(energy)
+            if previous - energy <= self.tolerance * max(abs(previous), 1e-12):
+                converged = True
+                break
+
+        return EnergyResult(positions=z, centers=centers,
+                            cluster_order=ordered_labels,
+                            energy_history=energy_history,
+                            iterations=iterations, converged=converged)
+
+    # ------------------------------------------------------------------ #
+    # Repulsion weights
+    # ------------------------------------------------------------------ #
+    def _repulsion_weights(self, sizes: np.ndarray, index: int) -> tuple[float, float]:
+        """(w_prev, w_next) for an interior cluster's repulsion term.
+
+        Unweighted model: both 1 (Lemma 1 denominator alpha + beta + 2 gamma).
+        Weighted model: the weight towards a neighbouring center is
+        proportional to the *other* neighbour's size (Corollary 1), so the
+        two weights sum to one and bigger clusters push the line further away.
+        """
+        if not self.weighted:
+            return 1.0, 1.0
+        size_prev = sizes[index - 1]
+        size_next = sizes[index + 1]
+        total = size_prev + size_next
+        if total == 0:
+            return 0.5, 0.5
+        return float(size_next / total), float(size_prev / total)
+
+    # ------------------------------------------------------------------ #
+    # Update rules (Lemma 1 / Corollary 1 and Lemma 2 / Corollary 2)
+    # ------------------------------------------------------------------ #
+    def _update_positions(self, midpoints: np.ndarray, centers: np.ndarray,
+                          item_cluster: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+        alpha, beta, gamma = self.alpha, self.beta, self.gamma
+        n_clusters = len(centers)
+        new_positions = midpoints.copy()
+        for index in range(n_clusters):
+            selector = item_cluster == index
+            own_center = centers[index]
+            interior = 0 < index < n_clusters - 1
+            if not interior or gamma == 0.0:
+                denominator = alpha + beta
+                if denominator > 0:
+                    new_positions[selector] = (
+                        alpha * midpoints[selector] + beta * own_center) / denominator
+                continue
+            w_prev, w_next = self._repulsion_weights(sizes, index)
+            denominator = alpha + beta + gamma * (w_prev + w_next)
+            new_positions[selector] = (
+                alpha * midpoints[selector]
+                + beta * own_center
+                + gamma * (w_prev * centers[index - 1] + w_next * centers[index + 1])
+            ) / denominator
+        return new_positions
+
+    def _update_centers(self, positions: np.ndarray, centers: np.ndarray,
+                        members: list[np.ndarray], sizes: np.ndarray) -> np.ndarray:
+        beta, gamma = self.beta, self.gamma
+        n_clusters = len(centers)
+        new_centers = centers.copy()
+        for index in range(n_clusters):
+            own = members[index]
+            numerator = beta * positions[own].sum()
+            denominator = beta * len(own)
+            # Center c_p also appears in the repulsion energy of the two
+            # neighbouring clusters' members — but only when those neighbours
+            # are interior clusters (boundary clusters carry no repulsion),
+            # which is exactly the p' = 0 / p'' = 0 cases of Lemma 2.
+            if gamma > 0:
+                for neighbor in (index - 1, index + 1):
+                    if not 0 < neighbor < n_clusters - 1:
+                        continue
+                    w_prev, w_next = self._repulsion_weights(sizes, neighbor)
+                    weight = w_next if neighbor < index else w_prev
+                    neighbor_members = members[neighbor]
+                    numerator += gamma * weight * positions[neighbor_members].sum()
+                    denominator += gamma * weight * len(neighbor_members)
+            if denominator > 0:
+                new_centers[index] = numerator / denominator
+        return new_centers
+
+    # ------------------------------------------------------------------ #
+    def _total_energy(self, positions: np.ndarray, midpoints: np.ndarray,
+                      centers: np.ndarray, members: list[np.ndarray],
+                      sizes: np.ndarray) -> float:
+        alpha, beta, gamma = self.alpha, self.beta, self.gamma
+        n_clusters = len(centers)
+        energy = float(alpha * np.sum((positions - midpoints) ** 2))
+        for index in range(n_clusters):
+            own = members[index]
+            energy += float(beta * np.sum((positions[own] - centers[index]) ** 2))
+            if gamma == 0 or not 0 < index < n_clusters - 1:
+                continue
+            w_prev, w_next = self._repulsion_weights(sizes, index)
+            energy += float(gamma * np.sum(
+                w_prev * (positions[own] - centers[index - 1]) ** 2
+                + w_next * (positions[own] - centers[index + 1]) ** 2))
+        return energy

@@ -1,0 +1,181 @@
+"""The full parallel-coordinates model: ordering plus energy layout.
+
+``ParallelCoordinatesModel`` is the user-facing object of Chapter 5: give it a
+moderate-dimensional dataset with cluster labels and it
+
+1. normalises each dimension to [0, 1] (standard parallel-coordinates axes);
+2. counts pairwise crossings between all dimensions and chooses a dimension
+   order (exact / MST 2-approximation / greedy, optionally honouring a
+   prescribed partial order);
+3. runs the energy-reduction model between every pair of adjacent coordinates
+   to place the assistant-coordinate points;
+4. exposes the resulting polyline geometry and the before/after crossing
+   counts and timing needed by the Chapter 5 experiments (Figures 5.4–5.10
+   and Table 5.2).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.vectors import VectorDataset
+from repro.parcoords.bezier import polyline_with_assistant
+from repro.parcoords.crossings import count_crossings, crossing_matrix
+from repro.parcoords.energy import EnergyModel, EnergyResult
+from repro.parcoords.ordering import order_dimensions, path_cost
+
+__all__ = ["ParallelCoordinatesLayout", "ParallelCoordinatesModel"]
+
+
+@dataclass
+class ParallelCoordinatesLayout:
+    """Everything needed to draw (or evaluate) one parallel-coordinates view."""
+
+    dimension_order: list[int]
+    normalized: np.ndarray
+    clusters: np.ndarray
+    energy_results: list[EnergyResult]
+    crossings_before: int
+    crossings_after_ordering: int
+    ordering_seconds: float
+    energy_seconds: float
+    max_energy_iterations: int
+    metadata: dict = field(default_factory=dict)
+
+    def assistant_positions(self) -> np.ndarray:
+        """(n_items, n_dims - 1) assistant-coordinate positions per gap."""
+        if not self.energy_results:
+            return np.empty((self.normalized.shape[0], 0))
+        return np.column_stack([result.positions for result in self.energy_results])
+
+    def polyline(self, item: int, curved: bool = True,
+                 n_points: int = 16) -> np.ndarray:
+        """Drawable geometry for one item across all ordered coordinates."""
+        order = self.dimension_order
+        pieces = []
+        for gap in range(len(order) - 1):
+            left_value = self.normalized[item, order[gap]]
+            right_value = self.normalized[item, order[gap + 1]]
+            assistant = (self.energy_results[gap].positions[item]
+                         if self.energy_results else (left_value + right_value) / 2)
+            piece = polyline_with_assistant(float(gap), float(left_value),
+                                            float(gap + 1), float(right_value),
+                                            float(assistant), curved=curved,
+                                            n_points=n_points)
+            pieces.append(piece if gap == 0 else piece[1:])
+        if not pieces:
+            column = self.normalized[item, order[0]] if order else 0.0
+            return np.array([[0.0, column]])
+        return np.vstack(pieces)
+
+
+class ParallelCoordinatesModel:
+    """Builds de-cluttered parallel-coordinates layouts for clustered data.
+
+    Parameters
+    ----------
+    ordering_method:
+        ``"mst"`` (the linear 2-approximation), ``"exact"`` or ``"greedy"``.
+    maximize_crossings:
+        Order to *maximise* crossings instead (for negative-correlation
+        hunting).
+    energy_model:
+        Configured :class:`EnergyModel`; defaults to equal 1/3 weights.
+    """
+
+    def __init__(self, ordering_method: str = "mst", *,
+                 maximize_crossings: bool = False,
+                 energy_model: EnergyModel | None = None) -> None:
+        self.ordering_method = ordering_method
+        self.maximize_crossings = maximize_crossings
+        self.energy_model = energy_model or EnergyModel()
+
+    # ------------------------------------------------------------------ #
+    def layout(self, data, clusters=None, *, pinned: dict[int, int] | None = None,
+               run_energy: bool = True) -> ParallelCoordinatesLayout:
+        """Compute a layout for *data* (array or VectorDataset) and labels."""
+        matrix, labels = self._coerce(data, clusters)
+        normalized = self._normalize(matrix)
+        n_dimensions = normalized.shape[1]
+
+        ordering_start = time.perf_counter()
+        weights = crossing_matrix(normalized)
+        natural_order = list(range(n_dimensions))
+        order = order_dimensions(weights, method=self.ordering_method,
+                                 maximize=self.maximize_crossings, pinned=pinned)
+        ordering_seconds = time.perf_counter() - ordering_start
+
+        crossings_before = int(path_cost(natural_order, weights))
+        crossings_after = int(path_cost(order, weights))
+
+        energy_results: list[EnergyResult] = []
+        energy_seconds = 0.0
+        max_iterations = 0
+        if run_energy and n_dimensions >= 2:
+            energy_start = time.perf_counter()
+            for gap in range(len(order) - 1):
+                result = self.energy_model.layout(normalized[:, order[gap]],
+                                                  normalized[:, order[gap + 1]],
+                                                  labels)
+                energy_results.append(result)
+                max_iterations = max(max_iterations, result.iterations)
+            energy_seconds = time.perf_counter() - energy_start
+
+        return ParallelCoordinatesLayout(
+            dimension_order=order, normalized=normalized, clusters=labels,
+            energy_results=energy_results, crossings_before=crossings_before,
+            crossings_after_ordering=crossings_after,
+            ordering_seconds=ordering_seconds, energy_seconds=energy_seconds,
+            max_energy_iterations=max_iterations,
+            metadata={"ordering_method": self.ordering_method,
+                      "maximize": self.maximize_crossings})
+
+    # ------------------------------------------------------------------ #
+    def compare_orderings(self, data, clusters=None) -> dict[str, dict[str, float]]:
+        """Crossing cost and runtime of the exact, MST and greedy orderings.
+
+        The exact solver is skipped above 10 dimensions (it is factorial);
+        this is the data behind Table 5.2's order-time columns.
+        """
+        matrix, _ = self._coerce(data, clusters)
+        normalized = self._normalize(matrix)
+        weights = crossing_matrix(normalized)
+        results: dict[str, dict[str, float]] = {}
+        for method in ("exact", "mst", "greedy"):
+            if method == "exact" and weights.shape[0] > 10:
+                continue
+            start = time.perf_counter()
+            order = order_dimensions(weights, method=method,
+                                     maximize=self.maximize_crossings)
+            seconds = time.perf_counter() - start
+            results[method] = {"crossings": path_cost(order, weights),
+                               "seconds": seconds}
+        return results
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _coerce(data, clusters) -> tuple[np.ndarray, np.ndarray]:
+        if isinstance(data, VectorDataset):
+            matrix = data.to_dense()
+            if clusters is None:
+                clusters = data.labels
+        else:
+            matrix = np.asarray(data, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError("data must be 2-D (items x dimensions)")
+        if clusters is None:
+            clusters = np.zeros(matrix.shape[0], dtype=int)
+        labels = np.asarray(clusters)
+        if len(labels) != matrix.shape[0]:
+            raise ValueError("clusters must have one label per item")
+        return matrix, labels
+
+    @staticmethod
+    def _normalize(matrix: np.ndarray) -> np.ndarray:
+        low = matrix.min(axis=0)
+        span = matrix.max(axis=0) - low
+        span[span == 0] = 1.0
+        return (matrix - low) / span

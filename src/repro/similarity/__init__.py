@@ -1,0 +1,27 @@
+"""Similarity measures and the exact all-pairs similarity search baseline."""
+
+from repro.similarity.measures import (
+    cosine_similarity,
+    jaccard_similarity,
+    dot_similarity,
+    get_measure,
+    pairwise_similarity_matrix,
+)
+from repro.similarity.allpairs import (
+    SimilarPair,
+    exact_all_pairs,
+    exact_pair_count,
+    similarity_histogram,
+)
+
+__all__ = [
+    "cosine_similarity",
+    "jaccard_similarity",
+    "dot_similarity",
+    "get_measure",
+    "pairwise_similarity_matrix",
+    "SimilarPair",
+    "exact_all_pairs",
+    "exact_pair_count",
+    "similarity_histogram",
+]

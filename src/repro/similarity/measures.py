@@ -1,0 +1,112 @@
+"""Similarity measures over sparse vectors.
+
+PLASMA-HD only requires a pairwise similarity function; the dissertation uses
+cosine similarity for weighted data and Jaccard similarity for unweighted data
+(e.g. Orkut).  All measures here operate on the ``(indices, values)`` row
+representation exposed by :class:`repro.datasets.VectorDataset` and return a
+value in [0, 1] for non-negative inputs (cosine of z-normed data may be
+negative; the thresholded-graph builders clip at the user threshold).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.vectors import VectorDataset
+
+__all__ = [
+    "cosine_similarity",
+    "jaccard_similarity",
+    "dot_similarity",
+    "get_measure",
+    "pairwise_similarity_matrix",
+]
+
+
+def _sparse_dot(idx_a: np.ndarray, val_a: np.ndarray,
+                idx_b: np.ndarray, val_b: np.ndarray) -> float:
+    """Dot product of two sparse rows given as sorted index/value arrays."""
+    i = j = 0
+    total = 0.0
+    len_a, len_b = len(idx_a), len(idx_b)
+    while i < len_a and j < len_b:
+        a, b = idx_a[i], idx_b[j]
+        if a == b:
+            total += val_a[i] * val_b[j]
+            i += 1
+            j += 1
+        elif a < b:
+            i += 1
+        else:
+            j += 1
+    return float(total)
+
+
+def cosine_similarity(row_a, row_b) -> float:
+    """Cosine similarity between two ``(indices, values)`` sparse rows."""
+    idx_a, val_a = row_a
+    idx_b, val_b = row_b
+    denom = np.sqrt(np.sum(val_a ** 2)) * np.sqrt(np.sum(val_b ** 2))
+    if denom == 0:
+        return 0.0
+    return _sparse_dot(idx_a, val_a, idx_b, val_b) / denom
+
+
+def jaccard_similarity(row_a, row_b) -> float:
+    """Jaccard similarity of the *feature sets* of two sparse rows."""
+    set_a = set(row_a[0].tolist())
+    set_b = set(row_b[0].tolist())
+    if not set_a and not set_b:
+        return 0.0
+    union = len(set_a | set_b)
+    if union == 0:
+        return 0.0
+    return len(set_a & set_b) / union
+
+
+def dot_similarity(row_a, row_b) -> float:
+    """Raw dot product (useful for pre-normalised rows)."""
+    return _sparse_dot(row_a[0], row_a[1], row_b[0], row_b[1])
+
+
+_MEASURES = {
+    "cosine": cosine_similarity,
+    "jaccard": jaccard_similarity,
+    "dot": dot_similarity,
+}
+
+
+def get_measure(name: str):
+    """Look up a similarity measure by name ('cosine', 'jaccard', 'dot')."""
+    try:
+        return _MEASURES[name]
+    except KeyError:
+        raise KeyError(f"unknown similarity measure {name!r}; "
+                       f"known: {sorted(_MEASURES)}") from None
+
+
+def pairwise_similarity_matrix(dataset: VectorDataset,
+                               measure: str = "cosine") -> np.ndarray:
+    """Dense ``n x n`` similarity matrix (exact, quadratic; small data only).
+
+    For cosine the computation is vectorised through a dense materialisation;
+    for other measures it falls back to per-pair evaluation.
+    """
+    n = dataset.n_rows
+    if measure == "cosine":
+        dense = dataset.to_dense()
+        norms = np.linalg.norm(dense, axis=1)
+        norms[norms == 0] = 1.0
+        normalized = dense / norms[:, None]
+        sims = normalized @ normalized.T
+        np.fill_diagonal(sims, 1.0)
+        return np.clip(sims, -1.0, 1.0)
+    func = get_measure(measure)
+    sims = np.eye(n)
+    rows = [dataset.row(i) for i in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            value = func(rows[i], rows[j])
+            sims[i, j] = value
+            sims[j, i] = value
+    return sims

@@ -1,0 +1,19 @@
+"""Small shared utilities: random-state handling, validation and timers."""
+
+from repro.utils.random_state import ensure_rng, spawn_rngs
+from repro.utils.timers import Stopwatch, PhaseTimer
+from repro.utils.validation import (
+    check_fraction,
+    check_positive_int,
+    check_threshold,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "PhaseTimer",
+    "check_fraction",
+    "check_positive_int",
+    "check_threshold",
+]

@@ -1,0 +1,39 @@
+"""Helpers for deterministic, reproducible randomness.
+
+Every stochastic component in the library accepts either an integer seed, a
+:class:`numpy.random.Generator`, or ``None``.  ``ensure_rng`` normalises all
+three into a Generator so call sites never need to branch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn_rngs"]
+
+
+def ensure_rng(seed_or_rng=None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed_or_rng*.
+
+    Parameters
+    ----------
+    seed_or_rng:
+        ``None`` (fresh nondeterministic generator), an ``int`` seed, or an
+        existing Generator (returned unchanged).
+    """
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def spawn_rngs(seed_or_rng, count: int) -> list[np.random.Generator]:
+    """Derive *count* independent child generators from one seed or generator.
+
+    Independent streams matter when components (e.g. the K min-hash
+    permutations) must be statistically independent yet reproducible.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    rng = ensure_rng(seed_or_rng)
+    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,91 @@
+"""Lightweight timing helpers used by benchmark harnesses and introspection.
+
+The dissertation reports per-phase runtime breakdowns (e.g. Figure 4.4, the
+LAM localize/mine split, and Figure 2.9, sketch time versus processing time).
+``PhaseTimer`` accumulates named phases so those breakdowns can be produced
+without littering algorithm code with ad-hoc clocks.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["Stopwatch", "PhaseTimer"]
+
+
+class Stopwatch:
+    """A simple start/stop wall-clock stopwatch with an accumulating total."""
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.total = 0.0
+
+    def start(self) -> None:
+        if self._start is not None:
+            raise RuntimeError("stopwatch already running")
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("stopwatch is not running")
+        elapsed = time.perf_counter() - self._start
+        self.total += elapsed
+        self._start = None
+        return elapsed
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "running" if self.running else "stopped"
+        return f"Stopwatch(total={self.total:.6f}s, {state})"
+
+
+class PhaseTimer:
+    """Accumulate wall-clock time per named phase.
+
+    Example
+    -------
+    >>> timer = PhaseTimer()
+    >>> with timer.phase("localize"):
+    ...     pass
+    >>> "localize" in timer.totals
+    True
+    """
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record *seconds* against *name* without running a context."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    @property
+    def grand_total(self) -> float:
+        return sum(self.totals.values())
+
+    def fraction(self, name: str) -> float:
+        """Fraction of the grand total spent in *name* (0 if nothing timed)."""
+        total = self.grand_total
+        if total == 0:
+            return 0.0
+        return self.totals.get(name, 0.0) / total
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.totals)

@@ -1,0 +1,29 @@
+"""Argument validation helpers shared across the library."""
+
+from __future__ import annotations
+
+__all__ = ["check_fraction", "check_positive_int", "check_threshold"]
+
+
+def check_fraction(value: float, name: str, *, inclusive_low: bool = True,
+                   inclusive_high: bool = True) -> float:
+    """Validate that *value* lies in [0, 1] (bounds optionally exclusive)."""
+    low_ok = value >= 0.0 if inclusive_low else value > 0.0
+    high_ok = value <= 1.0 if inclusive_high else value < 1.0
+    if not (low_ok and high_ok):
+        raise ValueError(f"{name} must be a fraction in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that *value* is a positive integer."""
+    if not isinstance(value, (int,)) or isinstance(value, bool) or value <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return int(value)
+
+
+def check_threshold(value: float, name: str = "threshold") -> float:
+    """Validate a similarity threshold, which must lie in (0, 1]."""
+    if not (0.0 < value <= 1.0):
+        raise ValueError(f"{name} must lie in (0, 1], got {value!r}")
+    return float(value)

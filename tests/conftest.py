@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    VectorDataset,
+    make_clustered_vectors,
+    make_sparse_corpus,
+    make_toy_dataset,
+)
+from repro.datasets.transactions import make_planted_transactions
+
+
+@pytest.fixture(scope="session")
+def toy_dataset() -> VectorDataset:
+    """The 50-record, 3-attribute toy dataset of Figure 2.2."""
+    return make_toy_dataset()
+
+
+@pytest.fixture(scope="session")
+def clustered_dataset() -> VectorDataset:
+    """A small, clearly clustered dense dataset used across subsystems."""
+    return make_clustered_vectors(120, 10, 4, separation=5.0, cluster_std=0.8,
+                                  seed=11, name="clustered-small")
+
+
+@pytest.fixture(scope="session")
+def sparse_corpus() -> VectorDataset:
+    """A small sparse TF/IDF corpus with latent topics."""
+    return make_sparse_corpus(80, 400, avg_doc_length=25, n_topics=5, seed=13,
+                              name="corpus-small")
+
+
+@pytest.fixture(scope="session")
+def planted_transactions():
+    """A transaction database with planted frequent patterns."""
+    return make_planted_transactions(300, 120, n_patterns=8, seed=17,
+                                     name="planted-small")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(123)

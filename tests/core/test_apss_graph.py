@@ -1,0 +1,69 @@
+"""Tests for the Cumulative APSS Graph."""
+
+import numpy as np
+import pytest
+
+from repro.core import CumulativeApssGraph, KnowledgeCache
+from repro.lsh.bayeslsh import PairEvaluation
+
+
+def _cache_with_estimates(estimates, variance=0.0004):
+    cache = KnowledgeCache()
+    for i, estimate in enumerate(estimates):
+        cache.record(PairEvaluation(first=i, second=i + 1000, n_hashes=64,
+                                    matches=int(64 * max(estimate, 0.0)),
+                                    estimate=estimate, variance=variance,
+                                    outcome="concentrated", retained=True))
+    return cache
+
+
+def test_empty_cache_gives_zero_estimates():
+    graph = CumulativeApssGraph(KnowledgeCache())
+    estimate = graph.estimate(0.5)
+    assert estimate.expected_pairs == 0.0
+    assert estimate.std == 0.0
+
+
+def test_expected_counts_track_true_counts():
+    estimates = [0.2] * 50 + [0.6] * 30 + [0.9] * 20
+    graph = CumulativeApssGraph(_cache_with_estimates(estimates))
+    counts = graph.expected_counts([0.1, 0.5, 0.8])
+    assert counts[0.1] == pytest.approx(100, rel=0.05)
+    assert counts[0.5] == pytest.approx(50, rel=0.1)
+    assert counts[0.8] == pytest.approx(20, rel=0.1)
+
+
+def test_curve_is_monotone_nonincreasing():
+    estimates = np.linspace(0.05, 0.95, 200).tolist()
+    graph = CumulativeApssGraph(_cache_with_estimates(estimates))
+    curve = graph.curve()
+    values = [e.expected_pairs for e in curve]
+    assert all(values[i] >= values[i + 1] - 1e-9 for i in range(len(values) - 1))
+
+
+def test_error_bars_positive_near_uncertain_pairs():
+    graph = CumulativeApssGraph(_cache_with_estimates([0.5] * 40, variance=0.01))
+    estimate = graph.estimate(0.5)
+    assert estimate.std > 0
+    assert estimate.lower <= estimate.expected_pairs <= estimate.upper
+
+
+def test_high_variance_widens_error_bars():
+    tight = CumulativeApssGraph(_cache_with_estimates([0.6] * 50, variance=1e-6))
+    loose = CumulativeApssGraph(_cache_with_estimates([0.6] * 50, variance=0.02))
+    assert loose.estimate(0.65).std > tight.estimate(0.65).std
+
+
+def test_as_series_shapes():
+    graph = CumulativeApssGraph(_cache_with_estimates([0.3, 0.7]),
+                                thresholds=[0.2, 0.5, 0.8])
+    xs, ys, errs = graph.as_series()
+    assert len(xs) == len(ys) == len(errs) == 3
+    assert xs.tolist() == [0.2, 0.5, 0.8]
+
+
+def test_relative_error_against_ground_truth():
+    graph = CumulativeApssGraph(_cache_with_estimates([0.9] * 10, variance=1e-6))
+    errors = graph.relative_error_against({0.8: 10, 0.99: 0})
+    assert errors[0.8] == pytest.approx(0.0, abs=0.05)
+    assert errors[0.99] >= 0.0

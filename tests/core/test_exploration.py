@@ -1,0 +1,66 @@
+"""Tests for threshold-space exploration helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import find_inflection_points, find_knee, suggest_next_threshold
+
+
+def test_find_knee_of_exponential_decay():
+    xs = np.linspace(0, 1, 50)
+    ys = np.exp(-8 * xs)
+    knee = find_knee(xs, ys)
+    assert 0.05 < knee < 0.45
+
+
+def test_find_knee_of_elbow_curve():
+    xs = np.linspace(0, 1, 101)
+    ys = np.where(xs < 0.6, 1000 - 100 * xs, 1000 - 60 - 1500 * (xs - 0.6))
+    knee = find_knee(xs, ys)
+    assert knee == pytest.approx(0.6, abs=0.05)
+
+
+def test_find_knee_requires_three_points():
+    with pytest.raises(ValueError):
+        find_knee([0, 1], [1, 2])
+
+
+def test_find_knee_flat_curve_returns_valid_x():
+    xs = np.linspace(0, 1, 10)
+    knee = find_knee(xs, np.ones(10))
+    assert 0.0 <= knee <= 1.0
+
+
+def test_inflection_points_detect_slope_change():
+    xs = np.linspace(0, 1, 101)
+    ys = np.where(xs < 0.5, xs, 0.5 + 10 * (xs - 0.5))
+    points = find_inflection_points(xs, ys)
+    assert any(abs(p - 0.5) < 0.05 for p in points)
+
+
+def test_inflection_points_none_for_straight_line():
+    xs = np.linspace(0, 1, 20)
+    assert find_inflection_points(xs, 3 * xs + 1) == []
+
+
+def test_suggest_next_threshold_prefers_knee():
+    xs = np.linspace(0.05, 0.95, 19)
+    ys = np.exp(-6 * xs) * 1000
+    suggestion = suggest_next_threshold(xs, ys, probed=[0.9])
+    assert 0.05 <= suggestion <= 0.6
+
+
+def test_suggest_next_threshold_avoids_probed_values():
+    xs = np.linspace(0.05, 0.95, 19)
+    ys = np.exp(-6 * xs) * 1000
+    first = suggest_next_threshold(xs, ys, probed=[0.9])
+    second = suggest_next_threshold(xs, ys, probed=[0.9, first])
+    assert abs(second - first) > 0.02
+
+
+def test_suggest_next_threshold_falls_back_to_gap_bisection():
+    xs = np.linspace(0.0, 1.0, 11)
+    ys = np.linspace(100, 0, 11)  # straight line: no knee, no inflections
+    suggestion = suggest_next_threshold(xs, ys, probed=[0.5])
+    assert 0.0 <= suggestion <= 1.0
+    assert abs(suggestion - 0.5) > 0.02

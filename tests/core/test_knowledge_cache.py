@@ -1,0 +1,87 @@
+"""Tests for the knowledge cache."""
+
+import numpy as np
+import pytest
+
+from repro.core import KnowledgeCache
+from repro.lsh.bayeslsh import PairEvaluation
+
+
+def _evaluation(first, second, n_hashes, matches, estimate, variance=0.01):
+    return PairEvaluation(first=first, second=second, n_hashes=n_hashes,
+                          matches=matches, estimate=estimate,
+                          variance=variance, outcome="concentrated",
+                          retained=estimate >= 0.5)
+
+
+def test_record_and_lookup():
+    cache = KnowledgeCache()
+    cache.record(_evaluation(1, 2, 32, 20, 0.6))
+    assert (1, 2) in cache
+    assert cache.lookup((1, 2)) == (32, 20)
+    assert cache.lookup((2, 1)) == (32, 20)  # canonical pair ordering
+    assert cache.lookup((1, 3)) is None
+
+
+def test_record_only_upgrades():
+    cache = KnowledgeCache()
+    cache.record(_evaluation(0, 1, 64, 40, 0.7))
+    cache.record(_evaluation(0, 1, 16, 10, 0.5))
+    assert cache.lookup((0, 1)) == (64, 40)
+    cache.record(_evaluation(0, 1, 128, 90, 0.72))
+    assert cache.lookup((0, 1)) == (128, 90)
+
+
+def test_hashes_saved_counter():
+    cache = KnowledgeCache()
+    cache.record(_evaluation(0, 1, 48, 30, 0.6))
+    cache.lookup((0, 1))
+    cache.lookup((0, 1))
+    assert cache.hashes_saved == 96
+
+
+def test_estimates_and_histogram():
+    cache = KnowledgeCache()
+    for i, estimate in enumerate([0.2, 0.5, 0.9]):
+        cache.record(_evaluation(i, i + 10, 32, int(32 * estimate), estimate))
+    estimates = cache.estimates()
+    assert sorted(estimates.tolist()) == pytest.approx([0.2, 0.5, 0.9])
+    counts, edges = cache.estimate_histogram(bins=10)
+    assert counts.sum() == 3
+
+
+def test_pairs_at_threshold():
+    cache = KnowledgeCache()
+    cache.record(_evaluation(0, 1, 32, 30, 0.95))
+    cache.record(_evaluation(0, 2, 32, 10, 0.30))
+    assert cache.pairs_at_threshold(0.9) == [(0, 1)]
+    assert len(cache.pairs_at_threshold(0.1)) == 2
+
+
+def test_prior_weights_uniform_when_empty():
+    cache = KnowledgeCache()
+    grid = np.linspace(0, 1, 11)
+    weights = cache.prior_weights(grid)
+    assert np.allclose(weights, weights[0])
+    assert weights.sum() == pytest.approx(1.0)
+
+
+def test_prior_weights_concentrate_near_estimates():
+    cache = KnowledgeCache()
+    for i in range(20):
+        cache.record(_evaluation(i, i + 100, 64, 60, 0.9))
+    grid = np.linspace(0, 1, 101)
+    weights = cache.prior_weights(grid)
+    assert weights.sum() == pytest.approx(1.0)
+    assert weights[90] > weights[10]
+
+
+def test_clear_resets_everything():
+    cache = KnowledgeCache()
+    cache.record(_evaluation(0, 1, 32, 16, 0.5))
+    cache.probed_thresholds.append(0.8)
+    cache.lookup((0, 1))
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.probed_thresholds == []
+    assert cache.hashes_saved == 0

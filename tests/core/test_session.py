@@ -1,0 +1,122 @@
+"""Integration tests for the PLASMA-HD interactive session."""
+
+import numpy as np
+import pytest
+
+from repro.core import PlasmaSession
+from repro.datasets import make_clustered_vectors
+from repro.lsh.bayeslsh import BayesLSHConfig
+from repro.similarity import exact_pair_count
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_clustered_vectors(70, 8, 4, separation=5.0, cluster_std=0.7,
+                                  seed=41).l2_normalized()
+
+
+@pytest.fixture()
+def session(dataset):
+    return PlasmaSession(dataset, n_hashes=192, seed=1,
+                         config=BayesLSHConfig(max_hashes=192))
+
+
+def test_probe_returns_reasonable_pair_count(dataset, session):
+    threshold = 0.9
+    result = session.probe(threshold)
+    exact = exact_pair_count(dataset, [threshold])[threshold]
+    assert result.pair_count == pytest.approx(exact, rel=0.25)
+    assert result.total_seconds > 0
+    assert result.sketch_seconds >= 0
+    assert session.history == [result]
+
+
+def test_sketches_built_once_per_session(dataset, session):
+    session.probe(0.9)
+    first_store = session.sketch_store
+    session.probe(0.8)
+    assert session.sketch_store is first_store
+    # Only the first probe pays the sketch-building cost.
+    assert session.history[0].sketch_seconds > 0 or session.history[0].sketch_fraction >= 0
+    assert session.history[1].sketch_seconds == 0.0
+
+
+def test_knowledge_caching_reduces_hash_comparisons(dataset):
+    cached = PlasmaSession(dataset, n_hashes=160, seed=2)
+    uncached = PlasmaSession(dataset, n_hashes=160, seed=2)
+
+    cached.probe(0.95)
+    uncached.probe(0.95)
+    with_cache = cached.probe(0.85)
+    without_cache = uncached.probe(0.85, use_cache=False)
+
+    assert with_cache.cached_hash_reuse > 0
+    assert with_cache.apss.hash_comparisons < without_cache.apss.hash_comparisons
+    # Both report a similar number of pairs despite the cached shortcut.
+    assert with_cache.pair_count == pytest.approx(without_cache.pair_count, rel=0.3)
+
+
+def test_cumulative_graph_improves_with_second_probe(dataset, session):
+    thresholds = [0.5, 0.7, 0.9]
+    exact = exact_pair_count(dataset, thresholds)
+
+    session.probe(0.9)
+    error_one = np.mean(list(
+        session.cumulative_graph().relative_error_against(exact).values()))
+    session.probe(0.5)
+    error_two = np.mean(list(
+        session.cumulative_graph().relative_error_against(exact).values()))
+    assert error_two <= error_one + 0.05
+
+
+def test_incremental_estimates_converge(dataset, session):
+    result = session.probe(0.85, incremental_thresholds=[0.9],
+                           incremental_checkpoints=10)
+    assert len(result.incremental_estimates) >= 5
+    final = result.incremental_estimates[-1][1][0.9]
+    exact = exact_pair_count(dataset, [0.9])[0.9]
+    assert final == pytest.approx(exact, rel=0.35)
+    # The last checkpoint covers (nearly) all candidates.
+    assert result.incremental_estimates[-1][0] >= 0.9
+
+
+def test_visual_cues_need_no_further_probes(dataset, session):
+    session.probe(0.9)
+    hist = session.triangle_histogram(0.95)
+    plot = session.density_plot(0.95)
+    graph = session.similarity_graph(0.95)
+    assert hist.total_triangles >= 0
+    assert len(plot.positions) == dataset.n_rows
+    assert graph.n_nodes == dataset.n_rows
+
+
+def test_suggest_threshold_in_range(dataset, session):
+    session.probe(0.9)
+    suggestion = session.suggest_threshold()
+    assert 0.0 < suggestion < 1.0
+
+
+def test_brute_force_sweep_slower_than_interactive(dataset):
+    session = PlasmaSession(dataset, n_hashes=96, seed=3,
+                            config=BayesLSHConfig(max_hashes=96))
+    sweep_thresholds = [round(t, 1) for t in np.arange(0.1, 1.0, 0.1)]
+    counts, sweep_seconds = session.brute_force_sweep(sweep_thresholds)
+
+    interactive = PlasmaSession(dataset, n_hashes=96, seed=3,
+                                config=BayesLSHConfig(max_hashes=96))
+    t0 = interactive.probe(0.9).total_seconds
+    t1 = interactive.probe(0.5).total_seconds
+    assert len(counts) == len(sweep_thresholds)
+    assert (t0 + t1) < sweep_seconds
+
+
+def test_invalid_constructor_arguments(dataset):
+    with pytest.raises(ValueError):
+        PlasmaSession(dataset, measure="euclidean")
+    with pytest.raises(ValueError):
+        PlasmaSession(dataset, candidate_strategy="prefix")
+
+
+def test_probe_rejects_invalid_threshold(dataset, session):
+    with pytest.raises(ValueError):
+        session.probe(0.0)

@@ -1,0 +1,77 @@
+"""Tests for triangle histogram and density-plot visual cues."""
+
+import numpy as np
+import pytest
+
+from repro.core import KnowledgeCache, density_plot, triangle_vertex_histogram
+from repro.core.visual_cues import graph_at_threshold
+from repro.graphs import Graph
+from repro.lsh.bayeslsh import PairEvaluation
+
+
+def _clique_plus_path() -> Graph:
+    """A 5-clique attached to a 4-node path (clear core + periphery)."""
+    graph = Graph(9)
+    for i in range(5):
+        for j in range(i + 1, 5):
+            graph.add_edge(i, j)
+    graph.add_edge(4, 5)
+    graph.add_edge(5, 6)
+    graph.add_edge(6, 7)
+    graph.add_edge(7, 8)
+    return graph
+
+
+def test_triangle_histogram_from_graph():
+    hist = triangle_vertex_histogram(_clique_plus_path(), bins=10)
+    assert hist.total_triangles == 10  # C(5, 3)
+    assert hist.max_per_vertex == 6    # each clique vertex is in C(4, 2) triangles
+    assert hist.counts.sum() == 9      # one histogram entry per vertex
+
+
+def test_triangle_histogram_empty_graph():
+    hist = triangle_vertex_histogram(Graph(5))
+    assert hist.total_triangles == 0
+    assert hist.mean_per_vertex == 0.0
+
+
+def test_density_plot_detects_clique_core():
+    plot = density_plot(_clique_plus_path())
+    # The first five vertices in core-first order are the clique: density 1.0.
+    assert plot.densities[4] == pytest.approx(1.0)
+    # Density decreases (weakly) as peripheral path vertices are appended.
+    assert plot.densities[-1] < plot.densities[4]
+    assert len(plot.positions) == 9
+
+
+def test_density_plot_reports_plateaus():
+    graph = Graph(12)
+    for i in range(6):
+        for j in range(i + 1, 6):
+            graph.add_edge(i, j)
+    plot = density_plot(graph, min_plateau_length=3)
+    assert plot.plateaus  # the clique prefix produces a flat high-density run
+    best = max(plot.plateaus, key=lambda p: p[2])
+    assert best[2] > 0.9
+
+
+def test_cues_from_knowledge_cache():
+    cache = KnowledgeCache()
+    edges = [(0, 1), (1, 2), (0, 2), (3, 4)]
+    for first, second in edges:
+        cache.record(PairEvaluation(first=first, second=second, n_hashes=64,
+                                    matches=60, estimate=0.95, variance=1e-4,
+                                    outcome="concentrated", retained=True))
+    graph = graph_at_threshold(cache, 5, 0.9)
+    assert graph.n_edges == 4
+    hist = triangle_vertex_histogram(cache, threshold=0.9, n_nodes=5)
+    assert hist.total_triangles == 1
+    plot = density_plot(cache, threshold=0.9, n_nodes=5)
+    assert len(plot.positions) == 5
+
+
+def test_cache_source_requires_threshold_and_nodes():
+    with pytest.raises(ValueError):
+        triangle_vertex_histogram(KnowledgeCache())
+    with pytest.raises(TypeError):
+        triangle_vertex_histogram([1, 2, 3])

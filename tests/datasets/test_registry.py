@@ -1,0 +1,70 @@
+"""Tests for the named dataset registry."""
+
+import pytest
+
+from repro.datasets import (
+    TransactionDatabase,
+    VectorDataset,
+    available_datasets,
+    dataset_spec,
+    load_dataset,
+    load_transactions,
+)
+
+
+def test_available_datasets_nonempty_and_sorted():
+    names = available_datasets()
+    assert len(names) > 20
+    assert names == sorted(names)
+
+
+def test_available_datasets_kind_filter():
+    uci = available_datasets("uci")
+    assert "wine" in uci
+    assert "twitter" not in uci
+    corpora = available_datasets("corpus")
+    assert "rcv1" in corpora
+
+
+def test_dataset_spec_lookup():
+    spec = dataset_spec("wine")
+    assert spec.kind == "uci"
+    assert spec.paper_rows == 178
+    with pytest.raises(KeyError):
+        dataset_spec("nope")
+
+
+def test_load_uci_dataset():
+    ds = load_dataset("wine", seed=1)
+    assert isinstance(ds, VectorDataset)
+    assert ds.n_features == 13
+    assert ds.n_rows == 178
+
+
+def test_load_corpus_dataset_capped():
+    ds = load_dataset("rcv1", max_rows=200, seed=1)
+    assert isinstance(ds, VectorDataset)
+    assert ds.n_rows <= 200
+    assert ds.nnz > 0
+
+
+def test_load_dataset_rejects_transactional_names():
+    with pytest.raises(ValueError):
+        load_dataset("kosarak")
+
+
+def test_load_transactions_fimi():
+    db = load_transactions("mushroom_trans", seed=1)
+    assert isinstance(db, TransactionDatabase)
+    assert db.n_transactions > 50
+
+
+def test_load_transactions_webgraph():
+    db = load_transactions("eu2005", max_rows=300, seed=1)
+    assert isinstance(db, TransactionDatabase)
+    assert db.n_transactions <= 300
+
+
+def test_load_transactions_rejects_vector_names():
+    with pytest.raises(ValueError):
+        load_transactions("wine")

@@ -1,0 +1,76 @@
+"""Tests for synthetic dense dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_clustered_vectors, make_toy_dataset, make_uci_like
+from repro.datasets.synthetic import UCI_PROFILES
+from repro.similarity import pairwise_similarity_matrix
+
+
+def test_clustered_vectors_shape_and_labels():
+    ds = make_clustered_vectors(60, 5, 3, seed=0)
+    assert ds.n_rows == 60
+    assert ds.n_features == 5
+    assert ds.labels is not None
+    assert set(ds.labels.tolist()) <= {0, 1, 2}
+
+
+def test_clustered_vectors_deterministic():
+    a = make_clustered_vectors(40, 4, 2, seed=9)
+    b = make_clustered_vectors(40, 4, 2, seed=9)
+    assert np.allclose(a.to_dense(), b.to_dense())
+
+
+def test_clustered_vectors_noise_rows_labeled_minus_one():
+    ds = make_clustered_vectors(100, 4, 2, noise_fraction=0.2, seed=1)
+    assert int(np.count_nonzero(ds.labels == -1)) == 20
+
+
+def test_clustered_vectors_cluster_cohesion():
+    """Within-cluster cosine similarity should exceed between-cluster."""
+    ds = make_clustered_vectors(90, 8, 3, separation=6.0, cluster_std=0.5, seed=3)
+    sims = pairwise_similarity_matrix(ds)
+    labels = ds.labels
+    within, between = [], []
+    for i in range(ds.n_rows):
+        for j in range(i + 1, ds.n_rows):
+            (within if labels[i] == labels[j] else between).append(sims[i, j])
+    assert np.mean(within) > np.mean(between) + 0.3
+
+
+def test_clustered_vectors_invalid_args():
+    with pytest.raises(ValueError):
+        make_clustered_vectors(10, 3, 2, noise_fraction=1.5)
+    with pytest.raises(ValueError):
+        make_clustered_vectors(0, 3, 2)
+    with pytest.raises(ValueError):
+        make_clustered_vectors(10, 3, 2, weights=[1.0])
+
+
+def test_toy_dataset_matches_paper_shape():
+    ds = make_toy_dataset()
+    assert ds.n_rows == 50
+    assert ds.n_features == 3
+    assert ds.name == "d1-toy"
+    dense = ds.to_dense()
+    assert dense.min() > 0.0
+    assert dense.max() < 1.0
+
+
+def test_uci_like_respects_profile_dimensions():
+    ds = make_uci_like("wine", seed=0)
+    assert ds.n_features == UCI_PROFILES["wine"]["n_features"]
+    assert ds.n_rows == UCI_PROFILES["wine"]["n_rows"]
+
+
+def test_uci_like_scaling():
+    full = make_uci_like("abalone", scale=1.0, seed=0)
+    small = make_uci_like("abalone", scale=0.1, seed=0)
+    assert small.n_rows < full.n_rows
+    assert small.n_features == full.n_features
+
+
+def test_uci_like_unknown_profile():
+    with pytest.raises(KeyError):
+        make_uci_like("not-a-dataset")

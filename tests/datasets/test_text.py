@@ -1,0 +1,54 @@
+"""Tests for the sparse corpus generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_sparse_corpus
+from repro.similarity import pairwise_similarity_matrix
+
+
+def test_corpus_shape():
+    corpus = make_sparse_corpus(50, 300, avg_doc_length=20, seed=0)
+    assert corpus.n_rows == 50
+    assert corpus.n_features == 300
+    assert corpus.labels is not None
+    assert 5 < corpus.average_length < 60
+
+
+def test_corpus_rows_are_unit_norm_when_tfidf():
+    corpus = make_sparse_corpus(30, 200, seed=1, tfidf=True)
+    for i in range(corpus.n_rows):
+        _, vals = corpus.row(i)
+        assert np.linalg.norm(vals) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_corpus_without_tfidf_has_integer_counts():
+    corpus = make_sparse_corpus(20, 100, seed=2, tfidf=False)
+    _, vals = corpus.row(0)
+    assert np.allclose(vals, np.round(vals))
+
+
+def test_corpus_topic_cohesion():
+    """Documents sharing a topic should be more similar on average."""
+    corpus = make_sparse_corpus(60, 400, n_topics=4, topic_concentration=0.9,
+                                avg_doc_length=30, seed=3)
+    sims = pairwise_similarity_matrix(corpus)
+    labels = corpus.labels
+    within, between = [], []
+    for i in range(corpus.n_rows):
+        for j in range(i + 1, corpus.n_rows):
+            (within if labels[i] == labels[j] else between).append(sims[i, j])
+    assert np.mean(within) > np.mean(between)
+
+
+def test_corpus_deterministic():
+    a = make_sparse_corpus(25, 150, seed=7)
+    b = make_sparse_corpus(25, 150, seed=7)
+    assert np.allclose(a.to_dense(), b.to_dense())
+
+
+def test_corpus_invalid_args():
+    with pytest.raises(ValueError):
+        make_sparse_corpus(10, 100, avg_doc_length=0)
+    with pytest.raises(ValueError):
+        make_sparse_corpus(10, 100, topic_concentration=2.0)

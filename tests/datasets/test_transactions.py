@@ -1,0 +1,122 @@
+"""Tests for transaction databases and their generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    TransactionDatabase,
+    make_labeled_transactions,
+    make_planted_transactions,
+    make_weblike_graph_transactions,
+)
+
+
+def test_transactions_basic_properties():
+    db = TransactionDatabase([[1, 2, 3], [2, 3], [5]], n_labels=10)
+    assert db.n_transactions == 3
+    assert db.size == 6
+    assert db.average_length == pytest.approx(2.0)
+    assert db.transaction(0) == (1, 2, 3)
+
+
+def test_transactions_deduplicate_and_sort_items():
+    db = TransactionDatabase([[3, 1, 3, 2]])
+    assert db.transaction(0) == (1, 2, 3)
+
+
+def test_transactions_reject_negative_items():
+    with pytest.raises(ValueError):
+        TransactionDatabase([[-1, 2]])
+
+
+def test_transactions_reject_small_label_universe():
+    with pytest.raises(ValueError):
+        TransactionDatabase([[5]], n_labels=3)
+
+
+def test_support_counts():
+    db = TransactionDatabase([[1, 2, 3], [1, 2], [2, 3], [4]])
+    assert db.support([1, 2]) == 2
+    assert db.support([2]) == 3
+    assert db.support([]) == 4
+    assert db.support([9]) == 0
+
+
+def test_item_frequencies():
+    db = TransactionDatabase([[1, 2], [2, 3]])
+    assert db.item_frequencies() == {1: 1, 2: 2, 3: 1}
+
+
+def test_subset_and_sample():
+    db = TransactionDatabase([[i] for i in range(20)], labels=list(range(20)))
+    sub = db.subset([3, 5])
+    assert sub.n_transactions == 2
+    assert sub.labels == [3, 5]
+    sampled = db.sample(0.5, seed=1)
+    assert sampled.n_transactions == 10
+
+
+def test_sample_rejects_bad_fraction():
+    db = TransactionDatabase([[1]])
+    with pytest.raises(ValueError):
+        db.sample(0.0)
+
+
+def test_from_graph_adjacency():
+    adjacency = {0: [1, 2], 1: [0], 2: [0]}
+    db = TransactionDatabase.from_graph_adjacency(adjacency)
+    assert db.n_transactions == 3
+    assert db.transaction(0) == (1, 2)
+    assert db.n_labels == 3
+
+
+def test_planted_transactions_contain_frequent_patterns():
+    db = make_planted_transactions(200, 80, n_patterns=5,
+                                   pattern_support=(0.2, 0.3), seed=5)
+    frequencies = db.item_frequencies()
+    # At least one item appears in >= 15% of transactions (a planted pattern).
+    assert max(frequencies.values()) >= 0.15 * db.n_transactions
+
+
+def test_planted_transactions_density_levels():
+    sparse = make_planted_transactions(100, 200, density="sparse", seed=1)
+    dense = make_planted_transactions(100, 200, density="dense", seed=1)
+    assert dense.average_length > sparse.average_length
+
+
+def test_planted_transactions_invalid_density():
+    with pytest.raises(ValueError):
+        make_planted_transactions(10, 10, density="other")
+
+
+def test_weblike_graph_transactions_structure():
+    db = make_weblike_graph_transactions(150, avg_degree=8, seed=2)
+    assert db.n_transactions == 150
+    assert db.n_labels == 150
+    assert db.average_length > 1
+
+
+def test_labeled_transactions_have_labels():
+    db = make_labeled_transactions(120, 60, 3, seed=4)
+    assert db.labels is not None
+    assert set(db.labels) == {0, 1, 2}
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.lists(st.integers(0, 30), max_size=8), min_size=1, max_size=20))
+def test_property_size_is_sum_of_unique_lengths(rows):
+    db = TransactionDatabase(rows)
+    assert db.size == sum(len(set(r)) for r in rows)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.lists(st.integers(0, 15), min_size=1, max_size=6),
+                min_size=1, max_size=15),
+       st.lists(st.integers(0, 15), min_size=1, max_size=3))
+def test_property_support_monotone_in_itemset_size(rows, itemset):
+    """Support of a superset never exceeds support of a subset."""
+    db = TransactionDatabase(rows)
+    full = db.support(itemset)
+    for item in itemset:
+        assert db.support([item]) >= full

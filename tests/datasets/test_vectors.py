@@ -1,0 +1,128 @@
+"""Tests for the VectorDataset container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import VectorDataset
+
+
+def test_from_rows_basic_shape():
+    ds = VectorDataset.from_rows([{0: 1.0, 2: 2.0}, {1: 3.0}], n_features=4)
+    assert ds.n_rows == 2
+    assert ds.n_features == 4
+    assert ds.nnz == 3
+    assert ds.average_length == pytest.approx(1.5)
+
+
+def test_from_rows_infers_feature_count():
+    ds = VectorDataset.from_rows([{5: 1.0}])
+    assert ds.n_features == 6
+
+
+def test_from_rows_rejects_duplicate_features():
+    with pytest.raises(ValueError):
+        VectorDataset.from_rows([[(1, 1.0), (1, 2.0)]])
+
+
+def test_from_rows_rejects_negative_features():
+    with pytest.raises(ValueError):
+        VectorDataset.from_rows([{-1: 1.0}])
+
+
+def test_row_accessors_agree():
+    ds = VectorDataset.from_rows([{0: 1.5, 3: 2.5}, {}], n_features=5)
+    idx, vals = ds.row(0)
+    assert idx.tolist() == [0, 3]
+    assert vals.tolist() == [1.5, 2.5]
+    assert ds.row_dict(0) == {0: 1.5, 3: 2.5}
+    assert ds.row_set(0) == frozenset({0, 3})
+    assert ds.row_dict(1) == {}
+
+
+def test_from_dense_round_trip():
+    dense = np.array([[0.0, 1.0, 2.0], [3.0, 0.0, 0.0]])
+    ds = VectorDataset.from_dense(dense)
+    assert np.allclose(ds.to_dense(), dense)
+    assert ds.nnz == 3
+
+
+def test_l2_normalized_rows_have_unit_norm():
+    ds = VectorDataset.from_rows([{0: 3.0, 1: 4.0}, {2: 7.0}, {}], n_features=3)
+    normalized = ds.l2_normalized()
+    idx, vals = normalized.row(0)
+    assert np.linalg.norm(vals) == pytest.approx(1.0)
+    idx, vals = normalized.row(1)
+    assert np.linalg.norm(vals) == pytest.approx(1.0)
+    # Zero rows stay zero rather than dividing by zero.
+    assert len(normalized.row(2)[0]) == 0
+
+
+def test_z_normalized_columns_centered():
+    rng = np.random.default_rng(0)
+    ds = VectorDataset.from_dense(rng.normal(size=(30, 4)) * 5 + 3)
+    z = ds.z_normalized()
+    dense = z.to_dense()
+    assert np.allclose(dense.mean(axis=0), 0.0, atol=1e-9)
+    assert np.allclose(dense.std(axis=0), 1.0, atol=1e-9)
+
+
+def test_subset_preserves_rows_and_labels():
+    ds = VectorDataset.from_rows([{0: 1.0}, {1: 2.0}, {2: 3.0}], n_features=3,
+                                 labels=[10, 20, 30])
+    sub = ds.subset([2, 0])
+    assert sub.n_rows == 2
+    assert sub.row_dict(0) == {2: 3.0}
+    assert sub.row_dict(1) == {0: 1.0}
+    assert sub.labels.tolist() == [30, 10]
+    assert sub.n_features == ds.n_features
+
+
+def test_binarized_sets_all_weights_to_one():
+    ds = VectorDataset.from_rows([{0: 5.0, 1: 0.2}], n_features=2)
+    binary = ds.binarized()
+    assert binary.row(0)[1].tolist() == [1.0, 1.0]
+
+
+def test_labels_length_mismatch_raises():
+    with pytest.raises(ValueError):
+        VectorDataset.from_rows([{0: 1.0}], labels=[1, 2])
+
+
+def test_characteristics_fields():
+    ds = VectorDataset.from_rows([{0: 1.0, 1: 1.0}], n_features=10, name="x")
+    chars = ds.characteristics()
+    assert chars["name"] == "x"
+    assert chars["vectors"] == 1
+    assert chars["dimensions"] == 10
+    assert chars["nnz"] == 2
+
+
+def test_invalid_csr_arrays_rejected():
+    with pytest.raises(ValueError):
+        VectorDataset([0, 2], [0], [1.0], 3)
+    with pytest.raises(ValueError):
+        VectorDataset([0, 1], [5], [1.0], 3)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.dictionaries(st.integers(0, 20),
+                                st.floats(0.1, 10.0, allow_nan=False),
+                                max_size=8), min_size=1, max_size=15))
+def test_property_round_trip_through_dense(rows):
+    ds = VectorDataset.from_rows(rows, n_features=21)
+    dense = ds.to_dense()
+    rebuilt = VectorDataset.from_dense(dense)
+    assert np.allclose(rebuilt.to_dense(), dense)
+    assert ds.nnz == sum(len(r) for r in rows)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.dictionaries(st.integers(0, 15),
+                                st.floats(0.1, 5.0, allow_nan=False),
+                                min_size=1, max_size=6), min_size=2, max_size=10))
+def test_property_subset_of_all_rows_is_identity(rows):
+    ds = VectorDataset.from_rows(rows, n_features=16)
+    sub = ds.subset(range(ds.n_rows))
+    assert np.allclose(sub.to_dense(), ds.to_dense())

@@ -1,0 +1,79 @@
+"""Tests for graph generation models."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    erdos_renyi_graph,
+    generate_with_edge_count,
+    preferential_attachment_graph,
+    random_geometric_graph,
+)
+from repro.graphs.measures import triangle_count
+
+
+def test_erdos_renyi_edge_count_exact():
+    graph = erdos_renyi_graph(50, 200, seed=0)
+    assert graph.n_nodes == 50
+    assert graph.n_edges == 200
+
+
+def test_erdos_renyi_near_complete():
+    graph = erdos_renyi_graph(12, 60, seed=1)
+    assert graph.n_edges == 60
+
+
+def test_erdos_renyi_caps_at_complete_graph():
+    graph = erdos_renyi_graph(6, 1000, seed=2)
+    assert graph.n_edges == 15
+    assert graph.is_complete()
+
+
+def test_preferential_attachment_edge_count_close():
+    target = 300
+    graph = preferential_attachment_graph(80, target, seed=3)
+    assert graph.n_nodes == 80
+    assert abs(graph.n_edges - target) <= 0.15 * target
+
+
+def test_preferential_attachment_degree_skew():
+    """PA graphs have heavier-tailed degree distributions than ER graphs."""
+    pa = preferential_attachment_graph(200, 600, seed=4)
+    er = erdos_renyi_graph(200, 600, seed=4)
+    assert max(pa.degrees()) > max(er.degrees())
+
+
+def test_random_geometric_edge_count_exact():
+    graph = random_geometric_graph(60, 250, seed=5)
+    assert graph.n_edges == 250
+
+
+def test_random_geometric_has_more_triangles_than_er():
+    """Geometric graphs are locally clustered, ER graphs are not."""
+    geom = random_geometric_graph(100, 500, seed=6)
+    er = erdos_renyi_graph(100, 500, seed=6)
+    assert triangle_count(geom) > triangle_count(er)
+
+
+def test_generate_with_edge_count_dispatch():
+    for model in ("erdos_renyi", "preferential_attachment", "random_geometric"):
+        graph = generate_with_edge_count(model, 40, 100, seed=7)
+        assert graph.n_nodes == 40
+        assert graph.n_edges > 0
+
+
+def test_generate_with_edge_count_unknown_model():
+    with pytest.raises(KeyError):
+        generate_with_edge_count("small-world", 10, 20)
+
+
+def test_generators_deterministic_given_seed():
+    a = erdos_renyi_graph(30, 90, seed=11)
+    b = erdos_renyi_graph(30, 90, seed=11)
+    assert sorted(a.edges()) == sorted(b.edges())
+
+
+def test_zero_target_edges():
+    for model in ("erdos_renyi", "preferential_attachment", "random_geometric"):
+        graph = generate_with_edge_count(model, 10, 0, seed=0)
+        assert graph.n_edges == 0

@@ -1,0 +1,77 @@
+"""Tests for the Graph container."""
+
+import pytest
+
+from repro.graphs import Graph
+
+
+def test_empty_graph():
+    graph = Graph(5)
+    assert graph.n_nodes == 5
+    assert graph.n_edges == 0
+    assert graph.density() == 0.0
+    assert not graph.is_complete()
+
+
+def test_add_edge_and_duplicates():
+    graph = Graph(4)
+    assert graph.add_edge(0, 1)
+    assert not graph.add_edge(1, 0)  # same undirected edge
+    assert not graph.add_edge(2, 2)  # self loop ignored
+    assert graph.n_edges == 1
+    assert graph.has_edge(0, 1) and graph.has_edge(1, 0)
+
+
+def test_add_edge_out_of_range():
+    graph = Graph(3)
+    with pytest.raises(ValueError):
+        graph.add_edge(0, 5)
+
+
+def test_degrees_and_neighbors():
+    graph = Graph(4, edges=[(0, 1), (0, 2), (0, 3)])
+    assert graph.degree(0) == 3
+    assert graph.degrees() == [3, 1, 1, 1]
+    assert graph.neighbors(0) == {1, 2, 3}
+
+
+def test_edges_iteration_is_canonical():
+    graph = Graph(4, edges=[(2, 1), (3, 0)])
+    assert sorted(graph.edges()) == [(0, 3), (1, 2)]
+
+
+def test_complete_graph_detection():
+    graph = Graph(4, edges=[(i, j) for i in range(4) for j in range(i + 1, 4)])
+    assert graph.is_complete()
+    assert graph.density() == pytest.approx(1.0)
+
+
+def test_copy_is_independent():
+    graph = Graph(3, edges=[(0, 1)])
+    clone = graph.copy()
+    clone.add_edge(1, 2)
+    assert graph.n_edges == 1
+    assert clone.n_edges == 2
+
+
+def test_subgraph_relabels_nodes():
+    graph = Graph(5, edges=[(0, 1), (1, 2), (3, 4)])
+    sub = graph.subgraph([1, 2, 4])
+    assert sub.n_nodes == 3
+    assert sub.has_edge(0, 1)     # old (1, 2)
+    assert not sub.has_edge(0, 2)
+    assert sub.n_edges == 1
+
+
+def test_networkx_round_trip():
+    graph = Graph(4, edges=[(0, 1), (2, 3)])
+    nx_graph = graph.to_networkx()
+    assert nx_graph.number_of_edges() == 2
+    back = Graph.from_networkx(nx_graph)
+    assert back.n_edges == 2
+    assert back.n_nodes == 4
+
+
+def test_adjacency_dict_view():
+    graph = Graph(3, edges=[(0, 2)])
+    assert graph.adjacency_dict() == {0: [2], 1: [], 2: [0]}

@@ -1,0 +1,124 @@
+"""Tests for graph measures against known values and networkx."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph, compute_measure, compute_measures, available_measures
+from repro.graphs.measures import (
+    average_clustering,
+    clique_number,
+    diameter_largest_component,
+    mean_core_number,
+    number_connected_components,
+    triangle_count,
+    triangles_per_vertex,
+    top_eigenvalue,
+)
+
+
+def _triangle_graph():
+    return Graph(3, edges=[(0, 1), (1, 2), (0, 2)])
+
+
+def _complete_graph(n):
+    return Graph(n, edges=[(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+def test_triangle_count_simple_cases():
+    assert triangle_count(_triangle_graph()) == 1
+    assert triangle_count(Graph(4, edges=[(0, 1), (1, 2), (2, 3)])) == 0
+    assert triangle_count(_complete_graph(5)) == math.comb(5, 3)
+
+
+def test_triangles_per_vertex():
+    graph = Graph(4, edges=[(0, 1), (1, 2), (0, 2), (2, 3)])
+    per_vertex = triangles_per_vertex(graph)
+    assert per_vertex.tolist() == [1, 1, 1, 0]
+
+
+def test_triangle_count_matches_networkx_on_random_graph():
+    rng = np.random.default_rng(0)
+    nx_graph = nx.gnm_random_graph(40, 150, seed=3)
+    graph = Graph.from_networkx(nx_graph)
+    ours = triangle_count(graph)
+    theirs = sum(nx.triangles(nx_graph).values()) / 3
+    assert ours == theirs
+
+
+def test_average_clustering_matches_networkx():
+    nx_graph = nx.gnm_random_graph(30, 90, seed=5)
+    graph = Graph.from_networkx(nx_graph)
+    assert average_clustering(graph) == pytest.approx(nx.average_clustering(nx_graph))
+
+
+def test_connected_components_and_diameter():
+    graph = Graph(6, edges=[(0, 1), (1, 2), (3, 4)])
+    assert number_connected_components(graph) == 3
+    assert compute_measure(graph, "largest_connected_component") == 3
+    assert diameter_largest_component(graph) == 2
+
+
+def test_diameter_of_complete_graph_is_one():
+    assert diameter_largest_component(_complete_graph(6)) == 1
+
+
+def test_core_number_matches_networkx():
+    nx_graph = nx.gnm_random_graph(35, 120, seed=7)
+    graph = Graph.from_networkx(nx_graph)
+    expected = float(np.mean(list(nx.core_number(nx_graph).values())))
+    assert mean_core_number(graph) == pytest.approx(expected)
+
+
+def test_clique_number_known_value():
+    assert clique_number(_complete_graph(4)) == 4
+    graph = Graph(5, edges=[(0, 1), (1, 2), (0, 2), (3, 4)])
+    assert clique_number(graph) == 3
+
+
+def test_top_eigenvalue_complete_graph():
+    """Adjacency spectrum of K_n has top eigenvalue n - 1."""
+    assert top_eigenvalue(_complete_graph(8)) == pytest.approx(7.0, abs=0.05)
+
+
+def test_compute_measures_returns_all_registered():
+    graph = _triangle_graph()
+    values = compute_measures(graph)
+    assert set(values) == set(available_measures())
+    assert values["edge_count"] == 3
+    assert values["triangle_count"] == 1
+
+
+def test_compute_measure_unknown_name():
+    with pytest.raises(KeyError):
+        compute_measure(_triangle_graph(), "not-a-measure")
+
+
+def test_empty_graph_measures_are_finite():
+    graph = Graph(4)
+    values = compute_measures(graph)
+    assert all(np.isfinite(v) for v in values.values())
+    assert values["triangle_count"] == 0
+    assert values["number_connected_components"] == 4
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(5, 25), st.integers(0, 60), st.integers(0, 10_000))
+def test_property_triangle_count_matches_networkx(n_nodes, n_edges, seed):
+    nx_graph = nx.gnm_random_graph(n_nodes, min(n_edges, n_nodes * (n_nodes - 1) // 2),
+                                   seed=seed)
+    graph = Graph.from_networkx(nx_graph)
+    assert triangle_count(graph) == sum(nx.triangles(nx_graph).values()) / 3
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(4, 20), st.integers(0, 40), st.integers(0, 10_000))
+def test_property_components_match_networkx(n_nodes, n_edges, seed):
+    nx_graph = nx.gnm_random_graph(n_nodes, min(n_edges, n_nodes * (n_nodes - 1) // 2),
+                                   seed=seed)
+    graph = Graph.from_networkx(nx_graph)
+    assert number_connected_components(graph) == nx.number_connected_components(nx_graph)

@@ -1,0 +1,69 @@
+"""Tests for thresholded similarity graphs and densifying series."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_clustered_vectors
+from repro.graphs import (
+    densifying_series,
+    graph_from_pairs,
+    similarity_graph,
+    threshold_for_edge_count,
+)
+from repro.similarity import SimilarPair, exact_pair_count, pairwise_similarity_matrix
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_clustered_vectors(60, 6, 3, separation=5.0, seed=31)
+
+
+def test_graph_from_pairs_accepts_tuples_and_similarpairs():
+    graph = graph_from_pairs(4, [(0, 1), SimilarPair(2, 3, 0.9)])
+    assert graph.n_edges == 2
+
+
+def test_similarity_graph_edge_count_matches_exact_pairs(dataset):
+    threshold = 0.8
+    graph = similarity_graph(dataset, threshold)
+    expected = exact_pair_count(dataset, [threshold])[threshold]
+    assert graph.n_edges == expected
+
+
+def test_similarity_graph_monotone_in_threshold(dataset):
+    sims = pairwise_similarity_matrix(dataset)
+    sparse = similarity_graph(dataset, 0.9, similarities=sims)
+    dense = similarity_graph(dataset, 0.5, similarities=sims)
+    assert dense.n_edges >= sparse.n_edges
+    # Nestedness: every sparse edge appears in the dense graph.
+    for u, v in sparse.edges():
+        assert dense.has_edge(u, v)
+
+
+def test_threshold_for_edge_count_hits_target(dataset):
+    sims = pairwise_similarity_matrix(dataset)
+    for target in (10, 100, 400):
+        threshold = threshold_for_edge_count(sims, target)
+        graph = similarity_graph(dataset, threshold, similarities=sims)
+        assert graph.n_edges >= target
+        # Ties can add a handful of extra edges but not massively more.
+        assert graph.n_edges <= target + dataset.n_rows
+
+
+def test_threshold_for_edge_count_extremes(dataset):
+    sims = pairwise_similarity_matrix(dataset)
+    n_pairs = dataset.n_rows * (dataset.n_rows - 1) // 2
+    assert threshold_for_edge_count(sims, 0) > sims.max()
+    low = threshold_for_edge_count(sims, n_pairs + 10)
+    graph = similarity_graph(dataset, low, similarities=sims)
+    assert graph.n_edges == n_pairs
+
+
+def test_densifying_series_is_nested_and_increasing(dataset):
+    counts = [20, 80, 320]
+    series = densifying_series(dataset, counts)
+    assert len(series) == 3
+    edge_counts = [graph.n_edges for _, graph in series]
+    assert edge_counts == sorted(edge_counts)
+    thresholds = [t for t, _ in series]
+    assert thresholds == sorted(thresholds, reverse=True)

@@ -1,0 +1,66 @@
+"""Tests for edge-count schedules and densifying series."""
+
+import pytest
+
+from repro.datasets import make_clustered_vectors
+from repro.growth import build_densifying_series, edge_count_schedule
+
+
+def test_edge_count_schedule_doubles_and_caps():
+    schedule = edge_count_schedule(100)
+    assert schedule[0] == 100
+    assert schedule[1] == 200
+    # Doubles until capped at the complete-graph edge count.
+    assert schedule[-1] == 100 * 99 // 2
+    for a, b in zip(schedule, schedule[1:-1]):
+        assert b == 2 * a
+
+
+def test_edge_count_schedule_respects_n_steps():
+    schedule = edge_count_schedule(100, n_steps=4)
+    assert len(schedule) == 4
+    assert schedule == [100, 200, 400, 800]
+
+
+def test_edge_count_schedule_small_graph():
+    schedule = edge_count_schedule(4)
+    assert schedule[-1] == 6
+    assert all(count <= 6 for count in schedule)
+
+
+def test_data_driven_series_edges_increase():
+    ds = make_clustered_vectors(60, 6, 3, seed=61)
+    series = build_densifying_series(ds, n_steps=4)
+    assert series.source == "data"
+    counts = series.actual_edge_counts()
+    assert counts == sorted(counts)
+    assert len(series) == 4
+
+
+def test_data_driven_series_measure_memoised():
+    ds = make_clustered_vectors(40, 5, 2, seed=62)
+    series = build_densifying_series(ds, n_steps=3)
+    first = series.measures("triangle_count")
+    second = series.measures("triangle_count")
+    assert first is second
+    assert len(first) == 3
+
+
+def test_model_series_requires_model_name():
+    with pytest.raises(ValueError):
+        build_densifying_series(50, n_steps=3)
+
+
+def test_model_series_edge_counts():
+    series = build_densifying_series(50, n_steps=4, model="erdos_renyi", seed=1)
+    assert series.source == "erdos_renyi"
+    actual = series.actual_edge_counts()
+    assert actual == series.edge_counts[:len(actual)]
+
+
+def test_split_sparse_dense_partitions_series():
+    ds = make_clustered_vectors(40, 5, 2, seed=63)
+    series = build_densifying_series(ds, n_steps=6)
+    sparse, dense = series.split_sparse_dense()
+    assert sparse + dense == list(range(6))
+    assert len(sparse) == 3

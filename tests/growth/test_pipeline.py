@@ -1,0 +1,82 @@
+"""Integration tests for the Graph Growth estimation pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_clustered_vectors
+from repro.growth import GraphGrowthEstimator
+from repro.growth.evaluation import log_measure_errors, mean_relative_error
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_clustered_vectors(150, 8, 4, separation=5.0, cluster_std=0.8,
+                                  seed=71)
+
+
+def test_mean_relative_error_basic():
+    mean, std = mean_relative_error([100, 1000], [100, 1000])
+    assert mean == 0.0 and std == 0.0
+    mean, _ = mean_relative_error([1000], [100])
+    assert mean == pytest.approx(0.5)
+
+
+def test_log_measure_errors_shape_mismatch():
+    with pytest.raises(ValueError):
+        log_measure_errors([1, 2], [1])
+
+
+def test_pipeline_translation_scaling(dataset):
+    estimator = GraphGrowthEstimator(prediction_method="translation_scaling",
+                                     sample_size=60, seed=1)
+    result = estimator.run(dataset)
+    mean_error, _ = result.error()
+    # Paper band: a few percent up to ~28% for translation-scaling.
+    assert mean_error < 0.35
+    assert len(result.predicted_values) == len(result.actual_values)
+    assert result.speedup() is not None
+
+
+def test_pipeline_regression_beats_translation_scaling_on_average(dataset):
+    """Chapter 3's headline: regression wins for 10 of 11 datasets."""
+    errors = {}
+    for method in ("translation_scaling", "regression"):
+        per_seed = []
+        for seed in (1, 2, 3):
+            estimator = GraphGrowthEstimator(prediction_method=method,
+                                             sample_size=60, seed=seed)
+            per_seed.append(estimator.run(dataset).error()[0])
+        errors[method] = np.mean(per_seed)
+    assert errors["regression"] <= errors["translation_scaling"] + 0.02
+
+
+def test_pipeline_all_sampling_methods_run(dataset):
+    for method in ("random", "concentrated", "stratified"):
+        estimator = GraphGrowthEstimator(sampling_method=method, sample_size=50,
+                                         seed=2)
+        result = estimator.run(dataset, compute_ground_truth=False)
+        assert result.actual_values is None
+        assert result.error() is None
+        assert all(v > 0 for v in result.predicted_values)
+
+
+def test_pipeline_other_measures_supported(dataset):
+    estimator = GraphGrowthEstimator(measure="edge_count", sample_size=50, seed=3)
+    result = estimator.run(dataset)
+    # Edge count of the full series is known exactly by construction, so the
+    # predictions should be very close.
+    assert result.error()[0] < 0.2
+
+
+def test_pipeline_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        GraphGrowthEstimator(prediction_method="extrapolate")
+    with pytest.raises(ValueError):
+        GraphGrowthEstimator(sample_size=0)
+
+
+def test_pipeline_sample_larger_than_dataset_is_clamped():
+    small = make_clustered_vectors(40, 5, 2, seed=72)
+    estimator = GraphGrowthEstimator(sample_size=500, seed=1)
+    result = estimator.run(small, compute_ground_truth=False)
+    assert result.metadata["sample_size"] == 40

@@ -1,0 +1,97 @@
+"""Tests for the growth prediction models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.growth import (
+    PiecewiseRegressionPredictor,
+    TranslationScalingPredictor,
+    analytic_complete_value,
+)
+from repro.graphs import Graph
+from repro.graphs.measures import compute_measure
+
+
+@pytest.mark.parametrize("measure,expected", [
+    ("edge_count", 45),
+    ("triangle_count", math.comb(10, 3)),
+    ("clique_number", 10),
+    ("diameter", 1),
+    ("mean_degree", 9),
+    ("number_connected_components", 1),
+])
+def test_analytic_complete_values(measure, expected):
+    assert analytic_complete_value(measure, 10) == expected
+
+
+def test_analytic_complete_value_matches_explicit_graph():
+    n = 8
+    complete = Graph(n, edges=[(i, j) for i in range(n) for j in range(i + 1, n)])
+    for measure in ("triangle_count", "average_clustering", "mean_core_number",
+                    "top_eigenvalue"):
+        assert analytic_complete_value(measure, n) == pytest.approx(
+            compute_measure(complete, measure), rel=0.02)
+
+
+def test_translation_scaling_recovers_scaled_curve():
+    """If the real curve is an exact scaling of the sample curve, TS is exact."""
+    xs = np.linspace(0, 10, 12)
+    sample = 10.0 ** (0.3 * xs + 1.0)
+    real = sample ** 1.0 * 100.0  # constant factor in linear space = shift in log space
+    predictor = TranslationScalingPredictor()
+    predictor.fit(xs, sample, real_first_y=real[0], real_last_y=real[-1], real_x=xs)
+    predicted = predictor.predict(xs, sample)
+    assert np.allclose(np.log10(predicted), np.log10(real), atol=1e-6)
+
+
+def test_translation_scaling_requires_two_points():
+    with pytest.raises(ValueError):
+        TranslationScalingPredictor().fit([1.0], [2.0], 1.0, 5.0)
+
+
+def test_translation_scaling_predict_before_fit():
+    with pytest.raises(RuntimeError):
+        TranslationScalingPredictor().predict([1.0], [2.0])
+
+
+def test_translation_scaling_flat_sample_curve():
+    predictor = TranslationScalingPredictor(log_space=False)
+    predictor.fit([0, 1, 2], [5.0, 5.0, 5.0], real_first_y=10.0, real_last_y=20.0)
+    assert np.allclose(predictor.predict([0, 2], [5.0, 5.0]), 10.0)
+
+
+def test_regression_learns_constant_log_offset():
+    """real = sample * C (log offset) is recovered and extrapolates."""
+    xs = np.arange(1, 13, dtype=float)
+    sample = 10.0 ** (0.5 * xs)
+    real = sample * 1000.0
+    half = 6
+    predictor = PiecewiseRegressionPredictor()
+    predictor.fit(xs[:half], sample[:half], xs[:half], real[:half])
+    predicted = predictor.predict(xs[half:], sample[half:], xs[half:])
+    log_error = np.abs(np.log10(predicted) - np.log10(real[half:]))
+    assert log_error.max() < 0.2
+
+
+def test_regression_validation():
+    with pytest.raises(ValueError):
+        PiecewiseRegressionPredictor(n_pieces=1)
+    with pytest.raises(ValueError):
+        PiecewiseRegressionPredictor(ridge=-1.0)
+    predictor = PiecewiseRegressionPredictor()
+    with pytest.raises(ValueError):
+        predictor.fit([1, 2], [1, 2], [1, 2], [1, 2, 3])
+    with pytest.raises(RuntimeError):
+        predictor.predict([1], [1], [1])
+
+
+def test_regression_linear_space_mode():
+    xs = np.arange(10, dtype=float)
+    sample = 2.0 * xs + 1.0
+    real = 4.0 * xs + 3.0
+    predictor = PiecewiseRegressionPredictor(log_space=False, ridge=1e-6)
+    predictor.fit(xs[:6], sample[:6], xs[:6], real[:6])
+    predicted = predictor.predict(xs[6:], sample[6:], xs[6:])
+    assert np.allclose(predicted, real[6:], rtol=0.05)

@@ -1,0 +1,69 @@
+"""Tests for the three node-sampling methods."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_clustered_vectors
+from repro.growth import (
+    concentrated_sample,
+    random_sample,
+    sample_dataset,
+    stratified_sample,
+)
+from repro.similarity import pairwise_similarity_matrix
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_clustered_vectors(150, 6, 5, separation=5.0, seed=51)
+
+
+@pytest.mark.parametrize("sampler", [random_sample, concentrated_sample,
+                                     stratified_sample])
+def test_samples_have_requested_size_and_valid_ids(dataset, sampler):
+    ids = sampler(dataset, 40, seed=1)
+    assert len(ids) == 40
+    assert len(set(ids)) == 40
+    assert min(ids) >= 0 and max(ids) < dataset.n_rows
+
+
+@pytest.mark.parametrize("sampler", [random_sample, concentrated_sample,
+                                     stratified_sample])
+def test_samples_deterministic_given_seed(dataset, sampler):
+    assert sampler(dataset, 30, seed=7) == sampler(dataset, 30, seed=7)
+
+
+def test_sample_size_validation(dataset):
+    with pytest.raises(ValueError):
+        random_sample(dataset, 0)
+    with pytest.raises(ValueError):
+        random_sample(dataset, dataset.n_rows + 1)
+
+
+def test_concentrated_sample_is_more_cohesive_than_random(dataset):
+    """Concentrated sampling picks a blob of mutually similar records."""
+    sims = pairwise_similarity_matrix(dataset)
+
+    def mean_similarity(ids):
+        ids = list(ids)
+        values = [sims[i, j] for i in ids for j in ids if i < j]
+        return float(np.mean(values))
+
+    concentrated = concentrated_sample(dataset, 30, seed=3)
+    random_ids = random_sample(dataset, 30, seed=3)
+    assert mean_similarity(concentrated) > mean_similarity(random_ids)
+
+
+def test_stratified_sample_covers_clusters(dataset):
+    """Every ground-truth cluster contributes at least one sampled record."""
+    ids = stratified_sample(dataset, 50, seed=5)
+    sampled_labels = set(dataset.labels[ids].tolist())
+    assert sampled_labels == set(dataset.labels.tolist())
+
+
+def test_sample_dataset_wrapper(dataset):
+    sub = sample_dataset(dataset, 25, method="random", seed=2)
+    assert sub.n_rows == 25
+    assert sub.n_features == dataset.n_features
+    with pytest.raises(KeyError):
+        sample_dataset(dataset, 25, method="snowball")

@@ -1,0 +1,109 @@
+"""Tests for frequent/closed itemsets and the compression baselines."""
+
+import pytest
+
+from repro.datasets import TransactionDatabase, make_planted_transactions
+from repro.lam import (
+    LAM,
+    cdb_compress,
+    closed_itemsets,
+    frequent_itemsets,
+    krimp_compress,
+    slim_compress,
+)
+
+SMALL_DB = TransactionDatabase([
+    [0, 1, 2],
+    [0, 1, 2],
+    [0, 1, 2, 3],
+    [0, 1],
+    [3, 4],
+    [3, 4],
+], n_labels=5)
+
+
+def test_frequent_itemsets_supports_are_exact():
+    frequents = frequent_itemsets(SMALL_DB, min_support=2)
+    assert frequents[(0, 1)] == 4
+    assert frequents[(0, 1, 2)] == 3
+    assert frequents[(3, 4)] == 2
+    assert (2, 3) not in frequents
+    for itemset, support in frequents.items():
+        assert SMALL_DB.support(itemset) == support
+
+
+def test_frequent_itemsets_respects_max_length():
+    frequents = frequent_itemsets(SMALL_DB, min_support=2, max_length=2)
+    assert all(len(itemset) <= 2 for itemset in frequents)
+
+
+def test_frequent_itemsets_min_support_validation():
+    with pytest.raises(ValueError):
+        frequent_itemsets(SMALL_DB, 0)
+
+
+def test_closed_itemsets_drop_non_closed():
+    closed = closed_itemsets(SMALL_DB, min_support=2)
+    # (0,) has support 4, same as (0, 1): not closed.  (0, 1) is closed.
+    assert (0,) not in closed
+    assert closed[(0, 1)] == 4
+    assert closed[(0, 1, 2)] == 3
+    assert closed[(3, 4)] == 2
+    # Every closed itemset is frequent and has no equal-support superset.
+    frequents = frequent_itemsets(SMALL_DB, min_support=2)
+    for itemset, support in closed.items():
+        supersets = [other for other in frequents
+                     if set(itemset) < set(other) and frequents[other] == support]
+        assert supersets == []
+
+
+@pytest.fixture(scope="module")
+def planted():
+    return make_planted_transactions(250, 120, n_patterns=8,
+                                     pattern_support=(0.1, 0.25), seed=91)
+
+
+def test_krimp_compresses_and_is_lossless(planted):
+    result = krimp_compress(planted, min_support=20, max_length=10)
+    assert result.compression_ratio > 1.2
+    assert [set(t) for t in result.compressed.decode()] == [set(t) for t in planted]
+    assert result.n_patterns > 0
+    assert result.seconds > 0
+
+
+def test_cdb_compresses_and_is_lossless(planted):
+    result = cdb_compress(planted, min_support=20, max_length=10)
+    assert result.compression_ratio > 1.2
+    assert [set(t) for t in result.compressed.decode()] == [set(t) for t in planted]
+
+
+def test_slim_compresses_and_is_lossless(planted):
+    result = slim_compress(planted, max_iterations=80)
+    assert result.compression_ratio > 1.2
+    assert [set(t) for t in result.compressed.decode()] == [set(t) for t in planted]
+
+
+def test_lam_is_faster_than_candidate_based_baselines(planted):
+    """Figure 4.7's qualitative claim at laptop scale."""
+    import time
+
+    start = time.perf_counter()
+    lam_result = LAM(n_passes=5, max_partition_size=60, seed=0).run(planted)
+    lam_seconds = time.perf_counter() - start
+
+    krimp_result = krimp_compress(planted, min_support=20, max_length=10)
+    cdb_result = cdb_compress(planted, min_support=20, max_length=10)
+    assert krimp_result.seconds > lam_seconds
+    assert cdb_result.seconds > lam_seconds
+    # Compression is in the same ballpark (Figure 4.6).
+    assert lam_result.compression_ratio > 0.5 * max(krimp_result.compression_ratio,
+                                                    cdb_result.compression_ratio)
+
+
+def test_baseline_sampling_reduces_runtime_and_ratio(planted):
+    """Figure 4.8: running CDB on a sample cuts runtime but also compression."""
+    full = cdb_compress(planted, min_support=20, max_length=10)
+    sample = planted.sample(0.4, seed=1)
+    support = max(2, int(20 * 0.4))
+    sampled = cdb_compress(sample, min_support=support, max_length=10)
+    assert sampled.seconds < full.seconds

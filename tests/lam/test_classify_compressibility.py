@@ -1,0 +1,104 @@
+"""Tests for compressed-analytics classification and compressibility scans."""
+
+import pytest
+
+from repro.datasets import make_clustered_vectors, make_labeled_transactions
+from repro.graphs import similarity_graph
+from repro.lam import (
+    LAM,
+    CompressibilityPoint,
+    PatternClassifier,
+    compressibility_scan,
+    train_test_split_transactions,
+)
+
+
+@pytest.fixture(scope="module")
+def labeled_db():
+    return make_labeled_transactions(240, 70, 3, class_pattern_support=0.7,
+                                     noise_items=4, seed=101)
+
+
+def test_train_test_split_shapes(labeled_db):
+    train, test = train_test_split_transactions(labeled_db, test_fraction=0.25,
+                                                seed=1)
+    assert train.n_transactions + test.n_transactions == labeled_db.n_transactions
+    assert test.n_transactions == pytest.approx(0.25 * labeled_db.n_transactions,
+                                                abs=2)
+    assert train.labels is not None and test.labels is not None
+
+
+def test_train_test_split_validation(labeled_db):
+    with pytest.raises(ValueError):
+        train_test_split_transactions(labeled_db, test_fraction=1.5)
+    unlabeled = labeled_db.subset(range(10))
+    unlabeled.labels = None
+    with pytest.raises(ValueError):
+        train_test_split_transactions(unlabeled)
+
+
+def test_lam_classifier_beats_majority_baseline(labeled_db):
+    train, test = train_test_split_transactions(labeled_db, seed=2)
+    classifier = PatternClassifier("lam", seed=1).fit(train)
+    accuracy = classifier.accuracy(test)
+    labels = list(test.labels)
+    majority_accuracy = max(labels.count(c) for c in set(labels)) / len(labels)
+    assert accuracy > majority_accuracy + 0.1
+    assert accuracy > 0.6
+
+
+def test_krimp_classifier_runs_and_is_comparable(labeled_db):
+    """Figure 4.9: the LAM classifier is on par with the Krimp classifier."""
+    train, test = train_test_split_transactions(labeled_db, seed=3)
+    lam_accuracy = PatternClassifier("lam", seed=1).fit(train).accuracy(test)
+    krimp_accuracy = PatternClassifier("krimp", min_support=3, seed=1).fit(train).accuracy(test)
+    assert 0.0 <= krimp_accuracy <= 1.0
+    assert lam_accuracy >= krimp_accuracy - 0.15
+
+
+def test_classifier_validation(labeled_db):
+    with pytest.raises(ValueError):
+        PatternClassifier("svm")
+    with pytest.raises(RuntimeError):
+        PatternClassifier("lam").predict_one([1, 2])
+    unlabeled = labeled_db.subset(range(10))
+    unlabeled.labels = None
+    with pytest.raises(ValueError):
+        PatternClassifier("lam").fit(unlabeled)
+
+
+def test_classifier_cross_validation(labeled_db):
+    small = labeled_db.subset(range(120))
+    accuracy = PatternClassifier("lam", seed=1).cross_validate(small, folds=3)
+    assert 0.3 <= accuracy <= 1.0
+
+
+@pytest.fixture(scope="module")
+def clustered_vectors():
+    return make_clustered_vectors(90, 8, 4, separation=5.0, cluster_std=0.7,
+                                  seed=103)
+
+
+def test_compressibility_scan_from_dataset(clustered_vectors):
+    thresholds = [0.4, 0.6, 0.8, 0.95]
+    points, interesting = compressibility_scan(
+        clustered_vectors, thresholds, lam=LAM(n_passes=2, max_partition_size=100))
+    assert len(points) == 4
+    assert all(isinstance(p, CompressibilityPoint) for p in points)
+    assert all(p.compression_ratio >= 1.0 for p in points)
+    # A clearly clustered dataset is compressible at some threshold.
+    assert max(p.compression_ratio for p in points) > 1.2
+    assert all(0.0 <= t <= 1.0 for t in interesting)
+
+
+def test_compressibility_scan_from_prebuilt_graphs(clustered_vectors):
+    graphs = {t: similarity_graph(clustered_vectors, t) for t in (0.5, 0.9)}
+    points, _ = compressibility_scan(graphs, [0.5, 0.9],
+                                     lam=LAM(n_passes=1, max_partition_size=100))
+    assert len(points) == 2
+    assert points[0].n_edges >= points[1].n_edges
+
+
+def test_compressibility_scan_rejects_bad_source():
+    with pytest.raises(TypeError):
+        compressibility_scan([1, 2, 3], [0.5])

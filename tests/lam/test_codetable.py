@@ -1,0 +1,99 @@
+"""Tests for code tables and compressed databases."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import TransactionDatabase
+from repro.lam import CodeTable, CompressedDatabase
+
+
+def test_add_and_expand_simple_pattern():
+    table = CodeTable(n_labels=10)
+    symbol = table.add([3, 1, 2])
+    assert symbol == 10
+    assert table.is_code(symbol)
+    assert not table.is_code(5)
+    assert table.pattern_for(symbol) == (1, 2, 3)
+    assert table.expand(symbol) == frozenset({1, 2, 3})
+    assert table.expand(7) == frozenset({7})
+
+
+def test_nested_codes_expand_recursively():
+    table = CodeTable(n_labels=5)
+    first = table.add([0, 1])
+    second = table.add([first, 2])
+    assert table.expand(second) == frozenset({0, 1, 2})
+    assert table.dereference_depth(second) == 2
+    assert table.dereference_depth(first) == 1
+    assert table.dereference_depth(3) == 0
+
+
+def test_code_table_sizes_and_lengths():
+    table = CodeTable(n_labels=5)
+    first = table.add([0, 1, 2])
+    table.add([first, 3])
+    assert len(table) == 2
+    assert table.size_in_symbols() == 5
+    assert sorted(table.pattern_lengths()) == [3, 4]
+
+
+def test_add_empty_pattern_rejected():
+    with pytest.raises(ValueError):
+        CodeTable(n_labels=3).add([])
+
+
+def test_pattern_for_unknown_symbol():
+    table = CodeTable(n_labels=3)
+    with pytest.raises(KeyError):
+        table.pattern_for(2)
+    with pytest.raises(KeyError):
+        table.pattern_for(99)
+
+
+def test_compressed_database_round_trip():
+    table = CodeTable(n_labels=6)
+    code = table.add([1, 2, 3])
+    rows = [{code, 4}, {code}, {0, 5}]
+    compressed = CompressedDatabase(rows=rows, code_table=table,
+                                    original_size=10)
+    decoded = compressed.decode()
+    assert decoded.transaction(0) == (1, 2, 3, 4)
+    assert decoded.transaction(1) == (1, 2, 3)
+    assert decoded.transaction(2) == (0, 5)
+    assert compressed.rows_size() == 5
+    assert compressed.total_size() == 8
+    assert compressed.compression_ratio() == pytest.approx(10 / 8)
+
+
+def test_mean_dereferences():
+    table = CodeTable(n_labels=4)
+    first = table.add([0, 1])
+    second = table.add([first, 2])
+    compressed = CompressedDatabase(rows=[{second}, {3}], code_table=table,
+                                    original_size=5)
+    assert compressed.mean_dereferences() == pytest.approx(1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.sets(st.integers(0, 25), min_size=1, max_size=10),
+                min_size=2, max_size=12))
+def test_property_greedy_encoding_is_lossless(rows):
+    """Encoding any shared pattern and decoding recovers the original rows."""
+    db = TransactionDatabase(rows, n_labels=26)
+    table = CodeTable(n_labels=26)
+    working = [set(row) for row in db]
+    # Consume the intersection of the two largest rows when it is a pattern.
+    ordered = sorted(range(len(working)), key=lambda i: -len(working[i]))
+    shared = working[ordered[0]] & working[ordered[1]]
+    if len(shared) >= 2:
+        symbol = table.add(sorted(shared))
+        for row in working:
+            if shared.issubset(row):
+                row -= shared
+                row.add(symbol)
+    compressed = CompressedDatabase(rows=working, code_table=table,
+                                    original_size=db.size)
+    decoded = compressed.decode()
+    assert [set(t) for t in decoded] == [set(t) for t in db]
+    assert compressed.compression_ratio() >= 1.0 or len(shared) < 2

@@ -1,0 +1,121 @@
+"""Tests for the LAM driver and PLAM speedup model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import TransactionDatabase, make_planted_transactions, make_weblike_graph_transactions
+from repro.lam import LAM, parallel_speedup_estimate
+
+
+@pytest.fixture(scope="module")
+def planted():
+    return make_planted_transactions(300, 150, n_patterns=10,
+                                     pattern_support=(0.08, 0.2), seed=81)
+
+
+@pytest.fixture(scope="module")
+def lam5_result(planted):
+    return LAM(n_passes=5, max_partition_size=80, seed=0).run(planted)
+
+
+def test_lam_compresses_planted_patterns(lam5_result):
+    assert lam5_result.compression_ratio > 1.3
+    assert lam5_result.n_patterns > 0
+
+
+def test_lam_is_lossless(planted, lam5_result):
+    decoded = lam5_result.compressed.decode()
+    assert [set(t) for t in decoded] == [set(t) for t in planted]
+
+
+def test_lam_passes_improve_monotonically(lam5_result):
+    ratios = [p.compression_ratio for p in lam5_result.passes]
+    assert len(ratios) == 5
+    for earlier, later in zip(ratios, ratios[1:]):
+        assert later >= earlier - 1e-9
+    # Several passes help (the Figure 4.12 right-hand trend).
+    assert ratios[-1] > ratios[0]
+
+
+def test_lam_phase_timer_reports_both_phases(lam5_result):
+    totals = lam5_result.timers.as_dict()
+    assert set(totals) == {"localize", "mine"}
+    assert all(v >= 0 for v in totals.values())
+
+
+def test_lam_pattern_length_histogram(lam5_result):
+    histogram = lam5_result.pattern_length_histogram()
+    assert sum(histogram.values()) == lam5_result.n_patterns
+    assert all(length >= 2 for length in histogram)
+
+
+def test_lam_cumulative_compression_by_length(lam5_result):
+    curve = lam5_result.cumulative_compression_by_length()
+    ratios = [ratio for _, ratio in curve]
+    assert ratios == sorted(ratios)
+    assert ratios[-1] <= lam5_result.compression_ratio + 0.3
+
+
+def test_lam_utility_functions_both_work(planted):
+    area = LAM(n_passes=2, utility="area", max_partition_size=80, seed=1).run(planted)
+    rc = LAM(n_passes=2, utility="rc", max_partition_size=80, seed=1).run(planted)
+    assert area.compression_ratio > 1.0
+    assert rc.compression_ratio > 1.0
+    # The two utilities give broadly comparable compression (Figure 4.5).
+    assert abs(area.compression_ratio - rc.compression_ratio) < 0.8
+
+
+def test_lam_on_weblike_graph_transactions():
+    graph_db = make_weblike_graph_transactions(300, avg_degree=12, seed=2)
+    result = LAM(n_passes=3, max_partition_size=60, seed=0).run(graph_db)
+    assert result.compression_ratio > 1.0
+    assert [set(t) for t in result.compressed.decode()] == [set(t) for t in graph_db]
+
+
+def test_lam_handles_incompressible_data():
+    rows = [[3 * i, 3 * i + 1, 3 * i + 2] for i in range(60)]  # disjoint rows
+    db = TransactionDatabase(rows)
+    result = LAM(n_passes=2, seed=0).run(db)
+    assert result.compression_ratio == pytest.approx(1.0)
+    assert result.n_patterns == 0
+
+
+def test_lam_argument_validation():
+    with pytest.raises(ValueError):
+        LAM(n_passes=0)
+    with pytest.raises(ValueError):
+        LAM(n_hashes=0)
+
+
+def test_parallel_speedup_estimate_properties():
+    times = [1.0] * 16
+    assert parallel_speedup_estimate(times, 1) == pytest.approx(1.0)
+    assert parallel_speedup_estimate(times, 4) == pytest.approx(4.0)
+    assert parallel_speedup_estimate(times, 16) == pytest.approx(16.0)
+    # One dominant task bounds the speedup (load imbalance).
+    skewed = [8.0] + [1.0] * 8
+    assert parallel_speedup_estimate(skewed, 8) < 2.1
+    assert parallel_speedup_estimate([], 4) == 1.0
+    with pytest.raises(ValueError):
+        parallel_speedup_estimate(times, 0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.floats(0.001, 5.0), min_size=1, max_size=30),
+       st.integers(1, 16))
+def test_property_speedup_bounded_by_workers_and_task_count(times, workers):
+    speedup = parallel_speedup_estimate(times, workers)
+    assert 1.0 <= speedup + 1e-9
+    assert speedup <= min(workers, len(times)) + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.sets(st.integers(0, 40), min_size=2, max_size=12),
+                min_size=4, max_size=30))
+def test_property_lam_lossless_and_never_expands(rows):
+    """LAM decoding is always lossless and the ratio never drops below ~1."""
+    db = TransactionDatabase(rows, n_labels=41)
+    result = LAM(n_passes=2, max_partition_size=10, seed=3).run(db)
+    assert [set(t) for t in result.compressed.decode()] == [set(t) for t in db]
+    assert result.compression_ratio >= 0.99

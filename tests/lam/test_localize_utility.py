@@ -1,0 +1,84 @@
+"""Tests for the localization phase and the utility functions."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import TransactionDatabase, make_planted_transactions
+from repro.lam import area_utility, get_utility, localize_phase, relative_closedness
+
+
+def test_area_utility_values():
+    assert area_utility([1, 2, 3], [5, 5]) == 2 * 1
+    assert area_utility((1, 2, 3, 4, 5, 6, 7, 8), [1, 2, 3]) == 7 * 2  # Table 4.2 row 1
+    assert area_utility([1], [3, 3, 3]) == 0
+    assert area_utility([1, 2], [4]) == 0
+
+
+def test_relative_closedness_values():
+    assert relative_closedness([1, 2, 3], [6, 3]) == pytest.approx(0.5 + 1.0)
+    assert relative_closedness([1, 2], [0]) == 0.0
+
+
+def test_get_utility_lookup():
+    assert get_utility("area") is area_utility
+    assert get_utility("rc") is relative_closedness
+    with pytest.raises(KeyError):
+        get_utility("mdl")
+
+
+def test_localize_covers_all_rows_once():
+    db = make_planted_transactions(200, 80, seed=3)
+    partitions = localize_phase(db, n_hashes=8, max_partition_size=20, seed=1)
+    flattened = sorted(row for partition in partitions for row in partition)
+    assert flattened == list(range(db.n_transactions))
+
+
+def test_localize_respects_partition_size_when_hashes_suffice():
+    db = make_planted_transactions(300, 120, seed=4)
+    partitions = localize_phase(db, n_hashes=16, max_partition_size=30, seed=1)
+    oversized = [p for p in partitions if len(p) > 30]
+    # Oversized partitions can only remain when all 16 hashes agree (identical
+    # signatures); they should be rare.
+    assert len(oversized) <= 2
+
+
+def test_localize_groups_identical_transactions_together():
+    identical = [[1, 2, 3, 4]] * 10
+    different = [[50 + i, 60 + i, 70 + i] for i in range(10)]
+    db = TransactionDatabase(identical + different, n_labels=100)
+    partitions = localize_phase(db, n_hashes=12, max_partition_size=10, seed=2)
+    identical_ids = set(range(10))
+    # The ten identical transactions share all min-hashes, so some partition
+    # must contain all of them.
+    assert any(identical_ids.issubset(set(partition)) for partition in partitions)
+
+
+def test_localize_groups_similar_rows_more_than_random():
+    """Partition-mates should have higher Jaccard similarity than random pairs."""
+    db = make_planted_transactions(250, 100, n_patterns=6,
+                                   pattern_support=(0.1, 0.2), seed=5)
+    partitions = localize_phase(db, n_hashes=12, max_partition_size=25, seed=3)
+    rows = [set(t) for t in db]
+
+    def jaccard(a, b):
+        union = rows[a] | rows[b]
+        return len(rows[a] & rows[b]) / len(union) if union else 0.0
+
+    rng = np.random.default_rng(0)
+    within = []
+    for partition in partitions:
+        if len(partition) >= 2:
+            for _ in range(min(5, len(partition))):
+                a, b = rng.choice(partition, size=2, replace=False)
+                within.append(jaccard(int(a), int(b)))
+    random_pairs = [jaccard(*rng.choice(db.n_transactions, size=2, replace=False))
+                    for _ in range(200)]
+    assert np.mean(within) > np.mean(random_pairs)
+
+
+def test_localize_empty_and_invalid_inputs():
+    assert localize_phase([]) == []
+    with pytest.raises(ValueError):
+        localize_phase([[1, 2]], n_hashes=0)
+    with pytest.raises(ValueError):
+        localize_phase([[1, 2]], max_partition_size=0)

@@ -1,0 +1,80 @@
+"""The worked example of Section 4.4: Tables 4.1 and 4.2 and Figure 4.3.
+
+The localized partition of Table 4.1 must yield exactly the potential
+itemsets of Table 4.2 with the documented Area utilities, and the greedy
+consumption must pick them in utility order.
+"""
+
+import pytest
+
+from repro.lam import CodeTable, PatternTrie, area_utility, mine_consume_phase
+
+#: Table 4.1, keyed by transaction id.
+TABLE_4_1 = {
+    23: (6, 10, 5, 12, 15, 1, 2, 3),
+    102: (1, 2, 3, 20),
+    55: (2, 3, 10, 12, 1, 5, 6, 15),
+    204: (1, 7, 8, 9, 3),
+    13: (1, 2, 3, 8),
+    64: (1, 2, 3, 5, 6, 10, 12, 15),
+    43: (1, 2, 5, 10, 22, 31, 8, 23, 36, 6),
+    431: (1, 2, 5, 10, 21, 31, 67, 8, 23, 36, 6),
+}
+
+#: Table 4.2: itemset -> (transaction ids, Area utility (L-1)*(F-1)).
+TABLE_4_2 = {
+    (1, 2, 3, 5, 6, 10, 12, 15): ({23, 55, 64}, 14),
+    (1, 2, 5, 6, 8, 10, 23, 31, 36): ({43, 431}, 8),
+    (1, 2, 3): ({13, 23, 55, 64, 102}, 8),
+    (1, 2): ({13, 23, 43, 55, 64, 102, 431}, 6),
+}
+
+
+@pytest.fixture()
+def trie():
+    transactions = {tid: tuple(sorted(items)) for tid, items in TABLE_4_1.items()}
+    return PatternTrie.from_transactions(transactions, min_item_count=2)
+
+
+def test_trie_generates_exactly_the_paper_potential_itemsets(trie):
+    potentials = {p.items: set(p.transaction_ids) for p in trie.potential_itemsets()}
+    assert potentials == {items: tids for items, (tids, _) in TABLE_4_2.items()}
+
+
+def test_potential_itemset_utilities_match_table_4_2(trie):
+    for potential in trie.potential_itemsets():
+        expected_tids, expected_utility = TABLE_4_2[potential.items]
+        lengths = [len(TABLE_4_1[tid]) for tid in potential.transaction_ids]
+        assert area_utility(potential.items, lengths) == expected_utility
+        assert potential.frequency == len(expected_tids)
+
+
+def test_mine_consume_processes_in_utility_order():
+    row_ids = sorted(TABLE_4_1)
+    index_of = {tid: i for i, tid in enumerate(row_ids)}
+    rows = [set(TABLE_4_1[tid]) for tid in row_ids]
+    code_table = CodeTable(n_labels=100)
+
+    consumed = mine_consume_phase(rows, list(range(len(rows))), code_table,
+                                  utility="area")
+    consumed_items = [pattern.items for pattern in consumed]
+
+    # The top-utility pattern of Table 4.2 is consumed first.
+    assert consumed_items[0] == (1, 2, 3, 5, 6, 10, 12, 15)
+    # The long pattern specific to transactions 43/431 is also consumed.
+    assert (1, 2, 5, 6, 8, 10, 23, 31, 36) in consumed_items
+    # {1,2,3} survives (reduced to transactions 102 and 13) and is consumed;
+    # {1,2} no longer covers two transactions afterwards and is skipped.
+    assert (1, 2, 3) in consumed_items
+    assert (1, 2) not in consumed_items
+
+    # Consumption replaced the pattern items with single code symbols.
+    for tid in (23, 55, 64):
+        row = rows[index_of[tid]]
+        assert all(code_table.is_code(s) or s not in (5, 6, 10, 12, 15)
+                   for s in row)
+
+    # Everything is still losslessly recoverable.
+    for tid in row_ids:
+        expanded = code_table.expand_many(rows[index_of[tid]])
+        assert expanded == frozenset(TABLE_4_1[tid])

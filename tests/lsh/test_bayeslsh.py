@@ -1,0 +1,134 @@
+"""Tests for the BayesLSH all-pairs engine."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_clustered_vectors
+from repro.lsh import (
+    BayesLSH,
+    BayesLSHConfig,
+    all_pair_candidates,
+    build_sketch_store,
+)
+from repro.similarity import exact_pair_count, pairwise_similarity_matrix
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_clustered_vectors(80, 8, 4, separation=5.0, cluster_std=0.7, seed=21)
+
+
+@pytest.fixture(scope="module")
+def store(dataset):
+    return build_sketch_store(dataset, kind="cosine", n_hashes=256, seed=1)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        BayesLSHConfig(epsilon=0.0)
+    with pytest.raises(ValueError):
+        BayesLSHConfig(hash_batch=0)
+    with pytest.raises(ValueError):
+        BayesLSHConfig(hash_batch=64, max_hashes=32)
+
+
+def test_evaluate_pair_identical_rows(store):
+    engine = BayesLSH(store)
+    evaluation = engine.evaluate_pair(0, 0, 0.9)
+    assert evaluation.retained
+    assert evaluation.estimate == pytest.approx(1.0, abs=0.05)
+    assert evaluation.outcome in ("concentrated", "exhausted")
+
+
+def test_evaluate_pair_prunes_dissimilar(dataset, store):
+    sims = pairwise_similarity_matrix(dataset)
+    i, j = np.unravel_index(np.argmin(sims), sims.shape)
+    engine = BayesLSH(store)
+    evaluation = engine.evaluate_pair(int(i), int(j), 0.95)
+    assert not evaluation.retained
+    assert evaluation.outcome == "pruned"
+    # Pruning should use far fewer hashes than the full sketch.
+    assert evaluation.n_hashes < store.n_hashes
+
+
+def test_run_counts_and_recall(dataset, store):
+    threshold = 0.9
+    engine = BayesLSH(store, BayesLSHConfig(max_hashes=256))
+    result = engine.run(all_pair_candidates(dataset.n_rows), threshold)
+    exact = exact_pair_count(dataset, [threshold])[threshold]
+    assert result.n_candidates == dataset.n_rows * (dataset.n_rows - 1) // 2
+    assert result.n_retained == pytest.approx(exact, rel=0.2)
+    assert result.n_pruned > 0
+    assert result.hash_comparisons > 0
+
+
+def test_false_negative_rate_within_slack(dataset, store):
+    """Pairs well above the threshold are almost never pruned (Eq. 2.1)."""
+    threshold = 0.8
+    sims = pairwise_similarity_matrix(dataset)
+    engine = BayesLSH(store, BayesLSHConfig(epsilon=0.03, max_hashes=256))
+    result = engine.run(all_pair_candidates(dataset.n_rows), threshold)
+    retained = {(p.first, p.second) for p in result.pairs}
+    clearly_above = [(i, j) for i in range(dataset.n_rows)
+                     for j in range(i + 1, dataset.n_rows)
+                     if sims[i, j] >= threshold + 0.1]
+    assert clearly_above
+    missed = sum(1 for pair in clearly_above if pair not in retained)
+    assert missed / len(clearly_above) <= 0.05
+
+
+def test_retained_estimates_are_accurate(dataset, store):
+    """Accepted estimates are within ~delta of the exact similarity (Eq. 2.2)."""
+    threshold = 0.85
+    sims = pairwise_similarity_matrix(dataset)
+    engine = BayesLSH(store, BayesLSHConfig(delta=0.05, gamma=0.05, max_hashes=256))
+    result = engine.run(all_pair_candidates(dataset.n_rows), threshold)
+    errors = [abs(p.similarity - sims[p.first, p.second]) for p in result.pairs]
+    assert np.mean(errors) < 0.08
+    assert np.quantile(errors, 0.9) < 0.15
+
+
+def test_cache_resumes_evaluations(dataset, store):
+    class RecordingCache:
+        def __init__(self):
+            self.state = {}
+            self.lookups = 0
+
+        def lookup(self, pair):
+            self.lookups += 1
+            return self.state.get(pair)
+
+        def record(self, evaluation):
+            self.state[(evaluation.first, evaluation.second)] = (
+                evaluation.n_hashes, evaluation.matches)
+
+    cache = RecordingCache()
+    engine = BayesLSH(store)
+    candidates = list(all_pair_candidates(30))
+
+    first = engine.run(candidates, 0.9, cache=cache)
+    comparisons_first = first.hash_comparisons
+    second = engine.run(candidates, 0.8, cache=cache)
+    assert second.cached_hash_reuse > 0
+    # Re-using cached hash-match state must reduce fresh hash comparisons.
+    assert second.hash_comparisons < comparisons_first
+
+
+def test_progress_callback_invoked(dataset, store):
+    engine = BayesLSH(store)
+    fractions = []
+
+    def callback(fraction, partial):
+        fractions.append(fraction)
+        assert partial.n_candidates > 0
+
+    engine.run(all_pair_candidates(20), 0.9, progress_callback=callback,
+               progress_every=40)
+    assert fractions
+    assert all(0 < f <= 1.0 for f in fractions)
+
+
+def test_run_rejects_invalid_threshold(store):
+    engine = BayesLSH(store)
+    with pytest.raises(ValueError):
+        engine.run([(0, 1)], 0.0)

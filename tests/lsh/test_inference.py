@@ -1,0 +1,99 @@
+"""Tests for the posterior grid used by BayesLSH."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsh import CosineSketcher, MinHashSketcher, PosteriorGrid
+
+
+def test_posterior_is_normalized():
+    grid = PosteriorGrid(MinHashSketcher, resolution=101)
+    posterior = grid.posterior(7, 10)
+    assert posterior.sum() == pytest.approx(1.0)
+    assert np.all(posterior >= 0)
+
+
+def test_posterior_peaks_near_observed_rate():
+    grid = PosteriorGrid(MinHashSketcher, resolution=201)
+    posterior = grid.posterior(60, 100)
+    assert grid.map_similarity(posterior) == pytest.approx(0.6, abs=0.02)
+    assert grid.mean_similarity(posterior) == pytest.approx(0.6, abs=0.05)
+
+
+def test_posterior_with_zero_hashes_is_prior():
+    grid = PosteriorGrid(MinHashSketcher, resolution=51)
+    assert np.allclose(grid.posterior(0, 0), grid.prior)
+
+
+def test_extreme_observations():
+    grid = PosteriorGrid(MinHashSketcher, resolution=101)
+    all_match = grid.posterior(50, 50)
+    assert grid.map_similarity(all_match) == pytest.approx(1.0, abs=0.02)
+    none_match = grid.posterior(0, 50)
+    assert grid.map_similarity(none_match) == pytest.approx(0.0, abs=0.02)
+
+
+def test_prob_similarity_above_monotone_in_threshold():
+    grid = PosteriorGrid(MinHashSketcher, resolution=101)
+    posterior = grid.posterior(30, 60)
+    probs = [grid.prob_similarity_above(posterior, t) for t in (0.2, 0.5, 0.8)]
+    assert probs[0] >= probs[1] >= probs[2]
+
+
+def test_variance_decreases_with_more_hashes():
+    grid = PosteriorGrid(MinHashSketcher, resolution=201)
+    few = grid.similarity_variance(grid.posterior(5, 10))
+    many = grid.similarity_variance(grid.posterior(50, 100))
+    assert many < few
+
+
+def test_prob_outside_band_shrinks_with_evidence():
+    grid = PosteriorGrid(MinHashSketcher, resolution=201)
+    few = grid.posterior(8, 16)
+    many = grid.posterior(128, 256)
+    est_few = grid.map_similarity(few)
+    est_many = grid.map_similarity(many)
+    assert (grid.prob_outside_band(many, est_many, 0.05)
+            < grid.prob_outside_band(few, est_few, 0.05))
+
+
+def test_cosine_similarity_grid_spans_negative_values():
+    grid = PosteriorGrid(CosineSketcher, resolution=101)
+    assert grid.similarity_grid.min() == pytest.approx(-1.0)
+    assert grid.similarity_grid.max() == pytest.approx(1.0)
+
+
+def test_credible_interval_contains_map():
+    grid = PosteriorGrid(MinHashSketcher, resolution=201)
+    posterior = grid.posterior(70, 100)
+    low, high = grid.credible_interval(posterior, 0.95)
+    assert low <= grid.map_similarity(posterior) <= high
+
+
+def test_custom_prior_shifts_posterior():
+    uniform = PosteriorGrid(MinHashSketcher, resolution=101)
+    weights = np.exp(-((uniform.grid - 0.9) ** 2) / 0.001)
+    informed = uniform.with_prior(weights)
+    weak_evidence = (3, 5)
+    assert (informed.mean_similarity(informed.posterior(*weak_evidence))
+            > uniform.mean_similarity(uniform.posterior(*weak_evidence)))
+
+
+def test_invalid_arguments():
+    with pytest.raises(ValueError):
+        PosteriorGrid(MinHashSketcher, resolution=2)
+    grid = PosteriorGrid(MinHashSketcher)
+    with pytest.raises(ValueError):
+        grid.posterior(5, 3)
+    with pytest.raises(ValueError):
+        grid.with_prior(np.ones(7))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 200))
+def test_property_posterior_normalized_for_any_evidence(n):
+    grid = PosteriorGrid(MinHashSketcher, resolution=101)
+    m = n // 2
+    assert grid.posterior(m, n).sum() == pytest.approx(1.0)

@@ -1,0 +1,82 @@
+"""Tests for min-wise hashing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsh import MinHashSketcher
+
+
+def test_signature_length_and_determinism():
+    sketcher = MinHashSketcher(32, seed=0)
+    sig_a = sketcher.sketch([1, 2, 3])
+    sig_b = sketcher.sketch([1, 2, 3])
+    assert len(sig_a) == 32
+    assert np.array_equal(sig_a, sig_b)
+
+
+def test_identical_sets_always_collide():
+    sketcher = MinHashSketcher(64, seed=1)
+    a = sketcher.sketch([5, 9, 100])
+    b = sketcher.sketch([100, 5, 9])
+    assert MinHashSketcher.estimate_similarity(a, b) == pytest.approx(1.0)
+
+
+def test_disjoint_sets_rarely_collide():
+    sketcher = MinHashSketcher(128, seed=2)
+    a = sketcher.sketch(range(0, 50))
+    b = sketcher.sketch(range(1000, 1050))
+    assert MinHashSketcher.estimate_similarity(a, b) < 0.1
+
+
+def test_collision_rate_approximates_jaccard():
+    """Core LSH property: collision frequency ~ Jaccard similarity."""
+    sketcher = MinHashSketcher(512, seed=3)
+    set_a = set(range(0, 60))
+    set_b = set(range(30, 90))  # Jaccard = 30 / 90 = 1/3
+    estimate = MinHashSketcher.estimate_similarity(
+        sketcher.sketch(set_a), sketcher.sketch(set_b))
+    assert estimate == pytest.approx(1.0 / 3.0, abs=0.08)
+
+
+def test_empty_set_sentinel_never_matches():
+    sketcher = MinHashSketcher(16, seed=4)
+    empty = sketcher.sketch([])
+    other = sketcher.sketch([1, 2])
+    assert MinHashSketcher.estimate_similarity(empty, other) == 0.0
+
+
+def test_incremental_prefix_estimate():
+    sketcher = MinHashSketcher(64, seed=5)
+    a = sketcher.sketch([1, 2, 3, 4])
+    b = sketcher.sketch([1, 2, 3, 4])
+    assert MinHashSketcher.estimate_similarity(a, b, n_hashes=8) == pytest.approx(1.0)
+    assert MinHashSketcher.estimate_similarity(a, b, n_hashes=0) == 0.0
+
+
+def test_conversions_are_identity():
+    assert MinHashSketcher.collision_to_similarity(0.4) == 0.4
+    assert MinHashSketcher.similarity_to_collision(0.7) == 0.7
+
+
+def test_sketch_many_stacks_rows():
+    sketcher = MinHashSketcher(8, seed=6)
+    matrix = sketcher.sketch_many([[1, 2], [3, 4], []])
+    assert matrix.shape == (3, 8)
+
+
+def test_rejects_nonpositive_hash_count():
+    with pytest.raises(ValueError):
+        MinHashSketcher(0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.sets(st.integers(0, 500), min_size=1, max_size=40),
+       st.sets(st.integers(0, 500), min_size=1, max_size=40))
+def test_property_estimate_within_statistical_error(a, b):
+    """Min-hash estimates stay within a generous band of the true Jaccard."""
+    sketcher = MinHashSketcher(256, seed=7)
+    true = len(a & b) / len(a | b)
+    estimate = MinHashSketcher.estimate_similarity(sketcher.sketch(a), sketcher.sketch(b))
+    assert abs(estimate - true) < 0.2

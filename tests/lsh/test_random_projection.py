@@ -1,0 +1,85 @@
+"""Tests for signed random projection sketches."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import VectorDataset
+from repro.lsh import CosineSketcher
+from repro.similarity import cosine_similarity
+
+
+def _rows(vectors, n_features=30):
+    ds = VectorDataset.from_dense(np.asarray(vectors, dtype=float)[:, :n_features],
+                                  prune_zeros=False)
+    return [ds.row(i) for i in range(ds.n_rows)]
+
+
+def test_sketch_shape_and_determinism():
+    sketcher = CosineSketcher(64, 10, seed=0)
+    ds = VectorDataset.from_rows([{0: 1.0, 3: 2.0}], n_features=10)
+    a = sketcher.sketch(ds.row(0))
+    b = sketcher.sketch(ds.row(0))
+    assert a.shape == (64,)
+    assert np.array_equal(a, b)
+    assert set(np.unique(a)) <= {0, 1}
+
+
+def test_identical_vectors_agree_everywhere():
+    sketcher = CosineSketcher(128, 20, seed=1)
+    ds = VectorDataset.from_rows([{1: 1.0, 5: -2.0}], n_features=20)
+    sketch = sketcher.sketch(ds.row(0))
+    assert CosineSketcher.estimate_similarity(sketch, sketch) == pytest.approx(1.0)
+
+
+def test_opposite_vectors_disagree_everywhere():
+    sketcher = CosineSketcher(128, 5, seed=2)
+    ds = VectorDataset.from_dense(np.array([[1.0, 2.0, 0, 0, 0],
+                                            [-1.0, -2.0, 0, 0, 0]]),
+                                  prune_zeros=False)
+    a = sketcher.sketch(ds.row(0))
+    b = sketcher.sketch(ds.row(1))
+    assert CosineSketcher.estimate_similarity(a, b) == pytest.approx(-1.0)
+
+
+def test_agreement_rate_matches_angle():
+    """Bit-agreement probability ~ 1 - theta/pi for random vectors."""
+    rng = np.random.default_rng(3)
+    n_features = 25
+    sketcher = CosineSketcher(1024, n_features, seed=4)
+    x = rng.normal(size=n_features)
+    y = rng.normal(size=n_features)
+    ds = VectorDataset.from_dense(np.vstack([x, y]), prune_zeros=False)
+    true_cosine = cosine_similarity(ds.row(0), ds.row(1))
+    estimate = CosineSketcher.estimate_similarity(
+        sketcher.sketch(ds.row(0)), sketcher.sketch(ds.row(1)))
+    assert estimate == pytest.approx(true_cosine, abs=0.12)
+
+
+def test_empty_row_gets_zero_sketch():
+    sketcher = CosineSketcher(16, 4, seed=5)
+    ds = VectorDataset.from_rows([{}], n_features=4)
+    assert sketcher.sketch(ds.row(0)).sum() == 0
+
+
+def test_conversion_round_trip():
+    for s in [-0.9, -0.3, 0.0, 0.4, 0.85, 1.0]:
+        p = CosineSketcher.similarity_to_collision(s)
+        assert CosineSketcher.collision_to_similarity(p) == pytest.approx(s, abs=1e-9)
+
+
+def test_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        CosineSketcher(0, 5)
+    with pytest.raises(ValueError):
+        CosineSketcher(5, 0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.floats(0.0, 1.0))
+def test_property_conversion_monotone(p):
+    """Higher collision probability always maps to higher similarity."""
+    lower = CosineSketcher.collision_to_similarity(max(0.0, p - 0.05))
+    upper = CosineSketcher.collision_to_similarity(min(1.0, p + 0.05))
+    assert upper >= lower

@@ -1,0 +1,82 @@
+"""Tests for the sketch store and candidate generation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_clustered_vectors
+from repro.lsh import all_pair_candidates, banded_candidates, build_sketch_store
+from repro.similarity import pairwise_similarity_matrix
+
+
+def test_build_sketch_store_cosine():
+    ds = make_clustered_vectors(20, 6, 2, seed=0)
+    store = build_sketch_store(ds, kind="cosine", n_hashes=32, seed=1)
+    assert store.n_rows == 20
+    assert store.n_hashes == 32
+    assert store.build_seconds >= 0.0
+
+
+def test_build_sketch_store_jaccard():
+    ds = make_clustered_vectors(10, 6, 2, seed=0)
+    store = build_sketch_store(ds, kind="jaccard", n_hashes=16, seed=1)
+    assert store.sketches.shape == (10, 16)
+
+
+def test_build_sketch_store_rejects_unknown_kind():
+    ds = make_clustered_vectors(5, 3, 2, seed=0)
+    with pytest.raises(ValueError):
+        build_sketch_store(ds, kind="hamming")
+
+
+def test_matches_counts_comparisons():
+    ds = make_clustered_vectors(6, 4, 2, seed=0)
+    store = build_sketch_store(ds, kind="cosine", n_hashes=64, seed=1)
+    store.reset_counters()
+    matches = store.matches(0, 0, 64)
+    assert matches == 64  # identical rows agree on every bit
+    assert store.hash_comparisons == 64
+    store.matches(0, 1, 10, offset=60)  # clipped at the sketch length
+    assert store.hash_comparisons == 64 + 4
+
+
+def test_estimate_similarity_self_is_one():
+    ds = make_clustered_vectors(6, 4, 2, seed=0)
+    store = build_sketch_store(ds, kind="cosine", n_hashes=64, seed=1)
+    assert store.estimate_similarity(2, 2) == pytest.approx(1.0)
+
+
+def test_all_pair_candidates_count():
+    pairs = list(all_pair_candidates(6))
+    assert len(pairs) == 15
+    assert all(i < j for i, j in pairs)
+
+
+def test_banded_candidates_find_similar_rows():
+    ds = make_clustered_vectors(60, 8, 3, separation=6.0, cluster_std=0.4, seed=2)
+    store = build_sketch_store(ds, kind="cosine", n_hashes=64, seed=3)
+    candidates = set(banded_candidates(store.sketches, band_size=8))
+    sims = pairwise_similarity_matrix(ds)
+    # Every very-high-similarity pair should be recovered as a candidate.
+    missing = 0
+    total = 0
+    for i in range(ds.n_rows):
+        for j in range(i + 1, ds.n_rows):
+            if sims[i, j] >= 0.95:
+                total += 1
+                if (i, j) not in candidates:
+                    missing += 1
+    assert total > 0
+    assert missing / total < 0.2
+
+
+def test_banded_candidates_sorted_unique():
+    ds = make_clustered_vectors(30, 5, 2, seed=4)
+    store = build_sketch_store(ds, kind="cosine", n_hashes=32, seed=5)
+    candidates = banded_candidates(store.sketches, band_size=4)
+    assert candidates == sorted(set(candidates))
+    assert all(i < j for i, j in candidates)
+
+
+def test_banded_candidates_rejects_bad_band():
+    with pytest.raises(ValueError):
+        banded_candidates(np.zeros((3, 8)), band_size=0)

@@ -1,0 +1,87 @@
+"""Tests for crossing counting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parcoords import count_crossings, count_crossings_brute_force, crossing_matrix
+
+
+def test_no_crossings_when_orders_agree():
+    x = [1.0, 2.0, 3.0, 4.0]
+    assert count_crossings(x, x) == 0
+    assert count_crossings(x, [10, 20, 30, 40]) == 0
+
+
+def test_all_pairs_cross_when_order_reversed():
+    x = [1.0, 2.0, 3.0, 4.0]
+    y = [4.0, 3.0, 2.0, 1.0]
+    assert count_crossings(x, y) == 6  # C(4, 2)
+
+
+def test_single_inversion():
+    assert count_crossings([1, 2, 3], [1, 3, 2]) == 1
+
+
+def test_figure_5_3_example():
+    """Three 2-item clusters: ordering w,z,y,x has fewer crossings than w,x,y,z."""
+    data = np.array([
+        [0.1, 0.9, 0.15, 0.2],
+        [0.15, 0.95, 0.1, 0.25],
+        [0.5, 0.5, 0.55, 0.5],
+        [0.55, 0.45, 0.5, 0.55],
+        [0.9, 0.1, 0.85, 0.9],
+        [0.95, 0.05, 0.9, 0.85],
+    ])
+    w, x, y, z = 0, 1, 2, 3
+    original = (count_crossings(data[:, w], data[:, x])
+                + count_crossings(data[:, x], data[:, y])
+                + count_crossings(data[:, y], data[:, z]))
+    reordered = (count_crossings(data[:, w], data[:, z])
+                 + count_crossings(data[:, z], data[:, y])
+                 + count_crossings(data[:, y], data[:, x]))
+    assert reordered < original
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        count_crossings([1, 2], [1, 2, 3])
+    with pytest.raises(ValueError):
+        count_crossings_brute_force([1, 2], [1])
+
+
+def test_trivial_sizes():
+    assert count_crossings([], []) == 0
+    assert count_crossings([1.0], [2.0]) == 0
+
+
+def test_crossing_matrix_symmetric_zero_diagonal():
+    rng = np.random.default_rng(1)
+    data = rng.random((30, 5))
+    matrix = crossing_matrix(data)
+    assert matrix.shape == (5, 5)
+    assert np.allclose(matrix, matrix.T)
+    assert np.all(np.diag(matrix) == 0)
+    with pytest.raises(ValueError):
+        crossing_matrix(data[:, 0])
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.floats(0, 1, allow_nan=False),
+                          st.floats(0, 1, allow_nan=False)),
+                min_size=2, max_size=60))
+def test_property_fast_count_matches_brute_force(pairs):
+    """The O(n log n) BIT count equals the quadratic reference count."""
+    x = [p[0] for p in pairs]
+    y = [p[1] for p in pairs]
+    assert count_crossings(x, y) == count_crossings_brute_force(x, y)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(0, 1, allow_nan=False), min_size=2, max_size=40),
+       st.lists(st.floats(0, 1, allow_nan=False), min_size=2, max_size=40))
+def test_property_crossings_symmetric(x, y):
+    n = min(len(x), len(y))
+    x, y = x[:n], y[:n]
+    assert count_crossings(x, y) == count_crossings(y, x)

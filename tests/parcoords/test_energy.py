@@ -1,0 +1,125 @@
+"""Tests for the energy-reduction layout model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parcoords import EnergyModel
+
+
+def _two_cluster_data(n_per_cluster=20, seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.concatenate([rng.normal(0.2, 0.05, n_per_cluster),
+                        rng.normal(0.8, 0.05, n_per_cluster)])
+    y = np.concatenate([rng.normal(0.3, 0.05, n_per_cluster),
+                        rng.normal(0.7, 0.05, n_per_cluster)])
+    labels = np.array([0] * n_per_cluster + [1] * n_per_cluster)
+    return x, y, labels
+
+
+def test_energy_monotonically_decreases():
+    x, y, labels = _two_cluster_data()
+    result = EnergyModel().layout(x, y, labels)
+    history = np.array(result.energy_history)
+    assert np.all(np.diff(history) <= 1e-9)
+    assert result.converged
+    assert result.iterations <= 500
+
+
+def test_pure_elastic_model_keeps_lines_straight():
+    x, y, labels = _two_cluster_data()
+    result = EnergyModel(alpha=1.0, beta=0.0, gamma=0.0).layout(x, y, labels)
+    assert np.allclose(result.positions, (x + y) / 2, atol=1e-9)
+
+
+def test_attraction_pulls_lines_towards_cluster_centers():
+    x, y, labels = _two_cluster_data(seed=3)
+    baseline = (x + y) / 2
+    result = EnergyModel(alpha=0.2, beta=0.8, gamma=0.0).layout(x, y, labels)
+    for cluster in (0, 1):
+        members = labels == cluster
+        center = baseline[members].mean()
+        spread_before = np.abs(baseline[members] - center).mean()
+        spread_after = np.abs(result.positions[members]
+                              - result.positions[members].mean()).mean()
+        assert spread_after < spread_before
+
+
+def test_repulsion_pulls_interior_cluster_towards_neighbor_midpoint():
+    """The repelling energy is minimised when an interior cluster's lines sit
+    midway between the two adjacent cluster centers, so adding gamma must move
+    them closer to that midpoint than the attraction-only layout does."""
+    rng = np.random.default_rng(5)
+    x = np.concatenate([rng.normal(0.20, 0.02, 15), rng.normal(0.55, 0.02, 15),
+                        rng.normal(0.80, 0.02, 15)])
+    y = np.concatenate([rng.normal(0.25, 0.02, 15), rng.normal(0.60, 0.02, 15),
+                        rng.normal(0.75, 0.02, 15)])
+    labels = np.array([0] * 15 + [1] * 15 + [2] * 15)
+
+    without = EnergyModel(alpha=0.4, beta=0.6, gamma=0.0).layout(x, y, labels)
+    with_rep = EnergyModel(alpha=0.4, beta=0.3, gamma=0.3).layout(x, y, labels)
+
+    def distance_to_neighbor_midpoint(result):
+        order = result.cluster_order
+        centers = {label: result.positions[labels == label].mean()
+                   for label in order}
+        midpoint = (centers[order[0]] + centers[order[2]]) / 2.0
+        interior = result.positions[labels == order[1]]
+        return float(np.abs(interior - midpoint).mean())
+
+    assert (distance_to_neighbor_midpoint(with_rep)
+            <= distance_to_neighbor_midpoint(without) + 1e-9)
+
+
+def test_weighted_variant_runs_and_converges():
+    x, y, labels = _two_cluster_data(seed=7)
+    labels = np.array([0] * 5 + [1] * 35)  # very unbalanced clusters
+    result = EnergyModel(weighted=True).layout(x, y, labels)
+    history = np.array(result.energy_history)
+    assert np.all(np.diff(history) <= 1e-9)
+
+
+def test_single_cluster_and_empty_input():
+    model = EnergyModel()
+    x = np.array([0.1, 0.5, 0.9])
+    result = model.layout(x, x, [0, 0, 0])
+    assert len(result.positions) == 3
+    empty = model.layout([], [], [])
+    assert empty.converged
+    assert len(empty.positions) == 0
+
+
+def test_cluster_order_sorted_by_center():
+    x = np.array([0.9, 0.88, 0.1, 0.12])
+    y = np.array([0.85, 0.9, 0.12, 0.1])
+    result = EnergyModel().layout(x, y, ["high", "high", "low", "low"])
+    assert result.cluster_order == ["low", "high"]
+
+
+def test_invalid_arguments():
+    with pytest.raises(ValueError):
+        EnergyModel(alpha=-0.1)
+    with pytest.raises(ValueError):
+        EnergyModel(alpha=0, beta=0, gamma=0)
+    with pytest.raises(ValueError):
+        EnergyModel(max_iterations=0)
+    with pytest.raises(ValueError):
+        EnergyModel().layout([1, 2], [1], [0, 0])
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 4), st.integers(0, 1000),
+       st.floats(0.05, 0.9), st.floats(0.05, 0.9))
+def test_property_energy_never_increases(n_clusters, seed, beta_share, gamma_share):
+    rng = np.random.default_rng(seed)
+    n = 10 * n_clusters
+    labels = np.repeat(np.arange(n_clusters), 10)
+    x = rng.random(n)
+    y = rng.random(n)
+    total = 1.0 + beta_share + gamma_share
+    model = EnergyModel(alpha=1.0 / total, beta=beta_share / total,
+                        gamma=gamma_share / total)
+    result = model.layout(x, y, labels)
+    history = np.array(result.energy_history)
+    assert np.all(np.diff(history) <= 1e-8 * max(1.0, history[0]))

@@ -1,0 +1,106 @@
+"""Tests for Bézier geometry and the full parallel-coordinates model."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_clustered_vectors
+from repro.parcoords import ParallelCoordinatesModel, quadratic_bezier
+from repro.parcoords.bezier import polyline_with_assistant
+
+
+def test_quadratic_bezier_endpoints_and_shape():
+    curve = quadratic_bezier([0, 0], [0.5, 1.0], [1, 0], n_points=10)
+    assert curve.shape == (10, 2)
+    assert np.allclose(curve[0], [0, 0])
+    assert np.allclose(curve[-1], [1, 0])
+    # The curve bends towards the control point.
+    assert curve[:, 1].max() > 0.3
+
+
+def test_quadratic_bezier_validation():
+    with pytest.raises(ValueError):
+        quadratic_bezier([0, 0], [1, 1], [2, 2], n_points=1)
+    with pytest.raises(ValueError):
+        quadratic_bezier([0, 0, 0], [1, 1], [2, 2])
+
+
+def test_polyline_with_assistant_passes_through_assistant_value():
+    curve = polyline_with_assistant(0.0, 0.2, 1.0, 0.8, assistant_value=0.9,
+                                    n_points=33, curved=True)
+    midpoint = curve[len(curve) // 2]
+    assert midpoint[0] == pytest.approx(0.5, abs=0.02)
+    assert midpoint[1] == pytest.approx(0.9, abs=0.02)
+    straight = polyline_with_assistant(0.0, 0.2, 1.0, 0.8, 0.9, curved=False)
+    assert straight.shape == (3, 2)
+    assert straight[1].tolist() == [0.5, 0.9]
+
+
+@pytest.fixture(scope="module")
+def clustered():
+    return make_clustered_vectors(120, 7, 4, separation=5.0, cluster_std=0.8,
+                                  seed=111)
+
+
+def test_layout_reduces_crossings(clustered):
+    model = ParallelCoordinatesModel(ordering_method="mst")
+    layout = model.layout(clustered)
+    assert layout.crossings_after_ordering <= layout.crossings_before
+    assert sorted(layout.dimension_order) == list(range(7))
+    assert layout.ordering_seconds > 0
+
+
+def test_layout_energy_results_per_gap(clustered):
+    layout = ParallelCoordinatesModel().layout(clustered)
+    assert len(layout.energy_results) == 6  # one per adjacent coordinate pair
+    assistant = layout.assistant_positions()
+    assert assistant.shape == (clustered.n_rows, 6)
+    assert layout.max_energy_iterations >= 1
+
+
+def test_layout_without_energy_phase(clustered):
+    layout = ParallelCoordinatesModel().layout(clustered, run_energy=False)
+    assert layout.energy_results == []
+    assert layout.energy_seconds == 0.0
+
+
+def test_layout_polyline_geometry(clustered):
+    layout = ParallelCoordinatesModel().layout(clustered)
+    line = layout.polyline(0, curved=True, n_points=8)
+    assert line.shape[1] == 2
+    assert line[0, 0] == pytest.approx(0.0)
+    assert line[-1, 0] == pytest.approx(6.0)
+    straight = layout.polyline(0, curved=False)
+    assert straight.shape[0] == 13  # 3 points per gap, shared interior points
+
+
+def test_layout_accepts_plain_arrays_and_default_labels():
+    rng = np.random.default_rng(0)
+    data = rng.random((40, 4))
+    layout = ParallelCoordinatesModel().layout(data)
+    assert layout.clusters.tolist() == [0] * 40
+
+
+def test_layout_normalization_to_unit_interval(clustered):
+    layout = ParallelCoordinatesModel().layout(clustered)
+    assert layout.normalized.min() >= 0.0
+    assert layout.normalized.max() <= 1.0
+
+
+def test_compare_orderings_reports_methods(clustered):
+    model = ParallelCoordinatesModel()
+    comparison = model.compare_orderings(clustered.to_dense()[:, :6], clustered.labels)
+    assert set(comparison) == {"exact", "mst", "greedy"}
+    assert comparison["exact"]["crossings"] <= comparison["mst"]["crossings"] + 1e-9
+    assert comparison["mst"]["crossings"] <= 2 * comparison["exact"]["crossings"] + 1e-9
+    # Exact search is slower than the approximation even at 6 dimensions.
+    assert comparison["exact"]["seconds"] >= 0
+    # Above 10 dimensions the exact solver is skipped.
+    wide = np.random.default_rng(1).random((30, 12))
+    assert "exact" not in model.compare_orderings(wide)
+
+
+def test_layout_validation():
+    with pytest.raises(ValueError):
+        ParallelCoordinatesModel().layout(np.zeros((4, 3)), clusters=[0, 1])
+    with pytest.raises(ValueError):
+        ParallelCoordinatesModel().layout(np.zeros(5))

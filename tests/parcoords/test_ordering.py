@@ -1,0 +1,116 @@
+"""Tests for dimension ordering."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parcoords import (
+    order_dimensions,
+    order_dimensions_exact,
+    order_dimensions_greedy,
+    order_dimensions_mst,
+    path_cost,
+)
+
+
+def _random_weights(k, seed=0):
+    rng = np.random.default_rng(seed)
+    weights = rng.integers(1, 100, size=(k, k)).astype(float)
+    weights = (weights + weights.T) / 2
+    np.fill_diagonal(weights, 0)
+    return weights
+
+
+def test_path_cost_simple():
+    weights = np.array([[0, 1, 5], [1, 0, 2], [5, 2, 0]], dtype=float)
+    assert path_cost([0, 1, 2], weights) == 3
+    assert path_cost([1, 0, 2], weights) == 6
+
+
+def test_exact_order_is_optimal_by_enumeration():
+    weights = _random_weights(6, seed=3)
+    best = order_dimensions_exact(weights)
+    best_cost = path_cost(best, weights)
+    for permutation in itertools.permutations(range(6)):
+        assert best_cost <= path_cost(permutation, weights) + 1e-9
+
+
+def test_exact_order_maximize():
+    weights = _random_weights(5, seed=4)
+    best = order_dimensions_exact(weights, maximize=True)
+    best_cost = path_cost(best, weights)
+    for permutation in itertools.permutations(range(5)):
+        assert best_cost >= path_cost(permutation, weights) - 1e-9
+
+
+def test_exact_order_rejects_large_k():
+    with pytest.raises(ValueError):
+        order_dimensions_exact(_random_weights(11))
+
+
+def test_mst_order_visits_every_dimension_once():
+    weights = _random_weights(9, seed=5)
+    order = order_dimensions_mst(weights)
+    assert sorted(order) == list(range(9))
+
+
+def test_greedy_order_visits_every_dimension_once():
+    weights = _random_weights(9, seed=6)
+    order = order_dimensions_greedy(weights)
+    assert sorted(order) == list(range(9))
+
+
+def test_non_symmetric_weights_rejected():
+    weights = np.array([[0, 1], [2, 0]], dtype=float)
+    with pytest.raises(ValueError):
+        order_dimensions_mst(weights)
+
+
+def test_order_dimensions_dispatch_and_unknown_method():
+    weights = _random_weights(5, seed=7)
+    assert sorted(order_dimensions(weights, "mst")) == list(range(5))
+    with pytest.raises(KeyError):
+        order_dimensions(weights, "simulated-annealing")
+
+
+def test_pinned_positions_are_honoured():
+    weights = _random_weights(6, seed=8)
+    order = order_dimensions(weights, "mst", pinned={0: 3, 5: 1})
+    assert order[0] == 3
+    assert order[5] == 1
+    assert sorted(order) == list(range(6))
+
+
+def test_pinned_validation():
+    weights = _random_weights(4, seed=9)
+    with pytest.raises(ValueError):
+        order_dimensions(weights, "mst", pinned={0: 9})
+    with pytest.raises(ValueError):
+        order_dimensions(weights, "mst", pinned={0: 1, 1: 1})
+
+
+def test_small_matrices():
+    assert order_dimensions_mst(np.zeros((0, 0))) == []
+    assert order_dimensions_mst(np.zeros((1, 1))) == [0]
+    assert order_dimensions_greedy(np.zeros((1, 1))) == [0]
+    assert order_dimensions_exact(np.zeros((0, 0))) == []
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(3, 7), st.integers(0, 10_000))
+def test_property_mst_order_within_2x_of_optimum(k, seed):
+    """The MST preorder is a 2-approximation for metric-like weights.
+
+    Crossing counts between coordinates behave metrically (the chapter proves
+    the triangle inequality for its crossing definition); random metric
+    matrices are generated from points on a line.
+    """
+    rng = np.random.default_rng(seed)
+    points = rng.random(k)
+    weights = np.abs(points[:, None] - points[None, :])
+    exact_cost = path_cost(order_dimensions_exact(weights), weights)
+    mst_cost = path_cost(order_dimensions_mst(weights), weights)
+    assert mst_cost <= 2.0 * exact_cost + 1e-9

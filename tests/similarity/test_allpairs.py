@@ -1,0 +1,60 @@
+"""Tests for the exact all-pairs similarity search baseline."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import VectorDataset, make_clustered_vectors
+from repro.similarity import (
+    SimilarPair,
+    exact_all_pairs,
+    exact_pair_count,
+    pairwise_similarity_matrix,
+    similarity_histogram,
+)
+
+
+def test_exact_all_pairs_small_example():
+    ds = VectorDataset.from_rows([
+        {0: 1.0}, {0: 1.0, 1: 0.1}, {1: 1.0},
+    ], n_features=2)
+    pairs = exact_all_pairs(ds, threshold=0.9)
+    found = {(p.first, p.second) for p in pairs}
+    assert (0, 1) in found
+    assert (0, 2) not in found
+
+
+def test_exact_all_pairs_returns_similarities():
+    ds = VectorDataset.from_rows([{0: 1.0}, {0: 2.0}], n_features=1)
+    pairs = exact_all_pairs(ds, threshold=0.5)
+    assert len(pairs) == 1
+    assert isinstance(pairs[0], SimilarPair)
+    assert pairs[0].similarity == pytest.approx(1.0)
+    assert pairs[0].as_tuple()[:2] == (0, 1)
+
+
+def test_exact_pair_count_matches_all_pairs():
+    ds = make_clustered_vectors(40, 6, 3, seed=2)
+    thresholds = [0.3, 0.6, 0.9]
+    counts = exact_pair_count(ds, thresholds)
+    for t in thresholds:
+        assert counts[t] == len(exact_all_pairs(ds, t))
+
+
+def test_exact_pair_count_monotone_in_threshold():
+    ds = make_clustered_vectors(50, 5, 3, seed=3)
+    counts = exact_pair_count(ds, [0.1, 0.3, 0.5, 0.7, 0.9])
+    values = [counts[t] for t in sorted(counts)]
+    assert values == sorted(values, reverse=True)
+
+
+def test_similarity_histogram_total_pairs():
+    ds = make_clustered_vectors(30, 4, 2, seed=4)
+    counts, edges = similarity_histogram(ds, bins=20)
+    assert counts.sum() == 30 * 29 // 2
+    assert len(edges) == 21
+
+
+def test_jaccard_measure_supported():
+    ds = VectorDataset.from_rows([{0: 1, 1: 1}, {0: 1, 1: 1}, {2: 1}], n_features=3)
+    counts = exact_pair_count(ds, [0.99], measure="jaccard")
+    assert counts[0.99] == 1

@@ -1,0 +1,101 @@
+"""Tests for similarity measures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import VectorDataset
+from repro.similarity import (
+    cosine_similarity,
+    dot_similarity,
+    get_measure,
+    jaccard_similarity,
+    pairwise_similarity_matrix,
+)
+
+
+def _row(mapping):
+    ds = VectorDataset.from_rows([mapping], n_features=50)
+    return ds.row(0)
+
+
+def test_cosine_identical_vectors():
+    row = _row({0: 1.0, 1: 2.0})
+    assert cosine_similarity(row, row) == pytest.approx(1.0)
+
+
+def test_cosine_orthogonal_vectors():
+    a = _row({0: 1.0})
+    b = _row({1: 1.0})
+    assert cosine_similarity(a, b) == pytest.approx(0.0)
+
+
+def test_cosine_known_value():
+    a = _row({0: 1.0, 1: 1.0})
+    b = _row({0: 1.0})
+    assert cosine_similarity(a, b) == pytest.approx(1.0 / np.sqrt(2.0))
+
+
+def test_cosine_zero_vector():
+    assert cosine_similarity(_row({}), _row({0: 1.0})) == 0.0
+
+
+def test_jaccard_values():
+    a = _row({0: 1.0, 1: 1.0, 2: 1.0})
+    b = _row({1: 5.0, 2: 5.0, 3: 5.0})
+    assert jaccard_similarity(a, b) == pytest.approx(2.0 / 4.0)
+    assert jaccard_similarity(a, a) == pytest.approx(1.0)
+    assert jaccard_similarity(_row({}), _row({})) == 0.0
+
+
+def test_dot_similarity():
+    a = _row({0: 2.0, 3: 1.0})
+    b = _row({0: 3.0, 2: 1.0})
+    assert dot_similarity(a, b) == pytest.approx(6.0)
+
+
+def test_get_measure_lookup():
+    assert get_measure("cosine") is cosine_similarity
+    with pytest.raises(KeyError):
+        get_measure("euclidean-ish")
+
+
+def test_pairwise_matrix_matches_pairwise_calls():
+    rng = np.random.default_rng(1)
+    ds = VectorDataset.from_dense(np.abs(rng.normal(size=(12, 6))))
+    matrix = pairwise_similarity_matrix(ds, "cosine")
+    for i in range(ds.n_rows):
+        for j in range(ds.n_rows):
+            expected = 1.0 if i == j else cosine_similarity(ds.row(i), ds.row(j))
+            assert matrix[i, j] == pytest.approx(expected, abs=1e-9)
+
+
+def test_pairwise_matrix_jaccard_symmetric():
+    ds = VectorDataset.from_rows([{0: 1, 1: 1}, {1: 1, 2: 1}, {3: 1}], n_features=5)
+    matrix = pairwise_similarity_matrix(ds, "jaccard")
+    assert np.allclose(matrix, matrix.T)
+    assert matrix[0, 1] == pytest.approx(1.0 / 3.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.dictionaries(st.integers(0, 20), st.floats(0.1, 5.0), min_size=1, max_size=8),
+       st.dictionaries(st.integers(0, 20), st.floats(0.1, 5.0), min_size=1, max_size=8))
+def test_property_cosine_symmetric_and_bounded(a, b):
+    ra, rb = _row(a), _row(b)
+    sab = cosine_similarity(ra, rb)
+    sba = cosine_similarity(rb, ra)
+    assert sab == pytest.approx(sba)
+    assert -1.0 - 1e-9 <= sab <= 1.0 + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sets(st.integers(0, 25), min_size=1, max_size=10),
+       st.sets(st.integers(0, 25), min_size=1, max_size=10))
+def test_property_jaccard_bounds_and_identity(a, b):
+    ra = _row({i: 1.0 for i in a})
+    rb = _row({i: 1.0 for i in b})
+    s = jaccard_similarity(ra, rb)
+    assert 0.0 <= s <= 1.0
+    if a == b:
+        assert s == pytest.approx(1.0)

@@ -1,0 +1,72 @@
+"""End-to-end integration: the full PLASMA-HD workflow across subsystems.
+
+One scenario exercises the whole stack the way the dissertation's Figure 1.1
+wires it together: probe a dataset with BayesLSH (Chapter 2), read visual
+cues and a threshold suggestion off the knowledge cache, estimate a dense
+graph measure with the Graph Growth predictor (Chapter 3), measure
+clusterability with LAM compressibility (Chapter 4) and de-clutter a
+parallel-coordinates view of the same data (Chapter 5).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PlasmaSession
+from repro.datasets import make_clustered_vectors
+from repro.growth import GraphGrowthEstimator
+from repro.lam import LAM, compressibility_scan
+from repro.parcoords import ParallelCoordinatesModel
+from repro.similarity import exact_pair_count
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_clustered_vectors(100, 10, 4, separation=5.0, cluster_std=0.8,
+                                  seed=201, name="end-to-end")
+
+
+def test_full_plasma_hd_workflow(dataset):
+    # --- Chapter 2: probe, cache, cue, suggest -------------------------- #
+    session = PlasmaSession(dataset.l2_normalized(), n_hashes=160, seed=1)
+    first = session.probe(0.9)
+    assert first.pair_count > 0
+
+    suggestion = session.suggest_threshold()
+    assert 0.0 < suggestion < 1.0
+    session.probe(round(max(suggestion, 0.05), 2))
+
+    grid = [0.5, 0.7, 0.9]
+    exact = exact_pair_count(dataset.l2_normalized(), grid)
+    errors = session.cumulative_graph().relative_error_against(exact)
+    assert np.mean(list(errors.values())) < 0.6
+
+    cues = session.triangle_histogram(0.9)
+    assert cues.counts.sum() == dataset.n_rows
+
+    # --- Chapter 3: predict an expensive measure of the dense graphs ---- #
+    growth = GraphGrowthEstimator(measure="triangle_count", sample_size=50,
+                                  prediction_method="regression", seed=2)
+    estimate = growth.run(dataset)
+    assert estimate.error()[0] < 0.2
+
+    # --- Chapter 4: compressibility across thresholds ------------------- #
+    points, _ = compressibility_scan(dataset, [0.5, 0.7, 0.9],
+                                     lam=LAM(n_passes=2, max_partition_size=100))
+    ratios = [p.compression_ratio for p in points if p.n_edges > 0]
+    assert ratios and max(ratios) > 1.1
+
+    # --- Chapter 5: de-cluttered parallel coordinates ------------------- #
+    layout = ParallelCoordinatesModel().layout(dataset)
+    assert layout.crossings_after_ordering <= layout.crossings_before
+    assert all(np.all(np.diff(result.energy_history) <= 1e-9)
+               for result in layout.energy_results)
+
+
+def test_workflow_is_reproducible(dataset):
+    """Two sessions with the same seed report identical pair counts."""
+    normalized = dataset.l2_normalized()
+    counts = []
+    for _ in range(2):
+        session = PlasmaSession(normalized, n_hashes=96, seed=9)
+        counts.append(session.probe(0.9).pair_count)
+    assert counts[0] == counts[1]

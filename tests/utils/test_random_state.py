@@ -1,0 +1,40 @@
+"""Tests for repro.utils.random_state."""
+
+import numpy as np
+import pytest
+
+from repro.utils import ensure_rng, spawn_rngs
+
+
+def test_ensure_rng_accepts_none():
+    rng = ensure_rng(None)
+    assert isinstance(rng, np.random.Generator)
+
+
+def test_ensure_rng_accepts_int_seed_and_is_deterministic():
+    a = ensure_rng(42).random(5)
+    b = ensure_rng(42).random(5)
+    assert np.allclose(a, b)
+
+
+def test_ensure_rng_passes_through_generator():
+    rng = np.random.default_rng(7)
+    assert ensure_rng(rng) is rng
+
+
+def test_spawn_rngs_count_and_independence():
+    children = spawn_rngs(3, 4)
+    assert len(children) == 4
+    draws = [child.random() for child in children]
+    assert len(set(draws)) == 4
+
+
+def test_spawn_rngs_deterministic_given_seed():
+    first = [g.random() for g in spawn_rngs(5, 3)]
+    second = [g.random() for g in spawn_rngs(5, 3)]
+    assert first == second
+
+
+def test_spawn_rngs_rejects_negative_count():
+    with pytest.raises(ValueError):
+        spawn_rngs(1, -1)

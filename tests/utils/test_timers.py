@@ -1,0 +1,55 @@
+"""Tests for repro.utils.timers."""
+
+import pytest
+
+from repro.utils import PhaseTimer, Stopwatch
+
+
+def test_stopwatch_accumulates_time():
+    watch = Stopwatch()
+    watch.start()
+    elapsed = watch.stop()
+    assert elapsed >= 0.0
+    assert watch.total == pytest.approx(elapsed)
+
+
+def test_stopwatch_double_start_raises():
+    watch = Stopwatch()
+    watch.start()
+    with pytest.raises(RuntimeError):
+        watch.start()
+
+
+def test_stopwatch_stop_without_start_raises():
+    with pytest.raises(RuntimeError):
+        Stopwatch().stop()
+
+
+def test_phase_timer_records_phases():
+    timer = PhaseTimer()
+    with timer.phase("a"):
+        pass
+    with timer.phase("a"):
+        pass
+    with timer.phase("b"):
+        pass
+    assert timer.counts["a"] == 2
+    assert timer.counts["b"] == 1
+    assert timer.grand_total == pytest.approx(timer.totals["a"] + timer.totals["b"])
+
+
+def test_phase_timer_fraction():
+    timer = PhaseTimer()
+    timer.add("x", 3.0)
+    timer.add("y", 1.0)
+    assert timer.fraction("x") == pytest.approx(0.75)
+    assert timer.fraction("missing") == 0.0
+
+
+def test_phase_timer_add_rejects_negative():
+    with pytest.raises(ValueError):
+        PhaseTimer().add("x", -1.0)
+
+
+def test_phase_timer_empty_fraction_is_zero():
+    assert PhaseTimer().fraction("anything") == 0.0

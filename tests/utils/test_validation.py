@@ -1,0 +1,43 @@
+"""Tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils import check_fraction, check_positive_int, check_threshold
+
+
+@pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+def test_check_fraction_accepts_valid(value):
+    assert check_fraction(value, "v") == value
+
+
+@pytest.mark.parametrize("value", [-0.1, 1.1])
+def test_check_fraction_rejects_out_of_range(value):
+    with pytest.raises(ValueError):
+        check_fraction(value, "v")
+
+
+def test_check_fraction_exclusive_bounds():
+    with pytest.raises(ValueError):
+        check_fraction(0.0, "v", inclusive_low=False)
+    with pytest.raises(ValueError):
+        check_fraction(1.0, "v", inclusive_high=False)
+
+
+@pytest.mark.parametrize("value", [1, 5, 1000])
+def test_check_positive_int_accepts(value):
+    assert check_positive_int(value, "n") == value
+
+
+@pytest.mark.parametrize("value", [0, -1, True, 1.5])
+def test_check_positive_int_rejects(value):
+    with pytest.raises(ValueError):
+        check_positive_int(value, "n")
+
+
+def test_check_threshold_bounds():
+    assert check_threshold(0.5) == 0.5
+    assert check_threshold(1.0) == 1.0
+    with pytest.raises(ValueError):
+        check_threshold(0.0)
+    with pytest.raises(ValueError):
+        check_threshold(1.5)
