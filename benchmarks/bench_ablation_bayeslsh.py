@@ -6,26 +6,25 @@ buy accuracy at a linear cost, and early pruning removes most of the hash
 comparisons without hurting recall at the probed threshold.
 """
 
-from repro.lsh import BayesLSH, BayesLSHConfig, all_pair_candidates, build_sketch_store
-from repro.similarity import exact_pair_count
+from repro.similarity import ApssEngine
 
 
 def test_ablation_bayeslsh_hash_budget_and_pruning(benchmark, record, wine_like):
     threshold = 0.9
-    exact = exact_pair_count(wine_like, [threshold])[threshold]
+    engine = ApssEngine()
+    exact = engine.search(wine_like, threshold, "cosine").pair_count()
 
     def run():
         rows = []
         for n_hashes in (32, 64, 128, 256):
-            store = build_sketch_store(wine_like, kind="cosine",
-                                       n_hashes=n_hashes, seed=2)
-            engine = BayesLSH(store, BayesLSHConfig(max_hashes=n_hashes))
-            result = engine.run(all_pair_candidates(wine_like.n_rows), threshold)
+            result = engine.search(wine_like, threshold, "cosine",
+                                   backend="bayeslsh", n_hashes=n_hashes,
+                                   seed=2)
             rows.append({
                 "n_hashes": n_hashes,
-                "retained": result.n_retained,
-                "relative_error": abs(result.n_retained - exact) / exact,
-                "hash_comparisons": result.hash_comparisons,
+                "retained": result.pair_count(),
+                "relative_error": abs(result.pair_count() - exact) / exact,
+                "hash_comparisons": result.details["hash_comparisons"],
                 "pruned": result.n_pruned,
             })
         return rows

@@ -1,0 +1,161 @@
+"""APSS backend matrix benchmark: backends x measures x dataset scales.
+
+Runs every registered engine backend over a grid of workloads, checks that
+the exact backends agree pairwise, and reports wall-clock speedups against
+the ``exact-loop`` reference.  Dual interface:
+
+* ``PYTHONPATH=src python benchmarks/bench_apss_backends.py [--smoke]`` —
+  standalone CLI printing the matrix (``--smoke`` shrinks the workloads for
+  CI; the default sizes include the 2000x200 dense cosine workload the
+  engine's >=10x blocked-vs-loop claim is measured on).
+* ``pytest benchmarks/bench_apss_backends.py`` — pytest-benchmark harness
+  over the smoke matrix with shape assertions.
+
+Results land in ``benchmarks/results/apss_backend_matrix*.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.datasets import make_clustered_vectors, make_sparse_corpus
+from repro.similarity import ApssEngine
+
+#: (workload name, dataset builder, measure, threshold, backends, options)
+SMOKE_WORKLOADS = [
+    ("dense-200x50-cosine",
+     lambda: make_clustered_vectors(200, 50, 6, separation=4.0, seed=41,
+                                    name="dense-200x50"),
+     "cosine", 0.5,
+     ["exact-loop", "exact-blocked", "prefix-filter", "bayeslsh"]),
+    ("sparse-150x300-jaccard",
+     lambda: make_sparse_corpus(150, 300, avg_doc_length=18, n_topics=5,
+                                seed=43, name="sparse-150x300"),
+     "jaccard", 0.3,
+     ["exact-loop", "exact-blocked", "prefix-filter", "bayeslsh"]),
+]
+
+FULL_WORKLOADS = [
+    # The headline workload: 2k x 200 dense cosine, blocked vs loop.
+    ("dense-2000x200-cosine",
+     lambda: make_clustered_vectors(2000, 200, 10, separation=4.0, seed=47,
+                                    name="dense-2000x200"),
+     "cosine", 0.5,
+     ["exact-loop", "exact-blocked"]),
+    ("sparse-1500x2000-jaccard",
+     lambda: make_sparse_corpus(1500, 2000, avg_doc_length=20, n_topics=12,
+                                seed=49, name="sparse-1500x2000"),
+     "jaccard", 0.4,
+     ["exact-loop", "exact-blocked", "prefix-filter"]),
+    ("dense-400x64-cosine-all-backends",
+     lambda: make_clustered_vectors(400, 64, 8, separation=4.0, seed=51,
+                                    name="dense-400x64"),
+     "cosine", 0.6,
+     ["exact-loop", "exact-blocked", "prefix-filter", "bayeslsh"]),
+]
+
+
+def run_matrix(smoke: bool = True) -> list[dict]:
+    """Run the workload matrix and return one row per (workload, backend)."""
+    engine = ApssEngine()
+    workloads = SMOKE_WORKLOADS if smoke else FULL_WORKLOADS
+    rows: list[dict] = []
+    for name, build, measure, threshold, backends in workloads:
+        dataset = build()
+        reference_count = None
+        reference_seconds = None
+        for backend in backends:
+            result = engine.search(dataset, threshold, measure, backend=backend)
+            if backend == "exact-loop":
+                reference_count = result.pair_count()
+                reference_seconds = result.seconds
+            speedup = (reference_seconds / result.seconds
+                       if reference_seconds and result.seconds > 0 else None)
+            rows.append({
+                "workload": name,
+                "n_rows": dataset.n_rows,
+                "n_features": dataset.n_features,
+                "measure": measure,
+                "threshold": threshold,
+                "backend": backend,
+                "exact": result.exact,
+                "pairs": result.pair_count(),
+                "reference_pairs": reference_count,
+                "seconds": result.seconds,
+                "speedup_vs_loop": speedup,
+            })
+    return rows
+
+
+def check_matrix(rows: list[dict]) -> None:
+    """Assert the cross-backend invariants the matrix must uphold."""
+    for row in rows:
+        if row["exact"] and row["reference_pairs"] is not None:
+            assert row["pairs"] == row["reference_pairs"], (
+                f"{row['backend']} returned {row['pairs']} pairs on "
+                f"{row['workload']}, exact-loop returned {row['reference_pairs']}")
+        elif row["reference_pairs"]:
+            # Approximate backends must land in the right ballpark.
+            ratio = row["pairs"] / row["reference_pairs"]
+            assert 0.5 < ratio < 1.5, (
+                f"{row['backend']} count ratio {ratio:.2f} on {row['workload']}")
+
+
+def format_table(rows: list[dict]) -> str:
+    header = (f"{'workload':<28} {'backend':<14} {'pairs':>8} "
+              f"{'seconds':>10} {'speedup':>8}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        speedup = (f"{row['speedup_vs_loop']:.1f}x"
+                   if row["speedup_vs_loop"] else "-")
+        lines.append(f"{row['workload']:<28} {row['backend']:<14} "
+                     f"{row['pairs']:>8} {row['seconds']:>10.4f} {speedup:>8}")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# pytest-benchmark harness (smoke scale)
+# --------------------------------------------------------------------- #
+
+def test_apss_backend_matrix(benchmark, record):
+    rows = benchmark.pedantic(lambda: run_matrix(smoke=True),
+                              rounds=1, iterations=1)
+    record("apss_backend_matrix_smoke", rows)
+    check_matrix(rows)
+
+    by_backend = {(r["workload"], r["backend"]): r for r in rows}
+    for workload, *_ in [(w[0],) for w in SMOKE_WORKLOADS]:
+        loop = by_backend[(workload, "exact-loop")]
+        blocked = by_backend[(workload, "exact-blocked")]
+        # The vectorised kernel must be decisively faster than the loop even
+        # at smoke scale (the full 2000x200 workload shows >=10x).
+        assert blocked["seconds"] * 5 < loop["seconds"], (
+            f"exact-blocked only {loop['seconds'] / blocked['seconds']:.1f}x "
+            f"faster on {workload}")
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the reduced CI-sized matrix")
+    args = parser.parse_args(argv)
+
+    rows = run_matrix(smoke=args.smoke)
+    check_matrix(rows)
+    print(format_table(rows))
+
+    from conftest import record_result
+
+    suffix = "_smoke" if args.smoke else ""
+    path = record_result(f"apss_backend_matrix{suffix}", rows)
+    print(f"\nresults written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

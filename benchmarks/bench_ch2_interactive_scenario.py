@@ -9,13 +9,14 @@ over every threshold (an 83% saving in the paper's example).
 import numpy as np
 
 from repro.core import PlasmaSession
+from repro.core.apss_graph import exact_reference_counts
 from repro.lsh.bayeslsh import BayesLSHConfig
-from repro.similarity import exact_pair_count
 
 
 def test_figures_2_3_2_4_interactive_two_probe_session(benchmark, record, wine_like):
     grid = [round(t, 2) for t in np.arange(0.1, 1.0, 0.1)]
-    ground_truth = exact_pair_count(wine_like, grid)
+    # Ground truth through the APSS engine (one blocked search covers the grid).
+    ground_truth = exact_reference_counts(wine_like, grid)
 
     def interactive_session():
         session = PlasmaSession(wine_like, n_hashes=192, seed=3,

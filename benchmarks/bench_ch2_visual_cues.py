@@ -19,7 +19,8 @@ def test_figure_2_5_wine_triangle_cues(benchmark, record, wine_like):
 
     histogram, plot = benchmark.pedantic(cues, rounds=1, iterations=1)
 
-    exact_graph = similarity_graph(wine_like, 0.95)
+    # Exact reference edges via the engine's blocked backend.
+    exact_graph = similarity_graph(wine_like, 0.95, backend="exact-blocked")
     exact_triangles = triangle_count(exact_graph)
 
     record("figure_2_5_visual_cues", {

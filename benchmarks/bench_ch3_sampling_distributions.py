@@ -9,12 +9,14 @@ import numpy as np
 
 from repro.datasets import make_clustered_vectors
 from repro.growth import sample_dataset
-from repro.similarity import pairwise_similarity_matrix
+from repro.similarity import apss_search
 
 
 def _upper_triangle(dataset):
-    sims = pairwise_similarity_matrix(dataset)
-    return sims[np.triu_indices(dataset.n_rows, k=1)]
+    # All pairwise similarities via the engine's blocked backend: a search at
+    # threshold -2 (below the cosine floor) yields the full upper triangle.
+    result = apss_search(dataset, -2.0, measure="cosine")
+    return np.array([pair.similarity for pair in result.pairs])
 
 
 def test_figure_3_18_sampling_similarity_distributions(benchmark, record):

@@ -19,7 +19,21 @@ from scipy.stats import norm
 
 from repro.core.knowledge_cache import KnowledgeCache
 
-__all__ = ["ThresholdEstimate", "CumulativeApssGraph"]
+__all__ = ["ThresholdEstimate", "CumulativeApssGraph", "exact_reference_counts"]
+
+
+def exact_reference_counts(dataset, thresholds, measure: str = "cosine",
+                           backend: str | None = None) -> dict[float, int]:
+    """Exact pair counts per threshold, via the APSS engine.
+
+    The ground-truth line the Cumulative APSS Graph is plotted against
+    (Figures 2.3/2.4).  One engine search at the smallest threshold covers
+    the whole grid; *backend* selects any registered exact backend.
+    """
+    from repro.similarity.allpairs import exact_pair_count
+
+    return exact_pair_count(dataset, thresholds, measure=measure,
+                            backend=backend)
 
 
 @dataclass(frozen=True)
@@ -108,3 +122,18 @@ class CumulativeApssGraph:
             else:
                 errors[threshold] = abs(estimate - exact) / exact
         return errors
+
+    def relative_error_to_exact(self, dataset, measure: str = "cosine",
+                                thresholds=None,
+                                backend: str | None = None) -> dict[float, float]:
+        """Relative error against engine-computed exact counts.
+
+        Convenience wrapper pairing :meth:`relative_error_against` with
+        :func:`exact_reference_counts` so experiment code audits the curve
+        in one call.
+        """
+        if thresholds is None:
+            thresholds = self.thresholds
+        ground_truth = exact_reference_counts(dataset, thresholds,
+                                              measure=measure, backend=backend)
+        return self.relative_error_against(ground_truth)

@@ -30,9 +30,11 @@ from repro.core.visual_cues import (
 )
 from repro.datasets.vectors import VectorDataset
 from repro.graphs.graph import Graph
-from repro.lsh.bayeslsh import ApssResult, BayesLSH, BayesLSHConfig
+from repro.lsh.bayeslsh import ApssResult, BayesLSHConfig
 from repro.lsh.candidates import all_pair_candidates, banded_candidates
 from repro.lsh.sketches import SketchStore, build_sketch_store
+from repro.similarity.backends.bayeslsh import BayesLshBackend
+from repro.similarity.engine import ApssEngine, EngineResult
 from repro.utils.timers import Stopwatch
 from repro.utils.validation import check_threshold
 
@@ -84,12 +86,18 @@ class PlasmaSession:
         distribution.
     seed:
         Seed for sketch construction.
+    engine:
+        The :class:`~repro.similarity.engine.ApssEngine` used for exact
+        baselines (ground truth, recall audits).  Probes themselves run the
+        engine's ``bayeslsh`` backend against the session's long-lived
+        sketch store.
     """
 
     def __init__(self, dataset: VectorDataset, *, measure: str = "cosine",
                  n_hashes: int = 128, config: BayesLSHConfig | None = None,
                  candidate_strategy: str = "all",
-                 use_empirical_prior: bool = False, seed: int = 0) -> None:
+                 use_empirical_prior: bool = False, seed: int = 0,
+                 engine: ApssEngine | None = None) -> None:
         if candidate_strategy not in ("all", "banded"):
             raise ValueError("candidate_strategy must be 'all' or 'banded'")
         if measure not in ("cosine", "jaccard"):
@@ -101,6 +109,10 @@ class PlasmaSession:
         self.candidate_strategy = candidate_strategy
         self.use_empirical_prior = use_empirical_prior
         self.seed = seed
+        self.engine = engine or ApssEngine()
+        self.verifier: BayesLshBackend = self.engine.make_backend(
+            "bayeslsh", n_hashes=n_hashes, seed=seed, config=self.config,
+            candidate_strategy=candidate_strategy)
 
         self.cache = KnowledgeCache()
         self.history: list[ProbeResult] = []
@@ -164,7 +176,6 @@ class PlasmaSession:
                                  resolution=self.config.resolution)
             prior = self.cache.prior_weights(grid.similarity_grid)
 
-        engine = BayesLSH(self.sketch_store, self.config, prior=prior)
         candidates = self._candidates()
 
         incremental: list[tuple[float, dict[float, float]]] = []
@@ -180,10 +191,11 @@ class PlasmaSession:
 
         processing_watch = Stopwatch()
         processing_watch.start()
-        apss = engine.run(candidates, threshold,
-                          cache=self.cache if use_cache else None,
-                          progress_callback=callback,
-                          progress_every=progress_every)
+        apss = self.verifier.verify(self.sketch_store, candidates, threshold,
+                                    cache=self.cache if use_cache else None,
+                                    prior=prior,
+                                    progress_callback=callback,
+                                    progress_every=progress_every)
         processing_seconds = processing_watch.stop()
 
         if not use_cache:
@@ -247,10 +259,21 @@ class PlasmaSession:
         watch.start()
         counts: dict[float, int] = {}
         for threshold in thresholds:
-            engine = BayesLSH(self.sketch_store, self.config)
-            result = engine.run(self._candidates(), float(threshold), cache=None)
+            result = self.verifier.verify(self.sketch_store, self._candidates(),
+                                          float(threshold))
             counts[float(threshold)] = result.pair_count()
         return counts, watch.stop()
+
+    def exact_baseline(self, threshold: float,
+                       backend: str | None = None) -> EngineResult:
+        """Exact APSS over the session's dataset through the engine.
+
+        The ground truth the probe estimates are audited against; *backend*
+        may name any registered exact backend.
+        """
+        check_threshold(threshold)
+        return self.engine.search(self.dataset, threshold, self.measure,
+                                  backend=backend)
 
 
 def _extrapolated_counts(partial: ApssResult, thresholds, fraction: float

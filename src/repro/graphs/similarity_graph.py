@@ -13,8 +13,8 @@ import numpy as np
 
 from repro.datasets.vectors import VectorDataset
 from repro.graphs.graph import Graph
-from repro.similarity.allpairs import SimilarPair
 from repro.similarity.measures import pairwise_similarity_matrix
+from repro.similarity.types import SimilarPair
 
 __all__ = ["graph_from_pairs", "similarity_graph", "threshold_for_edge_count",
            "densifying_series"]
@@ -33,7 +33,8 @@ def graph_from_pairs(n_nodes: int, pairs) -> Graph:
 
 def similarity_graph(dataset: VectorDataset, threshold: float,
                      measure: str = "cosine",
-                     similarities: np.ndarray | None = None) -> Graph:
+                     similarities: np.ndarray | None = None,
+                     backend: str | None = None) -> Graph:
     """Exact thresholded similarity graph of *dataset*.
 
     Parameters
@@ -41,10 +42,17 @@ def similarity_graph(dataset: VectorDataset, threshold: float,
     similarities:
         Optional precomputed dense similarity matrix; supplying it lets a
         caller build a whole densifying series from one pass of pairwise
-        similarity computation.
+        similarity computation.  Without it the edge set comes from the APSS
+        engine, which never materialises the full matrix.
+    backend:
+        Engine backend for the no-matrix path (default ``exact-blocked``).
     """
     if similarities is None:
-        similarities = pairwise_similarity_matrix(dataset, measure=measure)
+        from repro.similarity.engine import DEFAULT_BACKEND, apss_search
+
+        result = apss_search(dataset, threshold, measure=measure,
+                             backend=backend or DEFAULT_BACKEND)
+        return graph_from_pairs(dataset.n_rows, result.pairs)
     n = dataset.n_rows
     graph = Graph(n)
     rows, cols = np.nonzero(np.triu(similarities >= threshold, k=1))

@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.lsh.inference import PosteriorGrid
 from repro.lsh.sketches import SketchStore
-from repro.similarity.allpairs import SimilarPair
+from repro.similarity.types import SimilarPair
 from repro.utils.timers import PhaseTimer
 from repro.utils.validation import check_fraction, check_threshold
 

@@ -1,4 +1,4 @@
-"""Similarity measures and the exact all-pairs similarity search baseline."""
+"""Similarity measures and the pluggable all-pairs similarity search engine."""
 
 from repro.similarity.measures import (
     cosine_similarity,
@@ -7,12 +7,19 @@ from repro.similarity.measures import (
     get_measure,
     pairwise_similarity_matrix,
 )
+from repro.similarity.types import SimilarPair
 from repro.similarity.allpairs import (
-    SimilarPair,
     exact_all_pairs,
     exact_pair_count,
     similarity_histogram,
 )
+from repro.similarity.engine import (
+    DEFAULT_BACKEND,
+    ApssEngine,
+    EngineResult,
+    apss_search,
+)
+from repro.similarity.backends import available_backends, make_backend
 
 __all__ = [
     "cosine_similarity",
@@ -24,4 +31,10 @@ __all__ = [
     "exact_all_pairs",
     "exact_pair_count",
     "similarity_histogram",
+    "DEFAULT_BACKEND",
+    "ApssEngine",
+    "EngineResult",
+    "apss_search",
+    "available_backends",
+    "make_backend",
 ]

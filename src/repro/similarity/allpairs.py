@@ -1,62 +1,58 @@
-"""Exact all-pairs similarity search (APSS) baseline.
+"""Exact all-pairs similarity search (APSS) baselines.
 
-This is the brute-force ground truth PLASMA-HD's estimates are compared
-against: enumerate every pair, compute the exact similarity, and keep pairs
-meeting the threshold.  The module also provides the exact pair-count curve
-(the dark-red "ground truth" line in Figures 2.3/2.4) and the similarity
-histogram used for sampling-method comparisons (Figure 3.18).
+Historically this module owned the brute-force O(n^2) loop; it is now a thin
+compatibility layer over :mod:`repro.similarity.engine`.  The reference loop
+itself lives on as the ``exact-loop`` backend, and these helpers default to
+the vectorised ``exact-blocked`` backend, which the cross-backend parity
+suite pins to identical results.
+
+The module also provides the exact pair-count curve (the dark-red "ground
+truth" line in Figures 2.3/2.4) and the similarity histogram used for
+sampling-method comparisons (Figure 3.18).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.datasets.vectors import VectorDataset
-from repro.similarity.measures import get_measure, pairwise_similarity_matrix
+from repro.similarity.measures import pairwise_similarity_matrix
+from repro.similarity.types import SimilarPair
 
 __all__ = ["SimilarPair", "exact_all_pairs", "exact_pair_count",
            "similarity_histogram"]
 
 
-@dataclass(frozen=True)
-class SimilarPair:
-    """A pair of row ids together with their (exact or estimated) similarity."""
-
-    first: int
-    second: int
-    similarity: float
-
-    def as_tuple(self) -> tuple[int, int, float]:
-        return (self.first, self.second, self.similarity)
-
-
 def exact_all_pairs(dataset: VectorDataset, threshold: float,
-                    measure: str = "cosine") -> list[SimilarPair]:
-    """Return every pair with similarity >= *threshold* (exact, O(n^2))."""
-    func = get_measure(measure)
-    rows = [dataset.row(i) for i in range(dataset.n_rows)]
-    pairs: list[SimilarPair] = []
-    for i in range(dataset.n_rows):
-        for j in range(i + 1, dataset.n_rows):
-            similarity = func(rows[i], rows[j])
-            if similarity >= threshold:
-                pairs.append(SimilarPair(i, j, similarity))
-    return pairs
+                    measure: str = "cosine",
+                    backend: str | None = None) -> list[SimilarPair]:
+    """Return every pair with similarity >= *threshold* (exact).
+
+    Delegates to the APSS engine; *backend* selects any registered exact
+    backend (default ``exact-blocked``).
+    """
+    from repro.similarity.engine import DEFAULT_BACKEND, apss_search
+
+    return apss_search(dataset, threshold, measure=measure,
+                       backend=backend or DEFAULT_BACKEND).pairs
 
 
 def exact_pair_count(dataset: VectorDataset, thresholds,
-                     measure: str = "cosine") -> dict[float, int]:
+                     measure: str = "cosine",
+                     backend: str | None = None) -> dict[float, int]:
     """Exact number of similar pairs at each threshold in *thresholds*.
 
-    Equivalent to running :func:`exact_all_pairs` once per threshold but
-    computed from a single pass over the pairwise similarities.
+    Runs one engine search at the smallest threshold and counts the
+    surviving pairs at every other one, so the quadratic work happens once.
     """
+    from repro.similarity.engine import DEFAULT_BACKEND, apss_search
+
     thresholds = [float(t) for t in thresholds]
-    sims = pairwise_similarity_matrix(dataset, measure=measure)
-    upper = sims[np.triu_indices(dataset.n_rows, k=1)]
-    return {t: int(np.count_nonzero(upper >= t)) for t in thresholds}
+    if not thresholds:
+        return {}
+    result = apss_search(dataset, min(thresholds), measure=measure,
+                         backend=backend or DEFAULT_BACKEND)
+    return {t: result.count_at(t) for t in thresholds}
 
 
 def similarity_histogram(dataset: VectorDataset, bins: int = 50,

@@ -1,0 +1,38 @@
+"""Pluggable APSS backends.
+
+Importing this package registers every built-in backend:
+
+* ``exact-loop``     — the seed per-pair Python loop (reference semantics).
+* ``exact-blocked``  — blocked sparse Gram-matrix kernel (fast exact default).
+* ``prefix-filter``  — sorted-feature prefix filtering + exact verification.
+* ``bayeslsh``       — sketch + BayesLSH Bayesian prune/concentrate (approximate).
+
+See :mod:`repro.similarity.backends.base` for the registry API and the
+checklist for adding a new backend.
+"""
+
+from repro.similarity.backends.base import (
+    ApssBackend,
+    BackendOutput,
+    available_backends,
+    get_backend_class,
+    make_backend,
+    register_backend,
+)
+from repro.similarity.backends.exact_loop import ExactLoopBackend
+from repro.similarity.backends.exact_blocked import ExactBlockedBackend
+from repro.similarity.backends.prefix_filter import PrefixFilterBackend
+from repro.similarity.backends.bayeslsh import BayesLshBackend
+
+__all__ = [
+    "ApssBackend",
+    "BackendOutput",
+    "available_backends",
+    "get_backend_class",
+    "make_backend",
+    "register_backend",
+    "ExactLoopBackend",
+    "ExactBlockedBackend",
+    "PrefixFilterBackend",
+    "BayesLshBackend",
+]

@@ -1,0 +1,110 @@
+"""Backend protocol and registry for the pluggable APSS engine.
+
+Every backend answers the same question — "which pairs of rows have
+similarity at least *threshold*?" — with its own time/space/accuracy
+trade-off.  Backends self-register with :func:`register_backend` so that the
+engine (and the cross-backend parity test harness) can enumerate them by
+name without hard-coding the roster anywhere.
+
+Adding a backend
+----------------
+1. Subclass :class:`ApssBackend`, set ``name``, ``exact`` and ``measures``.
+2. Implement ``search(dataset, threshold, measure) -> BackendOutput``.
+3. Decorate the class with ``@register_backend`` and import the module from
+   :mod:`repro.similarity.backends` so registration runs.
+4. The parity suite in ``tests/similarity/test_engine_parity.py`` picks the
+   backend up automatically and checks it against ``exact-loop``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+from repro.datasets.vectors import VectorDataset
+from repro.similarity.types import SimilarPair
+
+__all__ = ["BackendOutput", "ApssBackend", "register_backend", "make_backend",
+           "get_backend_class", "available_backends"]
+
+
+@dataclass
+class BackendOutput:
+    """What a backend hands back to the engine.
+
+    ``n_candidates`` counts the pairs the backend actually scored or
+    verified; ``n_pruned`` the pairs it discarded without a full similarity
+    computation.  ``details`` carries backend-specific extras (e.g. the
+    full :class:`~repro.lsh.bayeslsh.ApssResult` for the LSH backend).
+    """
+
+    pairs: list[SimilarPair]
+    n_candidates: int = 0
+    n_pruned: int = 0
+    details: dict = field(default_factory=dict)
+
+
+class ApssBackend(ABC):
+    """One strategy for thresholded all-pairs similarity search.
+
+    Class attributes
+    ----------------
+    name:
+        Registry key, also used in CLI/benchmark output.
+    exact:
+        Whether the backend returns the exact pair set (vs. an estimate).
+    measures:
+        Tuple of supported measure names, or ``None`` for "any measure
+        registered in :mod:`repro.similarity.measures`".
+    """
+
+    name: ClassVar[str]
+    exact: ClassVar[bool] = True
+    measures: ClassVar[tuple[str, ...] | None] = None
+
+    def supports(self, measure: str) -> bool:
+        return self.measures is None or measure in self.measures
+
+    def check_measure(self, measure: str) -> None:
+        if not self.supports(measure):
+            raise ValueError(
+                f"backend {self.name!r} does not support measure {measure!r}; "
+                f"supported: {list(self.measures or ())}")
+
+    @abstractmethod
+    def search(self, dataset: VectorDataset, threshold: float,
+               measure: str = "cosine") -> BackendOutput:
+        """Return every pair with similarity >= *threshold* (per the backend's
+        accuracy contract)."""
+
+
+_REGISTRY: dict[str, type[ApssBackend]] = {}
+
+
+def register_backend(cls: type[ApssBackend]) -> type[ApssBackend]:
+    """Class decorator adding *cls* to the backend registry under ``cls.name``."""
+    name = getattr(cls, "name", None)
+    if not name:
+        raise ValueError("backend classes must define a non-empty 'name'")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def get_backend_class(name: str) -> type[ApssBackend]:
+    """Look up a backend class by registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown APSS backend {name!r}; "
+                       f"known: {available_backends()}") from None
+
+
+def make_backend(name: str, **options) -> ApssBackend:
+    """Instantiate the backend registered under *name* with *options*."""
+    return get_backend_class(name)(**options)
+
+
+def available_backends() -> list[str]:
+    """Sorted names of every registered backend."""
+    return sorted(_REGISTRY)

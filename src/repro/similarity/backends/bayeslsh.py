@@ -1,0 +1,106 @@
+"""BayesLSH candidate generation + Bayesian verification as an engine backend.
+
+Wraps the existing :mod:`repro.lsh` pipeline — sketch construction,
+candidate generation (all-pairs or LSH banding) and the BayesLSH
+prune/concentrate verification loop — behind the same ``search`` interface
+as the exact backends.  The backend is *approximate*: retained pairs carry
+posterior MAP estimates, and recall is governed by the ``epsilon`` false
+negative budget of :class:`~repro.lsh.bayeslsh.BayesLSHConfig`.
+
+:class:`PlasmaSession` drives the same machinery through :meth:`verify`,
+passing its own long-lived sketch store, knowledge cache, empirical prior
+and progress callbacks — that method is the one seam between the
+interactive session and the APSS engine.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.vectors import VectorDataset
+from repro.similarity.backends.base import ApssBackend, BackendOutput, register_backend
+
+__all__ = ["BayesLshBackend"]
+
+
+@register_backend
+class BayesLshBackend(ApssBackend):
+    """Sketch -> candidates -> BayesLSH verification.
+
+    Parameters
+    ----------
+    n_hashes:
+        Sketch length (and per-pair hash budget).
+    seed:
+        Seed for sketch construction.
+    config:
+        Stopping-rule parameters; defaults to ``BayesLSHConfig`` with
+        ``max_hashes=n_hashes``.
+    candidate_strategy:
+        ``"all"`` (every pair) or ``"banded"`` (LSH banding).
+    band_size, max_bucket:
+        Banding parameters (ignored for ``candidate_strategy="all"``).
+    """
+
+    name = "bayeslsh"
+    exact = False
+    measures = ("cosine", "jaccard")
+
+    def __init__(self, n_hashes: int = 256, seed: int = 0, config=None,
+                 candidate_strategy: str = "all", band_size: int = 8,
+                 max_bucket: int | None = 2000) -> None:
+        if candidate_strategy not in ("all", "banded"):
+            raise ValueError("candidate_strategy must be 'all' or 'banded'")
+        self.n_hashes = int(n_hashes)
+        self.seed = seed
+        self.config = config
+        self.candidate_strategy = candidate_strategy
+        self.band_size = band_size
+        self.max_bucket = max_bucket
+
+    # ------------------------------------------------------------------ #
+    def _config(self, store):
+        from repro.lsh.bayeslsh import BayesLSHConfig
+
+        if self.config is not None:
+            return self.config
+        return BayesLSHConfig(max_hashes=store.n_hashes)
+
+    def verify(self, store, candidates, threshold: float, *, cache=None,
+               prior=None, progress_callback=None, progress_every: int = 0):
+        """Run BayesLSH verification over *candidates* using *store*.
+
+        This is the session-facing seam: the caller owns the sketch store
+        (so it is built once per session, not per probe), the knowledge
+        cache and the prior.  Returns the full
+        :class:`~repro.lsh.bayeslsh.ApssResult`.
+        """
+        from repro.lsh.bayeslsh import BayesLSH
+
+        verifier = BayesLSH(store, self._config(store), prior=prior)
+        return verifier.run(candidates, threshold, cache=cache,
+                            progress_callback=progress_callback,
+                            progress_every=progress_every)
+
+    # ------------------------------------------------------------------ #
+    def search(self, dataset: VectorDataset, threshold: float,
+               measure: str = "cosine") -> BackendOutput:
+        self.check_measure(measure)
+        if dataset.n_rows < 2:
+            return BackendOutput(pairs=[], n_candidates=0)
+        from repro.lsh.candidates import all_pair_candidates, banded_candidates
+        from repro.lsh.sketches import build_sketch_store
+
+        store = build_sketch_store(dataset, kind=measure,
+                                   n_hashes=self.n_hashes, seed=self.seed)
+        if self.candidate_strategy == "all":
+            candidates = list(all_pair_candidates(dataset.n_rows))
+        else:
+            candidates = banded_candidates(store.sketches,
+                                           band_size=self.band_size,
+                                           max_bucket=self.max_bucket)
+        result = self.verify(store, candidates, threshold)
+        return BackendOutput(pairs=list(result.pairs),
+                             n_candidates=result.n_candidates,
+                             n_pruned=result.n_pruned,
+                             details={"apss": result,
+                                      "sketch_seconds": store.build_seconds,
+                                      "hash_comparisons": result.hash_comparisons})

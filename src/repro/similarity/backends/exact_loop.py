@@ -1,0 +1,38 @@
+"""The seed brute-force APSS loop, kept verbatim as the reference backend.
+
+Every other backend is tested against this one: it applies the measure
+function to each of the O(n^2) pairs with no vectorisation, no filtering and
+no estimation, so its output *is* the specification.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.vectors import VectorDataset
+from repro.similarity.backends.base import ApssBackend, BackendOutput, register_backend
+from repro.similarity.measures import get_measure
+from repro.similarity.types import SimilarPair
+
+__all__ = ["ExactLoopBackend"]
+
+
+@register_backend
+class ExactLoopBackend(ApssBackend):
+    """Per-pair Python loop over ``dataset.row(i)`` (the original seed code)."""
+
+    name = "exact-loop"
+    exact = True
+    measures = None  # any registered measure function works
+
+    def search(self, dataset: VectorDataset, threshold: float,
+               measure: str = "cosine") -> BackendOutput:
+        func = get_measure(measure)
+        rows = [dataset.row(i) for i in range(dataset.n_rows)]
+        pairs: list[SimilarPair] = []
+        n_candidates = 0
+        for i in range(dataset.n_rows):
+            for j in range(i + 1, dataset.n_rows):
+                n_candidates += 1
+                similarity = func(rows[i], rows[j])
+                if similarity >= threshold:
+                    pairs.append(SimilarPair(i, j, similarity))
+        return BackendOutput(pairs=pairs, n_candidates=n_candidates)

@@ -1,0 +1,119 @@
+"""Sorted-feature prefix filtering (AllPairs-style candidate pruning).
+
+Features are globally ordered by ascending document frequency (rarest
+first).  For each row only a *prefix* of its ordered features is inserted
+into an inverted index — the minimal prefix such that a pair sharing **no**
+prefix feature provably cannot reach the threshold:
+
+* cosine (rows L2-normalised): if the overlap is confined to the suffix,
+  ``sim <= ||suffix||``, so the prefix ends once the suffix norm drops
+  below the threshold.
+* jaccard (feature sets of size ``s``): ``sim <= (s - k) / s`` when the
+  first ``k`` features are missed, so the prefix holds the first
+  ``floor(s * (1 - t)) + 1`` features.
+
+Surviving candidates are verified with the *exact same* per-pair measure
+functions as the ``exact-loop`` backend, so results are bit-identical for
+pairs that pass — the filter only skips hopeless pairs.  This is the
+single-level analogue of the signature schemes used for stable set
+similarity joins.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.datasets.vectors import VectorDataset
+from repro.similarity.backends.base import ApssBackend, BackendOutput, register_backend
+from repro.similarity.measures import get_measure
+from repro.similarity.types import SimilarPair
+
+__all__ = ["PrefixFilterBackend"]
+
+#: Safety margin pushing borderline prefix cut-offs toward *longer* prefixes,
+#: so floating-point noise can only ever cost extra candidates, never recall.
+_PREFIX_EPS = 1e-9
+
+
+@register_backend
+class PrefixFilterBackend(ApssBackend):
+    """Inverted-index prefix filter with exact verification."""
+
+    name = "prefix-filter"
+    exact = True
+    measures = ("cosine", "jaccard")
+
+    def search(self, dataset: VectorDataset, threshold: float,
+               measure: str = "cosine") -> BackendOutput:
+        self.check_measure(measure)
+        n = dataset.n_rows
+        total_pairs = n * (n - 1) // 2
+        if n < 2:
+            return BackendOutput(pairs=[], n_candidates=0)
+        if threshold <= 0.0:
+            # No pair is hopeless at a non-positive threshold; fall back to
+            # the blocked kernel rather than degenerating to all-pairs here.
+            from repro.similarity.backends.exact_blocked import ExactBlockedBackend
+
+            output = ExactBlockedBackend().search(dataset, threshold, measure)
+            output.details["fallback"] = "exact-blocked"
+            return output
+
+        func = get_measure(measure)
+        rows = [dataset.row(i) for i in range(n)]
+
+        # Global feature order: ascending document frequency, so prefixes are
+        # made of rare features and postings stay short.
+        frequency = np.zeros(dataset.n_features, dtype=np.int64)
+        np.add.at(frequency, dataset.indices, 1)
+        rank = np.empty(dataset.n_features, dtype=np.int64)
+        rank[np.argsort(frequency, kind="stable")] = np.arange(dataset.n_features)
+
+        index: dict[int, list[int]] = defaultdict(list)
+        pairs: list[SimilarPair] = []
+        n_candidates = 0
+        for i in range(n):
+            idx, vals = rows[i]
+            if len(idx) == 0:
+                continue  # empty rows cannot reach a positive threshold
+            order = np.argsort(rank[idx], kind="stable")
+            ordered_features = idx[order]
+
+            candidates: set[int] = set()
+            for feature in ordered_features.tolist():
+                candidates.update(index.get(feature, ()))
+            for j in sorted(candidates):
+                n_candidates += 1
+                similarity = func(rows[j], rows[i])
+                if similarity >= threshold:
+                    pairs.append(SimilarPair(j, i, similarity))
+
+            prefix_len = self._prefix_length(vals[order], threshold, measure)
+            for feature in ordered_features[:prefix_len].tolist():
+                index[feature].append(i)
+
+        pairs.sort(key=lambda p: (p.first, p.second))
+        return BackendOutput(pairs=pairs, n_candidates=n_candidates,
+                             n_pruned=total_pairs - n_candidates)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _prefix_length(ordered_values: np.ndarray, threshold: float,
+                       measure: str) -> int:
+        size = len(ordered_values)
+        if measure == "jaccard":
+            return min(size, int(np.floor(size * (1.0 - threshold) + _PREFIX_EPS)) + 1)
+        # cosine: find the first cut k where the *normalised* suffix norm is
+        # safely below the threshold.
+        norm = float(np.sqrt(np.sum(ordered_values ** 2)))
+        if norm == 0.0:
+            return 0  # zero row: cosine with anything is 0 < threshold
+        squares = (ordered_values / norm) ** 2
+        # suffix_sq[k] = ||row[k:]||^2 after normalisation, k = 1..size
+        suffix_sq = np.concatenate([np.cumsum(squares[::-1])[::-1][1:], [0.0]])
+        below = np.nonzero(np.sqrt(suffix_sq) < threshold - _PREFIX_EPS)[0]
+        if len(below) == 0:
+            return size
+        return int(below[0]) + 1

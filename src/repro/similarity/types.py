@@ -1,0 +1,25 @@
+"""Shared result types for all-pairs similarity search.
+
+``SimilarPair`` historically lived in :mod:`repro.similarity.allpairs`; it is
+defined here so that the engine backends, the LSH verification layer and the
+exact baselines can all share it without import cycles.  ``allpairs`` keeps a
+backward-compatible re-export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SimilarPair"]
+
+
+@dataclass(frozen=True)
+class SimilarPair:
+    """A pair of row ids together with their (exact or estimated) similarity."""
+
+    first: int
+    second: int
+    similarity: float
+
+    def as_tuple(self) -> tuple[int, int, float]:
+        return (self.first, self.second, self.similarity)

@@ -67,3 +67,32 @@ def test_relative_error_against_ground_truth():
     errors = graph.relative_error_against({0.8: 10, 0.99: 0})
     assert errors[0.8] == pytest.approx(0.0, abs=0.05)
     assert errors[0.99] >= 0.0
+
+
+def test_exact_reference_counts_matches_engine_ground_truth():
+    from repro.core.apss_graph import exact_reference_counts
+    from repro.datasets import make_clustered_vectors
+    from repro.similarity import apss_search
+
+    dataset = make_clustered_vectors(40, 6, 3, seed=19)
+    thresholds = [0.3, 0.6, 0.9]
+    counts = exact_reference_counts(dataset, thresholds)
+    for t in thresholds:
+        assert counts[t] == apss_search(dataset, t, "cosine").pair_count()
+    # Any registered exact backend yields the same ground truth.
+    assert counts == exact_reference_counts(dataset, thresholds,
+                                            backend="exact-loop")
+
+
+def test_relative_error_to_exact_audits_probed_session():
+    from repro.core import PlasmaSession
+    from repro.datasets import make_clustered_vectors
+
+    dataset = make_clustered_vectors(50, 8, 3, seed=23)
+    session = PlasmaSession(dataset, n_hashes=128, seed=1)
+    session.probe(0.6)
+    graph = session.cumulative_graph()
+    errors = graph.relative_error_to_exact(dataset, thresholds=[0.6, 0.8])
+    assert set(errors) == {0.6, 0.8}
+    # The probe happened at 0.6, so the estimate there tracks ground truth.
+    assert errors[0.6] < 0.25

@@ -1,0 +1,94 @@
+"""Golden regression tests pinning BayesLSH behaviour on fixed-seed data.
+
+The engine refactor routes every BayesLSH run through
+``repro.similarity.backends.bayeslsh``; these tests pin the pruning
+statistics, recall and estimate concordance of fixed-seed runs so any later
+rewiring that silently changes the Bayesian prune/concentrate behaviour
+(different hash budgets, candidate order, posterior handling, ...) fails
+loudly here rather than drifting the Chapter 2 experiments.
+
+The pinned integers were produced by the seed implementation (pre-engine)
+and verified unchanged through the backend path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_clustered_vectors, make_sparse_corpus
+from repro.lsh.bayeslsh import BayesLSH, BayesLSHConfig
+from repro.lsh.candidates import all_pair_candidates
+from repro.lsh.sketches import build_sketch_store
+from repro.similarity import apss_search
+
+
+@pytest.fixture(scope="module")
+def golden_dataset():
+    return make_clustered_vectors(80, 10, 4, separation=5.0, cluster_std=0.8,
+                                  seed=29, name="golden")
+
+
+@pytest.fixture(scope="module")
+def golden_run(golden_dataset):
+    store = build_sketch_store(golden_dataset, kind="cosine", n_hashes=128,
+                               seed=0)
+    verifier = BayesLSH(store, BayesLSHConfig(max_hashes=128))
+    return verifier.run(list(all_pair_candidates(80)), 0.7)
+
+
+def test_golden_cosine_pruning_statistics(golden_run):
+    assert golden_run.n_candidates == 3160
+    assert golden_run.n_retained == 754
+    assert golden_run.n_pruned == 2384
+    assert golden_run.hash_comparisons == 143616
+    outcomes = {}
+    for evaluation in golden_run.evaluations:
+        outcomes[evaluation.outcome] = outcomes.get(evaluation.outcome, 0) + 1
+    assert outcomes == {"pruned": 2384, "concentrated": 391, "exhausted": 385}
+
+
+def test_golden_cosine_recall_and_concordance(golden_dataset, golden_run):
+    exact = apss_search(golden_dataset, 0.7, "cosine", backend="exact-loop")
+    exact_pairs = exact.pair_set()
+    retained = {(p.first, p.second) for p in golden_run.pairs}
+
+    recall = len(retained & exact_pairs) / len(exact_pairs)
+    precision = len(retained & exact_pairs) / len(retained)
+    assert recall == pytest.approx(0.985545, abs=1e-6)
+    assert precision == pytest.approx(0.994695, abs=1e-6)
+
+    # Concordance: MAP estimates track the exact similarities closely on the
+    # true pair set.
+    all_sims = apss_search(golden_dataset, -2.0, "cosine",
+                           backend="exact-loop").similarities()
+    estimates = {(e.first, e.second): e.estimate
+                 for e in golden_run.evaluations}
+    errors = [abs(estimates[p] - all_sims[p]) for p in exact_pairs]
+    assert np.mean(errors) == pytest.approx(0.022140, abs=1e-6)
+    assert np.max(errors) == pytest.approx(0.288899, abs=1e-6)
+
+
+def test_golden_cosine_backend_path_identical(golden_dataset, golden_run):
+    """The engine's bayeslsh backend must reproduce the direct run exactly."""
+    result = apss_search(golden_dataset, 0.7, "cosine", backend="bayeslsh",
+                         n_hashes=128, seed=0)
+    assert result.pair_count() == golden_run.n_retained
+    assert result.n_pruned == golden_run.n_pruned
+    assert result.details["hash_comparisons"] == golden_run.hash_comparisons
+    assert result.pair_set() == {(p.first, p.second) for p in golden_run.pairs}
+
+
+def test_golden_jaccard_backend_regression():
+    corpus = make_sparse_corpus(60, 300, avg_doc_length=20, n_topics=5,
+                                seed=33, name="golden-corpus")
+    result = apss_search(corpus, 0.2, "jaccard", backend="bayeslsh",
+                         n_hashes=128, seed=0)
+    exact = apss_search(corpus, 0.2, "jaccard", backend="exact-loop")
+
+    assert result.pair_count() == 211
+    assert result.n_pruned == 1455
+    assert result.details["hash_comparisons"] == 78256
+    overlap = result.pair_set() & exact.pair_set()
+    assert len(overlap) / exact.pair_count() == pytest.approx(0.873171,
+                                                              abs=1e-6)

@@ -1,0 +1,191 @@
+"""Cross-backend parity harness for the APSS engine.
+
+Every registered backend must agree with the ``exact-loop`` reference:
+
+* exact backends return the *identical* pair set, with similarities within
+  1e-9;
+* the approximate ``bayeslsh`` backend must retain (essentially) every pair
+  comfortably above the threshold and nothing comfortably below it.
+
+The properties run under hypothesis over random dense and sparse datasets,
+thresholds and measures; ``derandomize=True`` keeps the suite deterministic
+in CI.  New backends registered via ``@register_backend`` are picked up
+automatically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import VectorDataset, make_clustered_vectors, make_sparse_corpus
+from repro.similarity import ApssEngine, available_backends, make_backend
+from repro.similarity.backends import ApssBackend
+
+ENGINE = ApssEngine()
+EXACT_BACKENDS = sorted(
+    name for name in available_backends()
+    if make_backend(name).exact and name != "exact-loop")
+APPROX_BACKENDS = sorted(
+    name for name in available_backends() if not make_backend(name).exact)
+
+#: Pair similarities this close to the threshold are allowed to land on
+#: either side (the test nudges thresholds away from them instead).
+BOUNDARY = 1e-6
+
+
+def _random_dataset(seed: int, n_rows: int, n_features: int,
+                    density: float) -> VectorDataset:
+    rng = np.random.default_rng(seed)
+    dense = rng.random((n_rows, n_features))
+    dense[rng.random((n_rows, n_features)) > density] = 0.0
+    return VectorDataset.from_dense(dense, name=f"random-{seed}")
+
+
+def _clear_threshold(dataset: VectorDataset, threshold: float,
+                     measure: str) -> float:
+    """Nudge *threshold* so no exact similarity sits within BOUNDARY of it."""
+    loop = ENGINE.search(dataset, -2.0, measure, backend="exact-loop")
+    sims = np.array([p.similarity for p in loop.pairs])
+    while len(sims) and np.min(np.abs(sims - threshold)) <= BOUNDARY:
+        threshold += 3.0 * BOUNDARY
+    return threshold
+
+
+def _assert_exact_parity(dataset: VectorDataset, threshold: float,
+                         measure: str, backend: str) -> None:
+    reference = ENGINE.search(dataset, threshold, measure, backend="exact-loop")
+    result = ENGINE.search(dataset, threshold, measure, backend=backend)
+    assert result.exact
+    assert result.pair_set() == reference.pair_set(), (
+        f"{backend} disagrees with exact-loop at t={threshold} ({measure}) "
+        f"on {dataset.name}")
+    expected = reference.similarities()
+    for pair, similarity in result.similarities().items():
+        assert similarity == pytest.approx(expected[pair], abs=1e-9)
+
+
+# --------------------------------------------------------------------- #
+# Registry sanity
+# --------------------------------------------------------------------- #
+
+def test_all_expected_backends_registered():
+    assert {"exact-loop", "exact-blocked", "prefix-filter",
+            "bayeslsh"} <= set(available_backends())
+
+
+def test_backends_are_apss_backend_instances():
+    for name in available_backends():
+        backend = make_backend(name)
+        assert isinstance(backend, ApssBackend)
+        assert backend.name == name
+
+
+def test_unknown_backend_raises():
+    with pytest.raises(KeyError, match="unknown APSS backend"):
+        ENGINE.search(make_clustered_vectors(5, 3, 2, seed=0), 0.5,
+                      backend="no-such-backend")
+
+
+def test_unsupported_measure_raises():
+    with pytest.raises(ValueError, match="does not support measure"):
+        ENGINE.search(make_clustered_vectors(5, 3, 2, seed=0), 0.5,
+                      measure="dot", backend="prefix-filter")
+
+
+# --------------------------------------------------------------------- #
+# Hypothesis properties: exact backends == exact-loop
+# --------------------------------------------------------------------- #
+
+@settings(max_examples=25, deadline=None, derandomize=True)
+@given(seed=st.integers(0, 10_000),
+       n_rows=st.integers(2, 24),
+       n_features=st.integers(2, 16),
+       density=st.floats(0.2, 1.0),
+       threshold=st.floats(0.05, 0.95),
+       measure=st.sampled_from(["cosine", "jaccard", "dot"]))
+def test_exact_backends_match_reference_random_data(seed, n_rows, n_features,
+                                                    density, threshold, measure):
+    dataset = _random_dataset(seed, n_rows, n_features, density)
+    threshold = _clear_threshold(dataset, threshold, measure)
+    for backend in EXACT_BACKENDS:
+        if not make_backend(backend).supports(measure):
+            continue
+        _assert_exact_parity(dataset, threshold, measure, backend)
+
+
+@settings(max_examples=10, deadline=None, derandomize=True)
+@given(seed=st.integers(0, 10_000),
+       threshold=st.floats(-0.8, 0.8),
+       measure=st.sampled_from(["cosine", "jaccard"]))
+def test_exact_backends_match_reference_znormed_negative_thresholds(
+        seed, threshold, measure):
+    """z-normed data produces negative cosines; parity must survive t <= 0."""
+    base = _random_dataset(seed, 12, 5, 0.9).z_normalized()
+    threshold = _clear_threshold(base, threshold, measure)
+    for backend in EXACT_BACKENDS:
+        if not make_backend(backend).supports(measure):
+            continue
+        _assert_exact_parity(base, threshold, measure, backend)
+
+
+@pytest.mark.parametrize("measure", ["cosine", "jaccard"])
+@pytest.mark.parametrize("threshold", [0.3, 0.6, 0.9])
+def test_exact_backends_match_reference_fixture_datasets(
+        clustered_dataset, sparse_corpus, measure, threshold):
+    for dataset in (clustered_dataset, sparse_corpus):
+        threshold = _clear_threshold(dataset, threshold, measure)
+        for backend in EXACT_BACKENDS:
+            if not make_backend(backend).supports(measure):
+                continue
+            _assert_exact_parity(dataset, threshold, measure, backend)
+
+
+def test_blocked_backend_parity_across_block_sizes():
+    """Block boundaries must not change the result (off-by-one hunting)."""
+    dataset = make_sparse_corpus(40, 150, avg_doc_length=12, n_topics=4, seed=21)
+    reference = ENGINE.search(dataset, 0.2, "cosine", backend="exact-loop")
+    for block_rows in (1, 3, 7, 39, 40, 64):
+        result = ENGINE.search(dataset, 0.2, "cosine",
+                               backend="exact-blocked", block_rows=block_rows)
+        assert result.pair_set() == reference.pair_set()
+
+
+# --------------------------------------------------------------------- #
+# Approximate backends: recall envelope instead of equality
+# --------------------------------------------------------------------- #
+
+@settings(max_examples=8, deadline=None, derandomize=True)
+@given(seed=st.integers(0, 10_000),
+       threshold=st.floats(0.3, 0.8),
+       measure=st.sampled_from(["cosine", "jaccard"]))
+def test_bayeslsh_recall_envelope(seed, threshold, measure):
+    """BayesLSH must cover the comfortably-above set and stay inside the
+    comfortably-below complement (its errors concentrate at the boundary)."""
+    dataset = _random_dataset(seed, 20, 8, 0.7)
+    exact = ENGINE.search(dataset, -2.0, measure, backend="exact-loop")
+    sims = exact.similarities()
+    retained = ENGINE.search(dataset, threshold, measure, backend="bayeslsh",
+                             n_hashes=256, seed=0).pair_set()
+
+    margin = 0.2
+    clearly_above = {p for p, s in sims.items() if s >= threshold + margin}
+    clearly_below = {p for p, s in sims.items() if s <= threshold - margin}
+    if clearly_above:
+        recall = len(clearly_above & retained) / len(clearly_above)
+        assert recall >= 0.9, (
+            f"bayeslsh recall {recall:.2f} on pairs >= t+{margin}")
+    leaked = clearly_below & retained
+    assert len(leaked) <= max(1, len(clearly_below)) * 0.1, (
+        f"bayeslsh retained {len(leaked)} pairs <= t-{margin}")
+
+
+def test_bayeslsh_reports_pruning_stats():
+    dataset = make_clustered_vectors(40, 8, 3, seed=5)
+    result = ENGINE.search(dataset, 0.8, "cosine", backend="bayeslsh",
+                           n_hashes=128, seed=0)
+    assert not result.exact
+    assert result.n_candidates == 40 * 39 // 2
+    assert result.n_pruned > 0
+    assert result.details["hash_comparisons"] > 0
