@@ -20,7 +20,24 @@ import argparse
 import sys
 
 from repro.datasets import make_clustered_vectors, make_sparse_corpus
-from repro.similarity import ApssEngine
+from repro.similarity import ApssEngine, available_backends
+
+#: Backends the registry must expose; a missing name means a backend module
+#: failed to import or register, which CI should treat as a hard failure.
+EXPECTED_BACKENDS = frozenset(
+    {"exact-loop", "exact-blocked", "prefix-filter", "bayeslsh"})
+
+
+def check_registry() -> None:
+    """Fail loudly when the backend registry lost a backend."""
+    registered = set(available_backends())
+    missing = EXPECTED_BACKENDS - registered
+    if missing:
+        raise SystemExit(
+            f"APSS backend registry is missing {sorted(missing)} "
+            f"(registered: {sorted(registered)}); a backend module failed "
+            f"to import or register")
+
 
 #: (workload name, dataset builder, measure, threshold, backends, options)
 SMOKE_WORKLOADS = [
@@ -119,6 +136,7 @@ def format_table(rows: list[dict]) -> str:
 # --------------------------------------------------------------------- #
 
 def test_apss_backend_matrix(benchmark, record):
+    check_registry()
     rows = benchmark.pedantic(lambda: run_matrix(smoke=True),
                               rounds=1, iterations=1)
     record("apss_backend_matrix_smoke", rows)
@@ -145,6 +163,7 @@ def main(argv=None) -> int:
                         help="run the reduced CI-sized matrix")
     args = parser.parse_args(argv)
 
+    check_registry()
     rows = run_matrix(smoke=args.smoke)
     check_matrix(rows)
     print(format_table(rows))

@@ -97,8 +97,14 @@ def suggest_next_threshold(thresholds, expected_counts, probed) -> float:
         return max(candidates, key=distance_to_probed)
 
     # Fall back to bisecting the largest gap between probed thresholds
-    # (including the ends of the grid).
-    anchors = [float(thresholds.min())] + probed + [float(thresholds.max())]
+    # (including the ends of the grid).  Probes outside the grid would make
+    # the raw anchor list unsorted — negative gaps, suggestions beyond the
+    # grid — so clamp them in and sort before bisecting.
+    lower, upper = float(thresholds.min()), float(thresholds.max())
+    clamped = (min(max(p, lower), upper) for p in probed)
+    anchors = sorted({lower, upper, *clamped})
+    if len(anchors) < 2:
+        return lower
     gaps = [(anchors[i + 1] - anchors[i], i) for i in range(len(anchors) - 1)]
     width, index = max(gaps)
     return float(anchors[index] + width / 2.0)

@@ -9,6 +9,7 @@ construction run vectorised.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterable, Sequence
 
 import numpy as np
@@ -137,6 +138,21 @@ class VectorDataset:
         """Return the set of features present in row *i* (for Jaccard)."""
         idx, _ = self.row(i)
         return frozenset(idx.tolist())
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the dataset (shape plus CSR arrays).
+
+        Used as a cache key by sweep caches such as
+        :class:`repro.similarity.cache.CachedApssEngine`; two datasets with
+        identical rows and feature space share a fingerprint regardless of
+        their ``name`` or labels.
+        """
+        digest = hashlib.sha1()
+        digest.update(np.int64([self.n_rows, self.n_features]).tobytes())
+        digest.update(self.indptr.tobytes())
+        digest.update(self.indices.tobytes())
+        digest.update(self.data.tobytes())
+        return digest.hexdigest()
 
     def __len__(self) -> int:
         return self.n_rows

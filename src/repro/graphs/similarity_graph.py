@@ -5,6 +5,13 @@ records whose similarity meets a threshold.  Decreasing the threshold
 monotonically adds edges, which is precisely the "densifying graph" series
 Chapter 3 studies (network growth simulated from non-network data by
 connecting the most similar pairs first).
+
+No function here materialises the ``n x n`` similarity matrix: edge sets come
+from the APSS engine and edge-count thresholds from the streaming rank
+selection in :mod:`repro.similarity.streaming`.  A precomputed dense matrix
+can still be injected through the ``similarities=`` parameters (tests and
+callers that already hold one keep working), in which case the original
+dense code paths run.
 """
 
 from __future__ import annotations
@@ -13,7 +20,6 @@ import numpy as np
 
 from repro.datasets.vectors import VectorDataset
 from repro.graphs.graph import Graph
-from repro.similarity.measures import pairwise_similarity_matrix
 from repro.similarity.types import SimilarPair
 
 __all__ = ["graph_from_pairs", "similarity_graph", "threshold_for_edge_count",
@@ -61,13 +67,25 @@ def similarity_graph(dataset: VectorDataset, threshold: float,
     return graph
 
 
-def threshold_for_edge_count(similarities: np.ndarray, target_edges: int) -> float:
+def threshold_for_edge_count(similarities, target_edges: int,
+                             measure: str = "cosine") -> float:
     """The similarity threshold that yields approximately *target_edges* edges.
 
     Chapter 3 controls graph density through edge count (|E_i| = 2^i * N); the
     corresponding threshold is the matching upper quantile of the pairwise
     similarity distribution.
+
+    *similarities* is either a precomputed dense similarity matrix or a
+    :class:`VectorDataset` — the latter streams the rank selection from the
+    blocked kernel (see
+    :func:`repro.similarity.streaming.thresholds_for_edge_counts`) so the
+    matrix is never held in memory.
     """
+    if isinstance(similarities, VectorDataset):
+        from repro.similarity.streaming import thresholds_for_edge_counts
+
+        return thresholds_for_edge_counts(similarities, [int(target_edges)],
+                                          measure=measure)[0]
     n = similarities.shape[0]
     upper = similarities[np.triu_indices(n, k=1)]
     if target_edges <= 0:
@@ -81,21 +99,47 @@ def threshold_for_edge_count(similarities: np.ndarray, target_edges: int) -> flo
 
 def densifying_series(dataset: VectorDataset, edge_counts,
                       measure: str = "cosine",
-                      similarities: np.ndarray | None = None
-                      ) -> list[tuple[float, Graph]]:
+                      similarities: np.ndarray | None = None,
+                      engine=None) -> list[tuple[float, Graph]]:
     """Build a series of graphs of increasing density from one dataset.
 
     Returns a list of ``(threshold, graph)`` in the order of *edge_counts*.
     Edge counts are matched by choosing the similarity threshold at the
     appropriate quantile, so the series is nested: every graph contains the
     edges of all sparser graphs.
+
+    Without an injected *similarities* matrix the thresholds come from one
+    streaming rank-selection over the blocked kernel's slabs and the graphs
+    from a single engine search at the loosest threshold, reused across every
+    denser step through a :class:`~repro.similarity.cache.CachedApssEngine`
+    (pass *engine* to share that cache across calls).  Peak memory follows
+    the densest requested graph, never the ``n x n`` matrix.
     """
-    if similarities is None:
-        similarities = pairwise_similarity_matrix(dataset, measure=measure)
+    edge_counts = [int(target) for target in edge_counts]
+    if similarities is not None:
+        series = []
+        for target in edge_counts:
+            threshold = threshold_for_edge_count(similarities, target)
+            graph = similarity_graph(dataset, threshold, measure=measure,
+                                     similarities=similarities)
+            series.append((threshold, graph))
+        return series
+
+    if not edge_counts:
+        return []
+    from repro.similarity.cache import CachedApssEngine
+    from repro.similarity.streaming import thresholds_for_edge_counts
+
+    thresholds = thresholds_for_edge_counts(dataset, edge_counts,
+                                            measure=measure)
+    if engine is None:
+        engine = CachedApssEngine()
+    # Warm the sweep cache with the loosest threshold: one quadratic pass
+    # serves the whole series, each step filtering the memoised pair set.
+    engine.search(dataset, min(thresholds), measure)
     series = []
-    for target in edge_counts:
-        threshold = threshold_for_edge_count(similarities, int(target))
-        graph = similarity_graph(dataset, threshold, measure=measure,
-                                 similarities=similarities)
-        series.append((threshold, graph))
+    for threshold in thresholds:
+        result = engine.search(dataset, threshold, measure)
+        series.append((threshold, graph_from_pairs(dataset.n_rows,
+                                                   result.pairs)))
     return series

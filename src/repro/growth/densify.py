@@ -13,14 +13,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.datasets.vectors import VectorDataset
 from repro.graphs.generators import generate_with_edge_count
 from repro.graphs.graph import Graph
 from repro.graphs.measures import compute_measure
 from repro.graphs.similarity_graph import densifying_series
-from repro.similarity.measures import pairwise_similarity_matrix
 from repro.utils.validation import check_positive_int
 
 __all__ = ["edge_count_schedule", "DensifyingSeries", "build_densifying_series"]
@@ -33,6 +30,10 @@ def edge_count_schedule(n_nodes: int, n_steps: int | None = None,
     The schedule stops at (or is capped by) the complete-graph edge count.
     """
     check_positive_int(n_nodes, "n_nodes")
+    # A multiplier below one would keep every count under max_edges forever
+    # (an unbounded loop when n_steps is None), so reject it outright.
+    if base_multiplier < 1:
+        raise ValueError("base_multiplier must be >= 1")
     max_edges = n_nodes * (n_nodes - 1) // 2
     counts: list[int] = []
     i = 0
@@ -114,9 +115,9 @@ def build_densifying_series(source, edge_counts=None, *, n_steps: int | None = N
         n_nodes = source.n_rows
         if edge_counts is None:
             edge_counts = edge_count_schedule(n_nodes, n_steps)
-        similarities = pairwise_similarity_matrix(source, measure=measure)
-        pairs = densifying_series(source, edge_counts, measure=measure,
-                                  similarities=similarities)
+        # Streams thresholds and pair sets from the blocked kernel — one
+        # cached quadratic pass, never the dense n x n similarity matrix.
+        pairs = densifying_series(source, edge_counts, measure=measure)
         thresholds = [threshold for threshold, _ in pairs]
         graphs = [graph for _, graph in pairs]
         return DensifyingSeries(graphs=graphs, edge_counts=list(edge_counts),

@@ -18,9 +18,9 @@ from repro.core.exploration import find_inflection_points
 from repro.datasets.transactions import TransactionDatabase
 from repro.datasets.vectors import VectorDataset
 from repro.graphs.graph import Graph
-from repro.graphs.similarity_graph import similarity_graph
+from repro.graphs.similarity_graph import graph_from_pairs, similarity_graph
 from repro.lam.lam import LAM
-from repro.similarity.measures import pairwise_similarity_matrix
+from repro.similarity.cache import CachedApssEngine
 
 __all__ = ["CompressibilityPoint", "compressibility_scan"]
 
@@ -58,7 +58,11 @@ def compressibility_scan(source, thresholds, *, measure: str = "cosine",
         Configured LAM instance (defaults to LAM with 5 passes as in the
         paper's compressibility experiments).
     similarities:
-        Optional precomputed similarity matrix to avoid recomputation.
+        Optional precomputed dense similarity matrix.  Without it the scan
+        streams pair sets from the APSS engine: one quadratic search at the
+        loosest threshold, memoised across the sweep by a
+        :class:`~repro.similarity.cache.CachedApssEngine`, so the dense
+        ``n x n`` matrix is never materialised.
 
     Returns
     -------
@@ -68,13 +72,27 @@ def compressibility_scan(source, thresholds, *, measure: str = "cosine",
     if lam is None:
         lam = LAM(n_passes=5, max_partition_size=500)
 
+    thresholds = list(thresholds)
     graphs: dict[float, Graph]
     if isinstance(source, VectorDataset):
         if similarities is None:
-            similarities = pairwise_similarity_matrix(source, measure=measure)
-        graphs = {float(t): similarity_graph(source, float(t), measure=measure,
-                                             similarities=similarities)
-                  for t in thresholds}
+            graphs = {}
+            if thresholds:
+                engine = CachedApssEngine()
+                # One quadratic pass at the loosest threshold; every other
+                # threshold filters the memoised pair set.
+                engine.search(source, min(float(t) for t in thresholds),
+                              measure)
+                graphs = {
+                    float(t): graph_from_pairs(
+                        source.n_rows,
+                        engine.search(source, float(t), measure).pairs)
+                    for t in thresholds}
+        else:
+            graphs = {float(t): similarity_graph(source, float(t),
+                                                 measure=measure,
+                                                 similarities=similarities)
+                      for t in thresholds}
     elif isinstance(source, dict):
         graphs = {float(t): graph for t, graph in source.items()}
     else:

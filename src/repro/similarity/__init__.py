@@ -19,6 +19,14 @@ from repro.similarity.engine import (
     EngineResult,
     apss_search,
 )
+from repro.similarity.cache import CachedApssEngine
+from repro.similarity.streaming import (
+    iter_similarity_blocks,
+    similarity_quantile,
+    streaming_similarity_histogram,
+    thresholds_for_edge_counts,
+    top_k_pairs,
+)
 from repro.similarity.backends import available_backends, make_backend
 
 __all__ = [
@@ -35,6 +43,12 @@ __all__ = [
     "ApssEngine",
     "EngineResult",
     "apss_search",
+    "CachedApssEngine",
+    "iter_similarity_blocks",
+    "similarity_quantile",
+    "streaming_similarity_histogram",
+    "thresholds_for_edge_counts",
+    "top_k_pairs",
     "available_backends",
     "make_backend",
 ]

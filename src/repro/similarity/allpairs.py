@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.datasets.vectors import VectorDataset
-from repro.similarity.measures import pairwise_similarity_matrix
+from repro.similarity.streaming import streaming_similarity_histogram
 from repro.similarity.types import SimilarPair
 
 __all__ = ["SimilarPair", "exact_all_pairs", "exact_pair_count",
@@ -56,9 +56,13 @@ def exact_pair_count(dataset: VectorDataset, thresholds,
 
 
 def similarity_histogram(dataset: VectorDataset, bins: int = 50,
-                         measure: str = "cosine") -> tuple[np.ndarray, np.ndarray]:
-    """Histogram of all pairwise similarity values (counts, bin_edges)."""
-    sims = pairwise_similarity_matrix(dataset, measure=measure)
-    upper = sims[np.triu_indices(dataset.n_rows, k=1)]
-    counts, edges = np.histogram(upper, bins=bins)
-    return counts, edges
+                         measure: str = "cosine",
+                         **stream_options) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of all pairwise similarity values (counts, bin_edges).
+
+    Streams dense similarity slabs from the blocked kernel instead of
+    materialising the ``n x n`` matrix; ``block_rows``/``memory_budget_mb``
+    forward to :func:`repro.similarity.streaming.streaming_similarity_histogram`.
+    """
+    return streaming_similarity_histogram(dataset, bins=bins, measure=measure,
+                                          **stream_options)

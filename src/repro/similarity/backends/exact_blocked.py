@@ -4,9 +4,11 @@ The dataset is wrapped (zero-copy) in a ``scipy.sparse`` CSR matrix and the
 Gram matrix is computed one row-block at a time: ``block @ X.T`` yields every
 inner product of the block's rows against the whole dataset in one sparse
 matmul, after which thresholding and pair extraction are pure numpy.  The
-block size is derived from a configurable memory budget so peak memory stays
-flat regardless of dataset size — the FDB-style "batched operator" shape that
-later sharding/async PRs can split across workers.
+slab production itself lives in :mod:`repro.similarity.streaming`
+(:func:`~repro.similarity.streaming.iter_similarity_blocks`), so this backend
+and the streaming reducers (histogram, quantile, top-k) share one kernel —
+the FDB-style "batched operator" shape that later sharding/async PRs can
+split across workers.
 
 Measure support:
 
@@ -19,10 +21,10 @@ Measure support:
 from __future__ import annotations
 
 import numpy as np
-from scipy import sparse
 
 from repro.datasets.vectors import VectorDataset
 from repro.similarity.backends.base import ApssBackend, BackendOutput, register_backend
+from repro.similarity.streaming import iter_similarity_blocks, resolve_block_rows
 from repro.similarity.types import SimilarPair
 
 __all__ = ["ExactBlockedBackend"]
@@ -37,8 +39,10 @@ class ExactBlockedBackend(ApssBackend):
     block_rows:
         Rows per block.  Defaults to whatever fits the memory budget.
     memory_budget_mb:
-        Approximate cap on the scratch memory of one block (the densified
+        Hard cap on the scratch memory of one block (the densified
         ``block_rows x n_rows`` similarity slab plus jaccard temporaries).
+        The block size is floored at a single row, so the cap only yields
+        when one row's slab is by itself larger than the budget.
     """
 
     name = "exact-blocked"
@@ -54,34 +58,8 @@ class ExactBlockedBackend(ApssBackend):
         self.block_rows = block_rows
         self.memory_budget_mb = float(memory_budget_mb)
 
-    # ------------------------------------------------------------------ #
     def _resolve_block_rows(self, n_rows: int) -> int:
-        if self.block_rows is not None:
-            return min(self.block_rows, max(1, n_rows))
-        # One block densifies to block_rows * n_rows float64s; keep roughly
-        # four such slabs (product, union, mask, scratch) inside the budget.
-        budget_bytes = self.memory_budget_mb * 1024 * 1024
-        rows = int(budget_bytes // (8 * 4 * max(1, n_rows)))
-        return max(16, min(max(1, n_rows), rows))
-
-    @staticmethod
-    def _prepared_matrix(dataset: VectorDataset, measure: str) -> sparse.csr_matrix:
-        matrix = sparse.csr_matrix(
-            (dataset.data, dataset.indices, dataset.indptr),
-            shape=(dataset.n_rows, dataset.n_features), copy=False)
-        if measure == "cosine":
-            row_sq = np.asarray(matrix.multiply(matrix).sum(axis=1)).ravel()
-            norms = np.sqrt(row_sq)
-            scale = np.where(norms > 0, 1.0 / np.where(norms > 0, norms, 1.0), 1.0)
-            data = matrix.data * np.repeat(scale, np.diff(dataset.indptr))
-            matrix = sparse.csr_matrix(
-                (data, dataset.indices, dataset.indptr),
-                shape=matrix.shape, copy=False)
-        elif measure == "jaccard":
-            matrix = sparse.csr_matrix(
-                (np.ones_like(dataset.data), dataset.indices, dataset.indptr),
-                shape=matrix.shape, copy=False)
-        return matrix
+        return resolve_block_rows(n_rows, self.block_rows, self.memory_budget_mb)
 
     # ------------------------------------------------------------------ #
     def search(self, dataset: VectorDataset, threshold: float,
@@ -90,28 +68,19 @@ class ExactBlockedBackend(ApssBackend):
         n = dataset.n_rows
         if n < 2:
             return BackendOutput(pairs=[], n_candidates=0)
-        matrix = self._prepared_matrix(dataset, measure)
-        transposed = matrix.T.tocsc()
-        sizes = np.diff(dataset.indptr).astype(np.float64)
         block_rows = self._resolve_block_rows(n)
         column_ids = np.arange(n)
 
         pairs: list[SimilarPair] = []
-        for start in range(0, n, block_rows):
-            stop = min(start + block_rows, n)
-            # Dense (stop-start, n) slab: implicit zeros become explicit 0.0
-            # similarities, which keeps thresholds <= 0 exact as well.
-            slab = (matrix[start:stop] @ transposed).toarray()
-            if measure == "jaccard":
-                union = sizes[start:stop, None] + sizes[None, :] - slab
-                with np.errstate(invalid="ignore", divide="ignore"):
-                    slab = np.where(union > 0, slab / np.where(union > 0, union, 1.0), 0.0)
+        for rows, slab in iter_similarity_blocks(dataset, measure,
+                                                 block_rows=block_rows):
             # Keep only the strict upper triangle (j > i, in global ids).
-            keep = (slab >= threshold) & (column_ids[None, :] > np.arange(start, stop)[:, None])
+            row_ids = np.arange(rows.start, rows.stop)
+            keep = (slab >= threshold) & (column_ids[None, :] > row_ids[:, None])
             rows_local, cols = np.nonzero(keep)
             values = slab[rows_local, cols]
-            for i, j, sim in zip((rows_local + start).tolist(), cols.tolist(),
-                                 values.tolist()):
+            for i, j, sim in zip((rows_local + rows.start).tolist(),
+                                 cols.tolist(), values.tolist()):
                 pairs.append(SimilarPair(i, j, float(sim)))
         total_pairs = n * (n - 1) // 2
         return BackendOutput(pairs=pairs, n_candidates=total_pairs,

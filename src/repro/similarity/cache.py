@@ -1,0 +1,115 @@
+"""Cross-threshold memoisation for the APSS engine.
+
+Interactive probing and densifying-series construction repeatedly ask the
+same dataset "which pairs meet threshold t?" for a sweep of thresholds.
+Because the pair set at a higher threshold is a subset of the pair set at any
+lower one, a single quadratic search at the loosest threshold answers every
+tighter probe by filtering — ``CachedApssEngine`` implements exactly that,
+memoising one :class:`~repro.similarity.engine.EngineResult` per
+``(dataset fingerprint, measure, backend, options)`` and serving any
+threshold at or above its cached floor without touching the kernel again.
+
+    >>> engine = CachedApssEngine()
+    >>> engine.search(dataset, 0.2)      # one quadratic pass (miss)
+    >>> engine.search(dataset, 0.5)      # filtered from cache (hit)
+    >>> engine.search(dataset, 0.1)      # below the floor: new pass, new floor
+"""
+
+from __future__ import annotations
+
+from repro.datasets.vectors import VectorDataset
+from repro.similarity.engine import DEFAULT_BACKEND, ApssEngine, EngineResult
+
+__all__ = ["CachedApssEngine"]
+
+
+class CachedApssEngine:
+    """An :class:`ApssEngine` wrapper memoising pair sets across thresholds.
+
+    Parameters
+    ----------
+    engine:
+        The engine to wrap; a fresh default :class:`ApssEngine` if omitted.
+    max_entries:
+        How many memoised results to keep (least-recently-used eviction).
+        One entry per (dataset fingerprint, measure, backend, options) key,
+        each holding the pair list of its loosest searched threshold.
+    backend, **backend_options:
+        Convenience constructor arguments for the wrapped engine (mutually
+        exclusive with passing *engine*).
+
+    Notes
+    -----
+    Cache entries are keyed by the dataset's content fingerprint, so mutating
+    a dataset in place yields a fresh entry rather than stale pairs — and the
+    stale entry ages out of the LRU bound instead of lingering forever.
+    Memory is bounded by *max_entries* pair lists (each the natural output
+    size of its sweep); :meth:`clear` drops them all.
+    """
+
+    def __init__(self, engine: ApssEngine | None = None,
+                 backend: str | None = None, max_entries: int = 8,
+                 **backend_options) -> None:
+        if engine is not None and (backend is not None or backend_options):
+            raise ValueError("pass either an engine or backend options, not both")
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        if engine is None:
+            engine = ApssEngine(backend or DEFAULT_BACKEND, **backend_options)
+        self.engine = engine
+        self.max_entries = int(max_entries)
+        self._cache: dict[tuple, EngineResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def backend(self) -> str:
+        return self.engine.backend
+
+    def clear(self) -> None:
+        """Drop every memoised result."""
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def _key(self, dataset: VectorDataset, measure: str, backend: str | None,
+             options: dict) -> tuple:
+        return (dataset.fingerprint(), measure, backend or self.engine.backend,
+                tuple(sorted(options.items())))
+
+    # ------------------------------------------------------------------ #
+    def search(self, dataset: VectorDataset, threshold: float,
+               measure: str = "cosine", backend: str | None = None,
+               **options) -> EngineResult:
+        """Like :meth:`ApssEngine.search`, reusing any looser cached search."""
+        threshold = float(threshold)
+        key = self._key(dataset, measure, backend, options)
+        cached = self._cache.get(key)
+        if cached is not None and cached.threshold <= threshold:
+            self.hits += 1
+            # Refresh recency (dict preserves insertion order: oldest first).
+            self._cache.pop(key)
+            self._cache[key] = cached
+            pairs = [p for p in cached.pairs if p.similarity >= threshold]
+            details = dict(cached.details)
+            details["cache"] = {"hit": True, "floor_threshold": cached.threshold}
+            return EngineResult(
+                backend=cached.backend, measure=measure, threshold=threshold,
+                n_rows=cached.n_rows, pairs=pairs, exact=cached.exact,
+                seconds=0.0, n_candidates=len(cached.pairs), n_pruned=0,
+                details=details)
+        self.misses += 1
+        result = self.engine.search(dataset, threshold, measure,
+                                    backend=backend, **options)
+        self._cache.pop(key, None)
+        self._cache[key] = result
+        while len(self._cache) > self.max_entries:
+            self._cache.pop(next(iter(self._cache)))
+        return result
+
+    def iter_similarity_blocks(self, dataset: VectorDataset,
+                               measure: str = "cosine", **kwargs):
+        """Delegate raw slab access to the wrapped engine (never cached)."""
+        return self.engine.iter_similarity_blocks(dataset, measure, **kwargs)

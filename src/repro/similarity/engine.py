@@ -118,6 +118,32 @@ class ApssEngine:
             seconds=seconds, n_candidates=output.n_candidates,
             n_pruned=output.n_pruned, details=output.details)
 
+    def iter_similarity_blocks(self, dataset: VectorDataset,
+                               measure: str = "cosine", *,
+                               block_rows: int | None = None,
+                               memory_budget_mb: float | None = None):
+        """Stream ``(row_range, block)`` dense similarity slabs of *dataset*.
+
+        The streaming substrate behind the ``exact-blocked`` kernel (see
+        :func:`repro.similarity.streaming.iter_similarity_blocks`): each slab
+        holds the block's similarities against every dataset row, and at most
+        one slab is alive at a time.  When this engine's default backend is
+        ``exact-blocked``, its ``block_rows``/``memory_budget_mb`` options
+        seed the defaults here, so consumers inherit the engine's budget.
+        """
+        from repro.similarity.streaming import (
+            DEFAULT_MEMORY_BUDGET_MB, iter_similarity_blocks)
+
+        defaults = (self.backend_options if self.backend == "exact-blocked"
+                    else {})
+        if block_rows is None:
+            block_rows = defaults.get("block_rows")
+        if memory_budget_mb is None:
+            memory_budget_mb = defaults.get("memory_budget_mb",
+                                            DEFAULT_MEMORY_BUDGET_MB)
+        return iter_similarity_blocks(dataset, measure, block_rows=block_rows,
+                                      memory_budget_mb=memory_budget_mb)
+
 
 def apss_search(dataset: VectorDataset, threshold: float,
                 measure: str = "cosine", backend: str = DEFAULT_BACKEND,

@@ -96,15 +96,23 @@ def pairwise_similarity_matrix(dataset: VectorDataset,
     if measure == "cosine":
         dense = dataset.to_dense()
         norms = np.linalg.norm(dense, axis=1)
-        norms[norms == 0] = 1.0
+        nonzero = norms > 0
+        norms[~nonzero] = 1.0
         normalized = dense / norms[:, None]
         sims = normalized @ normalized.T
-        np.fill_diagonal(sims, 1.0)
+        # A zero row has cosine 0.0 with everything — itself included, per
+        # cosine_similarity(row, row) — so only nonzero rows get the exact
+        # 1.0 diagonal.
+        sims[np.arange(n), np.arange(n)] = np.where(nonzero, 1.0, 0.0)
         return np.clip(sims, -1.0, 1.0)
     func = get_measure(measure)
-    sims = np.eye(n)
+    sims = np.zeros((n, n))
     rows = [dataset.row(i) for i in range(n)]
     for i in range(n):
+        # The diagonal comes from the measure itself so the matrix agrees
+        # with per-pair calls everywhere: empty rows get jaccard/cosine 0.0
+        # (not a fabricated 1.0) and dot gets the true squared norm.
+        sims[i, i] = func(rows[i], rows[i])
         for j in range(i + 1, n):
             value = func(rows[i], rows[j])
             sims[i, j] = value

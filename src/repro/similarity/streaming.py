@@ -1,0 +1,434 @@
+"""Streaming similarity substrate: blocked slabs and bounded-memory reducers.
+
+The blocked Gram kernel behind the ``exact-blocked`` backend is exposed here
+as a generator, :func:`iter_similarity_blocks`, yielding one dense
+``(block_rows, n_rows)`` similarity slab at a time under a configurable
+memory budget.  On top of it live streaming reducers that answer the
+questions the library used to answer by materialising the full ``n x n``
+similarity matrix:
+
+* :func:`streaming_similarity_histogram` — histogram of all pairwise
+  similarities (Figure 3.18) in two slab passes;
+* :func:`thresholds_for_edge_counts` / :func:`threshold_for_edge_count` /
+  :func:`similarity_quantile` — exact rank selection over the upper-triangle
+  similarity distribution (the Chapter 3 "threshold for |E_i| = 2^i N"
+  machinery) in two slab passes for *any* number of targets;
+* :func:`top_k_pairs` — the ``k`` most similar pairs with a bounded buffer.
+
+Peak memory of every reducer is O(block) + O(output), never O(n^2): the only
+quadratic cost is compute, which is exactly the trade PLASMA-HD wants for
+interactive probing of datasets too large to materialise.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+from scipy import sparse
+
+from repro.datasets.vectors import VectorDataset
+from repro.similarity.types import SimilarPair
+
+__all__ = [
+    "STREAMING_MEASURES",
+    "resolve_block_rows",
+    "iter_similarity_blocks",
+    "streaming_similarity_histogram",
+    "thresholds_for_edge_counts",
+    "threshold_for_edge_count",
+    "similarity_quantile",
+    "top_k_pairs",
+]
+
+#: Measures the blocked kernel can evaluate as a sparse matrix product.
+STREAMING_MEASURES = ("cosine", "jaccard", "dot")
+
+#: Default scratch budget for one slab, in megabytes.
+DEFAULT_MEMORY_BUDGET_MB = 64.0
+
+#: Bin resolution of the two-pass rank-selection sketch.
+DEFAULT_SELECTION_BINS = 4096
+
+
+def resolve_block_rows(n_rows: int, block_rows: int | None = None,
+                       memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB) -> int:
+    """Rows per slab so one block's scratch fits *memory_budget_mb*.
+
+    The budget is a hard cap: one block densifies to ``block_rows x n_rows``
+    float64s and the kernel plus a downstream reducer keep roughly eight
+    slab-sized allocations alive (sparse product, densified slab, jaccard
+    union, triangle mask, extracted values, bin indices, scratch), so
+    ``block_rows`` is floored at one row rather than any fixed minimum.  The
+    only way to exceed the budget is the unavoidable one: a single row's
+    slab (``8 * n_rows`` bytes) already being larger than it.
+    """
+    if n_rows <= 0:
+        return 1
+    if block_rows is not None:
+        if block_rows <= 0:
+            raise ValueError("block_rows must be positive")
+        return min(block_rows, n_rows)
+    if memory_budget_mb <= 0:
+        raise ValueError("memory_budget_mb must be positive")
+    budget_bytes = memory_budget_mb * 1024 * 1024
+    rows = int(budget_bytes // (8 * 8 * n_rows))
+    return max(1, min(n_rows, rows))
+
+
+def _prepared_csr(dataset: VectorDataset, measure: str) -> sparse.csr_matrix:
+    """Wrap the dataset (zero-copy) in CSR form, pre-scaled for *measure*."""
+    matrix = sparse.csr_matrix(
+        (dataset.data, dataset.indices, dataset.indptr),
+        shape=(dataset.n_rows, dataset.n_features), copy=False)
+    if measure == "cosine":
+        row_sq = np.asarray(matrix.multiply(matrix).sum(axis=1)).ravel()
+        norms = np.sqrt(row_sq)
+        scale = np.where(norms > 0, 1.0 / np.where(norms > 0, norms, 1.0), 1.0)
+        data = matrix.data * np.repeat(scale, np.diff(dataset.indptr))
+        matrix = sparse.csr_matrix(
+            (data, dataset.indices, dataset.indptr),
+            shape=matrix.shape, copy=False)
+    elif measure == "jaccard":
+        matrix = sparse.csr_matrix(
+            (np.ones_like(dataset.data), dataset.indices, dataset.indptr),
+            shape=matrix.shape, copy=False)
+    return matrix
+
+
+def iter_similarity_blocks(dataset: VectorDataset, measure: str = "cosine", *,
+                           block_rows: int | None = None,
+                           memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
+                           ) -> Iterator[tuple[range, np.ndarray]]:
+    """Yield ``(row_range, block)`` dense similarity slabs, one block at a time.
+
+    ``block`` is the dense ``(len(row_range), n_rows)`` matrix of similarities
+    between the block's rows and *every* dataset row, computed by one sparse
+    matrix product.  Concatenating the blocks reproduces the full similarity
+    matrix — but no more than one slab is ever alive, so peak memory follows
+    *memory_budget_mb* instead of ``n^2``.
+
+    Cosine slabs are clipped to ``[-1, 1]`` (matching the dense
+    :func:`~repro.similarity.measures.pairwise_similarity_matrix`); the
+    diagonal entries are the kernel's self-similarities, i.e. zero rows score
+    0.0 against themselves.
+    """
+    if measure not in STREAMING_MEASURES:
+        raise ValueError(f"unsupported streaming measure {measure!r}; "
+                         f"supported: {list(STREAMING_MEASURES)}")
+    n = dataset.n_rows
+    if n == 0:
+        return
+    matrix = _prepared_csr(dataset, measure)
+    transposed = matrix.T.tocsc()
+    sizes = np.diff(dataset.indptr).astype(np.float64)
+    rows_per_block = resolve_block_rows(n, block_rows, memory_budget_mb)
+    for start in range(0, n, rows_per_block):
+        stop = min(start + rows_per_block, n)
+        # Dense (stop-start, n) slab: implicit zeros become explicit 0.0
+        # similarities, which keeps thresholds <= 0 exact as well.
+        slab = (matrix[start:stop] @ transposed).toarray()
+        if measure == "jaccard":
+            union = sizes[start:stop, None] + sizes[None, :] - slab
+            with np.errstate(invalid="ignore", divide="ignore"):
+                slab = np.where(union > 0, slab / np.where(union > 0, union, 1.0), 0.0)
+        elif measure == "cosine":
+            np.clip(slab, -1.0, 1.0, out=slab)
+        yield range(start, stop), slab
+
+
+def _iter_upper_values(dataset: VectorDataset, measure: str,
+                       block_rows: int | None,
+                       memory_budget_mb: float) -> Iterator[np.ndarray]:
+    """Yield the strict-upper-triangle similarities of each slab, flattened."""
+    for rows, slab in iter_similarity_blocks(
+            dataset, measure, block_rows=block_rows,
+            memory_budget_mb=memory_budget_mb):
+        row_ids = np.arange(rows.start, rows.stop)
+        keep = np.arange(slab.shape[1])[None, :] > row_ids[:, None]
+        yield slab[keep]
+
+
+def streaming_similarity_histogram(dataset: VectorDataset, bins=50,
+                                   measure: str = "cosine", *,
+                                   block_rows: int | None = None,
+                                   memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
+                                   ) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of all pairwise similarities without the dense matrix.
+
+    Matches ``np.histogram(upper_triangle, bins=bins)`` on the full matrix:
+    when *bins* is an integer the first slab pass finds the value range the
+    edges span, and a second pass accumulates per-slab counts against those
+    shared edges.  Passing explicit bin edges skips the range pass.
+    """
+    n = dataset.n_rows
+    if n * (n - 1) // 2 == 0:
+        return np.histogram(np.empty(0), bins=bins)
+    if isinstance(bins, (int, np.integer)):
+        lowest, highest = np.inf, -np.inf
+        for values in _iter_upper_values(dataset, measure, block_rows,
+                                         memory_budget_mb):
+            if values.size:
+                lowest = min(lowest, float(values.min()))
+                highest = max(highest, float(values.max()))
+        edges = np.histogram_bin_edges(np.empty(0), bins=int(bins),
+                                       range=(lowest, highest))
+    else:
+        edges = np.asarray(bins, dtype=float)
+    counts = np.zeros(len(edges) - 1, dtype=np.int64)
+    for values in _iter_upper_values(dataset, measure, block_rows,
+                                     memory_budget_mb):
+        slab_counts, _ = np.histogram(values, bins=edges)
+        counts += slab_counts
+    return counts, edges
+
+
+def _selection_edges(dataset: VectorDataset, measure: str,
+                     n_bins: int) -> np.ndarray:
+    """A-priori bin edges covering every possible value of *measure*."""
+    if measure == "cosine":
+        lo, hi = -1.0, 1.0
+    elif measure == "jaccard":
+        lo, hi = 0.0, 1.0
+    else:  # dot: Cauchy-Schwarz bound from the largest row norm
+        if dataset.nnz:
+            # Per-row sum of squares via cumsum differences: robust to empty
+            # rows anywhere (reduceat would reject a trailing empty row's
+            # out-of-range start index).
+            cumulative = np.concatenate([[0.0], np.cumsum(dataset.data ** 2)])
+            norms_sq = cumulative[dataset.indptr[1:]] - cumulative[dataset.indptr[:-1]]
+            bound = float(norms_sq.max())
+        else:
+            bound = 0.0
+        lo, hi = -bound - 1.0, bound + 1.0
+    return np.linspace(lo, hi, n_bins + 1)
+
+
+def _bin_of(values: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Left-closed bin assignment, identical across both selection passes."""
+    return np.clip(np.searchsorted(edges, values, side="right") - 1,
+                   0, len(edges) - 2)
+
+
+#: Cap on the distinct values a per-bucket tally may hold before the bucket
+#: is refined into sub-buckets instead (bounds pass-two memory to O(n_bins)
+#: even when the whole distribution crowds into one bucket).
+_MAX_TALLY_DISTINCT = 16384
+
+
+def _resolve_ranks(dataset: VectorDataset, measure: str,
+                   block_rows: int | None, memory_budget_mb: float,
+                   n_bins: int, path: list[tuple[np.ndarray, int]],
+                   ranks: list[int]) -> dict[int, float]:
+    """Exact values at *ranks* (1 = largest) within one bucket's value multiset.
+
+    *path* is the chain of ``(edges, bucket)`` refinements identifying the
+    multiset: a slab value belongs when every level's :func:`_bin_of` lands
+    in that level's bucket.  First try an exact (value -> multiplicity)
+    tally; if the bucket holds more than ``_MAX_TALLY_DISTINCT`` distinct
+    values, split it into *n_bins* sub-buckets, locate each rank's
+    sub-bucket from one counting pass, and recurse.  Bucket width shrinks by
+    ``n_bins`` per level, so a handful of levels reaches intervals holding
+    few distinct floats and the tally path terminates.
+    """
+
+    def filtered(values: np.ndarray) -> np.ndarray:
+        for edges, bucket in path:
+            values = values[_bin_of(values, edges) == bucket]
+        return values
+
+    # Attempt the exact tally, aborting once it grows past the cap.
+    tally: dict[float, int] = {}
+    overflowed = False
+    for values in _iter_upper_values(dataset, measure, block_rows,
+                                     memory_budget_mb):
+        unique, multiplicity = np.unique(filtered(values), return_counts=True)
+        for value, count in zip(unique.tolist(), multiplicity.tolist()):
+            tally[value] = tally.get(value, 0) + count
+        if len(tally) > _MAX_TALLY_DISTINCT:
+            overflowed = True
+            break
+    if not overflowed:
+        unique_desc = sorted(tally, reverse=True)
+        cumulative = np.cumsum([tally[v] for v in unique_desc])
+        return {rank: float(unique_desc[int(np.searchsorted(cumulative, rank))])
+                for rank in ranks}
+
+    # Refine: split the current bucket and route each rank to its sub-bucket.
+    parent_edges, parent_bucket = path[-1]
+    sub_edges = np.linspace(parent_edges[parent_bucket],
+                            parent_edges[parent_bucket + 1], n_bins + 1)
+    counts = np.zeros(n_bins, dtype=np.int64)
+    for values in _iter_upper_values(dataset, measure, block_rows,
+                                     memory_budget_mb):
+        selected = filtered(values)
+        if selected.size:
+            counts += np.bincount(_bin_of(selected, sub_edges),
+                                  minlength=n_bins)
+    suffix = np.zeros(n_bins + 1, dtype=np.int64)
+    suffix[:n_bins] = np.cumsum(counts[::-1])[::-1]
+
+    grouped: dict[int, list[int]] = {}
+    for rank in ranks:
+        bucket = int(np.max(np.nonzero(suffix[:n_bins] >= rank)[0]))
+        grouped.setdefault(bucket, []).append(rank)
+    results: dict[int, float] = {}
+    for bucket, bucket_ranks in grouped.items():
+        offset = int(suffix[bucket + 1])
+        resolved = _resolve_ranks(dataset, measure, block_rows,
+                                  memory_budget_mb, n_bins,
+                                  path + [(sub_edges, bucket)],
+                                  [rank - offset for rank in bucket_ranks])
+        for rank in bucket_ranks:
+            results[rank] = resolved[rank - offset]
+    return results
+
+
+def thresholds_for_edge_counts(dataset: VectorDataset, targets,
+                               measure: str = "cosine", *,
+                               block_rows: int | None = None,
+                               memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
+                               n_bins: int = DEFAULT_SELECTION_BINS) -> list[float]:
+    """The similarity threshold admitting (approximately) each target edge count.
+
+    For target ``k`` this is the ``k``-th largest upper-triangle similarity —
+    exactly what the dense
+    :func:`~repro.graphs.similarity_graph.threshold_for_edge_count` computes
+    with ``np.partition`` — found without the matrix in a handful of slab
+    passes shared by *all* targets: pass one bins every value into *n_bins*
+    a-priori buckets, locating the bucket holding each target's rank; one
+    pass per hot bucket then tallies its distinct values (with recursive
+    sub-bucket refinement if too many distinct values crowd into it) and
+    reads the exact order statistic off the merged counts.
+
+    Targets ``<= 0`` map to ``max + 1.0`` (no pairs survive) and targets at
+    or beyond the number of distinct pairs map to the global minimum (every
+    pair survives), mirroring the dense helper.
+    """
+    n = dataset.n_rows
+    total = n * (n - 1) // 2
+    if total == 0:
+        raise ValueError("need at least two rows to threshold by edge count")
+    targets = [int(t) for t in targets]
+    if not targets:
+        return []
+
+    edges = _selection_edges(dataset, measure, n_bins)
+    counts = np.zeros(n_bins, dtype=np.int64)
+    lowest, highest = np.inf, -np.inf
+    for values in _iter_upper_values(dataset, measure, block_rows,
+                                     memory_budget_mb):
+        if not values.size:
+            continue
+        lowest = min(lowest, float(values.min()))
+        highest = max(highest, float(values.max()))
+        counts += np.bincount(_bin_of(values, edges), minlength=n_bins)
+
+    # suffix[b] = number of values in bucket b or any higher bucket.
+    suffix = np.zeros(n_bins + 1, dtype=np.int64)
+    suffix[:n_bins] = np.cumsum(counts[::-1])[::-1]
+
+    results: dict[int, float] = {}
+    needed: dict[int, list[int]] = {}
+    seen: set[int] = set()
+    for target in targets:
+        if target in seen:
+            continue
+        seen.add(target)
+        if target <= 0:
+            results[target] = highest + 1.0
+        elif target >= total:
+            results[target] = lowest
+        else:
+            bucket = int(np.max(np.nonzero(suffix[:n_bins] >= target)[0]))
+            needed.setdefault(bucket, []).append(target)
+
+    # Resolve each hot bucket's exact order statistics: a tally of distinct
+    # values when the bucket is tame (heavy ties, e.g. the 0.0 bucket of
+    # sparse data, stay cheap), recursive sub-bucket refinement when more
+    # than _MAX_TALLY_DISTINCT distinct values crowd into it — so pass-two
+    # memory stays O(n_bins) even for adversarially clustered distributions.
+    for bucket, bucket_targets in needed.items():
+        offset = int(suffix[bucket + 1])
+        resolved = _resolve_ranks(dataset, measure, block_rows,
+                                  memory_budget_mb, n_bins,
+                                  [(edges, bucket)],
+                                  [target - offset for target in bucket_targets])
+        for target in bucket_targets:
+            results[target] = resolved[target - offset]
+
+    return [results[target] for target in targets]
+
+
+def threshold_for_edge_count(dataset: VectorDataset, target_edges: int,
+                             measure: str = "cosine", **kwargs) -> float:
+    """Single-target convenience wrapper over :func:`thresholds_for_edge_counts`."""
+    return thresholds_for_edge_counts(dataset, [int(target_edges)],
+                                      measure=measure, **kwargs)[0]
+
+
+def similarity_quantile(dataset: VectorDataset, q: float,
+                        measure: str = "cosine", **kwargs) -> float:
+    """Nearest-rank *q*-quantile of the pairwise similarity distribution.
+
+    ``q=0`` is the minimum pairwise similarity, ``q=1`` the maximum, and in
+    between the smallest value with at least ``q * total`` values at or below
+    it — computed by the same two-pass selection as
+    :func:`thresholds_for_edge_counts`, never holding the matrix.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    n = dataset.n_rows
+    total = n * (n - 1) // 2
+    if total == 0:
+        raise ValueError("need at least two rows for a similarity quantile")
+    rank_from_bottom = min(total, max(1, int(np.ceil(q * total))))
+    rank_from_top = total - rank_from_bottom + 1
+    return thresholds_for_edge_counts(dataset, [rank_from_top],
+                                      measure=measure, **kwargs)[0]
+
+
+def top_k_pairs(dataset: VectorDataset, k: int, measure: str = "cosine", *,
+                block_rows: int | None = None,
+                memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
+                ) -> list[SimilarPair]:
+    """The *k* most similar pairs, descending, with an O(k + block) buffer.
+
+    Ties are broken deterministically by ``(first, second)`` so the result
+    equals sorting the full upper triangle by ``(-similarity, i, j)`` and
+    taking the first *k* entries.
+    """
+    n = dataset.n_rows
+    k = min(int(k), n * (n - 1) // 2)
+    if k <= 0:
+        return []
+    first = np.empty(0, dtype=np.int64)
+    second = np.empty(0, dtype=np.int64)
+    scores = np.empty(0)
+    cutoff = -np.inf
+
+    def shrink(i, j, v):
+        order = np.lexsort((j, i, -v))[:k]
+        return i[order], j[order], v[order]
+
+    for rows, slab in iter_similarity_blocks(
+            dataset, measure, block_rows=block_rows,
+            memory_budget_mb=memory_budget_mb):
+        row_ids = np.arange(rows.start, rows.stop)
+        keep = (np.arange(slab.shape[1])[None, :] > row_ids[:, None])
+        keep &= slab >= cutoff
+        local_i, local_j = np.nonzero(keep)
+        if not local_i.size:
+            continue
+        first = np.concatenate([first, row_ids[local_i]])
+        second = np.concatenate([second, local_j])
+        scores = np.concatenate([scores, slab[local_i, local_j]])
+        if len(scores) > max(4 * k, 4096):
+            first, second, scores = shrink(first, second, scores)
+            if len(scores) == k:
+                # Later blocks only ever produce larger row ids, so keeping
+                # ties at the cutoff cannot evict an already-kept pair.
+                cutoff = float(scores.min())
+    first, second, scores = shrink(first, second, scores)
+    return [SimilarPair(int(i), int(j), float(v))
+            for i, j, v in zip(first.tolist(), second.tolist(), scores.tolist())]

@@ -64,3 +64,24 @@ def test_suggest_next_threshold_falls_back_to_gap_bisection():
     suggestion = suggest_next_threshold(xs, ys, probed=[0.5])
     assert 0.0 <= suggestion <= 1.0
     assert abs(suggestion - 0.5) > 0.02
+
+
+def test_suggest_next_threshold_clamps_out_of_grid_probes():
+    # Probes outside the grid used to leave the fallback's anchor list
+    # unsorted (negative gaps) and could suggest a threshold beyond the
+    # grid (e.g. probed=2.0 here bisected the phantom [max, 2.0] gap to
+    # 1.5); clamped + sorted anchors keep the bisection inside the grid.
+    xs = np.linspace(0.0, 1.0, 11)
+    ys = np.linspace(100, 0, 11)  # straight line: no real knee, no inflections
+    # Probing every grid point forces the gap-bisection fallback no matter
+    # which point the (numerically noisy) knee of a straight line lands on.
+    suggestion = suggest_next_threshold(xs, ys, probed=list(xs) + [2.0])
+    assert 0.0 <= suggestion <= 1.0
+
+
+def test_suggest_next_threshold_all_probes_outside_grid_stay_in_grid():
+    xs = np.linspace(0.2, 0.8, 13)
+    ys = np.linspace(50, 10, 13)
+    suggestion = suggest_next_threshold(xs, ys,
+                                        probed=list(xs) + [-1.0, 0.05, 2.5])
+    assert 0.2 <= suggestion <= 0.8

@@ -28,6 +28,20 @@ def test_edge_count_schedule_small_graph():
     assert all(count <= 6 for count in schedule)
 
 
+def test_edge_count_schedule_rejects_non_positive_multiplier():
+    # base_multiplier=0 used to loop forever when n_steps is None: every
+    # count stayed at 0, never reaching the complete-graph cap.
+    with pytest.raises(ValueError, match="base_multiplier"):
+        edge_count_schedule(100, base_multiplier=0)
+    with pytest.raises(ValueError, match="base_multiplier"):
+        edge_count_schedule(100, n_steps=3, base_multiplier=-2)
+
+
+def test_edge_count_schedule_multiplier_scales_schedule():
+    schedule = edge_count_schedule(100, n_steps=3, base_multiplier=2)
+    assert schedule == [200, 400, 800]
+
+
 def test_data_driven_series_edges_increase():
     ds = make_clustered_vectors(60, 6, 3, seed=61)
     series = build_densifying_series(ds, n_steps=4)

@@ -1,0 +1,124 @@
+"""Tests for the cross-threshold APSS sweep cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import VectorDataset, make_clustered_vectors
+from repro.similarity import ApssEngine, CachedApssEngine
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_clustered_vectors(50, 6, 3, separation=4.0, seed=71)
+
+
+def test_cache_hits_filter_the_memoised_floor_search(dataset):
+    engine = CachedApssEngine()
+    floor = engine.search(dataset, 0.2)
+    assert (engine.hits, engine.misses) == (0, 1)
+
+    for threshold in (0.4, 0.6, 0.8):
+        cached = engine.search(dataset, threshold)
+        fresh = ApssEngine().search(dataset, threshold)
+        assert cached.pair_set() == fresh.pair_set()
+        assert cached.details["cache"]["hit"]
+        assert cached.details["cache"]["floor_threshold"] == floor.threshold
+        assert all(p.similarity >= threshold for p in cached.pairs)
+    assert (engine.hits, engine.misses) == (3, 1)
+    assert len(engine) == 1
+
+
+def test_lower_threshold_lowers_the_cached_floor(dataset):
+    engine = CachedApssEngine()
+    engine.search(dataset, 0.6)
+    below = engine.search(dataset, 0.3)  # below the floor: fresh search
+    assert (engine.hits, engine.misses) == (0, 2)
+    assert "cache" not in below.details
+    again = engine.search(dataset, 0.5)  # now served from the new floor
+    assert again.details["cache"]["floor_threshold"] == pytest.approx(0.3)
+    assert engine.hits == 1
+
+
+def test_cache_keys_separate_measures_and_backends(dataset):
+    engine = CachedApssEngine()
+    engine.search(dataset, 0.5, "cosine")
+    engine.search(dataset, 0.5, "jaccard")
+    engine.search(dataset, 0.5, "cosine", backend="exact-loop")
+    assert engine.misses == 3
+    assert len(engine) == 3
+    # Each key serves its own hits.
+    engine.search(dataset, 0.7, "jaccard")
+    assert engine.hits == 1
+
+
+def test_cache_distinguishes_mutated_datasets(dataset):
+    engine = CachedApssEngine()
+    engine.search(dataset, 0.5)
+    twin = VectorDataset(dataset.indptr.copy(), dataset.indices.copy(),
+                         dataset.data.copy(), dataset.n_features,
+                         name="renamed-twin")
+    engine.search(twin, 0.6)  # identical content: hit despite the new name
+    assert (engine.hits, engine.misses) == (1, 1)
+
+    twin.data[0] += 1.0
+    engine.search(twin, 0.6)  # mutated content: fresh fingerprint, miss
+    assert (engine.hits, engine.misses) == (1, 2)
+
+
+def test_fingerprint_tracks_content_not_name(dataset):
+    twin = VectorDataset(dataset.indptr.copy(), dataset.indices.copy(),
+                         dataset.data.copy(), dataset.n_features,
+                         name="other-name")
+    assert twin.fingerprint() == dataset.fingerprint()
+    twin.data[-1] *= 2.0
+    assert twin.fingerprint() != dataset.fingerprint()
+
+
+def test_clear_drops_memoised_results(dataset):
+    engine = CachedApssEngine()
+    engine.search(dataset, 0.5)
+    engine.clear()
+    assert len(engine) == 0
+    engine.search(dataset, 0.7)
+    assert engine.misses == 2
+
+
+def test_constructor_rejects_engine_plus_options():
+    with pytest.raises(ValueError, match="either an engine or backend options"):
+        CachedApssEngine(ApssEngine(), backend="exact-loop")
+    with pytest.raises(ValueError, match="max_entries"):
+        CachedApssEngine(max_entries=0)
+
+
+def test_cache_evicts_least_recently_used_entry(dataset):
+    engine = CachedApssEngine(max_entries=2)
+    engine.search(dataset, 0.5, "cosine")
+    engine.search(dataset, 0.5, "jaccard")
+    engine.search(dataset, 0.6, "cosine")    # refresh cosine's recency
+    engine.search(dataset, 0.5, "dot")       # evicts jaccard, not cosine
+    assert len(engine) == 2
+    engine.search(dataset, 0.7, "cosine")    # still cached
+    engine.search(dataset, 0.6, "jaccard")   # evicted: fresh search
+    assert (engine.hits, engine.misses) == (2, 4)
+
+
+def test_wrapped_engine_options_flow_through(dataset):
+    engine = CachedApssEngine(backend="exact-blocked", block_rows=7)
+    result = engine.search(dataset, 0.5)
+    assert result.details["block_rows"] == 7
+    blocks = list(engine.iter_similarity_blocks(dataset))
+    assert len(blocks[0][0]) == 7
+
+
+def test_cached_pair_values_match_dense_matrix(dataset):
+    from repro.similarity import pairwise_similarity_matrix
+
+    engine = CachedApssEngine()
+    engine.search(dataset, 0.1)
+    sims = pairwise_similarity_matrix(dataset)
+    result = engine.search(dataset, 0.75)
+    expected = int(np.count_nonzero(
+        np.triu(sims >= 0.75, k=1)))
+    assert result.pair_count() == expected

@@ -71,6 +71,36 @@ def test_pairwise_matrix_matches_pairwise_calls():
             assert matrix[i, j] == pytest.approx(expected, abs=1e-9)
 
 
+def test_pairwise_matrix_zero_row_cosine_diagonal():
+    # A zero row used to get self-similarity 1.0 from fill_diagonal while
+    # cosine_similarity(row, row) returns 0.0; the matrix now agrees with
+    # the pairwise function everywhere, diagonal included.
+    ds = VectorDataset.from_rows([{0: 1.0, 1: 2.0}, {}, {2: 3.0}],
+                                 n_features=4)
+    matrix = pairwise_similarity_matrix(ds, "cosine")
+    for i in range(ds.n_rows):
+        assert matrix[i, i] == pytest.approx(
+            cosine_similarity(ds.row(i), ds.row(i)), abs=1e-9)
+    assert matrix[1, 1] == 0.0
+    assert matrix[0, 0] == 1.0
+    assert np.all(matrix[1, :] == 0.0)
+
+
+def test_pairwise_matrix_generic_diagonal_agrees_with_measure():
+    # The generic (non-cosine) branch used to hard-code np.eye: empty rows
+    # got jaccard self-similarity 1.0 and dot diagonals were 1.0 instead of
+    # the squared norm.  The diagonal now comes from the measure itself.
+    ds = VectorDataset.from_rows([{0: 1.0, 1: 1.0}, {}, {2: 2.0}],
+                                 n_features=4)
+    jaccard = pairwise_similarity_matrix(ds, "jaccard")
+    assert jaccard[0, 0] == 1.0
+    assert jaccard[1, 1] == jaccard_similarity(ds.row(1), ds.row(1)) == 0.0
+    dot = pairwise_similarity_matrix(ds, "dot")
+    assert dot[0, 0] == pytest.approx(2.0)
+    assert dot[1, 1] == 0.0
+    assert dot[2, 2] == pytest.approx(4.0)
+
+
 def test_pairwise_matrix_jaccard_symmetric():
     ds = VectorDataset.from_rows([{0: 1, 1: 1}, {1: 1, 2: 1}, {3: 1}], n_features=5)
     matrix = pairwise_similarity_matrix(ds, "jaccard")

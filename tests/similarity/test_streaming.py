@@ -1,0 +1,340 @@
+"""Streaming reducers pinned to their dense-matrix counterparts.
+
+The streaming substrate must answer every question the dense ``n x n``
+similarity matrix used to answer — histogram, rank selection, quantiles,
+top-k, densifying series — with the matrix never materialised.  These tests
+pin each reducer to the dense computation on random sparse datasets
+(hypothesis, derandomised) and assert the peak-memory contract on a
+5000-row dataset.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import VectorDataset, make_sparse_corpus
+from repro.graphs import densifying_series, threshold_for_edge_count
+from repro.similarity import (
+    ApssEngine,
+    iter_similarity_blocks,
+    pairwise_similarity_matrix,
+    similarity_histogram,
+    similarity_quantile,
+    streaming_similarity_histogram,
+    thresholds_for_edge_counts,
+    top_k_pairs,
+)
+from repro.similarity.backends.exact_blocked import ExactBlockedBackend
+from repro.similarity.streaming import resolve_block_rows
+
+MEASURES = ["cosine", "jaccard", "dot"]
+
+
+def _random_dataset(seed: int, n_rows: int, n_features: int,
+                    density: float) -> VectorDataset:
+    rng = np.random.default_rng(seed)
+    dense = rng.random((n_rows, n_features))
+    dense[rng.random((n_rows, n_features)) > density] = 0.0
+    return VectorDataset.from_dense(dense, name=f"random-{seed}")
+
+
+def _upper(dataset: VectorDataset, measure: str) -> np.ndarray:
+    sims = pairwise_similarity_matrix(dataset, measure=measure)
+    return sims[np.triu_indices(dataset.n_rows, k=1)]
+
+
+def _streamed_upper(dataset: VectorDataset, measure: str,
+                    block_rows: int) -> np.ndarray:
+    chunks = []
+    for rows, slab in iter_similarity_blocks(dataset, measure,
+                                             block_rows=block_rows):
+        row_ids = np.arange(rows.start, rows.stop)
+        keep = np.arange(slab.shape[1])[None, :] > row_ids[:, None]
+        chunks.append(slab[keep])
+    return np.concatenate(chunks)
+
+
+# --------------------------------------------------------------------- #
+# The slab generator itself
+# --------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("measure", MEASURES)
+@pytest.mark.parametrize("block_rows", [1, 3, 7, 64])
+def test_blocks_partition_and_match_dense_matrix(measure, block_rows):
+    dataset = _random_dataset(5, 23, 9, 0.6)
+    sims = pairwise_similarity_matrix(dataset, measure=measure)
+    covered = []
+    rebuilt = np.zeros_like(sims)
+    for rows, slab in iter_similarity_blocks(dataset, measure,
+                                             block_rows=block_rows):
+        assert slab.shape == (len(rows), dataset.n_rows)
+        covered.extend(rows)
+        rebuilt[rows.start:rows.stop] = slab
+    assert covered == list(range(dataset.n_rows))
+    off_diagonal = ~np.eye(dataset.n_rows, dtype=bool)
+    assert np.allclose(rebuilt[off_diagonal], sims[off_diagonal], atol=1e-9)
+
+
+def test_blocks_reject_unknown_measure():
+    with pytest.raises(ValueError, match="unsupported streaming measure"):
+        list(iter_similarity_blocks(_random_dataset(0, 4, 3, 1.0), "hamming"))
+
+
+def test_engine_exposes_block_iterator_with_backend_defaults():
+    dataset = _random_dataset(9, 18, 6, 0.8)
+    engine = ApssEngine("exact-blocked", block_rows=5)
+    blocks = list(engine.iter_similarity_blocks(dataset))
+    assert [len(rows) for rows, _ in blocks] == [5, 5, 5, 3]
+
+
+def test_resolve_block_rows_floors_at_one_row():
+    """The budget is a hard cap: very wide datasets get single-row blocks
+    instead of the old silent 16-row overshoot."""
+    assert resolve_block_rows(1_000_000, memory_budget_mb=0.5) == 1
+    assert ExactBlockedBackend(memory_budget_mb=0.5)._resolve_block_rows(
+        1_000_000) == 1
+    # And explicit block_rows still wins, capped at the dataset size.
+    assert resolve_block_rows(10, block_rows=64) == 10
+
+
+# --------------------------------------------------------------------- #
+# Property: every streaming reducer matches its dense counterpart
+# --------------------------------------------------------------------- #
+
+@settings(max_examples=25, deadline=None, derandomize=True)
+@given(seed=st.integers(0, 10_000),
+       n_rows=st.integers(3, 24),
+       n_features=st.integers(2, 16),
+       density=st.floats(0.2, 1.0),
+       block_rows=st.integers(1, 30),
+       measure=st.sampled_from(MEASURES))
+def test_streaming_histogram_matches_dense(seed, n_rows, n_features, density,
+                                           block_rows, measure):
+    dataset = _random_dataset(seed, n_rows, n_features, density)
+    upper = _upper(dataset, measure)
+    counts, edges = streaming_similarity_histogram(dataset, bins=16,
+                                                   measure=measure,
+                                                   block_rows=block_rows)
+    dense_counts, dense_edges = np.histogram(upper, bins=16)
+    assert np.array_equal(counts, dense_counts)
+    assert np.allclose(edges, dense_edges, atol=1e-9)
+    assert counts.sum() == len(upper)
+
+
+@settings(max_examples=25, deadline=None, derandomize=True)
+@given(seed=st.integers(0, 10_000),
+       n_rows=st.integers(3, 24),
+       n_features=st.integers(2, 16),
+       density=st.floats(0.2, 1.0),
+       block_rows=st.integers(1, 30),
+       measure=st.sampled_from(MEASURES))
+def test_streaming_rank_selection_matches_dense(seed, n_rows, n_features,
+                                                density, block_rows, measure):
+    dataset = _random_dataset(seed, n_rows, n_features, density)
+    sims = pairwise_similarity_matrix(dataset, measure=measure)
+    total = dataset.n_rows * (dataset.n_rows - 1) // 2
+    targets = sorted({0, 1, total // 3, max(1, total - 1), total, total + 7})
+
+    streamed = thresholds_for_edge_counts(dataset, targets, measure=measure,
+                                          block_rows=block_rows)
+    dense = [threshold_for_edge_count(sims, t) for t in targets]
+    assert np.allclose(streamed, dense, atol=1e-9)
+
+    # Against the streamed values themselves the selection is float-exact:
+    # the k-th largest slab similarity, same semantics as np.partition.
+    values = _streamed_upper(dataset, measure, block_rows)
+    for target, threshold in zip(targets, streamed):
+        if 0 < target < total:
+            expected = np.partition(values, len(values) - target)
+            assert threshold == float(expected[len(values) - target])
+            assert int((values >= threshold).sum()) >= target
+
+
+@settings(max_examples=15, deadline=None, derandomize=True)
+@given(seed=st.integers(0, 10_000),
+       n_rows=st.integers(3, 20),
+       density=st.floats(0.3, 1.0),
+       q=st.floats(0.0, 1.0),
+       measure=st.sampled_from(MEASURES))
+def test_similarity_quantile_is_nearest_rank(seed, n_rows, density, q, measure):
+    dataset = _random_dataset(seed, n_rows, 8, density)
+    upper = np.sort(_upper(dataset, measure))
+    total = len(upper)
+    rank = min(total, max(1, int(np.ceil(q * total))))
+    assert similarity_quantile(dataset, q, measure=measure) == pytest.approx(
+        float(upper[rank - 1]), abs=1e-9)
+
+
+@settings(max_examples=15, deadline=None, derandomize=True)
+@given(seed=st.integers(0, 10_000),
+       n_rows=st.integers(3, 20),
+       density=st.floats(0.3, 1.0),
+       k=st.integers(1, 40),
+       block_rows=st.integers(1, 25),
+       measure=st.sampled_from(MEASURES))
+def test_top_k_pairs_matches_dense_ordering(seed, n_rows, density, k,
+                                            block_rows, measure):
+    dataset = _random_dataset(seed, n_rows, 8, density)
+    n = dataset.n_rows
+    upper_i, upper_j = np.triu_indices(n, k=1)
+    values = _streamed_upper(dataset, measure, block_rows)
+    order = np.lexsort((upper_j, upper_i, -values))
+    expected = [(int(upper_i[o]), int(upper_j[o]), float(values[o]))
+                for o in order[:k]]
+
+    pairs = top_k_pairs(dataset, k, measure=measure, block_rows=block_rows)
+    assert len(pairs) == min(k, len(values))
+    assert [(p.first, p.second, p.similarity) for p in pairs] == expected
+    dense_sorted = np.sort(_upper(dataset, measure))[::-1]
+    got = np.array([p.similarity for p in pairs])
+    assert np.allclose(got, dense_sorted[:len(pairs)], atol=1e-9)
+
+
+def test_top_k_pairs_buffer_shrink_path(clustered_dataset):
+    """120 rows / 7140 pairs overflows the 4096-entry buffer, exercising the
+    shrink + cutoff pruning path against the brute-force answer."""
+    k = 9
+    pairs = top_k_pairs(clustered_dataset, k, block_rows=13)
+    sims = pairwise_similarity_matrix(clustered_dataset)
+    n = clustered_dataset.n_rows
+    upper_i, upper_j = np.triu_indices(n, k=1)
+    upper = sims[np.triu_indices(n, k=1)]
+    order = np.lexsort((upper_j, upper_i, -upper))
+    assert [(p.first, p.second) for p in pairs] == [
+        (int(upper_i[o]), int(upper_j[o])) for o in order[:k]]
+
+
+def test_top_k_pairs_edge_cases():
+    dataset = _random_dataset(3, 6, 4, 0.9)
+    assert top_k_pairs(dataset, 0) == []
+    everything = top_k_pairs(dataset, 10_000)
+    assert len(everything) == 6 * 5 // 2
+    values = [p.similarity for p in everything]
+    assert values == sorted(values, reverse=True)
+
+
+# --------------------------------------------------------------------- #
+# Densifying series: streaming path vs injected dense matrix
+# --------------------------------------------------------------------- #
+
+@settings(max_examples=10, deadline=None, derandomize=True)
+@given(seed=st.integers(0, 10_000),
+       n_rows=st.integers(4, 20),
+       density=st.floats(0.3, 1.0),
+       measure=st.sampled_from(["cosine", "jaccard"]))
+def test_densifying_series_streaming_matches_dense(seed, n_rows, density,
+                                                   measure):
+    dataset = _random_dataset(seed, n_rows, 6, density)
+    total = dataset.n_rows * (dataset.n_rows - 1) // 2
+    counts = sorted({1, total // 4, total // 2, total})
+    sims = pairwise_similarity_matrix(dataset, measure=measure)
+    streamed = densifying_series(dataset, counts, measure=measure)
+    dense = densifying_series(dataset, counts, measure=measure,
+                              similarities=sims)
+    assert len(streamed) == len(dense)
+    previous_edges = None
+    for (t_stream, g_stream), (t_dense, g_dense) in zip(streamed, dense):
+        assert t_stream == pytest.approx(t_dense, abs=1e-9)
+        assert g_stream.n_edges == g_dense.n_edges
+        if previous_edges is not None:
+            assert g_stream.n_edges >= previous_edges
+        previous_edges = g_stream.n_edges
+
+
+def test_threshold_for_edge_count_accepts_dataset(clustered_dataset):
+    sims = pairwise_similarity_matrix(clustered_dataset)
+    for target in (10, 100, 400):
+        streamed = threshold_for_edge_count(clustered_dataset, target)
+        dense = threshold_for_edge_count(sims, target)
+        assert streamed == pytest.approx(dense, abs=1e-9)
+
+
+def test_selection_dot_measure_with_trailing_empty_row():
+    # A trailing empty row used to crash the dot-measure bound computation
+    # (np.add.reduceat rejected the out-of-range start index).
+    ds = VectorDataset.from_rows([{0: 1.0, 1: 2.0}, {1: 1.0}, {}],
+                                 n_features=3)
+    sims = pairwise_similarity_matrix(ds, measure="dot")
+    streamed = thresholds_for_edge_counts(ds, [1, 2, 3], measure="dot")
+    dense = [threshold_for_edge_count(sims, t) for t in (1, 2, 3)]
+    assert np.allclose(streamed, dense, atol=1e-9)
+
+
+def test_selection_refinement_when_one_bucket_holds_everything(monkeypatch):
+    """When more distinct values crowd into one bucket than the tally cap,
+    the selection must refine sub-buckets instead of growing unboundedly."""
+    import repro.similarity.streaming as streaming
+
+    monkeypatch.setattr(streaming, "_MAX_TALLY_DISTINCT", 7)
+    dataset = _random_dataset(17, 16, 6, 0.9)
+    sims = pairwise_similarity_matrix(dataset)
+    total = 16 * 15 // 2
+    targets = [1, total // 2, total - 1]
+    streamed = thresholds_for_edge_counts(dataset, targets)
+    dense = [threshold_for_edge_count(sims, t) for t in targets]
+    assert np.allclose(streamed, dense, atol=1e-9)
+    values = _streamed_upper(dataset, "cosine", 5)
+    for target, threshold in zip(targets, streamed):
+        expected = np.partition(values, len(values) - target)
+        assert threshold == float(expected[len(values) - target])
+
+
+def test_selection_on_near_duplicate_rows_stays_exact():
+    """Near-duplicate data concentrates every similarity in one sliver of
+    the a-priori bucket range — the degenerate case for bucket selection."""
+    rng = np.random.default_rng(3)
+    base = rng.random(12)
+    dense_rows = base[None, :] + rng.normal(scale=1e-7, size=(200, 12))
+    dataset = VectorDataset.from_dense(np.abs(dense_rows), name="near-dup")
+    sims = pairwise_similarity_matrix(dataset)
+    total = 200 * 199 // 2
+    targets = [10, total // 2, total - 10]
+    streamed = thresholds_for_edge_counts(dataset, targets)
+    dense = [threshold_for_edge_count(sims, t) for t in targets]
+    assert np.allclose(streamed, dense, atol=1e-9)
+
+
+def test_selection_rejects_degenerate_inputs():
+    single = _random_dataset(1, 1, 3, 1.0)
+    with pytest.raises(ValueError, match="at least two rows"):
+        thresholds_for_edge_counts(single, [1])
+    dataset = _random_dataset(2, 5, 3, 1.0)
+    assert thresholds_for_edge_counts(dataset, []) == []
+    with pytest.raises(ValueError, match=r"q must be in \[0, 1\]"):
+        similarity_quantile(dataset, 1.5)
+
+
+# --------------------------------------------------------------------- #
+# The memory contract: 5000 rows, no n x n matrix anywhere
+# --------------------------------------------------------------------- #
+
+def test_streaming_reducers_respect_memory_budget_on_5000_rows():
+    """Histogram + quantile/threshold selection over 12.5M pairs must stay
+    within the configured block budget — the dense matrix would be ~190 MB."""
+    dataset = make_sparse_corpus(5000, 2000, avg_doc_length=8, n_topics=10,
+                                 seed=7, name="budget-5000")
+    budget_mb = 8.0
+    tracemalloc.start()
+    try:
+        baseline, _ = tracemalloc.get_traced_memory()
+        counts, edges = similarity_histogram(dataset, bins=32,
+                                             memory_budget_mb=budget_mb)
+        thresholds = thresholds_for_edge_counts(dataset, [5000, 40000],
+                                                memory_budget_mb=budget_mb)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+
+    total_pairs = 5000 * 4999 // 2
+    assert counts.sum() == total_pairs
+    assert thresholds[0] > thresholds[1] > 0.0
+    peak_delta = peak - baseline
+    budget_bytes = budget_mb * 1024 * 1024
+    dense_bytes = 5000 * 5000 * 8
+    assert peak_delta <= budget_bytes, (
+        f"peak {peak_delta / 2**20:.1f} MB exceeds the {budget_mb} MB budget")
+    assert peak_delta < dense_bytes / 10
