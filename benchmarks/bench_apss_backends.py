@@ -2,12 +2,16 @@
 
 Runs every registered engine backend over a grid of workloads, checks that
 the exact backends agree pairwise, and reports wall-clock speedups against
-the ``exact-loop`` reference.  Dual interface:
+the ``exact-loop`` reference plus a worker-count scaling column for the
+sharded backend (speedup vs ``exact-blocked`` at 1/2/4 workers).  Dual
+interface:
 
-* ``PYTHONPATH=src python benchmarks/bench_apss_backends.py [--smoke]`` —
-  standalone CLI printing the matrix (``--smoke`` shrinks the workloads for
-  CI; the default sizes include the 2000x200 dense cosine workload the
-  engine's >=10x blocked-vs-loop claim is measured on).
+* ``PYTHONPATH=src python benchmarks/bench_apss_backends.py [--smoke|--check]``
+  — standalone CLI printing the matrix (``--smoke`` shrinks the workloads
+  for CI; ``--check`` only verifies the registry roster and exits, so a
+  backend module that fails to import or register fails fast without any
+  benchmarking; the default sizes include the 2000x200 dense cosine workload
+  the engine's >=10x blocked-vs-loop claim is measured on).
 * ``pytest benchmarks/bench_apss_backends.py`` — pytest-benchmark harness
   over the smoke matrix with shape assertions.
 
@@ -25,7 +29,8 @@ from repro.similarity import ApssEngine, available_backends
 #: Backends the registry must expose; a missing name means a backend module
 #: failed to import or register, which CI should treat as a hard failure.
 EXPECTED_BACKENDS = frozenset(
-    {"exact-loop", "exact-blocked", "prefix-filter", "bayeslsh"})
+    {"exact-loop", "exact-blocked", "prefix-filter", "bayeslsh",
+     "sharded-blocked"})
 
 
 def check_registry() -> None:
@@ -39,13 +44,16 @@ def check_registry() -> None:
             f"to import or register")
 
 
-#: (workload name, dataset builder, measure, threshold, backends, options)
+#: Backend specs are either a registry name or ``(label, name, options)``;
+#: labels keep the sharded worker-scaling rows distinguishable.
+#: (workload name, dataset builder, measure, threshold, backend specs)
 SMOKE_WORKLOADS = [
     ("dense-200x50-cosine",
      lambda: make_clustered_vectors(200, 50, 6, separation=4.0, seed=41,
                                     name="dense-200x50"),
      "cosine", 0.5,
-     ["exact-loop", "exact-blocked", "prefix-filter", "bayeslsh"]),
+     ["exact-loop", "exact-blocked", "prefix-filter", "bayeslsh",
+      ("sharded@2w", "sharded-blocked", {"n_workers": 2})]),
     ("sparse-150x300-jaccard",
      lambda: make_sparse_corpus(150, 300, avg_doc_length=18, n_topics=5,
                                 seed=43, name="sparse-150x300"),
@@ -54,23 +62,37 @@ SMOKE_WORKLOADS = [
 ]
 
 FULL_WORKLOADS = [
-    # The headline workload: 2k x 200 dense cosine, blocked vs loop.
+    # The headline workload: 2k x 200 dense cosine — blocked vs loop, plus
+    # the sharded worker-count scaling ladder against exact-blocked.
     ("dense-2000x200-cosine",
      lambda: make_clustered_vectors(2000, 200, 10, separation=4.0, seed=47,
                                     name="dense-2000x200"),
      "cosine", 0.5,
-     ["exact-loop", "exact-blocked"]),
+     ["exact-loop", "exact-blocked",
+      ("sharded@1w", "sharded-blocked", {"n_workers": 1}),
+      ("sharded@2w", "sharded-blocked", {"n_workers": 2}),
+      ("sharded@4w", "sharded-blocked", {"n_workers": 4})]),
     ("sparse-1500x2000-jaccard",
      lambda: make_sparse_corpus(1500, 2000, avg_doc_length=20, n_topics=12,
                                 seed=49, name="sparse-1500x2000"),
      "jaccard", 0.4,
-     ["exact-loop", "exact-blocked", "prefix-filter"]),
+     ["exact-loop", "exact-blocked", "prefix-filter",
+      ("sharded@4w", "sharded-blocked", {"n_workers": 4})]),
     ("dense-400x64-cosine-all-backends",
      lambda: make_clustered_vectors(400, 64, 8, separation=4.0, seed=51,
                                     name="dense-400x64"),
      "cosine", 0.6,
-     ["exact-loop", "exact-blocked", "prefix-filter", "bayeslsh"]),
+     ["exact-loop", "exact-blocked", "prefix-filter", "bayeslsh",
+      ("sharded@2w", "sharded-blocked", {"n_workers": 2})]),
 ]
+
+
+def _backend_spec(spec) -> tuple[str, str, dict]:
+    """Normalise a backend spec into ``(label, registry name, options)``."""
+    if isinstance(spec, str):
+        return spec, spec, {}
+    label, name, options = spec
+    return label, name, dict(options)
 
 
 def run_matrix(smoke: bool = True) -> list[dict]:
@@ -82,25 +104,34 @@ def run_matrix(smoke: bool = True) -> list[dict]:
         dataset = build()
         reference_count = None
         reference_seconds = None
-        for backend in backends:
-            result = engine.search(dataset, threshold, measure, backend=backend)
+        blocked_seconds = None
+        for spec in backends:
+            label, backend, options = _backend_spec(spec)
+            result = engine.search(dataset, threshold, measure,
+                                   backend=backend, **options)
             if backend == "exact-loop":
                 reference_count = result.pair_count()
                 reference_seconds = result.seconds
+            if backend == "exact-blocked":
+                blocked_seconds = result.seconds
             speedup = (reference_seconds / result.seconds
                        if reference_seconds and result.seconds > 0 else None)
+            vs_blocked = (blocked_seconds / result.seconds
+                          if blocked_seconds and result.seconds > 0 else None)
             rows.append({
                 "workload": name,
                 "n_rows": dataset.n_rows,
                 "n_features": dataset.n_features,
                 "measure": measure,
                 "threshold": threshold,
-                "backend": backend,
+                "backend": label,
+                "n_workers": options.get("n_workers"),
                 "exact": result.exact,
                 "pairs": result.pair_count(),
                 "reference_pairs": reference_count,
                 "seconds": result.seconds,
                 "speedup_vs_loop": speedup,
+                "speedup_vs_blocked": vs_blocked,
             })
     return rows
 
@@ -121,13 +152,16 @@ def check_matrix(rows: list[dict]) -> None:
 
 def format_table(rows: list[dict]) -> str:
     header = (f"{'workload':<28} {'backend':<14} {'pairs':>8} "
-              f"{'seconds':>10} {'speedup':>8}")
+              f"{'seconds':>10} {'vs loop':>8} {'vs blocked':>11}")
     lines = [header, "-" * len(header)]
     for row in rows:
         speedup = (f"{row['speedup_vs_loop']:.1f}x"
                    if row["speedup_vs_loop"] else "-")
+        vs_blocked = (f"{row['speedup_vs_blocked']:.2f}x"
+                      if row.get("speedup_vs_blocked") else "-")
         lines.append(f"{row['workload']:<28} {row['backend']:<14} "
-                     f"{row['pairs']:>8} {row['seconds']:>10.4f} {speedup:>8}")
+                     f"{row['pairs']:>8} {row['seconds']:>10.4f} "
+                     f"{speedup:>8} {vs_blocked:>11}")
     return "\n".join(lines)
 
 
@@ -161,9 +195,15 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
                         help="run the reduced CI-sized matrix")
+    parser.add_argument("--check", action="store_true",
+                        help="only verify the backend registry roster "
+                             "(fails fast on import/registration errors)")
     args = parser.parse_args(argv)
 
     check_registry()
+    if args.check:
+        print(f"backend registry ok: {sorted(available_backends())}")
+        return 0
     rows = run_matrix(smoke=args.smoke)
     check_matrix(rows)
     print(format_table(rows))

@@ -15,16 +15,31 @@ from __future__ import annotations
 import numpy as np
 
 from repro.datasets.vectors import VectorDataset
-from repro.utils.random_state import ensure_rng
+from repro.utils.random_state import ensure_rng, resolve_seed
 from repro.utils.validation import check_positive_int
 
-__all__ = ["make_clustered_vectors", "make_toy_dataset", "make_uci_like"]
+__all__ = ["make_clustered_vectors", "make_toy_dataset", "make_uci_like",
+           "seeded_name"]
+
+
+def seeded_name(base: str, seed, name: str | None = None) -> str:
+    """The dataset name to use: *name* if given, else *base* tagged with *seed*.
+
+    Tagging the **resolved** seed (see
+    :func:`repro.utils.random_state.resolve_seed`) into the default name means
+    a failing test that prints its dataset always prints enough to rebuild it
+    — even when the caller never chose a seed.
+    """
+    if name is not None:
+        return name
+    tag = seed if not isinstance(seed, np.random.Generator) else "external-rng"
+    return f"{base}[seed={tag}]"
 
 
 def make_clustered_vectors(n_rows: int, n_features: int, n_clusters: int, *,
                            separation: float = 4.0, cluster_std: float = 1.0,
                            noise_fraction: float = 0.0, weights=None,
-                           seed=None, name: str = "clustered") -> VectorDataset:
+                           seed=None, name: str | None = None) -> VectorDataset:
     """Generate a Gaussian-mixture dataset with known cluster labels.
 
     Parameters
@@ -42,13 +57,19 @@ def make_clustered_vectors(n_rows: int, n_features: int, n_clusters: int, *,
     weights:
         Optional relative cluster sizes (defaults to balanced clusters).
     seed:
-        Seed or generator for reproducibility.
+        Seed or generator for reproducibility.  ``None`` draws (and reports)
+        a fresh concrete seed rather than an unrecoverable stream.
+    name:
+        Dataset name; when omitted, the default name embeds the resolved
+        seed (``clustered[seed=NNN]``) so failures reproduce from the name.
     """
     check_positive_int(n_rows, "n_rows")
     check_positive_int(n_features, "n_features")
     check_positive_int(n_clusters, "n_clusters")
     if not 0.0 <= noise_fraction < 1.0:
         raise ValueError("noise_fraction must lie in [0, 1)")
+    seed = resolve_seed(seed)
+    name = seeded_name("clustered", seed, name)
     rng = ensure_rng(seed)
 
     if weights is None:

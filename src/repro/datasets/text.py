@@ -15,7 +15,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.datasets.vectors import VectorDataset
-from repro.utils.random_state import ensure_rng
+from repro.datasets.synthetic import seeded_name
+from repro.utils.random_state import ensure_rng, resolve_seed
 from repro.utils.validation import check_positive_int
 
 __all__ = ["make_sparse_corpus"]
@@ -31,7 +32,7 @@ def make_sparse_corpus(n_docs: int, vocabulary_size: int, *,
                        avg_doc_length: int = 40, n_topics: int = 8,
                        topic_concentration: float = 0.85,
                        zipf_exponent: float = 1.1, tfidf: bool = True,
-                       seed=None, name: str = "corpus") -> VectorDataset:
+                       seed=None, name: str | None = None) -> VectorDataset:
     """Generate a sparse document-term dataset with latent topics.
 
     Parameters
@@ -60,6 +61,8 @@ def make_sparse_corpus(n_docs: int, vocabulary_size: int, *,
         raise ValueError("avg_doc_length must be positive")
     if not 0.0 <= topic_concentration <= 1.0:
         raise ValueError("topic_concentration must lie in [0, 1]")
+    seed = resolve_seed(seed)
+    name = seeded_name("corpus", seed, name)
     rng = ensure_rng(seed)
 
     slice_size = max(1, vocabulary_size // n_topics)

@@ -27,7 +27,19 @@ from repro.similarity.streaming import (
     thresholds_for_edge_counts,
     top_k_pairs,
 )
-from repro.similarity.backends import available_backends, make_backend
+from repro.similarity.backends import (
+    InlineShardExecutor,
+    ShardExecutionError,
+    available_backends,
+    get_backend_class,
+    iter_similarity_blocks_sharded,
+    make_backend,
+)
+from repro.similarity.partition import (
+    BlockShard,
+    partition_blocks,
+    resolve_worker_count,
+)
 
 __all__ = [
     "cosine_similarity",
@@ -50,5 +62,12 @@ __all__ = [
     "thresholds_for_edge_counts",
     "top_k_pairs",
     "available_backends",
+    "get_backend_class",
     "make_backend",
+    "BlockShard",
+    "partition_blocks",
+    "resolve_worker_count",
+    "InlineShardExecutor",
+    "ShardExecutionError",
+    "iter_similarity_blocks_sharded",
 ]

@@ -6,6 +6,7 @@ Importing this package registers every built-in backend:
 * ``exact-blocked``  — blocked sparse Gram-matrix kernel (fast exact default).
 * ``prefix-filter``  — sorted-feature prefix filtering + exact verification.
 * ``bayeslsh``       — sketch + BayesLSH Bayesian prune/concentrate (approximate).
+* ``sharded-blocked`` — the blocked kernel sharded across worker processes.
 
 See :mod:`repro.similarity.backends.base` for the registry API and the
 checklist for adding a new backend.
@@ -23,6 +24,12 @@ from repro.similarity.backends.exact_loop import ExactLoopBackend
 from repro.similarity.backends.exact_blocked import ExactBlockedBackend
 from repro.similarity.backends.prefix_filter import PrefixFilterBackend
 from repro.similarity.backends.bayeslsh import BayesLshBackend
+from repro.similarity.backends.sharded import (
+    InlineShardExecutor,
+    ShardedBlockedBackend,
+    ShardExecutionError,
+    iter_similarity_blocks_sharded,
+)
 
 __all__ = [
     "ApssBackend",
@@ -35,4 +42,8 @@ __all__ = [
     "ExactBlockedBackend",
     "PrefixFilterBackend",
     "BayesLshBackend",
+    "ShardedBlockedBackend",
+    "ShardExecutionError",
+    "InlineShardExecutor",
+    "iter_similarity_blocks_sharded",
 ]

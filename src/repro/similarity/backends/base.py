@@ -62,6 +62,22 @@ class ApssBackend(ABC):
     name: ClassVar[str]
     exact: ClassVar[bool] = True
     measures: ClassVar[tuple[str, ...] | None] = None
+    #: Constructor options that change *how* a search executes (worker
+    #: counts, injected executors, fault hooks) but never *what* it returns.
+    #: Sweep caches strip these from their keys so e.g. a 4-worker pass can
+    #: serve a threshold first searched with 1 worker.
+    execution_options: ClassVar[tuple[str, ...]] = ()
+
+    @classmethod
+    def parity_variants(cls) -> list[dict]:
+        """Option sets the cross-backend parity suite must cover.
+
+        The default is one variant with default options.  Backends whose
+        correctness depends on configuration seams (e.g. the sharded
+        backend's worker count) override this so the parity suite exercises
+        each seam automatically — new variants get tested for free.
+        """
+        return [{}]
 
     def supports(self, measure: str) -> bool:
         return self.measures is None or measure in self.measures

@@ -1,0 +1,425 @@
+"""Sharded multi-process APSS backend over the blocked Gram kernel.
+
+``sharded-blocked`` partitions the upper-triangular block grid (see
+:mod:`repro.similarity.partition`) and fans the shards out over a
+``concurrent.futures`` executor — a ``ProcessPoolExecutor`` by default, an
+in-process :class:`InlineShardExecutor` when ``n_workers=1`` (or for
+debugging), or anything a test injects via ``executor_factory``.  Each worker
+runs the same slab kernel as ``exact-blocked``
+(:func:`repro.similarity.streaming.compute_block_slab`) restricted to the
+columns its shard actually extracts pairs from, so a 4-worker pass does about
+half the scalar work of the full-width kernel on top of the parallelism.
+
+Correctness under nondeterministic scheduling is the contract:
+
+* results are **order-canonical** — merged pairs are sorted by
+  ``(first, second)``, so the pair list is byte-identical no matter which
+  shard finishes first, and sweep caches keyed on the output stay coherent;
+* a shard that raises mid-stream **surfaces** as
+  :class:`ShardExecutionError` (outstanding shards are cancelled) — never a
+  hang, never silently dropped pairs;
+* everything a worker needs travels in a picklable payload of CSR arrays and
+  the worker functions are module-level, so spawn-start platforms (Windows,
+  macOS) work identically to fork.
+
+The streamed-slab contract is sharded too: :func:`iter_similarity_blocks_sharded`
+computes full-width slabs in worker processes and yields them in row order
+behind a bounded reorder window, so ``CachedApssEngine``, the streaming
+reducers and every graph/growth/LAM consumer work unchanged.
+"""
+
+from __future__ import annotations
+
+import atexit
+from collections import deque
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Iterator
+
+import numpy as np
+
+from repro.datasets.vectors import VectorDataset
+from repro.similarity.backends.base import (ApssBackend, BackendOutput,
+                                            register_backend)
+from repro.similarity.partition import (BlockShard, block_ranges,
+                                        partition_blocks, resolve_worker_count)
+from repro.similarity.streaming import (DEFAULT_MEMORY_BUDGET_MB,
+                                        STREAMING_MEASURES, compute_block_slab,
+                                        prepared_csr, resolve_block_rows)
+from repro.similarity.types import SimilarPair
+
+__all__ = [
+    "ShardExecutionError",
+    "InjectedShardFault",
+    "InlineShardExecutor",
+    "ShardedBlockedBackend",
+    "iter_similarity_blocks_sharded",
+]
+
+
+class ShardExecutionError(RuntimeError):
+    """A shard (or streamed block) failed; carries which unit died and why."""
+
+    def __init__(self, message: str, shard_id: int | None = None,
+                 block: tuple[int, int] | None = None) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.block = block
+
+
+class InjectedShardFault(RuntimeError):
+    """Raised inside a worker by the fault-injection hook (test harness)."""
+
+
+class InlineShardExecutor:
+    """Executor running every task synchronously at ``submit`` time.
+
+    The ``n_workers=1`` fast path and the debugging escape hatch: no
+    processes, no pickling, exceptions carry full in-process tracebacks.
+    Implements the subset of the ``concurrent.futures.Executor`` protocol the
+    backend uses (``submit``/``shutdown``).
+    """
+
+    def submit(self, fn, /, *args, **kwargs) -> Future:
+        future: Future = Future()
+        if future.set_running_or_notify_cancel():
+            try:
+                future.set_result(fn(*args, **kwargs))
+            except BaseException as exc:  # noqa: BLE001 - relayed via future
+                future.set_exception(exc)
+        return future
+
+    def shutdown(self, wait: bool = True, *, cancel_futures: bool = False) -> None:
+        pass
+
+
+# --------------------------------------------------------------------- #
+# Worker side: module-level, picklable, spawn-safe
+# --------------------------------------------------------------------- #
+
+def _shard_payload(dataset: VectorDataset, measure: str) -> tuple:
+    """Everything a worker needs, as plain arrays (spawn/pickle friendly).
+
+    The dataset fingerprint is computed once here, parent-side, and rides
+    along as the workers' preparation-memo key.
+    """
+    return (dataset.fingerprint(), dataset.indptr, dataset.indices,
+            dataset.data, dataset.n_features, measure)
+
+
+#: Per-process memo of the last prepared (scaled CSR, CSC transpose, sizes):
+#: a stream submits one task per block, so without this every block would
+#: re-run the O(nnz) scaling + transpose.  One entry is enough — a worker
+#: serves one (dataset, measure) at a time — and keeps memory bounded.
+_PREP_MEMO: dict[tuple, tuple] = {}
+
+
+def _prepare(payload: tuple):
+    fingerprint, indptr, indices, data, n_features, measure = payload
+    key = (fingerprint, measure)
+    prepared = _PREP_MEMO.get(key)
+    if prepared is None:
+        dataset = VectorDataset(indptr, indices, data, n_features)
+        matrix = prepared_csr(dataset, measure)
+        prepared = (matrix, matrix.T.tocsc(),
+                    np.diff(indptr).astype(np.float64), measure)
+        _PREP_MEMO.clear()
+        _PREP_MEMO[key] = prepared
+    return prepared
+
+
+def _search_shard(payload: tuple, shard: BlockShard, threshold: float,
+                  fail: bool = False) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Score one shard's blocks; return ``(i, j, similarity)`` arrays.
+
+    Only columns ``j >= start`` are computed per block (the strict upper
+    triangle is all the search keeps), which halves the average scalar work
+    versus the full-width kernel.  With ``fail=True`` the worker raises
+    :class:`InjectedShardFault` before its final block — mid-stream, after
+    real work happened — so fault tests exercise the genuine error path
+    through real process boundaries.
+    """
+    matrix, transposed, sizes, measure = _prepare(payload)
+    n = len(sizes)
+    out_i: list[np.ndarray] = []
+    out_j: list[np.ndarray] = []
+    out_v: list[np.ndarray] = []
+    for index, (start, stop) in enumerate(shard.blocks):
+        if fail and index == len(shard.blocks) - 1:
+            raise InjectedShardFault(
+                f"injected fault in shard {shard.shard_id} at block "
+                f"[{start}, {stop})")
+        slab = compute_block_slab(matrix, transposed, sizes, start, stop,
+                                  measure, columns_from=start)
+        row_ids = np.arange(start, stop)
+        col_ids = np.arange(start, n)
+        keep = (slab >= threshold) & (col_ids[None, :] > row_ids[:, None])
+        local_i, local_j = np.nonzero(keep)
+        out_i.append(row_ids[local_i])
+        out_j.append(col_ids[local_j])
+        out_v.append(slab[local_i, local_j])
+    if not out_i:
+        empty = np.empty(0)
+        return empty.astype(np.int64), empty.astype(np.int64), empty
+    return (np.concatenate(out_i), np.concatenate(out_j),
+            np.concatenate(out_v))
+
+
+def _stream_block(payload: tuple, start: int, stop: int,
+                  fail: bool = False) -> np.ndarray:
+    """Compute one full-width similarity slab (the streaming contract)."""
+    if fail:
+        raise InjectedShardFault(
+            f"injected fault streaming block [{start}, {stop})")
+    matrix, transposed, sizes, measure = _prepare(payload)
+    return compute_block_slab(matrix, transposed, sizes, start, stop, measure)
+
+
+# --------------------------------------------------------------------- #
+# Shared process pools (amortise pool start-up across searches)
+# --------------------------------------------------------------------- #
+
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def _shared_pool(n_workers: int) -> ProcessPoolExecutor:
+    pool = _POOLS.get(n_workers)
+    if pool is not None and getattr(pool, "_broken", False):
+        # A worker died abnormally (OOM kill, segfault): the pool is
+        # permanently broken.  Evict and rebuild so one transient fault
+        # doesn't condemn every later search at this worker count.
+        pool.shutdown(wait=False, cancel_futures=True)
+        pool = None
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=n_workers)
+        _POOLS[n_workers] = pool
+    return pool
+
+
+@atexit.register
+def _shutdown_pools() -> None:  # pragma: no cover - interpreter teardown
+    for pool in _POOLS.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _POOLS.clear()
+
+
+def _resolve_executor(n_workers: int, executor_factory):
+    """Return ``(executor, owned)``; *owned* executors are shut down per call."""
+    if executor_factory is not None:
+        return executor_factory(n_workers), True
+    if n_workers == 1:
+        return InlineShardExecutor(), False
+    return _shared_pool(n_workers), False
+
+
+def _gather(ordered_futures, *, owned_executor=None):
+    """Yield results in submission order; on failure cancel the rest and raise.
+
+    ``ordered_futures`` is an iterable of ``(tag, future)``; *tag* is either a
+    :class:`BlockShard` or a ``(start, stop)`` block range and only feeds the
+    error message.  Blocking on the next-in-order future (rather than
+    ``as_completed``) keeps the merge canonical for free and cannot hang: a
+    failed future's ``result()`` raises immediately once it is done.
+    """
+    pending = list(ordered_futures)
+    for position, (tag, future) in enumerate(pending):
+        try:
+            yield future.result()
+        except Exception as exc:
+            for _, leftover in pending[position + 1:]:
+                leftover.cancel()
+            if owned_executor is not None:
+                owned_executor.shutdown(wait=False, cancel_futures=True)
+            if isinstance(tag, BlockShard):
+                raise ShardExecutionError(
+                    f"shard {tag.shard_id} failed: {exc}",
+                    shard_id=tag.shard_id) from exc
+            raise ShardExecutionError(
+                f"streamed block [{tag[0]}, {tag[1]}) failed: {exc}",
+                block=tuple(tag)) from exc
+
+
+@register_backend
+class ShardedBlockedBackend(ApssBackend):
+    """Multi-process sharding of the exact blocked kernel.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker processes.  Defaults to ``REPRO_APSS_WORKERS`` when set, else
+        the CPU count (capped at 8).  ``1`` runs in-process — no pool, no
+        pickling.
+    block_rows, memory_budget_mb:
+        Per-worker block sizing, with the same semantics as ``exact-blocked``:
+        the budget caps the scratch memory of one slab *in each worker*, so
+        total peak memory is roughly ``n_workers * memory_budget_mb``.
+    shards_per_worker:
+        Shards per worker (default 2): mild oversubscription so a slow shard
+        does not leave the rest of the pool idle.
+    partition_strategy:
+        ``striped`` (default), ``contiguous`` or ``balanced``; see
+        :mod:`repro.similarity.partition`.
+    executor_factory:
+        ``callable(n_workers) -> executor`` override used by the test harness
+        (deterministic shard-order replay) and available for custom pools.
+        Factory-made executors are shut down after each search.
+    inject_shard_fault:
+        Fault-injection hook: the shard with this id raises
+        :class:`InjectedShardFault` mid-stream.  Exists so the failure path
+        is testable through real process boundaries.
+    """
+
+    name = "sharded-blocked"
+    exact = True
+    measures = ("cosine", "jaccard", "dot")
+    #: These change how the search executes, never what it returns, so sweep
+    #: caches must not fragment on them (see ``CachedApssEngine._key``).
+    #: ``inject_shard_fault`` is deliberately NOT here: it changes the
+    #: outcome (the search raises), so a cached sweep must not swallow it.
+    execution_options = ("n_workers", "shards_per_worker", "partition_strategy",
+                         "executor_factory")
+
+    def __init__(self, n_workers: int | None = None,
+                 block_rows: int | None = None,
+                 memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
+                 shards_per_worker: int = 2,
+                 partition_strategy: str = "striped",
+                 executor_factory=None,
+                 inject_shard_fault: int | None = None) -> None:
+        if block_rows is not None and block_rows <= 0:
+            raise ValueError("block_rows must be positive")
+        if memory_budget_mb <= 0:
+            raise ValueError("memory_budget_mb must be positive")
+        if shards_per_worker < 1:
+            raise ValueError("shards_per_worker must be at least 1")
+        self.n_workers = resolve_worker_count(n_workers)
+        self.block_rows = block_rows
+        self.memory_budget_mb = float(memory_budget_mb)
+        self.shards_per_worker = int(shards_per_worker)
+        self.partition_strategy = partition_strategy
+        self.executor_factory = executor_factory
+        self.inject_shard_fault = inject_shard_fault
+        # Validate eagerly so typos fail at construction, not mid-search.
+        partition_blocks(2, 1, 1, strategy=partition_strategy)
+
+    @classmethod
+    def parity_variants(cls) -> list[dict]:
+        """Parity-check the scheduling seams: inline, 2- and 4-worker pools."""
+        return [{"n_workers": 1}, {"n_workers": 2}, {"n_workers": 4}]
+
+    def plan(self, n_rows: int) -> list[BlockShard]:
+        """The deterministic shard plan for an *n_rows* dataset."""
+        rows_per_block = resolve_block_rows(n_rows, self.block_rows,
+                                            self.memory_budget_mb)
+        return partition_blocks(n_rows, rows_per_block,
+                                self.n_workers * self.shards_per_worker,
+                                strategy=self.partition_strategy)
+
+    # ------------------------------------------------------------------ #
+    def search(self, dataset: VectorDataset, threshold: float,
+               measure: str = "cosine") -> BackendOutput:
+        self.check_measure(measure)
+        n = dataset.n_rows
+        if n < 2:
+            return BackendOutput(pairs=[], n_candidates=0)
+        shards = self.plan(n)
+        if self.inject_shard_fault is not None and not (
+                0 <= self.inject_shard_fault < len(shards)):
+            # A fault-injection hook that silently misses its target would
+            # make fault tests vacuously green; fail loudly instead.
+            raise ValueError(
+                f"inject_shard_fault={self.inject_shard_fault} is out of "
+                f"range: the plan for {n} rows has {len(shards)} shard(s)")
+        payload = _shard_payload(dataset, measure)
+        executor, owned = _resolve_executor(self.n_workers,
+                                            self.executor_factory)
+        try:
+            futures = [
+                (shard, executor.submit(
+                    _search_shard, payload, shard, float(threshold),
+                    shard.shard_id == self.inject_shard_fault))
+                for shard in shards]
+            chunks = list(_gather(futures,
+                                  owned_executor=executor if owned else None))
+        finally:
+            if owned:
+                executor.shutdown(wait=False, cancel_futures=True)
+        all_i = np.concatenate([c[0] for c in chunks])
+        all_j = np.concatenate([c[1] for c in chunks])
+        all_v = np.concatenate([c[2] for c in chunks])
+        # Canonical (first, second) order: the merged pair list is identical
+        # regardless of shard layout or completion order, so parity checks
+        # and cache fingerprints cannot observe the scheduler.
+        order = np.lexsort((all_j, all_i))
+        pairs = [SimilarPair(int(i), int(j), float(v))
+                 for i, j, v in zip(all_i[order].tolist(),
+                                    all_j[order].tolist(),
+                                    all_v[order].tolist())]
+        return BackendOutput(
+            pairs=pairs, n_candidates=n * (n - 1) // 2,
+            details={"n_workers": self.n_workers, "n_shards": len(shards),
+                     "partition_strategy": self.partition_strategy,
+                     "block_rows": resolve_block_rows(
+                         n, self.block_rows, self.memory_budget_mb)})
+
+
+def iter_similarity_blocks_sharded(
+        dataset: VectorDataset, measure: str = "cosine", *,
+        n_workers: int | None = None, block_rows: int | None = None,
+        memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
+        executor_factory=None, max_pending: int | None = None,
+        inject_block_fault: int | None = None,
+) -> Iterator[tuple[range, np.ndarray]]:
+    """Sharded drop-in for :func:`repro.similarity.streaming.iter_similarity_blocks`.
+
+    Full-width slabs are computed in worker processes but yielded strictly in
+    row order: a bounded window (``max_pending``, default ``2 * n_workers``)
+    of block tasks is kept in flight and the generator blocks on the
+    next-in-order future, so out-of-order completions are absorbed by the
+    window rather than reordering the stream.  A failed block raises
+    :class:`ShardExecutionError` after every earlier block was yielded;
+    blocks after the failure are cancelled.  With one worker and no injected
+    executor this degrades to the plain in-process generator.
+    """
+    if measure not in STREAMING_MEASURES:
+        raise ValueError(f"unsupported streaming measure {measure!r}; "
+                         f"supported: {list(STREAMING_MEASURES)}")
+    n = dataset.n_rows
+    if n == 0:
+        return
+    n_workers = resolve_worker_count(n_workers)
+    rows_per_block = resolve_block_rows(n, block_rows, memory_budget_mb)
+    ranges = block_ranges(n, rows_per_block)
+    if inject_block_fault is not None and not (
+            0 <= inject_block_fault < len(ranges)):
+        # Same loud failure as the search path: a fault hook that silently
+        # misses its target makes fault tests vacuously green.
+        raise ValueError(
+            f"inject_block_fault={inject_block_fault} is out of range: the "
+            f"stream for {n} rows has {len(ranges)} block(s)")
+    if n_workers == 1 and executor_factory is None and inject_block_fault is None:
+        from repro.similarity.streaming import iter_similarity_blocks
+        yield from iter_similarity_blocks(dataset, measure,
+                                          block_rows=rows_per_block)
+        return
+    window = max_pending if max_pending is not None else 2 * n_workers
+    window = max(1, int(window))
+    payload = _shard_payload(dataset, measure)
+    executor, owned = _resolve_executor(n_workers, executor_factory)
+    pending: deque[tuple[tuple[int, int], Future]] = deque()
+    next_to_submit = 0
+    try:
+        while next_to_submit < len(ranges) or pending:
+            while next_to_submit < len(ranges) and len(pending) < window:
+                start, stop = ranges[next_to_submit]
+                pending.append(((start, stop), executor.submit(
+                    _stream_block, payload, start, stop,
+                    next_to_submit == inject_block_fault)))
+                next_to_submit += 1
+            (start, stop), future = pending.popleft()
+            slab = next(_gather([((start, stop), future)]))
+            yield range(start, stop), slab
+    finally:
+        for _, future in pending:
+            future.cancel()
+        if owned:
+            executor.shutdown(wait=False, cancel_futures=True)

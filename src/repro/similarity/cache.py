@@ -18,6 +18,7 @@ threshold at or above its cached floor without touching the kernel again.
 from __future__ import annotations
 
 from repro.datasets.vectors import VectorDataset
+from repro.similarity.backends import get_backend_class
 from repro.similarity.engine import DEFAULT_BACKEND, ApssEngine, EngineResult
 
 __all__ = ["CachedApssEngine"]
@@ -76,8 +77,17 @@ class CachedApssEngine:
 
     def _key(self, dataset: VectorDataset, measure: str, backend: str | None,
              options: dict) -> tuple:
-        return (dataset.fingerprint(), measure, backend or self.engine.backend,
-                tuple(sorted(options.items())))
+        name = backend or self.engine.backend
+        # Execution-only options (worker counts, injected executors, ...)
+        # change scheduling, never results: strip them so a sweep cached by a
+        # single-worker pass serves a 4-worker probe and vice versa.
+        try:
+            execution_only = get_backend_class(name).execution_options
+        except KeyError:
+            execution_only = ()
+        keyed = {k: v for k, v in options.items() if k not in execution_only}
+        return (dataset.fingerprint(), measure, name,
+                tuple(sorted(keyed.items())))
 
     # ------------------------------------------------------------------ #
     def search(self, dataset: VectorDataset, threshold: float,
@@ -90,7 +100,10 @@ class CachedApssEngine:
         if cached is not None and cached.threshold <= threshold:
             self.hits += 1
             # Refresh recency (dict preserves insertion order: oldest first).
-            self._cache.pop(key)
+            # pop with a default: a concurrent miss may have evicted the key
+            # between the get above and here — races may cost recency
+            # bookkeeping, never a KeyError out of a hit.
+            self._cache.pop(key, None)
             self._cache[key] = cached
             pairs = [p for p in cached.pairs if p.similarity >= threshold]
             details = dict(cached.details)
@@ -106,7 +119,10 @@ class CachedApssEngine:
         self._cache.pop(key, None)
         self._cache[key] = result
         while len(self._cache) > self.max_entries:
-            self._cache.pop(next(iter(self._cache)))
+            try:
+                self._cache.pop(next(iter(self._cache)), None)
+            except (StopIteration, RuntimeError):
+                break  # emptied or resized by a concurrent searcher
         return result
 
     def iter_similarity_blocks(self, dataset: VectorDataset,

@@ -128,19 +128,32 @@ class ApssEngine:
         :func:`repro.similarity.streaming.iter_similarity_blocks`): each slab
         holds the block's similarities against every dataset row, and at most
         one slab is alive at a time.  When this engine's default backend is
-        ``exact-blocked``, its ``block_rows``/``memory_budget_mb`` options
-        seed the defaults here, so consumers inherit the engine's budget.
+        ``exact-blocked`` or ``sharded-blocked``, its ``block_rows``/
+        ``memory_budget_mb`` options seed the defaults here, so consumers
+        inherit the engine's budget — and a ``sharded-blocked`` engine streams
+        its slabs through the multi-process merge path
+        (:func:`repro.similarity.backends.sharded.iter_similarity_blocks_sharded`),
+        which yields the identical slabs in the identical row order.
         """
         from repro.similarity.streaming import (
             DEFAULT_MEMORY_BUDGET_MB, iter_similarity_blocks)
 
-        defaults = (self.backend_options if self.backend == "exact-blocked"
+        defaults = (self.backend_options
+                    if self.backend in ("exact-blocked", "sharded-blocked")
                     else {})
         if block_rows is None:
             block_rows = defaults.get("block_rows")
         if memory_budget_mb is None:
             memory_budget_mb = defaults.get("memory_budget_mb",
                                             DEFAULT_MEMORY_BUDGET_MB)
+        if self.backend == "sharded-blocked":
+            from repro.similarity.backends.sharded import (
+                iter_similarity_blocks_sharded)
+            return iter_similarity_blocks_sharded(
+                dataset, measure, block_rows=block_rows,
+                memory_budget_mb=memory_budget_mb,
+                n_workers=defaults.get("n_workers"),
+                executor_factory=defaults.get("executor_factory"))
         return iter_similarity_blocks(dataset, measure, block_rows=block_rows,
                                       memory_budget_mb=memory_budget_mb)
 

@@ -1,0 +1,130 @@
+"""Work partitioning for the sharded APSS backend.
+
+The blocked kernel's unit of work is one row block — a contiguous row range
+whose similarity slab is computed by a single sparse matrix product.  This
+module splits the upper-triangular block grid into *shards*: disjoint sets of
+row blocks that workers can execute independently and whose results merge
+back into one canonical pair set regardless of completion order.
+
+Cost model: a search shard for rows ``[start, stop)`` only scores columns
+``j >= start`` (the strict upper triangle plus the block diagonal), so early
+blocks are more expensive than late ones.  The default ``striped`` strategy
+round-robins blocks across shards, which balances that triangular cost to
+within one block; ``balanced`` runs a greedy longest-processing-time
+assignment on the explicit cost model; ``contiguous`` keeps each shard's rows
+adjacent (useful when a worker amortises per-shard preparation over
+neighbouring blocks).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = [
+    "PARTITION_STRATEGIES",
+    "WORKERS_ENV_VAR",
+    "BlockShard",
+    "block_ranges",
+    "partition_blocks",
+    "resolve_worker_count",
+]
+
+#: Environment variable overriding the default sharded worker count.
+WORKERS_ENV_VAR = "REPRO_APSS_WORKERS"
+
+PARTITION_STRATEGIES = ("striped", "contiguous", "balanced")
+
+
+@dataclass(frozen=True)
+class BlockShard:
+    """One worker-sized unit: a set of row blocks of the block grid.
+
+    ``blocks`` holds ``(start, stop)`` row ranges.  Shards are identified by
+    ``shard_id`` (dense, 0-based); merging in ``shard_id``/block order plus a
+    final canonical sort makes results independent of completion order.
+    """
+
+    shard_id: int
+    blocks: tuple[tuple[int, int], ...]
+
+    @property
+    def n_rows(self) -> int:
+        return sum(stop - start for start, stop in self.blocks)
+
+    def search_cost(self, n_rows: int) -> int:
+        """Cells a search worker scores for this shard (triangular model)."""
+        return sum((stop - start) * (n_rows - start) for start, stop in self.blocks)
+
+
+def block_ranges(n_rows: int, block_rows: int) -> list[tuple[int, int]]:
+    """The blocked kernel's row ranges, in row order."""
+    if block_rows <= 0:
+        raise ValueError("block_rows must be positive")
+    return [(start, min(start + block_rows, n_rows))
+            for start in range(0, max(n_rows, 0), block_rows)]
+
+
+def partition_blocks(n_rows: int, block_rows: int, n_shards: int,
+                     strategy: str = "striped") -> list[BlockShard]:
+    """Split the block grid into at most *n_shards* non-empty shards.
+
+    Every block lands in exactly one shard; shards are returned in
+    ``shard_id`` order and each shard lists its blocks in row order, so the
+    plan itself is deterministic — only execution order is up to the
+    scheduler.
+    """
+    if n_shards <= 0:
+        raise ValueError("n_shards must be positive")
+    if strategy not in PARTITION_STRATEGIES:
+        raise ValueError(f"unknown partition strategy {strategy!r}; "
+                         f"known: {list(PARTITION_STRATEGIES)}")
+    ranges = block_ranges(n_rows, block_rows)
+    n_shards = min(n_shards, len(ranges)) or 1
+    assigned: list[list[tuple[int, int]]] = [[] for _ in range(n_shards)]
+    if strategy == "striped":
+        for index, block in enumerate(ranges):
+            assigned[index % n_shards].append(block)
+    elif strategy == "contiguous":
+        base, extra = divmod(len(ranges), n_shards)
+        cursor = 0
+        for shard in range(n_shards):
+            take = base + (1 if shard < extra else 0)
+            assigned[shard] = ranges[cursor:cursor + take]
+            cursor += take
+    else:  # balanced: greedy LPT on the triangular cost model
+        loads = [0] * n_shards
+        by_cost = sorted(ranges, key=lambda b: ((b[1] - b[0]) * (n_rows - b[0]),
+                                                b[0]), reverse=True)
+        for block in by_cost:
+            target = min(range(n_shards), key=lambda s: (loads[s], s))
+            assigned[target].append(block)
+            loads[target] += (block[1] - block[0]) * (n_rows - block[0])
+        for blocks in assigned:
+            blocks.sort()
+    return [BlockShard(shard_id, tuple(blocks))
+            for shard_id, blocks in enumerate(assigned) if blocks]
+
+
+def resolve_worker_count(n_workers: int | None = None) -> int:
+    """Resolve the worker count: explicit value, else env, else CPU count.
+
+    ``REPRO_APSS_WORKERS`` lets deployments (and the CI matrix) pin the
+    default without touching call sites.  The fallback caps at 8 workers —
+    beyond that the merge and IPC overhead dominates for the workloads this
+    library targets.
+    """
+    if n_workers is None:
+        env = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        if env:
+            try:
+                n_workers = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{WORKERS_ENV_VAR} must be an integer, got {env!r}") from None
+        else:
+            n_workers = min(os.cpu_count() or 1, 8)
+    n_workers = int(n_workers)
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be at least 1, got {n_workers}")
+    return n_workers

@@ -33,6 +33,8 @@ from repro.similarity.types import SimilarPair
 __all__ = [
     "STREAMING_MEASURES",
     "resolve_block_rows",
+    "prepared_csr",
+    "compute_block_slab",
     "iter_similarity_blocks",
     "streaming_similarity_histogram",
     "thresholds_for_edge_counts",
@@ -76,7 +78,7 @@ def resolve_block_rows(n_rows: int, block_rows: int | None = None,
     return max(1, min(n_rows, rows))
 
 
-def _prepared_csr(dataset: VectorDataset, measure: str) -> sparse.csr_matrix:
+def prepared_csr(dataset: VectorDataset, measure: str) -> sparse.csr_matrix:
     """Wrap the dataset (zero-copy) in CSR form, pre-scaled for *measure*."""
     matrix = sparse.csr_matrix(
         (dataset.data, dataset.indices, dataset.indptr),
@@ -94,6 +96,33 @@ def _prepared_csr(dataset: VectorDataset, measure: str) -> sparse.csr_matrix:
             (np.ones_like(dataset.data), dataset.indices, dataset.indptr),
             shape=matrix.shape, copy=False)
     return matrix
+
+
+def compute_block_slab(matrix: sparse.csr_matrix, transposed: sparse.csc_matrix,
+                       sizes: np.ndarray, start: int, stop: int, measure: str,
+                       columns_from: int = 0) -> np.ndarray:
+    """Dense similarity slab of rows ``[start, stop)`` vs columns ``[columns_from, n)``.
+
+    The single place the blocked Gram kernel is evaluated: *matrix* and
+    *transposed* come from :func:`prepared_csr` (plus ``.T.tocsc()``), *sizes*
+    is the per-row non-zero count used by the jaccard union.  The sharded
+    backend's workers call this with ``columns_from=start`` so a search shard
+    only scores the upper-triangle region it will extract pairs from; the
+    streaming path keeps ``columns_from=0`` so slabs stay full-width.
+
+    Each output cell is an independent sparse row-column dot product, so
+    restricting the column range yields bitwise-identical values to slicing a
+    full-width slab — shard boundaries cannot perturb parity.
+    """
+    cols = transposed if columns_from == 0 else transposed[:, columns_from:]
+    slab = (matrix[start:stop] @ cols).toarray()
+    if measure == "jaccard":
+        union = sizes[start:stop, None] + sizes[None, columns_from:] - slab
+        with np.errstate(invalid="ignore", divide="ignore"):
+            slab = np.where(union > 0, slab / np.where(union > 0, union, 1.0), 0.0)
+    elif measure == "cosine":
+        np.clip(slab, -1.0, 1.0, out=slab)
+    return slab
 
 
 def iter_similarity_blocks(dataset: VectorDataset, measure: str = "cosine", *,
@@ -119,7 +148,7 @@ def iter_similarity_blocks(dataset: VectorDataset, measure: str = "cosine", *,
     n = dataset.n_rows
     if n == 0:
         return
-    matrix = _prepared_csr(dataset, measure)
+    matrix = prepared_csr(dataset, measure)
     transposed = matrix.T.tocsc()
     sizes = np.diff(dataset.indptr).astype(np.float64)
     rows_per_block = resolve_block_rows(n, block_rows, memory_budget_mb)
@@ -127,14 +156,8 @@ def iter_similarity_blocks(dataset: VectorDataset, measure: str = "cosine", *,
         stop = min(start + rows_per_block, n)
         # Dense (stop-start, n) slab: implicit zeros become explicit 0.0
         # similarities, which keeps thresholds <= 0 exact as well.
-        slab = (matrix[start:stop] @ transposed).toarray()
-        if measure == "jaccard":
-            union = sizes[start:stop, None] + sizes[None, :] - slab
-            with np.errstate(invalid="ignore", divide="ignore"):
-                slab = np.where(union > 0, slab / np.where(union > 0, union, 1.0), 0.0)
-        elif measure == "cosine":
-            np.clip(slab, -1.0, 1.0, out=slab)
-        yield range(start, stop), slab
+        yield range(start, stop), compute_block_slab(
+            matrix, transposed, sizes, start, stop, measure)
 
 
 def _iter_upper_values(dataset: VectorDataset, measure: str,

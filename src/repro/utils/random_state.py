@@ -9,7 +9,23 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["ensure_rng", "spawn_rngs"]
+__all__ = ["ensure_rng", "resolve_seed", "spawn_rngs"]
+
+
+def resolve_seed(seed_or_rng=None):
+    """Normalise *seed_or_rng* into something reproducible-by-value.
+
+    Integers pass through as ``int`` and Generators pass through untouched
+    (the caller owns that stream).  ``None`` — the flaky-prone case — is
+    replaced by a freshly drawn 32-bit integer seed, so a "random" run can
+    still be replayed once the seed is reported; the dataset factories embed
+    the resolved seed in their default dataset names for exactly that.
+    """
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    if seed_or_rng is None:
+        return int(np.random.SeedSequence().entropy % (2 ** 32))
+    return int(seed_or_rng)
 
 
 def ensure_rng(seed_or_rng=None) -> np.random.Generator:

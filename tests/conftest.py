@@ -2,8 +2,18 @@
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
+
+# The test tree has no __init__.py files (importlib mode), so shared
+# non-test helpers like tests/similarity/harness.py are made importable by
+# putting their directories on sys.path (``import harness``).
+for _helper_dir in [Path(__file__).parent / "similarity"]:
+    if str(_helper_dir) not in sys.path:
+        sys.path.insert(0, str(_helper_dir))
 
 from repro.datasets import (
     VectorDataset,

@@ -1,0 +1,222 @@
+"""Deterministic test harness for the similarity engine suites.
+
+Three things live here, shared by the parity, sharding and cache tests:
+
+* **Seeded dataset factories** — every dataset is built from an explicit
+  integer seed and carries that seed in its name, so any failure message or
+  hypothesis falsifying example contains everything needed to rebuild the
+  exact input.  ``sparse_random_dataset`` builds large sparse datasets
+  directly in CSR form (one cheap index-draw per row, no topic model), which
+  lets the 20k-row stress test construct its input in well under a second —
+  versus tens of seconds through the corpus generator.
+
+* **`ShardOrderReplayExecutor`** — an in-process stand-in for a process pool
+  that *replays shard completions in adversarial orders*.  Futures are lazy:
+  nothing runs at ``submit``; when the backend blocks on a future's
+  ``result()``, the executor runs the still-pending tasks in the configured
+  order (LIFO by default, an explicit permutation, or a seeded shuffle) until
+  that future is done.  The recorded ``completion_order`` proves tasks really
+  completed out of submission order, making shard-order merge bugs
+  deterministic instead of once-in-a-blue-moon scheduler accidents.
+
+* **Fault injection** — ``failures={submission_index: exception}`` makes the
+  replay executor complete chosen tasks with an exception instead of a
+  result, exercising the "a shard died mid-stream" path without real
+  processes (the real-process path is covered via the backend's
+  ``inject_shard_fault`` hook).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+
+import numpy as np
+
+from repro.datasets import VectorDataset, make_clustered_vectors, make_sparse_corpus
+
+__all__ = [
+    "seeded_clustered",
+    "seeded_corpus",
+    "sparse_random_dataset",
+    "ShardOrderReplayExecutor",
+    "replay_factory",
+]
+
+
+# --------------------------------------------------------------------- #
+# Seeded dataset factories
+# --------------------------------------------------------------------- #
+
+def seeded_clustered(seed: int, n_rows: int = 24, n_features: int = 8,
+                     n_clusters: int = 3, **kwargs) -> VectorDataset:
+    """A clustered dense dataset whose name carries its seed."""
+    return make_clustered_vectors(n_rows, n_features, n_clusters,
+                                  seed=int(seed), **kwargs)
+
+
+def seeded_corpus(seed: int, n_docs: int = 60, vocabulary_size: int = 240,
+                  **kwargs) -> VectorDataset:
+    """A sparse topic corpus whose name carries its seed."""
+    kwargs.setdefault("avg_doc_length", 14)
+    kwargs.setdefault("n_topics", 4)
+    return make_sparse_corpus(n_docs, vocabulary_size, seed=int(seed), **kwargs)
+
+
+def sparse_random_dataset(seed: int, n_rows: int, n_features: int,
+                          density: float, n_clusters: int = 0) -> VectorDataset:
+    """A seed-named sparse dataset built directly in CSR form.
+
+    One ``rng.choice`` index draw per row — cheap enough for 20k rows in
+    well under a second.  With ``n_clusters > 0`` rows are biased toward
+    per-cluster feature bands so realistic numbers of pairs clear
+    interesting thresholds even at 20k rows; with ``n_clusters = 0``
+    features are uniform.
+    """
+    if not 0.0 < density <= 1.0:
+        raise ValueError("density must lie in (0, 1]")
+    rng = np.random.default_rng(seed)
+    lengths = np.maximum(1, rng.binomial(n_features, density, size=n_rows))
+    indptr = np.concatenate([[0], np.cumsum(lengths)])
+    indices = np.empty(indptr[-1], dtype=np.int64)
+    if n_clusters > 0:
+        band = max(1, n_features // n_clusters)
+        clusters = rng.integers(0, n_clusters, size=n_rows)
+    for i in range(n_rows):
+        if n_clusters > 0 and rng.random() < 0.8:
+            start = int(clusters[i]) * band
+            pool = min(band, n_features - start)
+            chosen = start + rng.choice(pool, size=min(lengths[i], pool),
+                                        replace=False)
+            if len(chosen) < lengths[i]:
+                lengths[i] = len(chosen)
+        else:
+            chosen = rng.choice(n_features, size=lengths[i], replace=False)
+        indices[indptr[i]:indptr[i] + len(chosen)] = np.sort(chosen)
+    # Re-pack in case cluster bands shortened any row.
+    packed = np.concatenate([[0], np.cumsum(lengths)])
+    indices = np.concatenate(
+        [indices[indptr[i]:indptr[i] + lengths[i]] for i in range(n_rows)])
+    data = rng.random(packed[-1]) + 0.1
+    return VectorDataset(packed, indices, data, n_features,
+                         name=f"sparse-random[seed={int(seed)},rows={n_rows}]")
+
+
+# --------------------------------------------------------------------- #
+# Adversarial shard-order replay executor
+# --------------------------------------------------------------------- #
+
+class _LazyFuture(Future):
+    """A future that drives its executor's replay loop when waited on."""
+
+    def __init__(self, executor: "ShardOrderReplayExecutor", index: int) -> None:
+        super().__init__()
+        self._replay_executor = executor
+        self._replay_index = index
+
+    def result(self, timeout=None):
+        self._replay_executor._run_until(self._replay_index)
+        return super().result(timeout)
+
+    def exception(self, timeout=None):
+        self._replay_executor._run_until(self._replay_index)
+        return super().exception(timeout)
+
+
+class ShardOrderReplayExecutor:
+    """Deterministic executor replaying task completions adversarially.
+
+    Parameters
+    ----------
+    order:
+        ``"lifo"`` (default — the most adversarial simple order: the *last*
+        submitted pending task completes first), ``"fifo"``, an explicit
+        sequence of submission indices (tasks listed earlier complete
+        earlier; unlisted tasks fall back to FIFO), or ``("random", seed)``
+        for a seeded shuffle.
+    failures:
+        Mapping ``{submission_index: exception}``; those tasks complete with
+        the exception instead of running.
+
+    Attributes
+    ----------
+    completion_order:
+        Submission indices in the order tasks actually completed — assert on
+        this to prove the replay really was out of order.
+    """
+
+    def __init__(self, order="lifo", failures: dict | None = None) -> None:
+        self._tasks: list[tuple[_LazyFuture, object, tuple, dict]] = []
+        self.completion_order: list[int] = []
+        self.failures = dict(failures or {})
+        self._rng = None
+        if isinstance(order, tuple) and len(order) == 2 and order[0] == "random":
+            self._rng = np.random.default_rng(order[1])
+            self._order = "random"
+        else:
+            self._order = order
+
+    @property
+    def submitted(self) -> int:
+        return len(self._tasks)
+
+    def submit(self, fn, /, *args, **kwargs) -> Future:
+        future = _LazyFuture(self, len(self._tasks))
+        self._tasks.append((future, fn, args, kwargs))
+        return future
+
+    def shutdown(self, wait: bool = True, *, cancel_futures: bool = False) -> None:
+        if cancel_futures:
+            for future, *_ in self._tasks:
+                future.cancel()
+
+    # -- replay machinery ---------------------------------------------- #
+    def _pending(self) -> list[int]:
+        return [i for i, (future, *_rest) in enumerate(self._tasks)
+                if not future.done()]
+
+    def _pick(self, pending: list[int]) -> int:
+        if self._order == "lifo":
+            return pending[-1]
+        if self._order == "fifo":
+            return pending[0]
+        if self._order == "random":
+            return int(self._rng.choice(pending))
+        for index in self._order:
+            if index in pending:
+                return index
+        return pending[0]
+
+    def _run_one(self, index: int) -> None:
+        future, fn, args, kwargs = self._tasks[index]
+        if not future.set_running_or_notify_cancel():
+            return  # cancelled counts as done; nothing to run
+        if index in self.failures:
+            future.set_exception(self.failures[index])
+        else:
+            try:
+                future.set_result(fn(*args, **kwargs))
+            except BaseException as exc:  # noqa: BLE001 - relayed via future
+                future.set_exception(exc)
+        self.completion_order.append(index)
+
+    def _run_until(self, index: int) -> None:
+        while not self._tasks[index][0].done():
+            self._run_one(self._pick(self._pending()))
+
+
+def replay_factory(order="lifo", failures: dict | None = None):
+    """An ``executor_factory`` for the sharded backend, recording instances.
+
+    The factory ignores the worker count (everything runs in-process) and
+    exposes every executor it built on ``factory.created`` so tests can
+    assert on the recorded ``completion_order`` after the search returns.
+    """
+    created: list[ShardOrderReplayExecutor] = []
+
+    def factory(n_workers: int) -> ShardOrderReplayExecutor:
+        executor = ShardOrderReplayExecutor(order=order, failures=failures)
+        created.append(executor)
+        return executor
+
+    factory.created = created
+    return factory

@@ -112,6 +112,69 @@ def test_wrapped_engine_options_flow_through(dataset):
     assert len(blocks[0][0]) == 7
 
 
+def test_execution_options_do_not_fragment_cache_keys(dataset):
+    """Worker counts and injected executors change scheduling, not results:
+    a sweep cached by a 1-worker pass must serve a 4-worker probe."""
+    engine = CachedApssEngine()
+    floor = engine.search(dataset, 0.3, backend="sharded-blocked", n_workers=1)
+    hit = engine.search(dataset, 0.5, backend="sharded-blocked", n_workers=4)
+    assert (engine.hits, engine.misses) == (1, 1)
+    assert hit.details["cache"]["floor_threshold"] == floor.threshold
+
+    fresh = ApssEngine().search(dataset, 0.5, backend="sharded-blocked",
+                                n_workers=4)
+    assert [p.as_tuple() for p in hit.pairs] == \
+        [p.as_tuple() for p in fresh.pairs]
+
+
+def test_sweep_partly_cached_partly_multiworker_is_byte_identical(dataset):
+    """Mixed sweep: miss at 1 worker, hit at 4 workers, below-floor fresh
+    pass at 4 workers — every answer byte-identical to an uncached engine."""
+    cached = CachedApssEngine()
+    plain = ApssEngine()
+    probes = [(0.4, {"n_workers": 1}),   # miss: single-process pass
+              (0.6, {"n_workers": 4}),   # hit: filtered from the 0.4 floor
+              (0.2, {"n_workers": 4}),   # below floor: multi-worker pass
+              (0.5, {"n_workers": 2})]   # hit again, from the 0.2 floor
+    for threshold, options in probes:
+        got = cached.search(dataset, threshold, backend="sharded-blocked",
+                            **options)
+        expected = plain.search(dataset, threshold, backend="sharded-blocked",
+                                **options)
+        assert [p.as_tuple() for p in got.pairs] == \
+            [p.as_tuple() for p in expected.pairs], (threshold, options)
+    assert (cached.hits, cached.misses) == (2, 2)
+
+
+def test_eviction_under_concurrent_access_does_not_corrupt_entries(dataset):
+    """Concurrent-ish hammering (threads x measures x thresholds) against a
+    2-entry LRU: every answer must still match an uncached engine and the
+    bound must hold — eviction races may cost hits, never correctness."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    engine = CachedApssEngine(max_entries=2)
+    expected = {
+        (measure, threshold):
+            ApssEngine().search(dataset, threshold, measure).pair_set()
+        for measure in ("cosine", "jaccard", "dot")
+        for threshold in (0.3, 0.5, 0.7)}
+
+    def probe(task):
+        measure, threshold = task
+        result = engine.search(dataset, threshold, measure,
+                               backend="sharded-blocked", n_workers=1)
+        return task, result.pair_set()
+
+    tasks = [key for key in expected for _ in range(3)]
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        for task, pair_set in pool.map(probe, tasks):
+            assert pair_set == expected[task], task
+    assert len(engine) <= 2
+    # hit/miss counters may under-count under thread races (non-atomic +=);
+    # the contract here is bounded memory and correct answers, checked above.
+    assert engine.misses >= 1
+
+
 def test_cached_pair_values_match_dense_matrix(dataset):
     from repro.similarity import pairwise_similarity_matrix
 

@@ -7,10 +7,16 @@ Every registered backend must agree with the ``exact-loop`` reference:
 * the approximate ``bayeslsh`` backend must retain (essentially) every pair
   comfortably above the threshold and nothing comfortably below it.
 
+The roster is introspected from the backend registry: each backend
+contributes every option set from its ``parity_variants()`` (the sharded
+backend declares 1-, 2- and 4-worker variants), so a newly registered
+backend — and each of its declared configuration seams — is parity-checked
+automatically, with zero edits here.
+
 The properties run under hypothesis over random dense and sparse datasets,
 thresholds and measures; ``derandomize=True`` keeps the suite deterministic
-in CI.  New backends registered via ``@register_backend`` are picked up
-automatically.
+in CI, and every generated dataset embeds its seed in its name so a failure
+message alone is enough to rebuild the offending input.
 """
 
 from __future__ import annotations
@@ -19,16 +25,30 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from harness import sparse_random_dataset
 from repro.datasets import VectorDataset, make_clustered_vectors, make_sparse_corpus
-from repro.similarity import ApssEngine, available_backends, make_backend
+from repro.similarity import (ApssEngine, available_backends,
+                              get_backend_class, make_backend)
 from repro.similarity.backends import ApssBackend
 
 ENGINE = ApssEngine()
-EXACT_BACKENDS = sorted(
-    name for name in available_backends()
-    if make_backend(name).exact and name != "exact-loop")
-APPROX_BACKENDS = sorted(
-    name for name in available_backends() if not make_backend(name).exact)
+
+
+def _variant_params(exact: bool) -> list:
+    """(backend, options) pytest params from registry introspection."""
+    params = []
+    for name in available_backends():
+        cls = get_backend_class(name)
+        if cls.exact != exact or name == "exact-loop":
+            continue
+        for options in cls.parity_variants():
+            suffix = ",".join(f"{k}={v}" for k, v in sorted(options.items()))
+            params.append(pytest.param(
+                name, options, id=f"{name}[{suffix}]" if suffix else name))
+    return params
+
+
+EXACT_VARIANTS = _variant_params(exact=True)
 
 #: Pair similarities this close to the threshold are allowed to land on
 #: either side (the test nudges thresholds away from them instead).
@@ -40,7 +60,7 @@ def _random_dataset(seed: int, n_rows: int, n_features: int,
     rng = np.random.default_rng(seed)
     dense = rng.random((n_rows, n_features))
     dense[rng.random((n_rows, n_features)) > density] = 0.0
-    return VectorDataset.from_dense(dense, name=f"random-{seed}")
+    return VectorDataset.from_dense(dense, name=f"random[seed={seed}]")
 
 
 def _clear_threshold(dataset: VectorDataset, threshold: float,
@@ -54,16 +74,24 @@ def _clear_threshold(dataset: VectorDataset, threshold: float,
 
 
 def _assert_exact_parity(dataset: VectorDataset, threshold: float,
-                         measure: str, backend: str) -> None:
+                         measure: str, backend: str, options: dict) -> None:
     reference = ENGINE.search(dataset, threshold, measure, backend="exact-loop")
-    result = ENGINE.search(dataset, threshold, measure, backend=backend)
+    result = ENGINE.search(dataset, threshold, measure, backend=backend,
+                           **options)
     assert result.exact
     assert result.pair_set() == reference.pair_set(), (
-        f"{backend} disagrees with exact-loop at t={threshold} ({measure}) "
-        f"on {dataset.name}")
+        f"{backend} ({options}) disagrees with exact-loop at t={threshold} "
+        f"({measure}) on {dataset.name}")
     expected = reference.similarities()
     for pair, similarity in result.similarities().items():
         assert similarity == pytest.approx(expected[pair], abs=1e-9)
+
+
+def _exact_variants_for(measure: str):
+    for param in EXACT_VARIANTS:
+        backend, options = param.values
+        if make_backend(backend, **options).supports(measure):
+            yield backend, options
 
 
 # --------------------------------------------------------------------- #
@@ -72,7 +100,7 @@ def _assert_exact_parity(dataset: VectorDataset, threshold: float,
 
 def test_all_expected_backends_registered():
     assert {"exact-loop", "exact-blocked", "prefix-filter",
-            "bayeslsh"} <= set(available_backends())
+            "bayeslsh", "sharded-blocked"} <= set(available_backends())
 
 
 def test_backends_are_apss_backend_instances():
@@ -80,6 +108,19 @@ def test_backends_are_apss_backend_instances():
         backend = make_backend(name)
         assert isinstance(backend, ApssBackend)
         assert backend.name == name
+
+
+def test_parity_roster_covers_sharded_worker_counts():
+    """Registry introspection must produce the 1/2/4-worker sharded variants."""
+    sharded = [options for param in EXACT_VARIANTS
+               for name, options in [param.values] if name == "sharded-blocked"]
+    assert [v["n_workers"] for v in sharded] == [1, 2, 4]
+
+
+def test_every_parity_variant_instantiates():
+    for param in EXACT_VARIANTS:
+        backend, options = param.values
+        assert make_backend(backend, **options).exact
 
 
 def test_unknown_backend_raises():
@@ -109,10 +150,8 @@ def test_exact_backends_match_reference_random_data(seed, n_rows, n_features,
                                                     density, threshold, measure):
     dataset = _random_dataset(seed, n_rows, n_features, density)
     threshold = _clear_threshold(dataset, threshold, measure)
-    for backend in EXACT_BACKENDS:
-        if not make_backend(backend).supports(measure):
-            continue
-        _assert_exact_parity(dataset, threshold, measure, backend)
+    for backend, options in _exact_variants_for(measure):
+        _assert_exact_parity(dataset, threshold, measure, backend, options)
 
 
 @settings(max_examples=10, deadline=None, derandomize=True)
@@ -124,22 +163,34 @@ def test_exact_backends_match_reference_znormed_negative_thresholds(
     """z-normed data produces negative cosines; parity must survive t <= 0."""
     base = _random_dataset(seed, 12, 5, 0.9).z_normalized()
     threshold = _clear_threshold(base, threshold, measure)
-    for backend in EXACT_BACKENDS:
-        if not make_backend(backend).supports(measure):
-            continue
-        _assert_exact_parity(base, threshold, measure, backend)
+    for backend, options in _exact_variants_for(measure):
+        _assert_exact_parity(base, threshold, measure, backend, options)
 
 
+@settings(max_examples=12, deadline=None, derandomize=True)
+@given(seed=st.integers(0, 10_000),
+       n_rows=st.integers(10, 60),
+       threshold=st.floats(0.1, 0.7),
+       measure=st.sampled_from(["cosine", "jaccard"]))
+def test_exact_backends_match_reference_csr_sparse_data(seed, n_rows,
+                                                        threshold, measure):
+    """Direct-CSR sparse data (empty-ish rows, banded clusters) parity."""
+    dataset = sparse_random_dataset(seed, n_rows, 40, density=0.2, n_clusters=3)
+    threshold = _clear_threshold(dataset, threshold, measure)
+    for backend, options in _exact_variants_for(measure):
+        _assert_exact_parity(dataset, threshold, measure, backend, options)
+
+
+@pytest.mark.parametrize("backend,options", EXACT_VARIANTS)
 @pytest.mark.parametrize("measure", ["cosine", "jaccard"])
 @pytest.mark.parametrize("threshold", [0.3, 0.6, 0.9])
 def test_exact_backends_match_reference_fixture_datasets(
-        clustered_dataset, sparse_corpus, measure, threshold):
+        clustered_dataset, sparse_corpus, measure, threshold, backend, options):
+    if not make_backend(backend, **options).supports(measure):
+        pytest.skip(f"{backend} does not support {measure}")
     for dataset in (clustered_dataset, sparse_corpus):
         threshold = _clear_threshold(dataset, threshold, measure)
-        for backend in EXACT_BACKENDS:
-            if not make_backend(backend).supports(measure):
-                continue
-            _assert_exact_parity(dataset, threshold, measure, backend)
+        _assert_exact_parity(dataset, threshold, measure, backend, options)
 
 
 def test_blocked_backend_parity_across_block_sizes():
@@ -150,6 +201,20 @@ def test_blocked_backend_parity_across_block_sizes():
         result = ENGINE.search(dataset, 0.2, "cosine",
                                backend="exact-blocked", block_rows=block_rows)
         assert result.pair_set() == reference.pair_set()
+
+
+def test_sharded_backend_parity_across_block_and_shard_geometry():
+    """Shard/block geometry must not change the result either."""
+    dataset = make_sparse_corpus(40, 150, avg_doc_length=12, n_topics=4, seed=21)
+    reference = ENGINE.search(dataset, 0.2, "cosine", backend="exact-loop")
+    for block_rows in (1, 7, 40):
+        for strategy in ("striped", "contiguous", "balanced"):
+            result = ENGINE.search(
+                dataset, 0.2, "cosine", backend="sharded-blocked",
+                block_rows=block_rows, n_workers=2, shards_per_worker=3,
+                partition_strategy=strategy)
+            assert result.pair_set() == reference.pair_set(), (
+                f"block_rows={block_rows} strategy={strategy}")
 
 
 # --------------------------------------------------------------------- #
