@@ -11,7 +11,10 @@ interface:
   for CI; ``--check`` only verifies the registry roster and exits, so a
   backend module that fails to import or register fails fast without any
   benchmarking; the default sizes include the 2000x200 dense cosine workload
-  the engine's >=10x blocked-vs-loop claim is measured on).
+  the engine's >=10x blocked-vs-loop claim is measured on).  ``--json PATH``
+  additionally writes the rows as machine-readable JSON (per-backend
+  seconds, speedups, worker counts) — CI uploads that file as an artifact so
+  the ``BENCH_*.json`` trajectory tracking has per-run data.
 * ``pytest benchmarks/bench_apss_backends.py`` — pytest-benchmark harness
   over the smoke matrix with shape assertions.
 
@@ -21,6 +24,8 @@ Results land in ``benchmarks/results/apss_backend_matrix*.json``.
 from __future__ import annotations
 
 import argparse
+import json
+import platform
 import sys
 
 from repro.datasets import make_clustered_vectors, make_sparse_corpus
@@ -191,6 +196,23 @@ def test_apss_backend_matrix(benchmark, record):
 # CLI
 # --------------------------------------------------------------------- #
 
+def json_payload(rows: list[dict], smoke: bool) -> dict:
+    """The machine-readable benchmark payload ``--json`` writes.
+
+    One dict per (workload, backend) row — per-backend ``seconds``,
+    ``speedup_vs_loop``/``speedup_vs_blocked`` and ``n_workers`` — plus
+    enough run metadata to compare artifacts across CI runs.
+    """
+    return {
+        "benchmark": "apss_backend_matrix",
+        "smoke": bool(smoke),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "backends": sorted(available_backends()),
+        "rows": rows,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -198,6 +220,9 @@ def main(argv=None) -> int:
     parser.add_argument("--check", action="store_true",
                         help="only verify the backend registry roster "
                              "(fails fast on import/registration errors)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the matrix rows as machine-readable "
+                             "JSON to PATH (uploaded as a CI artifact)")
     args = parser.parse_args(argv)
 
     check_registry()
@@ -213,6 +238,11 @@ def main(argv=None) -> int:
     suffix = "_smoke" if args.smoke else ""
     path = record_result(f"apss_backend_matrix{suffix}", rows)
     print(f"\nresults written to {path}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(json_payload(rows, smoke=args.smoke), handle, indent=2,
+                      default=float)
+        print(f"machine-readable matrix written to {args.json}")
     return 0
 
 

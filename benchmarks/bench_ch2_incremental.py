@@ -3,12 +3,22 @@
 The estimates for other thresholds converge to their final values after only
 a small fraction of the candidate pairs have been processed (10-20% in the
 paper), which is what makes partial results useful interactively.
+
+Two persistence scenarios ride along:
+
+* cold-vs-warm store — probe in a subprocess, let it die, reopen the store
+  here and re-probe: cross-session reuse of sketches and per-pair knowledge;
+* append-delta vs full recompute (``slow``, scheduled stress lane) — a 1%
+  append to a 5000-row dataset answered by the O(new x total) delta path
+  must beat the O(total^2) from-scratch search while returning the identical
+  pair set.
 """
 
 import pytest
 
 from repro.core import PlasmaSession
 from repro.lsh.bayeslsh import BayesLSHConfig
+from repro.store import SimilarityStore
 
 
 CASES = [
@@ -51,3 +61,88 @@ def test_figures_2_6_to_2_8_incremental_estimates(benchmark, record, request,
         final = final_estimates[threshold]
         if final >= 50:
             assert early[threshold] == pytest.approx(final, rel=0.35)
+
+
+def test_cold_vs_warm_store_incremental_reprobe(record, cold_probe, tmp_path,
+                                                wine_like):
+    """Probe, kill the process, reopen the store, re-probe (Figures 2.6-2.8
+    workload): the warm probe resumes sketches + knowledge across sessions."""
+    threshold, n_hashes, seed = 0.75, 160, 7
+    expr = 'load_dataset("wine", seed=7).l2_normalized()'
+    store_root = tmp_path / "incremental-store"
+
+    cold = cold_probe(store_root, expr, threshold,
+                      n_hashes=n_hashes, seed=seed)
+    assert cold["resumed_from"] == "fresh"
+
+    warm_session = PlasmaSession(wine_like, n_hashes=n_hashes, seed=seed,
+                                 store=SimilarityStore(store_root))
+    assert warm_session.resumed_from == "store"
+    warm = warm_session.probe(threshold,
+                              incremental_thresholds=(0.8, 0.85),
+                              incremental_checkpoints=10)
+
+    record("figures_2_6_2_8_cold_vs_warm_store", {
+        "threshold": threshold,
+        "cold": cold,
+        "warm": {
+            "pair_count": warm.pair_count,
+            "sketch_seconds": warm.sketch_seconds,
+            "hash_comparisons": warm.apss.hash_comparisons,
+            "cached_hash_reuse": warm.cached_hash_reuse,
+            "checkpoints": len(warm.incremental_estimates),
+        },
+    })
+
+    assert warm.sketch_seconds == 0.0
+    assert warm.cached_hash_reuse > 0
+    assert warm.apss.hash_comparisons < cold["hash_comparisons"]
+    assert abs(warm.pair_count - cold["pair_count"]) <= \
+        max(2, 0.02 * cold["pair_count"])
+
+
+@pytest.mark.slow
+def test_append_delta_beats_full_recompute(record):
+    """A 1% append to a 5000-row dataset: delta path vs full recompute.
+
+    The delta pass computes only the new-vs-all cross block (O(new x total))
+    and must return pair sets identical to a from-scratch quadratic search
+    on the concatenated dataset — decisively faster.
+    """
+    from repro.datasets import make_clustered_vectors
+    from repro.similarity import ApssEngine
+    from repro.store import DeltaApssBackend
+    from repro.utils.timers import Stopwatch
+
+    threshold = 0.6
+    dataset = make_clustered_vectors(5050, 64, 10, separation=4.0, seed=97,
+                                     name="append-bench-5050x64")
+    parent = dataset.subset(range(5000), name="append-bench-parent")
+    child = parent.append_rows(dataset.subset(range(5000, 5050)),
+                               name="append-bench-child")
+    assert child.fingerprint() == dataset.fingerprint()
+
+    engine = ApssEngine()
+    base = engine.search(parent, threshold)    # the already-paid-for sweep
+
+    watch = Stopwatch()
+    watch.start()
+    extended = DeltaApssBackend().extend(base, child)
+    delta_seconds = watch.stop()
+
+    full = engine.search(dataset, threshold)
+    record("append_delta_vs_full_recompute", {
+        "n_rows": dataset.n_rows,
+        "appended_rows": child.parent_delta.n_new,
+        "threshold": threshold,
+        "delta_seconds": delta_seconds,
+        "full_seconds": full.seconds,
+        "speedup": full.seconds / delta_seconds if delta_seconds else None,
+        "pairs": extended.pair_count(),
+    })
+
+    assert extended.pair_set() == full.pair_set()
+    # "Beats" with a hard margin: O(new x total) vs O(total^2) at 1% should
+    # be far more than 2x even on noisy CI machines.
+    assert delta_seconds * 2 < full.seconds, (
+        f"delta path took {delta_seconds:.3f}s vs full {full.seconds:.3f}s")

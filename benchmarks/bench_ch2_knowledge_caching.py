@@ -4,12 +4,19 @@ The workload probes thresholds 0.95, 0.90, ..., 0.70 in order.  Without
 caching each query runs from scratch; with caching each query reuses the hash
 match-sets memoized by the previous one, which cuts the work of every probe
 after the first (the paper reports 16-29% speedups per threshold).
+
+The cold-vs-warm scenario extends the figure across *process* boundaries:
+the first probe runs in a subprocess that persists its session into a
+:class:`~repro.store.SimilarityStore` and exits; this process then reopens
+the store and re-probes, demonstrating that the caching wins survive a
+process death instead of being process-lifetime only.
 """
 
 import numpy as np
 
 from repro.core import PlasmaSession
 from repro.lsh.bayeslsh import BayesLSHConfig
+from repro.store import SimilarityStore
 
 WORKLOAD = [0.95, 0.90, 0.85, 0.80, 0.75, 0.70]
 
@@ -54,3 +61,47 @@ def test_figure_2_10_knowledge_caching(benchmark, record, twitter_like):
     # meaningful margin on average (paper band: 16-29%).
     assert all(saving > 0.0 for saving in work_savings[1:])
     assert float(np.mean(work_savings[1:])) > 0.10
+
+
+def test_cold_vs_warm_store_knowledge_caching(record, cold_probe, tmp_path,
+                                              twitter_like):
+    """Probe, kill the process, reopen the store, re-probe.
+
+    The cold probe happens in a subprocess that exits; the warm probe in this
+    process resumes from the reopened store and must (a) skip the sketch
+    build entirely and (b) do measurably less hash-comparison work.
+    """
+    threshold, n_hashes, seed = 0.8, 160, 7
+    expr = 'load_dataset("twitter", max_rows=250, seed=7)'
+    store_root = tmp_path / "knowledge-store"
+
+    cold = cold_probe(store_root, expr, threshold,
+                      n_hashes=n_hashes, seed=seed)
+    assert cold["resumed_from"] == "fresh"
+    assert cold["cached_hash_reuse"] == 0
+
+    warm_session = PlasmaSession(twitter_like, n_hashes=n_hashes, seed=seed,
+                                 store=SimilarityStore(store_root))
+    assert warm_session.resumed_from == "store"
+    warm = warm_session.probe(threshold)
+
+    record("figure_2_10_cold_vs_warm_store", {
+        "threshold": threshold,
+        "cold": cold,
+        "warm": {
+            "pair_count": warm.pair_count,
+            "total_seconds": warm.total_seconds,
+            "sketch_seconds": warm.sketch_seconds,
+            "hash_comparisons": warm.apss.hash_comparisons,
+            "cached_hash_reuse": warm.cached_hash_reuse,
+        },
+    })
+
+    assert warm.sketch_seconds == 0.0, "sketches must restore, not rebuild"
+    assert warm.cached_hash_reuse > 0, "warm probes must resume hash state"
+    assert warm.apss.hash_comparisons < cold["hash_comparisons"], \
+        "cross-session reuse must cut the hash-comparison work"
+    # Same sketches, same seed: the answers agree (up to boundary pairs
+    # whose deeper resumed posteriors may flip them).
+    assert abs(warm.pair_count - cold["pair_count"]) <= \
+        max(2, 0.02 * cold["pair_count"])

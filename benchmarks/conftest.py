@@ -11,10 +11,14 @@ pytest-benchmark.
 from __future__ import annotations
 
 import json
+import os
+import subprocess
+import sys
 from pathlib import Path
 
 import pytest
 
+import repro
 from repro.datasets import (
     load_dataset,
     make_clustered_vectors,
@@ -39,6 +43,60 @@ def record_result(name: str, payload) -> Path:
 def record():
     """Fixture exposing :func:`record_result`."""
     return record_result
+
+
+#: Driver run in a *separate interpreter* by the cold-vs-warm store
+#: scenarios: build the dataset from its factory expression, open the store,
+#: probe once (the session persists itself), then report timings as JSON on
+#: stdout.  Exiting the process is the point — it proves the knowledge
+#: survives an actual process death, not just a new object.
+_COLD_PROBE_DRIVER = """
+import json, sys
+from repro.core import PlasmaSession
+from repro.datasets import load_dataset, make_clustered_vectors
+from repro.store import SimilarityStore
+
+store_root, threshold, n_hashes, seed, dataset_expr = sys.argv[1:6]
+dataset = eval(dataset_expr)
+session = PlasmaSession(dataset, n_hashes=int(n_hashes), seed=int(seed),
+                        store=SimilarityStore(store_root))
+probe = session.probe(float(threshold))
+print(json.dumps({
+    "pair_count": probe.pair_count,
+    "total_seconds": probe.total_seconds,
+    "sketch_seconds": probe.sketch_seconds,
+    "hash_comparisons": probe.apss.hash_comparisons,
+    "cached_hash_reuse": probe.cached_hash_reuse,
+    "resumed_from": session.resumed_from,
+}))
+"""
+
+
+def cold_probe_in_subprocess(store_root, dataset_expr: str, threshold: float,
+                             *, n_hashes: int = 128, seed: int = 7) -> dict:
+    """Probe *dataset_expr* at *threshold* in a fresh process, then exit.
+
+    The child process persists its session into ``store_root`` and dies —
+    the caller then reopens the store in-process to measure the warm side of
+    the cold-vs-warm comparison.  *dataset_expr* must be an expression over
+    the dataset factories (``load_dataset``/``make_clustered_vectors``) so
+    the child rebuilds the exact dataset from its seed.
+    """
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).parents[1])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, "-c", _COLD_PROBE_DRIVER, str(store_root),
+         str(threshold), str(n_hashes), str(seed), dataset_expr],
+        env=env, capture_output=True, text=True, timeout=600)
+    assert completed.returncode == 0, completed.stderr
+    return json.loads(completed.stdout.strip().splitlines()[-1])
+
+
+@pytest.fixture(scope="session")
+def cold_probe():
+    """Fixture exposing :func:`cold_probe_in_subprocess`."""
+    return cold_probe_in_subprocess
 
 
 @pytest.fixture(scope="session")

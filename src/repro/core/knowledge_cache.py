@@ -56,9 +56,15 @@ class KnowledgeCache:
     # BayesLSH hooks
     # ------------------------------------------------------------------ #
     def lookup(self, pair: tuple[int, int]) -> tuple[int, int] | None:
-        """Return cached ``(n_hashes, matches)`` for *pair*, or ``None``."""
+        """Return cached ``(n_hashes, matches)`` for *pair*, or ``None``.
+
+        Pairs recorded without hash evidence (``n_hashes == 0``, e.g. exact
+        delta merges via :meth:`merge_exact_pairs`) are invisible here: they
+        inform the aggregate views, but BayesLSH resumption must only ever
+        trust real hash-comparison state.
+        """
         cached = self._pairs.get(self._key(pair))
-        if cached is None:
+        if cached is None or cached.n_hashes <= 0:
             return None
         self.hashes_saved += cached.n_hashes
         return (cached.n_hashes, cached.matches)
@@ -67,12 +73,21 @@ class KnowledgeCache:
         """Record a :class:`~repro.lsh.bayeslsh.PairEvaluation`.
 
         Only ever *upgrades* the cached state: an evaluation based on fewer
-        hashes than what is already cached is ignored.
+        hashes than what is already cached is ignored.  *Exact* entries
+        (similarity known with zero variance, marked by ``n_hashes == 0`` —
+        see :meth:`merge_exact_pairs`) outrank every estimate: an exact
+        incoming record supersedes any hash-backed one, and an exact cached
+        entry is never downgraded — so merges of exact and estimated
+        knowledge commute.
         """
         key = self._key((evaluation.first, evaluation.second))
         existing = self._pairs.get(key)
-        if existing is not None and existing.n_hashes >= evaluation.n_hashes:
-            return
+        if existing is not None:
+            if self._is_exact(existing):
+                return
+            if (not self._is_exact(evaluation)
+                    and existing.n_hashes >= evaluation.n_hashes):
+                return
         self._pairs[key] = CachedPair(
             first=key[0], second=key[1], n_hashes=evaluation.n_hashes,
             matches=evaluation.matches, estimate=evaluation.estimate,
@@ -142,6 +157,78 @@ class KnowledgeCache:
         mixed = strength * empirical + (1.0 - strength) * uniform
         return mixed / mixed.sum()
 
+    # ------------------------------------------------------------------ #
+    # Mergeable, serialisable state (the persistent-session substrate)
+    # ------------------------------------------------------------------ #
+    def state(self) -> dict:
+        """The cache contents as plain arrays and scalars.
+
+        The exact payload :meth:`repro.store.SimilarityStore.save_session`
+        persists; round-trips through :meth:`from_state`.
+        """
+        pairs = list(self._pairs.values())
+        return {
+            "first": np.array([p.first for p in pairs], dtype=np.int64),
+            "second": np.array([p.second for p in pairs], dtype=np.int64),
+            "n_hashes": np.array([p.n_hashes for p in pairs], dtype=np.int64),
+            "matches": np.array([p.matches for p in pairs], dtype=np.int64),
+            "estimate": np.array([p.estimate for p in pairs]),
+            "variance": np.array([p.variance for p in pairs]),
+            "probed_thresholds": [float(t) for t in self.probed_thresholds],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "KnowledgeCache":
+        """Rebuild a cache from a :meth:`state` payload."""
+        cache = cls()
+        cache.merge_state(state)
+        cache.probed_thresholds = [float(t)
+                                   for t in state.get("probed_thresholds", [])]
+        return cache
+
+    def merge_state(self, state: dict) -> None:
+        """Merge a :meth:`state` payload into this cache (upgrade-only).
+
+        Commutative with respect to per-pair knowledge: for every pair the
+        evaluation backed by the most hashes wins, exactly as :meth:`record`
+        behaves across probes.
+        """
+        for first, second, n_hashes, matches, estimate, variance in zip(
+                np.asarray(state["first"]).tolist(),
+                np.asarray(state["second"]).tolist(),
+                np.asarray(state["n_hashes"]).tolist(),
+                np.asarray(state["matches"]).tolist(),
+                np.asarray(state["estimate"]).tolist(),
+                np.asarray(state["variance"]).tolist()):
+            self.record(CachedPair(int(first), int(second), int(n_hashes),
+                                   int(matches), float(estimate),
+                                   float(variance)))
+
+    def merge(self, other: "KnowledgeCache") -> None:
+        """Merge another cache's knowledge into this one (upgrade-only)."""
+        for cached in other._pairs.values():
+            self.record(cached)
+        seen = set(self.probed_thresholds)
+        for threshold in other.probed_thresholds:
+            if threshold not in seen:
+                self.probed_thresholds.append(threshold)
+                seen.add(threshold)
+
+    def merge_exact_pairs(self, pairs) -> None:
+        """Fold exactly-known similarities (e.g. a delta pass) into the cache.
+
+        Each :class:`~repro.similarity.types.SimilarPair` is recorded with a
+        near-zero posterior variance so the Cumulative APSS Graph counts it
+        (essentially) deterministically — but with ``n_hashes = 0`` so
+        BayesLSH resumption never mistakes it for hash-comparison state
+        (see :meth:`lookup`).  Going through :meth:`record` gives exact
+        knowledge its precedence over estimates in every merge direction.
+        """
+        for pair in pairs:
+            self.record(CachedPair(
+                first=pair.first, second=pair.second, n_hashes=0, matches=0,
+                estimate=float(pair.similarity), variance=1e-12))
+
     def clear(self) -> None:
         self._pairs.clear()
         self.probed_thresholds.clear()
@@ -151,3 +238,8 @@ class KnowledgeCache:
     def _key(pair: tuple[int, int]) -> tuple[int, int]:
         first, second = int(pair[0]), int(pair[1])
         return (first, second) if first <= second else (second, first)
+
+    @staticmethod
+    def _is_exact(cached) -> bool:
+        """Whether an entry came from exact knowledge, not hash estimation."""
+        return cached.n_hashes == 0 and cached.variance <= 1e-12

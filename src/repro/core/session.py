@@ -91,13 +91,21 @@ class PlasmaSession:
         baselines (ground truth, recall audits).  Probes themselves run the
         engine's ``bayeslsh`` backend against the session's long-lived
         sketch store.
+    store:
+        A :class:`~repro.store.SimilarityStore` making the session durable:
+        sketches and the knowledge cache are persisted after every probe and
+        restored on construction, so a *new process* opening the same store
+        resumes exactly where the last one stopped (Figure 2.10's caching
+        wins, across sessions).  A dataset produced by ``append_rows``
+        resumes from its *parent's* persisted knowledge — per-pair hash
+        state only involves old rows and stays valid under appends.
     """
 
     def __init__(self, dataset: VectorDataset, *, measure: str = "cosine",
                  n_hashes: int = 128, config: BayesLSHConfig | None = None,
                  candidate_strategy: str = "all",
                  use_empirical_prior: bool = False, seed: int = 0,
-                 engine: ApssEngine | None = None) -> None:
+                 engine: ApssEngine | None = None, store=None) -> None:
         if candidate_strategy not in ("all", "banded"):
             raise ValueError("candidate_strategy must be 'all' or 'banded'")
         if measure not in ("cosine", "jaccard"):
@@ -117,17 +125,106 @@ class PlasmaSession:
         self.cache = KnowledgeCache()
         self.history: list[ProbeResult] = []
         self._store: SketchStore | None = None
+        self.store = store
+        #: How this session's knowledge cache started: ``"fresh"``, resumed
+        #: from this dataset's persisted state (``"store"``), or seeded from
+        #: the append parent's state (``"parent"``).
+        self.resumed_from = "fresh"
+        if self.store is not None:
+            self._restore_session()
+
+    # ------------------------------------------------------------------ #
+    # Persistence (opt-in via the ``store`` constructor argument)
+    # ------------------------------------------------------------------ #
+    def _session_key(self, fingerprint: str) -> tuple:
+        cfg = self.config
+        return ("plasma-session", fingerprint, self.measure, self.n_hashes,
+                self.seed, self.candidate_strategy, cfg.epsilon, cfg.delta,
+                cfg.gamma, cfg.hash_batch, cfg.max_hashes, cfg.resolution)
+
+    def _sketch_key(self, fingerprint: str) -> tuple:
+        return ("sketches", fingerprint, self.measure, self.n_hashes,
+                self.seed)
+
+    def _restore_session(self) -> None:
+        state = self.store.load_session(
+            self._session_key(self.dataset.fingerprint()))
+        if state is not None:
+            self.cache = KnowledgeCache.from_state(state)
+            self.resumed_from = "store"
+            return
+        delta = getattr(self.dataset, "parent_delta", None)
+        if delta is not None:
+            state = self.store.load_session(
+                self._session_key(delta.parent_fingerprint))
+            if state is not None:
+                # Old-row pair evaluations stay valid under an append (their
+                # sketches and similarities are untouched); only pairs that
+                # involve a new row are genuinely unknown.
+                self.cache = KnowledgeCache.from_state(state)
+                self.resumed_from = "parent"
+
+    def _persist_session(self) -> None:
+        if self.store is not None:
+            self.store.save_session(
+                self._session_key(self.dataset.fingerprint()),
+                self.cache.state())
 
     # ------------------------------------------------------------------ #
     # Sketches (built lazily, cached for the lifetime of the session)
     # ------------------------------------------------------------------ #
+    def _make_sketcher(self):
+        """The deterministic sketcher for this session's (measure, seed)."""
+        from repro.lsh.minhash import MinHashSketcher
+        from repro.lsh.random_projection import CosineSketcher
+
+        if self.measure == "cosine":
+            return CosineSketcher(self.n_hashes, self.dataset.n_features,
+                                  seed=self.seed)
+        return MinHashSketcher(self.n_hashes, seed=self.seed)
+
+    def _sketch_rows(self, sketcher, rows) -> np.ndarray:
+        if self.measure == "cosine":
+            return sketcher.sketch_many(self.dataset.row(i) for i in rows)
+        return sketcher.sketch_many(self.dataset.row(i)[0] for i in rows)
+
+    def _build_sketch_store(self) -> SketchStore:
+        persistable = self.store is not None and self.seed is not None
+        key = (self._sketch_key(self.dataset.fingerprint())
+               if persistable else None)
+        expected = (self.dataset.n_rows, self.n_hashes)
+        if persistable:
+            sketches = self.store.load_sketches(key)
+            if sketches is not None and sketches.shape == expected:
+                # Same fingerprint + seed: the stored matrix is exactly what
+                # a rebuild would produce, minus the build time.
+                return SketchStore(sketches, self._make_sketcher(),
+                                   build_seconds=0.0)
+            delta = getattr(self.dataset, "parent_delta", None)
+            if delta is not None and delta.n_new:
+                parent = self.store.load_sketches(
+                    self._sketch_key(delta.parent_fingerprint))
+                if parent is not None and parent.shape == (
+                        delta.parent_rows, self.n_hashes):
+                    # Incremental sketching: rows are sketched independently
+                    # under a seed-deterministic sketcher, so sketching only
+                    # the appended rows reproduces a full rebuild bit-for-bit.
+                    sketcher = self._make_sketcher()
+                    new_rows = self._sketch_rows(sketcher, delta.new_rows)
+                    sketches = np.vstack([parent, new_rows])
+                    self.store.save_sketches(key, sketches)
+                    return SketchStore(sketches, sketcher, build_seconds=0.0)
+        built = build_sketch_store(self.dataset, kind=self.measure,
+                                   n_hashes=self.n_hashes, seed=self.seed)
+        if persistable:
+            self.store.save_sketches(key, built.sketches)
+        return built
+
     @property
     def sketch_store(self) -> SketchStore:
         """The session's sketch store, built on first use (and then cached)."""
         if self._store is None:
-            self._store = build_sketch_store(self.dataset, kind=self.measure,
-                                             n_hashes=self.n_hashes,
-                                             seed=self.seed)
+            self._store = self._build_sketch_store()
         return self._store
 
     def invalidate_sketches(self) -> None:
@@ -204,6 +301,7 @@ class PlasmaSession:
             for evaluation in apss.evaluations:
                 self.cache.record(evaluation)
         self.cache.probed_thresholds.append(float(threshold))
+        self._persist_session()
 
         total_seconds = total_watch.stop()
         result = ProbeResult(

@@ -10,7 +10,7 @@ characteristics, scaled to laptop size.  Every generator takes a ``seed`` so
 experiments are reproducible.
 """
 
-from repro.datasets.vectors import VectorDataset
+from repro.datasets.vectors import DatasetDelta, VectorDataset
 from repro.datasets.synthetic import (
     make_clustered_vectors,
     make_toy_dataset,
@@ -32,6 +32,7 @@ from repro.datasets.registry import (
 )
 
 __all__ = [
+    "DatasetDelta",
     "VectorDataset",
     "make_clustered_vectors",
     "make_toy_dataset",

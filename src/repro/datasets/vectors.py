@@ -11,10 +11,37 @@ from __future__ import annotations
 
 import hashlib
 from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["VectorDataset"]
+__all__ = ["DatasetDelta", "VectorDataset"]
+
+
+@dataclass(frozen=True)
+class DatasetDelta:
+    """Provenance of an append: which rows are new relative to which parent.
+
+    Produced by :meth:`VectorDataset.append_rows` and consumed by the delta
+    ingest path (:mod:`repro.store.delta`): the fingerprints tie the delta to
+    exact dataset *contents*, so stale or mismatched state can be rejected
+    instead of silently merged.
+    """
+
+    parent_fingerprint: str
+    child_fingerprint: str
+    parent_rows: int
+    child_rows: int
+
+    @property
+    def n_new(self) -> int:
+        """How many rows the append added."""
+        return self.child_rows - self.parent_rows
+
+    @property
+    def new_rows(self) -> range:
+        """The row ids the append introduced (always a suffix)."""
+        return range(self.parent_rows, self.child_rows)
 
 
 class VectorDataset:
@@ -52,6 +79,9 @@ class VectorDataset:
         self.labels = None if labels is None else np.asarray(labels)
         if self.labels is not None and len(self.labels) != self.n_rows:
             raise ValueError("labels must have one entry per row")
+        #: Set by :meth:`append_rows` on the dataset it returns; ``None`` for
+        #: datasets that were not produced by an append.
+        self.parent_delta: DatasetDelta | None = None
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -223,6 +253,68 @@ class VectorDataset:
         return VectorDataset(indptr, merged_idx, merged_data, self.n_features,
                              labels=labels,
                              name=name or f"{self.name}[{len(row_ids)} rows]")
+
+    def append_rows(self, rows, labels=None,
+                    name: str | None = None) -> "VectorDataset":
+        """Return a new dataset with *rows* appended, carrying a delta record.
+
+        The append-only ingest primitive of the persistent knowledge store:
+        the parent is left untouched, and the returned child carries a
+        :class:`DatasetDelta` on ``child.parent_delta`` tying the parent and
+        child *content fingerprints* together, so downstream similarity state
+        (pair sets, reducer state, sessions) can be extended with an
+        O(new x total) delta pass instead of a full quadratic recompute.
+
+        Parameters
+        ----------
+        rows:
+            Either another :class:`VectorDataset` sharing this feature space,
+            or a sequence of per-row ``{feature: weight}`` mappings /
+            ``(feature, weight)`` iterables as accepted by :meth:`from_rows`.
+        labels:
+            Labels for the new rows.  Required when the parent has labels
+            (a half-labelled dataset is rejected), forbidden when appending a
+            :class:`VectorDataset` that carries its own labels.
+        name:
+            Name of the child; defaults to ``"<parent-name>+<k> rows"``.
+        """
+        if isinstance(rows, VectorDataset):
+            if rows.n_features != self.n_features:
+                raise ValueError(
+                    f"appended rows have {rows.n_features} features, "
+                    f"dataset has {self.n_features}")
+            if labels is not None and rows.labels is not None:
+                raise ValueError("pass labels via the appended dataset or the "
+                                 "labels argument, not both")
+            tail = rows
+            if labels is None:
+                labels = rows.labels
+        else:
+            tail = VectorDataset.from_rows(rows, n_features=self.n_features)
+        if self.labels is not None and labels is None and tail.n_rows:
+            raise ValueError("parent has labels; appended rows need labels too")
+        if self.labels is None and labels is not None:
+            raise ValueError("parent has no labels; appended labels would "
+                             "leave earlier rows unlabelled")
+        merged_labels = None
+        if self.labels is not None:
+            # labels may legitimately be absent here only for an empty
+            # append (the guard above rejects unlabelled non-empty tails).
+            merged_labels = (self.labels.copy() if labels is None
+                             else np.concatenate([self.labels,
+                                                  np.asarray(labels)]))
+        child = VectorDataset(
+            np.concatenate([self.indptr,
+                            self.indptr[-1] + tail.indptr[1:]]),
+            np.concatenate([self.indices, tail.indices]),
+            np.concatenate([self.data, tail.data]),
+            self.n_features, labels=merged_labels,
+            name=name or f"{self.name}+{tail.n_rows} rows")
+        child.parent_delta = DatasetDelta(
+            parent_fingerprint=self.fingerprint(),
+            child_fingerprint=child.fingerprint(),
+            parent_rows=self.n_rows, child_rows=child.n_rows)
+        return child
 
     def binarized(self) -> "VectorDataset":
         """Return a copy with all stored weights replaced by 1.0."""

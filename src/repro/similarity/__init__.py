@@ -21,6 +21,9 @@ from repro.similarity.engine import (
 )
 from repro.similarity.cache import CachedApssEngine
 from repro.similarity.streaming import (
+    HistogramReducer,
+    SelectionSketch,
+    TopKReducer,
     iter_similarity_blocks,
     similarity_quantile,
     streaming_similarity_histogram,
@@ -56,6 +59,9 @@ __all__ = [
     "EngineResult",
     "apss_search",
     "CachedApssEngine",
+    "HistogramReducer",
+    "SelectionSketch",
+    "TopKReducer",
     "iter_similarity_blocks",
     "similarity_quantile",
     "streaming_similarity_histogram",

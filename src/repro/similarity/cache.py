@@ -1,4 +1,4 @@
-"""Cross-threshold memoisation for the APSS engine.
+"""Cross-threshold memoisation for the APSS engine, with optional persistence.
 
 Interactive probing and densifying-series construction repeatedly ask the
 same dataset "which pairs meet threshold t?" for a sweep of thresholds.
@@ -13,6 +13,19 @@ threshold at or above its cached floor without touching the kernel again.
     >>> engine.search(dataset, 0.2)      # one quadratic pass (miss)
     >>> engine.search(dataset, 0.5)      # filtered from cache (hit)
     >>> engine.search(dataset, 0.1)      # below the floor: new pass, new floor
+
+Two further layers sit behind the in-memory sweep cache:
+
+* **Persistent spill/restore** — with a :class:`~repro.store.SimilarityStore`
+  attached (pass ``store=`` or set ``REPRO_APSS_STORE``), every kernel floor
+  is persisted, an LRU-evicted entry can be restored without recomputing,
+  and a *new process* opening the same store serves previously-swept
+  thresholds with zero kernel invocations.
+* **Delta extension** — a dataset produced by
+  :meth:`~repro.datasets.vectors.VectorDataset.append_rows` whose *parent*
+  floor is cached (in memory or in the store) is answered by extending that
+  floor over the appended rows only (O(new x total), exact backends only)
+  instead of a from-scratch O(total^2) search.
 """
 
 from __future__ import annotations
@@ -32,9 +45,15 @@ class CachedApssEngine:
     engine:
         The engine to wrap; a fresh default :class:`ApssEngine` if omitted.
     max_entries:
-        How many memoised results to keep (least-recently-used eviction).
-        One entry per (dataset fingerprint, measure, backend, options) key,
-        each holding the pair list of its loosest searched threshold.
+        How many memoised results to keep in memory (least-recently-used
+        eviction).  One entry per (dataset fingerprint, measure, backend,
+        options) key, each holding the pair list of its loosest searched
+        threshold.  Entries spilled to an attached store outlive eviction.
+    store:
+        A :class:`~repro.store.SimilarityStore` to spill floors to and
+        restore them from.  Defaults to the store named by the
+        ``REPRO_APSS_STORE`` environment variable (when set); pass
+        ``store=False`` to force a purely in-memory cache.
     backend, **backend_options:
         Convenience constructor arguments for the wrapped engine (mutually
         exclusive with passing *engine*).
@@ -44,13 +63,14 @@ class CachedApssEngine:
     Cache entries are keyed by the dataset's content fingerprint, so mutating
     a dataset in place yields a fresh entry rather than stale pairs — and the
     stale entry ages out of the LRU bound instead of lingering forever.
-    Memory is bounded by *max_entries* pair lists (each the natural output
-    size of its sweep); :meth:`clear` drops them all.
+    ``hits``/``misses`` count the in-memory sweep cache only; a probe served
+    by the persistent store or the delta path still counts as a miss there
+    and is tallied separately (``store_restores``, ``delta_extensions``).
     """
 
     def __init__(self, engine: ApssEngine | None = None,
                  backend: str | None = None, max_entries: int = 8,
-                 **backend_options) -> None:
+                 store=None, **backend_options) -> None:
         if engine is not None and (backend is not None or backend_options):
             raise ValueError("pass either an engine or backend options, not both")
         if max_entries < 1:
@@ -59,9 +79,18 @@ class CachedApssEngine:
             engine = ApssEngine(backend or DEFAULT_BACKEND, **backend_options)
         self.engine = engine
         self.max_entries = int(max_entries)
+        if store is None:
+            from repro.store import SimilarityStore
+
+            store = SimilarityStore.from_env()
+        elif store is False:
+            store = None
+        self.store = store
         self._cache: dict[tuple, EngineResult] = {}
         self.hits = 0
         self.misses = 0
+        self.store_restores = 0
+        self.delta_extensions = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -69,13 +98,13 @@ class CachedApssEngine:
         return self.engine.backend
 
     def clear(self) -> None:
-        """Drop every memoised result."""
+        """Drop every in-memory memoised result (the store is untouched)."""
         self._cache.clear()
 
     def __len__(self) -> int:
         return len(self._cache)
 
-    def _key(self, dataset: VectorDataset, measure: str, backend: str | None,
+    def _key(self, fingerprint: str, measure: str, backend: str | None,
              options: dict) -> tuple:
         name = backend or self.engine.backend
         # Execution-only options (worker counts, injected executors, ...)
@@ -86,36 +115,13 @@ class CachedApssEngine:
         except KeyError:
             execution_only = ()
         keyed = {k: v for k, v in options.items() if k not in execution_only}
-        return (dataset.fingerprint(), measure, name,
-                tuple(sorted(keyed.items())))
+        return (fingerprint, measure, name, tuple(sorted(keyed.items())))
 
-    # ------------------------------------------------------------------ #
-    def search(self, dataset: VectorDataset, threshold: float,
-               measure: str = "cosine", backend: str | None = None,
-               **options) -> EngineResult:
-        """Like :meth:`ApssEngine.search`, reusing any looser cached search."""
-        threshold = float(threshold)
-        key = self._key(dataset, measure, backend, options)
-        cached = self._cache.get(key)
-        if cached is not None and cached.threshold <= threshold:
-            self.hits += 1
-            # Refresh recency (dict preserves insertion order: oldest first).
-            # pop with a default: a concurrent miss may have evicted the key
-            # between the get above and here — races may cost recency
-            # bookkeeping, never a KeyError out of a hit.
-            self._cache.pop(key, None)
-            self._cache[key] = cached
-            pairs = [p for p in cached.pairs if p.similarity >= threshold]
-            details = dict(cached.details)
-            details["cache"] = {"hit": True, "floor_threshold": cached.threshold}
-            return EngineResult(
-                backend=cached.backend, measure=measure, threshold=threshold,
-                n_rows=cached.n_rows, pairs=pairs, exact=cached.exact,
-                seconds=0.0, n_candidates=len(cached.pairs), n_pruned=0,
-                details=details)
-        self.misses += 1
-        result = self.engine.search(dataset, threshold, measure,
-                                    backend=backend, **options)
+    def _install(self, key: tuple, result: EngineResult) -> None:
+        """Insert *result* under *key*, refreshing recency and bounding size."""
+        # pop with a default: a concurrent searcher may have evicted the key
+        # between lookup and here — races may cost recency bookkeeping,
+        # never a KeyError.
         self._cache.pop(key, None)
         self._cache[key] = result
         while len(self._cache) > self.max_entries:
@@ -123,7 +129,123 @@ class CachedApssEngine:
                 self._cache.pop(next(iter(self._cache)), None)
             except (StopIteration, RuntimeError):
                 break  # emptied or resized by a concurrent searcher
+
+    def _serve(self, cached: EngineResult, threshold: float, measure: str,
+               source: str) -> EngineResult:
+        """Filter a cached floor result down to *threshold*."""
+        pairs = [p for p in cached.pairs if p.similarity >= threshold]
+        details = dict(cached.details)
+        details["cache"] = {"hit": True, "floor_threshold": cached.threshold,
+                            "source": source}
+        return EngineResult(
+            backend=cached.backend, measure=measure, threshold=threshold,
+            n_rows=cached.n_rows, pairs=pairs, exact=cached.exact,
+            seconds=0.0, n_candidates=len(cached.pairs), n_pruned=0,
+            details=details)
+
+    # ------------------------------------------------------------------ #
+    def _lookup_floor(self, key: tuple, threshold: float, install: bool = True,
+                      ) -> tuple[EngineResult | None, str, EngineResult | None]:
+        """A floor result at or below *threshold*, from memory or the store.
+
+        The single home of the floor-acceptance rule.  Returns
+        ``(floor, source, stored)`` where *source* is ``"memory"``,
+        ``"store"`` or ``"none"`` and *stored* is whatever the store lookup
+        returned (``None`` when it missed or was never consulted) — callers
+        thread it into :meth:`_persist` so the entry is not re-read.
+        """
+        stored = None
+        cached = self._cache.get(key)
+        if cached is not None and cached.threshold <= threshold:
+            return cached, "memory", stored
+        if self.store is not None:
+            stored = self.store.load_result(key)
+            if stored is not None and stored.threshold <= threshold:
+                if install:
+                    self._install(key, stored)
+                return stored, "store", stored
+        return None, "none", stored
+
+    def _try_delta_extend(self, dataset: VectorDataset, threshold: float,
+                          measure: str, backend: str | None,
+                          options: dict, key: tuple) -> EngineResult | None:
+        """Extend the parent dataset's cached floor over an append, if possible.
+
+        Requires: the dataset carries a parent delta whose child fingerprint
+        matches this search's key, the backend is exact, and the parent's
+        floor (memory or store) is at or below the requested threshold.
+        """
+        delta = getattr(dataset, "parent_delta", None)
+        if delta is None or delta.child_fingerprint != key[0]:
+            return None
+        name = backend or self.engine.backend
+        try:
+            if not get_backend_class(name).exact:
+                return None
+        except KeyError:
+            return None
+        parent_key = self._key(delta.parent_fingerprint, measure, backend,
+                               options)
+        parent, _, _ = self._lookup_floor(parent_key, threshold, install=False)
+        if parent is None or parent.n_rows != delta.parent_rows:
+            return None
+        from repro.store.delta import DeltaApssBackend
+
+        # The key fingerprint equals the dataset's content hash (computed by
+        # the caller), which already proves the delta matches the content.
+        extended = DeltaApssBackend().extend(parent, dataset, delta,
+                                             verify_fingerprint=False)
+        self.delta_extensions += 1
+        return extended
+
+    # ------------------------------------------------------------------ #
+    def search(self, dataset: VectorDataset, threshold: float,
+               measure: str = "cosine", backend: str | None = None,
+               **options) -> EngineResult:
+        """Like :meth:`ApssEngine.search`, reusing any looser cached search.
+
+        Lookup order: in-memory sweep cache, then the persistent store, then
+        delta extension of the parent dataset's floor (for appended
+        datasets), then a full kernel search (whose floor is memoised and,
+        when a store is attached, persisted).
+        """
+        threshold = float(threshold)
+        key = self._key(dataset.fingerprint(), measure, backend, options)
+        floor, source, stored = self._lookup_floor(key, threshold)
+        if floor is not None:
+            if source == "memory":
+                self.hits += 1
+                self._install(key, floor)  # refresh recency
+            else:
+                self.misses += 1           # the in-memory sweep cache missed
+                self.store_restores += 1
+            return self._serve(floor, threshold, measure, source)
+        self.misses += 1
+        extended = self._try_delta_extend(dataset, threshold, measure,
+                                          backend, options, key)
+        if extended is not None:
+            self._install(key, extended)
+            self._persist(key, extended, stored)
+            return self._serve(extended, threshold, measure, "delta")
+        result = self.engine.search(dataset, threshold, measure,
+                                    backend=backend, **options)
+        self._install(key, result)
+        self._persist(key, result, stored)
         return result
+
+    def _persist(self, key: tuple, result: EngineResult,
+                 existing: EngineResult | None) -> None:
+        """Spill a floor result to the store unless a looser floor is held.
+
+        *existing* is what this search's store lookup already returned for
+        *key* (``None`` on a store miss) — threading it through avoids
+        re-reading and re-materialising the entry just to compare floors.
+        """
+        if self.store is None:
+            return
+        if existing is not None and existing.threshold <= result.threshold:
+            return
+        self.store.save_result(key, result)
 
     def iter_similarity_blocks(self, dataset: VectorDataset,
                                measure: str = "cosine", **kwargs):

@@ -84,6 +84,10 @@ class ApssEngine:
     def __init__(self, backend: str = DEFAULT_BACKEND, **backend_options) -> None:
         self.backend = backend
         self.backend_options = dict(backend_options)
+        #: How many kernel searches this engine has dispatched.  Cache layers
+        #: (sweep cache, persistent store) are audited against this counter:
+        #: a probe served from memory, store or delta must not bump it.
+        self.search_calls = 0
         # Fail fast on typos: instantiating validates name and options.
         make_backend(backend, **self.backend_options)
 
@@ -108,6 +112,7 @@ class ApssEngine:
         """
         impl = self.make_backend(backend, **options)
         impl.check_measure(measure)
+        self.search_calls += 1
         watch = Stopwatch()
         watch.start()
         output = impl.search(dataset, float(threshold), measure)

@@ -41,6 +41,9 @@ __all__ = [
     "threshold_for_edge_count",
     "similarity_quantile",
     "top_k_pairs",
+    "HistogramReducer",
+    "TopKReducer",
+    "SelectionSketch",
 ]
 
 #: Measures the blocked kernel can evaluate as a sparse matrix product.
@@ -172,6 +175,245 @@ def _iter_upper_values(dataset: VectorDataset, measure: str,
         yield slab[keep]
 
 
+# --------------------------------------------------------------------- #
+# Mergeable reducer state
+#
+# Each reducer below consumes streamed upper-triangle similarity values
+# incrementally and exposes the same three-method contract:
+#
+#   * ``update(...)``     — fold in one slab's worth of values;
+#   * ``merge(other)``    — fold in another reducer's accumulated state
+#                           (commutative, so delta passes and shard-local
+#                           reducers combine in any order);
+#   * ``state()`` / ``from_state()`` — a plain dict of numpy arrays and
+#                           scalars, the exact payload the persistent
+#                           :class:`repro.store.SimilarityStore` writes.
+#
+# This is what makes an append O(new x total): the delta pass feeds only the
+# new rows' values into a reducer restored from stored state, instead of
+# re-streaming every pair.
+# --------------------------------------------------------------------- #
+
+
+class HistogramReducer:
+    """Mergeable fixed-edge histogram of pairwise similarity values."""
+
+    def __init__(self, edges) -> None:
+        self.edges = np.asarray(edges, dtype=float)
+        if self.edges.ndim != 1 or len(self.edges) < 2:
+            raise ValueError("edges must be a 1-D array of at least 2 edges")
+        self.counts = np.zeros(len(self.edges) - 1, dtype=np.int64)
+
+    def update(self, values: np.ndarray) -> None:
+        if len(values):
+            slab_counts, _ = np.histogram(values, bins=self.edges)
+            self.counts += slab_counts
+
+    def merge(self, other: "HistogramReducer") -> None:
+        if not np.array_equal(self.edges, other.edges):
+            raise ValueError("cannot merge histograms with different edges")
+        self.counts += other.counts
+
+    def result(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(counts, edges)`` in the ``np.histogram`` convention."""
+        return self.counts.copy(), self.edges.copy()
+
+    def state(self) -> dict:
+        return {"edges": self.edges.copy(), "counts": self.counts.copy()}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "HistogramReducer":
+        reducer = cls(np.asarray(state["edges"], dtype=float))
+        counts = np.asarray(state["counts"], dtype=np.int64)
+        if counts.shape != reducer.counts.shape:
+            raise ValueError("histogram state counts do not match its edges")
+        reducer.counts = counts.copy()
+        return reducer
+
+
+class TopKReducer:
+    """Mergeable bounded buffer of the *k* most similar pairs.
+
+    Ties are broken by ``(first, second)``, and merge order cannot change the
+    outcome: the buffer only ever discards pairs strictly dominated by ``k``
+    kept ones (pairs tied with the cutoff are retained until the final
+    :meth:`pairs` sort), so the result equals sorting the union of everything
+    ever fed in by ``(-similarity, first, second)`` and keeping the first *k*.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        self.k = int(k)
+        self._first = np.empty(0, dtype=np.int64)
+        self._second = np.empty(0, dtype=np.int64)
+        self._scores = np.empty(0)
+        # Conservative admission cutoff: once k pairs scoring >= c are held,
+        # values strictly below c can never reach the top k.  Ties with the
+        # cutoff are always admitted, which keeps merges order-insensitive.
+        self._cutoff = -np.inf
+
+    def _shrink(self, hard: bool = False) -> None:
+        if not self.k:
+            self._first = self._first[:0]
+            self._second = self._second[:0]
+            self._scores = self._scores[:0]
+            return
+        if not hard and len(self._scores) <= max(4 * self.k, 4096):
+            return
+        order = np.lexsort((self._second, self._first, -self._scores))
+        if not hard and len(order) > self.k:
+            # Keep every pair tied with the k-th score: merges may still
+            # reorder ties, so only strictly dominated pairs are dropped.
+            cutoff = float(self._scores[order[self.k - 1]])
+            self._cutoff = max(self._cutoff, cutoff)
+            keep = order[self._scores[order] >= cutoff]
+        else:
+            keep = order[:self.k]
+            if len(keep) == self.k:
+                self._cutoff = max(self._cutoff,
+                                   float(self._scores[keep].min()))
+        self._first = self._first[keep]
+        self._second = self._second[keep]
+        self._scores = self._scores[keep]
+
+    def update(self, first: np.ndarray, second: np.ndarray,
+               scores: np.ndarray) -> None:
+        if not len(scores) or not self.k:
+            return
+        first = np.asarray(first, np.int64)
+        second = np.asarray(second, np.int64)
+        scores = np.asarray(scores, float)
+        if self._cutoff > -np.inf:
+            admit = scores >= self._cutoff
+            first, second, scores = first[admit], second[admit], scores[admit]
+            if not len(scores):
+                return
+        self._first = np.concatenate([self._first, first])
+        self._second = np.concatenate([self._second, second])
+        self._scores = np.concatenate([self._scores, scores])
+        self._shrink()
+
+    def update_slab(self, rows: range, slab: np.ndarray) -> None:
+        """Fold in one ``(row_range, slab)`` from a similarity block stream.
+
+        Only strict-upper-triangle cells (column > row) are consumed, and
+        cells below the admission cutoff are masked *before* extraction, so
+        a warmed-up reducer touches only the handful of candidate cells per
+        slab rather than materialising every upper-triangle index.
+        """
+        if not self.k:
+            return
+        row_ids = np.arange(rows.start, rows.stop)
+        keep = np.arange(slab.shape[1])[None, :] > row_ids[:, None]
+        if self._cutoff > -np.inf:
+            keep &= slab >= self._cutoff
+        local_i, local_j = np.nonzero(keep)
+        if local_i.size:
+            self.update(row_ids[local_i], local_j, slab[local_i, local_j])
+
+    def merge(self, other: "TopKReducer") -> None:
+        if other.k != self.k:
+            raise ValueError("cannot merge top-k reducers with different k")
+        self.update(other._first, other._second, other._scores)
+
+    def pairs(self) -> list[SimilarPair]:
+        """The top-*k* pairs, descending, ties broken by ``(first, second)``."""
+        self._shrink(hard=True)
+        return [SimilarPair(int(i), int(j), float(v))
+                for i, j, v in zip(self._first.tolist(), self._second.tolist(),
+                                   self._scores.tolist())]
+
+    def state(self) -> dict:
+        self._shrink(hard=True)
+        return {"k": self.k, "first": self._first.copy(),
+                "second": self._second.copy(), "scores": self._scores.copy()}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "TopKReducer":
+        reducer = cls(int(state["k"]))
+        reducer.update(np.asarray(state["first"], np.int64),
+                       np.asarray(state["second"], np.int64),
+                       np.asarray(state["scores"], float))
+        return reducer
+
+
+class SelectionSketch:
+    """Mergeable pass-one state of the rank-selection machinery.
+
+    Accumulates per-bucket counts over the a-priori measure range (see
+    :func:`_selection_edges`) plus the observed value extremes — everything
+    :func:`thresholds_for_edge_counts` learns in its first slab pass.  The
+    sketch answers *bounded* rank queries by itself
+    (:meth:`approx_threshold_for_edge_count`, within one bucket width) and
+    seeds the exact refinement passes without re-streaming old data.
+    """
+
+    def __init__(self, edges) -> None:
+        self.edges = np.asarray(edges, dtype=float)
+        if self.edges.ndim != 1 or len(self.edges) < 2:
+            raise ValueError("edges must be a 1-D array of at least 2 edges")
+        self.counts = np.zeros(len(self.edges) - 1, dtype=np.int64)
+        self.lowest = np.inf
+        self.highest = -np.inf
+
+    @classmethod
+    def for_measure(cls, dataset: VectorDataset, measure: str,
+                    n_bins: int = DEFAULT_SELECTION_BINS) -> "SelectionSketch":
+        return cls(_selection_edges(dataset, measure, n_bins))
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    def update(self, values: np.ndarray) -> None:
+        if not len(values):
+            return
+        self.lowest = min(self.lowest, float(values.min()))
+        self.highest = max(self.highest, float(values.max()))
+        self.counts += np.bincount(_bin_of(values, self.edges),
+                                   minlength=len(self.counts))
+
+    def merge(self, other: "SelectionSketch") -> None:
+        if not np.array_equal(self.edges, other.edges):
+            raise ValueError("cannot merge selection sketches with different "
+                             "edges")
+        self.counts += other.counts
+        self.lowest = min(self.lowest, other.lowest)
+        self.highest = max(self.highest, other.highest)
+
+    def bucket_of_rank(self, rank: int) -> int:
+        """Bucket holding the *rank*-th largest value (1 = largest)."""
+        if not 1 <= rank <= self.total:
+            raise ValueError(f"rank {rank} out of range for {self.total} "
+                             f"accumulated values")
+        suffix = np.cumsum(self.counts[::-1])[::-1]
+        return int(np.max(np.nonzero(suffix >= rank)[0]))
+
+    def approx_threshold_for_edge_count(self, target: int) -> float:
+        """The *target*-th largest value, within one bucket width."""
+        if target <= 0:
+            return self.highest + 1.0
+        if target >= self.total:
+            return self.lowest
+        return float(self.edges[self.bucket_of_rank(target)])
+
+    def state(self) -> dict:
+        return {"edges": self.edges.copy(), "counts": self.counts.copy(),
+                "lowest": float(self.lowest), "highest": float(self.highest)}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SelectionSketch":
+        sketch = cls(np.asarray(state["edges"], dtype=float))
+        counts = np.asarray(state["counts"], dtype=np.int64)
+        if counts.shape != sketch.counts.shape:
+            raise ValueError("selection state counts do not match its edges")
+        sketch.counts = counts.copy()
+        sketch.lowest = float(state["lowest"])
+        sketch.highest = float(state["highest"])
+        return sketch
+
+
 def streaming_similarity_histogram(dataset: VectorDataset, bins=50,
                                    measure: str = "cosine", *,
                                    block_rows: int | None = None,
@@ -198,12 +440,11 @@ def streaming_similarity_histogram(dataset: VectorDataset, bins=50,
                                        range=(lowest, highest))
     else:
         edges = np.asarray(bins, dtype=float)
-    counts = np.zeros(len(edges) - 1, dtype=np.int64)
+    reducer = HistogramReducer(edges)
     for values in _iter_upper_values(dataset, measure, block_rows,
                                      memory_budget_mb):
-        slab_counts, _ = np.histogram(values, bins=edges)
-        counts += slab_counts
-    return counts, edges
+        reducer.update(values)
+    return reducer.result()
 
 
 def _selection_edges(dataset: VectorDataset, measure: str,
@@ -336,20 +577,16 @@ def thresholds_for_edge_counts(dataset: VectorDataset, targets,
     if not targets:
         return []
 
-    edges = _selection_edges(dataset, measure, n_bins)
-    counts = np.zeros(n_bins, dtype=np.int64)
-    lowest, highest = np.inf, -np.inf
+    sketch = SelectionSketch.for_measure(dataset, measure, n_bins)
     for values in _iter_upper_values(dataset, measure, block_rows,
                                      memory_budget_mb):
-        if not values.size:
-            continue
-        lowest = min(lowest, float(values.min()))
-        highest = max(highest, float(values.max()))
-        counts += np.bincount(_bin_of(values, edges), minlength=n_bins)
+        sketch.update(values)
+    edges = sketch.edges
+    lowest, highest = sketch.lowest, sketch.highest
 
     # suffix[b] = number of values in bucket b or any higher bucket.
     suffix = np.zeros(n_bins + 1, dtype=np.int64)
-    suffix[:n_bins] = np.cumsum(counts[::-1])[::-1]
+    suffix[:n_bins] = np.cumsum(sketch.counts[::-1])[::-1]
 
     results: dict[int, float] = {}
     needed: dict[int, list[int]] = {}
@@ -425,33 +662,9 @@ def top_k_pairs(dataset: VectorDataset, k: int, measure: str = "cosine", *,
     k = min(int(k), n * (n - 1) // 2)
     if k <= 0:
         return []
-    first = np.empty(0, dtype=np.int64)
-    second = np.empty(0, dtype=np.int64)
-    scores = np.empty(0)
-    cutoff = -np.inf
-
-    def shrink(i, j, v):
-        order = np.lexsort((j, i, -v))[:k]
-        return i[order], j[order], v[order]
-
+    reducer = TopKReducer(k)
     for rows, slab in iter_similarity_blocks(
             dataset, measure, block_rows=block_rows,
             memory_budget_mb=memory_budget_mb):
-        row_ids = np.arange(rows.start, rows.stop)
-        keep = (np.arange(slab.shape[1])[None, :] > row_ids[:, None])
-        keep &= slab >= cutoff
-        local_i, local_j = np.nonzero(keep)
-        if not local_i.size:
-            continue
-        first = np.concatenate([first, row_ids[local_i]])
-        second = np.concatenate([second, local_j])
-        scores = np.concatenate([scores, slab[local_i, local_j]])
-        if len(scores) > max(4 * k, 4096):
-            first, second, scores = shrink(first, second, scores)
-            if len(scores) == k:
-                # Later blocks only ever produce larger row ids, so keeping
-                # ties at the cutoff cannot evict an already-kept pair.
-                cutoff = float(scores.min())
-    first, second, scores = shrink(first, second, scores)
-    return [SimilarPair(int(i), int(j), float(v))
-            for i, j, v in zip(first.tolist(), second.tolist(), scores.tolist())]
+        reducer.update_slab(rows, slab)
+    return reducer.pairs()

@@ -1,0 +1,31 @@
+"""Persistent + incremental APSS knowledge store.
+
+Two pieces:
+
+* :class:`~repro.store.similarity_store.SimilarityStore` — the disk-backed,
+  versioned, checksummed store for pair sets, reducer state, sketches and
+  session knowledge (see its module docstring for the durability contract);
+* :class:`~repro.store.delta.DeltaApssBackend` — the incremental-ingest
+  path extending stored similarity state over
+  :meth:`~repro.datasets.vectors.VectorDataset.append_rows` deltas in
+  O(new x total) instead of O(total^2).
+
+``CachedApssEngine`` (spill/restore + delta extension) and ``PlasmaSession``
+(cross-process resume) wire these in behind their existing APIs.
+"""
+
+from repro.store.delta import DeltaApssBackend, delta_pairs, iter_delta_blocks
+from repro.store.similarity_store import (
+    SCHEMA_VERSION,
+    STORE_ENV_VAR,
+    SimilarityStore,
+)
+
+__all__ = [
+    "SimilarityStore",
+    "STORE_ENV_VAR",
+    "SCHEMA_VERSION",
+    "DeltaApssBackend",
+    "delta_pairs",
+    "iter_delta_blocks",
+]

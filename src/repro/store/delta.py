@@ -1,0 +1,221 @@
+"""Incremental APSS: extend similarity state over appended rows only.
+
+An append of ``d`` rows to an ``n``-row dataset changes exactly the pairs
+that touch a new row: the ``d x n`` new-vs-old cross block plus the
+``d x d / 2`` new-vs-new triangle.  Everything previously computed — pair
+sets, reducer state, per-pair session knowledge — remains valid, because
+similarity is a pure function of the two rows involved.
+
+:class:`DeltaApssBackend` exploits that: it runs the same blocked Gram
+kernel as ``exact-blocked`` (:func:`repro.similarity.streaming.compute_block_slab`)
+restricted to the appended row range, extracts the new pairs at the parent
+result's threshold floor, and merges them into the parent's pair list in
+canonical ``(first, second)`` order.  The cost is O(d * n) instead of the
+O(n^2) of a from-scratch search, which is what keeps the interactive loop
+interactive on append-only datasets.
+
+Every extension is fingerprint-checked: the parent result must describe
+exactly ``delta.parent_rows`` rows and the child dataset must hash to
+``delta.child_fingerprint``, so stale or mismatched state is rejected
+loudly rather than merged silently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.vectors import DatasetDelta, VectorDataset
+from repro.similarity.engine import EngineResult
+from repro.similarity.streaming import (
+    DEFAULT_MEMORY_BUDGET_MB,
+    STREAMING_MEASURES,
+    compute_block_slab,
+    prepared_csr,
+    resolve_block_rows,
+)
+from repro.similarity.types import SimilarPair
+
+__all__ = ["DeltaApssBackend", "iter_delta_blocks", "delta_pairs"]
+
+
+def _check_delta(child: VectorDataset, delta: DatasetDelta,
+                 verify_fingerprint: bool = True) -> None:
+    if child.n_rows != delta.child_rows:
+        raise ValueError(
+            f"delta describes {delta.child_rows} rows, dataset has "
+            f"{child.n_rows}")
+    if not 0 <= delta.parent_rows <= delta.child_rows:
+        raise ValueError("delta parent_rows out of range")
+    if verify_fingerprint and child.fingerprint() != delta.child_fingerprint:
+        raise ValueError(
+            "dataset content does not match the delta's child fingerprint; "
+            "refusing to extend stale similarity state")
+
+
+def iter_delta_blocks(child: VectorDataset, delta: DatasetDelta,
+                      measure: str = "cosine", *,
+                      block_rows: int | None = None,
+                      memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
+                      verify_fingerprint: bool = True):
+    """Yield ``(row_range, slab)`` similarity slabs for the appended rows only.
+
+    Slabs are full-width (every child column), computed by the shared blocked
+    kernel, and cover exactly the rows ``delta.new_rows`` — so feeding the
+    strict-upper-triangle cells ``column < row`` of each slab into a reducer
+    visits every *new* pair exactly once and no old pair ever.
+    """
+    if measure not in STREAMING_MEASURES:
+        raise ValueError(f"unsupported streaming measure {measure!r}; "
+                         f"supported: {list(STREAMING_MEASURES)}")
+    _check_delta(child, delta, verify_fingerprint)
+    if delta.n_new == 0:
+        return
+    n = child.n_rows
+    matrix = prepared_csr(child, measure)
+    transposed = matrix.T.tocsc()
+    sizes = np.diff(child.indptr).astype(np.float64)
+    rows_per_block = resolve_block_rows(n, block_rows, memory_budget_mb)
+    for start in range(delta.parent_rows, n, rows_per_block):
+        stop = min(start + rows_per_block, n)
+        yield range(start, stop), compute_block_slab(
+            matrix, transposed, sizes, start, stop, measure)
+
+
+def delta_pairs(child: VectorDataset, delta: DatasetDelta, threshold: float,
+                measure: str = "cosine", *, block_rows: int | None = None,
+                memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
+                verify_fingerprint: bool = True) -> list[SimilarPair]:
+    """Every pair involving an appended row with similarity >= *threshold*.
+
+    Pairs are returned in canonical ``(first, second)`` order with
+    ``first < second``; old-vs-old pairs are never touched.
+    """
+    out_i: list[np.ndarray] = []
+    out_j: list[np.ndarray] = []
+    out_v: list[np.ndarray] = []
+    for rows, slab in iter_delta_blocks(
+            child, delta, measure, block_rows=block_rows,
+            memory_budget_mb=memory_budget_mb,
+            verify_fingerprint=verify_fingerprint):
+        row_ids = np.arange(rows.start, rows.stop)
+        # column < row: each new pair (old x new and new x new) exactly once,
+        # with the *smaller* id as the column.
+        keep = (slab >= threshold) & (
+            np.arange(slab.shape[1])[None, :] < row_ids[:, None])
+        local_i, local_j = np.nonzero(keep)
+        out_i.append(local_j)                    # first = smaller id
+        out_j.append(row_ids[local_i])           # second = appended row
+        out_v.append(slab[local_i, local_j])
+    if not out_i:
+        return []
+    all_i = np.concatenate(out_i)
+    all_j = np.concatenate(out_j)
+    all_v = np.concatenate(out_v)
+    order = np.lexsort((all_j, all_i))
+    return [SimilarPair(int(i), int(j), float(v))
+            for i, j, v in zip(all_i[order].tolist(), all_j[order].tolist(),
+                               all_v[order].tolist())]
+
+
+class DeltaApssBackend:
+    """Extend an exact parent :class:`EngineResult` across an append.
+
+    Parameters
+    ----------
+    block_rows, memory_budget_mb:
+        Per-slab sizing for the delta pass, with ``exact-blocked`` semantics.
+
+    Notes
+    -----
+    The delta pass is exact (blocked Gram kernel), so extending an *exact*
+    parent result yields pair sets identical to a from-scratch search on the
+    concatenated dataset — the parity the property suite in
+    ``tests/store/test_delta.py`` checks for every exact backend in the
+    registry.  Approximate parents (``bayeslsh``) are refused: splicing exact
+    delta pairs into an estimated pair set would produce a result matching
+    neither contract.
+    """
+
+    def __init__(self, block_rows: int | None = None,
+                 memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB) -> None:
+        if block_rows is not None and block_rows <= 0:
+            raise ValueError("block_rows must be positive")
+        if memory_budget_mb <= 0:
+            raise ValueError("memory_budget_mb must be positive")
+        self.block_rows = block_rows
+        self.memory_budget_mb = float(memory_budget_mb)
+
+    def extend(self, parent: EngineResult, child: VectorDataset,
+               delta: DatasetDelta | None = None,
+               *, verify_fingerprint: bool = True) -> EngineResult:
+        """Merge the append's new pairs into *parent*, at the parent's floor.
+
+        Returns a new :class:`EngineResult` for the child dataset at the
+        parent's threshold (the floor a sweep cache filters from); the
+        parent result is not mutated.
+        """
+        if delta is None:
+            delta = child.parent_delta
+        if delta is None:
+            raise ValueError("child dataset carries no parent delta; pass one "
+                             "explicitly or use VectorDataset.append_rows")
+        if not parent.exact:
+            raise ValueError(
+                f"cannot delta-extend approximate backend "
+                f"{parent.backend!r} results; recompute instead")
+        if parent.n_rows != delta.parent_rows:
+            raise ValueError(
+                f"parent result covers {parent.n_rows} rows, delta expects "
+                f"{delta.parent_rows}")
+        _check_delta(child, delta, verify_fingerprint)
+        new_pairs = delta_pairs(
+            child, delta, parent.threshold, parent.measure,
+            block_rows=self.block_rows,
+            memory_budget_mb=self.memory_budget_mb,
+            verify_fingerprint=False)  # already checked above
+        # Parent pairs all precede or interleave with new ones; one stable
+        # sort restores canonical (first, second) order for the merged list.
+        merged = sorted(parent.pairs + new_pairs,
+                        key=lambda p: (p.first, p.second))
+        n = child.n_rows
+        d = delta.n_new
+        return EngineResult(
+            backend=parent.backend, measure=parent.measure,
+            threshold=parent.threshold, n_rows=n, pairs=merged,
+            exact=True, seconds=0.0,
+            n_candidates=d * delta.parent_rows + d * (d - 1) // 2,
+            n_pruned=0,
+            details={"delta": {"parent_rows": delta.parent_rows,
+                               "new_rows": d,
+                               "new_pairs": len(new_pairs)}})
+
+    def extend_reducers(self, child: VectorDataset,
+                        delta: DatasetDelta | None = None,
+                        measure: str = "cosine", *,
+                        histogram=None, top_k=None, selection=None,
+                        verify_fingerprint: bool = True) -> None:
+        """Feed the append's new similarity values into mergeable reducers.
+
+        Each reducer (``HistogramReducer``, ``TopKReducer``,
+        ``SelectionSketch`` — any subset) is updated in place with every
+        new pair's value exactly once, so reducer state restored from the
+        store stays equal to a from-scratch pass over the child dataset.
+        """
+        if delta is None:
+            delta = child.parent_delta
+        if delta is None:
+            raise ValueError("child dataset carries no parent delta")
+        for rows, slab in iter_delta_blocks(
+                child, delta, measure, block_rows=self.block_rows,
+                memory_budget_mb=self.memory_budget_mb,
+                verify_fingerprint=verify_fingerprint):
+            row_ids = np.arange(rows.start, rows.stop)
+            keep = np.arange(slab.shape[1])[None, :] < row_ids[:, None]
+            local_i, local_j = np.nonzero(keep)
+            values = slab[local_i, local_j]
+            if histogram is not None:
+                histogram.update(values)
+            if selection is not None:
+                selection.update(values)
+            if top_k is not None:
+                top_k.update(local_j, row_ids[local_i], values)

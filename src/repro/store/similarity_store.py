@@ -1,0 +1,297 @@
+"""The persistent similarity store: disk-backed, versioned APSS knowledge.
+
+PLASMA-HD's interactive loop feels instant because nothing a previous probe
+paid for is recomputed — but process-lifetime caches forget everything on
+exit.  ``SimilarityStore`` is the disk-backed layer underneath them: a
+directory of self-validating entries holding
+
+* **pair sets** — :class:`~repro.similarity.engine.EngineResult` floors, the
+  unit :class:`~repro.similarity.cache.CachedApssEngine` spills and restores;
+* **reducer state** — the mergeable ``state()`` payloads of the streaming
+  reducers (histogram, top-k, rank-selection sketch);
+* **sketch matrices** — per-row LSH sketches, so a reopened session skips
+  the sketch-generation phase entirely;
+* **session state** — serialized :class:`~repro.core.knowledge_cache.KnowledgeCache`
+  contents, so interactive sessions resume across processes.
+
+Entries are keyed by content: every key embeds the dataset *fingerprint*
+(plus measure/backend/options), so a mutated dataset can never be served
+stale state — it simply hashes to a different entry.
+
+Durability contract
+-------------------
+* **Atomic writes**: entries are written to a temp file in the same
+  directory and ``os.replace``-d into place, so concurrent readers (or a
+  crash mid-write) can never observe a half-written entry.
+* **Self-validation**: each entry carries a magic string, a schema version,
+  its full key and a SHA-256 checksum of the payload.  A corrupt, truncated,
+  schema-incompatible or key-colliding entry is *evicted on read* — deleted
+  and treated as a miss, never trusted.
+* **Multi-process safety**: two processes may open the same store directory;
+  writes race benignly (last atomic replace wins, both contents valid) and
+  eviction races are tolerated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.similarity.engine import EngineResult
+from repro.similarity.types import SimilarPair
+
+__all__ = ["SimilarityStore", "STORE_ENV_VAR", "SCHEMA_VERSION"]
+
+#: Environment variable naming a store directory; when set, the similarity
+#: caches attach a persistent store automatically (the CI persistence lane
+#: exercises the whole suite this way: ``REPRO_APSS_STORE=$(mktemp -d)``).
+STORE_ENV_VAR = "REPRO_APSS_STORE"
+
+#: Bump when the on-disk entry layout changes; older entries are evicted.
+SCHEMA_VERSION = 1
+
+_MAGIC = b"REPRO-SIMSTORE\n"
+
+
+def _key_digest(key: tuple) -> str:
+    return hashlib.sha1(repr(key).encode()).hexdigest()
+
+
+class SimilarityStore:
+    """A directory of checksummed, schema-versioned similarity-state entries.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the store (created if missing).  Entries live in
+        per-kind subdirectories (``pairs/``, ``reducers/``, ``sketches/``,
+        ``sessions/``), one file per key.
+
+    Attributes
+    ----------
+    hits, misses:
+        Entry-level lookup counters.
+    evictions:
+        Entries deleted because they failed validation (corruption, schema
+        mismatch, key mismatch) — each one was refused, never trusted.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @classmethod
+    def from_env(cls) -> "SimilarityStore | None":
+        """The store named by ``REPRO_APSS_STORE``, or ``None`` when unset."""
+        root = os.environ.get(STORE_ENV_VAR, "").strip()
+        return cls(root) if root else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimilarityStore(root={str(self.root)!r})"
+
+    # ------------------------------------------------------------------ #
+    # Raw entry machinery
+    # ------------------------------------------------------------------ #
+    def _path(self, kind: str, key: tuple) -> Path:
+        return self.root / kind / f"{_key_digest(key)}.entry"
+
+    def put(self, kind: str, key: tuple, arrays: dict, meta: dict) -> Path:
+        """Atomically write one entry of numpy *arrays* plus JSON *meta*."""
+        buffer = io.BytesIO()
+        np.savez(buffer, **{name: np.asarray(value)
+                            for name, value in arrays.items()})
+        payload = buffer.getvalue()
+        header = json.dumps({
+            "schema": SCHEMA_VERSION,
+            "kind": kind,
+            "key": repr(key),
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "payload_bytes": len(payload),
+            "meta": meta,
+        }, default=float).encode()
+        path = self._path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(prefix=".tmp-", dir=path.parent)
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(_MAGIC + header + b"\n" + payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def get(self, kind: str, key: tuple) -> tuple[dict, dict] | None:
+        """Load and validate an entry; returns ``(arrays, meta)`` or ``None``.
+
+        Any validation failure — bad magic, unparsable header, schema or key
+        mismatch, checksum mismatch, undecodable payload — evicts the entry
+        and reports a miss.  Stale state is deleted, never served.
+        """
+        path = self._path(kind, key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            if not raw.startswith(_MAGIC):
+                raise ValueError("bad magic")
+            header_end = raw.index(b"\n", len(_MAGIC))
+            header = json.loads(raw[len(_MAGIC):header_end])
+            payload = raw[header_end + 1:]
+            if header.get("schema") != SCHEMA_VERSION:
+                raise ValueError(f"schema {header.get('schema')!r} != "
+                                 f"{SCHEMA_VERSION}")
+            if header.get("key") != repr(key) or header.get("kind") != kind:
+                raise ValueError("entry key does not match lookup key")
+            if len(payload) != header.get("payload_bytes"):
+                raise ValueError("payload truncated")
+            if hashlib.sha256(payload).hexdigest() != header.get("sha256"):
+                raise ValueError("payload checksum mismatch")
+            with np.load(io.BytesIO(payload)) as archive:
+                arrays = {name: archive[name] for name in archive.files}
+            return arrays, header.get("meta", {})
+        except Exception:
+            # Corrupt or incompatible: evict so the next write starts clean.
+            self._evict(path)
+            self.misses += 1
+            return None
+
+    def _evict(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass  # a concurrent process already evicted or replaced it
+        self.evictions += 1
+
+    def delete(self, kind: str, key: tuple) -> None:
+        """Drop one entry (missing entries are fine)."""
+        try:
+            self._path(kind, key).unlink()
+        except OSError:
+            pass
+
+    def entry_count(self, kind: str | None = None) -> int:
+        """Number of entries on disk (of one *kind*, or overall)."""
+        kinds = [kind] if kind else ["pairs", "reducers", "sketches",
+                                     "sessions"]
+        return sum(len(list((self.root / k).glob("*.entry")))
+                   for k in kinds if (self.root / k).is_dir())
+
+    # ------------------------------------------------------------------ #
+    # Pair-set entries (EngineResult floors)
+    # ------------------------------------------------------------------ #
+    def save_result(self, key: tuple, result: EngineResult) -> None:
+        """Persist an engine-result floor under *key*.
+
+        Only the pair arrays and the scalar result fields are stored;
+        ``details`` carries live backend objects and is deliberately not
+        persisted.
+        """
+        self.put("pairs", key, {
+            "first": np.array([p.first for p in result.pairs], dtype=np.int64),
+            "second": np.array([p.second for p in result.pairs],
+                               dtype=np.int64),
+            "similarity": np.array([p.similarity for p in result.pairs]),
+        }, {
+            "backend": result.backend,
+            "measure": result.measure,
+            "threshold": result.threshold,
+            "n_rows": result.n_rows,
+            "exact": result.exact,
+            "n_candidates": result.n_candidates,
+            "n_pruned": result.n_pruned,
+        })
+
+    def load_result(self, key: tuple) -> EngineResult | None:
+        """Restore an engine-result floor, or ``None`` on miss/invalid."""
+        loaded = self.get("pairs", key)
+        if loaded is None:
+            return None
+        arrays, meta = loaded
+        try:
+            pairs = [SimilarPair(int(i), int(j), float(v))
+                     for i, j, v in zip(arrays["first"].tolist(),
+                                        arrays["second"].tolist(),
+                                        arrays["similarity"].tolist())]
+            result = EngineResult(
+                backend=str(meta["backend"]), measure=str(meta["measure"]),
+                threshold=float(meta["threshold"]), n_rows=int(meta["n_rows"]),
+                pairs=pairs, exact=bool(meta["exact"]), seconds=0.0,
+                n_candidates=int(meta.get("n_candidates", 0)),
+                n_pruned=int(meta.get("n_pruned", 0)))
+        except (KeyError, TypeError, ValueError):
+            self._evict(self._path("pairs", key))
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Reducer-state entries (mergeable state() dicts)
+    # ------------------------------------------------------------------ #
+    def save_reducer(self, key: tuple, state: dict) -> None:
+        """Persist one mergeable reducer ``state()`` dict under *key*."""
+        arrays = {name: value for name, value in state.items()
+                  if isinstance(value, np.ndarray)}
+        scalars = {name: value for name, value in state.items()
+                   if not isinstance(value, np.ndarray)}
+        self.put("reducers", key, arrays, {"scalars": scalars})
+
+    def load_reducer(self, key: tuple) -> dict | None:
+        """Restore a reducer ``state()`` dict, or ``None`` on miss/invalid."""
+        loaded = self.get("reducers", key)
+        if loaded is None:
+            return None
+        arrays, meta = loaded
+        state = dict(arrays)
+        state.update(meta.get("scalars", {}))
+        self.hits += 1
+        return state
+
+    # ------------------------------------------------------------------ #
+    # Sketch entries
+    # ------------------------------------------------------------------ #
+    def save_sketches(self, key: tuple, sketches: np.ndarray) -> None:
+        self.put("sketches", key, {"sketches": np.asarray(sketches)}, {})
+
+    def load_sketches(self, key: tuple) -> np.ndarray | None:
+        loaded = self.get("sketches", key)
+        if loaded is None:
+            return None
+        self.hits += 1
+        return loaded[0]["sketches"]
+
+    # ------------------------------------------------------------------ #
+    # Session entries (serialized knowledge caches)
+    # ------------------------------------------------------------------ #
+    def save_session(self, key: tuple, state: dict) -> None:
+        """Persist a :meth:`KnowledgeCache.state` payload under *key*."""
+        arrays = {name: value for name, value in state.items()
+                  if isinstance(value, np.ndarray)}
+        scalars = {name: value for name, value in state.items()
+                   if not isinstance(value, np.ndarray)}
+        self.put("sessions", key, arrays, {"scalars": scalars})
+
+    def load_session(self, key: tuple) -> dict | None:
+        loaded = self.get("sessions", key)
+        if loaded is None:
+            return None
+        arrays, meta = loaded
+        state = dict(arrays)
+        state.update(meta.get("scalars", {}))
+        self.hits += 1
+        return state

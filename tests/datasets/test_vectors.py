@@ -126,3 +126,65 @@ def test_property_subset_of_all_rows_is_identity(rows):
     ds = VectorDataset.from_rows(rows, n_features=16)
     sub = ds.subset(range(ds.n_rows))
     assert np.allclose(sub.to_dense(), ds.to_dense())
+
+
+# --------------------------------------------------------------------- #
+# append_rows (the incremental-ingest primitive)
+# --------------------------------------------------------------------- #
+
+def test_append_rows_concatenates_and_records_the_delta():
+    parent = VectorDataset.from_rows([{0: 1.0}, {1: 2.0}], n_features=3)
+    child = parent.append_rows([{2: 3.0}])
+    assert child.n_rows == 3
+    assert np.allclose(child.to_dense(),
+                       [[1.0, 0, 0], [0, 2.0, 0], [0, 0, 3.0]])
+    delta = child.parent_delta
+    assert delta is not None
+    assert (delta.parent_rows, delta.child_rows, delta.n_new) == (2, 3, 1)
+    assert delta.parent_fingerprint == parent.fingerprint()
+    assert delta.child_fingerprint == child.fingerprint()
+    assert delta.new_rows == range(2, 3)
+    # The parent is untouched and carries no delta.
+    assert parent.n_rows == 2
+    assert parent.parent_delta is None
+
+
+def test_append_rows_matches_independently_built_concatenation():
+    rows = [{0: 1.0, 2: 0.5}, {1: 2.0}, {0: 3.0, 1: 1.0}, {2: 4.0}]
+    whole = VectorDataset.from_rows(rows, n_features=3)
+    parent = VectorDataset.from_rows(rows[:2], n_features=3)
+    child = parent.append_rows(rows[2:])
+    assert child.fingerprint() == whole.fingerprint()
+
+
+def test_append_rows_accepts_a_vector_dataset_tail():
+    parent = VectorDataset.from_rows([{0: 1.0}], n_features=2)
+    tail = VectorDataset.from_rows([{1: 2.0}], n_features=2)
+    child = parent.append_rows(tail)
+    assert child.n_rows == 2
+    assert child.parent_delta.n_new == 1
+    mismatched = VectorDataset.from_rows([{0: 1.0}], n_features=5)
+    with pytest.raises(ValueError, match="features"):
+        parent.append_rows(mismatched)
+
+
+def test_append_rows_label_handling():
+    labelled = VectorDataset.from_rows([{0: 1.0}, {1: 1.0}], n_features=2,
+                                       labels=["a", "b"])
+    child = labelled.append_rows([{0: 2.0}], labels=["c"])
+    assert child.labels.tolist() == ["a", "b", "c"]
+    with pytest.raises(ValueError, match="labels"):
+        labelled.append_rows([{0: 2.0}])          # missing labels
+    unlabelled = VectorDataset.from_rows([{0: 1.0}], n_features=2)
+    with pytest.raises(ValueError, match="labels"):
+        unlabelled.append_rows([{0: 2.0}], labels=["c"])
+
+
+def test_append_zero_rows_keeps_labels_and_yields_empty_delta():
+    labelled = VectorDataset.from_rows([{0: 1.0}, {1: 1.0}], n_features=2,
+                                       labels=["a", "b"])
+    child = labelled.append_rows([])
+    assert child.n_rows == 2
+    assert child.labels.tolist() == ["a", "b"]
+    assert child.parent_delta.n_new == 0
+    assert child.fingerprint() == labelled.fingerprint()

@@ -38,6 +38,7 @@ __all__ = [
     "seeded_clustered",
     "seeded_corpus",
     "sparse_random_dataset",
+    "append_split",
     "ShardOrderReplayExecutor",
     "replay_factory",
 ]
@@ -99,6 +100,26 @@ def sparse_random_dataset(seed: int, n_rows: int, n_features: int,
     data = rng.random(packed[-1]) + 0.1
     return VectorDataset(packed, indices, data, n_features,
                          name=f"sparse-random[seed={int(seed)},rows={n_rows}]")
+
+
+def append_split(dataset: VectorDataset, k: int) -> tuple[VectorDataset, VectorDataset]:
+    """Split *dataset* into a parent and an appended child for delta tests.
+
+    Returns ``(parent, child)`` where *parent* holds all but the last *k*
+    rows and *child* is ``parent.append_rows(<last k rows>)`` — so *child*
+    is **content-identical** to *dataset* (same fingerprint, so any failure
+    replays from the factory seed embedded in the dataset name) but carries
+    the ``parent_delta`` provenance the incremental-ingest path consumes.
+    """
+    n = dataset.n_rows
+    if not 0 < k < n:
+        raise ValueError(f"k must be in (0, {n}) to split {n} rows")
+    parent = dataset.subset(range(n - k), name=f"{dataset.name}[:-{k}]")
+    tail = dataset.subset(range(n - k, n), name=f"{dataset.name}[-{k}:]")
+    child = parent.append_rows(tail, name=dataset.name)
+    assert child.fingerprint() == dataset.fingerprint(), \
+        "append_split must reproduce the dataset content exactly"
+    return parent, child
 
 
 # --------------------------------------------------------------------- #

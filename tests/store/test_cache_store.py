@@ -1,0 +1,173 @@
+"""CachedApssEngine x SimilarityStore: spill, restore, reopen, delta-extend.
+
+The acceptance property lives here: a reopened store serves a previously
+swept threshold with **zero kernel invocations**, asserted through the
+engine's ``search_calls`` instrumentation, and an appended dataset is served
+by delta-extending the parent's floor rather than re-running the quadratic
+kernel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from harness import append_split, seeded_clustered
+from repro.similarity import ApssEngine, CachedApssEngine
+from repro.store import SimilarityStore
+
+
+@pytest.fixture
+def store(tmp_path) -> SimilarityStore:
+    return SimilarityStore(tmp_path / "store")
+
+
+def test_reopened_store_serves_sweep_with_zero_kernel_invocations(tmp_path):
+    dataset = seeded_clustered(501, n_rows=40)
+    warmup = CachedApssEngine(store=SimilarityStore(tmp_path))
+    warmup.search(dataset, 0.2)
+    assert warmup.engine.search_calls == 1
+
+    # "New process": a fresh engine over a freshly opened store handle.
+    engine = CachedApssEngine(store=SimilarityStore(tmp_path))
+    for threshold in (0.3, 0.5, 0.8):
+        served = engine.search(dataset, threshold)
+        fresh = ApssEngine().search(dataset, threshold)
+        assert served.pair_set() == fresh.pair_set()
+        assert served.details["cache"]["hit"]
+    assert engine.engine.search_calls == 0, \
+        "a previously swept threshold must not touch the kernel"
+    assert engine.store_restores == 1          # restored once, then memory
+    assert (engine.hits, engine.misses) == (2, 1)
+
+
+def test_lru_eviction_spills_to_store_and_restores(store):
+    """An entry evicted by the memory bound comes back from the store —
+    without a kernel invocation — instead of being recomputed."""
+    datasets = [seeded_clustered(510 + i, n_rows=30) for i in range(3)]
+    engine = CachedApssEngine(max_entries=2, store=store)
+    for dataset in datasets:
+        engine.search(dataset, 0.3)
+    assert len(engine) == 2                    # first dataset evicted
+    assert engine.engine.search_calls == 3
+
+    result = engine.search(datasets[0], 0.5)   # restored, not recomputed
+    assert engine.engine.search_calls == 3
+    assert engine.store_restores == 1
+    assert result.details["cache"]["source"] == "store"
+    assert result.pair_set() == ApssEngine().search(datasets[0], 0.5).pair_set()
+    assert len(engine) == 2                    # bound still holds
+
+
+def test_store_keeps_the_loosest_floor(store):
+    dataset = seeded_clustered(520, n_rows=30)
+    engine = CachedApssEngine(store=store)
+    engine.search(dataset, 0.2)                # loosest floor persisted
+    engine.search(dataset, 0.6)                # tighter: must not overwrite
+    reopened = CachedApssEngine(store=SimilarityStore(store.root))
+    served = reopened.search(dataset, 0.4)     # only the 0.2 floor covers this
+    assert served.details["cache"]["floor_threshold"] == pytest.approx(0.2)
+    assert reopened.engine.search_calls == 0
+
+
+def test_below_floor_probe_still_runs_and_lowers_the_stored_floor(store):
+    dataset = seeded_clustered(530, n_rows=30)
+    CachedApssEngine(store=store).search(dataset, 0.5)
+    engine = CachedApssEngine(store=SimilarityStore(store.root))
+    below = engine.search(dataset, 0.1)
+    assert engine.engine.search_calls == 1     # genuinely below the floor
+    assert "cache" not in below.details
+    # The lower floor is persisted for the next process.
+    third = CachedApssEngine(store=SimilarityStore(store.root))
+    assert third.search(dataset, 0.2).details["cache"]["floor_threshold"] == \
+        pytest.approx(0.1)
+
+
+def test_append_is_served_by_delta_extension_not_recompute(store):
+    dataset = seeded_clustered(540, n_rows=40)
+    parent, child = append_split(dataset, 4)
+    engine = CachedApssEngine(store=store)
+    engine.search(parent, 0.3)
+    assert engine.engine.search_calls == 1
+
+    served = engine.search(child, 0.5)
+    assert engine.engine.search_calls == 1, \
+        "the append must not trigger a full kernel search"
+    assert engine.delta_extensions == 1
+    assert served.details["cache"]["source"] == "delta"
+    assert served.pair_set() == ApssEngine().search(dataset, 0.5).pair_set()
+
+    # The extended floor was persisted: a new process serves the child
+    # dataset directly from the store.
+    reopened = CachedApssEngine(store=SimilarityStore(store.root))
+    again = reopened.search(child, 0.6)
+    assert reopened.engine.search_calls == 0
+    assert again.pair_set() == ApssEngine().search(dataset, 0.6).pair_set()
+
+
+def test_delta_extension_works_across_processes_via_the_store(tmp_path):
+    """Parent swept in 'process' one; child appended and probed in another."""
+    dataset = seeded_clustered(550, n_rows=40)
+    parent, child = append_split(dataset, 5)
+    CachedApssEngine(store=SimilarityStore(tmp_path)).search(parent, 0.25)
+
+    engine = CachedApssEngine(store=SimilarityStore(tmp_path))
+    served = engine.search(child, 0.4)
+    assert engine.engine.search_calls == 0
+    assert engine.delta_extensions == 1
+    assert served.pair_set() == ApssEngine().search(dataset, 0.4).pair_set()
+
+
+def test_delta_extension_skipped_for_approximate_backends(store):
+    dataset = seeded_clustered(560, n_rows=40)
+    parent, child = append_split(dataset, 4)
+    engine = CachedApssEngine(store=store)
+    engine.search(parent, 0.5, backend="bayeslsh")
+    engine.search(child, 0.5, backend="bayeslsh")
+    # The approximate backend recomputes; no exact pairs were spliced in.
+    assert engine.delta_extensions == 0
+    assert engine.engine.search_calls == 2
+
+
+def test_without_store_appends_fall_back_when_parent_floor_evicted():
+    dataset = seeded_clustered(570, n_rows=40)
+    parent, child = append_split(dataset, 4)
+    engine = CachedApssEngine(max_entries=1, store=False)
+    engine.search(parent, 0.3)
+    engine.search(seeded_clustered(571, n_rows=20), 0.3)  # evicts the parent
+    result = engine.search(child, 0.5)
+    assert engine.delta_extensions == 0        # nothing left to extend
+    assert engine.engine.search_calls == 3
+    assert result.pair_set() == ApssEngine().search(dataset, 0.5).pair_set()
+
+
+def test_env_var_attaches_a_store_automatically(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_APSS_STORE", str(tmp_path / "env-store"))
+    dataset = seeded_clustered(580, n_rows=30)
+    CachedApssEngine().search(dataset, 0.3)
+    engine = CachedApssEngine()
+    assert engine.store is not None
+    engine.search(dataset, 0.5)
+    assert engine.engine.search_calls == 0
+    assert engine.store_restores == 1
+
+    monkeypatch.delenv("REPRO_APSS_STORE")
+    assert CachedApssEngine().store is None
+    assert CachedApssEngine(store=False).store is None
+
+
+def test_corrupt_store_entry_degrades_to_recompute(store):
+    dataset = seeded_clustered(590, n_rows=30)
+    CachedApssEngine(store=store).search(dataset, 0.3)
+    # Corrupt the single persisted pairs entry on disk.
+    [entry] = (store.root / "pairs").glob("*.entry")
+    entry.write_bytes(entry.read_bytes()[:-7] + b"garbage")
+
+    engine = CachedApssEngine(store=SimilarityStore(store.root))
+    result = engine.search(dataset, 0.5)
+    assert engine.engine.search_calls == 1     # fell back to the kernel
+    assert engine.store.evictions == 1
+    assert result.pair_set() == ApssEngine().search(dataset, 0.5).pair_set()
+    # ... and the recomputed floor was re-persisted cleanly.
+    reopened = CachedApssEngine(store=SimilarityStore(store.root))
+    reopened.search(dataset, 0.5)
+    assert reopened.engine.search_calls == 0

@@ -1,0 +1,211 @@
+"""PlasmaSession x SimilarityStore: cross-process resume and append merging.
+
+Covers the session-level persistence contract: knowledge caches and sketch
+matrices round-trip through the store, a re-opened session resumes (and its
+probes reuse cached hash state), an appended dataset resumes from its
+parent's knowledge, and the Cumulative APSS Graph reflects merged state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from harness import append_split, seeded_clustered
+from repro.core import CumulativeApssGraph, KnowledgeCache, PlasmaSession
+from repro.similarity.types import SimilarPair
+from repro.store import SimilarityStore
+
+
+@pytest.fixture
+def store(tmp_path) -> SimilarityStore:
+    return SimilarityStore(tmp_path / "store")
+
+
+def _session(dataset, store=None, **kwargs):
+    kwargs.setdefault("n_hashes", 64)
+    kwargs.setdefault("seed", 5)
+    return PlasmaSession(dataset, store=store, **kwargs)
+
+
+# --------------------------------------------------------------------- #
+# KnowledgeCache state round trip and merge
+# --------------------------------------------------------------------- #
+
+def test_knowledge_cache_state_round_trip(store):
+    dataset = seeded_clustered(601, n_rows=30)
+    session = _session(dataset)
+    session.probe(0.6)
+    state = session.cache.state()
+    restored = KnowledgeCache.from_state(state)
+    assert len(restored) == len(session.cache)
+    assert restored.probed_thresholds == session.cache.probed_thresholds
+    for cached in session.cache.pairs():
+        twin = restored.get(cached.pair)
+        assert twin is not None
+        assert twin.n_hashes == cached.n_hashes
+        assert twin.matches == cached.matches
+        assert twin.estimate == pytest.approx(cached.estimate)
+        assert twin.variance == pytest.approx(cached.variance)
+
+
+def test_knowledge_cache_merge_upgrades_by_hash_count():
+    first = KnowledgeCache()
+    second = KnowledgeCache()
+
+    class _Eval:
+        def __init__(self, first_, second_, n_hashes):
+            self.first, self.second = first_, second_
+            self.n_hashes, self.matches = n_hashes, n_hashes // 2
+            self.estimate, self.variance = 0.5, 0.01
+
+    first.record(_Eval(0, 1, 16))
+    second.record(_Eval(0, 1, 64))   # more evidence
+    second.record(_Eval(2, 3, 8))
+    first.merge(second)
+    assert first.get((0, 1)).n_hashes == 64
+    assert first.get((2, 3)).n_hashes == 8
+    # Merge is upgrade-only: folding the weaker cache back changes nothing.
+    second.merge(first)
+    assert second.get((0, 1)).n_hashes == 64
+
+
+def test_merge_exact_pairs_feeds_the_graph_but_not_bayeslsh_resume():
+    cache = KnowledgeCache()
+    cache.merge_exact_pairs([SimilarPair(0, 1, 0.9), SimilarPair(1, 2, 0.2)])
+    assert len(cache) == 2
+    # Aggregate views see the exact knowledge ...
+    graph = CumulativeApssGraph(cache, thresholds=[0.5])
+    assert graph.estimate(0.5).expected_pairs == pytest.approx(1.0, abs=1e-6)
+    # ... but hash-state lookup must not fabricate evidence.
+    assert cache.lookup((0, 1)) is None
+    assert cache.hashes_saved == 0
+
+    # A later hash-based evaluation must not downgrade exact knowledge.
+    class _Eval:
+        first, second = 0, 1
+        n_hashes, matches = 64, 40
+        estimate, variance = 0.62, 0.01
+
+    cache.record(_Eval())
+    kept = cache.get((0, 1))
+    assert kept.estimate == pytest.approx(0.9)
+    assert kept.variance <= 1e-12
+
+
+def test_exact_and_estimated_knowledge_merge_commutatively():
+    """B.merge(A) and A.merge(B) must agree: exact knowledge wins both ways."""
+
+    class _Eval:
+        first, second = 0, 1
+        n_hashes, matches = 64, 32
+        estimate, variance = 0.5, 0.01
+
+    def exact_cache():
+        cache = KnowledgeCache()
+        cache.merge_exact_pairs([SimilarPair(0, 1, 0.9)])
+        return cache
+
+    def estimated_cache():
+        cache = KnowledgeCache()
+        cache.record(_Eval())
+        return cache
+
+    forwards = exact_cache()
+    forwards.merge(estimated_cache())
+    backwards = estimated_cache()
+    backwards.merge(exact_cache())
+    for merged in (forwards, backwards):
+        assert merged.get((0, 1)).estimate == pytest.approx(0.9)
+        assert merged.get((0, 1)).n_hashes == 0
+
+
+# --------------------------------------------------------------------- #
+# Cross-"process" session resume
+# --------------------------------------------------------------------- #
+
+def test_session_resumes_from_a_reopened_store(store):
+    dataset = seeded_clustered(610, n_rows=40)
+    cold = _session(dataset, store=store)
+    probe = cold.probe(0.7)
+
+    warm = _session(dataset, store=SimilarityStore(store.root))
+    assert warm.resumed_from == "store"
+    assert len(warm.cache) == len(cold.cache)
+    # Sketches restored byte-for-byte, with no rebuild cost.
+    assert warm.sketch_store.build_seconds == 0.0
+    assert np.array_equal(warm.sketch_store.sketches,
+                          cold.sketch_store.sketches)
+    reprobe = warm.probe(0.7)
+    assert reprobe.cached_hash_reuse > 0, "resumed probes must reuse hashes"
+    assert reprobe.pair_count == probe.pair_count
+    assert reprobe.sketch_seconds == 0.0
+
+
+def test_session_resume_respects_configuration_keys(store):
+    dataset = seeded_clustered(611, n_rows=30)
+    _session(dataset, store=store).probe(0.7)
+    other_seed = _session(dataset, store=SimilarityStore(store.root), seed=6)
+    assert other_seed.resumed_from == "fresh", \
+        "a different sketch seed must not inherit incompatible hash state"
+    other_hashes = _session(dataset, store=SimilarityStore(store.root),
+                            n_hashes=32)
+    assert other_hashes.resumed_from == "fresh"
+
+
+def test_appended_dataset_resumes_from_parent_session(store):
+    dataset = seeded_clustered(620, n_rows=40)
+    parent, child = append_split(dataset, 5)
+    parent_session = _session(parent, store=store)
+    parent_session.probe(0.6)
+
+    child_session = _session(child, store=SimilarityStore(store.root))
+    assert child_session.resumed_from == "parent"
+    assert len(child_session.cache) == len(parent_session.cache)
+    # Incremental sketching: identical to a from-scratch build over the child.
+    fresh = _session(child)
+    assert np.array_equal(child_session.sketch_store.sketches,
+                          fresh.sketch_store.sketches)
+    assert child_session.sketch_store.build_seconds == 0.0
+
+    # Probing the child covers the new rows; old-pair knowledge is reused.
+    probe = child_session.probe(0.6)
+    assert probe.cached_hash_reuse > 0
+    expected = fresh.probe(0.6)
+    assert probe.pair_count == expected.pair_count
+
+    # Once the child has its own persisted state, it resumes from itself.
+    again = _session(child, store=SimilarityStore(store.root))
+    assert again.resumed_from == "store"
+
+
+def test_cumulative_graph_reflects_merged_append_state(store):
+    dataset = seeded_clustered(630, n_rows=36)
+    parent, child = append_split(dataset, 6)
+    parent_session = _session(parent, store=store)
+    parent_session.probe(0.5)
+
+    child_session = _session(child, store=SimilarityStore(store.root))
+    child_session.probe(0.5)
+    merged_graph = child_session.cumulative_graph(thresholds=[0.5, 0.7])
+
+    fresh = _session(child)
+    fresh.probe(0.5)
+    fresh_graph = fresh.cumulative_graph(thresholds=[0.5, 0.7])
+
+    for threshold in (0.5, 0.7):
+        merged = merged_graph.estimate(threshold)
+        scratch = fresh_graph.estimate(threshold)
+        # Resumed sessions may hold *more* evidence (deeper posteriors from
+        # the parent's probe), so expected counts agree to a few pairs.
+        assert merged.expected_pairs == pytest.approx(
+            scratch.expected_pairs, rel=0.1, abs=3.0)
+
+
+def test_session_without_store_is_untouched(tmp_path):
+    dataset = seeded_clustered(640, n_rows=30)
+    session = _session(dataset)
+    assert session.store is None
+    assert session.resumed_from == "fresh"
+    session.probe(0.7)
+    assert not list(tmp_path.iterdir()), "no store directory side effects"

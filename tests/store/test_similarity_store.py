@@ -1,0 +1,244 @@
+"""Robustness tests for the persistent similarity store.
+
+The store's contract is "validated or evicted, never trusted": every failure
+mode injected here — flipped payload bytes, truncation, a wrong magic
+string, a schema bump, a key collision — must surface as a clean miss with
+the offending entry deleted, and concurrent multi-process use of one store
+directory must never produce a torn read.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from harness import seeded_clustered
+from repro.similarity import ApssEngine
+from repro.store import SCHEMA_VERSION, SimilarityStore
+from repro.store.similarity_store import _MAGIC
+
+
+@pytest.fixture
+def store(tmp_path) -> SimilarityStore:
+    return SimilarityStore(tmp_path / "store")
+
+
+KEY = ("fingerprint", "cosine", "exact-blocked", ())
+
+
+def _entry_path(store: SimilarityStore, kind: str = "pairs",
+                key: tuple = KEY) -> Path:
+    return store._path(kind, key)
+
+
+def _write_sample(store: SimilarityStore, key: tuple = KEY):
+    dataset = seeded_clustered(301, n_rows=30)
+    result = ApssEngine().search(dataset, 0.3)
+    store.save_result(key, result)
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Round trips
+# --------------------------------------------------------------------- #
+
+def test_engine_result_round_trip(store):
+    saved = _write_sample(store)
+    loaded = store.load_result(KEY)
+    assert loaded is not None
+    assert loaded.threshold == saved.threshold
+    assert loaded.backend == saved.backend
+    assert loaded.n_rows == saved.n_rows
+    assert loaded.exact is saved.exact
+    assert [p.as_tuple() for p in loaded.pairs] == \
+        [p.as_tuple() for p in saved.pairs]
+    assert loaded.seconds == 0.0  # restored results report no kernel time
+
+
+def test_missing_entry_is_a_plain_miss(store):
+    assert store.load_result(("nothing", "here", "at-all", ())) is None
+    assert (store.hits, store.misses, store.evictions) == (0, 1, 0)
+
+
+def test_raw_entry_round_trip_preserves_arrays_and_meta(store):
+    arrays = {"a": np.arange(7, dtype=np.int64), "b": np.linspace(0, 1, 5)}
+    store.put("reducers", KEY, arrays, {"kind": "histogram", "n": 7})
+    loaded = store.get("reducers", KEY)
+    assert loaded is not None
+    got_arrays, meta = loaded
+    assert np.array_equal(got_arrays["a"], arrays["a"])
+    assert np.array_equal(got_arrays["b"], arrays["b"])
+    assert meta == {"kind": "histogram", "n": 7}
+
+
+def test_reducer_state_round_trip(store):
+    from repro.similarity import HistogramReducer
+
+    reducer = HistogramReducer(np.linspace(0, 1, 11))
+    reducer.update(np.array([0.05, 0.15, 0.95]))
+    store.save_reducer(KEY, reducer.state())
+    restored = HistogramReducer.from_state(store.load_reducer(KEY))
+    assert np.array_equal(restored.counts, reducer.counts)
+    assert np.array_equal(restored.edges, reducer.edges)
+
+
+def test_sketch_round_trip(store):
+    sketches = np.arange(24, dtype=np.int64).reshape(6, 4)
+    store.save_sketches(KEY, sketches)
+    assert np.array_equal(store.load_sketches(KEY), sketches)
+
+
+def test_overwrite_replaces_entry(store):
+    dataset = seeded_clustered(302, n_rows=25)
+    lo = ApssEngine().search(dataset, 0.2)
+    hi = ApssEngine().search(dataset, 0.6)
+    store.save_result(KEY, hi)
+    store.save_result(KEY, lo)
+    assert store.load_result(KEY).threshold == lo.threshold
+    assert store.entry_count("pairs") == 1
+
+
+# --------------------------------------------------------------------- #
+# Corruption and incompatibility: evict, never trust
+# --------------------------------------------------------------------- #
+
+def _corrupt(path: Path, mutate) -> None:
+    raw = bytearray(path.read_bytes())
+    mutate(raw)
+    path.write_bytes(bytes(raw))
+
+
+def test_corrupted_payload_is_evicted(store):
+    _write_sample(store)
+    path = _entry_path(store)
+    # Flip bits near the end of the file: inside the checksummed payload.
+    _corrupt(path, lambda raw: raw.__setitem__(len(raw) - 10,
+                                               raw[len(raw) - 10] ^ 0xFF))
+    assert store.load_result(KEY) is None
+    assert store.evictions == 1
+    assert not path.exists(), "corrupt entries must be deleted"
+    # The slot is reusable afterwards.
+    _write_sample(store)
+    assert store.load_result(KEY) is not None
+
+
+@pytest.mark.parametrize("mutate, reason", [
+    (lambda raw: raw.__delitem__(slice(len(raw) - 20, None)), "truncated"),
+    (lambda raw: raw.__setitem__(slice(0, 5), b"BOGUS"), "bad magic"),
+    (lambda raw: raw.__setitem__(slice(0, len(raw)), b""), "emptied"),
+])
+def test_damaged_entries_are_evicted(store, mutate, reason):
+    _write_sample(store)
+    path = _entry_path(store)
+    _corrupt(path, mutate)
+    assert store.load_result(KEY) is None, reason
+    assert not path.exists(), reason
+    assert store.evictions == 1
+
+
+def test_schema_version_mismatch_is_evicted(store):
+    _write_sample(store)
+    path = _entry_path(store)
+    raw = path.read_bytes()
+    header_end = raw.index(b"\n", len(_MAGIC))
+    header = json.loads(raw[len(_MAGIC):header_end])
+    assert header["schema"] == SCHEMA_VERSION
+    header["schema"] = SCHEMA_VERSION + 1
+    path.write_bytes(_MAGIC + json.dumps(header).encode() + b"\n"
+                     + raw[header_end + 1:])
+    assert store.load_result(KEY) is None
+    assert store.evictions == 1
+    assert not path.exists(), "incompatible schema versions must be evicted"
+
+
+def test_key_mismatch_is_evicted(store):
+    """An entry whose recorded key differs from the lookup key (filename
+    collision, manual copy) is stale by definition: evict."""
+    _write_sample(store)
+    other = ("other-fingerprint", "cosine", "exact-blocked", ())
+    other_path = _entry_path(store, key=other)
+    other_path.parent.mkdir(parents=True, exist_ok=True)
+    other_path.write_bytes(_entry_path(store).read_bytes())
+    assert store.load_result(other) is None
+    assert store.evictions == 1
+    assert not other_path.exists()
+    # The original, untouched entry still validates.
+    assert store.load_result(KEY) is not None
+
+
+def test_eviction_never_raises_when_file_already_gone(store):
+    _write_sample(store)
+    path = _entry_path(store)
+    _corrupt(path, lambda raw: raw.__setitem__(len(raw) - 1, 0))
+    path.unlink()  # a concurrent process evicted first
+    assert store.load_result(KEY) is None
+
+
+# --------------------------------------------------------------------- #
+# Concurrent two-process access to one store directory
+# --------------------------------------------------------------------- #
+
+_WORKER = """
+import sys
+import numpy as np
+from repro.store import SimilarityStore
+
+root, worker_id, n_entries = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+store = SimilarityStore(root)
+# Interleave writes and reads against keys both workers hammer.
+for round_ in range(n_entries):
+    key = ("shared", round_ % 5)
+    payload = np.full(64, worker_id * 1000 + round_, dtype=np.int64)
+    store.put("reducers", key, {"values": payload},
+              {"worker": worker_id, "round": round_})
+    loaded = store.get("reducers", key)
+    if loaded is not None:
+        arrays, meta = loaded
+        values = arrays["values"]
+        # Torn reads are the failure mode: a validated entry must be one
+        # worker's complete payload, never a mixture.
+        assert len(set(values.tolist())) == 1, "torn entry observed"
+        assert values[0] == meta["worker"] * 1000 + meta["round"]
+print("ok", store.hits + store.misses)
+"""
+
+
+def test_two_processes_share_one_store_directory(tmp_path):
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).parents[1])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    root = tmp_path / "shared-store"
+    procs = [
+        subprocess.Popen([sys.executable, "-c", _WORKER, str(root),
+                          str(worker), "40"],
+                         env=env, stdout=subprocess.PIPE,
+                         stderr=subprocess.PIPE, text=True)
+        for worker in (1, 2)]
+    for proc in procs:
+        out, err = proc.communicate(timeout=120)
+        assert proc.returncode == 0, err
+        assert out.startswith("ok")
+    # Whatever survived the races must still validate from a third opener.
+    store = SimilarityStore(root)
+    for slot in range(5):
+        loaded = store.get("reducers", ("shared", slot))
+        assert loaded is not None
+        arrays, meta = loaded
+        assert len(set(arrays["values"].tolist())) == 1
+    assert store.evictions == 0
+
+
+def test_from_env_reads_the_env_var(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_APSS_STORE", raising=False)
+    assert SimilarityStore.from_env() is None
+    monkeypatch.setenv("REPRO_APSS_STORE", str(tmp_path / "env-store"))
+    store = SimilarityStore.from_env()
+    assert store is not None
+    assert store.root == tmp_path / "env-store"
