@@ -103,14 +103,21 @@ def test_cold_vs_warm_store_incremental_reprobe(record, cold_probe, tmp_path,
 
 @pytest.mark.slow
 def test_append_delta_beats_full_recompute(record):
-    """A 1% append to a 5000-row dataset: delta path vs full recompute.
+    """A 1% append to a 5000-row dataset: delta paths vs full recompute.
 
     The delta pass computes only the new-vs-all cross block (O(new x total))
     and must return pair sets identical to a from-scratch quadratic search
-    on the concatenated dataset — decisively faster.
+    on the concatenated dataset — decisively faster.  The sharded columns
+    time the same ingest fanned over the worker pool (shared-memory
+    transport): the hard bound is the 2x-vs-full-recompute floor for every
+    worker count; beating the single-process delta additionally requires
+    actual cores, so that comparison is only asserted on multicore machines
+    and recorded everywhere.
     """
+    import os
+
     from repro.datasets import make_clustered_vectors
-    from repro.similarity import ApssEngine
+    from repro.similarity import ApssEngine, reset_shared_pools
     from repro.store import DeltaApssBackend
     from repro.utils.timers import Stopwatch
 
@@ -125,24 +132,59 @@ def test_append_delta_beats_full_recompute(record):
     engine = ApssEngine()
     base = engine.search(parent, threshold)    # the already-paid-for sweep
 
-    watch = Stopwatch()
-    watch.start()
-    extended = DeltaApssBackend().extend(base, child)
-    delta_seconds = watch.stop()
+    def timed_extend(backend):
+        watch = Stopwatch()
+        watch.start()
+        extended = backend.extend(base, child)
+        return extended, watch.stop()
+
+    # Best-of-two timings everywhere: single scheduler hiccups on contended
+    # CI runners must not decide the sharded-vs-single comparison below.
+    single_backend = DeltaApssBackend()
+    extended, first_seconds = timed_extend(single_backend)
+    delta_seconds = min(first_seconds, timed_extend(single_backend)[1])
+    sharded_seconds = {}
+    for n_workers in (1, 2):
+        # Warm the pool (and the published segments) outside the clock, as a
+        # long-lived ingest deployment would run.
+        sharded_backend = DeltaApssBackend(n_workers=n_workers)
+        sharded_result, _ = timed_extend(sharded_backend)
+        assert sharded_result.pair_set() == extended.pair_set()
+        seconds = min(timed_extend(sharded_backend)[1],
+                      timed_extend(sharded_backend)[1])
+        sharded_seconds[n_workers] = seconds
 
     full = engine.search(dataset, threshold)
     record("append_delta_vs_full_recompute", {
         "n_rows": dataset.n_rows,
         "appended_rows": child.parent_delta.n_new,
         "threshold": threshold,
+        "cpu_count": os.cpu_count(),
         "delta_seconds": delta_seconds,
+        "sharded_delta_seconds": {f"{w}w": s
+                                  for w, s in sharded_seconds.items()},
         "full_seconds": full.seconds,
         "speedup": full.seconds / delta_seconds if delta_seconds else None,
+        "sharded_speedup_vs_full": {
+            f"{w}w": full.seconds / s if s else None
+            for w, s in sharded_seconds.items()},
         "pairs": extended.pair_count(),
     })
+    reset_shared_pools()
 
     assert extended.pair_set() == full.pair_set()
     # "Beats" with a hard margin: O(new x total) vs O(total^2) at 1% should
     # be far more than 2x even on noisy CI machines.
     assert delta_seconds * 2 < full.seconds, (
         f"delta path took {delta_seconds:.3f}s vs full {full.seconds:.3f}s")
+    for n_workers, seconds in sharded_seconds.items():
+        assert seconds * 2 < full.seconds, (
+            f"sharded ingest @{n_workers}w took {seconds:.3f}s vs full "
+            f"{full.seconds:.3f}s")
+    if (os.cpu_count() or 1) >= 2:
+        # With real cores the fanned cross block must beat the in-process
+        # delta; on a single-core box the ladder inverts (pure IPC tax), so
+        # the numbers are recorded but not asserted.
+        assert sharded_seconds[2] < delta_seconds, (
+            f"sharded ingest @2w ({sharded_seconds[2]:.3f}s) did not beat "
+            f"the single-process delta ({delta_seconds:.3f}s)")

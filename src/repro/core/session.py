@@ -232,6 +232,36 @@ class PlasmaSession:
         self._store = None
 
     # ------------------------------------------------------------------ #
+    # Mid-session ingest
+    # ------------------------------------------------------------------ #
+    def extend_dataset(self, rows, labels=None,
+                       name: str | None = None) -> VectorDataset:
+        """Append *rows* to the session's dataset without losing knowledge.
+
+        The in-session twin of resuming an appended dataset from a parent
+        session: the dataset is replaced by ``dataset.append_rows(rows)``,
+        the knowledge cache is kept (per-pair hash state only involves old
+        rows, which an append leaves untouched) and the cached sketch store
+        is invalidated — with a persistent store attached, the next probe
+        persists the pre-append session state under the parent fingerprint
+        and rebuilds sketches incrementally, sketching only the new rows.
+        Returns the new dataset (whose ``parent_delta`` ties it to the old
+        content fingerprint, so exact floors held elsewhere can be
+        delta-extended instead of recomputed).
+        """
+        if self.store is not None:
+            # Make sure the parent's sketches/knowledge are on disk before
+            # the session identity moves to the child fingerprint: the
+            # incremental sketch path reads them back by parent fingerprint.
+            _ = self.sketch_store
+            self._persist_session()
+        self.dataset = self.dataset.append_rows(rows, labels=labels, name=name)
+        self.invalidate_sketches()
+        if self.store is not None:
+            self._persist_session()
+        return self.dataset
+
+    # ------------------------------------------------------------------ #
     # Probing
     # ------------------------------------------------------------------ #
     def _candidates(self) -> list[tuple[int, int]]:

@@ -37,10 +37,12 @@ from repro.similarity.backends import (
     get_backend_class,
     iter_similarity_blocks_sharded,
     make_backend,
+    reset_shared_pools,
 )
 from repro.similarity.partition import (
     BlockShard,
     partition_blocks,
+    partition_delta_blocks,
     resolve_worker_count,
 )
 
@@ -72,8 +74,10 @@ __all__ = [
     "make_backend",
     "BlockShard",
     "partition_blocks",
+    "partition_delta_blocks",
     "resolve_worker_count",
     "InlineShardExecutor",
     "ShardExecutionError",
     "iter_similarity_blocks_sharded",
+    "reset_shared_pools",
 ]

@@ -29,6 +29,8 @@ from repro.similarity.backends.sharded import (
     ShardedBlockedBackend,
     ShardExecutionError,
     iter_similarity_blocks_sharded,
+    reset_shared_pools,
+    run_delta_shards,
 )
 
 __all__ = [
@@ -46,4 +48,6 @@ __all__ = [
     "ShardExecutionError",
     "InlineShardExecutor",
     "iter_similarity_blocks_sharded",
+    "reset_shared_pools",
+    "run_delta_shards",
 ]

@@ -80,9 +80,11 @@ class ApssBackend(ABC):
         return [{}]
 
     def supports(self, measure: str) -> bool:
+        """Whether this backend can evaluate *measure*."""
         return self.measures is None or measure in self.measures
 
     def check_measure(self, measure: str) -> None:
+        """Raise ``ValueError`` when *measure* is outside this backend's set."""
         if not self.supports(measure):
             raise ValueError(
                 f"backend {self.name!r} does not support measure {measure!r}; "

@@ -83,6 +83,7 @@ class BayesLshBackend(ApssBackend):
     # ------------------------------------------------------------------ #
     def search(self, dataset: VectorDataset, threshold: float,
                measure: str = "cosine") -> BackendOutput:
+        """Sketch the dataset, then BayesLSH-verify the candidate pairs."""
         self.check_measure(measure)
         if dataset.n_rows < 2:
             return BackendOutput(pairs=[], n_candidates=0)

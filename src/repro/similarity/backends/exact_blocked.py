@@ -64,6 +64,7 @@ class ExactBlockedBackend(ApssBackend):
     # ------------------------------------------------------------------ #
     def search(self, dataset: VectorDataset, threshold: float,
                measure: str = "cosine") -> BackendOutput:
+        """Extract pairs at or above *threshold* from streamed dense slabs."""
         self.check_measure(measure)
         n = dataset.n_rows
         if n < 2:

@@ -25,6 +25,7 @@ class ExactLoopBackend(ApssBackend):
 
     def search(self, dataset: VectorDataset, threshold: float,
                measure: str = "cosine") -> BackendOutput:
+        """Score every pair with the registered measure function, one by one."""
         func = get_measure(measure)
         rows = [dataset.row(i) for i in range(dataset.n_rows)]
         pairs: list[SimilarPair] = []

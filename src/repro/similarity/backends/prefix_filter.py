@@ -47,6 +47,7 @@ class PrefixFilterBackend(ApssBackend):
 
     def search(self, dataset: VectorDataset, threshold: float,
                measure: str = "cosine") -> BackendOutput:
+        """Prefix-prune hopeless pairs, exactly verify the survivors."""
         self.check_measure(measure)
         n = dataset.n_rows
         total_pairs = n * (n - 1) // 2

@@ -10,6 +10,16 @@ runs the same slab kernel as ``exact-blocked``
 columns its shard actually extracts pairs from, so a 4-worker pass does about
 half the scalar work of the full-width kernel on top of the parallelism.
 
+Transport: multi-worker passes move data through
+:mod:`repro.similarity.shm` — the prepared CSR arrays are published to
+shared-memory segments keyed by dataset fingerprint (workers attach instead
+of unpickling a per-task payload) and streamed slabs come back through a
+shared-memory ring instead of the result pipe.  The pickle payload remains
+as the in-process fast path (``n_workers=1``) and the automatic fallback
+when shared memory is unavailable; segment lifecycle is tied to the shared
+pools (evicting or rebuilding a pool releases every published segment, as
+does interpreter exit).
+
 Correctness under nondeterministic scheduling is the contract:
 
 * results are **order-canonical** — merged pairs are sorted by
@@ -18,33 +28,43 @@ Correctness under nondeterministic scheduling is the contract:
 * a shard that raises mid-stream **surfaces** as
   :class:`ShardExecutionError` (outstanding shards are cancelled) — never a
   hang, never silently dropped pairs;
-* everything a worker needs travels in a picklable payload of CSR arrays and
-  the worker functions are module-level, so spawn-start platforms (Windows,
-  macOS) work identically to fork.
+* everything a worker needs travels in a picklable payload (shared-memory
+  descriptor or raw CSR arrays) and the worker functions are module-level,
+  so spawn-start platforms (Windows, macOS) work identically to fork.
 
 The streamed-slab contract is sharded too: :func:`iter_similarity_blocks_sharded`
 computes full-width slabs in worker processes and yields them in row order
 behind a bounded reorder window, so ``CachedApssEngine``, the streaming
-reducers and every graph/growth/LAM consumer work unchanged.
+reducers and every graph/growth/LAM consumer work unchanged.  The same
+worker pool also serves *ingest*: :func:`run_delta_shards` fans the
+``Δn x n`` append cross block of a :class:`~repro.datasets.vectors.DatasetDelta`
+over the pool and merges shard-local pair chunks and reducer state (see
+:class:`repro.store.delta.DeltaApssBackend`).
 """
 
 from __future__ import annotations
 
 import atexit
+import os
 from collections import deque
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Iterator
 
 import numpy as np
 
-from repro.datasets.vectors import VectorDataset
+from repro.datasets.vectors import DatasetDelta, VectorDataset
+from repro.similarity import shm
 from repro.similarity.backends.base import (ApssBackend, BackendOutput,
                                             register_backend)
 from repro.similarity.partition import (BlockShard, block_ranges,
-                                        partition_blocks, resolve_worker_count)
+                                        partition_blocks,
+                                        partition_delta_blocks,
+                                        resolve_worker_count)
 from repro.similarity.streaming import (DEFAULT_MEMORY_BUDGET_MB,
-                                        STREAMING_MEASURES, compute_block_slab,
-                                        prepared_csr, resolve_block_rows)
+                                        STREAMING_MEASURES, HistogramReducer,
+                                        SelectionSketch, TopKReducer,
+                                        compute_block_slab, prepared_csr,
+                                        resolve_block_rows)
 from repro.similarity.types import SimilarPair
 
 __all__ = [
@@ -53,6 +73,8 @@ __all__ = [
     "InlineShardExecutor",
     "ShardedBlockedBackend",
     "iter_similarity_blocks_sharded",
+    "run_delta_shards",
+    "reset_shared_pools",
 ]
 
 
@@ -80,6 +102,7 @@ class InlineShardExecutor:
     """
 
     def submit(self, fn, /, *args, **kwargs) -> Future:
+        """Run *fn* immediately and return an already-resolved future."""
         future: Future = Future()
         if future.set_running_or_notify_cancel():
             try:
@@ -89,42 +112,69 @@ class InlineShardExecutor:
         return future
 
     def shutdown(self, wait: bool = True, *, cancel_futures: bool = False) -> None:
-        pass
+        """No-op (nothing runs after ``submit`` returns)."""
 
 
 # --------------------------------------------------------------------- #
 # Worker side: module-level, picklable, spawn-safe
 # --------------------------------------------------------------------- #
 
-def _shard_payload(dataset: VectorDataset, measure: str) -> tuple:
-    """Everything a worker needs, as plain arrays (spawn/pickle friendly).
+def _shard_payload(dataset: VectorDataset, measure: str,
+                   use_shared_memory: bool) -> tuple:
+    """The per-task dataset payload: a shared-memory descriptor when possible.
 
-    The dataset fingerprint is computed once here, parent-side, and rides
-    along as the workers' preparation-memo key.
+    With *use_shared_memory* the CSR arrays are published once (keyed by the
+    dataset fingerprint, LRU-capped) and the payload shrinks to a descriptor
+    of segment names; otherwise — in-process executors, unsupported
+    platforms, a full ``/dev/shm`` — the arrays ride along as before.  The
+    fingerprint is computed once here, parent-side, and doubles as the
+    workers' preparation-memo key.
     """
-    return (dataset.fingerprint(), dataset.indptr, dataset.indices,
+    fingerprint = dataset.fingerprint()
+    if use_shared_memory:
+        descriptor = shm.publish_dataset(dataset, fingerprint)
+        if descriptor is not None:
+            return ("shm", descriptor, measure)
+    return ("raw", fingerprint, dataset.indptr, dataset.indices,
             dataset.data, dataset.n_features, measure)
 
 
 #: Per-process memo of the last prepared (scaled CSR, CSC transpose, sizes):
 #: a stream submits one task per block, so without this every block would
 #: re-run the O(nnz) scaling + transpose.  One entry is enough — a worker
-#: serves one (dataset, measure) at a time — and keeps memory bounded.
+#: serves one (dataset, measure) at a time — and keeps memory bounded.  For
+#: shared-memory payloads the attached segments are kept in the entry so the
+#: mappings outlive the attach call; they are dropped (and reclaimed by the
+#: OS once unmapped) when the memo moves to the next dataset.
 _PREP_MEMO: dict[tuple, tuple] = {}
 
 
 def _prepare(payload: tuple):
-    fingerprint, indptr, indices, data, n_features, measure = payload
-    key = (fingerprint, measure)
-    prepared = _PREP_MEMO.get(key)
-    if prepared is None:
-        dataset = VectorDataset(indptr, indices, data, n_features)
-        matrix = prepared_csr(dataset, measure)
-        prepared = (matrix, matrix.T.tocsc(),
-                    np.diff(indptr).astype(np.float64), measure)
-        _PREP_MEMO.clear()
-        _PREP_MEMO[key] = prepared
-    return prepared
+    """Worker-side: resolve a payload into ``(csr, cscT, sizes, measure)``."""
+    if payload[0] == "shm":
+        _, descriptor, measure = payload
+        key = (descriptor.fingerprint, measure)
+        prepared = _PREP_MEMO.get(key)
+        if prepared is None:
+            dataset, segments = shm.attach_dataset(descriptor)
+            matrix = prepared_csr(dataset, measure)
+            prepared = (matrix, matrix.T.tocsc(),
+                        np.diff(dataset.indptr).astype(np.float64), measure,
+                        segments)
+            _PREP_MEMO.clear()
+            _PREP_MEMO[key] = prepared
+    else:
+        _, fingerprint, indptr, indices, data, n_features, measure = payload
+        key = (fingerprint, measure)
+        prepared = _PREP_MEMO.get(key)
+        if prepared is None:
+            dataset = VectorDataset(indptr, indices, data, n_features)
+            matrix = prepared_csr(dataset, measure)
+            prepared = (matrix, matrix.T.tocsc(),
+                        np.diff(indptr).astype(np.float64), measure, None)
+            _PREP_MEMO.clear()
+            _PREP_MEMO[key] = prepared
+    return prepared[:4]
 
 
 def _search_shard(payload: tuple, shard: BlockShard, threshold: float,
@@ -165,13 +215,91 @@ def _search_shard(payload: tuple, shard: BlockShard, threshold: float,
 
 
 def _stream_block(payload: tuple, start: int, stop: int,
-                  fail: bool = False) -> np.ndarray:
-    """Compute one full-width similarity slab (the streaming contract)."""
+                  fail: bool = False, slot_name: str | None = None):
+    """Compute one full-width similarity slab (the streaming contract).
+
+    With *slot_name* the slab is written into that shared-memory ring slot
+    and only its shape is returned through the result pipe; without it the
+    slab itself is returned (pickled — the in-process and fallback path).
+    """
     if fail:
         raise InjectedShardFault(
             f"injected fault streaming block [{start}, {stop})")
     matrix, transposed, sizes, measure = _prepare(payload)
-    return compute_block_slab(matrix, transposed, sizes, start, stop, measure)
+    slab = compute_block_slab(matrix, transposed, sizes, start, stop, measure)
+    if slot_name is not None:
+        return shm.write_slab(slot_name, slab)
+    return slab
+
+
+def _make_local_reducers(reducer_specs: dict | None) -> dict:
+    """Build fresh shard-local reducers from a picklable spec dict.
+
+    Specs: ``histogram``/``selection`` map to their bin-edge arrays,
+    ``top_k`` to ``k``.  Workers update these local reducers and ship their
+    ``state()`` back; the parent folds the states into the caller's reducers
+    through the commutative ``merge()`` seam.
+    """
+    reducers: dict = {}
+    if not reducer_specs:
+        return reducers
+    if "histogram" in reducer_specs:
+        reducers["histogram"] = HistogramReducer(reducer_specs["histogram"])
+    if "selection" in reducer_specs:
+        reducers["selection"] = SelectionSketch(reducer_specs["selection"])
+    if "top_k" in reducer_specs:
+        reducers["top_k"] = TopKReducer(int(reducer_specs["top_k"]))
+    return reducers
+
+
+def _delta_shard(payload: tuple, shard: BlockShard, threshold: float | None,
+                 reducer_specs: dict | None = None, fail: bool = False):
+    """Score one delta-ingest shard: appended rows vs every column ``j < row``.
+
+    Returns ``(first, second, similarity, reducer_states)`` where the pair
+    arrays hold every new pair at or above *threshold* (empty when
+    *threshold* is ``None`` — the reducers-only mode) and *reducer_states*
+    maps reducer kinds to their shard-local ``state()`` payloads.  Each new
+    pair is visited exactly once with the smaller id first, matching
+    :func:`repro.store.delta.delta_pairs`.  ``fail=True`` raises
+    :class:`InjectedShardFault` before the final block, mid-stream.
+    """
+    matrix, transposed, sizes, measure = _prepare(payload)
+    reducers = _make_local_reducers(reducer_specs)
+    out_i: list[np.ndarray] = []
+    out_j: list[np.ndarray] = []
+    out_v: list[np.ndarray] = []
+    for index, (start, stop) in enumerate(shard.blocks):
+        if fail and index == len(shard.blocks) - 1:
+            raise InjectedShardFault(
+                f"injected fault in delta shard {shard.shard_id} at block "
+                f"[{start}, {stop})")
+        slab = compute_block_slab(matrix, transposed, sizes, start, stop,
+                                  measure)
+        row_ids = np.arange(start, stop)
+        col_ids = np.arange(slab.shape[1])
+        new_pair = col_ids[None, :] < row_ids[:, None]
+        if reducers:
+            local_i, local_j = np.nonzero(new_pair)
+            values = slab[local_i, local_j]
+            if "histogram" in reducers:
+                reducers["histogram"].update(values)
+            if "selection" in reducers:
+                reducers["selection"].update(values)
+            if "top_k" in reducers:
+                reducers["top_k"].update(local_j, row_ids[local_i], values)
+        if threshold is not None:
+            keep = new_pair & (slab >= threshold)
+            local_i, local_j = np.nonzero(keep)
+            out_i.append(local_j)                   # first = smaller id
+            out_j.append(row_ids[local_i])          # second = appended row
+            out_v.append(slab[local_i, local_j])
+    states = {kind: reducer.state() for kind, reducer in reducers.items()}
+    if not out_i:
+        empty = np.empty(0)
+        return (empty.astype(np.int64), empty.astype(np.int64), empty, states)
+    return (np.concatenate(out_i), np.concatenate(out_j),
+            np.concatenate(out_v), states)
 
 
 # --------------------------------------------------------------------- #
@@ -181,13 +309,33 @@ def _stream_block(payload: tuple, start: int, stop: int,
 _POOLS: dict[int, ProcessPoolExecutor] = {}
 
 
+def _disown_pools_after_fork() -> None:  # pragma: no cover - via children
+    """Drop inherited pool handles in a forked child.
+
+    An inherited ``ProcessPoolExecutor`` is unusable (its manager thread did
+    not survive the fork) but looks healthy, so a child reusing it would
+    enqueue tasks that are never dispatched — a silent hang.  Children start
+    poolless and build their own on first use.
+    """
+    _POOLS.clear()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_disown_pools_after_fork)
+
+
 def _shared_pool(n_workers: int) -> ProcessPoolExecutor:
     pool = _POOLS.get(n_workers)
     if pool is not None and getattr(pool, "_broken", False):
         # A worker died abnormally (OOM kill, segfault): the pool is
         # permanently broken.  Evict and rebuild so one transient fault
-        # doesn't condemn every later search at this worker count.
+        # doesn't condemn every later search at this worker count — and
+        # release the published dataset segments its workers were attached
+        # to, so a rebuilt pool starts from a clean /dev/shm.  Rings are
+        # deliberately spared: they belong to live streams (possibly on
+        # other, healthy pools), not to this one.
         pool.shutdown(wait=False, cancel_futures=True)
+        shm.release_datasets()
         pool = None
     if pool is None:
         pool = ProcessPoolExecutor(max_workers=n_workers)
@@ -195,11 +343,51 @@ def _shared_pool(n_workers: int) -> ProcessPoolExecutor:
     return pool
 
 
+def reset_shared_pools(wait: bool = False) -> None:
+    """Shut down every shared pool and release all shared-memory segments.
+
+    The explicit lifecycle hook: deployments (and tests) call this to prove
+    nothing leaks — after it returns, no ``/dev/shm`` entry created by this
+    process remains.  The next sharded search transparently builds a fresh
+    pool and republishes what it needs.
+
+    ``wait=True`` additionally guarantees quiescence: every worker process
+    is joined, and one that outlives a grace period is killed.  That kill
+    matters — executor shutdown can leave a worker stuck on the call-queue
+    wakeup race (observed upstream in CPython), and such a worker would
+    otherwise block this process's exit joins forever.  Use ``wait=True``
+    before ``fork()``-ing or handing the process to code that must not
+    inherit executor threads.
+    """
+    pools = list(_POOLS.values())
+    _POOLS.clear()
+    # Snapshot worker handles before shutdown mutates the executor's
+    # internals (the _processes mapping does not survive shutdown intact).
+    workers = []
+    for pool in pools:
+        processes = getattr(pool, "_processes", None)
+        if processes:
+            workers.extend(list(processes.values()))
+        pool.shutdown(wait=False, cancel_futures=True)
+    if wait:
+        import time
+
+        deadline = time.monotonic() + 10.0
+        for process in workers:
+            process.join(max(0.1, deadline - time.monotonic()))
+        for process in workers:
+            if process.is_alive():
+                process.kill()
+                process.join(5.0)
+    shm.release_all()
+
+
 @atexit.register
 def _shutdown_pools() -> None:  # pragma: no cover - interpreter teardown
-    for pool in _POOLS.values():
-        pool.shutdown(wait=False, cancel_futures=True)
-    _POOLS.clear()
+    # wait=True: when shutdown leaves a worker stuck on the call-queue race,
+    # killing it here is what lets the interpreter's later exit joins
+    # (multiprocessing and concurrent.futures run after atexit) complete.
+    reset_shared_pools(wait=True)
 
 
 def _resolve_executor(n_workers: int, executor_factory):
@@ -238,6 +426,17 @@ def _gather(ordered_futures, *, owned_executor=None):
                 block=tuple(tag)) from exc
 
 
+def _canonical_pair_list(chunks) -> list[SimilarPair]:
+    """Merge per-shard ``(i, j, v)`` chunks into one ``(first, second)``-sorted list."""
+    all_i = np.concatenate([c[0] for c in chunks])
+    all_j = np.concatenate([c[1] for c in chunks])
+    all_v = np.concatenate([c[2] for c in chunks])
+    order = np.lexsort((all_j, all_i))
+    return [SimilarPair(int(i), int(j), float(v))
+            for i, j, v in zip(all_i[order].tolist(), all_j[order].tolist(),
+                               all_v[order].tolist())]
+
+
 @register_backend
 class ShardedBlockedBackend(ApssBackend):
     """Multi-process sharding of the exact blocked kernel.
@@ -262,6 +461,10 @@ class ShardedBlockedBackend(ApssBackend):
         ``callable(n_workers) -> executor`` override used by the test harness
         (deterministic shard-order replay) and available for custom pools.
         Factory-made executors are shut down after each search.
+    use_shared_memory:
+        Whether multi-worker passes move the CSR payload through shared
+        memory (default).  Purely a transport choice — results are
+        bit-identical either way — so it lives in ``execution_options``.
     inject_shard_fault:
         Fault-injection hook: the shard with this id raises
         :class:`InjectedShardFault` mid-stream.  Exists so the failure path
@@ -276,7 +479,7 @@ class ShardedBlockedBackend(ApssBackend):
     #: ``inject_shard_fault`` is deliberately NOT here: it changes the
     #: outcome (the search raises), so a cached sweep must not swallow it.
     execution_options = ("n_workers", "shards_per_worker", "partition_strategy",
-                         "executor_factory")
+                         "executor_factory", "use_shared_memory")
 
     def __init__(self, n_workers: int | None = None,
                  block_rows: int | None = None,
@@ -284,6 +487,7 @@ class ShardedBlockedBackend(ApssBackend):
                  shards_per_worker: int = 2,
                  partition_strategy: str = "striped",
                  executor_factory=None,
+                 use_shared_memory: bool = True,
                  inject_shard_fault: int | None = None) -> None:
         if block_rows is not None and block_rows <= 0:
             raise ValueError("block_rows must be positive")
@@ -297,14 +501,21 @@ class ShardedBlockedBackend(ApssBackend):
         self.shards_per_worker = int(shards_per_worker)
         self.partition_strategy = partition_strategy
         self.executor_factory = executor_factory
+        self.use_shared_memory = bool(use_shared_memory)
         self.inject_shard_fault = inject_shard_fault
         # Validate eagerly so typos fail at construction, not mid-search.
         partition_blocks(2, 1, 1, strategy=partition_strategy)
 
     @classmethod
     def parity_variants(cls) -> list[dict]:
-        """Parity-check the scheduling seams: inline, 2- and 4-worker pools."""
-        return [{"n_workers": 1}, {"n_workers": 2}, {"n_workers": 4}]
+        """Parity-check the scheduling seams: worker counts and transports.
+
+        Inline, 2- and 4-worker pools over the shared-memory transport, plus
+        a 2-worker pass with the transport disabled — both payload paths
+        must produce byte-identical pair lists.
+        """
+        return [{"n_workers": 1}, {"n_workers": 2}, {"n_workers": 4},
+                {"n_workers": 2, "use_shared_memory": False}]
 
     def plan(self, n_rows: int) -> list[BlockShard]:
         """The deterministic shard plan for an *n_rows* dataset."""
@@ -317,6 +528,7 @@ class ShardedBlockedBackend(ApssBackend):
     # ------------------------------------------------------------------ #
     def search(self, dataset: VectorDataset, threshold: float,
                measure: str = "cosine") -> BackendOutput:
+        """Find pairs at or above *threshold* by fanning shards over workers."""
         self.check_measure(measure)
         n = dataset.n_rows
         if n < 2:
@@ -329,9 +541,13 @@ class ShardedBlockedBackend(ApssBackend):
             raise ValueError(
                 f"inject_shard_fault={self.inject_shard_fault} is out of "
                 f"range: the plan for {n} rows has {len(shards)} shard(s)")
-        payload = _shard_payload(dataset, measure)
+        payload = _shard_payload(dataset, measure,
+                                 self.use_shared_memory and self.n_workers > 1)
         executor, owned = _resolve_executor(self.n_workers,
                                             self.executor_factory)
+        pinned = payload[0] == "shm" and payload[1].fingerprint
+        if pinned:
+            shm.pin_dataset(pinned)
         try:
             futures = [
                 (shard, executor.submit(
@@ -341,23 +557,19 @@ class ShardedBlockedBackend(ApssBackend):
             chunks = list(_gather(futures,
                                   owned_executor=executor if owned else None))
         finally:
+            if pinned:
+                shm.unpin_dataset(pinned)
             if owned:
                 executor.shutdown(wait=False, cancel_futures=True)
-        all_i = np.concatenate([c[0] for c in chunks])
-        all_j = np.concatenate([c[1] for c in chunks])
-        all_v = np.concatenate([c[2] for c in chunks])
         # Canonical (first, second) order: the merged pair list is identical
         # regardless of shard layout or completion order, so parity checks
         # and cache fingerprints cannot observe the scheduler.
-        order = np.lexsort((all_j, all_i))
-        pairs = [SimilarPair(int(i), int(j), float(v))
-                 for i, j, v in zip(all_i[order].tolist(),
-                                    all_j[order].tolist(),
-                                    all_v[order].tolist())]
+        pairs = _canonical_pair_list(chunks)
         return BackendOutput(
             pairs=pairs, n_candidates=n * (n - 1) // 2,
             details={"n_workers": self.n_workers, "n_shards": len(shards),
                      "partition_strategy": self.partition_strategy,
+                     "shared_memory": payload[0] == "shm",
                      "block_rows": resolve_block_rows(
                          n, self.block_rows, self.memory_budget_mb)})
 
@@ -367,6 +579,7 @@ def iter_similarity_blocks_sharded(
         n_workers: int | None = None, block_rows: int | None = None,
         memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
         executor_factory=None, max_pending: int | None = None,
+        use_shared_memory: bool = True,
         inject_block_fault: int | None = None,
 ) -> Iterator[tuple[range, np.ndarray]]:
     """Sharded drop-in for :func:`repro.similarity.streaming.iter_similarity_blocks`.
@@ -375,7 +588,11 @@ def iter_similarity_blocks_sharded(
     row order: a bounded window (``max_pending``, default ``2 * n_workers``)
     of block tasks is kept in flight and the generator blocks on the
     next-in-order future, so out-of-order completions are absorbed by the
-    window rather than reordering the stream.  A failed block raises
+    window rather than reordering the stream.  Multi-worker streams return
+    their slabs through a shared-memory ring of ``max_pending`` slots (one
+    per in-flight task; each slot is copied out before it can be reused)
+    unless *use_shared_memory* is off or segment creation fails, in which
+    case slabs fall back to pickled returns.  A failed block raises
     :class:`ShardExecutionError` after every earlier block was yielded;
     blocks after the failure are cancelled.  With one worker and no injected
     executor this degrades to the plain in-process generator.
@@ -403,23 +620,121 @@ def iter_similarity_blocks_sharded(
         return
     window = max_pending if max_pending is not None else 2 * n_workers
     window = max(1, int(window))
-    payload = _shard_payload(dataset, measure)
+    use_shm = use_shared_memory and n_workers > 1
+    payload = _shard_payload(dataset, measure, use_shm)
+    ring = None
+    if use_shm and payload[0] == "shm":
+        try:
+            ring = shm.SlabRing(window, rows_per_block * n * 8)
+        except OSError:
+            ring = None  # fall back to pickled slab returns
     executor, owned = _resolve_executor(n_workers, executor_factory)
+    # Pin for the stream's whole lifetime: other datasets published while
+    # this generator is suspended must not LRU-evict its segments.
+    pinned = payload[0] == "shm" and payload[1].fingerprint
+    if pinned:
+        shm.pin_dataset(pinned)
     pending: deque[tuple[tuple[int, int], Future]] = deque()
     next_to_submit = 0
     try:
         while next_to_submit < len(ranges) or pending:
             while next_to_submit < len(ranges) and len(pending) < window:
                 start, stop = ranges[next_to_submit]
+                slot = (ring.slot_name(next_to_submit)
+                        if ring is not None else None)
                 pending.append(((start, stop), executor.submit(
                     _stream_block, payload, start, stop,
-                    next_to_submit == inject_block_fault)))
+                    next_to_submit == inject_block_fault, slot)))
                 next_to_submit += 1
             (start, stop), future = pending.popleft()
-            slab = next(_gather([((start, stop), future)]))
+            result = next(_gather([((start, stop), future)]))
+            if ring is not None:
+                shape = (stop - start, n)
+                if tuple(result) != shape:
+                    raise ShardExecutionError(
+                        f"streamed block [{start}, {stop}) returned shape "
+                        f"{tuple(result)}, expected {shape}",
+                        block=(start, stop))
+                # Consume the slot before the refill loop can reuse it.
+                slab = ring.read(start // rows_per_block, shape)
+            else:
+                slab = result
             yield range(start, stop), slab
     finally:
         for _, future in pending:
             future.cancel()
+        if pinned:
+            shm.unpin_dataset(pinned)
+        if ring is not None:
+            ring.close()
         if owned:
             executor.shutdown(wait=False, cancel_futures=True)
+
+
+def run_delta_shards(child: VectorDataset, delta: DatasetDelta,
+                     threshold: float | None, measure: str, *,
+                     reducer_specs: dict | None = None,
+                     n_workers: int | None = None,
+                     block_rows: int | None = None,
+                     memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
+                     shards_per_worker: int = 2,
+                     partition_strategy: str = "striped",
+                     executor_factory=None,
+                     use_shared_memory: bool = True,
+                     inject_shard_fault: int | None = None,
+                     ) -> tuple[list[SimilarPair], dict[str, list]]:
+    """Fan the ``Δn x n`` append cross block over the shared worker pool.
+
+    The ingest twin of :meth:`ShardedBlockedBackend.search`: the appended
+    row range of *delta* is partitioned by
+    :func:`~repro.similarity.partition.partition_delta_blocks`, each shard
+    scores its blocks against every column ``j < row`` (exactly the new
+    pairs), and the shard results merge canonically.  Returns
+    ``(pairs, states)`` — the new pairs at or above *threshold* in
+    ``(first, second)`` order (empty when *threshold* is ``None``) and, per
+    reducer kind in *reducer_specs*, the list of shard-local ``state()``
+    payloads for the caller to fold in through ``merge()``.  Callers are
+    expected to have validated the delta against the child dataset already
+    (see :class:`repro.store.delta.DeltaApssBackend`).
+    """
+    n_workers = resolve_worker_count(n_workers)
+    rows_per_block = resolve_block_rows(child.n_rows, block_rows,
+                                        memory_budget_mb)
+    shards = partition_delta_blocks(delta.parent_rows, child.n_rows,
+                                    rows_per_block,
+                                    n_workers * shards_per_worker,
+                                    strategy=partition_strategy)
+    states: dict[str, list] = {kind: [] for kind in (reducer_specs or ())}
+    if not shards:
+        return [], states
+    if inject_shard_fault is not None and not (
+            0 <= inject_shard_fault < len(shards)):
+        raise ValueError(
+            f"inject_shard_fault={inject_shard_fault} is out of range: the "
+            f"delta plan has {len(shards)} shard(s)")
+    payload = _shard_payload(child, measure,
+                             use_shared_memory and n_workers > 1)
+    executor, owned = _resolve_executor(n_workers, executor_factory)
+    pinned = payload[0] == "shm" and payload[1].fingerprint
+    if pinned:
+        shm.pin_dataset(pinned)
+    try:
+        futures = [
+            (shard, executor.submit(
+                _delta_shard, payload, shard,
+                None if threshold is None else float(threshold),
+                reducer_specs, shard.shard_id == inject_shard_fault))
+            for shard in shards]
+        chunks = list(_gather(futures,
+                              owned_executor=executor if owned else None))
+    finally:
+        if pinned:
+            shm.unpin_dataset(pinned)
+        if owned:
+            executor.shutdown(wait=False, cancel_futures=True)
+    for *_, shard_states in chunks:
+        for kind, state in shard_states.items():
+            states[kind].append(state)
+    pairs = ([] if threshold is None
+             else _canonical_pair_list([c[:3] for c in chunks]))
+    return pairs, states

@@ -54,6 +54,13 @@ class CachedApssEngine:
         restore them from.  Defaults to the store named by the
         ``REPRO_APSS_STORE`` environment variable (when set); pass
         ``store=False`` to force a purely in-memory cache.
+    delta_workers:
+        Worker processes for automatic delta extensions of appended
+        datasets (see :class:`~repro.store.delta.DeltaApssBackend`).  The
+        default ``1`` runs the cross-block pass in-process; larger values
+        shard it over the same worker pool as ``sharded-blocked``.  Purely
+        an execution choice — extended floors are byte-identical either
+        way.
     backend, **backend_options:
         Convenience constructor arguments for the wrapped engine (mutually
         exclusive with passing *engine*).
@@ -70,7 +77,8 @@ class CachedApssEngine:
 
     def __init__(self, engine: ApssEngine | None = None,
                  backend: str | None = None, max_entries: int = 8,
-                 store=None, **backend_options) -> None:
+                 store=None, delta_workers: int = 1,
+                 **backend_options) -> None:
         if engine is not None and (backend is not None or backend_options):
             raise ValueError("pass either an engine or backend options, not both")
         if max_entries < 1:
@@ -79,6 +87,7 @@ class CachedApssEngine:
             engine = ApssEngine(backend or DEFAULT_BACKEND, **backend_options)
         self.engine = engine
         self.max_entries = int(max_entries)
+        self.delta_workers = int(delta_workers)
         if store is None:
             from repro.store import SimilarityStore
 
@@ -95,6 +104,7 @@ class CachedApssEngine:
     # ------------------------------------------------------------------ #
     @property
     def backend(self) -> str:
+        """The wrapped engine's default backend name."""
         return self.engine.backend
 
     def clear(self) -> None:
@@ -109,12 +119,17 @@ class CachedApssEngine:
         name = backend or self.engine.backend
         # Execution-only options (worker counts, injected executors, ...)
         # change scheduling, never results: strip them so a sweep cached by a
-        # single-worker pass serves a 4-worker probe and vice versa.
-        try:
+        # single-worker pass serves a 4-worker probe and vice versa.  The
+        # declared options are resolved from the registry *at lookup time* —
+        # never captured at construction — so a backend registered after
+        # this cache was built still gets its options stripped, and a name
+        # the registry cannot resolve fails loudly here instead of silently
+        # fragmenting the key space (the search would fail on it anyway).
+        keyed = options
+        if options:
             execution_only = get_backend_class(name).execution_options
-        except KeyError:
-            execution_only = ()
-        keyed = {k: v for k, v in options.items() if k not in execution_only}
+            keyed = {k: v for k, v in options.items()
+                     if k not in execution_only}
         return (fingerprint, measure, name, tuple(sorted(keyed.items())))
 
     def _install(self, key: tuple, result: EngineResult) -> None:
@@ -193,8 +208,8 @@ class CachedApssEngine:
 
         # The key fingerprint equals the dataset's content hash (computed by
         # the caller), which already proves the delta matches the content.
-        extended = DeltaApssBackend().extend(parent, dataset, delta,
-                                             verify_fingerprint=False)
+        extended = DeltaApssBackend(n_workers=self.delta_workers).extend(
+            parent, dataset, delta, verify_fingerprint=False)
         self.delta_extensions += 1
         return extended
 

@@ -53,6 +53,7 @@ class EngineResult:
     details: dict = field(default_factory=dict)
 
     def pair_count(self) -> int:
+        """How many pairs met the threshold."""
         return len(self.pairs)
 
     def pair_set(self) -> set[tuple[int, int]]:
@@ -93,6 +94,7 @@ class ApssEngine:
 
     @staticmethod
     def available_backends() -> list[str]:
+        """Sorted names of every registered backend."""
         return available_backends()
 
     def make_backend(self, backend: str | None = None, **options):
@@ -158,7 +160,8 @@ class ApssEngine:
                 dataset, measure, block_rows=block_rows,
                 memory_budget_mb=memory_budget_mb,
                 n_workers=defaults.get("n_workers"),
-                executor_factory=defaults.get("executor_factory"))
+                executor_factory=defaults.get("executor_factory"),
+                use_shared_memory=defaults.get("use_shared_memory", True))
         return iter_similarity_blocks(dataset, measure, block_rows=block_rows,
                                       memory_budget_mb=memory_budget_mb)
 

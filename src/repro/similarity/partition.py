@@ -14,6 +14,12 @@ within one block; ``balanced`` runs a greedy longest-processing-time
 assignment on the explicit cost model; ``contiguous`` keeps each shard's rows
 adjacent (useful when a worker amortises per-shard preparation over
 neighbouring blocks).
+
+:func:`partition_delta_blocks` applies the same machinery to the *ingest*
+workload: the appended rows of a :class:`~repro.datasets.vectors.DatasetDelta`
+form a ``Δn x n`` cross block whose per-row cost grows with the row id (a
+delta row ``r`` scores columns ``j < r``), so its cost model is the prefix
+triangle rather than the suffix one.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ __all__ = [
     "BlockShard",
     "block_ranges",
     "partition_blocks",
+    "partition_delta_blocks",
     "resolve_worker_count",
 ]
 
@@ -50,36 +57,47 @@ class BlockShard:
 
     @property
     def n_rows(self) -> int:
+        """Total rows across this shard's blocks."""
         return sum(stop - start for start, stop in self.blocks)
 
     def search_cost(self, n_rows: int) -> int:
         """Cells a search worker scores for this shard (triangular model)."""
         return sum((stop - start) * (n_rows - start) for start, stop in self.blocks)
 
+    def delta_cost(self) -> int:
+        """Cells a delta-ingest worker scores (prefix-triangular model).
 
-def block_ranges(n_rows: int, block_rows: int) -> list[tuple[int, int]]:
-    """The blocked kernel's row ranges, in row order."""
+        A delta row ``r`` pairs with every column ``j < r``, so a block
+        ``[start, stop)`` costs about ``(stop - start) * stop`` cells —
+        late blocks are the expensive ones, the mirror image of the search
+        cost model.
+        """
+        return sum((stop - start) * stop for start, stop in self.blocks)
+
+
+def block_ranges(n_rows: int, block_rows: int,
+                 first_row: int = 0) -> list[tuple[int, int]]:
+    """The blocked kernel's row ranges covering ``[first_row, n_rows)``."""
     if block_rows <= 0:
         raise ValueError("block_rows must be positive")
     return [(start, min(start + block_rows, n_rows))
-            for start in range(0, max(n_rows, 0), block_rows)]
+            for start in range(first_row, max(n_rows, first_row), block_rows)]
 
 
-def partition_blocks(n_rows: int, block_rows: int, n_shards: int,
-                     strategy: str = "striped") -> list[BlockShard]:
-    """Split the block grid into at most *n_shards* non-empty shards.
+def _assign_blocks(ranges: list[tuple[int, int]], n_shards: int,
+                   strategy: str, cost) -> list[BlockShard]:
+    """Assign *ranges* to at most *n_shards* shards under one cost model.
 
-    Every block lands in exactly one shard; shards are returned in
-    ``shard_id`` order and each shard lists its blocks in row order, so the
-    plan itself is deterministic — only execution order is up to the
-    scheduler.
+    The shared machinery behind :func:`partition_blocks` and
+    :func:`partition_delta_blocks`: every block lands in exactly one shard,
+    shards come back in ``shard_id`` order with blocks in row order, so the
+    plan is deterministic — only execution order is up to the scheduler.
     """
     if n_shards <= 0:
         raise ValueError("n_shards must be positive")
     if strategy not in PARTITION_STRATEGIES:
         raise ValueError(f"unknown partition strategy {strategy!r}; "
                          f"known: {list(PARTITION_STRATEGIES)}")
-    ranges = block_ranges(n_rows, block_rows)
     n_shards = min(n_shards, len(ranges)) or 1
     assigned: list[list[tuple[int, int]]] = [[] for _ in range(n_shards)]
     if strategy == "striped":
@@ -92,18 +110,53 @@ def partition_blocks(n_rows: int, block_rows: int, n_shards: int,
             take = base + (1 if shard < extra else 0)
             assigned[shard] = ranges[cursor:cursor + take]
             cursor += take
-    else:  # balanced: greedy LPT on the triangular cost model
+    else:  # balanced: greedy LPT on the explicit cost model
         loads = [0] * n_shards
-        by_cost = sorted(ranges, key=lambda b: ((b[1] - b[0]) * (n_rows - b[0]),
-                                                b[0]), reverse=True)
+        by_cost = sorted(ranges, key=lambda b: (cost(b), b[0]), reverse=True)
         for block in by_cost:
             target = min(range(n_shards), key=lambda s: (loads[s], s))
             assigned[target].append(block)
-            loads[target] += (block[1] - block[0]) * (n_rows - block[0])
+            loads[target] += cost(block)
         for blocks in assigned:
             blocks.sort()
     return [BlockShard(shard_id, tuple(blocks))
             for shard_id, blocks in enumerate(assigned) if blocks]
+
+
+def partition_blocks(n_rows: int, block_rows: int, n_shards: int,
+                     strategy: str = "striped") -> list[BlockShard]:
+    """Split the block grid into at most *n_shards* non-empty search shards.
+
+    Every block lands in exactly one shard; shards are returned in
+    ``shard_id`` order and each shard lists its blocks in row order, so the
+    plan itself is deterministic — only execution order is up to the
+    scheduler.
+    """
+    ranges = block_ranges(n_rows, block_rows)
+    return _assign_blocks(ranges, n_shards, strategy,
+                          cost=lambda b: (b[1] - b[0]) * (n_rows - b[0]))
+
+
+def partition_delta_blocks(parent_rows: int, child_rows: int, block_rows: int,
+                           n_shards: int,
+                           strategy: str = "striped") -> list[BlockShard]:
+    """Shard the ``Δn x n`` append cross block over the appended row range.
+
+    Blocks cover exactly the rows ``[parent_rows, child_rows)`` — the rows a
+    :class:`~repro.datasets.vectors.DatasetDelta` introduced — and the
+    ``balanced`` strategy uses the prefix-triangular cost model
+    (:meth:`BlockShard.delta_cost`): a delta row ``r`` scores columns
+    ``j < r``, so *late* blocks are the expensive ones.  Returns ``[]`` for
+    an empty append.
+    """
+    if not 0 <= parent_rows <= child_rows:
+        raise ValueError(f"invalid delta row range [{parent_rows}, "
+                         f"{child_rows})")
+    ranges = block_ranges(child_rows, block_rows, first_row=parent_rows)
+    if not ranges:
+        return []
+    return _assign_blocks(ranges, n_shards, strategy,
+                          cost=lambda b: (b[1] - b[0]) * b[1])
 
 
 def resolve_worker_count(n_workers: int | None = None) -> int:

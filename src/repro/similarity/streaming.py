@@ -205,11 +205,13 @@ class HistogramReducer:
         self.counts = np.zeros(len(self.edges) - 1, dtype=np.int64)
 
     def update(self, values: np.ndarray) -> None:
+        """Fold one slab's worth of similarity values into the counts."""
         if len(values):
             slab_counts, _ = np.histogram(values, bins=self.edges)
             self.counts += slab_counts
 
     def merge(self, other: "HistogramReducer") -> None:
+        """Fold another histogram's counts in (commutative; same edges only)."""
         if not np.array_equal(self.edges, other.edges):
             raise ValueError("cannot merge histograms with different edges")
         self.counts += other.counts
@@ -219,10 +221,12 @@ class HistogramReducer:
         return self.counts.copy(), self.edges.copy()
 
     def state(self) -> dict:
+        """The persistable payload (plain arrays) the store writes."""
         return {"edges": self.edges.copy(), "counts": self.counts.copy()}
 
     @classmethod
     def from_state(cls, state: dict) -> "HistogramReducer":
+        """Rebuild a reducer from a :meth:`state` payload."""
         reducer = cls(np.asarray(state["edges"], dtype=float))
         counts = np.asarray(state["counts"], dtype=np.int64)
         if counts.shape != reducer.counts.shape:
@@ -279,6 +283,7 @@ class TopKReducer:
 
     def update(self, first: np.ndarray, second: np.ndarray,
                scores: np.ndarray) -> None:
+        """Offer candidate pairs; those below the admission cutoff are dropped."""
         if not len(scores) or not self.k:
             return
         first = np.asarray(first, np.int64)
@@ -313,6 +318,7 @@ class TopKReducer:
             self.update(row_ids[local_i], local_j, slab[local_i, local_j])
 
     def merge(self, other: "TopKReducer") -> None:
+        """Fold another reducer's retained pairs in (commutative; same k)."""
         if other.k != self.k:
             raise ValueError("cannot merge top-k reducers with different k")
         self.update(other._first, other._second, other._scores)
@@ -325,12 +331,14 @@ class TopKReducer:
                                    self._scores.tolist())]
 
     def state(self) -> dict:
+        """The persistable payload: exactly the final top-k pair arrays."""
         self._shrink(hard=True)
         return {"k": self.k, "first": self._first.copy(),
                 "second": self._second.copy(), "scores": self._scores.copy()}
 
     @classmethod
     def from_state(cls, state: dict) -> "TopKReducer":
+        """Rebuild a reducer from a :meth:`state` payload."""
         reducer = cls(int(state["k"]))
         reducer.update(np.asarray(state["first"], np.int64),
                        np.asarray(state["second"], np.int64),
@@ -360,13 +368,16 @@ class SelectionSketch:
     @classmethod
     def for_measure(cls, dataset: VectorDataset, measure: str,
                     n_bins: int = DEFAULT_SELECTION_BINS) -> "SelectionSketch":
+        """A sketch whose edges a-priori cover every value of *measure*."""
         return cls(_selection_edges(dataset, measure, n_bins))
 
     @property
     def total(self) -> int:
+        """How many values have been accumulated."""
         return int(self.counts.sum())
 
     def update(self, values: np.ndarray) -> None:
+        """Fold one slab's worth of values into the bucket counts."""
         if not len(values):
             return
         self.lowest = min(self.lowest, float(values.min()))
@@ -375,6 +386,7 @@ class SelectionSketch:
                                    minlength=len(self.counts))
 
     def merge(self, other: "SelectionSketch") -> None:
+        """Fold another sketch's counts and extremes in (commutative)."""
         if not np.array_equal(self.edges, other.edges):
             raise ValueError("cannot merge selection sketches with different "
                              "edges")
@@ -399,11 +411,13 @@ class SelectionSketch:
         return float(self.edges[self.bucket_of_rank(target)])
 
     def state(self) -> dict:
+        """The persistable payload (plain arrays + scalars) the store writes."""
         return {"edges": self.edges.copy(), "counts": self.counts.copy(),
                 "lowest": float(self.lowest), "highest": float(self.highest)}
 
     @classmethod
     def from_state(cls, state: dict) -> "SelectionSketch":
+        """Rebuild a sketch from a :meth:`state` payload."""
         sketch = cls(np.asarray(state["edges"], dtype=float))
         counts = np.asarray(state["counts"], dtype=np.int64)
         if counts.shape != sketch.counts.shape:

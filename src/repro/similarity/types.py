@@ -22,4 +22,5 @@ class SimilarPair:
     similarity: float
 
     def as_tuple(self) -> tuple[int, int, float]:
+        """The pair as a plain ``(first, second, similarity)`` tuple."""
         return (self.first, self.second, self.similarity)

@@ -14,10 +14,20 @@ canonical ``(first, second)`` order.  The cost is O(d * n) instead of the
 O(n^2) of a from-scratch search, which is what keeps the interactive loop
 interactive on append-only datasets.
 
+With ``n_workers > 1`` the delta pass itself is *sharded*: the cross block
+is partitioned by :func:`~repro.similarity.partition.partition_delta_blocks`
+and fanned over the same shared worker pool (and shared-memory transport) as
+the ``sharded-blocked`` search backend, with shard-local reducer state merged
+back through the commutative ``merge()`` seam.  Results are byte-identical
+to the single-process pass for every worker count — ingest is just another
+workload on the execution substrate.
+
 Every extension is fingerprint-checked: the parent result must describe
 exactly ``delta.parent_rows`` rows and the child dataset must hash to
 ``delta.child_fingerprint``, so stale or mismatched state is rejected
-loudly rather than merged silently.
+loudly rather than merged silently.  And because extension only *reads* the
+parent state and every store write is one atomic entry replace, a crash (or
+injected fault) mid-ingest leaves the parent floor intact.
 """
 
 from __future__ import annotations
@@ -29,6 +39,9 @@ from repro.similarity.engine import EngineResult
 from repro.similarity.streaming import (
     DEFAULT_MEMORY_BUDGET_MB,
     STREAMING_MEASURES,
+    HistogramReducer,
+    SelectionSketch,
+    TopKReducer,
     compute_block_slab,
     prepared_csr,
     resolve_block_rows,
@@ -123,7 +136,24 @@ class DeltaApssBackend:
     Parameters
     ----------
     block_rows, memory_budget_mb:
-        Per-slab sizing for the delta pass, with ``exact-blocked`` semantics.
+        Per-slab sizing for the delta pass, with ``exact-blocked`` semantics
+        (per *worker* when the pass is sharded).
+    n_workers:
+        Worker processes for the delta pass.  The default ``1`` runs
+        in-process — right for small interactive appends, where pool
+        dispatch would dominate.  ``> 1`` shards the cross block over the
+        same shared pool (and shared-memory transport) as the
+        ``sharded-blocked`` backend; ``None`` resolves like the sharded
+        backend (``REPRO_APSS_WORKERS``, else CPU count).
+    shards_per_worker, partition_strategy, executor_factory, use_shared_memory:
+        Sharded-pass scheduling knobs with
+        :class:`~repro.similarity.backends.sharded.ShardedBlockedBackend`
+        semantics.  None of them change results — parity across worker
+        counts is property-tested.
+    inject_shard_fault:
+        Fault-injection hook for the sharded pass (tests): the chosen shard
+        raises mid-stream, the extension fails loudly, and — because
+        extension never mutates parent state — the parent floor survives.
 
     Notes
     -----
@@ -131,19 +161,55 @@ class DeltaApssBackend:
     parent result yields pair sets identical to a from-scratch search on the
     concatenated dataset — the parity the property suite in
     ``tests/store/test_delta.py`` checks for every exact backend in the
-    registry.  Approximate parents (``bayeslsh``) are refused: splicing exact
-    delta pairs into an estimated pair set would produce a result matching
-    neither contract.
+    registry and every sharded worker count.  Approximate parents
+    (``bayeslsh``) are refused: splicing exact delta pairs into an estimated
+    pair set would produce a result matching neither contract.
     """
 
     def __init__(self, block_rows: int | None = None,
-                 memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB) -> None:
+                 memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB, *,
+                 n_workers: int | None = 1,
+                 shards_per_worker: int = 2,
+                 partition_strategy: str = "striped",
+                 executor_factory=None,
+                 use_shared_memory: bool = True,
+                 inject_shard_fault: int | None = None) -> None:
         if block_rows is not None and block_rows <= 0:
             raise ValueError("block_rows must be positive")
         if memory_budget_mb <= 0:
             raise ValueError("memory_budget_mb must be positive")
+        if shards_per_worker < 1:
+            raise ValueError("shards_per_worker must be at least 1")
+        from repro.similarity.partition import resolve_worker_count
+
         self.block_rows = block_rows
         self.memory_budget_mb = float(memory_budget_mb)
+        self.n_workers = resolve_worker_count(n_workers)
+        self.shards_per_worker = int(shards_per_worker)
+        self.partition_strategy = partition_strategy
+        self.executor_factory = executor_factory
+        self.use_shared_memory = bool(use_shared_memory)
+        self.inject_shard_fault = inject_shard_fault
+
+    def _sharded(self) -> bool:
+        """Whether the delta pass fans over an executor instead of running inline."""
+        return (self.n_workers > 1 or self.executor_factory is not None
+                or self.inject_shard_fault is not None)
+
+    def _run_sharded(self, child: VectorDataset, delta: DatasetDelta,
+                     threshold: float | None, measure: str,
+                     reducer_specs: dict | None = None):
+        from repro.similarity.backends.sharded import run_delta_shards
+
+        return run_delta_shards(
+            child, delta, threshold, measure, reducer_specs=reducer_specs,
+            n_workers=self.n_workers, block_rows=self.block_rows,
+            memory_budget_mb=self.memory_budget_mb,
+            shards_per_worker=self.shards_per_worker,
+            partition_strategy=self.partition_strategy,
+            executor_factory=self.executor_factory,
+            use_shared_memory=self.use_shared_memory,
+            inject_shard_fault=self.inject_shard_fault)
 
     def extend(self, parent: EngineResult, child: VectorDataset,
                delta: DatasetDelta | None = None,
@@ -152,7 +218,9 @@ class DeltaApssBackend:
 
         Returns a new :class:`EngineResult` for the child dataset at the
         parent's threshold (the floor a sweep cache filters from); the
-        parent result is not mutated.
+        parent result is not mutated, so a failure anywhere in the pass —
+        a worker fault, a crash before the store write — leaves the parent
+        floor exactly as it was.
         """
         if delta is None:
             delta = child.parent_delta
@@ -168,11 +236,15 @@ class DeltaApssBackend:
                 f"parent result covers {parent.n_rows} rows, delta expects "
                 f"{delta.parent_rows}")
         _check_delta(child, delta, verify_fingerprint)
-        new_pairs = delta_pairs(
-            child, delta, parent.threshold, parent.measure,
-            block_rows=self.block_rows,
-            memory_budget_mb=self.memory_budget_mb,
-            verify_fingerprint=False)  # already checked above
+        if self._sharded():
+            new_pairs, _ = self._run_sharded(child, delta, parent.threshold,
+                                             parent.measure)
+        else:
+            new_pairs = delta_pairs(
+                child, delta, parent.threshold, parent.measure,
+                block_rows=self.block_rows,
+                memory_budget_mb=self.memory_budget_mb,
+                verify_fingerprint=False)  # already checked above
         # Parent pairs all precede or interleave with new ones; one stable
         # sort restores canonical (first, second) order for the merged list.
         merged = sorted(parent.pairs + new_pairs,
@@ -187,7 +259,8 @@ class DeltaApssBackend:
             n_pruned=0,
             details={"delta": {"parent_rows": delta.parent_rows,
                                "new_rows": d,
-                               "new_pairs": len(new_pairs)}})
+                               "new_pairs": len(new_pairs),
+                               "n_workers": self.n_workers}})
 
     def extend_reducers(self, child: VectorDataset,
                         delta: DatasetDelta | None = None,
@@ -200,11 +273,33 @@ class DeltaApssBackend:
         ``SelectionSketch`` — any subset) is updated in place with every
         new pair's value exactly once, so reducer state restored from the
         store stays equal to a from-scratch pass over the child dataset.
+        When the backend is sharded, each shard accumulates local reducers
+        and their states fold into the caller's through ``merge()`` — the
+        commutativity of the merge seam is what makes the result identical
+        for every worker count and completion order.
         """
         if delta is None:
             delta = child.parent_delta
         if delta is None:
             raise ValueError("child dataset carries no parent delta")
+        if self._sharded():
+            _check_delta(child, delta, verify_fingerprint)
+            specs: dict = {}
+            if histogram is not None:
+                specs["histogram"] = histogram.edges
+            if selection is not None:
+                specs["selection"] = selection.edges
+            if top_k is not None:
+                specs["top_k"] = top_k.k
+            _, states = self._run_sharded(child, delta, None, measure,
+                                          reducer_specs=specs)
+            for state in states.get("histogram", ()):
+                histogram.merge(HistogramReducer.from_state(state))
+            for state in states.get("selection", ()):
+                selection.merge(SelectionSketch.from_state(state))
+            for state in states.get("top_k", ()):
+                top_k.merge(TopKReducer.from_state(state))
+            return
         for rows, slab in iter_delta_blocks(
                 child, delta, measure, block_rows=self.block_rows,
                 memory_budget_mb=self.memory_budget_mb,

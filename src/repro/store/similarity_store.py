@@ -266,9 +266,11 @@ class SimilarityStore:
     # Sketch entries
     # ------------------------------------------------------------------ #
     def save_sketches(self, key: tuple, sketches: np.ndarray) -> None:
+        """Persist a per-row LSH sketch matrix under *key*."""
         self.put("sketches", key, {"sketches": np.asarray(sketches)}, {})
 
     def load_sketches(self, key: tuple) -> np.ndarray | None:
+        """Restore a sketch matrix, or ``None`` on miss/invalid."""
         loaded = self.get("sketches", key)
         if loaded is None:
             return None
@@ -287,6 +289,7 @@ class SimilarityStore:
         self.put("sessions", key, arrays, {"scalars": scalars})
 
     def load_session(self, key: tuple) -> dict | None:
+        """Restore a session's knowledge-cache state, or ``None`` on miss."""
         loaded = self.get("sessions", key)
         if loaded is None:
             return None

@@ -28,6 +28,8 @@ Three things live here, shared by the parity, sharding and cache tests:
 
 from __future__ import annotations
 
+import glob
+import os
 from concurrent.futures import Future
 
 import numpy as np
@@ -39,9 +41,26 @@ __all__ = [
     "seeded_corpus",
     "sparse_random_dataset",
     "append_split",
+    "own_shm_entries",
     "ShardOrderReplayExecutor",
     "replay_factory",
 ]
+
+
+def own_shm_entries() -> list[str]:
+    """Shared-memory segments this process currently owns, by name.
+
+    The leak oracle for the shared-memory transport tests: on Linux it lists
+    ``/dev/shm`` entries carrying this process's segment prefix (so a leak is
+    visible to the OS, not just to our bookkeeping); elsewhere it falls back
+    to the transport module's own registry.
+    """
+    from repro.similarity import shm
+
+    if os.path.isdir("/dev/shm"):
+        pattern = os.path.join("/dev/shm", shm.SEGMENT_PREFIX + "*")
+        return sorted(os.path.basename(path) for path in glob.glob(pattern))
+    return sorted(shm.active_segment_names())
 
 
 # --------------------------------------------------------------------- #

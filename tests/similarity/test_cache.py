@@ -185,6 +185,76 @@ def test_eviction_under_concurrent_access_does_not_corrupt_entries(dataset):
     assert engine.misses >= 1
 
 
+def test_late_registered_backend_options_resolve_at_lookup_time(dataset):
+    """Regression: a backend registered *after* the cache was constructed
+    must still have its declared execution_options stripped from keys — the
+    declared options are introspected per lookup, never captured up front."""
+    from repro.similarity.backends.base import (ApssBackend, BackendOutput,
+                                                _REGISTRY, register_backend)
+
+    engine = CachedApssEngine()  # constructed before the backend exists
+
+    @register_backend
+    class LateToyBackend(ApssBackend):
+        name = "late-toy"
+        exact = True
+        measures = ("cosine",)
+        execution_options = ("n_probes",)
+
+        def __init__(self, n_probes: int = 1) -> None:
+            self.n_probes = n_probes
+
+        def search(self, dataset, threshold, measure="cosine"):
+            from repro.similarity import apss_search
+
+            exact = apss_search(dataset, threshold, measure,
+                                backend="exact-blocked")
+            return BackendOutput(pairs=exact.pairs,
+                                 n_candidates=exact.n_candidates)
+
+    try:
+        engine.search(dataset, 0.3, backend="late-toy", n_probes=1)
+        hit = engine.search(dataset, 0.5, backend="late-toy", n_probes=4)
+        assert (engine.hits, engine.misses) == (1, 1), \
+            "execution options of a late-registered backend fragmented keys"
+        assert hit.details["cache"]["hit"]
+    finally:
+        _REGISTRY.pop("late-toy", None)
+
+
+def test_unknown_backend_fails_loudly_instead_of_fragmenting_keys(dataset):
+    """An option-carrying search naming an unregistered backend raises from
+    key resolution (the search would fail anyway) rather than silently
+    building a key with unstripped options."""
+    engine = CachedApssEngine()
+    with pytest.raises(KeyError, match="unknown APSS backend"):
+        engine.search(dataset, 0.5, backend="never-registered", n_workers=4)
+
+
+def test_delta_workers_extension_is_byte_identical(dataset):
+    """A cache configured for sharded delta ingest extends an appended
+    dataset's floor identically to the single-process delta path."""
+    parent = dataset.subset(range(dataset.n_rows - 6), name="parent")
+    child = parent.append_rows(dataset.subset(
+        range(dataset.n_rows - 6, dataset.n_rows)))
+
+    # store=False: under the CI persistence lane the two engines would
+    # otherwise share one on-disk store, and the second would restore the
+    # first's extended floor instead of exercising its own delta path.
+    single = CachedApssEngine(store=False)
+    sharded = CachedApssEngine(store=False, delta_workers=2)
+    for engine in (single, sharded):
+        engine.search(parent, 0.3)
+        extended = engine.search(child, 0.4)
+        assert engine.delta_extensions == 1
+        assert extended.details["cache"]["source"] == "delta"
+    expected = ApssEngine().search(child, 0.4)
+    got_single = single.search(child, 0.4)
+    got_sharded = sharded.search(child, 0.4)
+    assert got_single.pair_set() == expected.pair_set()
+    assert got_sharded.pair_set() == expected.pair_set()
+
+
 def test_cached_pair_values_match_dense_matrix(dataset):
     from repro.similarity import pairwise_similarity_matrix
 

@@ -111,10 +111,13 @@ def test_backends_are_apss_backend_instances():
 
 
 def test_parity_roster_covers_sharded_worker_counts():
-    """Registry introspection must produce the 1/2/4-worker sharded variants."""
+    """Registry introspection must produce the sharded worker-count and
+    transport variants (1/2/4 workers plus a shared-memory-off pass)."""
     sharded = [options for param in EXACT_VARIANTS
                for name, options in [param.values] if name == "sharded-blocked"]
-    assert [v["n_workers"] for v in sharded] == [1, 2, 4]
+    assert [v["n_workers"] for v in sharded] == [1, 2, 4, 2]
+    assert sharded[-1]["use_shared_memory"] is False
+    assert all(v.get("use_shared_memory", True) for v in sharded[:3])
 
 
 def test_every_parity_variant_instantiates():

@@ -1,0 +1,224 @@
+"""Two-process concurrent ingest hammer.
+
+One process plays the *ingest* role: it appends row batches generation by
+generation, extends each parent floor with the sharded delta backend and
+lands every child floor in a shared ``SimilarityStore``.  A second process
+plays the *sweeper*: it hammers the same store with floor lookups the whole
+time.  The contract under test is the atomic-landing guarantee: the sweeper
+only ever observes a floor that is **bit-complete** — exactly the pre-ingest
+parent floor (or a miss) before a generation lands, exactly the post-ingest
+floor after — never a torn, partial or mixed-generation pair set.
+
+Every generation's expected floor is computed from scratch in the parent
+test process, so the sweeper validates against ground truth it did not
+derive from the store.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import signal
+import time
+
+import pytest
+
+from repro.datasets import make_clustered_vectors
+from repro.similarity import ApssEngine
+from repro.store import SimilarityStore
+
+THRESHOLD = 0.3
+GENERATIONS = 6
+BATCH_ROWS = 5
+BASE_ROWS = 36
+
+
+def _dataset_chain():
+    """The deterministic append chain both processes can rebuild."""
+    full = make_clustered_vectors(BASE_ROWS + GENERATIONS * BATCH_ROWS, 8, 4,
+                                  separation=4.0, seed=71,
+                                  name="concurrent-ingest")
+    chain = [full.subset(range(BASE_ROWS), name="gen-0")]
+    for generation in range(1, GENERATIONS + 1):
+        stop = BASE_ROWS + generation * BATCH_ROWS
+        batch = full.subset(range(stop - BATCH_ROWS, stop))
+        chain.append(chain[-1].append_rows(batch, name=f"gen-{generation}"))
+    return chain
+
+
+def _keys(chain):
+    return [(dataset.fingerprint(), "cosine", "exact-blocked", ())
+            for dataset in chain]
+
+
+def _writer(store_root, done_event):
+    """Ingest every generation: sharded delta extend + atomic store landing."""
+    from repro.similarity import reset_shared_pools
+    from repro.store import DeltaApssBackend
+
+    # Lead a fresh process group: the crash test SIGKILLs this process with
+    # killpg, which must also take out the pool workers it forked — an
+    # orphaned worker blocked on its call queue would otherwise hold the
+    # inherited stdout pipe open and stall any piped pytest run (CI logs).
+    if hasattr(os, "setpgrp"):
+        os.setpgrp()
+    try:
+        chain = _dataset_chain()
+        keys = _keys(chain)
+        store = SimilarityStore(store_root)
+        floor = ApssEngine().search(chain[0], THRESHOLD)
+        store.save_result(keys[0], floor)
+        delta = DeltaApssBackend(n_workers=2)
+        for generation in range(1, GENERATIONS + 1):
+            floor = delta.extend(floor, chain[generation])
+            store.save_result(keys[generation], floor)
+            # Re-land the same floor: exercises replace-while-read races on
+            # an already-present entry, not just create-while-read.
+            store.save_result(keys[generation], floor)
+    finally:
+        # multiprocessing children skip regular atexit handlers (where the
+        # shared pools normally shut down), and a worker surviving shutdown
+        # (the call-queue wakeup race) would deadlock this process's exit
+        # join — wait=True joins and, past a grace period, kills workers.
+        reset_shared_pools(wait=True)
+        done_event.set()
+
+
+def _sweeper(store_root, expected_by_key, done_event, out_queue):
+    """Hammer lookups; report any observation that is not a complete floor."""
+    store = SimilarityStore(store_root)
+    mismatches = []
+    observed = 0
+    writer_done = False
+    deadline = time.monotonic() + 240
+    while True:
+        if done_event.is_set() or time.monotonic() > deadline:
+            writer_done = True  # one final full pass after the writer ends
+        for key, expected_pairs in expected_by_key:
+            result = store.load_result(tuple(key))
+            if result is None:
+                continue  # pre-ingest for this generation: a clean miss
+            observed += 1
+            got = [(p.first, p.second, round(p.similarity, 12))
+                   for p in result.pairs]
+            if got != expected_pairs:
+                mismatches.append((key, len(got), len(expected_pairs)))
+        if writer_done:
+            break
+        # Brief yield: an unthrottled spin starves the writer (and its
+        # worker pool) on single-CPU machines without making the race any
+        # more interesting — hundreds of passes still interleave.
+        time.sleep(0.002)
+    out_queue.put((mismatches, observed, store.evictions))
+
+
+def _kill_writer_group(writer):
+    """SIGKILL the writer *and* any pool workers in its process group.
+
+    Surviving workers are not just a leak: they inherit the test runner's
+    stdout/stderr pipes, and a piped pytest invocation (CI log capture)
+    blocks on EOF until every holder of the pipe is gone.
+    """
+    try:
+        os.killpg(writer.pid, signal.SIGKILL)
+    except (ProcessLookupError, PermissionError, OSError):
+        # Group already gone (or setpgrp had not run yet): kill directly.
+        writer.kill()
+    writer.join(timeout=30)
+
+
+def test_sweeper_never_observes_a_torn_floor(tmp_path):
+    from repro.similarity import reset_shared_pools
+
+    # Quiesce any shared pools from earlier tests before fork(): an executor
+    # manager thread holding a queue lock mid-fork deadlocks the child.
+    reset_shared_pools(wait=True)
+    chain = _dataset_chain()
+    keys = _keys(chain)
+    engine = ApssEngine()
+    expected_by_key = []
+    for dataset, key in zip(chain, keys):
+        scratch = engine.search(dataset, THRESHOLD)
+        expected_by_key.append((key, [
+            (p.first, p.second, round(p.similarity, 12))
+            for p in scratch.pairs]))
+
+    store_root = tmp_path / "hammer-store"
+    context = mp.get_context("fork" if os.name == "posix" else "spawn")
+    done = context.Event()
+    out: mp.Queue = context.Queue()
+    writer = context.Process(target=_writer, args=(str(store_root), done))
+    sweeper = context.Process(
+        target=_sweeper, args=(str(store_root), expected_by_key, done, out))
+    sweeper.start()
+    writer.start()
+    try:
+        writer.join(timeout=120)
+        mismatches, observed, evictions = out.get(timeout=120)
+        sweeper.join(timeout=30)
+    finally:
+        # Never leave a child (or its pool workers) behind: a straggler
+        # holding the inherited stdout pipe would stall piped test runs.
+        if writer.is_alive():
+            _kill_writer_group(writer)
+        if sweeper.is_alive():
+            sweeper.kill()
+            sweeper.join(timeout=30)
+    assert writer.exitcode == 0
+    assert sweeper.exitcode == 0
+
+    assert mismatches == [], \
+        f"sweeper observed torn floors: {mismatches[:5]}"
+    assert observed > 0, "the sweeper never saw a single landed floor"
+    # After the dust settles the store holds every generation, bit-complete.
+    store = SimilarityStore(store_root)
+    for key, expected_pairs in expected_by_key:
+        final = store.load_result(tuple(key))
+        assert final is not None
+        assert [(p.first, p.second, round(p.similarity, 12))
+                for p in final.pairs] == expected_pairs
+    # The delta chain's floors equal from-scratch searches (checked above),
+    # so any eviction the sweeper triggered would have been a real tear.
+    assert evictions == 0
+
+
+def test_crashed_ingest_leaves_no_partial_entry(tmp_path):
+    """Kill the writer mid-run (SIGKILL, no cleanup): whatever landed must
+    be complete, whatever did not land must be absent — never partial."""
+    from repro.similarity import reset_shared_pools
+
+    reset_shared_pools(wait=True)  # no executor threads across the fork
+    chain = _dataset_chain()
+    keys = _keys(chain)
+    store_root = tmp_path / "crash-store"
+
+    context = mp.get_context("fork" if os.name == "posix" else "spawn")
+    done = context.Event()
+    writer = context.Process(target=_writer, args=(str(store_root), done))
+    writer.start()
+    # Let it make some progress, then kill it without warning.  The poll
+    # sleeps (a tight loop would starve the writer on a single-CPU box) and
+    # has a deadline so a stuck writer fails the test instead of hanging it.
+    deadline = time.monotonic() + 90
+    while not (store_root / "pairs").is_dir() and writer.is_alive():
+        if time.monotonic() > deadline:
+            _kill_writer_group(writer)
+            pytest.fail("writer made no progress within 90s")
+        time.sleep(0.01)
+    _kill_writer_group(writer)
+
+    engine = ApssEngine()
+    store = SimilarityStore(store_root)
+    landed = 0
+    for dataset, key in zip(chain, keys):
+        result = store.load_result(key)
+        if result is None:
+            continue
+        landed += 1
+        scratch = engine.search(dataset, THRESHOLD)
+        assert result.pair_set() == scratch.pair_set(), \
+            f"partial floor for {dataset.name} survived the crash"
+    assert store.evictions == 0, "the crash left a corrupt entry behind"
+    # Temp files from an interrupted atomic write may exist; they are inert
+    # (never read) — but no *entry* may be partial, which the loop proved.
+    assert landed <= len(keys)

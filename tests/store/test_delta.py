@@ -29,6 +29,7 @@ from repro.similarity import (
     get_backend_class,
     top_k_pairs,
 )
+from repro.similarity.backends.sharded import ShardedBlockedBackend
 from repro.similarity.streaming import (
     iter_similarity_blocks,
     streaming_similarity_histogram,
@@ -219,6 +220,151 @@ def test_selection_sketch_delta_maintenance():
     approx = restored.approx_threshold_for_edge_count(target)
     width = restored.edges[1] - restored.edges[0]
     assert approx <= exact <= approx + width
+
+
+# --------------------------------------------------------------------- #
+# Store-aware sharded ingest: the delta pass over the worker pool
+# --------------------------------------------------------------------- #
+
+SHARDED_VARIANTS = [
+    pytest.param(options, id="-".join(
+        f"{key}={value}" for key, value in sorted(options.items())))
+    for options in ShardedBlockedBackend.parity_variants()
+]
+
+
+@pytest.mark.parametrize("variant", SHARDED_VARIANTS)
+@settings(max_examples=6, deadline=None, derandomize=True)
+@given(seed=st.integers(0, 30),
+       measure=st.sampled_from(["cosine", "jaccard", "dot"]),
+       threshold=st.floats(0.05, 0.9),
+       k=st.integers(1, 10))
+def test_sharded_delta_ingest_matches_single_process_extend(
+        variant, seed, measure, threshold, k):
+    """The headline ingest property: fanning the Δn x n cross block over the
+    worker pool (any worker count, either transport) produces a merged floor
+    byte-identical to the single-process DeltaApssBackend.extend."""
+    dataset = seeded_clustered(seed, n_rows=26, n_features=8)
+    parent, child = append_split(dataset, k)
+    base = ENGINE.search(parent, threshold, measure)
+
+    single = DeltaApssBackend().extend(base, child)
+    sharded = DeltaApssBackend(block_rows=3, **variant).extend(base, child)
+
+    assert [p.as_tuple() for p in sharded.pairs] == \
+        [p.as_tuple() for p in single.pairs], \
+        f"sharded ingest diverged on {dataset.name} with {variant}"
+    assert sharded.details["delta"]["new_pairs"] == \
+        single.details["delta"]["new_pairs"]
+
+
+def test_sharded_ingest_under_adversarial_shard_orders():
+    """Replayed out-of-order shard completions cannot perturb the merged
+    floor or the merged reducer state."""
+    from harness import replay_factory
+
+    dataset = seeded_clustered(31, n_rows=40)
+    parent, child = append_split(dataset, 12)
+    base = ENGINE.search(parent, 0.2)
+    expected = DeltaApssBackend().extend(base, child)
+
+    for order in ("lifo", ("random", 5), [3, 0, 2, 1]):
+        factory = replay_factory(order=order)
+        got = DeltaApssBackend(block_rows=2, n_workers=2,
+                               executor_factory=factory).extend(base, child)
+        executor = factory.created[0]
+        assert executor.submitted > 1
+        assert sorted(executor.completion_order) == \
+            list(range(executor.submitted))
+        assert [p.as_tuple() for p in got.pairs] == \
+            [p.as_tuple() for p in expected.pairs]
+
+
+@pytest.mark.parametrize("n_workers", [2, 4])
+def test_sharded_reducer_extension_matches_single_process(n_workers):
+    """Shard-local reducer states fold through merge() into exactly the
+    state a single-process delta pass produces."""
+    dataset = seeded_clustered(33, n_rows=34)
+    parent, child = append_split(dataset, 9)
+    edges = np.linspace(-1.0, 1.0, 33)
+
+    def warmed():
+        histogram = HistogramReducer(edges)
+        selection = SelectionSketch.for_measure(parent, "cosine", n_bins=128)
+        top_k = TopKReducer(12)
+        histogram.update(_upper_values(parent, "cosine"))
+        selection.update(_upper_values(parent, "cosine"))
+        for rows, slab in iter_similarity_blocks(parent, "cosine"):
+            top_k.update_slab(rows, slab)
+        return histogram, selection, top_k
+
+    single_h, single_s, single_t = warmed()
+    DeltaApssBackend().extend_reducers(
+        child, measure="cosine", histogram=single_h, selection=single_s,
+        top_k=single_t)
+
+    sharded_h, sharded_s, sharded_t = warmed()
+    DeltaApssBackend(block_rows=3, n_workers=n_workers).extend_reducers(
+        child, measure="cosine", histogram=sharded_h, selection=sharded_s,
+        top_k=sharded_t)
+
+    assert np.array_equal(sharded_h.counts, single_h.counts)
+    assert np.array_equal(sharded_s.counts, single_s.counts)
+    assert sharded_s.lowest == single_s.lowest
+    assert sharded_s.highest == single_s.highest
+    assert [p.as_tuple() for p in sharded_t.pairs()] == \
+        [p.as_tuple() for p in single_t.pairs()]
+
+
+def test_sharded_ingest_fault_surfaces_and_spares_the_parent_floor(tmp_path):
+    """A worker fault mid-ingest (through a real process boundary) surfaces
+    as ShardExecutionError — and because ingest never mutates parent state,
+    the parent's persisted floor survives byte-identical and no child entry
+    appears: the crash-mid-ingest atomicity contract."""
+    from repro.similarity.backends.sharded import ShardExecutionError
+    from repro.store import SimilarityStore
+
+    dataset = seeded_clustered(35, n_rows=40)
+    parent, child = append_split(dataset, 10)
+    base = ENGINE.search(parent, 0.2)
+
+    store = SimilarityStore(tmp_path / "ingest-store")
+    parent_key = (parent.fingerprint(), "cosine", "exact-blocked", ())
+    child_key = (child.fingerprint(), "cosine", "exact-blocked", ())
+    store.save_result(parent_key, base)
+
+    faulty = DeltaApssBackend(block_rows=2, n_workers=2,
+                              inject_shard_fault=0)
+    with pytest.raises(ShardExecutionError):
+        extended = faulty.extend(base, child)
+        store.save_result(child_key, extended)  # never reached
+
+    restored = store.load_result(parent_key)
+    assert restored is not None
+    assert restored.pair_set() == base.pair_set()
+    assert store.load_result(child_key) is None
+
+    # A healthy retry lands the complete child floor in one atomic write.
+    good = DeltaApssBackend(n_workers=2).extend(base, child)
+    store.save_result(child_key, good)
+    landed = store.load_result(child_key)
+    assert landed.pair_set() == ENGINE.search(dataset, 0.2).pair_set()
+
+
+def test_sharded_ingest_rejects_out_of_range_fault_targets():
+    dataset = seeded_clustered(36, n_rows=24)
+    parent, child = append_split(dataset, 4)
+    base = ENGINE.search(parent, 0.3)
+    with pytest.raises(ValueError, match="out of range"):
+        DeltaApssBackend(n_workers=1, inject_shard_fault=99).extend(base, child)
+
+
+def test_empty_append_sharded_extension_is_a_no_op():
+    dataset = seeded_clustered(37, n_rows=20)
+    child = dataset.append_rows([])
+    base = ENGINE.search(dataset, 0.3)
+    extended = DeltaApssBackend(n_workers=2).extend(base, child)
+    assert extended.pair_set() == base.pair_set()
 
 
 def test_reducer_merge_is_order_insensitive():

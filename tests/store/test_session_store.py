@@ -179,6 +179,55 @@ def test_appended_dataset_resumes_from_parent_session(store):
     assert again.resumed_from == "store"
 
 
+def test_mid_session_extend_keeps_knowledge_and_sketches_incrementally(store):
+    """extend_dataset appends rows without discarding the session: knowledge
+    survives (old pairs stay valid under an append), and with a store the
+    next probe sketches only the new rows — bit-identical to a rebuild."""
+    dataset = seeded_clustered(650, n_rows=40)
+    parent, child = append_split(dataset, 6)
+    tail = dataset.subset(range(parent.n_rows, dataset.n_rows))
+
+    session = _session(parent, store=store)
+    session.probe(0.6)
+    knowledge_before = len(session.cache)
+    assert knowledge_before > 0
+
+    extended = session.extend_dataset(tail, name=child.name)
+    assert extended.fingerprint() == child.fingerprint()
+    assert extended.parent_delta.parent_rows == parent.n_rows
+    assert session.dataset is extended
+    assert len(session.cache) == knowledge_before, \
+        "an append must not discard per-pair knowledge"
+
+    probe = session.probe(0.6)
+    assert probe.cached_hash_reuse > 0, "old-pair hash state must be reused"
+    # Incremental sketching through the store: only the 6 new rows were
+    # sketched, yet the matrix equals a from-scratch build over the child.
+    fresh = _session(child)
+    assert np.array_equal(session.sketch_store.sketches,
+                          fresh.sketch_store.sketches)
+    assert session.sketch_store.build_seconds == 0.0
+    assert probe.pair_count == fresh.probe(0.6).pair_count
+
+    # The post-append session persisted under the child fingerprint: a new
+    # process opening the same store resumes from it directly.
+    reopened = _session(child, store=SimilarityStore(store.root))
+    assert reopened.resumed_from == "store"
+
+
+def test_mid_session_extend_without_store_still_probes_correctly():
+    dataset = seeded_clustered(651, n_rows=36)
+    parent, child = append_split(dataset, 5)
+    tail = dataset.subset(range(parent.n_rows, dataset.n_rows))
+
+    session = _session(parent)
+    session.probe(0.6)
+    session.extend_dataset(tail, name=child.name)
+    probe = session.probe(0.6)
+    fresh = _session(child)
+    assert probe.pair_count == fresh.probe(0.6).pair_count
+
+
 def test_cumulative_graph_reflects_merged_append_state(store):
     dataset = seeded_clustered(630, n_rows=36)
     parent, child = append_split(dataset, 6)

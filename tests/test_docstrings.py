@@ -1,0 +1,61 @@
+"""Tier-1 enforcement of the pydocstyle-lite (D1xx) documentation floor.
+
+Runs ``tools/check_docstrings.py`` over the public similarity and store
+seams — the same check CI runs as a standalone step — so a public symbol
+without at least a one-line summary fails the default test lane too, not
+just the docs job.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docstrings  # noqa: E402 - path set up above
+
+CHECKED_ROOTS = [REPO_ROOT / "src" / "repro" / "similarity",
+                 REPO_ROOT / "src" / "repro" / "store"]
+
+
+def test_public_similarity_and_store_seams_are_documented():
+    findings = check_docstrings.check_tree(CHECKED_ROOTS)
+    assert findings == [], (
+        "public symbols missing docstrings (run "
+        "`python tools/check_docstrings.py` for the list):\n"
+        + "\n".join(findings))
+
+
+def test_checker_flags_each_d1xx_rule(tmp_path):
+    """The checker itself must catch every rule it claims to enforce."""
+    offender = tmp_path / "offender.py"
+    offender.write_text(
+        "class Exposed:\n"
+        "    def method(self):\n"
+        "        pass\n"
+        "    def _private(self):\n"
+        "        pass\n"
+        "    def __repr__(self):\n"
+        "        return ''\n"
+        "def helper():\n"
+        "    pass\n"
+        "def _hidden():\n"
+        "    pass\n")
+    codes = sorted(code for _, code, _ in
+                   check_docstrings.check_source(offender,
+                                                 offender.read_text()))
+    assert codes == ["D100", "D101", "D102", "D103"]
+
+    documented = tmp_path / "documented.py"
+    documented.write_text(
+        '"""Module."""\n'
+        "class Exposed:\n"
+        '    """Class."""\n'
+        "    def method(self):\n"
+        '        """Method."""\n'
+        "def helper():\n"
+        '    """Function."""\n')
+    assert check_docstrings.check_source(documented,
+                                         documented.read_text()) == []

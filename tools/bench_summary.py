@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Render an APSS benchmark run as a markdown trend table for CI summaries.
+
+Takes the machine-readable payload ``bench_apss_backends.py --json`` writes
+(or a raw ``benchmarks/results/*.json`` row list) and emits a GitHub-flavored
+markdown table comparing the run against a checked-in baseline, so per-PR
+perf regressions in the sharded/delta paths are visible in the job summary
+instead of buried in an artifact.
+
+Usage (what CI appends to ``$GITHUB_STEP_SUMMARY``)::
+
+    python tools/bench_summary.py apss-backend-matrix.json \
+        --baseline benchmarks/results
+
+A ``--baseline`` directory resolves to ``apss_backend_matrix_smoke.json`` or
+``apss_backend_matrix.json`` depending on the run's ``smoke`` flag; a file
+path is used as-is; no baseline (or a missing file) still prints the run
+table, just without delta columns.  Exit code is 0 unless ``--fail-above``
+is given and some backend regressed by more than that percentage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Baseline deltas smaller than this (percent) are shown without a marker;
+#: larger slowdowns get a warning glyph so they stand out in the summary.
+#: Deltas compare the machine-normalised ``speedup_vs_loop`` column (not raw
+#: seconds), so a slower CI runner does not read as a regression.
+HIGHLIGHT_PCT = 25.0
+
+
+def load_rows(path: Path) -> tuple[list[dict], bool]:
+    """Load benchmark rows from a payload dict or a raw row list."""
+    payload = json.loads(path.read_text())
+    if isinstance(payload, dict):
+        return list(payload.get("rows", [])), bool(payload.get("smoke", False))
+    return list(payload), False
+
+
+def resolve_baseline(baseline: Path | None, smoke: bool) -> Path | None:
+    """Resolve a --baseline argument (file or results directory) to a file."""
+    if baseline is None:
+        return None
+    if baseline.is_dir():
+        name = "apss_backend_matrix_smoke.json" if smoke \
+            else "apss_backend_matrix.json"
+        candidate = baseline / name
+        return candidate if candidate.exists() else None
+    return baseline if baseline.exists() else None
+
+
+def _fmt_seconds(value) -> str:
+    return f"{value:.4f}" if isinstance(value, (int, float)) else "—"
+
+
+def _fmt_speedup(value) -> str:
+    return f"{value:.2f}x" if isinstance(value, (int, float)) else "—"
+
+
+def render_table(rows: list[dict], baseline_rows: list[dict] | None
+                 ) -> tuple[str, list[tuple[str, str, float]]]:
+    """Render the markdown table; return it plus (workload, backend, Δ%)
+    tuples for every backend that slowed past :data:`HIGHLIGHT_PCT`."""
+    by_key = {}
+    for row in baseline_rows or []:
+        by_key[(row.get("workload"), row.get("backend"))] = row
+    header = ["workload", "backend", "pairs", "seconds", "vs loop"]
+    if by_key:
+        header += ["baseline vs loop", "Δ speedup"]
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "|".join("---" for _ in header) + "|"]
+    regressions: list[tuple[str, str, float]] = []
+    for row in rows:
+        cells = [str(row.get("workload", "—")),
+                 f"`{row.get('backend', '—')}`",
+                 str(row.get("pairs", "—")),
+                 _fmt_seconds(row.get("seconds")),
+                 _fmt_speedup(row.get("speedup_vs_loop"))]
+        if by_key:
+            base = by_key.get((row.get("workload"), row.get("backend")))
+            base_speedup = (base or {}).get("speedup_vs_loop")
+            speedup = row.get("speedup_vs_loop")
+            if isinstance(base_speedup, (int, float)) and base_speedup > 0 \
+                    and isinstance(speedup, (int, float)):
+                # Negative = this run is slower relative to exact-loop than
+                # the baseline was: the machine-speed-free regression signal.
+                delta_pct = 100.0 * (speedup - base_speedup) / base_speedup
+                marker = " ⚠️" if delta_pct < -HIGHLIGHT_PCT else ""
+                cells += [_fmt_speedup(base_speedup),
+                          f"{delta_pct:+.1f}%{marker}"]
+                if delta_pct < -HIGHLIGHT_PCT:
+                    regressions.append((str(row["workload"]),
+                                        str(row["backend"]), -delta_pct))
+            else:
+                cells += ["—", "new"]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines), regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; prints markdown suitable for $GITHUB_STEP_SUMMARY."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("run", type=Path,
+                        help="JSON written by bench_apss_backends.py --json")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline JSON file, or a results directory "
+                             "(e.g. benchmarks/results)")
+    parser.add_argument("--title", default="APSS backend matrix — trend vs "
+                                           "checked-in baseline")
+    parser.add_argument("--fail-above", type=float, default=None,
+                        metavar="PCT",
+                        help="exit 1 when any backend slowed down by more "
+                             "than PCT%% vs the baseline")
+    args = parser.parse_args(argv)
+
+    rows, smoke = load_rows(args.run)
+    baseline_path = resolve_baseline(args.baseline, smoke)
+    baseline_rows = load_rows(baseline_path)[0] if baseline_path else None
+
+    print(f"### {args.title}\n")
+    scope = "smoke" if smoke else "full"
+    against = f"`{baseline_path}`" if baseline_path else "*(no baseline found)*"
+    print(f"_{scope} matrix, compared against {against}. Timings are "
+          f"noisy across runners; treat deltas as trend, not truth._\n")
+    table, regressions = render_table(rows, baseline_rows)
+    print(table)
+    if regressions:
+        print("\n**Possible regressions (speedup-vs-loop down >"
+              + f"{HIGHLIGHT_PCT:.0f}%):**")
+        for workload, backend, drop_pct in regressions:
+            print(f"- {workload} / `{backend}`: -{drop_pct:.1f}% vs baseline")
+    if args.fail_above is not None:
+        over = [r for r in regressions if r[2] > args.fail_above]
+        if over:
+            print(f"\nfailing: regression(s) above {args.fail_above}%",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""pydocstyle-lite: enforce missing-docstring (D1xx) rules on public seams.
+
+A dependency-free subset of pydocstyle's D1xx family, run by CI (and by
+``tests/test_docstrings.py``) over ``src/repro/similarity`` and
+``src/repro/store``:
+
+* **D100** — public module missing a docstring;
+* **D101** — public class missing a docstring;
+* **D102** — public method missing a docstring;
+* **D103** — public function missing a docstring.
+
+"Public" means the name (and every enclosing class) does not start with an
+underscore; dunder methods are exempt (their contracts are the language's),
+as are ``@overload`` stubs and nested (function-local) definitions.  The
+goal is the documentation floor the docs site builds on: every symbol a
+user can import has at least a one-line summary.
+
+Usage::
+
+    python tools/check_docstrings.py src/repro/similarity src/repro/store
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Default roots checked when no arguments are given (repo-relative).
+DEFAULT_ROOTS = ("src/repro/similarity", "src/repro/store")
+
+
+def _is_overload(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for decorator in node.decorator_list:
+        name = decorator
+        if isinstance(name, ast.Attribute):
+            name = name.attr
+        elif isinstance(name, ast.Name):
+            name = name.id
+        else:
+            continue
+        if name == "overload":
+            return True
+    return False
+
+
+def _public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def check_source(path: Path, source: str) -> list[tuple[int, str, str]]:
+    """Return ``(line, code, message)`` findings for one module's source."""
+    tree = ast.parse(source, filename=str(path))
+    findings: list[tuple[int, str, str]] = []
+    if not ast.get_docstring(tree):
+        findings.append((1, "D100", "missing module docstring"))
+
+    def visit(node: ast.AST, class_name: str | None) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                if _public(child.name):
+                    if not ast.get_docstring(child):
+                        findings.append(
+                            (child.lineno, "D101",
+                             f"missing docstring in public class "
+                             f"{child.name!r}"))
+                    visit(child, child.name)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if (_public(child.name) and not _is_overload(child)
+                        and not ast.get_docstring(child)):
+                    if class_name is None:
+                        findings.append(
+                            (child.lineno, "D103",
+                             f"missing docstring in public function "
+                             f"{child.name!r}"))
+                    else:
+                        findings.append(
+                            (child.lineno, "D102",
+                             f"missing docstring in public method "
+                             f"{class_name}.{child.name!r}"))
+                # Function-local definitions are not public API: no recursion.
+
+    visit(tree, None)
+    return findings
+
+
+def check_tree(roots: list[Path]) -> list[str]:
+    """Check every ``.py`` file under *roots*; return formatted findings."""
+    lines: list[str] = []
+    for root in roots:
+        if not root.exists():
+            lines.append(f"{root}: path does not exist")
+            continue
+        files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+        for path in files:
+            try:
+                findings = check_source(path, path.read_text())
+            except SyntaxError as exc:  # pragma: no cover - broken source
+                lines.append(f"{path}:{exc.lineno}: unparsable: {exc.msg}")
+                continue
+            lines.extend(f"{path}:{line}: {code} {message}"
+                         for line, code, message in findings)
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: exit 1 when any public symbol lacks a docstring."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    roots = [Path(a) for a in arguments] or [Path(r) for r in DEFAULT_ROOTS]
+    findings = check_tree(roots)
+    for line in findings:
+        print(line)
+    if findings:
+        print(f"\n{len(findings)} docstring finding(s); every public "
+              f"module/class/function/method needs at least a one-line "
+              f"summary.")
+        return 1
+    checked = ", ".join(str(r) for r in roots)
+    print(f"docstring check ok: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
