@@ -1,0 +1,111 @@
+"""MVCC store maintenance: chain resolution, compaction and GC economics.
+
+Three claims of the versioned-manifest layer, measured end to end:
+
+* resolving a k-step delta chain through a snapshot is pure pair merging —
+  cheap, but linear in chain length; after ``compact()`` the same lookup
+  reads one consolidated entry (and returns the identical pair set);
+* compaction itself runs **zero** kernel searches (audited via
+  ``ApssEngine.search_calls``) — it is strictly cheaper than recomputing
+  the tip floor from scratch;
+* GC actually returns bytes: after compact + close + collect, the lineage
+  footprint drops back toward a single generation's worth.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.datasets import make_clustered_vectors
+from repro.similarity import ApssEngine
+from repro.store import DeltaApssBackend, SimilarityStore, fsck
+
+THRESHOLD = 0.3
+BASE_ROWS = 400
+BATCH_ROWS = 40
+GENERATIONS = 5
+
+
+@pytest.fixture(scope="module")
+def chain():
+    full = make_clustered_vectors(
+        BASE_ROWS + GENERATIONS * BATCH_ROWS, 12, 6, separation=4.0,
+        seed=37, name="mvcc-bench")
+    datasets = [full.subset(range(BASE_ROWS), name="gen-0")]
+    for generation in range(1, GENERATIONS + 1):
+        stop = BASE_ROWS + generation * BATCH_ROWS
+        rows = full.subset(range(stop - BATCH_ROWS, stop))
+        datasets.append(datasets[-1].append_rows(rows,
+                                                 name=f"gen-{generation}"))
+    return datasets
+
+
+def _key(dataset):
+    return (dataset.fingerprint(), "cosine", "exact-blocked", ())
+
+
+def _publish(store, chain, engine):
+    floor = engine.search(chain[0], THRESHOLD)
+    store.publish_floor(_key(chain[0]), floor)
+    delta_backend = DeltaApssBackend(n_workers=1)
+    for child in chain[1:]:
+        delta = child.parent_delta
+        store.publish_generation(child.fingerprint(),
+                                 parent=delta.parent_fingerprint,
+                                 n_rows=child.n_rows,
+                                 parent_rows=delta.parent_rows)
+        floor = delta_backend.extend(floor, child)
+        store.publish_floor(_key(child), floor, delta=delta)
+    return floor
+
+
+def _timed_resolves(store, key, rounds=20):
+    start = time.perf_counter()
+    for _ in range(rounds):
+        with store.open_snapshot() as snapshot:
+            result = snapshot.load_result(key)
+    return (time.perf_counter() - start) / rounds, result
+
+
+def test_compaction_consolidates_without_kernel_work(benchmark, record,
+                                                     tmp_path_factory, chain):
+    store = SimilarityStore(tmp_path_factory.mktemp("mvcc") / "store")
+    engine = ApssEngine()
+    _publish(store, chain, engine)
+    tip_key = _key(chain[-1])
+
+    chained_seconds, chained = _timed_resolves(store, tip_key)
+    assert chained.details["lineage"]["chain_length"] == GENERATIONS + 1
+    bytes_before = store.lineage_bytes()
+    calls_before = engine.search_calls
+
+    stats = benchmark.pedantic(store.compact, rounds=1, iterations=1)
+    assert stats.chains_folded == 1
+    assert engine.search_calls == calls_before, \
+        "compaction must not touch the kernel"
+
+    consolidated_seconds, consolidated = _timed_resolves(store, tip_key)
+    assert consolidated.details["lineage"]["chain_length"] == 1
+    assert [(p.first, p.second, p.similarity) for p in consolidated.pairs] \
+        == [(p.first, p.second, p.similarity) for p in chained.pairs]
+
+    gc_stats = store.gc()
+    bytes_after = store.lineage_bytes()
+    assert bytes_after < bytes_before, \
+        "GC after compaction must reclaim superseded chain entries"
+    assert fsck(store.root, strict_orphans=True).ok
+
+    record("store_mvcc_maintenance", {
+        "generations": GENERATIONS + 1,
+        "tip_rows": chain[-1].n_rows,
+        "tip_pairs": len(consolidated.pairs),
+        "resolve_seconds_chained": chained_seconds,
+        "resolve_seconds_consolidated": consolidated_seconds,
+        "lineage_bytes_before": bytes_before,
+        "lineage_bytes_after_gc": bytes_after,
+        "bytes_reclaimed": gc_stats.bytes_reclaimed,
+        "manifests_removed": gc_stats.manifests_removed,
+        "entries_removed": gc_stats.files_removed,
+    })

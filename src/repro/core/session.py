@@ -34,6 +34,7 @@ from repro.lsh.bayeslsh import ApssResult, BayesLSHConfig
 from repro.lsh.candidates import all_pair_candidates, banded_candidates
 from repro.lsh.sketches import SketchStore, build_sketch_store
 from repro.similarity.backends.bayeslsh import BayesLshBackend
+from repro.similarity.cache import CachedApssEngine
 from repro.similarity.engine import ApssEngine, EngineResult
 from repro.utils.timers import Stopwatch
 from repro.utils.validation import check_threshold
@@ -99,13 +100,23 @@ class PlasmaSession:
         wins, across sessions).  A dataset produced by ``append_rows``
         resumes from its *parent's* persisted knowledge — per-pair hash
         state only involves old rows and stays valid under appends.
+    snapshot:
+        A :class:`~repro.store.StoreSnapshot` the session's exact sweeps
+        read through.  With a *store* attached a snapshot is opened
+        automatically, so every :meth:`exact_baseline` of the session sees
+        one consistent manifest version regardless of concurrent ingest,
+        compaction or GC; :meth:`extend_dataset` publishes the appended
+        generation to the lineage and advances the snapshot past its own
+        write.  Call :meth:`close` (or use the session as a context
+        manager) to release the snapshot's pin lease.
     """
 
     def __init__(self, dataset: VectorDataset, *, measure: str = "cosine",
                  n_hashes: int = 128, config: BayesLSHConfig | None = None,
                  candidate_strategy: str = "all",
                  use_empirical_prior: bool = False, seed: int = 0,
-                 engine: ApssEngine | None = None, store=None) -> None:
+                 engine: ApssEngine | None = None, store=None,
+                 snapshot=None) -> None:
         if candidate_strategy not in ("all", "banded"):
             raise ValueError("candidate_strategy must be 'all' or 'banded'")
         if measure not in ("cosine", "jaccard"):
@@ -125,7 +136,19 @@ class PlasmaSession:
         self.cache = KnowledgeCache()
         self.history: list[ProbeResult] = []
         self._store: SketchStore | None = None
+        if store is None and snapshot is not None:
+            store = snapshot.store
         self.store = store
+        #: The manifest snapshot all of this session's exact sweeps read
+        #: (``None`` without a store): one consistent lineage version.
+        self.snapshot = snapshot
+        if self.snapshot is None and self.store is not None:
+            self.snapshot = self.store.open_snapshot()
+        self._sweeper: CachedApssEngine | None = None
+        if self.snapshot is not None:
+            self._sweeper = CachedApssEngine(
+                engine=self.engine, store=self.store,
+                snapshot=self.snapshot)
         #: How this session's knowledge cache started: ``"fresh"``, resumed
         #: from this dataset's persisted state (``"store"``), or seeded from
         #: the append parent's state (``"parent"``).
@@ -259,7 +282,34 @@ class PlasmaSession:
         self.invalidate_sketches()
         if self.store is not None:
             self._persist_session()
+            delta = self.dataset.parent_delta
+            # Publish the appended generation to the versioned lineage, then
+            # step this session's snapshot forward past its own write: MVCC
+            # protects a session from *other* writers, not from itself.
+            self.store.publish_generation(
+                self.dataset.fingerprint(),
+                parent=delta.parent_fingerprint,
+                n_rows=self.dataset.n_rows,
+                parent_rows=delta.parent_rows)
+            if self.snapshot is not None:
+                self.snapshot.close()
+                self.snapshot = self.store.open_snapshot()
+                if self._sweeper is not None:
+                    self._sweeper.snapshot = self.snapshot
         return self.dataset
+
+    def close(self) -> None:
+        """Release the session's snapshot pin lease (idempotent)."""
+        if self.snapshot is not None:
+            self.snapshot.close()
+
+    def __enter__(self) -> "PlasmaSession":
+        """Context-manager entry: the session itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: release the snapshot pin."""
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Probing
@@ -397,9 +447,15 @@ class PlasmaSession:
         """Exact APSS over the session's dataset through the engine.
 
         The ground truth the probe estimates are audited against; *backend*
-        may name any registered exact backend.
+        may name any registered exact backend.  With a store attached the
+        sweep runs through the session's snapshot-pinned cache layer: every
+        baseline of this session reads one manifest version, and kernel
+        floors it computes are published back to the lineage.
         """
         check_threshold(threshold)
+        if self._sweeper is not None:
+            return self._sweeper.search(self.dataset, threshold, self.measure,
+                                        backend=backend)
         return self.engine.search(self.dataset, threshold, self.measure,
                                   backend=backend)
 

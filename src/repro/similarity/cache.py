@@ -54,6 +54,14 @@ class CachedApssEngine:
         restore them from.  Defaults to the store named by the
         ``REPRO_APSS_STORE`` environment variable (when set); pass
         ``store=False`` to force a purely in-memory cache.
+    snapshot:
+        A :class:`~repro.store.StoreSnapshot` pinning this engine's reads
+        to one manifest version.  With a snapshot attached, store lookups
+        resolve through the pinned manifest only — concurrent ingest,
+        compaction and GC are invisible — and kernel floors are *published*
+        to the store's versioned lineage (:meth:`SimilarityStore.publish_floor`)
+        rather than merely spilled, so other sessions' future snapshots see
+        them.  The engine still serves its own fresh floors from memory.
     delta_workers:
         Worker processes for automatic delta extensions of appended
         datasets (see :class:`~repro.store.delta.DeltaApssBackend`).  The
@@ -77,7 +85,7 @@ class CachedApssEngine:
 
     def __init__(self, engine: ApssEngine | None = None,
                  backend: str | None = None, max_entries: int = 8,
-                 store=None, delta_workers: int = 1,
+                 store=None, delta_workers: int = 1, snapshot=None,
                  **backend_options) -> None:
         if engine is not None and (backend is not None or backend_options):
             raise ValueError("pass either an engine or backend options, not both")
@@ -88,13 +96,18 @@ class CachedApssEngine:
         self.engine = engine
         self.max_entries = int(max_entries)
         self.delta_workers = int(delta_workers)
-        if store is None:
+        if store is None and snapshot is not None:
+            # A snapshot names its own store; never fall through to the
+            # environment one, which may be a different directory entirely.
+            store = snapshot.store
+        elif store is None:
             from repro.store import SimilarityStore
 
             store = SimilarityStore.from_env()
         elif store is False:
             store = None
         self.store = store
+        self.snapshot = snapshot
         self._cache: dict[tuple, EngineResult] = {}
         self.hits = 0
         self.misses = 0
@@ -165,14 +178,26 @@ class CachedApssEngine:
 
         The single home of the floor-acceptance rule.  Returns
         ``(floor, source, stored)`` where *source* is ``"memory"``,
-        ``"store"`` or ``"none"`` and *stored* is whatever the store lookup
-        returned (``None`` when it missed or was never consulted) — callers
-        thread it into :meth:`_persist` so the entry is not re-read.
+        ``"store"``, ``"snapshot"`` or ``"none"`` and *stored* is whatever
+        the store lookup returned (``None`` when it missed or was never
+        consulted) — callers thread it into :meth:`_persist` so the entry
+        is not re-read.
+
+        With a snapshot attached, the pinned manifest is the *only*
+        persistent source consulted: falling back to the live store would
+        let a concurrent ingest leak through the isolation boundary.
         """
         stored = None
         cached = self._cache.get(key)
         if cached is not None and cached.threshold <= threshold:
             return cached, "memory", stored
+        if self.snapshot is not None:
+            pinned = self.snapshot.load_result(key)
+            if pinned is not None and pinned.threshold <= threshold:
+                if install:
+                    self._install(key, pinned)
+                return pinned, "snapshot", pinned
+            return None, "none", pinned
         if self.store is not None:
             stored = self.store.load_result(key)
             if stored is not None and stored.threshold <= threshold:
@@ -240,27 +265,38 @@ class CachedApssEngine:
                                           backend, options, key)
         if extended is not None:
             self._install(key, extended)
-            self._persist(key, extended, stored)
+            self._persist(key, extended, stored, dataset)
             return self._serve(extended, threshold, measure, "delta")
         result = self.engine.search(dataset, threshold, measure,
                                     backend=backend, **options)
         self._install(key, result)
-        self._persist(key, result, stored)
+        self._persist(key, result, stored, dataset)
         return result
 
     def _persist(self, key: tuple, result: EngineResult,
-                 existing: EngineResult | None) -> None:
+                 existing: EngineResult | None,
+                 dataset: VectorDataset | None = None) -> None:
         """Spill a floor result to the store unless a looser floor is held.
 
         *existing* is what this search's store lookup already returned for
         *key* (``None`` on a store miss) — threading it through avoids
         re-reading and re-materialising the entry just to compare floors.
+        With a snapshot attached, *existing* came from the pinned manifest
+        and may be stale, so the *live* floor is re-read before comparing,
+        and the result is published to the versioned lineage (carrying the
+        dataset's append delta, when present) instead of merely spilled.
         """
         if self.store is None:
             return
+        if self.snapshot is not None:
+            existing = self.store.load_result(key)
         if existing is not None and existing.threshold <= result.threshold:
             return
-        self.store.save_result(key, result)
+        if self.snapshot is not None:
+            self.store.publish_floor(
+                key, result, delta=getattr(dataset, "parent_delta", None))
+        else:
+            self.store.save_result(key, result)
 
     def iter_similarity_blocks(self, dataset: VectorDataset,
                                measure: str = "cosine", **kwargs):

@@ -1,6 +1,6 @@
 """Persistent + incremental APSS knowledge store.
 
-Two pieces:
+Three pieces:
 
 * :class:`~repro.store.similarity_store.SimilarityStore` — the disk-backed,
   versioned, checksummed store for pair sets, reducer state, sketches and
@@ -8,24 +8,65 @@ Two pieces:
 * :class:`~repro.store.delta.DeltaApssBackend` — the incremental-ingest
   path extending stored similarity state over
   :meth:`~repro.datasets.vectors.VectorDataset.append_rows` deltas in
-  O(new x total) instead of O(total^2).
+  O(new x total) instead of O(total^2);
+* the MVCC lineage layer (:mod:`repro.store.manifest`,
+  :mod:`repro.store.gc`) — versioned manifests, snapshot-isolated reads
+  (:class:`~repro.store.similarity_store.StoreSnapshot`), delta-chain
+  compaction, pin-aware garbage collection and the ``fsck`` invariant
+  auditor behind ``tools/fsck_store.py``.
 
 ``CachedApssEngine`` (spill/restore + delta extension) and ``PlasmaSession``
 (cross-process resume) wire these in behind their existing APIs.
 """
 
 from repro.store.delta import DeltaApssBackend, delta_pairs, iter_delta_blocks
+from repro.store.gc import (
+    CompactionStats,
+    FsckReport,
+    GcStats,
+    collect_garbage,
+    compact,
+    fsck,
+    lineage_bytes,
+)
+from repro.store.manifest import (
+    FloorRef,
+    GenerationRecord,
+    LineageLog,
+    Manifest,
+    Pin,
+    floor_axis,
+    lineage_entry_key,
+)
 from repro.store.similarity_store import (
     SCHEMA_VERSION,
     STORE_ENV_VAR,
     SimilarityStore,
+    StoreAttachError,
+    StoreSnapshot,
 )
 
 __all__ = [
     "SimilarityStore",
+    "StoreSnapshot",
+    "StoreAttachError",
     "STORE_ENV_VAR",
     "SCHEMA_VERSION",
     "DeltaApssBackend",
     "delta_pairs",
     "iter_delta_blocks",
+    "Manifest",
+    "GenerationRecord",
+    "FloorRef",
+    "LineageLog",
+    "Pin",
+    "floor_axis",
+    "lineage_entry_key",
+    "CompactionStats",
+    "GcStats",
+    "FsckReport",
+    "compact",
+    "collect_garbage",
+    "lineage_bytes",
+    "fsck",
 ]

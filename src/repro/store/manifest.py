@@ -1,0 +1,459 @@
+"""Versioned manifest: the MVCC layer of the persistent similarity store.
+
+The base :class:`~repro.store.similarity_store.SimilarityStore` is
+two-process safe at *entry* granularity — every write is one atomic
+replace — but a reader sweeping a fingerprint **lineage** (parent → append →
+append …) still races ingest at lineage granularity: between two of its
+lookups a writer may land a new generation, lower a floor or delete an
+entry.  This module adds the consistent-snapshot discipline on top:
+
+* **Manifests** are immutable JSON files (``manifest/MANIFEST-<v>.json``)
+  recording, per manifest *version*, the full fingerprint lineage: one
+  :class:`GenerationRecord` per dataset fingerprint with its parent link and
+  its per-axis floor entries (an *axis* is everything of a floor key except
+  the fingerprint — measure, backend, canonicalised options).
+* **CURRENT** (``manifest/CURRENT``) is a one-line pointer file naming the
+  live manifest; publishing a new version writes the new manifest file
+  first and then atomically replaces ``CURRENT``, so a crash anywhere
+  leaves either the old or the new version — never a torn one.
+* **Floor entries** referenced by manifests live in their own ``lineage/``
+  entry directory and are *immutable*: their keys embed the publishing
+  sequence number, so no landing ever rewrites a file an older manifest
+  references.  A generation's floor is either ``full`` (a complete pair
+  set) or ``delta`` (only the pairs its append introduced); a snapshot
+  reconstructs a delta chain's floor by pure pair merging — no kernel work.
+* **Pins** are lease files (``manifest/pins/``) held by open snapshots.  A
+  pin holds an OS-level ``flock`` for the lifetime of the snapshot, so a
+  SIGKILL-ed reader releases its lease automatically and garbage collection
+  (:mod:`repro.store.gc`) can tell a live pin from a stale one without
+  trusting any process to clean up after itself.
+
+All lineage mutations (publish, pin, compaction, GC) serialise on one
+``flock``-based lineage lock, which keeps the pin/GC handshake free of
+TOCTOU races; readers of ``CURRENT`` never need the lock because manifest
+files are immutable and the pointer is replaced atomically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+
+try:  # POSIX file locks; the pin/GC protocol degrades gracefully without.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "FloorRef",
+    "GenerationRecord",
+    "Manifest",
+    "LineageLog",
+    "Pin",
+    "floor_axis",
+    "lineage_entry_key",
+]
+
+#: Bump when the manifest JSON layout changes; older manifests are refused.
+MANIFEST_SCHEMA_VERSION = 1
+
+_MANIFEST_NAME = "MANIFEST-{version:08d}.json"
+_CURRENT = "CURRENT"
+_LOCK = "LOCK"
+_PIN_DIR = "pins"
+
+
+def floor_axis(key: tuple) -> str:
+    """The axis of a floor *key*: everything except the leading fingerprint.
+
+    Two floors of one dataset taken with the same measure/backend/options
+    share an axis; the manifest tracks one floor entry per (generation,
+    axis).  Axes are stored as ``repr`` strings so they can key JSON maps.
+    """
+    return repr(tuple(key[1:]))
+
+
+def lineage_entry_key(sequence: int, fingerprint: str, axis: str) -> tuple:
+    """The immutable store key of a lineage floor entry.
+
+    Embedding the publishing *sequence* (the manifest version that first
+    referenced the entry) makes every landing a fresh file: floors for the
+    same (fingerprint, axis) published at different times never collide, so
+    a pinned snapshot's files are never rewritten underneath it.  The axis
+    travels in its ``repr`` form so the key is reconstructable from the
+    manifest alone.
+    """
+    return ("lineage", int(sequence), str(fingerprint), str(axis))
+
+
+@dataclass(frozen=True)
+class FloorRef:
+    """One generation's floor entry for one axis.
+
+    ``kind`` is ``"full"`` (a complete pair set at ``threshold``) or
+    ``"delta"`` (only the pairs this generation's append introduced, at
+    ``threshold``); ``file`` is the entry path relative to the store root
+    and ``sequence`` the manifest version that published it (needed to
+    reconstruct the entry's self-validating key).
+    """
+
+    file: str
+    kind: str
+    threshold: float
+    sequence: int
+
+    def to_json(self) -> dict:
+        """JSON form of this reference."""
+        return {"file": self.file, "kind": self.kind,
+                "threshold": self.threshold, "sequence": self.sequence}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FloorRef":
+        """Rebuild a reference from its JSON form."""
+        return cls(file=str(data["file"]), kind=str(data["kind"]),
+                   threshold=float(data["threshold"]),
+                   sequence=int(data["sequence"]))
+
+
+@dataclass(frozen=True)
+class GenerationRecord:
+    """One dataset fingerprint's node in the manifest lineage."""
+
+    fingerprint: str
+    parent: str | None
+    n_rows: int
+    sequence: int
+    floors: dict[str, FloorRef] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        """JSON form of this generation."""
+        return {
+            "fingerprint": self.fingerprint, "parent": self.parent,
+            "n_rows": self.n_rows, "sequence": self.sequence,
+            "floors": {axis: ref.to_json()
+                       for axis, ref in sorted(self.floors.items())},
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "GenerationRecord":
+        """Rebuild a generation from its JSON form."""
+        return cls(
+            fingerprint=str(data["fingerprint"]),
+            parent=data.get("parent"),
+            n_rows=int(data["n_rows"]),
+            sequence=int(data["sequence"]),
+            floors={axis: FloorRef.from_json(ref)
+                    for axis, ref in data.get("floors", {}).items()})
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """An immutable, versioned view of the whole fingerprint lineage."""
+
+    version: int
+    generations: tuple[GenerationRecord, ...] = ()
+
+    def generation(self, fingerprint: str) -> GenerationRecord | None:
+        """The generation for *fingerprint*, or ``None``."""
+        for record in self.generations:
+            if record.fingerprint == fingerprint:
+                return record
+        return None
+
+    def files(self) -> set[str]:
+        """Every lineage entry file (store-root-relative) this version pins."""
+        return {ref.file for record in self.generations
+                for ref in record.floors.values()}
+
+    def tips(self) -> list[GenerationRecord]:
+        """Generations that are nobody's parent — the heads of each chain."""
+        parents = {record.parent for record in self.generations
+                   if record.parent is not None}
+        return [record for record in self.generations
+                if record.fingerprint not in parents]
+
+    def chain(self, fingerprint: str) -> list[GenerationRecord]:
+        """The lineage of *fingerprint*, root first, ending at it.
+
+        Stops at the first generation whose parent is absent from this
+        manifest (compaction legitimately drops folded ancestors).
+        """
+        out: list[GenerationRecord] = []
+        seen: set[str] = set()
+        record = self.generation(fingerprint)
+        while record is not None and record.fingerprint not in seen:
+            seen.add(record.fingerprint)
+            out.append(record)
+            record = (self.generation(record.parent)
+                      if record.parent is not None else None)
+        return list(reversed(out))
+
+    def replace(self, generations) -> "Manifest":
+        """A successor manifest (version + 1) with *generations*."""
+        return Manifest(version=self.version + 1,
+                        generations=tuple(generations))
+
+    def to_json(self) -> dict:
+        """JSON form of this manifest."""
+        return {"schema": MANIFEST_SCHEMA_VERSION, "version": self.version,
+                "generations": [g.to_json() for g in self.generations]}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Manifest":
+        """Rebuild a manifest from its JSON form (schema-checked)."""
+        if data.get("schema") != MANIFEST_SCHEMA_VERSION:
+            raise ValueError(
+                f"manifest schema {data.get('schema')!r} != "
+                f"{MANIFEST_SCHEMA_VERSION}")
+        return cls(version=int(data["version"]),
+                   generations=tuple(GenerationRecord.from_json(g)
+                                     for g in data.get("generations", ())))
+
+
+class Pin:
+    """A live lease on one manifest version, held by an open snapshot.
+
+    The pin is a small JSON file under ``manifest/pins/`` plus (on POSIX) an
+    exclusive ``flock`` on that file held for the pin's lifetime.  Process
+    death — including SIGKILL — releases the lock, so
+    :meth:`LineageLog.live_pins` can prune stale leases by simply trying the
+    lock.  Without ``fcntl`` the protocol falls back to pid liveness.
+    """
+
+    def __init__(self, path: Path, version: int, fd: int | None) -> None:
+        self.path = path
+        self.version = int(version)
+        self._fd = fd
+        self.released = False
+
+    def release(self) -> None:
+        """Drop the lease: unlink the pin file and release its lock."""
+        if self.released:
+            return
+        self.released = True
+        try:
+            self.path.unlink()
+        except OSError:
+            pass  # GC pruned a lease it (correctly) saw as stale
+        if self._fd is not None:
+            try:
+                os.close(self._fd)
+            except OSError:  # pragma: no cover - double close
+                pass
+            self._fd = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        self.release()
+
+
+class LineageLog:
+    """The on-disk manifest log of one store directory.
+
+    All mutating operations (:meth:`publish`, :meth:`pin`, and the
+    compaction/GC passes in :mod:`repro.store.gc`) run under one exclusive
+    ``flock`` (:meth:`lock`); reads of the current manifest are lock-free
+    because manifest files are immutable and ``CURRENT`` is replaced
+    atomically.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.dir = self.root / "manifest"
+
+    # ------------------------------------------------------------------ #
+    # Locking
+    # ------------------------------------------------------------------ #
+    class _Lock:
+        """Context manager holding the exclusive lineage ``flock``."""
+
+        def __init__(self, path: Path) -> None:
+            self._path = path
+            self._fd: int | None = None
+
+        def __enter__(self) -> "LineageLog._Lock":
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._fd = os.open(self._path, os.O_RDWR | os.O_CREAT, 0o644)
+            if fcntl is not None:
+                fcntl.flock(self._fd, fcntl.LOCK_EX)
+            return self
+
+        def __exit__(self, *exc_info) -> None:
+            if self._fd is not None:
+                if fcntl is not None:
+                    fcntl.flock(self._fd, fcntl.LOCK_UN)
+                os.close(self._fd)
+                self._fd = None
+
+    def lock(self) -> "LineageLog._Lock":
+        """The exclusive lineage lock (kernel-released on process death)."""
+        return self._Lock(self.dir / _LOCK)
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def manifest_path(self, version: int) -> Path:
+        """Path of the manifest file for *version*."""
+        return self.dir / _MANIFEST_NAME.format(version=int(version))
+
+    def versions(self) -> list[int]:
+        """Every manifest version with a file on disk, ascending."""
+        out = []
+        for path in self.dir.glob("MANIFEST-*.json"):
+            try:
+                out.append(int(path.stem.split("-", 1)[1]))
+            except (IndexError, ValueError):
+                continue
+        return sorted(out)
+
+    def read(self, version: int) -> Manifest:
+        """Load one manifest version (raises ``OSError``/``ValueError``)."""
+        data = json.loads(self.manifest_path(version).read_text())
+        manifest = Manifest.from_json(data)
+        if manifest.version != int(version):
+            raise ValueError(
+                f"manifest file for version {version} records version "
+                f"{manifest.version}")
+        return manifest
+
+    def current_version(self) -> int:
+        """The version ``CURRENT`` points at (0 when no lineage exists)."""
+        try:
+            name = (self.dir / _CURRENT).read_text().strip()
+        except OSError:
+            return 0
+        try:
+            return int(Path(name).stem.split("-", 1)[1])
+        except (IndexError, ValueError):
+            return 0
+
+    def current(self) -> Manifest:
+        """The live manifest (an empty version-0 one for a fresh store).
+
+        Lock-free: retries the ``CURRENT`` → manifest-file hop a few times
+        in case GC condemns the version between the two reads.
+        """
+        for _ in range(5):
+            version = self.current_version()
+            if version == 0:
+                return Manifest(version=0)
+            try:
+                return self.read(version)
+            except OSError:
+                continue  # CURRENT advanced and GC removed this file: retry
+        raise OSError(f"cannot resolve current manifest under {self.dir}")
+
+    # ------------------------------------------------------------------ #
+    # Publishing
+    # ------------------------------------------------------------------ #
+    def publish(self, mutate, *, prepare=None) -> Manifest:
+        """Atomically publish the successor of the current manifest.
+
+        Under the lineage lock: read the current manifest, apply *mutate*
+        (``Manifest -> iterable[GenerationRecord] | None``; ``None`` means
+        "no change"), write the new manifest file, then atomically replace
+        ``CURRENT``.  *prepare*, when given, runs under the lock *before*
+        the manifest file is written — it receives the successor version and
+        is where entry files are landed, so a crash between entry write and
+        pointer flip leaves only unreferenced (collectable) files behind.
+        """
+        with self.lock():
+            current = self.current()
+            generations = mutate(current)
+            if generations is None:
+                return current
+            successor = current.replace(generations)
+            if prepare is not None:
+                prepare(successor.version)
+            self._write_manifest(successor)
+            self._point_current(successor.version)
+            return successor
+
+    def _write_manifest(self, manifest: Manifest) -> None:
+        path = self.manifest_path(manifest.version)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + f".tmp-{os.getpid()}")
+        tmp.write_text(json.dumps(manifest.to_json(), indent=1))
+        os.replace(tmp, path)
+
+    def _point_current(self, version: int) -> None:
+        pointer = self.dir / _CURRENT
+        tmp = pointer.with_name(_CURRENT + f".tmp-{os.getpid()}")
+        tmp.write_text(self.manifest_path(version).name + "\n")
+        os.replace(tmp, pointer)
+
+    # ------------------------------------------------------------------ #
+    # Pins (snapshot leases)
+    # ------------------------------------------------------------------ #
+    def pin(self) -> tuple[Pin, Manifest]:
+        """Pin the current version and return ``(pin, manifest)``.
+
+        Runs under the lineage lock so GC (which scans pins under the same
+        lock) can never condemn the version between our ``CURRENT`` read and
+        the pin file landing.
+        """
+        with self.lock():
+            manifest = self.current()
+            pin_dir = self.dir / _PIN_DIR
+            pin_dir.mkdir(parents=True, exist_ok=True)
+            path = pin_dir / (f"v{manifest.version:08d}-{os.getpid()}-"
+                              f"{uuid.uuid4().hex[:8]}.pin")
+            fd = os.open(path, os.O_RDWR | os.O_CREAT | os.O_EXCL, 0o644)
+            os.write(fd, json.dumps({"version": manifest.version,
+                                     "pid": os.getpid()}).encode())
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            return Pin(path, manifest.version, fd), manifest
+
+    def live_pins(self, *, prune_stale: bool = True) -> set[int]:
+        """Versions pinned by a *live* holder (stale leases pruned).
+
+        Must be called under :meth:`lock` by mutators; a pin whose ``flock``
+        can be taken (or, without ``fcntl``, whose pid is dead) belongs to a
+        killed process and is removed.
+        """
+        pinned: set[int] = set()
+        pin_dir = self.dir / _PIN_DIR
+        if not pin_dir.is_dir():
+            return pinned
+        for path in sorted(pin_dir.glob("*.pin")):
+            try:
+                info = json.loads(path.read_text() or "{}")
+                version = int(info["version"])
+                pid = int(info.get("pid", 0))
+            except (OSError, ValueError, KeyError):
+                continue  # mid-write or concurrently released
+            if self._pin_is_live(path, pid):
+                pinned.add(version)
+            elif prune_stale:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        return pinned
+
+    @staticmethod
+    def _pin_is_live(path: Path, pid: int) -> bool:
+        if fcntl is not None:
+            try:
+                fd = os.open(path, os.O_RDWR)
+            except OSError:
+                return False  # released while we looked
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                return True  # somebody holds the lease
+            else:
+                return False  # lock was free: the holder died
+            finally:
+                os.close(fd)
+        if pid <= 0:  # pragma: no cover - non-POSIX fallback
+            return False
+        try:  # pragma: no cover - non-POSIX fallback
+            os.kill(pid, 0)
+        except OSError:  # pragma: no cover
+            return False
+        return True  # pragma: no cover

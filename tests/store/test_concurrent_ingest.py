@@ -182,6 +182,132 @@ def test_sweeper_never_observes_a_torn_floor(tmp_path):
     assert evictions == 0
 
 
+def _publish_lineage(store, generations=4):
+    """Land a delta chain in the versioned lineage (parent process side)."""
+    chain = _dataset_chain()[:generations]
+    keys = _keys(chain)
+    engine = ApssEngine()
+    store.publish_floor(keys[0], engine.search(chain[0], THRESHOLD))
+    for dataset, key in zip(chain[1:], keys[1:]):
+        delta = dataset.parent_delta
+        store.publish_generation(dataset.fingerprint(),
+                                 parent=delta.parent_fingerprint,
+                                 n_rows=dataset.n_rows,
+                                 parent_rows=delta.parent_rows)
+        store.publish_floor(key, engine.search(dataset, THRESHOLD),
+                            delta=delta)
+    return chain, keys
+
+
+def _compaction_crasher(store_root):
+    """Child process: compact, held open inside the pre-publish window."""
+    from repro.store import SimilarityStore
+    from repro.store.gc import compact
+
+    compact(SimilarityStore(store_root), pause_before_publish=120)
+
+
+def _gc_crasher(store_root):
+    """Child process: GC, held open between the manifest and entry phases."""
+    from repro.store import SimilarityStore
+    from repro.store.gc import collect_garbage
+
+    collect_garbage(SimilarityStore(store_root), pause_between_phases=120)
+
+
+def test_crash_mid_compaction_recovers_to_pre_compaction_manifest(tmp_path):
+    """SIGKILL inside compaction's crash window (consolidated entries on
+    disk, successor manifest unpublished): the store must reopen on the
+    pre-compaction manifest, leak nothing past one GC pass, and a re-run
+    compaction must complete with zero kernel work."""
+    from repro.similarity import reset_shared_pools
+    from repro.store import fsck
+
+    reset_shared_pools(wait=True)  # no executor threads across the fork
+    store = SimilarityStore(tmp_path / "crash-compact")
+    chain, keys = _publish_lineage(store)
+    version_before = store.manifest().version
+    lineage_dir = store.root / "lineage"
+    entries_before = len(list(lineage_dir.glob("*.entry")))
+
+    context = mp.get_context("fork" if os.name == "posix" else "spawn")
+    crasher = context.Process(target=_compaction_crasher,
+                              args=(str(store.root),))
+    crasher.start()
+    try:
+        # The seam sleeps *after* the consolidated entries land and *before*
+        # the successor manifest publishes: the first new entry file proves
+        # the pass is inside its crash window.
+        deadline = time.monotonic() + 90
+        while len(list(lineage_dir.glob("*.entry"))) <= entries_before:
+            if time.monotonic() > deadline or not crasher.is_alive():
+                pytest.fail("compaction never entered its crash window")
+            time.sleep(0.005)
+    finally:
+        crasher.kill()
+        crasher.join(timeout=30)
+
+    # Recovery contract: the pre-compaction manifest is current, every
+    # chain still resolves, and the half-written consolidation is debris.
+    assert store.manifest().version == version_before
+    report = fsck(store.root)
+    assert report.ok, report.errors
+    assert any("orphan" in warning for warning in report.warnings)
+    with store.open_snapshot() as snapshot:
+        assert snapshot.load_result(keys[-1]) is not None
+    store.gc()
+    assert fsck(store.root, strict_orphans=True).ok  # nothing leaked
+
+    engine = ApssEngine()
+    scratch = engine.search(chain[-1], THRESHOLD)
+    calls = engine.search_calls
+    stats = store.compact()
+    assert stats.chains_folded == 1 and engine.search_calls == calls
+    with store.open_snapshot() as snapshot:
+        final = snapshot.load_result(keys[-1])
+    assert final.pair_set() == scratch.pair_set()
+
+
+def test_crash_mid_gc_never_dangles_the_current_manifest(tmp_path):
+    """SIGKILL between GC's two phases (condemned manifests gone, their
+    entries not yet reclaimed): the current manifest must stay fully
+    resolvable — the crash may orphan entries, never dangle a reference."""
+    from repro.similarity import reset_shared_pools
+    from repro.store import fsck
+
+    reset_shared_pools(wait=True)
+    store = SimilarityStore(tmp_path / "crash-gc")
+    chain, keys = _publish_lineage(store)
+    store.compact()  # superseded manifests + entries become garbage
+    versions_before = len(store.lineage.versions())
+    assert versions_before > 1
+
+    context = mp.get_context("fork" if os.name == "posix" else "spawn")
+    crasher = context.Process(target=_gc_crasher, args=(str(store.root),))
+    crasher.start()
+    try:
+        deadline = time.monotonic() + 90
+        while len(store.lineage.versions()) >= versions_before:
+            if time.monotonic() > deadline or not crasher.is_alive():
+                pytest.fail("GC never entered its crash window")
+            time.sleep(0.005)
+    finally:
+        crasher.kill()
+        crasher.join(timeout=30)
+
+    current = store.manifest()
+    for relative in current.files():
+        assert (store.root / relative).is_file(), \
+            f"GC crash dangled {relative} out of the current manifest"
+    report = fsck(store.root)
+    assert report.ok, report.errors
+    with store.open_snapshot() as snapshot:
+        assert snapshot.load_result(keys[-1]) is not None
+    # One clean pass reclaims whatever the crash stranded: the leak oracle.
+    store.gc()
+    assert fsck(store.root, strict_orphans=True).ok
+
+
 def test_crashed_ingest_leaves_no_partial_entry(tmp_path):
     """Kill the writer mid-run (SIGKILL, no cleanup): whatever landed must
     be complete, whatever did not land must be absent — never partial."""

@@ -1,0 +1,408 @@
+"""Unit battery for the MVCC lineage layer of the similarity store.
+
+Covers the versioned manifest (publish, generations, delta landings), the
+snapshot-isolation contract of :meth:`SimilarityStore.open_snapshot`,
+delta-chain compaction (including the acceptance criterion: folding a
+k-step chain is byte-identical to the single-shot floor and runs **zero**
+kernel searches), pin-aware garbage collection, the ``fsck`` invariant
+auditor and the export/attach replication path.  Two-process and crash
+variants live in ``test_snapshot_isolation.py`` and
+``test_concurrent_ingest.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from harness import append_split, seeded_clustered
+from repro.core.session import PlasmaSession
+from repro.similarity import ApssEngine
+from repro.similarity.cache import CachedApssEngine
+from repro.store import (
+    DeltaApssBackend,
+    SimilarityStore,
+    StoreAttachError,
+    fsck,
+    floor_axis,
+)
+
+THRESHOLD = 0.3
+
+
+@pytest.fixture
+def store(tmp_path) -> SimilarityStore:
+    return SimilarityStore(tmp_path / "store")
+
+
+def _key(dataset):
+    return (dataset.fingerprint(), "cosine", "exact-blocked", ())
+
+
+def _chain(seed: int, base_rows: int = 24, batch: int = 4, k: int = 3):
+    """A deterministic append chain: ``k`` generations over a base."""
+    full = seeded_clustered(seed, n_rows=base_rows + k * batch,
+                            separation=4.0)
+    chain = [full.subset(range(base_rows), name="gen-0")]
+    for generation in range(1, k + 1):
+        stop = base_rows + generation * batch
+        rows = full.subset(range(stop - batch, stop))
+        chain.append(chain[-1].append_rows(rows, name=f"gen-{generation}"))
+    return chain
+
+
+def _publish_chain(store, chain, engine=None, threshold=THRESHOLD):
+    """Land the whole chain: base as full, every child as a delta."""
+    engine = engine or ApssEngine()
+    floor = engine.search(chain[0], threshold)
+    store.publish_floor(_key(chain[0]), floor)
+    delta_backend = DeltaApssBackend(n_workers=1)
+    for child in chain[1:]:
+        store.publish_generation(
+            child.fingerprint(), parent=child.parent_delta.parent_fingerprint,
+            n_rows=child.n_rows, parent_rows=child.parent_delta.parent_rows)
+        floor = delta_backend.extend(floor, child)
+        store.publish_floor(_key(child), floor, delta=child.parent_delta)
+    return floor
+
+
+def _canonical(result):
+    return [(p.first, p.second, p.similarity)
+            for p in sorted(result.pairs, key=lambda p: (p.first, p.second))]
+
+
+# --------------------------------------------------------------------- #
+# Publishing and the manifest graph
+# --------------------------------------------------------------------- #
+
+def test_publish_floor_lands_full_entry_and_advances_manifest(store):
+    dataset = seeded_clustered(901)
+    result = ApssEngine().search(dataset, THRESHOLD)
+    assert store.manifest().version == 0
+    manifest = store.publish_floor(_key(dataset), result)
+    assert manifest.version == 1
+    record = manifest.generation(dataset.fingerprint())
+    assert record is not None and record.parent is None
+    [ref] = record.floors.values()
+    assert ref.kind == "full" and ref.threshold == THRESHOLD
+    # The legacy mutable entry is written too (spill/restore still works).
+    assert store.load_result(_key(dataset)) is not None
+
+
+def test_child_with_delta_lands_only_the_new_pairs(store):
+    dataset = seeded_clustered(902, n_rows=28)
+    parent, child = append_split(dataset, 5)
+    engine = ApssEngine()
+    store.publish_floor(_key(parent), engine.search(parent, THRESHOLD))
+    extended = DeltaApssBackend(n_workers=1).extend(
+        engine.search(parent, THRESHOLD), child)
+    manifest = store.publish_floor(_key(child), extended,
+                                   delta=child.parent_delta)
+    record = manifest.generation(child.fingerprint())
+    assert record.parent == parent.fingerprint()
+    [ref] = record.floors.values()
+    assert ref.kind == "delta"
+    arrays, meta = store.read_entry_file(
+        store.root / ref.file, "lineage",
+        ("lineage", ref.sequence, child.fingerprint(),
+         floor_axis(_key(child))))
+    assert meta["parent_rows"] == parent.n_rows
+    assert all(second >= parent.n_rows for second in arrays["second"])
+
+
+def test_delta_landing_falls_back_to_full_without_parent_floor(store):
+    dataset = seeded_clustered(903, n_rows=28)
+    parent, child = append_split(dataset, 5)
+    extended = DeltaApssBackend(n_workers=1).extend(
+        ApssEngine().search(parent, THRESHOLD), child)
+    # The parent generation never published a floor: a delta entry would be
+    # unresolvable, so the landing must be full.
+    manifest = store.publish_floor(_key(child), extended,
+                                   delta=child.parent_delta)
+    [ref] = manifest.generation(child.fingerprint()).floors.values()
+    assert ref.kind == "full"
+
+
+def test_chain_resolution_matches_from_scratch_search(store):
+    chain = _chain(904, k=3)
+    _publish_chain(store, chain)
+    scratch = ApssEngine().search(chain[-1], THRESHOLD)
+    with store.open_snapshot() as snapshot:
+        resolved = snapshot.load_result(_key(chain[-1]))
+    assert resolved is not None
+    assert resolved.details["lineage"]["chain_length"] == 4
+    assert _canonical(resolved) == _canonical(scratch)
+
+
+def test_publish_generation_creates_missing_parent_record(store):
+    manifest = store.publish_generation("child-fp", parent="parent-fp",
+                                        n_rows=30, parent_rows=24)
+    assert manifest.generation("parent-fp").n_rows == 24
+    assert manifest.generation("child-fp").parent == "parent-fp"
+    # Re-publishing the same link is a no-op, not a version bump.
+    again = store.publish_generation("child-fp", parent="parent-fp",
+                                     n_rows=30, parent_rows=24)
+    assert again.version == manifest.version
+
+
+# --------------------------------------------------------------------- #
+# Snapshot isolation (in-process)
+# --------------------------------------------------------------------- #
+
+def test_snapshot_is_immune_to_later_publishes(store):
+    chain = _chain(905, k=2)
+    engine = ApssEngine()
+    base_floor = engine.search(chain[0], THRESHOLD)
+    store.publish_floor(_key(chain[0]), base_floor)
+    snapshot = store.open_snapshot()
+    before = snapshot.load_result(_key(chain[0]))
+
+    # Concurrent "ingest": new generation, lower floor, compaction, GC.
+    floor = DeltaApssBackend(n_workers=1).extend(base_floor, chain[1])
+    store.publish_generation(chain[1].fingerprint(),
+                             parent=chain[0].fingerprint(),
+                             n_rows=chain[1].n_rows,
+                             parent_rows=chain[0].n_rows)
+    store.publish_floor(_key(chain[1]), floor, delta=chain[1].parent_delta)
+    store.publish_floor(_key(chain[0]), engine.search(chain[0], 0.1))
+    store.compact()
+    store.gc()
+
+    after = snapshot.load_result(_key(chain[0]))
+    assert snapshot.load_result(_key(chain[1])) is None  # not in its world
+    assert _canonical(after) == _canonical(before)
+    assert after.threshold == before.threshold == THRESHOLD
+    snapshot.close()
+    with pytest.raises(ValueError):
+        snapshot.load_result(_key(chain[0]))
+
+
+def test_cached_engine_snapshot_reads_are_pinned(store):
+    dataset = seeded_clustered(906)
+    engine = ApssEngine()
+    store.publish_floor(_key(dataset), engine.search(dataset, THRESHOLD))
+    snapshot = store.open_snapshot()
+    cached = CachedApssEngine(snapshot=snapshot)
+    served = cached.search(dataset, THRESHOLD)
+    assert served.details["cache"]["source"] == "snapshot"
+    # A looser floor published after the snapshot must stay invisible: a
+    # tighter-than-pinned-floor probe goes to the kernel, not the store.
+    store.publish_floor(_key(dataset), engine.search(dataset, 0.05))
+    cached.clear()
+    assert cached.search(dataset, 0.1).details.get("cache") is None
+    snapshot.close()
+
+
+def test_cached_engine_publishes_kernel_floors_to_the_lineage(store):
+    dataset = seeded_clustered(907)
+    with store.open_snapshot() as snapshot:
+        cached = CachedApssEngine(snapshot=snapshot)
+        cached.search(dataset, THRESHOLD)
+    manifest = store.manifest()
+    assert manifest.generation(dataset.fingerprint()) is not None
+    with store.open_snapshot() as fresh:
+        assert fresh.load_result(_key(dataset)) is not None
+
+
+# --------------------------------------------------------------------- #
+# Compaction (the acceptance criterion)
+# --------------------------------------------------------------------- #
+
+def test_compact_folds_chain_byte_identical_with_zero_kernel_calls(store):
+    chain = _chain(908, k=3)
+    engine = ApssEngine()
+    _publish_chain(store, chain, engine=engine)
+    single_shot = engine.search(chain[-1], THRESHOLD)
+    calls_before = engine.search_calls
+
+    stats = store.compact()
+    assert engine.search_calls == calls_before, \
+        "compaction must be pure pair merging — no kernel invocations"
+    assert stats.chains_folded == 1
+    assert stats.generations_dropped == len(chain) - 1
+
+    manifest = store.manifest()
+    assert manifest.version == stats.manifest_version
+    record = manifest.generation(chain[-1].fingerprint())
+    assert record.parent is None
+    [ref] = record.floors.values()
+    assert ref.kind == "full"
+    resolved = store._resolve_manifest_floor(
+        manifest, chain[-1].fingerprint(), floor_axis(_key(chain[-1])))
+    assert _canonical(resolved) == _canonical(single_shot)
+    assert resolved.threshold == single_shot.threshold
+    assert resolved.n_rows == single_shot.n_rows
+    # Idempotent: a second pass finds nothing to fold.
+    assert store.compact().unchanged
+
+
+def test_compact_leaves_single_generation_chains_alone(store):
+    dataset = seeded_clustered(909)
+    store.publish_floor(_key(dataset), ApssEngine().search(dataset,
+                                                           THRESHOLD))
+    stats = store.compact()
+    assert stats.unchanged
+    assert store.manifest().generation(dataset.fingerprint()) is not None
+
+
+# --------------------------------------------------------------------- #
+# Garbage collection and pins
+# --------------------------------------------------------------------- #
+
+def test_gc_respects_live_pins_and_reclaims_after_close(store):
+    chain = _chain(910, k=2)
+    _publish_chain(store, chain)
+    snapshot = store.open_snapshot()
+    store.compact()
+
+    held = store.gc()
+    assert snapshot.version in held.retained_versions
+    assert snapshot.load_result(_key(chain[-1])) is not None  # still whole
+
+    snapshot.close()
+    released = store.gc()
+    assert released.retained_versions == (store.manifest().version,)
+    assert released.files_removed > 0
+    report = fsck(store.root, strict_orphans=True)
+    assert report.ok, report.errors
+
+
+def test_gc_prunes_stale_pin_files_from_dead_processes(store):
+    dataset = seeded_clustered(911)
+    store.publish_floor(_key(dataset), ApssEngine().search(dataset,
+                                                           THRESHOLD))
+    # A pin file with no live flock holder is what a SIGKILL-ed reader
+    # leaves behind; GC must treat it as stale, not as a leaked lease.
+    pin_dir = store.lineage.dir / "pins"
+    pin_dir.mkdir(parents=True, exist_ok=True)
+    stale = pin_dir / "v00000001-99999999-deadbeef.pin"
+    stale.write_text(json.dumps({"version": 1, "pid": 2 ** 22 + 12345}))
+    store.gc()
+    assert not stale.exists()
+
+
+def test_size_bounded_gc_compacts_first(store):
+    chain = _chain(912, k=3)
+    _publish_chain(store, chain)
+    stats = store.gc(max_lineage_bytes=1)
+    assert stats.compacted
+    record = store.manifest().generation(chain[-1].fingerprint())
+    assert record.parent is None  # the chain was folded on the way
+
+
+# --------------------------------------------------------------------- #
+# fsck: the invariant auditor
+# --------------------------------------------------------------------- #
+
+def test_fsck_passes_on_healthy_and_empty_stores(store):
+    assert fsck(store.root).ok
+    _publish_chain(store, _chain(913, k=2))
+    report = fsck(store.root)
+    assert report.ok, report.errors
+    assert report.stats["resolved_delta_floors"] >= 1
+
+
+def test_fsck_flags_corrupt_and_missing_referenced_entries(store):
+    _publish_chain(store, _chain(914, k=1))
+    manifest = store.manifest()
+    files = sorted(manifest.files())
+    target = store.root / files[0]
+    target.write_bytes(target.read_bytes()[:40])  # truncate: checksum dies
+    report = fsck(store.root)
+    assert not report.ok
+    assert any("validation" in error for error in report.errors)
+    target.unlink()
+    report = fsck(store.root)
+    assert any("missing entry" in error for error in report.errors)
+
+
+def test_fsck_reports_orphans_as_warnings_then_errors_when_strict(store):
+    dataset = seeded_clustered(915)
+    store.publish_floor(_key(dataset), ApssEngine().search(dataset,
+                                                           THRESHOLD))
+    orphan = store.root / "lineage" / "0123456789abcdef.entry"
+    orphan.write_bytes(b"debris")
+    relaxed = fsck(store.root)
+    assert relaxed.ok and any("orphan" in w for w in relaxed.warnings)
+    strict = fsck(store.root, strict_orphans=True)
+    assert not strict.ok
+    # GC reclaims the debris, after which strict mode passes again.
+    store.gc()
+    assert fsck(store.root, strict_orphans=True).ok
+
+
+def test_fsck_cli_tool_exits_nonzero_on_broken_store(store):
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    tool = Path(__file__).parents[2] / "tools" / "fsck_store.py"
+    _publish_chain(store, _chain(916, k=1))
+    healthy = subprocess.run([sys.executable, str(tool), str(store.root)],
+                             capture_output=True, text=True)
+    assert healthy.returncode == 0, healthy.stdout + healthy.stderr
+    (store.root / sorted(store.manifest().files())[0]).unlink()
+    broken = subprocess.run(
+        [sys.executable, str(tool), str(store.root), "--json"],
+        capture_output=True, text=True)
+    assert broken.returncode == 1
+    assert "missing entry" in broken.stdout
+
+
+# --------------------------------------------------------------------- #
+# Export / attach (cross-host replication)
+# --------------------------------------------------------------------- #
+
+def test_export_attach_serves_identical_floors(store, tmp_path):
+    chain = _chain(917, k=2)
+    _publish_chain(store, chain)
+    with store.open_snapshot() as snapshot:
+        expected = snapshot.load_result(_key(chain[-1]))
+        store.export_snapshot(tmp_path / "replica", snapshot)
+    attached = SimilarityStore.attach_snapshot(tmp_path / "replica")
+    with attached.open_snapshot() as view:
+        got = view.load_result(_key(chain[-1]))
+    assert _canonical(got) == _canonical(expected)
+    assert fsck(tmp_path / "replica", strict_orphans=True).ok
+
+
+def test_attach_rejects_missing_empty_and_incomplete_directories(store,
+                                                                 tmp_path):
+    with pytest.raises(StoreAttachError, match="not a directory"):
+        SimilarityStore.attach_snapshot(tmp_path / "nowhere")
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    with pytest.raises(StoreAttachError, match="no manifest"):
+        SimilarityStore.attach_snapshot(empty)
+    _publish_chain(store, _chain(918, k=1))
+    dest = tmp_path / "partial"
+    store.export_snapshot(dest)
+    (dest / sorted(SimilarityStore(dest).manifest().files())[0]).unlink()
+    with pytest.raises(StoreAttachError, match="missing entries"):
+        SimilarityStore.attach_snapshot(dest)
+
+
+# --------------------------------------------------------------------- #
+# Session wiring
+# --------------------------------------------------------------------- #
+
+def test_session_pins_one_snapshot_and_publishes_extensions(store):
+    chain = _chain(919, k=1, base_rows=20, batch=4)
+    with PlasmaSession(chain[0], n_hashes=16, store=store) as session:
+        assert session.snapshot is not None and session.snapshot.pinned
+        first_version = session.snapshot.version
+        baseline = session.exact_baseline(THRESHOLD)
+        scratch = ApssEngine().search(chain[0], THRESHOLD)
+        assert _canonical(baseline) == _canonical(scratch)
+        # The baseline's floor was published to the lineage.
+        assert store.manifest().generation(chain[0].fingerprint()) is not None
+
+        tail = chain[1].subset(range(20, 24))
+        session.extend_dataset(tail, name="gen-1")
+        record = store.manifest().generation(session.dataset.fingerprint())
+        assert record is not None
+        assert record.parent == chain[0].fingerprint()
+        # The session stepped its snapshot past its own write.
+        assert session.snapshot.version > first_version
+    assert session.snapshot.closed

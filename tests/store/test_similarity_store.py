@@ -10,6 +10,7 @@ directory must never produce a torn read.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import subprocess
 import sys
@@ -21,7 +22,7 @@ import pytest
 import repro
 from harness import seeded_clustered
 from repro.similarity import ApssEngine
-from repro.store import SCHEMA_VERSION, SimilarityStore
+from repro.store import SCHEMA_VERSION, SimilarityStore, StoreAttachError
 from repro.store.similarity_store import _MAGIC
 
 
@@ -242,3 +243,57 @@ def test_from_env_reads_the_env_var(tmp_path, monkeypatch):
     store = SimilarityStore.from_env()
     assert store is not None
     assert store.root == tmp_path / "env-store"
+
+
+def test_from_env_rejects_an_unusable_path_eagerly(tmp_path, monkeypatch):
+    """A bad ``REPRO_APSS_STORE`` must fail at attach time with an error
+    naming the variable — not on the first spill deep inside a search."""
+    # A path whose parent is a regular file cannot be created, even by root
+    # (chmod-based unwritability is unreliable under privileged CI users).
+    blocker = tmp_path / "blocker"
+    blocker.write_text("a file where a directory is needed")
+    monkeypatch.setenv("REPRO_APSS_STORE", str(blocker / "store"))
+    with pytest.raises(StoreAttachError, match="REPRO_APSS_STORE"):
+        SimilarityStore.from_env()
+
+
+def test_cached_engine_surfaces_a_bad_store_env_at_construction(
+        tmp_path, monkeypatch):
+    from repro.similarity.cache import CachedApssEngine
+
+    blocker = tmp_path / "blocker"
+    blocker.write_text("not a directory")
+    monkeypatch.setenv("REPRO_APSS_STORE", str(blocker / "store"))
+    with pytest.raises(StoreAttachError, match="REPRO_APSS_STORE"):
+        CachedApssEngine()
+
+
+# --------------------------------------------------------------------- #
+# Evictions are observable (structured logging)
+# --------------------------------------------------------------------- #
+
+def test_corruption_driven_eviction_emits_a_structured_warning(store,
+                                                               caplog):
+    _write_sample(store)
+    path = _entry_path(store)
+    _corrupt(path, lambda raw: raw.__setitem__(len(raw) - 10,
+                                               raw[len(raw) - 10] ^ 0xFF))
+    with caplog.at_level(logging.WARNING, logger="repro.store"):
+        assert store.load_result(KEY) is None
+    assert store.evictions == 1
+    [record] = [r for r in caplog.records
+                if "evicting" in r.getMessage()]
+    message = record.getMessage()
+    assert record.name == "repro.store"
+    assert "pairs" in message          # the entry kind
+    assert "fingerprint" in message    # the lookup key
+    assert "checksum" in message       # the failure kind
+
+
+def test_clean_operations_emit_no_eviction_warnings(store, caplog):
+    with caplog.at_level(logging.WARNING, logger="repro.store"):
+        _write_sample(store)
+        assert store.load_result(KEY) is not None
+        assert store.load_result(("absent", "cosine", "exact-blocked",
+                                  ())) is None
+    assert [r for r in caplog.records if "evicting" in r.getMessage()] == []

@@ -1,0 +1,251 @@
+"""Snapshot-isolation battery for the MVCC store.
+
+The contract under test: a sweep opened via ``open_snapshot()`` — before,
+during or after an ingest — observes exactly **one bit-complete lineage
+state**.  Every floor it resolves equals a from-scratch ground-truth search
+at one published threshold (never a torn or mixed-generation pair set), and
+the observation never changes for the lifetime of the snapshot, no matter
+what lands, lowers, compacts or collects concurrently.
+
+Two drivers:
+
+* a hypothesis suite replaying adversarial interleavings of the writer
+  operations (land a generation, lower a floor, compact, GC, open/close
+  snapshots) in-process, the patterns distilled from
+  ``test_concurrent_ingest.py``;
+* a genuinely concurrent two-process test — the acceptance criterion —
+  where a pinned snapshot in the parent must stay bit-identical while a
+  child process ingests appends and runs ``compact()`` + ``gc()``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from functools import lru_cache
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from harness import seeded_clustered
+from repro.similarity import ApssEngine
+from repro.store import SimilarityStore, fsck
+
+THRESHOLDS = (0.3, 0.15)
+BASE_ROWS = 24
+BATCH_ROWS = 4
+GENERATIONS = 3
+
+
+def _key(dataset):
+    return (dataset.fingerprint(), "cosine", "exact-blocked", ())
+
+
+@lru_cache(maxsize=1)
+def _chain():
+    """The deterministic append chain every example replays."""
+    full = seeded_clustered(407, n_rows=BASE_ROWS + GENERATIONS * BATCH_ROWS,
+                            separation=4.0)
+    chain = [full.subset(range(BASE_ROWS), name="gen-0")]
+    for generation in range(1, GENERATIONS + 1):
+        stop = BASE_ROWS + generation * BATCH_ROWS
+        rows = full.subset(range(stop - BATCH_ROWS, stop))
+        chain.append(chain[-1].append_rows(rows, name=f"gen-{generation}"))
+    return chain
+
+
+@lru_cache(maxsize=1)
+def _ground_truth():
+    """Canonical pair lists per (generation, threshold), computed once."""
+    engine = ApssEngine()
+    truth = {}
+    for index, dataset in enumerate(_chain()):
+        for threshold in THRESHOLDS:
+            result = engine.search(dataset, threshold)
+            truth[(index, threshold)] = _canonical(result)
+    return truth
+
+
+def _canonical(result):
+    return [(p.first, p.second, round(p.similarity, 12))
+            for p in sorted(result.pairs, key=lambda p: (p.first, p.second))]
+
+
+def _observe(snapshot):
+    """What one snapshot sees of the whole lineage, in canonical form."""
+    view = {}
+    for index, dataset in enumerate(_chain()):
+        result = snapshot.load_result(_key(dataset))
+        view[index] = (None if result is None
+                       else (result.threshold, _canonical(result)))
+    return view
+
+
+def _assert_bit_complete(view):
+    """Every observed floor is exactly one ground-truth state, never torn."""
+    truth = _ground_truth()
+    for index, observed in view.items():
+        if observed is None:
+            continue
+        threshold, pairs = observed
+        assert threshold in THRESHOLDS, \
+            f"generation {index} served unpublished threshold {threshold}"
+        assert pairs == truth[(index, threshold)], \
+            f"generation {index} served a torn floor at {threshold}"
+
+
+# --------------------------------------------------------------------- #
+# Adversarial interleavings (in-process, hypothesis-driven)
+# --------------------------------------------------------------------- #
+
+#: The writer-side operations an example interleaves.  ``land`` publishes
+#: the next unlanded generation (delta landing when eligible); ``lower``
+#: republishes an already-landed generation's floor at the tighter
+#: threshold; the rest are maintenance passes and reader lifecycle events.
+_OPS = st.lists(
+    st.sampled_from(["land", "lower", "compact", "gc", "open", "close"]),
+    min_size=4, max_size=14)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_OPS)
+def test_every_snapshot_sees_one_bit_complete_state(tmp_path_factory, ops):
+    chain = _chain()
+    engine = ApssEngine()
+    store = SimilarityStore(
+        tmp_path_factory.mktemp("interleave") / "store")
+    open_snapshots = []  # [(snapshot, observation-at-open)]
+    landed = 0
+    try:
+        for op in ops + ["land", "open"]:  # always end with a live reader
+            if op == "land" and landed <= GENERATIONS:
+                dataset = chain[landed]
+                if landed > 0:
+                    delta = dataset.parent_delta
+                    store.publish_generation(
+                        dataset.fingerprint(),
+                        parent=delta.parent_fingerprint,
+                        n_rows=dataset.n_rows,
+                        parent_rows=delta.parent_rows)
+                    store.publish_floor(_key(dataset),
+                                        engine.search(dataset, THRESHOLDS[0]),
+                                        delta=delta)
+                else:
+                    store.publish_floor(_key(dataset),
+                                        engine.search(dataset, THRESHOLDS[0]))
+                landed += 1
+            elif op == "lower" and landed:
+                dataset = chain[landed - 1]
+                store.publish_floor(_key(dataset),
+                                    engine.search(dataset, THRESHOLDS[1]))
+            elif op == "compact":
+                store.compact()
+            elif op == "gc":
+                store.gc()
+            elif op == "open":
+                snapshot = store.open_snapshot()
+                view = _observe(snapshot)
+                _assert_bit_complete(view)
+                open_snapshots.append((snapshot, view))
+            elif op == "close" and open_snapshots:
+                snapshot, _ = open_snapshots.pop(0)
+                snapshot.close()
+            # The isolation contract: no operation moves any open reader.
+            for snapshot, opened_view in open_snapshots:
+                assert _observe(snapshot) == opened_view, \
+                    f"snapshot v{snapshot.version} moved after {op!r}"
+        assert fsck(store.root).ok
+    finally:
+        for snapshot, _ in open_snapshots:
+            snapshot.close()
+
+
+# --------------------------------------------------------------------- #
+# Two-process isolation (the acceptance criterion)
+# --------------------------------------------------------------------- #
+
+def _ingest_writer(store_root, marker_dir):
+    """Child process: ingest every generation, lower, compact, collect."""
+    chain = _chain()
+    engine = ApssEngine()
+    store = SimilarityStore(store_root)
+    for generation in range(1, GENERATIONS + 1):
+        dataset = chain[generation]
+        delta = dataset.parent_delta
+        store.publish_generation(dataset.fingerprint(),
+                                 parent=delta.parent_fingerprint,
+                                 n_rows=dataset.n_rows,
+                                 parent_rows=delta.parent_rows)
+        store.publish_floor(_key(dataset),
+                            engine.search(dataset, THRESHOLDS[0]),
+                            delta=delta)
+        (marker_dir / f"gen-{generation}").touch()
+    # Rewrite history under the reader: lower the base floor, fold the
+    # chain, collect everything unpinned.
+    store.publish_floor(_key(chain[0]), engine.search(chain[0],
+                                                      THRESHOLDS[1]))
+    store.compact()
+    (marker_dir / "compacted").touch()
+    store.gc()
+    (marker_dir / "collected").touch()
+
+
+def test_pinned_snapshot_is_bit_identical_under_concurrent_ingest(tmp_path):
+    chain = _chain()
+    store = SimilarityStore(tmp_path / "store")
+    store.publish_floor(_key(chain[0]),
+                        ApssEngine().search(chain[0], THRESHOLDS[0]))
+    snapshot = store.open_snapshot()
+    opened_view = _observe(snapshot)
+    _assert_bit_complete(opened_view)
+    assert opened_view[0] is not None
+
+    marker_dir = tmp_path / "markers"
+    marker_dir.mkdir()
+    context = mp.get_context("fork" if os.name == "posix" else "spawn")
+    writer = context.Process(target=_ingest_writer,
+                             args=(str(store.root), marker_dir))
+    writer.start()
+    mid_snapshot = None
+    mid_view = None
+    try:
+        deadline = time.monotonic() + 120
+        seen = set()
+        while writer.is_alive() or len(seen) < GENERATIONS + 2:
+            for marker in marker_dir.iterdir():
+                seen.add(marker.name)
+            # "During": the pinned view must never move, poll after poll.
+            assert _observe(snapshot) == opened_view
+            if mid_snapshot is None and "gen-2" in seen:
+                mid_snapshot = store.open_snapshot()
+                mid_view = _observe(mid_snapshot)
+                _assert_bit_complete(mid_view)
+            if mid_snapshot is not None:
+                assert _observe(mid_snapshot) == mid_view
+            if time.monotonic() > deadline:
+                pytest.fail(f"writer stalled; markers seen: {sorted(seen)}")
+            time.sleep(0.01)
+        writer.join(timeout=60)
+    finally:
+        if writer.is_alive():
+            writer.kill()
+            writer.join(timeout=30)
+    assert writer.exitcode == 0
+
+    # "After": both pinned views survived ingest + lowering + compact + GC
+    # bit-identically, and a fresh snapshot sees the final state.
+    assert _observe(snapshot) == opened_view
+    if mid_snapshot is not None:
+        assert _observe(mid_snapshot) == mid_view
+        mid_snapshot.close()
+    snapshot.close()
+    with store.open_snapshot() as fresh:
+        final = _observe(fresh)
+    _assert_bit_complete(final)
+    # Compaction folded the chain: the tip resolves (consolidated), the
+    # folded ancestors are gone from the current manifest by design.
+    assert final[GENERATIONS] is not None
+    store.gc()
+    assert fsck(store.root, strict_orphans=True).ok

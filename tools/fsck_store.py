@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Invariant checker for a SimilarityStore directory (the lineage fsck).
+
+A thin CLI over :func:`repro.store.gc.fsck`, the on-disk leak oracle the
+crash-test battery asserts with.  Audits the manifest/entry graph of a
+store directory:
+
+* ``CURRENT`` resolves to a manifest file that exists and parses;
+* every entry referenced by any on-disk manifest exists and validates
+  (magic, schema, checksum, recorded key);
+* every delta floor in the current manifest resolves through its parent
+  chain to a full floor.
+
+Collectable debris — orphaned lineage entries, stray temp files — is
+reported as warnings by default and promoted to errors with
+``--strict-orphans`` (the contract immediately after a garbage-collection
+pass, when nothing unreferenced may remain).
+
+Usage::
+
+    python tools/fsck_store.py /path/to/store [--strict-orphans] [--json]
+
+Exit status: 0 when every invariant holds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.store.gc import fsck  # noqa: E402
+
+
+def main(argv=None) -> int:
+    """Run the audit and print a human (or ``--json``) report."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("root", help="store directory to audit")
+    parser.add_argument("--strict-orphans", action="store_true",
+                        help="treat orphaned entries and stray temp files "
+                             "as errors (the post-GC contract)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the report as JSON")
+    args = parser.parse_args(argv)
+
+    report = fsck(args.root, strict_orphans=args.strict_orphans)
+    if args.as_json:
+        print(json.dumps({"root": report.root, "ok": report.ok,
+                          "errors": report.errors,
+                          "warnings": report.warnings,
+                          "stats": report.stats}, indent=2, default=str))
+    else:
+        print(f"fsck {report.root}: {'ok' if report.ok else 'BROKEN'}")
+        for line in report.errors:
+            print(f"  error: {line}")
+        for line in report.warnings:
+            print(f"  warning: {line}")
+        for name, value in sorted(report.stats.items()):
+            print(f"  {name}: {value}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
