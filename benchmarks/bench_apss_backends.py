@@ -37,9 +37,15 @@ EXPECTED_BACKENDS = frozenset(
     {"exact-loop", "exact-blocked", "prefix-filter", "bayeslsh",
      "sharded-blocked"})
 
+#: Candidate-generation strategies ``bayeslsh`` must declare through
+#: ``parity_variants()`` — the banded column is how candidate-generation
+#: regressions (a lost strategy, a renamed option) surface in ``--check``
+#: before any benchmarking happens.
+EXPECTED_BAYESLSH_STRATEGIES = ("all", "banded")
+
 
 def check_registry() -> None:
-    """Fail loudly when the backend registry lost a backend."""
+    """Fail loudly when the backend registry lost a backend or strategy."""
     registered = set(available_backends())
     missing = EXPECTED_BACKENDS - registered
     if missing:
@@ -47,6 +53,16 @@ def check_registry() -> None:
             f"APSS backend registry is missing {sorted(missing)} "
             f"(registered: {sorted(registered)}); a backend module failed "
             f"to import or register")
+    from repro.similarity import get_backend_class
+
+    strategies = tuple(options.get("candidate_strategy")
+                       for options in
+                       get_backend_class("bayeslsh").parity_variants())
+    if strategies != EXPECTED_BAYESLSH_STRATEGIES:
+        raise SystemExit(
+            f"bayeslsh parity variants declare candidate strategies "
+            f"{strategies}, expected {EXPECTED_BAYESLSH_STRATEGIES}; the "
+            f"banded candidate path lost its registry seam")
 
 
 #: Backend specs are either a registry name or ``(label, name, options)``;
@@ -57,7 +73,9 @@ SMOKE_WORKLOADS = [
      lambda: make_clustered_vectors(200, 50, 6, separation=4.0, seed=41,
                                     name="dense-200x50"),
      "cosine", 0.5,
-     ["exact-loop", "exact-blocked", "prefix-filter", "bayeslsh",
+     ["exact-loop", "exact-blocked", "prefix-filter",
+      ("bayeslsh@all", "bayeslsh", {"candidate_strategy": "all"}),
+      ("bayeslsh@banded", "bayeslsh", {"candidate_strategy": "banded"}),
       ("sharded@2w", "sharded-blocked", {"n_workers": 2})]),
     ("sparse-150x300-jaccard",
      lambda: make_sparse_corpus(150, 300, avg_doc_length=18, n_topics=5,
@@ -87,7 +105,9 @@ FULL_WORKLOADS = [
      lambda: make_clustered_vectors(400, 64, 8, separation=4.0, seed=51,
                                     name="dense-400x64"),
      "cosine", 0.6,
-     ["exact-loop", "exact-blocked", "prefix-filter", "bayeslsh",
+     ["exact-loop", "exact-blocked", "prefix-filter",
+      ("bayeslsh@all", "bayeslsh", {"candidate_strategy": "all"}),
+      ("bayeslsh@banded", "bayeslsh", {"candidate_strategy": "banded"}),
       ("sharded@2w", "sharded-blocked", {"n_workers": 2})]),
 ]
 
@@ -131,6 +151,7 @@ def run_matrix(smoke: bool = True) -> list[dict]:
                 "threshold": threshold,
                 "backend": label,
                 "n_workers": options.get("n_workers"),
+                "candidate_strategy": options.get("candidate_strategy"),
                 "exact": result.exact,
                 "pairs": result.pair_count(),
                 "reference_pairs": reference_count,

@@ -36,6 +36,7 @@ class CachedPair:
 
     @property
     def pair(self) -> tuple[int, int]:
+        """The cached ``(first, second)`` row-index pair."""
         return (self.first, self.second)
 
 
@@ -98,6 +99,7 @@ class KnowledgeCache:
     # ------------------------------------------------------------------ #
     @property
     def n_pairs(self) -> int:
+        """Number of pairs with cached evaluation state."""
         return len(self._pairs)
 
     def __len__(self) -> int:
@@ -107,6 +109,7 @@ class KnowledgeCache:
         return self._key(pair) in self._pairs
 
     def get(self, pair: tuple[int, int]) -> CachedPair | None:
+        """The cached state for *pair* (either orientation), or ``None``."""
         return self._pairs.get(self._key(pair))
 
     def pairs(self) -> list[CachedPair]:
@@ -230,6 +233,7 @@ class KnowledgeCache:
                 estimate=float(pair.similarity), variance=1e-12))
 
     def clear(self) -> None:
+        """Drop every cached pair, probed threshold and savings counter."""
         self._pairs.clear()
         self.probed_thresholds.clear()
         self.hashes_saved = 0

@@ -36,6 +36,7 @@ from repro.lsh.sketches import SketchStore, build_sketch_store
 from repro.similarity.backends.bayeslsh import BayesLshBackend
 from repro.similarity.cache import CachedApssEngine
 from repro.similarity.engine import ApssEngine, EngineResult
+from repro.similarity.tiered import TieredAnswer, TieredApssEngine
 from repro.utils.timers import Stopwatch
 from repro.utils.validation import check_threshold
 
@@ -117,8 +118,9 @@ class PlasmaSession:
                  use_empirical_prior: bool = False, seed: int = 0,
                  engine: ApssEngine | None = None, store=None,
                  snapshot=None) -> None:
-        if candidate_strategy not in ("all", "banded"):
-            raise ValueError("candidate_strategy must be 'all' or 'banded'")
+        if candidate_strategy not in ("all", "banded", "auto"):
+            raise ValueError(
+                "candidate_strategy must be 'all', 'banded' or 'auto'")
         if measure not in ("cosine", "jaccard"):
             raise ValueError("measure must be 'cosine' or 'jaccard'")
         self.dataset = dataset
@@ -149,6 +151,7 @@ class PlasmaSession:
             self._sweeper = CachedApssEngine(
                 engine=self.engine, store=self.store,
                 snapshot=self.snapshot)
+        self._tiered: TieredApssEngine | None = None
         #: How this session's knowledge cache started: ``"fresh"``, resumed
         #: from this dataset's persisted state (``"store"``), or seeded from
         #: the append parent's state (``"parent"``).
@@ -291,15 +294,28 @@ class PlasmaSession:
                 parent=delta.parent_fingerprint,
                 n_rows=self.dataset.n_rows,
                 parent_rows=delta.parent_rows)
-            if self.snapshot is not None:
-                self.snapshot.close()
-                self.snapshot = self.store.open_snapshot()
-                if self._sweeper is not None:
-                    self._sweeper.snapshot = self.snapshot
+            self._step_snapshot()
         return self.dataset
 
+    def _step_snapshot(self) -> None:
+        """Re-pin the session's snapshot at the current manifest version.
+
+        MVCC protects a session from *other* writers; stepping the pin is
+        how the session advances past writes it asked for itself — its own
+        ingest (:meth:`extend_dataset`) and landed tier refinements
+        (:meth:`await_refinement`).
+        """
+        if self.snapshot is None:
+            return
+        self.snapshot.close()
+        self.snapshot = self.store.open_snapshot()
+        if self._sweeper is not None:
+            self._sweeper.snapshot = self.snapshot
+
     def close(self) -> None:
-        """Release the session's snapshot pin lease (idempotent)."""
+        """Release the session's snapshot pin lease and drain refinements."""
+        if self._tiered is not None:
+            self._tiered.close()
         if self.snapshot is not None:
             self.snapshot.close()
 
@@ -315,7 +331,8 @@ class PlasmaSession:
     # Probing
     # ------------------------------------------------------------------ #
     def _candidates(self) -> list[tuple[int, int]]:
-        if self.candidate_strategy == "all":
+        strategy = self.verifier.resolve_strategy(self.dataset.n_rows)
+        if strategy == "all":
             return list(all_pair_candidates(self.dataset.n_rows))
         return banded_candidates(self.sketch_store.sketches)
 
@@ -441,6 +458,56 @@ class PlasmaSession:
                                           float(threshold))
             counts[float(threshold)] = result.pair_count()
         return counts, watch.stop()
+
+    # ------------------------------------------------------------------ #
+    # Two-tier serving: sketch answers now, exact refinement behind
+    # ------------------------------------------------------------------ #
+    @property
+    def tiered(self) -> TieredApssEngine:
+        """The session's two-tier engine, built lazily on first use.
+
+        Shares the session's snapshot-pinned sweep cache (when a store is
+        attached) and its BayesLSH configuration, so sketch-tier floors and
+        exact refinements land in the same store every other layer reads.
+        """
+        if self._tiered is None:
+            cache = self._sweeper
+            if cache is None:
+                cache = CachedApssEngine(
+                    engine=self.engine,
+                    store=self.store if self.store is not None else False)
+            self._tiered = TieredApssEngine(
+                cache,
+                sketch_options={"n_hashes": self.n_hashes, "seed": self.seed,
+                                "config": self.config,
+                                "candidate_strategy": self.candidate_strategy})
+        return self._tiered
+
+    def tiered_probe(self, threshold: float) -> TieredAnswer:
+        """Probe *threshold*, answering now and refining to exact behind.
+
+        Returns a :class:`~repro.similarity.tiered.TieredAnswer` that
+        unpacks as ``(result, tier, bound)``: an immediate sketch-tier
+        answer carries ``bound = 1 − ε`` and schedules a background exact
+        sweep; once that lands (see :meth:`await_refinement`) the same call
+        transparently re-serves the exact floor with ``bound = 1.0`` — no
+        kernel work, audited by ``session.engine.search_calls``.
+        """
+        check_threshold(threshold)
+        return self.tiered.probe(self.dataset, threshold, self.measure)
+
+    def await_refinement(self, timeout: float | None = None) -> list[EngineResult]:
+        """Block until scheduled exact refinements land, then step the pin.
+
+        After this returns, the upgraded (exact) floors are visible both to
+        this session's :meth:`tiered_probe`/:meth:`exact_baseline` *and* —
+        because the snapshot pin is re-opened past the upgrade — to any
+        lineage-consistent reader of the session's snapshot.
+        """
+        results = self.tiered.wait(timeout)
+        if results:
+            self._step_snapshot()
+        return results
 
     def exact_baseline(self, threshold: float,
                        backend: str | None = None) -> EngineResult:

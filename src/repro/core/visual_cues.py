@@ -41,6 +41,7 @@ class TriangleHistogram:
     mean_per_vertex: float
 
     def as_series(self) -> tuple[np.ndarray, np.ndarray]:
+        """The histogram as plottable ``(bin centers, counts)`` arrays."""
         centers = (self.bin_edges[:-1] + self.bin_edges[1:]) / 2.0
         return centers, self.counts
 

@@ -90,6 +90,7 @@ class PairEvaluation:
 
     @property
     def pair(self) -> tuple[int, int]:
+        """The evaluated ``(first, second)`` row-index pair."""
         return (self.first, self.second)
 
 
@@ -108,9 +109,11 @@ class ApssResult:
 
     @property
     def n_retained(self) -> int:
+        """Number of candidate pairs that survived verification."""
         return len(self.pairs)
 
     def pair_count(self) -> int:
+        """Number of retained pairs (alias of :attr:`n_retained`)."""
         return len(self.pairs)
 
 

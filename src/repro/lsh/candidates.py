@@ -9,6 +9,12 @@ Two strategies are provided:
   keeps candidate counts near-linear for large sparse corpora at high
   thresholds, mirroring the candidate-generation stage the BayesLSH paper
   pairs with its Bayesian verification.
+
+Both strategies support a **new-vs-all mode** (``new_rows=``) for appended
+datasets: only pairs touching at least one appended row are generated, which
+is what gives the approximate path the same O(Δn·n) append cost as the exact
+delta-ingest path — old-vs-old pairs were already answered by the parent
+floor and are never re-candidated.
 """
 
 from __future__ import annotations
@@ -21,16 +27,30 @@ import numpy as np
 __all__ = ["all_pair_candidates", "banded_candidates"]
 
 
-def all_pair_candidates(n_rows: int) -> Iterator[tuple[int, int]]:
-    """Yield every unordered pair (i, j) with i < j."""
-    for i in range(n_rows):
-        for j in range(i + 1, n_rows):
+def all_pair_candidates(n_rows: int,
+                        new_rows: range | None = None) -> Iterator[tuple[int, int]]:
+    """Yield unordered pairs (i, j) with i < j.
+
+    Without *new_rows*, every pair is yielded.  With *new_rows* (the suffix
+    row range an append introduced), only pairs with at least one endpoint in
+    that range are yielded — each exactly once, in canonical order.
+    """
+    if new_rows is None:
+        for i in range(n_rows):
+            for j in range(i + 1, n_rows):
+                yield (i, j)
+        return
+    for j in new_rows:
+        if j >= n_rows:
+            break
+        for i in range(j):
             yield (i, j)
 
 
 def banded_candidates(sketches: np.ndarray, band_size: int = 8,
                       n_bands: int | None = None,
-                      max_bucket: int | None = 2000) -> list[tuple[int, int]]:
+                      max_bucket: int | None = 2000,
+                      new_rows: range | None = None) -> list[tuple[int, int]]:
     """Candidate pairs from LSH banding of the sketch matrix.
 
     Parameters
@@ -44,6 +64,12 @@ def banded_candidates(sketches: np.ndarray, band_size: int = 8,
     max_bucket:
         Buckets larger than this are skipped to avoid quadratic blow-up on
         degenerate hash values (e.g. the all-zero sketch of empty rows).
+    new_rows:
+        New-vs-all mode: only pairs with at least one endpoint in this row
+        range are generated (old rows still participate in bucketing, so an
+        appended row is candidated against every colliding old row).  The
+        per-band cost drops from O(bucket²) to O(new_in_bucket · bucket),
+        making an append's candidate generation O(Δn·n) worst case.
 
     Returns
     -------
@@ -68,6 +94,20 @@ def banded_candidates(sketches: np.ndarray, band_size: int = 8,
             if len(members) < 2:
                 continue
             if max_bucket is not None and len(members) > max_bucket:
+                continue
+            if new_rows is not None:
+                # range membership tests are O(1); members are sorted by
+                # construction, so new rows (an appended suffix) come last.
+                fresh = [m for m in members if m in new_rows]
+                if not fresh:
+                    continue
+                fresh_set = set(fresh)
+                for j in fresh:
+                    for i in members:
+                        if i < j:
+                            candidates.add((i, j))
+                        elif i > j and i not in fresh_set:
+                            candidates.add((j, i))
                 continue
             for idx_a in range(len(members)):
                 for idx_b in range(idx_a + 1, len(members)):

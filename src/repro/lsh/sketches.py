@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.datasets.vectors import VectorDataset
+from repro.datasets.vectors import DatasetDelta, VectorDataset
 from repro.lsh.minhash import MinHashSketcher
 from repro.lsh.random_projection import CosineSketcher
 from repro.utils.timers import Stopwatch
@@ -47,11 +47,78 @@ class SketchStore:
 
     @property
     def n_rows(self) -> int:
+        """Number of sketched rows."""
         return self.sketches.shape[0]
 
     @property
     def n_hashes(self) -> int:
+        """Sketch length (hash positions per row)."""
         return self.sketches.shape[1]
+
+    def copy(self) -> "SketchStore":
+        """An independent store over the same sketches.
+
+        Cheap by construction: the sketch matrix is shared (``extend_rows``
+        replaces it via ``vstack`` rather than mutating in place, so the
+        copy and the original can diverge safely) and the sketcher is
+        stateless per row.  The delta-extension path copies a parent's
+        store before extending so one parent can seed many children.
+        """
+        return SketchStore(self.sketches, self.sketcher,
+                           build_seconds=self.build_seconds)
+
+    def extend_rows(self, dataset: VectorDataset,
+                    delta: DatasetDelta | None = None, *,
+                    verify_fingerprint: bool = True) -> DatasetDelta:
+        """Sketch only *dataset*'s appended rows, growing the store in place.
+
+        Sketchers hash each row independently with seed-derived randomness, so
+        sketching just the suffix yields a matrix bit-identical to a full
+        rebuild — the delta-aware analogue of ``DeltaApssBackend.extend`` at
+        O(Δn · n_hashes) cost instead of O(n · n_hashes).
+
+        Parameters
+        ----------
+        dataset:
+            The appended child dataset.  Its first ``self.n_rows`` rows must
+            be the ones this store already sketched.
+        delta:
+            The append record; defaults to ``dataset.parent_delta``.
+        verify_fingerprint:
+            When true, check ``delta.child_fingerprint`` against *dataset*
+            (skipped by callers that already validated the chain).
+
+        Returns
+        -------
+        The delta that was applied.
+        """
+        if delta is None:
+            delta = getattr(dataset, "parent_delta", None)
+        if delta is None:
+            raise ValueError("dataset has no parent delta; pass delta= explicitly")
+        if delta.parent_rows != self.n_rows:
+            raise ValueError(
+                f"sketch store covers {self.n_rows} rows but delta parent has "
+                f"{delta.parent_rows}")
+        if delta.child_rows != dataset.n_rows:
+            raise ValueError(
+                f"delta child has {delta.child_rows} rows but dataset has "
+                f"{dataset.n_rows}")
+        if verify_fingerprint and dataset.fingerprint() != delta.child_fingerprint:
+            raise ValueError("dataset fingerprint does not match delta child")
+        if delta.n_new == 0:
+            return delta
+        watch = Stopwatch()
+        watch.start()
+        if getattr(self.sketcher, "similarity_kind", None) == "cosine":
+            new_sketches = self.sketcher.sketch_many(
+                dataset.row(i) for i in delta.new_rows)
+        else:
+            new_sketches = self.sketcher.sketch_many(
+                dataset.row(i)[0] for i in delta.new_rows)
+        self.sketches = np.vstack([self.sketches, np.asarray(new_sketches)])
+        self.build_seconds += watch.stop()
+        return delta
 
     def matches(self, first: int, second: int, n_hashes: int,
                 offset: int = 0) -> int:
@@ -81,6 +148,7 @@ class SketchStore:
         return self.sketcher.collision_to_similarity(matches / n_hashes)
 
     def reset_counters(self) -> None:
+        """Zero the hash-comparison counter."""
         self.hash_comparisons = 0
 
 

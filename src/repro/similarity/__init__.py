@@ -20,6 +20,7 @@ from repro.similarity.engine import (
     apss_search,
 )
 from repro.similarity.cache import CachedApssEngine
+from repro.similarity.tiered import TieredAnswer, TieredApssEngine
 from repro.similarity.streaming import (
     HistogramReducer,
     SelectionSketch,
@@ -61,6 +62,8 @@ __all__ = [
     "EngineResult",
     "apss_search",
     "CachedApssEngine",
+    "TieredAnswer",
+    "TieredApssEngine",
     "HistogramReducer",
     "SelectionSketch",
     "TopKReducer",

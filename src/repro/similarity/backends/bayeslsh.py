@@ -5,20 +5,42 @@ candidate generation (all-pairs or LSH banding) and the BayesLSH
 prune/concentrate verification loop — behind the same ``search`` interface
 as the exact backends.  The backend is *approximate*: retained pairs carry
 posterior MAP estimates, and recall is governed by the ``epsilon`` false
-negative budget of :class:`~repro.lsh.bayeslsh.BayesLSHConfig`.
+negative budget of :class:`~repro.lsh.bayeslsh.BayesLSHConfig` — every
+result tags ``details["recall_bound"] = 1 - epsilon``, the contract the
+tiered serving layer surfaces to interactive probes.
 
 :class:`PlasmaSession` drives the same machinery through :meth:`verify`,
 passing its own long-lived sketch store, knowledge cache, empirical prior
 and progress callbacks — that method is the one seam between the
 interactive session and the APSS engine.
+
+Two seams mirror the exact path so the approximate tier is a first-class
+citizen rather than a dead-end:
+
+* ``candidate_strategy="auto"`` (the default) switches from all-pairs to
+  LSH banding at :data:`BANDED_DEFAULT_MIN_ROWS` rows, so large corpora get
+  near-linear candidate generation without callers opting in.
+* :meth:`extend` grows an approximate parent result across an append on the
+  same seam as :class:`~repro.store.delta.DeltaApssBackend.extend` — sketch
+  only the new rows, candidate only new-vs-all pairs, verify only those —
+  giving the approximate tier the same O(Δn·n) append cost as the exact
+  tier.
 """
 
 from __future__ import annotations
 
-from repro.datasets.vectors import VectorDataset
+from repro.datasets.vectors import DatasetDelta, VectorDataset
 from repro.similarity.backends.base import ApssBackend, BackendOutput, register_backend
 
-__all__ = ["BayesLshBackend"]
+__all__ = ["BayesLshBackend", "BANDED_DEFAULT_MIN_ROWS"]
+
+#: Row count at which ``candidate_strategy="auto"`` switches from all-pairs
+#: to LSH banding.  Below this the quadratic candidate set is small enough
+#: that banding's bucketing overhead (and its recall dependence on band
+#: geometry) isn't worth it; above it the all-pairs set dominates runtime.
+BANDED_DEFAULT_MIN_ROWS = 1024
+
+_STRATEGIES = ("auto", "all", "banded")
 
 
 @register_backend
@@ -35,9 +57,12 @@ class BayesLshBackend(ApssBackend):
         Stopping-rule parameters; defaults to ``BayesLSHConfig`` with
         ``max_hashes=n_hashes``.
     candidate_strategy:
-        ``"all"`` (every pair) or ``"banded"`` (LSH banding).
+        ``"all"`` (every pair), ``"banded"`` (LSH banding) or ``"auto"``
+        (banded at or above *banded_min_rows* rows, all-pairs below).
     band_size, max_bucket:
         Banding parameters (ignored for ``candidate_strategy="all"``).
+    banded_min_rows:
+        Auto-switch threshold; defaults to :data:`BANDED_DEFAULT_MIN_ROWS`.
     """
 
     name = "bayeslsh"
@@ -45,16 +70,26 @@ class BayesLshBackend(ApssBackend):
     measures = ("cosine", "jaccard")
 
     def __init__(self, n_hashes: int = 256, seed: int = 0, config=None,
-                 candidate_strategy: str = "all", band_size: int = 8,
-                 max_bucket: int | None = 2000) -> None:
-        if candidate_strategy not in ("all", "banded"):
-            raise ValueError("candidate_strategy must be 'all' or 'banded'")
+                 candidate_strategy: str = "auto", band_size: int = 8,
+                 max_bucket: int | None = 2000,
+                 banded_min_rows: int | None = None) -> None:
+        if candidate_strategy not in _STRATEGIES:
+            raise ValueError(
+                f"candidate_strategy must be one of {_STRATEGIES}")
         self.n_hashes = int(n_hashes)
         self.seed = seed
         self.config = config
         self.candidate_strategy = candidate_strategy
         self.band_size = band_size
         self.max_bucket = max_bucket
+        self.banded_min_rows = (BANDED_DEFAULT_MIN_ROWS if banded_min_rows is None
+                                else int(banded_min_rows))
+
+    @classmethod
+    def parity_variants(cls) -> list[dict]:
+        """Cover both candidate-generation strategies in the shared suites."""
+        return [{"candidate_strategy": "all"},
+                {"candidate_strategy": "banded"}]
 
     # ------------------------------------------------------------------ #
     def _config(self, store):
@@ -63,6 +98,23 @@ class BayesLshBackend(ApssBackend):
         if self.config is not None:
             return self.config
         return BayesLSHConfig(max_hashes=store.n_hashes)
+
+    def resolve_strategy(self, n_rows: int) -> str:
+        """The concrete strategy ``"all"``/``"banded"`` used for *n_rows*."""
+        if self.candidate_strategy != "auto":
+            return self.candidate_strategy
+        return "banded" if n_rows >= self.banded_min_rows else "all"
+
+    def _candidates(self, store, n_rows: int,
+                    new_rows: range | None = None) -> tuple[list, str]:
+        from repro.lsh.candidates import all_pair_candidates, banded_candidates
+
+        strategy = self.resolve_strategy(n_rows)
+        if strategy == "all":
+            return list(all_pair_candidates(n_rows, new_rows=new_rows)), strategy
+        return banded_candidates(store.sketches, band_size=self.band_size,
+                                 max_bucket=self.max_bucket,
+                                 new_rows=new_rows), strategy
 
     def verify(self, store, candidates, threshold: float, *, cache=None,
                prior=None, progress_callback=None, progress_every: int = 0):
@@ -87,21 +139,120 @@ class BayesLshBackend(ApssBackend):
         self.check_measure(measure)
         if dataset.n_rows < 2:
             return BackendOutput(pairs=[], n_candidates=0)
-        from repro.lsh.candidates import all_pair_candidates, banded_candidates
         from repro.lsh.sketches import build_sketch_store
 
         store = build_sketch_store(dataset, kind=measure,
                                    n_hashes=self.n_hashes, seed=self.seed)
-        if self.candidate_strategy == "all":
-            candidates = list(all_pair_candidates(dataset.n_rows))
-        else:
-            candidates = banded_candidates(store.sketches,
-                                           band_size=self.band_size,
-                                           max_bucket=self.max_bucket)
+        candidates, strategy = self._candidates(store, dataset.n_rows)
         result = self.verify(store, candidates, threshold)
+        epsilon = float(self._config(store).epsilon)
         return BackendOutput(pairs=list(result.pairs),
                              n_candidates=result.n_candidates,
                              n_pruned=result.n_pruned,
                              details={"apss": result,
                                       "sketch_seconds": store.build_seconds,
-                                      "hash_comparisons": result.hash_comparisons})
+                                      "hash_comparisons": result.hash_comparisons,
+                                      "candidate_strategy": strategy,
+                                      "epsilon": epsilon,
+                                      "recall_bound": 1.0 - epsilon,
+                                      "sketch_store": store})
+
+    # ------------------------------------------------------------------ #
+    def extend(self, parent, child: VectorDataset,
+               delta: DatasetDelta | None = None, *,
+               sketch_store=None, cache=None, prior=None,
+               verify_fingerprint: bool = True):
+        """Extend an approximate parent result across an append.
+
+        The mirror of :meth:`repro.store.delta.DeltaApssBackend.extend` for
+        the sketch tier: only the appended rows are sketched (via
+        ``SketchStore.extend_rows`` when *sketch_store* is passed, or a
+        seed-identical rebuild otherwise), only new-vs-all candidate pairs
+        are generated, and only those are verified — O(Δn·n) total, never
+        re-verifying the parent's pairs.
+
+        Parameters
+        ----------
+        parent:
+            An *approximate* :class:`~repro.similarity.engine.EngineResult`
+            produced by this backend (exact parents belong to
+            ``DeltaApssBackend``; splicing estimated new pairs into an exact
+            pair set would match neither contract).
+        child:
+            The appended dataset.
+        delta:
+            Defaults to ``child.parent_delta``.
+        sketch_store:
+            A session's long-lived :class:`~repro.lsh.sketches.SketchStore`.
+            If it covers only the parent rows it is extended in place; if
+            omitted, a full store is rebuilt from the same seed (identical
+            sketches, just O(n) instead of O(Δn) sketch work).
+        cache, prior:
+            Passed through to :meth:`verify` (session knowledge reuse).
+
+        Returns
+        -------
+        A new approximate :class:`EngineResult` for the child at the
+        parent's threshold floor; the parent is not mutated.
+        """
+        from repro.lsh.sketches import build_sketch_store
+        from repro.similarity.engine import EngineResult
+        from repro.utils.timers import Stopwatch
+
+        if delta is None:
+            delta = child.parent_delta
+        if delta is None:
+            raise ValueError("child dataset carries no parent delta; pass one "
+                             "explicitly or use VectorDataset.append_rows")
+        if parent.exact:
+            raise ValueError(
+                "cannot bayeslsh-extend exact results; use DeltaApssBackend "
+                "for the exact tier")
+        if parent.n_rows != delta.parent_rows:
+            raise ValueError(
+                f"parent result covers {parent.n_rows} rows, delta expects "
+                f"{delta.parent_rows}")
+        if child.n_rows != delta.child_rows:
+            raise ValueError(
+                f"delta describes {delta.child_rows} rows, dataset has "
+                f"{child.n_rows}")
+        if verify_fingerprint and child.fingerprint() != delta.child_fingerprint:
+            raise ValueError(
+                "dataset content does not match the delta's child fingerprint; "
+                "refusing to extend stale similarity state")
+        self.check_measure(parent.measure)
+
+        watch = Stopwatch()
+        watch.start()
+        if sketch_store is None:
+            store = build_sketch_store(child, kind=parent.measure,
+                                       n_hashes=self.n_hashes, seed=self.seed)
+        else:
+            store = sketch_store
+            if store.n_rows == delta.parent_rows:
+                store.extend_rows(child, delta, verify_fingerprint=False)
+            elif store.n_rows != child.n_rows:
+                raise ValueError(
+                    f"sketch store covers {store.n_rows} rows; expected "
+                    f"{delta.parent_rows} (parent) or {child.n_rows} (child)")
+        candidates, strategy = self._candidates(store, child.n_rows,
+                                                new_rows=delta.new_rows)
+        result = self.verify(store, candidates, parent.threshold,
+                             cache=cache, prior=prior)
+        merged = sorted(parent.pairs + list(result.pairs),
+                        key=lambda p: (p.first, p.second))
+        epsilon = float(self._config(store).epsilon)
+        return EngineResult(
+            backend=parent.backend, measure=parent.measure,
+            threshold=parent.threshold, n_rows=child.n_rows, pairs=merged,
+            exact=False, seconds=watch.stop(),
+            n_candidates=result.n_candidates, n_pruned=result.n_pruned,
+            details={"apss": result,
+                     "hash_comparisons": result.hash_comparisons,
+                     "candidate_strategy": strategy,
+                     "epsilon": epsilon,
+                     "recall_bound": 1.0 - epsilon,
+                     "sketch_store": store,
+                     "delta": {"parent_rows": delta.parent_rows,
+                               "new_rows": delta.n_new,
+                               "new_pairs": len(result.pairs)}})

@@ -172,11 +172,31 @@ class CachedApssEngine:
             details=details)
 
     # ------------------------------------------------------------------ #
+    def _accepts(self, key: tuple, floor: EngineResult) -> bool:
+        """Exactness discipline: may *floor* serve searches keyed by *key*?
+
+        An exact floor serves anything.  An *approximate* floor is only
+        acceptable when the key's backend is itself approximate — the
+        two-tier landing path parks estimate floors under exact-backend
+        keys while refinement runs, and serving one of those to a plain
+        exact search would silently violate its exactness contract.
+        """
+        if floor.exact:
+            return True
+        try:
+            return not get_backend_class(key[2]).exact
+        except KeyError:
+            return False
+
     def _lookup_floor(self, key: tuple, threshold: float, install: bool = True,
+                      accept_approximate: bool = False,
                       ) -> tuple[EngineResult | None, str, EngineResult | None]:
         """A floor result at or below *threshold*, from memory or the store.
 
-        The single home of the floor-acceptance rule.  Returns
+        The single home of the floor-acceptance rule: a candidate floor
+        must be at or below *threshold* **and** pass the exactness
+        discipline of :meth:`_accepts` (overridable with
+        *accept_approximate*, the tiered engine's peek mode).  Returns
         ``(floor, source, stored)`` where *source* is ``"memory"``,
         ``"store"``, ``"snapshot"`` or ``"none"`` and *stored* is whatever
         the store lookup returned (``None`` when it missed or was never
@@ -187,24 +207,50 @@ class CachedApssEngine:
         persistent source consulted: falling back to the live store would
         let a concurrent ingest leak through the isolation boundary.
         """
+        def acceptable(floor: EngineResult) -> bool:
+            return floor.threshold <= threshold and (
+                accept_approximate or self._accepts(key, floor))
+
         stored = None
         cached = self._cache.get(key)
-        if cached is not None and cached.threshold <= threshold:
+        if cached is not None and acceptable(cached):
             return cached, "memory", stored
         if self.snapshot is not None:
             pinned = self.snapshot.load_result(key)
-            if pinned is not None and pinned.threshold <= threshold:
-                if install:
+            if pinned is not None and acceptable(pinned):
+                if install and self._accepts(key, pinned):
                     self._install(key, pinned)
                 return pinned, "snapshot", pinned
             return None, "none", pinned
         if self.store is not None:
             stored = self.store.load_result(key)
-            if stored is not None and stored.threshold <= threshold:
-                if install:
+            if stored is not None and acceptable(stored):
+                if install and self._accepts(key, stored):
                     self._install(key, stored)
                 return stored, "store", stored
         return None, "none", stored
+
+    def peek(self, dataset: VectorDataset, threshold: float,
+             measure: str = "cosine", backend: str | None = None, *,
+             accept_approximate: bool = False,
+             **options) -> EngineResult | None:
+        """Serve *threshold* from existing floors only — never the kernel.
+
+        Lookup order and filtering match :meth:`search`, but a miss returns
+        ``None`` instead of searching, and the hit/miss counters are left
+        untouched (a peek is a question about cache state, not a probe).
+        With ``accept_approximate=True`` an estimate floor parked under
+        this key is served too (tagged ``exact=False`` with its ``epsilon``
+        in ``details``) — the tiered engine's fast path for checking
+        whether refinement already landed.
+        """
+        threshold = float(threshold)
+        key = self._key(dataset.fingerprint(), measure, backend, options)
+        floor, source, _ = self._lookup_floor(
+            key, threshold, accept_approximate=accept_approximate)
+        if floor is None:
+            return None
+        return self._serve(floor, threshold, measure, source)
 
     def _try_delta_extend(self, dataset: VectorDataset, threshold: float,
                           measure: str, backend: str | None,
@@ -212,16 +258,19 @@ class CachedApssEngine:
         """Extend the parent dataset's cached floor over an append, if possible.
 
         Requires: the dataset carries a parent delta whose child fingerprint
-        matches this search's key, the backend is exact, and the parent's
-        floor (memory or store) is at or below the requested threshold.
+        matches this search's key and the parent's floor (memory or store)
+        is at or below the requested threshold.  Exact backends extend
+        through :class:`~repro.store.delta.DeltaApssBackend`; approximate
+        backends that expose their own ``extend`` seam (``bayeslsh``)
+        extend an approximate parent floor by sketching and verifying only
+        new-vs-all pairs — both O(Δn·n) instead of a fresh O(n²) search.
         """
         delta = getattr(dataset, "parent_delta", None)
         if delta is None or delta.child_fingerprint != key[0]:
             return None
         name = backend or self.engine.backend
         try:
-            if not get_backend_class(name).exact:
-                return None
+            backend_cls = get_backend_class(name)
         except KeyError:
             return None
         parent_key = self._key(delta.parent_fingerprint, measure, backend,
@@ -229,12 +278,30 @@ class CachedApssEngine:
         parent, _, _ = self._lookup_floor(parent_key, threshold, install=False)
         if parent is None or parent.n_rows != delta.parent_rows:
             return None
-        from repro.store.delta import DeltaApssBackend
-
         # The key fingerprint equals the dataset's content hash (computed by
         # the caller), which already proves the delta matches the content.
-        extended = DeltaApssBackend(n_workers=self.delta_workers).extend(
-            parent, dataset, delta, verify_fingerprint=False)
+        if backend_cls.exact:
+            from repro.store.delta import DeltaApssBackend
+
+            extended = DeltaApssBackend(n_workers=self.delta_workers).extend(
+                parent, dataset, delta, verify_fingerprint=False)
+        else:
+            extender = getattr(backend_cls, "extend", None)
+            if extender is None or parent.exact:
+                return None
+            from repro.similarity.backends import make_backend
+
+            # A memory-cached parent carries its live sketch store; extend a
+            # copy of it so only the Δn new rows are sketched and the parent
+            # can still seed other children.  (Store-restored parents have no
+            # details and fall back to a seed-identical full resketch.)
+            extend_kwargs = {}
+            parent_store = parent.details.get("sketch_store")
+            if getattr(parent_store, "n_rows", None) == delta.parent_rows:
+                extend_kwargs["sketch_store"] = parent_store.copy()
+            extended = make_backend(name, **options).extend(
+                parent, dataset, delta, verify_fingerprint=False,
+                **extend_kwargs)
         self.delta_extensions += 1
         return extended
 
@@ -285,18 +352,22 @@ class CachedApssEngine:
         and may be stale, so the *live* floor is re-read before comparing,
         and the result is published to the versioned lineage (carrying the
         dataset's append delta, when present) instead of merely spilled.
+
+        Either way the write goes through the store's upgrade-only landing
+        rule (:meth:`SimilarityStore.land_result`): an exact result
+        replaces an estimate parked under the same key regardless of
+        threshold, an estimate never replaces an exact floor, and a
+        same-flavour write needs a strictly looser threshold.
         """
         if self.store is None:
             return
         if self.snapshot is not None:
             existing = self.store.load_result(key)
-        if existing is not None and existing.threshold <= result.threshold:
-            return
-        if self.snapshot is not None:
             self.store.publish_floor(
-                key, result, delta=getattr(dataset, "parent_delta", None))
+                key, result, delta=getattr(dataset, "parent_delta", None),
+                existing=existing)
         else:
-            self.store.save_result(key, result)
+            self.store.land_result(key, result, existing=existing)
 
     def iter_similarity_blocks(self, dataset: VectorDataset,
                                measure: str = "cosine", **kwargs):

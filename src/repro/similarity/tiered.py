@@ -1,0 +1,295 @@
+"""Two-tier HTAP serving: approximate answers now, exact refinement behind.
+
+The paper's interactivity thesis is that an analyst should get a
+bounded-error answer *immediately* and an exact one *eventually* — without
+managing two systems.  :class:`TieredApssEngine` implements that over the
+existing cache/store substrate:
+
+* **Sketch tier (fast path)** — a probe is answered from LSH sketches via
+  the ``bayeslsh`` backend, tagged with its recall bound ``1 − ε`` (the
+  backend's false-negative budget).  Appended datasets extend the tier's
+  floors in O(Δn·n) through :meth:`BayesLshBackend.extend`, and the
+  resulting estimate floor is *parked* in the store under the exact tier's
+  cache key so any process sharing the store can serve it.
+* **Exact tier (slow path)** — each sketch answer schedules a background
+  exact sweep of the same probe on the wrapped engine's exact backend.
+  When it lands, :meth:`SimilarityStore.land_result` upgrades the parked
+  estimate entry in place — the same upgrade-only lattice as
+  :class:`~repro.core.knowledge_cache.KnowledgeCache` (exact replaces
+  estimate regardless of threshold; estimate never replaces exact) — and
+  subsequent probes transparently re-serve exact.
+
+One store, one entry per key, monotone quality: the entry under the exact
+key only ever moves estimate → exact, proven by the hypothesis interleaving
+suite in ``tests/store/test_tier_upgrade.py``.
+
+Snapshot interplay: the exact tier honours a pinned
+:class:`~repro.store.StoreSnapshot` when the wrapped cache carries one, but
+parked estimates and freshly-landed refinements are read from the *live*
+entry dir — the sketch tier is freshness-first by design (estimates never
+enter the MVCC lineage, so there is no version to pin them to).  A session
+that wants its pinned view to advance past an upgrade steps its pin
+(:meth:`PlasmaSession.await_refinement` does exactly that).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.datasets.vectors import VectorDataset
+from repro.similarity.cache import CachedApssEngine
+from repro.similarity.engine import EngineResult
+
+__all__ = ["TieredAnswer", "TieredApssEngine"]
+
+_REFINE_MODES = ("background", "sync", "off")
+
+
+@dataclass
+class TieredAnswer:
+    """One tiered probe answer: a result, which tier served it, and how good.
+
+    Attributes
+    ----------
+    result:
+        The served :class:`~repro.similarity.engine.EngineResult`.
+    tier:
+        ``"exact"`` or ``"sketch"``.
+    bound:
+        Recall lower bound for the served pair set: ``1.0`` for the exact
+        tier, ``1 − ε`` for the sketch tier.
+    refinement:
+        The pending exact-refinement future for this probe's key, or
+        ``None`` when nothing is (or needs to be) in flight.
+    """
+
+    result: EngineResult
+    tier: str
+    bound: float
+    refinement: Future | None = field(default=None, repr=False)
+
+    @property
+    def exact(self) -> bool:
+        """Whether the served result is exact."""
+        return self.tier == "exact"
+
+    def __iter__(self):
+        """Unpack as ``(result, tier, bound)`` — the session probe contract."""
+        yield self.result
+        yield self.tier
+        yield self.bound
+
+
+class TieredApssEngine:
+    """Serve probes from sketches immediately; refine to exact behind.
+
+    Parameters
+    ----------
+    cache:
+        The exact-tier :class:`CachedApssEngine` (possibly snapshot-pinned).
+        Built from *engine*/*store*/*snapshot* when omitted.
+    engine, store, snapshot:
+        Convenience constructor arguments for the exact-tier cache
+        (mutually exclusive with passing *cache*).
+    exact_backend, exact_options:
+        Backend name/options for the refinement sweeps; defaults to the
+        wrapped engine's default backend.
+    sketch_options:
+        Options for the sketch tier's ``bayeslsh`` backend (``n_hashes``,
+        ``seed``, ``config``, ``candidate_strategy``, …), merged over
+        ``{"n_hashes": 128, "seed": 0, "candidate_strategy": "auto"}``.
+        They key the tier's own floors, so two tiered engines sharing a
+        store reuse each other's sketch work only when their options agree.
+    refine:
+        ``"background"`` (default: schedule the exact sweep on a worker
+        thread), ``"sync"`` (run it inline before returning — the sketch
+        answer is still what the probe reports, but the store is upgraded
+        by the time it returns), or ``"off"`` (never refine).
+
+    Notes
+    -----
+    Both tiers run on the *same* underlying :class:`ApssEngine`, so its
+    ``search_calls`` counter audits every kernel invocation across tiers —
+    the acceptance tests count it to prove serve paths stay kernel-free.
+    """
+
+    def __init__(self, cache: CachedApssEngine | None = None, *,
+                 engine=None, store=None, snapshot=None,
+                 exact_backend: str | None = None,
+                 exact_options: dict | None = None,
+                 sketch_options: dict | None = None,
+                 refine: str = "background") -> None:
+        if refine not in _REFINE_MODES:
+            raise ValueError(f"refine must be one of {_REFINE_MODES}")
+        if cache is not None and (engine is not None or store is not None
+                                  or snapshot is not None):
+            raise ValueError("pass either a cache or engine/store/snapshot, "
+                             "not both")
+        if cache is None:
+            cache = CachedApssEngine(engine=engine, store=store,
+                                     snapshot=snapshot)
+        self.cache = cache
+        # The sketch tier shares the cache's engine (one search_calls audit
+        # stream) and live store, but never its snapshot: estimates live
+        # outside the MVCC lineage, so the pinned manifest cannot serve them.
+        self.sketch_cache = CachedApssEngine(
+            engine=cache.engine,
+            store=cache.store if cache.store is not None else False)
+        self.exact_backend = exact_backend
+        self.exact_options = dict(exact_options or {})
+        self.sketch_options = {"n_hashes": 128, "seed": 0,
+                               "candidate_strategy": "auto"}
+        self.sketch_options.update(sketch_options or {})
+        self.refine = refine
+        self.sketch_answers = 0
+        self.exact_answers = 0
+        self.refinements = 0
+        self._pending: dict[tuple, Future] = {}
+        self._lock = threading.Lock()
+        self._executor: ThreadPoolExecutor | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def store(self):
+        """The shared :class:`~repro.store.SimilarityStore` (or ``None``)."""
+        return self.cache.store
+
+    @property
+    def epsilon(self) -> float:
+        """The sketch tier's false-negative budget ε."""
+        config = self.sketch_options.get("config")
+        if config is not None:
+            return float(config.epsilon)
+        from repro.lsh.bayeslsh import BayesLSHConfig
+
+        return float(BayesLSHConfig().epsilon)
+
+    @property
+    def recall_bound(self) -> float:
+        """The sketch tier's recall contract, ``1 − ε``."""
+        return 1.0 - self.epsilon
+
+    def _exact_key(self, fingerprint: str, measure: str) -> tuple:
+        return self.cache._key(fingerprint, measure, self.exact_backend,
+                               self.exact_options)
+
+    # ------------------------------------------------------------------ #
+    def probe(self, dataset: VectorDataset, threshold: float,
+              measure: str = "cosine") -> TieredAnswer:
+        """Answer *threshold* now; make it exact eventually.
+
+        Serving order:
+
+        1. the exact tier's floors (memory, pinned snapshot, or store) —
+           kernel-free, ``tier="exact"``;
+        2. the entry parked under the exact key in the *live* store — a
+           freshly-landed refinement (``tier="exact"``, even when the
+           pinned snapshot predates it) or a previously parked estimate
+           (``tier="sketch"``);
+        3. a sketch-tier answer: the ``bayeslsh`` floor for this dataset
+           (cached/stored/delta-extended, else freshly computed), parked
+           under the exact key and returned with ``bound = 1 − ε``.
+
+        Every sketch answer schedules exact refinement per the *refine*
+        mode; the returned :class:`TieredAnswer` carries the pending
+        future so callers can await exactness explicitly.
+        """
+        threshold = float(threshold)
+        served = self.cache.peek(dataset, threshold, measure,
+                                 self.exact_backend, **self.exact_options)
+        if served is None and self.store is not None:
+            # The live view of the same key: refinements landed after the
+            # pinned snapshot, or a parked estimate from any process.
+            served = self.sketch_cache.peek(
+                dataset, threshold, measure, self.exact_backend,
+                accept_approximate=True, **self.exact_options)
+        if served is not None and served.exact:
+            self.exact_answers += 1
+            return TieredAnswer(served, "exact", 1.0, None)
+        if served is None:
+            served = self._sketch_search(dataset, threshold, measure)
+        self.sketch_answers += 1
+        bound = float(served.details.get("recall_bound", self.recall_bound))
+        refinement = self._schedule(dataset, threshold, measure)
+        return TieredAnswer(served, "sketch", bound, refinement)
+
+    def _sketch_search(self, dataset: VectorDataset, threshold: float,
+                       measure: str) -> EngineResult:
+        """Compute (or reuse) the sketch tier's floor and park it."""
+        served = self.sketch_cache.search(dataset, threshold, measure,
+                                          backend="bayeslsh",
+                                          **self.sketch_options)
+        if self.store is not None:
+            bayes_key = self.sketch_cache._key(dataset.fingerprint(), measure,
+                                               "bayeslsh", self.sketch_options)
+            floor, _, _ = self.sketch_cache._lookup_floor(
+                bayes_key, threshold, install=False)
+            # Park the loosest known estimate floor under the exact key so
+            # sibling processes answer from it too; land_result refuses the
+            # write if an exact floor already landed there (benign race).
+            self.store.land_result(self._exact_key(dataset.fingerprint(),
+                                                   measure),
+                                   floor if floor is not None else served)
+        return served
+
+    # ------------------------------------------------------------------ #
+    def _schedule(self, dataset: VectorDataset, threshold: float,
+                  measure: str) -> Future | None:
+        """Ensure one exact refinement is in flight for this probe's key."""
+        if self.refine == "off":
+            return None
+        key = self._exact_key(dataset.fingerprint(), measure)
+        if self.refine == "sync":
+            self._refine(dataset, threshold, measure)
+            return None
+        with self._lock:
+            pending = self._pending.get(key)
+            if pending is not None and not pending.done():
+                return pending
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="apss-refine")
+            future = self._executor.submit(self._refine, dataset, threshold,
+                                           measure)
+            self._pending[key] = future
+        return future
+
+    def _refine(self, dataset: VectorDataset, threshold: float,
+                measure: str) -> EngineResult:
+        """The exact sweep whose landing upgrades the parked estimate."""
+        result = self.cache.search(dataset, threshold, measure,
+                                   backend=self.exact_backend,
+                                   **self.exact_options)
+        self.refinements += 1
+        return result
+
+    def wait(self, timeout: float | None = None) -> list[EngineResult]:
+        """Block until in-flight refinements finish; return their results.
+
+        Raises the first refinement failure (a failed refinement must not
+        pass silently — the probe answer stays servable either way, but the
+        caller asked for exactness).
+        """
+        from concurrent.futures import wait as wait_futures
+
+        with self._lock:
+            futures = list(self._pending.values())
+        wait_futures(futures, timeout=timeout)
+        return [f.result() for f in futures if f.done()]
+
+    def close(self) -> None:
+        """Drain pending refinements and stop the worker thread."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "TieredApssEngine":
+        """Context-manager entry: the engine itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: drain refinements."""
+        self.close()

@@ -85,6 +85,10 @@ _MAGIC = b"REPRO-SIMSTORE\n"
 
 _LOGGER = logging.getLogger("repro.store")
 
+#: Sentinel distinguishing "caller did not pass an existing floor" from a
+#: known store miss (``existing=None``) in :meth:`SimilarityStore.land_result`.
+_UNSET = object()
+
 #: Entry kinds enumerated by :meth:`SimilarityStore.entry_count` by default.
 _ENTRY_KINDS = ("pairs", "reducers", "sketches", "sessions", "lineage")
 
@@ -295,9 +299,11 @@ class SimilarityStore:
 
         Only the pair arrays and the scalar result fields are stored;
         ``details`` carries live backend objects and is deliberately not
-        persisted.
+        persisted — except the *approximate flavour* header: a non-exact
+        floor records its ``epsilon`` false-negative budget so readers can
+        reconstruct the recall bound (1 − ε) the entry was served under.
         """
-        self.put("pairs", key, _pairs_arrays(result.pairs), {
+        meta = {
             "backend": result.backend,
             "measure": result.measure,
             "threshold": result.threshold,
@@ -305,7 +311,12 @@ class SimilarityStore:
             "exact": result.exact,
             "n_candidates": result.n_candidates,
             "n_pruned": result.n_pruned,
-        })
+        }
+        if not result.exact:
+            epsilon = result.details.get("epsilon")
+            if epsilon is not None:
+                meta["epsilon"] = float(epsilon)
+        self.put("pairs", key, _pairs_arrays(result.pairs), meta)
 
     def load_result(self, key: tuple) -> EngineResult | None:
         """Restore an engine-result floor, or ``None`` on miss/invalid."""
@@ -314,13 +325,19 @@ class SimilarityStore:
             return None
         arrays, meta = loaded
         try:
+            details: dict = {}
+            if not meta["exact"] and meta.get("epsilon") is not None:
+                epsilon = float(meta["epsilon"])
+                details = {"epsilon": epsilon,
+                           "recall_bound": 1.0 - epsilon}
             result = EngineResult(
                 backend=str(meta["backend"]), measure=str(meta["measure"]),
                 threshold=float(meta["threshold"]), n_rows=int(meta["n_rows"]),
                 pairs=_arrays_pairs(arrays), exact=bool(meta["exact"]),
                 seconds=0.0,
                 n_candidates=int(meta.get("n_candidates", 0)),
-                n_pruned=int(meta.get("n_pruned", 0)))
+                n_pruned=int(meta.get("n_pruned", 0)),
+                details=details)
         except (KeyError, TypeError, ValueError) as exc:
             self._evict(self._path("pairs", key), kind="pairs", key=key,
                         failure=f"malformed floor meta: {exc}")
@@ -328,6 +345,39 @@ class SimilarityStore:
             return None
         self.hits += 1
         return result
+
+    def land_result(self, key: tuple, result: EngineResult, *,
+                    existing: "EngineResult | None" = _UNSET) -> bool:
+        """Write a floor under *key* iff it never downgrades the entry.
+
+        The store-boundary mirror of :class:`~repro.core.knowledge_cache.
+        KnowledgeCache`'s upgrade-only contract, and the seam the two-tier
+        serving path lands through.  The entry under one key only ever
+        moves *up* the lattice:
+
+        * no entry → anything lands;
+        * **approximate → exact lands unconditionally** (the refinement
+          upgrade, regardless of threshold — exactness outranks floor
+          looseness, exactly as an exact knowledge-cache entry outranks
+          any estimate);
+        * **exact → approximate is refused** (the downgrade direction);
+        * same flavour → only a strictly looser floor lands (the
+          long-standing sweep-cache rule).
+
+        Pass *existing* (a prior :meth:`load_result` for *key*, or ``None``
+        for a known miss) to skip the re-read.  Returns whether the entry
+        was written.
+        """
+        if existing is _UNSET:
+            existing = self.load_result(key)
+        if existing is not None:
+            if existing.exact and not result.exact:
+                return False
+            if (existing.exact == result.exact
+                    and existing.threshold <= result.threshold):
+                return False
+        self.save_result(key, result)
+        return True
 
     # ------------------------------------------------------------------ #
     # Reducer-state entries (mergeable state() dicts)
@@ -441,7 +491,8 @@ class SimilarityStore:
                         sequence=int(sequence))
 
     def publish_floor(self, key: tuple, result: EngineResult,
-                      delta=None) -> Manifest:
+                      delta=None, *,
+                      existing: "EngineResult | None" = _UNSET) -> Manifest:
         """Land a floor in the versioned lineage (and the legacy entry dir).
 
         *key* is the sweep-cache floor key ``(fingerprint, measure,
@@ -453,8 +504,18 @@ class SimilarityStore:
         the full pair set lands.  Either way the successor manifest is
         published atomically, so concurrent snapshot readers keep seeing
         exactly their pinned version.
+
+        The legacy ("latest floor") entry goes through
+        :meth:`land_result`'s upgrade-only contract (pass *existing* to
+        skip its re-read).  **Approximate results never enter the
+        lineage**: a delta chain of estimates has no coherent merge
+        semantics (each link drops a different ε-budget of pairs), so the
+        sketch tier lives entirely in the mutable entry dir and the MVCC
+        manifest stays a record of exact floors only.
         """
-        self.save_result(key, result)  # the mutable "latest floor" view
+        landed = self.land_result(key, result, existing=existing)
+        if not result.exact or not landed:
+            return self.lineage.current()
         fingerprint = str(key[0])
         axis = floor_axis(key)
         if delta is not None and (not result.exact

@@ -1,0 +1,120 @@
+"""Session-layer tests for two-tier serving.
+
+``PlasmaSession.tiered_probe`` must answer immediately from the sketch tier
+with an advertised recall bound, ``await_refinement`` must land the exact
+sweep and step the session's snapshot pin past it, and subsequent probes —
+including ones in a brand-new process over the same store — must re-serve
+the exact floor without any kernel work.  Every kernel invocation is
+audited through the shared ``ApssEngine.search_calls`` counter.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PlasmaSession
+from repro.datasets import make_clustered_vectors
+from repro.lsh.bayeslsh import BayesLSHConfig
+from repro.similarity import ApssEngine
+from repro.store import SimilarityStore
+
+THRESHOLD = 0.9
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_clustered_vectors(60, 8, 3, separation=5.0, cluster_std=0.7,
+                                  seed=17).l2_normalized()
+
+
+def _session(dataset, tmp_path, name="tiered", **kwargs):
+    kwargs.setdefault("n_hashes", 160)
+    kwargs.setdefault("seed", 5)
+    kwargs.setdefault("config", BayesLSHConfig(max_hashes=160))
+    kwargs.setdefault("engine", ApssEngine())
+    return PlasmaSession(dataset, store=SimilarityStore(tmp_path / name),
+                         **kwargs)
+
+
+def test_tiered_probe_serves_sketch_then_exact(dataset, tmp_path):
+    with _session(dataset, tmp_path) as session:
+        result, tier, bound = session.tiered_probe(THRESHOLD)
+        assert tier == "sketch"
+        assert bound == pytest.approx(1.0 - session.config.epsilon)
+        assert not result.exact
+
+        landed = session.await_refinement()
+        assert len(landed) == 1 and landed[0].exact
+
+        upgraded = session.tiered_probe(THRESHOLD)
+        assert upgraded.tier == "exact" and upgraded.bound == 1.0
+        assert upgraded.result.pair_set() == \
+            session.exact_baseline(THRESHOLD).pair_set()
+
+
+def test_tiered_probe_kernel_audit_sync_mode(dataset, tmp_path):
+    with _session(dataset, tmp_path) as session:
+        session.tiered.refine = "sync"
+        answer = session.tiered_probe(THRESHOLD)
+        # One bayeslsh pass for the sketch answer, one exact sweep for the
+        # refinement that landed before the probe returned.
+        assert answer.tier == "sketch"
+        assert session.engine.search_calls == 2
+        assert session.tiered.refinements == 1
+
+        again = session.tiered_probe(THRESHOLD)
+        assert again.tier == "exact"
+        assert session.engine.search_calls == 2     # re-serve is kernel-free
+
+
+def test_await_refinement_steps_snapshot_pin(dataset, tmp_path):
+    with _session(dataset, tmp_path) as session:
+        pinned = session.snapshot
+        session.tiered_probe(THRESHOLD)
+        assert session.await_refinement()
+        # The pin was re-opened past the landed upgrade, so the session's
+        # own snapshot-consistent sweeps see the exact floor kernel-free.
+        assert session.snapshot is not pinned
+        calls = session.engine.search_calls
+        baseline = session.exact_baseline(THRESHOLD)
+        assert baseline.exact
+        assert session.engine.search_calls == calls
+
+
+def test_await_refinement_without_pending_is_noop(dataset, tmp_path):
+    with _session(dataset, tmp_path) as session:
+        pinned = session.snapshot
+        assert session.await_refinement() == []
+        assert session.snapshot is pinned
+
+
+def test_extend_then_tiered_probe_delta_extends(dataset, tmp_path):
+    rng = np.random.default_rng(23)
+    dense = rng.normal(size=(6, dataset.n_features))
+    dense /= np.linalg.norm(dense, axis=1, keepdims=True)
+    extra = [dict(enumerate(map(float, row))) for row in dense]
+    with _session(dataset, tmp_path, name="delta") as session:
+        session.tiered.refine = "off"
+        first = session.tiered_probe(THRESHOLD)
+        assert first.tier == "sketch"
+        assert session.engine.search_calls == 1
+
+        session.extend_dataset(extra, labels=[-1] * len(extra))
+        answer = session.tiered_probe(THRESHOLD)
+        # The appended probe reuses the parked parent floor: only the new
+        # rows are sketched and verified, never a fresh kernel pass.
+        assert answer.tier == "sketch"
+        assert session.tiered.sketch_cache.delta_extensions == 1
+        assert session.engine.search_calls == 1
+
+
+def test_tiered_exact_resumes_kernel_free_across_sessions(dataset, tmp_path):
+    with _session(dataset, tmp_path, name="resume") as session:
+        session.tiered_probe(THRESHOLD)
+        session.await_refinement()
+        reference = session.tiered_probe(THRESHOLD).result.pair_set()
+
+    with _session(dataset, tmp_path, name="resume") as fresh:
+        answer = fresh.tiered_probe(THRESHOLD)
+        assert answer.tier == "exact" and answer.bound == 1.0
+        assert answer.result.pair_set() == reference
+        assert fresh.engine.search_calls == 0

@@ -1,0 +1,110 @@
+"""Delta-aware sketching and new-vs-all candidate generation.
+
+The approximate tier's O(Δn·n) append contract rests on two properties:
+
+* ``SketchStore.extend_rows`` sketches only the appended rows yet produces a
+  matrix **bit-identical** to a full rebuild (sketchers hash rows
+  independently with seed-derived randomness);
+* the ``new_rows`` mode of both candidate generators emits exactly the pairs
+  touching at least one appended row — the ones a full run would emit, no
+  old-vs-old pair ever.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from harness import append_split, sparse_random_dataset
+from repro.lsh.candidates import all_pair_candidates, banded_candidates
+from repro.lsh.sketches import build_sketch_store
+
+
+def _split(seed: int, n_rows: int = 60, k: int = 12):
+    dataset = sparse_random_dataset(seed, n_rows, 24, density=0.3,
+                                    n_clusters=3)
+    parent, child = append_split(dataset, k)
+    return dataset, parent, child
+
+
+@settings(max_examples=15, deadline=None, derandomize=True)
+@given(seed=st.integers(0, 10_000), kind=st.sampled_from(["cosine", "jaccard"]),
+       n_hashes=st.sampled_from([16, 48, 64]))
+def test_extend_rows_matches_full_rebuild_bit_for_bit(seed, kind, n_hashes):
+    dataset, parent, child = _split(seed)
+    full = build_sketch_store(dataset, kind=kind, n_hashes=n_hashes, seed=7)
+    incremental = build_sketch_store(parent, kind=kind, n_hashes=n_hashes,
+                                     seed=7)
+    before = incremental.build_seconds
+    delta = incremental.extend_rows(child)
+    assert delta is child.parent_delta
+    assert incremental.n_rows == dataset.n_rows
+    assert incremental.build_seconds >= before
+    assert np.array_equal(full.sketches, incremental.sketches)
+
+
+def test_extend_rows_requires_a_delta():
+    dataset, parent, _ = _split(3)
+    store = build_sketch_store(parent, kind="cosine", n_hashes=16, seed=0)
+    with pytest.raises(ValueError, match="no parent delta"):
+        store.extend_rows(dataset)
+
+
+def test_extend_rows_rejects_row_count_mismatch():
+    _, parent, child = _split(4)
+    # A store that does not cover exactly the delta's parent rows is stale.
+    short = build_sketch_store(parent.subset(range(parent.n_rows - 1)),
+                               kind="cosine", n_hashes=16, seed=0)
+    with pytest.raises(ValueError, match="delta parent"):
+        short.extend_rows(child)
+
+
+def test_extend_rows_rejects_content_mismatch():
+    _, parent, child = _split(5)
+    _, _, other_child = _split(6)
+    store = build_sketch_store(parent, kind="cosine", n_hashes=16, seed=0)
+    # A delta forged for different content must be refused loudly.
+    with pytest.raises(ValueError, match="fingerprint"):
+        store.extend_rows(child, other_child.parent_delta)
+
+
+def test_extend_rows_with_empty_append_is_a_noop():
+    _, parent, _ = _split(7)
+    child = parent.append_rows([])
+    store = build_sketch_store(parent, kind="cosine", n_hashes=16, seed=0)
+    before = store.sketches.copy()
+    store.extend_rows(child)
+    assert np.array_equal(store.sketches, before)
+
+
+@settings(max_examples=15, deadline=None, derandomize=True)
+@given(seed=st.integers(0, 10_000), band_size=st.sampled_from([2, 4, 8]))
+def test_banded_new_vs_all_equals_filtered_full_run(seed, band_size):
+    dataset, _, child = _split(seed)
+    new_rows = child.parent_delta.new_rows
+    store = build_sketch_store(dataset, kind="cosine", n_hashes=32, seed=1)
+    full = banded_candidates(store.sketches, band_size=band_size,
+                             max_bucket=500)
+    narrowed = banded_candidates(store.sketches, band_size=band_size,
+                                 max_bucket=500, new_rows=new_rows)
+    expected = sorted(p for p in full
+                      if p[0] in new_rows or p[1] in new_rows)
+    assert narrowed == expected
+    assert all(i < j for i, j in narrowed)
+
+
+def test_all_pair_new_vs_all_equals_filtered_full_run():
+    new_rows = range(40, 50)
+    full = list(all_pair_candidates(50))
+    narrowed = list(all_pair_candidates(50, new_rows=new_rows))
+    expected = [p for p in full if p[0] in new_rows or p[1] in new_rows]
+    assert sorted(narrowed) == expected
+    # O(Δn·n): exactly d*old + d*(d-1)/2 pairs, each once.
+    assert len(narrowed) == 10 * 40 + 10 * 9 // 2
+    assert len(set(narrowed)) == len(narrowed)
+
+
+def test_all_pair_new_vs_all_clamps_to_n_rows():
+    # A range extending past the dataset (defensive caller) is clamped.
+    assert list(all_pair_candidates(3, new_rows=range(2, 10))) == [(0, 2), (1, 2)]

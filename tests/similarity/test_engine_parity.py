@@ -49,6 +49,7 @@ def _variant_params(exact: bool) -> list:
 
 
 EXACT_VARIANTS = _variant_params(exact=True)
+APPROX_VARIANTS = _variant_params(exact=False)
 
 #: Pair similarities this close to the threshold are allowed to land on
 #: either side (the test nudges thresholds away from them instead).
@@ -124,6 +125,16 @@ def test_every_parity_variant_instantiates():
     for param in EXACT_VARIANTS:
         backend, options = param.values
         assert make_backend(backend, **options).exact
+    for param in APPROX_VARIANTS:
+        backend, options = param.values
+        assert not make_backend(backend, **options).exact
+
+
+def test_parity_roster_covers_bayeslsh_candidate_strategies():
+    """Registry introspection must exercise both candidate generators."""
+    variants = [options for param in APPROX_VARIANTS
+                for name, options in [param.values] if name == "bayeslsh"]
+    assert [v["candidate_strategy"] for v in variants] == ["all", "banded"]
 
 
 def test_unknown_backend_raises():
@@ -247,6 +258,40 @@ def test_bayeslsh_recall_envelope(seed, threshold, measure):
     leaked = clearly_below & retained
     assert len(leaked) <= max(1, len(clearly_below)) * 0.1, (
         f"bayeslsh retained {len(leaked)} pairs <= t-{margin}")
+
+
+@settings(max_examples=8, deadline=None, derandomize=True)
+@given(seed=st.integers(0, 10_000),
+       threshold=st.floats(0.3, 0.8),
+       measure=st.sampled_from(["cosine", "jaccard"]))
+def test_bayeslsh_banded_retained_subset_of_all_pairs(seed, threshold, measure):
+    """With identical sketches (same seed), per-pair verification is
+    deterministic, so the banded strategy — whose candidate set is a subset
+    of all pairs — must retain a subset of the all-pairs run's retained set."""
+    dataset = _random_dataset(seed, 30, 8, 0.6)
+    runs = {}
+    for options in get_backend_class("bayeslsh").parity_variants():
+        result = ENGINE.search(dataset, threshold, measure, backend="bayeslsh",
+                               n_hashes=64, seed=0, **options)
+        assert not result.exact
+        assert result.details["candidate_strategy"] == options["candidate_strategy"]
+        runs[options["candidate_strategy"]] = result
+    assert runs["banded"].pair_set() <= runs["all"].pair_set()
+    all_sims = runs["all"].similarities()
+    for pair, similarity in runs["banded"].similarities().items():
+        assert similarity == pytest.approx(all_sims[pair], abs=1e-12)
+
+
+def test_bayeslsh_auto_strategy_resolves_by_row_count():
+    backend = make_backend("bayeslsh", banded_min_rows=16)
+    assert backend.resolve_strategy(15) == "all"
+    assert backend.resolve_strategy(16) == "banded"
+    pinned = make_backend("bayeslsh", candidate_strategy="banded")
+    assert pinned.resolve_strategy(2) == "banded"
+    dataset = make_clustered_vectors(20, 8, 3, seed=5)
+    result = ENGINE.search(dataset, 0.8, "cosine", backend="bayeslsh",
+                           n_hashes=64, seed=0, banded_min_rows=8)
+    assert result.details["candidate_strategy"] == "banded"
 
 
 def test_bayeslsh_reports_pruning_stats():

@@ -1,0 +1,237 @@
+"""Two-tier serving: sketch answers now, exact refinement behind, one store.
+
+Covers the :class:`~repro.similarity.tiered.TieredApssEngine` contract:
+
+* a cold probe is answered from the sketch tier tagged with its ``1 − ε``
+  recall bound, and after refinement the *same* probe transparently
+  re-serves exact — kernel-free, audited via ``ApssEngine.search_calls``;
+* the parked estimate under the exact key is served to sibling tiered
+  engines but never to a plain exact search (exactness discipline);
+* the refined store entry is byte-identical to one written by a direct
+  exact sweep — the two paths converge on one canonical entry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_clustered_vectors
+from repro.similarity import (ApssEngine, CachedApssEngine, TieredAnswer,
+                              TieredApssEngine)
+from repro.store import SimilarityStore
+
+SKETCH = {"n_hashes": 128, "seed": 0}
+
+
+def _dataset(seed: int = 11, n_rows: int = 30):
+    return make_clustered_vectors(n_rows, 8, 3, seed=seed)
+
+
+def _tiered(tmp_path, name: str, refine: str = "background",
+            **kwargs) -> TieredApssEngine:
+    store = SimilarityStore(tmp_path / name)
+    return TieredApssEngine(engine=ApssEngine(), store=store, refine=refine,
+                            sketch_options=dict(SKETCH), **kwargs)
+
+
+# --------------------------------------------------------------------- #
+# Serving order and refinement
+# --------------------------------------------------------------------- #
+
+def test_probe_serves_sketch_then_exact_after_refinement(tmp_path):
+    dataset = _dataset()
+    with _tiered(tmp_path, "store") as eng:
+        answer = eng.probe(dataset, 0.5)
+        assert answer.tier == "sketch"
+        assert not answer.exact
+        assert answer.bound == pytest.approx(eng.recall_bound)
+        assert 0.0 < answer.bound < 1.0
+        assert answer.refinement is not None
+        eng.wait()
+        upgraded = eng.probe(dataset, 0.5)
+    assert upgraded.tier == "exact"
+    assert upgraded.bound == 1.0
+    assert upgraded.exact
+    reference = ApssEngine().search(dataset, 0.5, "cosine")
+    assert upgraded.result.pair_set() == reference.pair_set()
+    # The sketch answer honoured its recall contract on this dataset.
+    sketch_recall = (len(answer.result.pair_set() & reference.pair_set())
+                     / max(1, len(reference.pair_set())))
+    assert sketch_recall >= answer.bound
+
+
+def test_sync_refinement_upgrades_store_before_returning(tmp_path):
+    dataset = _dataset()
+    eng = _tiered(tmp_path, "store", refine="sync")
+    answer = eng.probe(dataset, 0.5)
+    assert answer.tier == "sketch"          # the probe still answers fast-path
+    assert answer.refinement is None        # ... but nothing is left in flight
+    key = eng._exact_key(dataset.fingerprint(), "cosine")
+    landed = eng.store.load_result(key)
+    assert landed is not None and landed.exact
+    assert eng.refinements == 1
+
+
+def test_refine_off_parks_estimate_and_schedules_nothing(tmp_path):
+    dataset = _dataset()
+    eng = _tiered(tmp_path, "store", refine="off")
+    answer = eng.probe(dataset, 0.5)
+    assert answer.tier == "sketch" and answer.refinement is None
+    assert eng.refinements == 0
+    key = eng._exact_key(dataset.fingerprint(), "cosine")
+    parked = eng.store.load_result(key)
+    assert parked is not None and not parked.exact
+    assert parked.details["recall_bound"] == pytest.approx(eng.recall_bound)
+
+
+def test_repeated_probe_reuses_pending_refinement(tmp_path):
+    dataset = _dataset()
+    with _tiered(tmp_path, "store") as eng:
+        first = eng.probe(dataset, 0.6)
+        second = eng.probe(dataset, 0.4)
+        eng.wait()
+    # One key, one in-flight refinement: either shared, or the first had
+    # already completed before the second probe asked.
+    assert eng.refinements <= 2
+    assert first.refinement is not None
+
+
+def test_wait_surfaces_refinement_failure(tmp_path):
+    dataset = _dataset()
+    eng = _tiered(tmp_path, "store", exact_backend="exact-blocked",
+                  exact_options={"block_rows": -5})
+    eng.probe(dataset, 0.5)
+    with pytest.raises(Exception):
+        eng.wait()
+    eng.close()
+
+
+# --------------------------------------------------------------------- #
+# Kernel audit: both tiers share one engine
+# --------------------------------------------------------------------- #
+
+def test_search_calls_audit_across_tiers(tmp_path):
+    dataset = _dataset()
+    eng = _tiered(tmp_path, "store", refine="sync")
+    assert eng.cache.engine is eng.sketch_cache.engine
+    eng.probe(dataset, 0.5)
+    # Exactly two kernel invocations: one sketch-tier bayeslsh search, one
+    # exact refinement sweep.
+    assert eng.cache.engine.search_calls == 2
+    eng.probe(dataset, 0.5)
+    eng.probe(dataset, 0.7)
+    assert eng.cache.engine.search_calls == 2   # serves are kernel-free
+    assert eng.exact_answers == 2 and eng.sketch_answers == 1
+
+
+def test_fresh_process_serves_exact_kernel_free(tmp_path):
+    dataset = _dataset()
+    with _tiered(tmp_path, "store", refine="sync") as eng:
+        eng.probe(dataset, 0.5)
+    # A "new process": fresh engine, fresh caches, same store directory.
+    revived = TieredApssEngine(engine=ApssEngine(),
+                               store=SimilarityStore(tmp_path / "store"),
+                               sketch_options=dict(SKETCH))
+    answer = revived.probe(dataset, 0.5)
+    assert answer.tier == "exact"
+    assert revived.cache.engine.search_calls == 0
+
+
+def test_cross_instance_parked_estimate_serving(tmp_path):
+    dataset = _dataset()
+    parker = _tiered(tmp_path, "store", refine="off")
+    parker.probe(dataset, 0.5)
+    sibling = TieredApssEngine(engine=ApssEngine(),
+                               store=SimilarityStore(tmp_path / "store"),
+                               refine="off", sketch_options=dict(SKETCH))
+    answer = sibling.probe(dataset, 0.5)
+    assert answer.tier == "sketch"
+    assert answer.bound == pytest.approx(sibling.recall_bound)
+    # Served straight from the parked entry: zero kernel invocations.
+    assert sibling.cache.engine.search_calls == 0
+
+
+# --------------------------------------------------------------------- #
+# Exactness discipline at the store boundary
+# --------------------------------------------------------------------- #
+
+def test_parked_estimate_invisible_to_plain_exact_search(tmp_path):
+    dataset = _dataset()
+    eng = _tiered(tmp_path, "store", refine="off")
+    eng.probe(dataset, 0.5)
+    plain = CachedApssEngine(engine=ApssEngine(),
+                             store=SimilarityStore(tmp_path / "store"))
+    # peek: the parked estimate must not satisfy an exact-backend lookup...
+    assert plain.peek(dataset, 0.5) is None
+    assert plain.peek(dataset, 0.5, accept_approximate=True) is not None
+    # ...and search must run the kernel rather than serve the estimate.
+    result = plain.search(dataset, 0.5)
+    assert result.exact
+    assert plain.engine.search_calls == 1
+    # That exact landing upgraded the shared entry in place.
+    key = eng._exact_key(dataset.fingerprint(), "cosine")
+    assert eng.store.load_result(key).exact
+
+
+def test_refined_entry_bit_identical_to_direct_exact_sweep(tmp_path):
+    dataset = _dataset()
+    with _tiered(tmp_path, "tiered", refine="sync") as eng:
+        eng.probe(dataset, 0.5)
+    direct = CachedApssEngine(engine=ApssEngine(),
+                              store=SimilarityStore(tmp_path / "direct"))
+    direct.search(dataset, 0.5)
+    key = eng._exact_key(dataset.fingerprint(), "cosine")
+    assert key == direct._key(dataset.fingerprint(), "cosine", None, {})
+    tiered_bytes = eng.store._path("pairs", key).read_bytes()
+    direct_bytes = direct.store._path("pairs", key).read_bytes()
+    assert tiered_bytes == direct_bytes
+
+
+# --------------------------------------------------------------------- #
+# Answer shape and constructor contract
+# --------------------------------------------------------------------- #
+
+def test_tiered_answer_unpacks_as_result_tier_bound():
+    eng = TieredApssEngine(engine=ApssEngine(), store=False, refine="off")
+    dataset = _dataset(seed=3, n_rows=12)
+    result, tier, bound = eng.probe(dataset, 0.5)
+    assert tier == "sketch" and 0.0 < bound < 1.0
+    assert not result.exact
+    answer = eng.probe(dataset, 0.5)
+    assert isinstance(answer, TieredAnswer)
+    assert answer.exact == (answer.tier == "exact")
+
+
+def test_storeless_tier_still_refines_in_memory(tmp_path):
+    dataset = _dataset(seed=4, n_rows=16)
+    eng = TieredApssEngine(engine=ApssEngine(), store=False, refine="sync")
+    assert eng.store is None
+    first = eng.probe(dataset, 0.5)
+    assert first.tier == "sketch"
+    second = eng.probe(dataset, 0.5)
+    assert second.tier == "exact"           # memoised by the exact-tier cache
+
+
+def test_constructor_rejects_bad_refine_mode():
+    with pytest.raises(ValueError, match="refine must be one of"):
+        TieredApssEngine(engine=ApssEngine(), store=False, refine="eventually")
+
+
+def test_constructor_rejects_cache_and_parts():
+    cache = CachedApssEngine(engine=ApssEngine(), store=False)
+    with pytest.raises(ValueError, match="not both"):
+        TieredApssEngine(cache, engine=ApssEngine())
+
+
+def test_epsilon_follows_sketch_config(tmp_path):
+    from repro.lsh.bayeslsh import BayesLSHConfig
+
+    eng = TieredApssEngine(
+        engine=ApssEngine(), store=False, refine="off",
+        sketch_options={"config": BayesLSHConfig(epsilon=0.1)})
+    assert eng.epsilon == pytest.approx(0.1)
+    assert eng.recall_bound == pytest.approx(0.9)
+    dataset = _dataset(seed=9, n_rows=14)
+    answer = eng.probe(dataset, 0.5)
+    assert answer.bound == pytest.approx(0.9)

@@ -117,15 +117,19 @@ def test_delta_extension_works_across_processes_via_the_store(tmp_path):
     assert served.pair_set() == ApssEngine().search(dataset, 0.4).pair_set()
 
 
-def test_delta_extension_skipped_for_approximate_backends(store):
+def test_delta_extension_for_approximate_backends_stays_in_tier(store):
+    """bayeslsh appends extend through its own seam — never splicing exact
+    delta pairs into an estimate (the old dead-end recomputed instead)."""
     dataset = seeded_clustered(560, n_rows=40)
     parent, child = append_split(dataset, 4)
     engine = CachedApssEngine(store=store)
     engine.search(parent, 0.5, backend="bayeslsh")
-    engine.search(child, 0.5, backend="bayeslsh")
-    # The approximate backend recomputes; no exact pairs were spliced in.
-    assert engine.delta_extensions == 0
-    assert engine.engine.search_calls == 2
+    served = engine.search(child, 0.5, backend="bayeslsh")
+    assert engine.delta_extensions == 1
+    assert engine.engine.search_calls == 1     # only the parent sweep
+    assert not served.exact                    # the tier never changes flavour
+    fresh = ApssEngine().search(dataset, 0.5, backend="bayeslsh")
+    assert served.pair_set() == fresh.pair_set()
 
 
 def test_without_store_appends_fall_back_when_parent_floor_evicted():

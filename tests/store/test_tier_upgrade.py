@@ -1,0 +1,165 @@
+"""Upgrade-only landing lattice for two-tier store entries.
+
+The store-boundary rule behind two-tier serving
+(:meth:`SimilarityStore.land_result`): entries only ever move *up* the
+quality lattice ``rank = (exact, -threshold)`` — an exact result replaces a
+parked estimate regardless of threshold, an estimate never replaces an
+exact floor, and a same-flavour write needs a strictly looser threshold.
+
+A hypothesis suite interleaves approximate landings, exact upgrades,
+process restarts (a fresh :class:`SimilarityStore` over the same root) and
+open snapshot pins, asserting after every step that the entry's rank is
+monotone non-decreasing, that a refused landing leaves the entry
+byte-identical, and that no open snapshot's view ever moves.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity import EngineResult, SimilarPair
+from repro.store import SimilarityStore, fsck
+
+KEY = ("fp-tier-upgrade", "cosine", "exact-blocked", ())
+LOOSE, TIGHT = 0.3, 0.6
+_SIMS = [(0, 1, 0.9), (0, 2, 0.7), (1, 2, 0.5), (2, 3, 0.35)]
+
+
+def _result(threshold: float, exact: bool) -> EngineResult:
+    pairs = [SimilarPair(i, j, s) for i, j, s in _SIMS if s >= threshold]
+    details = {}
+    if not exact:
+        pairs = pairs[:-1]  # the estimate misses its boundary pair
+        details = {"epsilon": 0.03, "recall_bound": 0.97}
+    return EngineResult(
+        backend="exact-blocked" if exact else "bayeslsh", measure="cosine",
+        threshold=threshold, n_rows=4, pairs=pairs, exact=exact,
+        seconds=0.0, n_candidates=6, n_pruned=6 - len(pairs),
+        details=details)
+
+
+def _rank(entry: EngineResult) -> tuple:
+    return (entry.exact, -entry.threshold)
+
+
+def _canonical(entry: EngineResult | None):
+    if entry is None:
+        return None
+    return (entry.exact, entry.threshold,
+            sorted(p.as_tuple() for p in entry.pairs))
+
+
+_OPS = st.lists(
+    st.sampled_from(["approx_loose", "approx_tight", "exact_loose",
+                     "exact_tight", "reopen", "snapshot"]),
+    min_size=4, max_size=14)
+
+_CANDIDATES = {
+    "approx_loose": _result(LOOSE, exact=False),
+    "approx_tight": _result(TIGHT, exact=False),
+    "exact_loose": _result(LOOSE, exact=True),
+    "exact_tight": _result(TIGHT, exact=True),
+}
+
+
+@settings(max_examples=25, deadline=None, derandomize=True)
+@given(_OPS)
+def test_interleaved_landings_never_downgrade(tmp_path_factory, ops):
+    root = tmp_path_factory.mktemp("upgrade") / "store"
+    store = SimilarityStore(root)
+    snapshots = []  # [(snapshot, view-at-open)]
+    try:
+        for op in ops:
+            before = store.load_result(KEY)
+            if op == "reopen":
+                # Process restart: a fresh store over the same root must
+                # see the identical entry.
+                store = SimilarityStore(root)
+                assert _canonical(store.load_result(KEY)) == \
+                    _canonical(before)
+                continue
+            if op == "snapshot":
+                snapshot = store.open_snapshot()
+                snapshots.append((snapshot, _canonical(
+                    snapshot.load_result(KEY))))
+                continue
+            candidate = _CANDIDATES[op]
+            entry_path = store._path("pairs", KEY)
+            before_bytes = (entry_path.read_bytes()
+                            if entry_path.exists() else None)
+            landed = store.land_result(KEY, candidate)
+            after = store.load_result(KEY)
+            assert after is not None
+            if before is not None:
+                # THE invariant: rank is monotone, strictly so on a landing.
+                if landed:
+                    assert _rank(after) > _rank(before)
+                else:
+                    assert _rank(after) == _rank(before)
+                    assert entry_path.read_bytes() == before_bytes, \
+                        f"refused landing {op!r} still mutated the entry"
+                assert after.exact >= before.exact, "exact entry downgraded"
+            if landed:
+                assert _canonical(after) == _canonical(candidate)
+            # Open pins never observe the churn in the live pairs dir.
+            for snapshot, opened_view in snapshots:
+                assert _canonical(snapshot.load_result(KEY)) == opened_view, \
+                    f"pinned snapshot v{snapshot.version} moved after {op!r}"
+        assert fsck(store.root).ok
+    finally:
+        for snapshot, _ in snapshots:
+            snapshot.close()
+
+
+# --------------------------------------------------------------------- #
+# The full deterministic transition matrix
+# --------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("first,second,lands", [
+    # estimate -> exact: lands regardless of threshold direction
+    ("approx_loose", "exact_tight", True),
+    ("approx_tight", "exact_loose", True),
+    ("approx_loose", "exact_loose", True),
+    # exact -> estimate: refused regardless of threshold direction
+    ("exact_tight", "approx_loose", False),
+    ("exact_loose", "approx_tight", False),
+    # same flavour: strictly looser lands, tighter-or-equal refused
+    ("approx_tight", "approx_loose", True),
+    ("approx_loose", "approx_tight", False),
+    ("approx_loose", "approx_loose", False),
+    ("exact_tight", "exact_loose", True),
+    ("exact_loose", "exact_tight", False),
+    ("exact_loose", "exact_loose", False),
+])
+def test_landing_transition_matrix(tmp_path, first, second, lands):
+    store = SimilarityStore(tmp_path / "store")
+    assert store.land_result(KEY, _CANDIDATES[first])
+    assert store.land_result(KEY, _CANDIDATES[second]) is lands
+    final = store.load_result(KEY)
+    expected = _CANDIDATES[second if lands else first]
+    assert _canonical(final) == _canonical(expected)
+
+
+def test_upgrade_survives_process_restarts(tmp_path):
+    root = tmp_path / "store"
+    SimilarityStore(root).land_result(KEY, _CANDIDATES["approx_loose"])
+    # restart, upgrade to exact
+    assert SimilarityStore(root).land_result(KEY, _CANDIDATES["exact_tight"])
+    # restart again: the exact entry holds, estimates bounce off it forever
+    revived = SimilarityStore(root)
+    assert revived.land_result(KEY, _CANDIDATES["approx_loose"]) is False
+    assert revived.load_result(KEY).exact
+
+
+def test_estimates_never_enter_lineage(tmp_path):
+    """publish_floor routes estimates through land_result but never records
+    them in the MVCC lineage — there is no version to pin an estimate to."""
+    store = SimilarityStore(tmp_path / "store")
+    version_before = store.lineage.current().version
+    store.publish_floor(KEY, _CANDIDATES["approx_loose"])
+    assert store.lineage.current().version == version_before
+    assert not store.load_result(KEY).exact          # ...but it is parked
+    store.publish_floor(KEY, _CANDIDATES["exact_loose"])
+    assert store.lineage.current().version > version_before

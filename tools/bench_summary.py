@@ -101,6 +101,112 @@ def render_table(rows: list[dict], baseline_rows: list[dict] | None
     return "\n".join(lines), regressions
 
 
+#: Store-MVCC maintenance metrics surfaced in the trend table, as
+#: ``(json key, display label, unit, lower_is_better)``.
+STORE_MVCC_METRICS = (
+    ("resolve_seconds_chained", "resolve latency (chained)", "s", True),
+    ("resolve_seconds_consolidated", "resolve latency (consolidated)", "s",
+     True),
+    ("lineage_bytes_before", "lineage bytes before compaction", "B", True),
+    ("lineage_bytes_after_gc", "lineage bytes after GC", "B", True),
+    ("bytes_reclaimed", "bytes reclaimed by compaction+GC", "B", False),
+    ("manifests_removed", "manifests removed", "", False),
+    ("entries_removed", "entries removed", "", False),
+)
+
+
+def render_store_mvcc(run: dict, baseline: dict | None) -> str:
+    """Markdown table for the ``bench_store_mvcc.py`` maintenance metrics.
+
+    Resolve-latency and compaction rows from one maintenance run, compared
+    against the checked-in ``store_mvcc_maintenance.json`` baseline when
+    available.  Latency/byte metrics mark growth, reclamation metrics mark
+    shrinkage — either direction only as trend, never a hard failure
+    (maintenance timings are even noisier than kernel timings).
+    """
+    header = ["metric", "value"]
+    if baseline:
+        header += ["baseline", "Δ"]
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "|".join("---" for _ in header) + "|"]
+    for key, label, unit, lower_is_better in STORE_MVCC_METRICS:
+        value = run.get(key)
+        shown = (f"{value:.4f}{unit}" if isinstance(value, float)
+                 else f"{value}{unit}" if value is not None else "—")
+        cells = [label, shown]
+        if baseline:
+            base = baseline.get(key)
+            if isinstance(base, (int, float)) and base and \
+                    isinstance(value, (int, float)):
+                delta_pct = 100.0 * (value - base) / base
+                worse = delta_pct > 0 if lower_is_better else delta_pct < 0
+                marker = " ⚠️" if worse and abs(delta_pct) > HIGHLIGHT_PCT \
+                    else ""
+                base_shown = (f"{base:.4f}{unit}" if isinstance(base, float)
+                              else f"{base}{unit}")
+                cells += [base_shown, f"{delta_pct:+.1f}%{marker}"]
+            else:
+                cells += ["—", "new"]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+#: Two-tier serving metrics surfaced per workload, as
+#: ``(json key, display label, lower_is_better)``.  All are seconds except
+#: the dimensionless speedup/recall columns handled inline.
+TIERED_TIME_KEYS = (
+    ("first_answer_seconds", "first answer", True),
+    ("refine_seconds", "refined", True),
+    ("exact_seconds", "exact sweep", True),
+)
+
+
+def render_tiered(rows: list[dict], baseline_rows: list[dict] | None
+                  ) -> str:
+    """Markdown table for the ``bench_tiered_serving.py`` serving metrics.
+
+    One row per workload: time-to-first-answer from the sketch tier,
+    time-to-refined, the deferred exact-sweep cost, the first-vs-exact
+    speedup, and measured recall against its advertised bound.  The
+    speedup column is compared against the checked-in baseline (it is the
+    machine-speed-free signal, like ``speedup_vs_loop`` above); recall
+    below its bound is marked regardless of baseline.
+    """
+    by_workload = {row.get("workload"): row for row in baseline_rows or []}
+    header = ["workload", "first answer", "refined", "exact", "speedup",
+              "recall", "bound"]
+    if by_workload:
+        header += ["baseline speedup", "Δ speedup"]
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "|".join("---" for _ in header) + "|"]
+    for row in rows:
+        speedup = row.get("speedup_first_vs_exact")
+        recall = row.get("recall")
+        bound = row.get("recall_bound")
+        recall_marker = " ⚠️" if isinstance(recall, (int, float)) \
+            and isinstance(bound, (int, float)) and recall < bound else ""
+        cells = [str(row.get("workload", "—"))]
+        cells += [_fmt_seconds(row.get(key)) for key, _, _ in
+                  TIERED_TIME_KEYS]
+        cells += [_fmt_speedup(speedup),
+                  (f"{recall:.4f}{recall_marker}"
+                   if isinstance(recall, (int, float)) else "—"),
+                  f"{bound:.3f}" if isinstance(bound, (int, float)) else "—"]
+        if by_workload:
+            base = by_workload.get(row.get("workload")) or {}
+            base_speedup = base.get("speedup_first_vs_exact")
+            if isinstance(base_speedup, (int, float)) and base_speedup > 0 \
+                    and isinstance(speedup, (int, float)):
+                delta_pct = 100.0 * (speedup - base_speedup) / base_speedup
+                marker = " ⚠️" if delta_pct < -HIGHLIGHT_PCT else ""
+                cells += [_fmt_speedup(base_speedup),
+                          f"{delta_pct:+.1f}%{marker}"]
+            else:
+                cells += ["—", "new"]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; prints markdown suitable for $GITHUB_STEP_SUMMARY."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -109,6 +215,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--baseline", type=Path, default=None,
                         help="baseline JSON file, or a results directory "
                              "(e.g. benchmarks/results)")
+    parser.add_argument("--store-mvcc", type=Path, default=None,
+                        metavar="PATH",
+                        help="also append the bench_store_mvcc.py "
+                             "resolve-latency/compaction trend table from "
+                             "this maintenance-run JSON")
+    parser.add_argument("--tiered", type=Path, default=None, metavar="PATH",
+                        help="also append the bench_tiered_serving.py "
+                             "two-tier serving trend table from this "
+                             "run JSON")
     parser.add_argument("--title", default="APSS backend matrix — trend vs "
                                            "checked-in baseline")
     parser.add_argument("--fail-above", type=float, default=None,
@@ -133,6 +248,31 @@ def main(argv: list[str] | None = None) -> int:
               + f"{HIGHLIGHT_PCT:.0f}%):**")
         for workload, backend, drop_pct in regressions:
             print(f"- {workload} / `{backend}`: -{drop_pct:.1f}% vs baseline")
+    if args.store_mvcc is not None and args.store_mvcc.exists():
+        mvcc_run = json.loads(args.store_mvcc.read_text())
+        mvcc_baseline = None
+        if args.baseline is not None:
+            base_path = (args.baseline / "store_mvcc_maintenance.json"
+                         if args.baseline.is_dir() else args.baseline)
+            if base_path.exists():
+                mvcc_baseline = json.loads(base_path.read_text())
+        print("\n### MVCC store maintenance — resolve latency & "
+              "compaction\n")
+        print(render_store_mvcc(mvcc_run, mvcc_baseline))
+    if args.tiered is not None and args.tiered.exists():
+        tiered_rows, tiered_smoke = load_rows(args.tiered)
+        tiered_baseline = None
+        if args.baseline is not None and args.baseline.is_dir():
+            name = ("tiered_serving_smoke.json" if tiered_smoke
+                    else "tiered_serving.json")
+            base_path = args.baseline / name
+            if base_path.exists():
+                tiered_baseline = load_rows(base_path)[0]
+        elif args.baseline is not None and args.baseline.exists():
+            tiered_baseline = load_rows(args.baseline)[0]
+        print("\n### Two-tier serving — time-to-first-answer vs "
+              "exact sweep\n")
+        print(render_tiered(tiered_rows, tiered_baseline))
     if args.fail_above is not None:
         over = [r for r in regressions if r[2] > args.fail_above]
         if over:

@@ -2,8 +2,8 @@
 """pydocstyle-lite: enforce missing-docstring (D1xx) rules on public seams.
 
 A dependency-free subset of pydocstyle's D1xx family, run by CI (and by
-``tests/test_docstrings.py``) over ``src/repro/similarity`` and
-``src/repro/store``:
+``tests/test_docstrings.py``) over ``src/repro/similarity``,
+``src/repro/store``, ``src/repro/lsh`` and ``src/repro/core``:
 
 * **D100** — public module missing a docstring;
 * **D101** — public class missing a docstring;
@@ -28,7 +28,8 @@ import sys
 from pathlib import Path
 
 #: Default roots checked when no arguments are given (repo-relative).
-DEFAULT_ROOTS = ("src/repro/similarity", "src/repro/store")
+DEFAULT_ROOTS = ("src/repro/similarity", "src/repro/store",
+                 "src/repro/lsh", "src/repro/core")
 
 
 def _is_overload(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:

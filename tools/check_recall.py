@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Recall-regression gate for the approximate (BayesLSH) serving tier.
+
+Sweeps seeded scenarios with the ``bayeslsh`` backend — including the
+banded candidate strategy the sketch tier switches to at scale — against
+an exact-kernel floor, and fails (exit 1) whenever measured recall drops
+below the ``1 − ε`` bound the backend advertises in
+``details["recall_bound"]``.  That bound is exactly what
+``TieredApssEngine`` serves interactive probes under, so a regression
+here means the two-tier contract is broken, not just a benchmark noise
+blip.
+
+Usage (what the CI recall lane runs)::
+
+    PYTHONPATH=src python tools/check_recall.py [--markdown PATH]
+
+``--markdown`` appends the per-scenario table to *PATH* (pass
+``$GITHUB_STEP_SUMMARY`` in CI); the table always goes to stdout too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets import VectorDataset, make_clustered_vectors
+from repro.similarity import ApssEngine
+
+#: Sketch configuration mirroring the two-tier serving defaults at scale.
+BANDED_OPTIONS = {"n_hashes": 256, "seed": 0, "candidate_strategy": "banded",
+                  "band_size": 4}
+ALL_OPTIONS = {"n_hashes": 256, "seed": 0, "candidate_strategy": "all"}
+
+
+def near_duplicate_dataset(seed: int, n_base: int, vocab: int = 2000,
+                           doc_length: int = 40) -> VectorDataset:
+    """``2 * n_base`` binary doc rows: each base doc plus a near duplicate."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(n_base):
+        base = rng.choice(vocab, size=doc_length, replace=False)
+        duplicate = base.copy()
+        swap = rng.choice(doc_length, size=4, replace=False)
+        duplicate[swap] = rng.choice(vocab, size=4, replace=False)
+        rows.append({int(t): 1.0 for t in base})
+        rows.append({int(t): 1.0 for t in duplicate})
+    return VectorDataset.from_rows(rows, n_features=vocab,
+                                   name=f"neardup-{2 * n_base}")
+
+
+def clustered_dataset(seed: int, n_rows: int) -> VectorDataset:
+    """Clustered unit vectors for the cosine scenarios."""
+    return make_clustered_vectors(n_rows, 16, 5, separation=5.0,
+                                  cluster_std=0.7, seed=seed).l2_normalized()
+
+
+#: (name, dataset builder, measure, threshold, backend options).  The
+#: banded scenarios run past ``BANDED_DEFAULT_MIN_ROWS`` so they exercise
+#: the candidate generator the auto strategy actually picks at scale.
+SCENARIOS = (
+    ("neardup-1200/jaccard/banded",
+     lambda: near_duplicate_dataset(7, 600), "jaccard", 0.5, BANDED_OPTIONS),
+    ("neardup-1200/jaccard/all",
+     lambda: near_duplicate_dataset(8, 600), "jaccard", 0.5, ALL_OPTIONS),
+    ("clustered-300/cosine/all",
+     lambda: clustered_dataset(9, 300), "cosine", 0.8, ALL_OPTIONS),
+)
+
+
+def run_scenario(name, build, measure, threshold, options) -> dict:
+    """Measure one scenario's recall against an exact floor."""
+    dataset = build()
+    exact = ApssEngine().search(dataset, threshold, measure)
+    approx = ApssEngine().search(dataset, threshold, measure,
+                                 backend="bayeslsh", **options)
+    reference = exact.pair_set()
+    found = approx.pair_set()
+    recall = len(found & reference) / max(1, len(reference))
+    precision = len(found & reference) / max(1, len(found))
+    return {
+        "scenario": name,
+        "n_rows": dataset.n_rows,
+        "threshold": threshold,
+        "exact_pairs": len(reference),
+        "approx_pairs": len(found),
+        "recall": recall,
+        "precision": precision,
+        "recall_bound": float(approx.details["recall_bound"]),
+        "ok": recall >= float(approx.details["recall_bound"]),
+    }
+
+
+def render_markdown(rows: list[dict]) -> str:
+    """The per-scenario recall table for the CI job summary."""
+    lines = [
+        "### BayesLSH recall gate — measured vs advertised 1 − ε",
+        "",
+        "| scenario | rows | threshold | exact pairs | recall | bound "
+        "| precision | status |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for row in rows:
+        status = "✅" if row["ok"] else "❌ below bound"
+        lines.append(
+            f"| {row['scenario']} | {row['n_rows']} | {row['threshold']} "
+            f"| {row['exact_pairs']} | {row['recall']:.4f} "
+            f"| {row['recall_bound']:.3f} | {row['precision']:.4f} "
+            f"| {status} |")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """CLI entry point; exit 1 when any scenario misses its bound."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--markdown", metavar="PATH", default=None,
+                        help="append the markdown table to PATH "
+                             "(e.g. $GITHUB_STEP_SUMMARY)")
+    args = parser.parse_args(argv)
+
+    rows = [run_scenario(*scenario) for scenario in SCENARIOS]
+    table = render_markdown(rows)
+    print(table)
+    if args.markdown:
+        with Path(args.markdown).open("a") as fh:
+            fh.write(table + "\n")
+    failures = [row for row in rows if not row["ok"]]
+    if failures:
+        for row in failures:
+            print(f"FAIL {row['scenario']}: recall {row['recall']:.4f} < "
+                  f"bound {row['recall_bound']:.3f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
