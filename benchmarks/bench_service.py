@@ -1,0 +1,223 @@
+"""Service benchmark: a multi-tenant probe trace against the session server.
+
+Replays the serving scenario the service layer exists for: T tenant
+threads, each issuing a deterministic trace of sweep requests over a
+shared pool of datasets and thresholds (hot keys overlap across tenants),
+against one :class:`~repro.service.SimilarityService`.  Reported per
+workload:
+
+* ``p50_ms`` / ``p99_ms`` / ``mean_ms`` — per-request serving latency over
+  the whole trace (timings: trend only, runners are noisy);
+* ``throughput_rps`` — completed requests per wall-clock second;
+* ``kernel_passes`` / ``coalesced`` / ``search_calls`` — the
+  machine-speed-free signals: how much kernel work the scheduler and the
+  sweep cache saved.  ``search_calls <= distinct_keys`` is a hard
+  invariant (every duplicate — sequential *or* concurrent — must be
+  kernel-free), checked by :func:`check_matrix`.
+
+Dual interface, matching ``bench_tiered_serving.py``:
+
+* ``PYTHONPATH=src python benchmarks/bench_service.py [--smoke]
+  [--json PATH]`` — standalone CLI printing the table; ``--json`` writes
+  machine-readable rows that ``tools/bench_summary.py --service`` renders
+  into the CI trend table.
+* ``pytest benchmarks/bench_service.py`` — smoke-scale harness with shape
+  assertions.
+
+Results land in ``benchmarks/results/service_trace*.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets import make_clustered_vectors
+from repro.service import SimilarityService
+
+THRESHOLDS = (0.5, 0.6, 0.7)
+
+#: (workload name, tenants, requests per tenant, datasets in pool, rows each)
+SMOKE_WORKLOADS = [("trace-4x25", 4, 25, 6, 200)]
+FULL_WORKLOADS = [
+    ("trace-4x25", 4, 25, 6, 200),
+    ("trace-8x100", 8, 100, 12, 400),
+    ("trace-8x100-hot", 8, 100, 3, 400),  # 3 hot datasets: max overlap
+]
+
+
+def percentile(samples: list[float], pct: float) -> float:
+    """The nearest-rank percentile of *samples* (len >= 1)."""
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(pct / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def run_scenario(name: str, tenants: int, per_tenant: int, pool: int,
+                 n_rows: int, store_root) -> dict:
+    """Replay one trace; returns the benchmark row."""
+    datasets = [make_clustered_vectors(n_rows, 24, 4, seed=seed)
+                for seed in range(pool)]
+    latencies: list[float] = []
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+
+    with SimilarityService(store_root, probe_slots=2 * tenants) as service:
+        sessions = [service.open_session(f"tenant-{i}")
+                    for i in range(tenants)]
+        start_barrier = threading.Barrier(tenants)
+
+        def replay(tenant_idx: int) -> None:
+            rng = np.random.default_rng(1000 + tenant_idx)
+            session = sessions[tenant_idx]
+            samples = []
+            try:
+                start_barrier.wait()
+                for _ in range(per_tenant):
+                    dataset = datasets[int(rng.integers(len(datasets)))]
+                    threshold = THRESHOLDS[int(rng.integers(len(THRESHOLDS)))]
+                    begin = time.perf_counter()
+                    session.sweep(dataset, threshold)
+                    samples.append(time.perf_counter() - begin)
+            except BaseException as exc:  # pragma: no cover - shape guard
+                with lock:
+                    errors.append(exc)
+            with lock:
+                latencies.extend(samples)
+
+        wall_start = time.perf_counter()
+        threads = [threading.Thread(target=replay, args=(i,))
+                   for i in range(tenants)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall_seconds = time.perf_counter() - wall_start
+        health = service.health()
+
+    distinct_keys = pool * len(THRESHOLDS)
+    return {
+        "workload": name,
+        "tenants": tenants,
+        "requests": tenants * per_tenant,
+        "datasets": pool,
+        "n_rows": n_rows,
+        "errors": len(errors),
+        "completed": len(latencies),
+        "p50_ms": percentile(latencies, 50) * 1e3,
+        "p99_ms": percentile(latencies, 99) * 1e3,
+        "mean_ms": statistics.fmean(latencies) * 1e3,
+        "throughput_rps": len(latencies) / wall_seconds,
+        "wall_seconds": wall_seconds,
+        "kernel_passes": health["kernel_passes"],
+        "coalesced": health["coalesced"],
+        "search_calls": health["search_calls"],
+        "distinct_keys": distinct_keys,
+        "shed": health["lanes"]["probe"]["shed"],
+    }
+
+
+def run_matrix(smoke: bool = True) -> list[dict]:
+    """Run every workload against a throwaway store; one row per workload."""
+    workloads = SMOKE_WORKLOADS if smoke else FULL_WORKLOADS
+    rows = []
+    for name, tenants, per_tenant, pool, n_rows in workloads:
+        with tempfile.TemporaryDirectory(prefix="service-bench-") as root:
+            rows.append(run_scenario(name, tenants, per_tenant, pool,
+                                     n_rows, Path(root) / "store"))
+    return rows
+
+
+def check_matrix(rows: list[dict]) -> None:
+    """Assert the qualitative shape the service contract promises."""
+    for row in rows:
+        assert row["errors"] == 0, (
+            f"{row['workload']}: {row['errors']} requests failed")
+        assert row["completed"] == row["requests"], (
+            f"{row['workload']}: {row['completed']}/{row['requests']} "
+            "requests completed")
+        # The coalescing/caching invariant: the engine never ran more
+        # kernel passes than there are distinct (dataset, threshold) keys —
+        # every duplicate request, sequential or concurrent, was kernel-free.
+        assert row["search_calls"] <= row["distinct_keys"], (
+            f"{row['workload']}: {row['search_calls']} kernel searches for "
+            f"{row['distinct_keys']} distinct request keys")
+        assert row["shed"] == 0, (
+            f"{row['workload']}: {row['shed']} requests shed — the probe "
+            "lane was sized below the trace's concurrency")
+
+
+def format_table(rows: list[dict]) -> str:
+    header = (f"{'workload':<18} {'req':>5} {'p50':>8} {'p99':>8} "
+              f"{'rps':>7} {'kernel':>7} {'coalesced':>10} {'searches':>9}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['workload']:<18} {row['requests']:>5} "
+            f"{row['p50_ms']:>6.1f}ms {row['p99_ms']:>6.1f}ms "
+            f"{row['throughput_rps']:>7.1f} {row['kernel_passes']:>7} "
+            f"{row['coalesced']:>10} {row['search_calls']:>9}")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# pytest harness (smoke scale)
+# --------------------------------------------------------------------- #
+
+def test_service_trace(benchmark, record):
+    rows = benchmark.pedantic(lambda: run_matrix(smoke=True),
+                              rounds=1, iterations=1)
+    record("service_trace_smoke", json_payload(rows, smoke=True))
+    check_matrix(rows)
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+
+def json_payload(rows: list[dict], smoke: bool) -> dict:
+    """The machine-readable payload ``--json`` writes."""
+    return {
+        "benchmark": "service_trace",
+        "smoke": bool(smoke),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "rows": rows,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the reduced CI-sized trace")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write rows as machine-readable JSON")
+    args = parser.parse_args(argv)
+
+    rows = run_matrix(smoke=args.smoke)
+    check_matrix(rows)
+    print(format_table(rows))
+    name = "service_trace_smoke" if args.smoke else "service_trace"
+    results = Path(__file__).parent / "results" / f"{name}.json"
+    results.parent.mkdir(exist_ok=True)
+    results.write_text(json.dumps(json_payload(rows, args.smoke), indent=2,
+                                  default=float))
+    print(f"\nresults written to {results}")
+    if args.json:
+        Path(args.json).write_text(json.dumps(
+            json_payload(rows, args.smoke), indent=2, default=float))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -152,6 +152,7 @@ class PlasmaSession:
                 engine=self.engine, store=self.store,
                 snapshot=self.snapshot)
         self._tiered: TieredApssEngine | None = None
+        self._closed = False
         #: How this session's knowledge cache started: ``"fresh"``, resumed
         #: from this dataset's persisted state (``"store"``), or seeded from
         #: the append parent's state (``"parent"``).
@@ -312,8 +313,35 @@ class PlasmaSession:
         if self._sweeper is not None:
             self._sweeper.snapshot = self.snapshot
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    @property
+    def refinement_queue_depth(self) -> int:
+        """Exact refinements currently in flight for this session's probes.
+
+        The health-check counterpart of
+        :attr:`~repro.similarity.tiered.TieredApssEngine.pending_refinements`:
+        0 when the session never tiered-probed, and 0 again once drained —
+        a closed session always reports a clean queue.
+        """
+        if self._tiered is None:
+            return 0
+        return self._tiered.pending_refinements
+
     def close(self) -> None:
-        """Release the session's snapshot pin lease and drain refinements."""
+        """Release the session's snapshot pin lease and drain refinements.
+
+        Idempotent.  After close the tiered engine refuses further probes
+        (its refinement worker is gone for good — see
+        :meth:`TieredApssEngine.close`); snapshot-pinned sweeps and the
+        knowledge cache remain readable.
+        """
+        if self._closed:
+            return
+        self._closed = True
         if self._tiered is not None:
             self._tiered.close()
         if self.snapshot is not None:

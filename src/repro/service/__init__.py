@@ -1,0 +1,41 @@
+"""Similarity-as-a-service: a long-lived concurrent session server.
+
+Everything below this package is library-call-per-process; this layer is the
+front-end the "millions of users" story needs.  One
+:class:`SimilarityService` owns the shared process pools, shared-memory
+segments and one :class:`~repro.store.SimilarityStore`, and serves many
+concurrent tenant sessions with:
+
+* **sweep coalescing** (:class:`CoalescingScheduler`) — concurrent probes of
+  the same dataset/measure/threshold share one kernel pass, audited via
+  ``ApssEngine.search_calls``;
+* **per-tenant namespaces** (:class:`StoreNamespace`) — each tenant owns a
+  disjoint slice of the store's entry dirs *and* its MVCC manifest;
+* **admission control** (:class:`AdmissionController`) — isolated probe and
+  ingest lanes with bounded queues, so writers never block sweepers (and
+  vice versa), backpressure surfacing as :class:`ServiceOverloadError`;
+* **a managed lifecycle** — ``serving → draining → closed``, with every
+  pooled resource (refinement worker, process pools, shm segments, snapshot
+  leases) drained and released exactly once.
+"""
+
+from repro.service.admission import (
+    AdmissionController,
+    LaneGate,
+    ServiceOverloadError,
+)
+from repro.service.namespaces import NamespacedSnapshot, StoreNamespace
+from repro.service.scheduler import CoalescingScheduler
+from repro.service.server import ServiceClosedError, ServiceSession, SimilarityService
+
+__all__ = [
+    "AdmissionController",
+    "CoalescingScheduler",
+    "LaneGate",
+    "NamespacedSnapshot",
+    "ServiceClosedError",
+    "ServiceOverloadError",
+    "ServiceSession",
+    "SimilarityService",
+    "StoreNamespace",
+]

@@ -1,0 +1,160 @@
+"""Admission control: bounded, isolated probe and ingest lanes.
+
+The service's pooled resources are finite — worker processes, slab-ring
+slots, refinement threads — so the front door must be too.  Each request
+class gets a :class:`LaneGate`: a bounded concurrency slot pool plus a
+bounded wait queue.  When both are full the gate refuses immediately with
+:class:`ServiceOverloadError` rather than queueing unboundedly: shedding at
+admission is what keeps tail latency finite and is the same discipline the
+sharded backend applies to its slab ring (a bounded window of in-flight
+blocks; see :func:`repro.similarity.shm.default_ring_slots`).
+
+The two lanes of :class:`AdmissionController` are *isolated*: the probe
+lane (interactive sweeps and tiered probes) and the ingest lane (appends
+and generation publishes) have separate slots and separate queues, so a
+burst of writers can never starve readers of admission, and vice versa.
+This is the HTAP isolation rule from the store layer (writers and sweepers
+never block each other) carried up to the serving tier.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = ["AdmissionController", "LaneGate", "ServiceOverloadError"]
+
+
+class ServiceOverloadError(RuntimeError):
+    """A lane's slots and wait queue are both full; the request was shed.
+
+    Callers should treat this as retryable backpressure (the moral
+    equivalent of HTTP 503), not a failure of the request itself.
+    """
+
+
+class LaneGate:
+    """A bounded concurrency gate: *max_concurrent* slots, *max_queued* waiters.
+
+    ``with gate.admit():`` either acquires a slot (possibly after waiting
+    in the bounded queue) or raises :class:`ServiceOverloadError` without
+    waiting when the queue is already at capacity.  Counters are exposed
+    for health reporting: ``active`` (slots held), ``queued`` (waiting),
+    ``admitted``/``shed`` (lifetime totals).
+    """
+
+    def __init__(self, name: str, max_concurrent: int,
+                 max_queued: int = 0) -> None:
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        if max_queued < 0:
+            raise ValueError("max_queued must be >= 0")
+        self.name = name
+        self.max_concurrent = int(max_concurrent)
+        self.max_queued = int(max_queued)
+        self._cond = threading.Condition()
+        self.active = 0
+        self.queued = 0
+        self.admitted = 0
+        self.shed = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"LaneGate({self.name!r}, active={self.active}/"
+                f"{self.max_concurrent}, queued={self.queued}/"
+                f"{self.max_queued})")
+
+    def acquire(self, timeout: float | None = None) -> None:
+        """Take a slot, waiting in the bounded queue if necessary.
+
+        Raises :class:`ServiceOverloadError` immediately when the wait
+        queue is full, or after *timeout* seconds stuck in the queue.
+        """
+        with self._cond:
+            if self.active < self.max_concurrent:
+                self.active += 1
+                self.admitted += 1
+                return
+            if self.queued >= self.max_queued:
+                self.shed += 1
+                raise ServiceOverloadError(
+                    f"{self.name} lane full: {self.active} active, "
+                    f"{self.queued} queued (max {self.max_queued})")
+            self.queued += 1
+            try:
+                ok = self._cond.wait_for(
+                    lambda: self.active < self.max_concurrent,
+                    timeout=timeout)
+            finally:
+                self.queued -= 1
+            if not ok:
+                self.shed += 1
+                raise ServiceOverloadError(
+                    f"{self.name} lane: timed out after {timeout}s in queue")
+            self.active += 1
+            self.admitted += 1
+
+    def release(self) -> None:
+        with self._cond:
+            if self.active <= 0:  # pragma: no cover - misuse guard
+                raise RuntimeError(f"{self.name} lane released more than "
+                                   "acquired")
+            self.active -= 1
+            self._cond.notify()
+
+    @contextmanager
+    def admit(self, timeout: float | None = None):
+        """``with gate.admit():`` — acquire for the block, always release."""
+        self.acquire(timeout=timeout)
+        try:
+            yield self
+        finally:
+            self.release()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until the lane is empty (no slots held, no waiters).
+
+        Returns whether it emptied within *timeout*.  The caller is
+        responsible for having stopped new admissions first.
+        """
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: self.active == 0 and self.queued == 0,
+                timeout=timeout)
+
+    def stats(self) -> dict:
+        with self._cond:
+            return {"active": self.active, "queued": self.queued,
+                    "admitted": self.admitted, "shed": self.shed,
+                    "max_concurrent": self.max_concurrent,
+                    "max_queued": self.max_queued}
+
+
+class AdmissionController:
+    """The service's front door: isolated ``probe`` and ``ingest`` lanes.
+
+    Probe-lane width should track the compute pool's slab-ring budget
+    (``default_ring_slots(n_workers)``): admitting more concurrent sweeps
+    than the ring has slots only moves the queueing from here — where it
+    is bounded, observable and sheddable — into the transport, where it
+    is none of those.  The ingest lane is narrow by default (appends
+    serialise on the manifest lock anyway); what matters is that it is
+    *separate*, so ingest pressure never consumes probe admissions.
+    """
+
+    def __init__(self, *, probe_slots: int, ingest_slots: int = 2,
+                 probe_queue: int | None = None,
+                 ingest_queue: int | None = None) -> None:
+        self.probe = LaneGate(
+            "probe", probe_slots,
+            probe_queue if probe_queue is not None else 2 * probe_slots)
+        self.ingest = LaneGate(
+            "ingest", ingest_slots,
+            ingest_queue if ingest_queue is not None else 2 * ingest_slots)
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Drain both lanes; returns whether both emptied in time."""
+        ok = self.probe.drain(timeout=timeout)
+        return self.ingest.drain(timeout=timeout) and ok
+
+    def stats(self) -> dict:
+        return {"probe": self.probe.stats(), "ingest": self.ingest.stats()}

@@ -1,0 +1,123 @@
+"""Request coalescing: concurrent identical sweeps share one kernel pass.
+
+A server fronting many tenants sees the same probe again and again — two
+dashboards watching one corpus, N replicas of a client retrying.  The sweep
+cache already makes *sequential* repeats free; this scheduler closes the
+*concurrent* window: while a kernel pass for a key is in flight, every
+other request for the same key parks on its future instead of launching a
+duplicate pass.  The audit is the engine's ``search_calls`` counter — N
+concurrent identical probes bump it exactly once.
+
+Coalescing keys extend the sweep-cache floor key
+(:meth:`CachedApssEngine.cache_key`) with the requested threshold: probes
+of the same dataset/measure/backend at *different* thresholds stay
+independent flights (the later one is usually served by the first one's
+floor anyway, via the cache).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+
+from repro.datasets.vectors import VectorDataset
+from repro.similarity.cache import CachedApssEngine
+from repro.similarity.engine import EngineResult
+
+__all__ = ["CoalescingScheduler"]
+
+
+class CoalescingScheduler:
+    """One in-flight computation per request key; later callers join it.
+
+    Parameters
+    ----------
+    cache:
+        The shared compute cache every coalesced sweep runs through.  It is
+        deliberately the *one* compute path for all tenants: sequential
+        repeats hit its sweep cache, concurrent repeats hit this
+        scheduler's in-flight map.
+
+    Attributes
+    ----------
+    kernel_passes:
+        Requests this scheduler computed itself (at most one per key at a
+        time).
+    coalesced:
+        Requests that joined another caller's in-flight pass instead of
+        computing — the serving work the scheduler saved.
+
+    Notes
+    -----
+    The owner-computes discipline keeps the scheduler thread-pool-free: the
+    first caller for a key runs the sweep on its own thread and everyone
+    else blocks on the flight's future, so a failure propagates to every
+    joined caller and the flight is always removed — no leak on either
+    path.  Results are shared objects; callers must treat them as
+    immutable, exactly as they must with cache hits.
+    """
+
+    def __init__(self, cache: CachedApssEngine) -> None:
+        self.cache = cache
+        self._inflight: dict[tuple, Future] = {}
+        self._lock = threading.Lock()
+        self.kernel_passes = 0
+        self.coalesced = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def coalesce(self, key: tuple, compute):
+        """Run *compute* once per concurrent *key*; joiners share the result.
+
+        The generic primitive behind :meth:`search` (and the service's
+        tiered probe path): whoever installs the flight computes, everyone
+        arriving while it is in flight waits on the same future.  Raises
+        whatever *compute* raised, to the owner and every joiner alike.
+        """
+        with self._lock:
+            flight = self._inflight.get(key)
+            joined = flight is not None
+            if not joined:
+                flight = Future()
+                self._inflight[key] = flight
+        if joined:
+            self.coalesced += 1
+            return flight.result()
+        try:
+            result = compute()
+        except BaseException as exc:
+            flight.set_exception(exc)
+            raise
+        finally:
+            # Remove the flight before publishing: a request arriving now
+            # starts fresh and is served by the sweep cache the compute
+            # already warmed; joiners holding the future settle either way.
+            with self._lock:
+                self._inflight.pop(key, None)
+        self.kernel_passes += 1
+        flight.set_result(result)
+        return result
+
+    def request_key(self, dataset: VectorDataset, threshold: float,
+                    measure: str = "cosine", backend: str | None = None,
+                    **options) -> tuple:
+        """The coalescing key: the sweep-cache floor key plus the threshold."""
+        return self.cache.cache_key(dataset.fingerprint(), measure, backend,
+                                    **options) + (float(threshold),)
+
+    def search(self, dataset: VectorDataset, threshold: float,
+               measure: str = "cosine", backend: str | None = None,
+               **options) -> EngineResult:
+        """A coalesced :meth:`CachedApssEngine.search` of the shared cache.
+
+        Sequential repeats are served by the sweep cache (kernel-free);
+        concurrent repeats join the in-flight pass.  Either way the
+        engine's ``search_calls`` counter moves at most once per distinct
+        (key, threshold) burst.
+        """
+        key = self.request_key(dataset, threshold, measure, backend,
+                               **options)
+        return self.coalesce(
+            key, lambda: self.cache.search(dataset, threshold, measure,
+                                           backend=backend, **options))

@@ -1,0 +1,356 @@
+"""The concurrent session server: one process, many tenants, shared pools.
+
+:class:`SimilarityService` is the long-lived front-end that turns the
+library layers below into a serving system.  It owns, exactly once per
+process:
+
+* one :class:`~repro.similarity.engine.ApssEngine` (and through it the
+  shared worker pools and shm segments the sharded backend manages);
+* one shared in-memory sweep cache + :class:`CoalescingScheduler`, so both
+  sequential *and* concurrent duplicate probes cost one kernel pass;
+* one :class:`~repro.similarity.tiered.TieredApssEngine` for two-tier
+  probes (sketch answer now, exact refinement behind);
+* one :class:`~repro.store.SimilarityStore`, handed to tenants as
+  :class:`~repro.service.namespaces.StoreNamespace` slices;
+* one :class:`~repro.service.admission.AdmissionController` with isolated
+  probe/ingest lanes.
+
+Tenants interact through :class:`ServiceSession` handles from
+:meth:`SimilarityService.open_session`.  Compute results are shared across
+tenants — they are content-addressed by dataset fingerprint, so a tenant
+can only ever "see" results for data it already holds — while durable
+artifacts (landed floors, published generations, saved sessions) go to the
+tenant's own namespace.
+
+Lifecycle is ``serving → draining → closed`` and strictly forward:
+:meth:`~SimilarityService.drain` stops admitting, waits for both lanes to
+empty and for every queued refinement to land; :meth:`~SimilarityService.
+close` then stops the refinement worker and (optionally) tears down the
+process-global pools and shm segments.  Every entry point raises
+:class:`ServiceClosedError` once the service has left ``serving``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.datasets.vectors import VectorDataset
+from repro.service.admission import AdmissionController
+from repro.service.namespaces import StoreNamespace
+from repro.service.scheduler import CoalescingScheduler
+from repro.similarity.cache import CachedApssEngine
+from repro.similarity.engine import DEFAULT_BACKEND, ApssEngine, EngineResult
+from repro.similarity.partition import resolve_worker_count
+from repro.similarity.shm import default_ring_slots
+from repro.similarity.tiered import DEFAULT_MAX_PENDING, TieredApssEngine
+
+__all__ = ["ServiceClosedError", "ServiceSession", "SimilarityService"]
+
+
+class ServiceClosedError(RuntimeError):
+    """The service is draining or closed and admits no new work."""
+
+
+class SimilarityService:
+    """A long-lived similarity server multiplexing many tenant sessions.
+
+    Parameters
+    ----------
+    store:
+        The shared :class:`~repro.store.SimilarityStore` (or a path to
+        open one at).  ``None`` runs a memory-only service: sessions still
+        coalesce and probe, but nothing is durable and namespaces are
+        unavailable.
+    backend, backend_options:
+        Forwarded to the shared :class:`ApssEngine`.
+    n_workers:
+        Worker budget used to size the probe lane; resolved like the
+        sharded backend resolves it (explicit → ``REPRO_APSS_WORKERS`` →
+        CPU count).
+    probe_slots / ingest_slots:
+        Lane widths; ``probe_slots`` defaults to the slab-ring budget
+        ``default_ring_slots(n_workers)`` so admission never outruns the
+        transport.
+    max_pending:
+        Refinement-queue bound forwarded to the tiered engine.
+    refine:
+        Refinement mode forwarded to the tiered engine
+        (``"background"``/``"sync"``/``"off"``).
+    cache_entries:
+        Capacity of the shared in-memory sweep cache.  Size it to the hot
+        working set across *all* tenants — an evicted floor costs a full
+        kernel pass to rebuild.
+    """
+
+    def __init__(self, store=None, *, backend: str | None = None,
+                 n_workers: int | None = None,
+                 probe_slots: int | None = None, ingest_slots: int = 2,
+                 max_pending: int = DEFAULT_MAX_PENDING,
+                 refine: str = "background", cache_entries: int = 128,
+                 **backend_options) -> None:
+        if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
+            from repro.store import SimilarityStore
+
+            store = SimilarityStore(store)
+        self.store = store
+        self.engine = ApssEngine(backend or DEFAULT_BACKEND,
+                                 **backend_options)
+        # The shared compute cache is deliberately memory-only
+        # (store=False): durable floors are a per-tenant concern and land
+        # through each session's namespace, never through the shared path.
+        # Its capacity is a serving knob, not the library default: the
+        # working set is every hot (dataset, measure, options) floor across
+        # all tenants, and an evicted floor is a full kernel pass to rebuild.
+        self.compute = CachedApssEngine(engine=self.engine, store=False,
+                                        max_entries=cache_entries)
+        self.scheduler = CoalescingScheduler(self.compute)
+        self.tiered = TieredApssEngine(
+            engine=self.engine, store=store if store is not None else False,
+            max_pending=max_pending, refine=refine)
+        self.n_workers = resolve_worker_count(n_workers)
+        self.admission = AdmissionController(
+            probe_slots=(probe_slots if probe_slots is not None
+                         else default_ring_slots(self.n_workers)),
+            ingest_slots=ingest_slots)
+        self._state = "serving"
+        self._state_lock = threading.Lock()
+        self._sessions: dict[int, "ServiceSession"] = {}
+        self._session_seq = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> str:
+        """``"serving"``, ``"draining"`` or ``"closed"`` — forward-only."""
+        return self._state
+
+    def _check_serving(self) -> None:
+        if self._state != "serving":
+            raise ServiceClosedError(
+                f"service is {self._state}; no new work is admitted")
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop admitting, finish everything already admitted.
+
+        Moves to ``draining`` (new requests and sessions are refused from
+        that instant), waits for both admission lanes to empty, then waits
+        for every queued refinement to land in the store.  Returns whether
+        the lanes emptied within *timeout*; refinements are always waited
+        for.  Idempotent, and implied by :meth:`close`.
+        """
+        with self._state_lock:
+            if self._state == "serving":
+                self._state = "draining"
+        emptied = self.admission.drain(timeout=timeout)
+        if not self.tiered.closed:
+            self.tiered.wait(timeout=timeout)
+        return emptied
+
+    def close(self, *, release_pools: bool = False,
+              timeout: float | None = None) -> None:
+        """Drain, stop the refinement worker, optionally release pools.
+
+        With ``release_pools=True`` the process-global worker pools and
+        shared-memory segments are also torn down
+        (:func:`repro.similarity.backends.sharded.reset_shared_pools`) —
+        correct for process shutdown, wasteful if another service instance
+        will be started in the same process.  Idempotent.
+        """
+        if self._state == "closed":
+            return
+        try:
+            self.drain(timeout=timeout)
+        finally:
+            # A refinement failure surfacing through drain's wait still
+            # raises to the caller — but only after every pooled resource
+            # is released and the state is terminal.
+            self.tiered.close()
+            for session in list(self._sessions.values()):
+                session.close()
+            with self._state_lock:
+                self._state = "closed"
+            if release_pools:
+                from repro.similarity.backends.sharded import (
+                    reset_shared_pools,
+                )
+
+                reset_shared_pools(wait=True)
+
+    def __enter__(self) -> "SimilarityService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Sessions
+    # ------------------------------------------------------------------ #
+    def open_session(self, tenant: str) -> "ServiceSession":
+        """Open a tenant session (refused once draining/closed).
+
+        Two sessions for the same tenant share that tenant's namespace —
+        tenancy, not the session handle, is the isolation boundary.
+        """
+        self._check_serving()
+        with self._state_lock:
+            self._session_seq += 1
+            session = ServiceSession(self, tenant, self._session_seq)
+            self._sessions[session.session_id] = session
+        return session
+
+    def _forget_session(self, session: "ServiceSession") -> None:
+        with self._state_lock:
+            self._sessions.pop(session.session_id, None)
+
+    @property
+    def sessions(self) -> int:
+        """Open session count (a health metric, not an iteration API)."""
+        return len(self._sessions)
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def health(self) -> dict:
+        """One structured snapshot for monitoring and the soak tests."""
+        return {
+            "state": self._state,
+            "sessions": self.sessions,
+            "kernel_passes": self.scheduler.kernel_passes,
+            "coalesced": self.scheduler.coalesced,
+            "inflight": len(self.scheduler),
+            "search_calls": self.engine.search_calls,
+            "pending_refinements": (0 if self.tiered.closed
+                                    else self.tiered.pending_refinements),
+            "lanes": self.admission.stats(),
+        }
+
+
+class ServiceSession:
+    """One tenant's handle on the service; cheap, many per tenant allowed.
+
+    Built by :meth:`SimilarityService.open_session` — not directly.  All
+    compute goes through the service's shared scheduler (coalesced, lane-
+    admitted); all durable writes go through the tenant's
+    :class:`StoreNamespace` (``None`` for a storeless service).
+    """
+
+    def __init__(self, service: SimilarityService, tenant: str,
+                 session_id: int) -> None:
+        self.service = service
+        self.tenant = tenant
+        self.session_id = session_id
+        self.namespace = (StoreNamespace(service.store, tenant)
+                          if service.store is not None else None)
+        self._closed = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ServiceSession(tenant={self.tenant!r}, "
+                f"id={self.session_id}, state={self.service.state})")
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceClosedError("session is closed")
+        self.service._check_serving()
+
+    # ------------------------------------------------------------------ #
+    # Probe lane
+    # ------------------------------------------------------------------ #
+    def sweep(self, dataset: VectorDataset, threshold: float,
+              measure: str = "cosine", backend: str | None = None,
+              **options) -> EngineResult:
+        """An exact all-pairs sweep: admitted, coalesced, tenant-landed.
+
+        Concurrent identical sweeps — same fingerprint, measure, backend,
+        options and threshold, from *any* tenant — share one kernel pass
+        (the engine's ``search_calls`` moves once).  The result is also
+        landed durably in this tenant's namespace, upgrade-only.
+        """
+        self._check_open()
+        with self.service.admission.probe.admit():
+            result = self.service.scheduler.search(
+                dataset, threshold, measure, backend=backend, **options)
+        if self.namespace is not None:
+            key = self.service.compute.cache_key(
+                dataset.fingerprint(), measure, backend, **options)
+            self.namespace.land_result(key, result)
+        return result
+
+    def probe(self, dataset: VectorDataset, threshold: float,
+              measure: str = "cosine"):
+        """A two-tier probe: sketch answer now, exact refinement queued.
+
+        Coalesced like :meth:`sweep`: N concurrent identical probes run
+        one sketch pass and queue one refinement.  The refinement lands in
+        the *shared* store tier (content-addressed by fingerprint); call
+        :meth:`sweep` when the tenant needs its own durable exact floor.
+        """
+        self._check_open()
+        tiered = self.service.tiered
+        key = ("tiered",
+               tiered.cache.cache_key(dataset.fingerprint(), measure,
+                                      tiered.exact_backend,
+                                      **tiered.exact_options),
+               float(threshold))
+        with self.service.admission.probe.admit():
+            return self.service.scheduler.coalesce(
+                key, lambda: tiered.probe(dataset, threshold, measure))
+
+    # ------------------------------------------------------------------ #
+    # Ingest lane
+    # ------------------------------------------------------------------ #
+    def ingest(self, dataset: VectorDataset, rows,
+               labels=None, name: str | None = None) -> VectorDataset:
+        """Append *rows* and publish the child generation to the tenant.
+
+        Runs on the ingest lane: its admission, queueing and backpressure
+        are fully separate from the probe lane's, so a burst of appends
+        never delays a probe's admission (and vice versa).
+        """
+        self._check_open()
+        with self.service.admission.ingest.admit():
+            child = dataset.append_rows(rows, labels=labels, name=name)
+            if self.namespace is not None:
+                delta = child.parent_delta
+                self.namespace.publish_generation(
+                    child.fingerprint(),
+                    parent=delta.parent_fingerprint if delta else None,
+                    n_rows=child.n_rows,
+                    parent_rows=delta.parent_rows if delta else None)
+        return child
+
+    # ------------------------------------------------------------------ #
+    # Interactive exploration
+    # ------------------------------------------------------------------ #
+    def open_plasma(self, dataset: VectorDataset, **kwargs):
+        """A :class:`~repro.core.session.PlasmaSession` on shared pools.
+
+        The session shares the service's engine (one ``search_calls``
+        audit stream, one set of worker pools) and persists through this
+        tenant's namespace, so its saved state and published generations
+        stay inside the tenant.
+        """
+        self._check_open()
+        from repro.core.session import PlasmaSession
+
+        kwargs.setdefault("engine", self.service.engine)
+        if self.namespace is not None:
+            kwargs.setdefault("store", self.namespace)
+        return PlasmaSession(dataset, **kwargs)
+
+    def close(self) -> None:
+        """Deregister from the service.  Idempotent, never blocks."""
+        if self._closed:
+            return
+        self._closed = True
+        self.service._forget_session(self)
+
+    def __enter__(self) -> "ServiceSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

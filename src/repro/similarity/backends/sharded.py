@@ -618,7 +618,8 @@ def iter_similarity_blocks_sharded(
         yield from iter_similarity_blocks(dataset, measure,
                                           block_rows=rows_per_block)
         return
-    window = max_pending if max_pending is not None else 2 * n_workers
+    window = (max_pending if max_pending is not None
+              else shm.default_ring_slots(n_workers))
     window = max(1, int(window))
     use_shm = use_shared_memory and n_workers > 1
     payload = _shard_payload(dataset, measure, use_shm)

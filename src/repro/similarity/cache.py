@@ -145,6 +145,18 @@ class CachedApssEngine:
                      if k not in execution_only}
         return (fingerprint, measure, name, tuple(sorted(keyed.items())))
 
+    def cache_key(self, fingerprint: str, measure: str = "cosine",
+                  backend: str | None = None, **options) -> tuple:
+        """The canonical floor key for (*fingerprint*, *measure*, backend).
+
+        The public face of the keying rule every layer above shares: the
+        tiered engine parks estimates under it, the store lands floors by
+        it, and the service scheduler coalesces concurrent sweeps on it.
+        Execution-only options are stripped exactly as :meth:`search` does,
+        so callers deriving keys can never fragment the key space.
+        """
+        return self._key(fingerprint, measure, backend, options)
+
     def _install(self, key: tuple, result: EngineResult) -> None:
         """Insert *result* under *key*, refreshing recency and bounding size."""
         # pop with a default: a concurrent searcher may have evicted the key

@@ -54,6 +54,7 @@ __all__ = [
     "active_segment_names",
     "attach_dataset",
     "attach_segment",
+    "default_ring_slots",
     "pin_dataset",
     "publish_dataset",
     "published_fingerprints",
@@ -94,6 +95,20 @@ if hasattr(os, "register_at_fork"):
 MAX_PUBLISHED_DATASETS = 4
 
 _generation = itertools.count()
+
+
+def default_ring_slots(n_workers: int) -> int:
+    """The slab-ring slot budget for a pool of *n_workers*.
+
+    One slot per in-flight streamed block, with 2x oversubscription so a
+    slow shard never idles the pool.  This is the single home of the
+    in-flight bound: the sharded streaming path sizes its reorder window
+    (and hence its :class:`SlabRing`) from it, and the service layer's
+    admission gate ties its probe-lane concurrency to the same number —
+    admitting more concurrent sweeps than the ring can return slabs for
+    would only queue them inside the kernel.
+    """
+    return max(1, 2 * int(n_workers))
 
 
 def transport_supported() -> bool:

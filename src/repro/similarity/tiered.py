@@ -42,9 +42,16 @@ from repro.datasets.vectors import VectorDataset
 from repro.similarity.cache import CachedApssEngine
 from repro.similarity.engine import EngineResult
 
-__all__ = ["TieredAnswer", "TieredApssEngine"]
+__all__ = ["TieredAnswer", "TieredApssEngine", "DEFAULT_MAX_PENDING"]
 
 _REFINE_MODES = ("background", "sync", "off")
+
+#: Default bound on distinct refinement keys in flight at once.  A server
+#: probing many datasets schedules one refinement per key; past this bound
+#: :meth:`TieredApssEngine._schedule` blocks on the oldest in-flight
+#: refinement (backpressure) instead of letting the queue — and the dict
+#: tracking it — grow without limit.
+DEFAULT_MAX_PENDING = 64
 
 
 @dataclass
@@ -107,12 +114,21 @@ class TieredApssEngine:
         thread), ``"sync"`` (run it inline before returning — the sketch
         answer is still what the probe reports, but the store is upgraded
         by the time it returns), or ``"off"`` (never refine).
+    max_pending:
+        Bound on distinct refinement keys in flight at once
+        (:data:`DEFAULT_MAX_PENDING`).  Scheduling past the bound blocks
+        on the oldest in-flight refinement first, so a long-lived server
+        probing many datasets holds at most this many queued sweeps.
 
     Notes
     -----
     Both tiers run on the *same* underlying :class:`ApssEngine`, so its
     ``search_calls`` counter audits every kernel invocation across tiers —
     the acceptance tests count it to prove serve paths stay kernel-free.
+
+    Lifecycle: :meth:`close` drains the refinement worker and leaves the
+    queue empty (``pending_refinements == 0``); a closed engine refuses
+    :meth:`probe` rather than silently respawning its worker thread.
     """
 
     def __init__(self, cache: CachedApssEngine | None = None, *,
@@ -120,9 +136,12 @@ class TieredApssEngine:
                  exact_backend: str | None = None,
                  exact_options: dict | None = None,
                  sketch_options: dict | None = None,
-                 refine: str = "background") -> None:
+                 refine: str = "background",
+                 max_pending: int = DEFAULT_MAX_PENDING) -> None:
         if refine not in _REFINE_MODES:
             raise ValueError(f"refine must be one of {_REFINE_MODES}")
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
         if cache is not None and (engine is not None or store is not None
                                   or snapshot is not None):
             raise ValueError("pass either a cache or engine/store/snapshot, "
@@ -143,12 +162,14 @@ class TieredApssEngine:
                                "candidate_strategy": "auto"}
         self.sketch_options.update(sketch_options or {})
         self.refine = refine
+        self.max_pending = int(max_pending)
         self.sketch_answers = 0
         self.exact_answers = 0
         self.refinements = 0
         self._pending: dict[tuple, Future] = {}
         self._lock = threading.Lock()
         self._executor: ThreadPoolExecutor | None = None
+        self._closed = False
 
     # ------------------------------------------------------------------ #
     @property
@@ -171,9 +192,26 @@ class TieredApssEngine:
         """The sketch tier's recall contract, ``1 − ε``."""
         return 1.0 - self.epsilon
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (a closed engine refuses probes)."""
+        return self._closed
+
+    @property
+    def pending_refinements(self) -> int:
+        """Refinements genuinely in flight right now.
+
+        Settled futures are pruned before counting, so a long-serving
+        engine's health check reads the true queue depth — not every
+        refinement it ever scheduled.  A drained (closed) engine reports 0.
+        """
+        with self._lock:
+            self._prune_pending()
+            return len(self._pending)
+
     def _exact_key(self, fingerprint: str, measure: str) -> tuple:
-        return self.cache._key(fingerprint, measure, self.exact_backend,
-                               self.exact_options)
+        return self.cache.cache_key(fingerprint, measure, self.exact_backend,
+                                    **self.exact_options)
 
     # ------------------------------------------------------------------ #
     def probe(self, dataset: VectorDataset, threshold: float,
@@ -195,7 +233,17 @@ class TieredApssEngine:
         Every sketch answer schedules exact refinement per the *refine*
         mode; the returned :class:`TieredAnswer` carries the pending
         future so callers can await exactness explicitly.
+
+        A closed engine raises ``RuntimeError``: serving again would have
+        to respawn the refinement worker behind the caller's back, and a
+        server-managed lifecycle cannot tolerate zombie worker threads.
+        Build a fresh engine (over the same cache/store) to resume.
         """
+        if self._closed:
+            raise RuntimeError(
+                "TieredApssEngine is closed; probe() after close() would "
+                "respawn the refinement worker — build a fresh engine over "
+                "the same store to resume serving")
         threshold = float(threshold)
         served = self.cache.peek(dataset, threshold, measure,
                                  self.exact_backend, **self.exact_options)
@@ -222,8 +270,9 @@ class TieredApssEngine:
                                           backend="bayeslsh",
                                           **self.sketch_options)
         if self.store is not None:
-            bayes_key = self.sketch_cache._key(dataset.fingerprint(), measure,
-                                               "bayeslsh", self.sketch_options)
+            bayes_key = self.sketch_cache.cache_key(
+                dataset.fingerprint(), measure, "bayeslsh",
+                **self.sketch_options)
             floor, _, _ = self.sketch_cache._lookup_floor(
                 bayes_key, threshold, install=False)
             # Park the loosest known estimate floor under the exact key so
@@ -235,26 +284,59 @@ class TieredApssEngine:
         return served
 
     # ------------------------------------------------------------------ #
+    def _prune_pending(self) -> None:
+        """Drop settled futures from the pending map (caller holds the lock).
+
+        Settled refinements already surfaced through their own futures (the
+        :class:`TieredAnswer` carries them) or a :meth:`wait` that overlapped
+        them; keeping them would grow the map one entry per dataset ever
+        probed and re-raise long-settled failures forever.
+        """
+        for key in [k for k, f in self._pending.items() if f.done()]:
+            del self._pending[key]
+
     def _schedule(self, dataset: VectorDataset, threshold: float,
                   measure: str) -> Future | None:
-        """Ensure one exact refinement is in flight for this probe's key."""
+        """Ensure one exact refinement is in flight for this probe's key.
+
+        The pending map is pruned of settled futures on every call and
+        bounded by ``max_pending``: once that many keys are in flight, the
+        scheduler blocks on the oldest one (backpressure) before admitting
+        a new sweep, so sustained serving over rotating datasets holds a
+        bounded queue instead of leaking one future per dataset.
+        """
         if self.refine == "off":
             return None
         key = self._exact_key(dataset.fingerprint(), measure)
         if self.refine == "sync":
             self._refine(dataset, threshold, measure)
             return None
-        with self._lock:
-            pending = self._pending.get(key)
-            if pending is not None and not pending.done():
-                return pending
-            if self._executor is None:
-                self._executor = ThreadPoolExecutor(
-                    max_workers=1, thread_name_prefix="apss-refine")
-            future = self._executor.submit(self._refine, dataset, threshold,
-                                           measure)
-            self._pending[key] = future
-        return future
+        while True:
+            with self._lock:
+                if self._closed:
+                    raise RuntimeError(
+                        "TieredApssEngine is closed; cannot schedule "
+                        "refinements")
+                self._prune_pending()
+                pending = self._pending.get(key)
+                if pending is not None:
+                    return pending
+                if len(self._pending) < self.max_pending:
+                    if self._executor is None:
+                        self._executor = ThreadPoolExecutor(
+                            max_workers=1, thread_name_prefix="apss-refine")
+                    future = self._executor.submit(self._refine, dataset,
+                                                   threshold, measure)
+                    self._pending[key] = future
+                    return future
+                oldest = next(iter(self._pending.values()))
+            # Backpressure, outside the lock so in-flight work can settle:
+            # failures are not this probe's to raise — they surface through
+            # the failed probe's own future (and any wait() that covers it).
+            try:
+                oldest.result()
+            except Exception:
+                pass
 
     def _refine(self, dataset: VectorDataset, threshold: float,
                 measure: str) -> EngineResult:
@@ -266,25 +348,43 @@ class TieredApssEngine:
         return result
 
     def wait(self, timeout: float | None = None) -> list[EngineResult]:
-        """Block until in-flight refinements finish; return their results.
+        """Block until this call's in-flight refinements finish.
 
-        Raises the first refinement failure (a failed refinement must not
-        pass silently — the probe answer stays servable either way, but the
-        caller asked for exactness).
+        Returns the results of exactly the refinements pending when the
+        call was made — later probes' sweeps are not waited for — and
+        *consumes* them from the queue: a refinement is reported by at most
+        one ``wait``, so a failure raises here once (the caller asked for
+        exactness) and never again from ``wait``\\ s of probes long past.
+        Futures still running at *timeout* stay queued for the next call.
         """
         from concurrent.futures import wait as wait_futures
 
         with self._lock:
-            futures = list(self._pending.values())
-        wait_futures(futures, timeout=timeout)
-        return [f.result() for f in futures if f.done()]
+            snapshot = dict(self._pending)
+        wait_futures(list(snapshot.values()), timeout=timeout)
+        with self._lock:
+            for key, future in snapshot.items():
+                if future.done() and self._pending.get(key) is future:
+                    del self._pending[key]
+        return [f.result() for f in snapshot.values() if f.done()]
 
     def close(self) -> None:
-        """Drain pending refinements and stop the worker thread."""
+        """Drain pending refinements, stop the worker, leave a clean queue.
+
+        Idempotent.  Every queued refinement still runs to completion (its
+        store landing is not lost); once drained the pending map is cleared
+        so a server health check reads ``pending_refinements == 0``.  After
+        close, :meth:`probe` raises instead of respawning the worker.
+        """
         with self._lock:
+            self._closed = True
             executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=True)
+        with self._lock:
+            # Everything settled during shutdown(wait=True); failures have
+            # already surfaced through their futures or an earlier wait().
+            self._pending.clear()
 
     def __enter__(self) -> "TieredApssEngine":
         """Context-manager entry: the engine itself."""

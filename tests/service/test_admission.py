@@ -1,0 +1,170 @@
+"""Admission control: bounded lanes, shed-on-overload, writer/probe isolation."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.datasets import make_clustered_vectors
+from repro.service import (AdmissionController, LaneGate,
+                           ServiceOverloadError, SimilarityService)
+
+
+# --------------------------------------------------------------------- #
+# LaneGate mechanics
+# --------------------------------------------------------------------- #
+
+def test_full_lane_with_full_queue_sheds_immediately():
+    gate = LaneGate("probe", max_concurrent=1, max_queued=0)
+    gate.acquire()
+    started = time.monotonic()
+    with pytest.raises(ServiceOverloadError):
+        gate.acquire()
+    assert time.monotonic() - started < 1.0  # shed, not queued
+    assert gate.stats()["shed"] == 1
+    gate.release()
+
+
+def test_queued_caller_is_admitted_on_release():
+    gate = LaneGate("probe", max_concurrent=1, max_queued=1)
+    gate.acquire()
+    admitted = threading.Event()
+
+    def waiter():
+        with gate.admit(timeout=10.0):
+            admitted.set()
+
+    t = threading.Thread(target=waiter)
+    t.start()
+    deadline = time.monotonic() + 5.0
+    while gate.stats()["queued"] != 1:
+        assert time.monotonic() < deadline
+        time.sleep(0.001)
+    assert not admitted.is_set()
+    gate.release()
+    t.join(timeout=5.0)
+    assert admitted.is_set()
+    assert gate.stats() == {"active": 0, "queued": 0, "admitted": 2,
+                            "shed": 0, "max_concurrent": 1, "max_queued": 1}
+
+
+def test_queue_timeout_sheds():
+    gate = LaneGate("probe", max_concurrent=1, max_queued=1)
+    gate.acquire()
+    with pytest.raises(ServiceOverloadError):
+        gate.acquire(timeout=0.05)
+    gate.release()
+
+
+def test_admit_releases_on_exception():
+    gate = LaneGate("probe", max_concurrent=1, max_queued=0)
+    with pytest.raises(RuntimeError):
+        with gate.admit():
+            raise RuntimeError("body failed")
+    assert gate.stats()["active"] == 0
+
+
+def test_drain_waits_for_the_lane_to_empty():
+    gate = LaneGate("probe", max_concurrent=2, max_queued=0)
+    gate.acquire()
+    assert not gate.drain(timeout=0.05)
+    gate.release()
+    assert gate.drain(timeout=1.0)
+
+
+def test_gate_validation():
+    with pytest.raises(ValueError):
+        LaneGate("x", max_concurrent=0)
+    with pytest.raises(ValueError):
+        LaneGate("x", max_concurrent=1, max_queued=-1)
+    gate = LaneGate("x", max_concurrent=1)
+    with pytest.raises(RuntimeError):
+        gate.release()  # released more than acquired
+
+
+def test_controller_defaults_queue_to_twice_the_slots():
+    ctrl = AdmissionController(probe_slots=4, ingest_slots=2)
+    assert ctrl.probe.max_queued == 8
+    assert ctrl.ingest.max_queued == 4
+    stats = ctrl.stats()
+    assert set(stats) == {"probe", "ingest"}
+
+
+# --------------------------------------------------------------------- #
+# Lane isolation at the service level
+# --------------------------------------------------------------------- #
+
+def _dataset(seed=5, n_rows=10):
+    return make_clustered_vectors(n_rows, 8, 2, seed=seed)
+
+
+def test_saturated_probe_lane_never_blocks_ingest(tmp_path):
+    """Writer/sweeper isolation: a stuck probe lane still admits appends."""
+    with SimilarityService(tmp_path / "store") as service:
+        # One probe slot, no queue: the second probe sheds instantly.
+        service.admission = AdmissionController(
+            probe_slots=1, ingest_slots=1, probe_queue=0)
+        session = service.open_session("tenant")
+        release = threading.Event()
+        in_probe = threading.Event()
+        real_search = service.compute.search
+
+        def stuck_search(*args, **kwargs):
+            in_probe.set()
+            assert release.wait(timeout=10.0)
+            return real_search(*args, **kwargs)
+
+        service.compute.search = stuck_search
+        probe_thread = threading.Thread(
+            target=lambda: session.sweep(_dataset(), 0.5))
+        probe_thread.start()
+        assert in_probe.wait(timeout=10.0)
+
+        # The probe lane is saturated: another probe is shed...
+        with pytest.raises(ServiceOverloadError):
+            session.sweep(_dataset(seed=6), 0.5)
+        # ...but ingest sails through on its own lane, un-queued.
+        started = time.monotonic()
+        child = session.ingest(_dataset(), _dataset(seed=9, n_rows=2))
+        assert time.monotonic() - started < 5.0
+        assert child.n_rows == 12
+
+        release.set()
+        probe_thread.join(timeout=10.0)
+        assert service.admission.probe.stats()["active"] == 0
+
+
+def test_saturated_ingest_lane_never_blocks_probes(tmp_path):
+    """The symmetric direction: stuck appends still admit sweeps."""
+    with SimilarityService(tmp_path / "store") as service:
+        service.admission = AdmissionController(
+            probe_slots=4, ingest_slots=1, ingest_queue=0)
+        session = service.open_session("tenant")
+        release = threading.Event()
+        in_ingest = threading.Event()
+        dataset = _dataset()
+        real_append = type(dataset).append_rows
+
+        def stuck_append(self, rows, labels=None, name=None):
+            in_ingest.set()
+            assert release.wait(timeout=10.0)
+            return real_append(self, rows, labels=labels, name=name)
+
+        ingest_thread = threading.Thread(
+            target=lambda: session.ingest(dataset,
+                                          _dataset(seed=9, n_rows=2)))
+        try:
+            type(dataset).append_rows = stuck_append
+            ingest_thread.start()
+            assert in_ingest.wait(timeout=10.0)
+
+            with pytest.raises(ServiceOverloadError):
+                session.ingest(dataset, _dataset(seed=10, n_rows=2))
+            result = session.sweep(dataset, 0.5)  # probe lane: untouched
+            assert result.exact
+        finally:
+            release.set()
+            ingest_thread.join(timeout=10.0)
+            type(dataset).append_rows = real_append

@@ -1,0 +1,112 @@
+"""Per-tenant namespaces: one store, disjoint key spaces, scoped snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import make_clustered_vectors
+from repro.service import StoreNamespace
+from repro.similarity import ApssEngine
+from repro.store import SimilarityStore
+
+
+def _floor(threshold: float = 0.5):
+    dataset = make_clustered_vectors(12, 8, 2, seed=3)
+    return dataset, ApssEngine().search(dataset, threshold)
+
+
+def test_tenants_see_disjoint_entries(tmp_path):
+    store = SimilarityStore(tmp_path)
+    alice = StoreNamespace(store, "alice")
+    bob = StoreNamespace(store, "bob")
+    dataset, result = _floor()
+    key = (dataset.fingerprint(), "cosine")
+
+    assert alice.land_result(key, result)
+    assert alice.load_result(key) is not None
+    assert bob.load_result(key) is None          # other tenant: invisible
+    assert store.load_result(key) is None        # bare store: invisible too
+
+    assert bob.land_result(key, result)          # lands independently
+    assert bob.load_result(key) is not None
+
+
+def test_namespaced_key_and_fingerprint_rewrite(tmp_path):
+    ns = StoreNamespace(SimilarityStore(tmp_path), "alice")
+    assert ns.namespaced(("fp", "cosine", None)) == ("alice::fp", "cosine",
+                                                     None)
+    assert ns.namespaced_fingerprint("fp") == "alice::fp"
+    with pytest.raises(ValueError):
+        ns.namespaced(())
+
+
+@pytest.mark.parametrize("bad", ["", "a::b", None, 7])
+def test_invalid_tenant_ids_are_refused(tmp_path, bad):
+    store = SimilarityStore(tmp_path)
+    with pytest.raises(ValueError):
+        StoreNamespace(store, bad)
+
+
+def test_manifest_generations_are_tenant_scoped(tmp_path):
+    store = SimilarityStore(tmp_path)
+    alice = StoreNamespace(store, "alice")
+    bob = StoreNamespace(store, "bob")
+    alice.publish_generation("fp-1", parent=None, n_rows=10)
+    bob.publish_generation("fp-2", parent="fp-1", n_rows=12, parent_rows=10)
+
+    manifest = store.manifest()
+    names = {g.fingerprint for g in manifest.generations}
+    assert names == {"alice::fp-1", "bob::fp-2", "bob::fp-1"}
+    # Bob's parent link stayed inside bob's namespace.
+    assert manifest.generation("bob::fp-2").parent == "bob::fp-1"
+
+    with alice.open_snapshot() as snap:
+        assert snap.fingerprints() == ["fp-1"]
+        assert snap.generation("fp-1").n_rows == 10
+        assert snap.generation("fp-2") is None
+    with bob.open_snapshot() as snap:
+        assert sorted(snap.fingerprints()) == ["fp-1", "fp-2"]
+
+
+def test_publish_floor_lands_in_the_tenant_lineage(tmp_path):
+    store = SimilarityStore(tmp_path)
+    alice = StoreNamespace(store, "alice")
+    dataset, result = _floor()
+    key = (dataset.fingerprint(), "cosine")
+    alice.publish_floor(key, result)
+
+    with alice.open_snapshot() as snap:
+        assert snap.fingerprints() == [dataset.fingerprint()]
+        restored = snap.load_result(key)
+        assert restored is not None
+        assert restored.pair_set() == result.pair_set()
+    # The raw manifest only knows the namespaced fingerprint.
+    assert store.manifest().generation(dataset.fingerprint()) is None
+
+
+def test_snapshot_is_scoped_but_shares_the_store_version(tmp_path):
+    store = SimilarityStore(tmp_path)
+    alice = StoreNamespace(store, "alice")
+    alice.publish_generation("fp", parent=None, n_rows=4)
+    with alice.open_snapshot() as snap:
+        assert snap.pinned
+        assert snap.version == store.manifest().version
+        assert snap.store is alice  # writes through the snapshot stay scoped
+
+
+def test_session_and_sketch_entries_are_scoped(tmp_path):
+    store = SimilarityStore(tmp_path)
+    alice = StoreNamespace(store, "alice")
+    bob = StoreNamespace(store, "bob")
+    import numpy as np
+
+    alice.save_sketches(("fp", 128, 0), np.arange(6).reshape(2, 3))
+    assert alice.load_sketches(("fp", 128, 0)) is not None
+    assert bob.load_sketches(("fp", 128, 0)) is None
+
+    alice.save_session(("plasma-session", "fp", "cosine"), {"n_probes": 3})
+    assert alice.load_session(("plasma-session", "fp", "cosine")) is not None
+    assert bob.load_session(("plasma-session", "fp", "cosine")) is None
+
+    alice.delete("sketches", ("fp", 128, 0))
+    assert alice.load_sketches(("fp", 128, 0)) is None

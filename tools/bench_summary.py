@@ -207,11 +207,68 @@ def render_tiered(rows: list[dict], baseline_rows: list[dict] | None
     return "\n".join(lines)
 
 
+#: Service-trace metrics surfaced per workload, as
+#: ``(json key, display label, format)``.
+SERVICE_TIME_KEYS = (
+    ("p50_ms", "p50", "ms"),
+    ("p99_ms", "p99", "ms"),
+    ("throughput_rps", "rps", ""),
+)
+
+
+def render_service(rows: list[dict], baseline_rows: list[dict] | None
+                   ) -> str:
+    """Markdown table for the ``bench_service.py`` multi-tenant trace.
+
+    One row per workload: p50/p99 serving latency and throughput (trend
+    only — timings are runner-noise), plus the machine-speed-free signals:
+    ``search_calls`` (kernel passes the whole trace cost; growth against
+    the checked-in baseline is the regression marker) and ``coalesced``
+    (concurrent duplicates that shared a pass).
+    """
+    by_workload = {row.get("workload"): row for row in baseline_rows or []}
+    header = ["workload", "requests", "p50", "p99", "rps", "searches",
+              "coalesced"]
+    if by_workload:
+        header += ["baseline p99", "baseline searches", "Δ searches"]
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "|".join("---" for _ in header) + "|"]
+    for row in rows:
+        searches = row.get("search_calls")
+        cells = [str(row.get("workload", "—")),
+                 str(row.get("requests", "—"))]
+        for key, _, unit in SERVICE_TIME_KEYS:
+            value = row.get(key)
+            cells.append(f"{value:.1f}{unit}"
+                         if isinstance(value, (int, float)) else "—")
+        cells += [str(searches if searches is not None else "—"),
+                  str(row.get("coalesced", "—"))]
+        if by_workload:
+            base = by_workload.get(row.get("workload")) or {}
+            base_p99 = base.get("p99_ms")
+            base_searches = base.get("search_calls")
+            if isinstance(base_searches, (int, float)) and base_searches \
+                    and isinstance(searches, (int, float)):
+                delta_pct = (100.0 * (searches - base_searches)
+                             / base_searches)
+                marker = " ⚠️" if delta_pct > HIGHLIGHT_PCT else ""
+                cells += [(f"{base_p99:.1f}ms"
+                           if isinstance(base_p99, (int, float)) else "—"),
+                          str(base_searches),
+                          f"{delta_pct:+.1f}%{marker}"]
+            else:
+                cells += ["—", "—", "new"]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; prints markdown suitable for $GITHUB_STEP_SUMMARY."""
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("run", type=Path,
-                        help="JSON written by bench_apss_backends.py --json")
+    parser.add_argument("run", type=Path, nargs="?", default=None,
+                        help="JSON written by bench_apss_backends.py --json "
+                             "(omit to render only the --store-mvcc/"
+                             "--tiered/--service sections)")
     parser.add_argument("--baseline", type=Path, default=None,
                         help="baseline JSON file, or a results directory "
                              "(e.g. benchmarks/results)")
@@ -224,6 +281,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="also append the bench_tiered_serving.py "
                              "two-tier serving trend table from this "
                              "run JSON")
+    parser.add_argument("--service", type=Path, default=None, metavar="PATH",
+                        help="also append the bench_service.py multi-tenant "
+                             "trace trend table (p50/p99/coalescing) from "
+                             "this run JSON")
     parser.add_argument("--title", default="APSS backend matrix — trend vs "
                                            "checked-in baseline")
     parser.add_argument("--fail-above", type=float, default=None,
@@ -232,22 +293,26 @@ def main(argv: list[str] | None = None) -> int:
                              "than PCT%% vs the baseline")
     args = parser.parse_args(argv)
 
-    rows, smoke = load_rows(args.run)
-    baseline_path = resolve_baseline(args.baseline, smoke)
-    baseline_rows = load_rows(baseline_path)[0] if baseline_path else None
+    regressions = []
+    if args.run is not None:
+        rows, smoke = load_rows(args.run)
+        baseline_path = resolve_baseline(args.baseline, smoke)
+        baseline_rows = load_rows(baseline_path)[0] if baseline_path else None
 
-    print(f"### {args.title}\n")
-    scope = "smoke" if smoke else "full"
-    against = f"`{baseline_path}`" if baseline_path else "*(no baseline found)*"
-    print(f"_{scope} matrix, compared against {against}. Timings are "
-          f"noisy across runners; treat deltas as trend, not truth._\n")
-    table, regressions = render_table(rows, baseline_rows)
-    print(table)
-    if regressions:
-        print("\n**Possible regressions (speedup-vs-loop down >"
-              + f"{HIGHLIGHT_PCT:.0f}%):**")
-        for workload, backend, drop_pct in regressions:
-            print(f"- {workload} / `{backend}`: -{drop_pct:.1f}% vs baseline")
+        print(f"### {args.title}\n")
+        scope = "smoke" if smoke else "full"
+        against = (f"`{baseline_path}`" if baseline_path
+                   else "*(no baseline found)*")
+        print(f"_{scope} matrix, compared against {against}. Timings are "
+              f"noisy across runners; treat deltas as trend, not truth._\n")
+        table, regressions = render_table(rows, baseline_rows)
+        print(table)
+        if regressions:
+            print("\n**Possible regressions (speedup-vs-loop down >"
+                  + f"{HIGHLIGHT_PCT:.0f}%):**")
+            for workload, backend, drop_pct in regressions:
+                print(f"- {workload} / `{backend}`: -{drop_pct:.1f}% vs "
+                      "baseline")
     if args.store_mvcc is not None and args.store_mvcc.exists():
         mvcc_run = json.loads(args.store_mvcc.read_text())
         mvcc_baseline = None
@@ -273,6 +338,20 @@ def main(argv: list[str] | None = None) -> int:
         print("\n### Two-tier serving — time-to-first-answer vs "
               "exact sweep\n")
         print(render_tiered(tiered_rows, tiered_baseline))
+    if args.service is not None and args.service.exists():
+        service_rows, service_smoke = load_rows(args.service)
+        service_baseline = None
+        if args.baseline is not None and args.baseline.is_dir():
+            name = ("service_trace_smoke.json" if service_smoke
+                    else "service_trace.json")
+            base_path = args.baseline / name
+            if base_path.exists():
+                service_baseline = load_rows(base_path)[0]
+        elif args.baseline is not None and args.baseline.exists():
+            service_baseline = load_rows(args.baseline)[0]
+        print("\n### Session server — multi-tenant trace p50/p99 & "
+              "coalescing\n")
+        print(render_service(service_rows, service_baseline))
     if args.fail_above is not None:
         over = [r for r in regressions if r[2] > args.fail_above]
         if over:
