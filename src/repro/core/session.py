@@ -342,10 +342,15 @@ class PlasmaSession:
         if self._closed:
             return
         self._closed = True
-        if self._tiered is not None:
-            self._tiered.close()
-        if self.snapshot is not None:
-            self.snapshot.close()
+        try:
+            if self._tiered is not None:
+                self._tiered.close()
+        finally:
+            # Even if the tiered drain raises (a refinement failure
+            # surfacing at close), the snapshot pin lease must be
+            # released or GC can never reclaim the pinned version.
+            if self.snapshot is not None:
+                self.snapshot.close()
 
     def __enter__(self) -> "PlasmaSession":
         """Context-manager entry: the session itself."""

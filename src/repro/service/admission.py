@@ -20,6 +20,7 @@ never block each other) carried up to the serving tier.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 
 __all__ = ["AdmissionController", "LaneGate", "ServiceOverloadError"]
@@ -70,7 +71,10 @@ class LaneGate:
         queue is full, or after *timeout* seconds stuck in the queue.
         """
         with self._cond:
-            if self.active < self.max_concurrent:
+            # The fast path only applies while nobody is queued: a freed
+            # slot must go to a waiter already in line, not a new arrival,
+            # or queued requests starve until their timeout under load.
+            if self.queued == 0 and self.active < self.max_concurrent:
                 self.active += 1
                 self.admitted += 1
                 return
@@ -86,6 +90,9 @@ class LaneGate:
                     timeout=timeout)
             finally:
                 self.queued -= 1
+                # A drain() waiter shares this condition; when the last
+                # queued waiter sheds it must re-check its predicate.
+                self._cond.notify_all()
             if not ok:
                 self.shed += 1
                 raise ServiceOverloadError(
@@ -99,7 +106,12 @@ class LaneGate:
                 raise RuntimeError(f"{self.name} lane released more than "
                                    "acquired")
             self.active -= 1
-            self._cond.notify()
+            # notify_all, not notify: the condition is shared by queued
+            # acquirers and drain() waiters.  Waking only one could hand
+            # the wakeup to a drain waiter whose predicate is still false
+            # (a request remains queued); it would re-wait and the queued
+            # acquirer — possibly waiting with no timeout — never wakes.
+            self._cond.notify_all()
 
     @contextmanager
     def admit(self, timeout: float | None = None):
@@ -152,9 +164,16 @@ class AdmissionController:
             ingest_queue if ingest_queue is not None else 2 * ingest_slots)
 
     def drain(self, timeout: float | None = None) -> bool:
-        """Drain both lanes; returns whether both emptied in time."""
+        """Drain both lanes; returns whether both emptied in time.
+
+        *timeout* is one overall budget, not per-lane: the ingest drain
+        gets whatever the probe drain left of it.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
         ok = self.probe.drain(timeout=timeout)
-        return self.ingest.drain(timeout=timeout) and ok
+        remaining = (None if deadline is None
+                     else max(0.0, deadline - time.monotonic()))
+        return self.ingest.drain(timeout=remaining) and ok
 
     def stats(self) -> dict:
         return {"probe": self.probe.stats(), "ingest": self.ingest.stats()}

@@ -81,21 +81,25 @@ class CoalescingScheduler:
             if not joined:
                 flight = Future()
                 self._inflight[key] = flight
+            else:
+                self.coalesced += 1
         if joined:
-            self.coalesced += 1
             return flight.result()
         try:
             result = compute()
         except BaseException as exc:
-            flight.set_exception(exc)
-            raise
-        finally:
-            # Remove the flight before publishing: a request arriving now
-            # starts fresh and is served by the sweep cache the compute
-            # already warmed; joiners holding the future settle either way.
             with self._lock:
                 self._inflight.pop(key, None)
-        self.kernel_passes += 1
+            flight.set_exception(exc)
+            raise
+        # Remove the flight before publishing: a request arriving now
+        # starts fresh and is served by the sweep cache the compute
+        # already warmed; joiners holding the future settle either way.
+        # Counters move under the lock so concurrent owners/joiners
+        # never lose an update in the audit the health check reports.
+        with self._lock:
+            self._inflight.pop(key, None)
+            self.kernel_passes += 1
         flight.set_result(result)
         return result
 

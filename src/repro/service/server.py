@@ -33,6 +33,7 @@ process-global pools and shm segments.  Every entry point raises
 from __future__ import annotations
 
 import threading
+import time
 
 from repro.datasets.vectors import VectorDataset
 from repro.service.admission import AdmissionController
@@ -135,16 +136,23 @@ class SimilarityService:
 
         Moves to ``draining`` (new requests and sessions are refused from
         that instant), waits for both admission lanes to empty, then waits
-        for every queued refinement to land in the store.  Returns whether
-        the lanes emptied within *timeout*; refinements are always waited
-        for.  Idempotent, and implied by :meth:`close`.
+        for queued refinements to land in the store.  *timeout* is one
+        overall budget across all stages, not per-stage: the refinement
+        wait gets whatever the lane drains left of it, and refinements
+        still running at the deadline stay queued (they are finished by
+        :meth:`close`, whose tiered shutdown drains them fully).  Returns
+        whether the lanes emptied within *timeout*.  Idempotent, and
+        implied by :meth:`close`.
         """
         with self._state_lock:
             if self._state == "serving":
                 self._state = "draining"
+        deadline = None if timeout is None else time.monotonic() + timeout
         emptied = self.admission.drain(timeout=timeout)
         if not self.tiered.closed:
-            self.tiered.wait(timeout=timeout)
+            remaining = (None if deadline is None
+                         else max(0.0, deadline - time.monotonic()))
+            self.tiered.wait(timeout=remaining)
         return emptied
 
     def close(self, *, release_pools: bool = False,

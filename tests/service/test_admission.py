@@ -74,6 +74,81 @@ def test_drain_waits_for_the_lane_to_empty():
     assert gate.drain(timeout=1.0)
 
 
+def test_release_wakes_queued_acquirer_despite_drain_waiter():
+    """Regression: release() must wake *all* condition waiters.
+
+    The condition is shared by queued acquirers and drain() waiters.  A
+    single notify could hand the wakeup to the drain waiter, whose
+    predicate (lane empty) is still false while a request is queued — it
+    would re-wait, and the queued acquirer (waiting with no timeout, the
+    ServiceSession default) would block forever, hanging shutdown.
+    """
+    gate = LaneGate("probe", max_concurrent=1, max_queued=1)
+    gate.acquire()
+    admitted = threading.Event()
+
+    def waiter():
+        with gate.admit():  # timeout=None — the forever-blocked path
+            admitted.set()
+
+    t = threading.Thread(target=waiter, daemon=True)
+    t.start()
+    deadline = time.monotonic() + 5.0
+    while gate.stats()["queued"] != 1:
+        assert time.monotonic() < deadline
+        time.sleep(0.001)
+
+    drained = []
+    d = threading.Thread(target=lambda: drained.append(gate.drain(timeout=5.0)),
+                         daemon=True)
+    d.start()
+    time.sleep(0.05)  # let drain() park on the shared condition
+    gate.release()
+    t.join(timeout=5.0)
+    assert admitted.is_set(), "queued acquirer lost the wakeup to drain()"
+    d.join(timeout=10.0)
+    assert drained == [True]
+
+
+def test_drain_completes_whether_waiter_is_served_or_shed():
+    """A bounded drain must see the lane empty on both waiter exits.
+
+    Covers the shed path too: when the last queued waiter times out, its
+    departure (queued -> 0) must notify the drain waiter, or drain()
+    misses the lane becoming empty and times out spuriously.
+    """
+    for release_delay in (0.0, 0.05, 0.3):
+        gate = LaneGate("probe", max_concurrent=1, max_queued=1)
+        gate.acquire()
+
+        def waiter():
+            try:
+                with gate.admit(timeout=0.1):
+                    pass
+            except ServiceOverloadError:
+                pass  # shed by timeout — equally valid exit
+
+        t = threading.Thread(target=waiter, daemon=True)
+        t.start()
+        deadline = time.monotonic() + 5.0
+        while gate.stats()["queued"] != 1 and t.is_alive():
+            assert time.monotonic() < deadline
+            time.sleep(0.001)
+
+        drained = []
+        d = threading.Thread(
+            target=lambda: drained.append(gate.drain(timeout=5.0)),
+            daemon=True)
+        d.start()
+        time.sleep(release_delay)
+        gate.release()
+        t.join(timeout=10.0)
+        d.join(timeout=10.0)
+        assert drained == [True], f"drain timed out (delay={release_delay})"
+        assert gate.stats()["active"] == 0
+        assert gate.stats()["queued"] == 0
+
+
 def test_gate_validation():
     with pytest.raises(ValueError):
         LaneGate("x", max_concurrent=0)

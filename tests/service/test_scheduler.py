@@ -71,6 +71,35 @@ def test_concurrent_identical_sweeps_run_one_kernel_pass():
     assert all(r.pair_set() == reference for r in results)
 
 
+def test_audit_counters_lose_no_updates_under_concurrency():
+    """kernel_passes + coalesced must equal total requests, exactly.
+
+    Both counters move under the scheduler lock; lost updates from
+    unsynchronised increments would skew the audit that health() and the
+    service benchmarks report.  Hammer coalesce() from many threads over
+    many rounds and check the conservation law.
+    """
+    _, _, scheduler = _scheduler()
+    n_threads, n_rounds = 8, 50
+    barriers = [threading.Barrier(n_threads) for _ in range(n_rounds)]
+
+    def worker():
+        for round_no in range(n_rounds):
+            barriers[round_no].wait()
+            scheduler.coalesce(("key", round_no), lambda: round_no)
+
+    threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    total = n_threads * n_rounds
+    assert scheduler.kernel_passes + scheduler.coalesced == total
+    assert scheduler.kernel_passes >= n_rounds  # one owner per round minimum
+    assert len(scheduler) == 0
+
+
 def test_sequential_repeat_is_served_by_the_sweep_cache():
     engine, cache, scheduler = _scheduler()
     dataset = _dataset()
