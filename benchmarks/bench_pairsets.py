@@ -1,0 +1,266 @@
+"""Factorised pair-set benchmark: compression ratio, decompression, top-k.
+
+Measures what the ``pairs-factorized`` entry kind buys (and costs) on real
+engine floors:
+
+* ``ratio`` — factorised payload bytes over raw pair bytes (24 per pair).
+  The machine-speed-free headline: clustered floors must land well under
+  the store's ``MAX_FACTORIZE_RATIO`` fallback bar, clusterless floors
+  must fall back to raw (``encoding == "raw"``, ratio 1.0).
+* ``factorize_ms`` — one-time encode cost at landing time;
+* ``decompress_ms`` vs ``raw_decompress_ms`` — materialising the full
+  canonical pair list from the compressed form vs from the raw arrays
+  (filter + lexsort), at the floor threshold;
+* ``topk_ms`` vs ``topk_raw_ms`` — a ``TopKReducer`` pass streamed from
+  compressed chunks vs fed the raw floor in one update.
+
+:func:`check_matrix` asserts the correctness half regardless of timings:
+the decompressed floor is bit-identical to raw at every swept threshold
+and the top-k answers agree pair-for-pair.
+
+Dual interface, matching ``bench_service.py``:
+
+* ``PYTHONPATH=src python benchmarks/bench_pairsets.py [--smoke]
+  [--json PATH]`` — standalone CLI printing the table; ``--json`` writes
+  machine-readable rows that ``tools/bench_summary.py --pairsets`` renders
+  into the CI trend table.
+* ``pytest benchmarks/bench_pairsets.py`` — smoke-scale harness with
+  shape assertions.
+
+Results land in ``benchmarks/results/pairsets*.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets import make_clustered_vectors
+from repro.similarity import ApssEngine
+from repro.similarity.streaming import TopKReducer
+from repro.store.pairsets import (
+    MAX_FACTORIZE_RATIO,
+    RAW_PAIR_BYTES,
+    FactorizedPairSet,
+    maybe_factorize,
+)
+
+TOP_K = 50
+
+#: (workload name, rows, features, clusters, threshold, expect_factorized)
+SMOKE_WORKLOADS = [
+    ("clustered-1200", 1200, 16, 12, 0.6, True),
+    ("uniform-1200", 1200, 16, 0, 0.15, False),
+]
+FULL_WORKLOADS = [
+    ("clustered-1200", 1200, 16, 12, 0.6, True),
+    ("clustered-5000", 5000, 16, 12, 0.6, True),
+    ("uniform-1200", 1200, 16, 0, 0.15, False),
+]
+
+
+def _floor_arrays(name: str, n_rows: int, n_features: int, n_clusters: int,
+                  threshold: float):
+    """One engine floor as parallel numpy arrays (canonical order)."""
+    if n_clusters:
+        dataset = make_clustered_vectors(n_rows, n_features, n_clusters,
+                                         separation=6.0, cluster_std=0.6,
+                                         seed=42, name=name)
+    else:
+        # Clusterless: i.i.d. Gaussian rows, no block structure to find.
+        rng = np.random.default_rng(42)
+        from repro.datasets import VectorDataset
+
+        dataset = VectorDataset.from_dense(
+            rng.standard_normal((n_rows, n_features)), name=name)
+    result = ApssEngine().search(dataset, threshold)
+    first = np.array([p.first for p in result.pairs], dtype=np.int64)
+    second = np.array([p.second for p in result.pairs], dtype=np.int64)
+    value = np.array([p.similarity for p in result.pairs], dtype=np.float64)
+    return first, second, value
+
+
+def _raw_pairs(first, second, value, threshold):
+    keep = value >= threshold
+    f, s, v = first[keep], second[keep], value[keep]
+    order = np.lexsort((s, f))
+    return list(zip(f[order].tolist(), s[order].tolist(),
+                    v[order].tolist()))
+
+
+def _raw_topk(first, second, value, threshold, k):
+    keep = value >= threshold
+    reducer = TopKReducer(k)
+    reducer.update(first[keep], second[keep], value[keep])
+    return reducer
+
+
+def run_workload(name: str, n_rows: int, n_features: int, n_clusters: int,
+                 threshold: float, expect_factorized: bool) -> dict:
+    """Benchmark one floor; returns the row dict."""
+    first, second, value = _floor_arrays(name, n_rows, n_features,
+                                         n_clusters, threshold)
+    n_pairs = len(first)
+
+    begin = time.perf_counter()
+    pairset = maybe_factorize(first, second, value, n_rows=n_rows,
+                              threshold=threshold)
+    factorize_seconds = time.perf_counter() - begin
+    encoding = "factorized" if pairset is not None else "raw"
+    if pairset is None:
+        pairset = FactorizedPairSet.from_raw_arrays(
+            first, second, value, n_rows=n_rows, threshold=threshold)
+
+    begin = time.perf_counter()
+    decompressed = pairset.pairs(threshold)
+    decompress_seconds = time.perf_counter() - begin
+    begin = time.perf_counter()
+    raw_reference = _raw_pairs(first, second, value, threshold)
+    raw_decompress_seconds = time.perf_counter() - begin
+
+    begin = time.perf_counter()
+    reducer = TopKReducer(TOP_K)
+    for f, s, v in pairset.iter_chunks(threshold):
+        reducer.update(f, s, v)
+    topk_seconds = time.perf_counter() - begin
+    begin = time.perf_counter()
+    raw_reducer = _raw_topk(first, second, value, threshold, TOP_K)
+    topk_raw_seconds = time.perf_counter() - begin
+
+    # The correctness half: bit-identical decompression at the floor
+    # threshold and two higher sweeps, and identical top-k answers.
+    identical = [(p.first, p.second, p.similarity)
+                 for p in decompressed] == raw_reference
+    for sweep in (threshold + 0.1, threshold + 0.25):
+        identical = identical and (
+            [(p.first, p.second, p.similarity)
+             for p in pairset.pairs(sweep)]
+            == _raw_pairs(first, second, value, sweep))
+    topk_identical = ([p.as_tuple() for p in reducer.pairs()]
+                      == [p.as_tuple() for p in raw_reducer.pairs()])
+
+    return {
+        "workload": name,
+        "n_rows": n_rows,
+        "threshold": threshold,
+        "n_pairs": n_pairs,
+        "encoding": encoding,
+        "expect_factorized": expect_factorized,
+        "nbytes": pairset.nbytes() if encoding == "factorized"
+        else RAW_PAIR_BYTES * n_pairs,
+        "raw_nbytes": RAW_PAIR_BYTES * n_pairs,
+        "ratio": (pairset.compression_ratio()
+                  if encoding == "factorized" else 1.0),
+        "n_cliques": pairset.n_cliques,
+        "n_blocks": pairset.n_blocks,
+        "residual_pairs": pairset.n_residual,
+        "factorize_ms": factorize_seconds * 1e3,
+        "decompress_ms": decompress_seconds * 1e3,
+        "raw_decompress_ms": raw_decompress_seconds * 1e3,
+        "topk_ms": topk_seconds * 1e3,
+        "topk_raw_ms": topk_raw_seconds * 1e3,
+        "identical": bool(identical),
+        "topk_identical": bool(topk_identical),
+    }
+
+
+def run_matrix(smoke: bool = True) -> list[dict]:
+    """Run every workload; one row per workload."""
+    workloads = SMOKE_WORKLOADS if smoke else FULL_WORKLOADS
+    return [run_workload(*workload) for workload in workloads]
+
+
+def check_matrix(rows: list[dict]) -> None:
+    """Assert the qualitative shape the factorised store promises."""
+    for row in rows:
+        assert row["identical"], (
+            f"{row['workload']}: decompression is not bit-identical to raw")
+        assert row["topk_identical"], (
+            f"{row['workload']}: top-k join disagrees with the raw-floor "
+            "reducer pass")
+        if row["expect_factorized"]:
+            assert row["encoding"] == "factorized", (
+                f"{row['workload']}: clustered floor failed to factorise")
+            assert row["ratio"] <= 0.6, (
+                f"{row['workload']}: ratio {row['ratio']:.2f} above the "
+                "0.6 clustered-compression bar")
+            assert row["ratio"] <= MAX_FACTORIZE_RATIO
+        else:
+            assert row["encoding"] == "raw", (
+                f"{row['workload']}: clusterless floor should have fallen "
+                "back to raw")
+
+
+def format_table(rows: list[dict]) -> str:
+    header = (f"{'workload':<16} {'pairs':>8} {'enc':>11} {'ratio':>6} "
+              f"{'fact':>8} {'decomp':>8} {'raw':>8} {'topk':>8} "
+              f"{'topk raw':>9}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['workload']:<16} {row['n_pairs']:>8} "
+            f"{row['encoding']:>11} {row['ratio']:>6.2f} "
+            f"{row['factorize_ms']:>6.1f}ms {row['decompress_ms']:>6.1f}ms "
+            f"{row['raw_decompress_ms']:>6.1f}ms {row['topk_ms']:>6.1f}ms "
+            f"{row['topk_raw_ms']:>7.1f}ms")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# pytest harness (smoke scale)
+# --------------------------------------------------------------------- #
+
+def test_pairsets_matrix(benchmark, record):
+    rows = benchmark.pedantic(lambda: run_matrix(smoke=True),
+                              rounds=1, iterations=1)
+    record("pairsets_smoke", json_payload(rows, smoke=True))
+    check_matrix(rows)
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+
+def json_payload(rows: list[dict], smoke: bool) -> dict:
+    """The machine-readable payload ``--json`` writes."""
+    return {
+        "benchmark": "pairsets",
+        "smoke": bool(smoke),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "rows": rows,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the reduced CI-sized matrix")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write rows as machine-readable JSON")
+    args = parser.parse_args(argv)
+
+    rows = run_matrix(smoke=args.smoke)
+    check_matrix(rows)
+    print(format_table(rows))
+    name = "pairsets_smoke" if args.smoke else "pairsets"
+    results = Path(__file__).parent / "results" / f"{name}.json"
+    results.parent.mkdir(exist_ok=True)
+    results.write_text(json.dumps(json_payload(rows, args.smoke), indent=2,
+                                  default=float))
+    print(f"\nresults written to {results}")
+    if args.json:
+        Path(args.json).write_text(json.dumps(
+            json_payload(rows, args.smoke), indent=2, default=float))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

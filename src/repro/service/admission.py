@@ -101,6 +101,7 @@ class LaneGate:
             self.admitted += 1
 
     def release(self) -> None:
+        """Return one admitted slot (normally via the ``admit()`` guard)."""
         with self._cond:
             if self.active <= 0:  # pragma: no cover - misuse guard
                 raise RuntimeError(f"{self.name} lane released more than "
@@ -134,6 +135,7 @@ class LaneGate:
                 timeout=timeout)
 
     def stats(self) -> dict:
+        """A consistent snapshot of the lane's counters and limits."""
         with self._cond:
             return {"active": self.active, "queued": self.queued,
                     "admitted": self.admitted, "shed": self.shed,
@@ -176,4 +178,5 @@ class AdmissionController:
         return self.ingest.drain(timeout=remaining) and ok
 
     def stats(self) -> dict:
+        """Per-lane counter snapshots, keyed by lane name."""
         return {"probe": self.probe.stats(), "ingest": self.ingest.stats()}

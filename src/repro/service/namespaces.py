@@ -76,24 +76,40 @@ class StoreNamespace:
     # Store facade (same signatures as SimilarityStore)
     # ------------------------------------------------------------------ #
     def save_result(self, key, result):
+        """Persist a floor under the tenant-rewritten *key*."""
         return self.store.save_result(self.namespaced(key), result)
 
     def load_result(self, key):
+        """Restore the tenant's floor for *key*, or ``None`` on miss."""
         return self.store.load_result(self.namespaced(key))
 
+    def load_pairset(self, key):
+        """The tenant's floor for *key* in streamable (factorised) form.
+
+        The zero-materialisation read behind
+        :meth:`~repro.service.server.ServiceSession.top_k_join`; see
+        :meth:`SimilarityStore.load_pairset`.
+        """
+        return self.store.load_pairset(self.namespaced(key))
+
     def land_result(self, key, result, **kwargs):
+        """Upgrade-only landing of a floor in the tenant's key space."""
         return self.store.land_result(self.namespaced(key), result, **kwargs)
 
     def publish_floor(self, key, result, delta=None, **kwargs):
-        # The delta's fingerprints are the tenant's un-namespaced ones and
-        # would no longer match the rewritten key head; dropping it only
-        # costs the delta-encoding optimisation, never correctness
-        # (publish_floor falls back to a full floor entry).
+        """Land a floor in the tenant's slice of the versioned lineage.
+
+        The delta's fingerprints are the tenant's un-namespaced ones and
+        would no longer match the rewritten key head; dropping it only
+        costs the delta-encoding optimisation, never correctness
+        (publish_floor falls back to a full floor entry).
+        """
         return self.store.publish_floor(self.namespaced(key), result,
                                         None, **kwargs)
 
     def publish_generation(self, fingerprint, *, parent, n_rows,
                            parent_rows=None):
+        """Record a (possibly floor-less) tenant generation in the lineage."""
         return self.store.publish_generation(
             self.namespaced_fingerprint(str(fingerprint)),
             parent=(None if parent is None
@@ -101,24 +117,31 @@ class StoreNamespace:
             n_rows=n_rows, parent_rows=parent_rows)
 
     def save_reducer(self, key, state):
+        """Persist a mergeable reducer state under the tenant's key."""
         return self.store.save_reducer(self.namespaced(key), state)
 
     def load_reducer(self, key):
+        """Restore the tenant's reducer state, or ``None`` on miss."""
         return self.store.load_reducer(self.namespaced(key))
 
     def save_sketches(self, key, sketches):
+        """Persist an LSH sketch matrix under the tenant's key."""
         return self.store.save_sketches(self.namespaced(key), sketches)
 
     def load_sketches(self, key):
+        """Restore the tenant's sketch matrix, or ``None`` on miss."""
         return self.store.load_sketches(self.namespaced(key))
 
     def save_session(self, key, state):
+        """Persist a knowledge-cache payload under the tenant's key."""
         return self.store.save_session(self.namespaced(key), state)
 
     def load_session(self, key):
+        """Restore the tenant's session state, or ``None`` on miss."""
         return self.store.load_session(self.namespaced(key))
 
     def delete(self, kind, key):
+        """Drop one tenant entry (missing entries are fine)."""
         return self.store.delete(kind, self.namespaced(key))
 
     def open_snapshot(self, *, pin: bool = True) -> "NamespacedSnapshot":
@@ -148,10 +171,12 @@ class NamespacedSnapshot:
 
     @property
     def version(self) -> int:
+        """The pinned (store-wide) manifest version."""
         return self._snapshot.version
 
     @property
     def pinned(self) -> bool:
+        """Whether the underlying snapshot holds a live pin lease."""
         return self._snapshot.pinned
 
     def fingerprints(self) -> list[str]:
@@ -161,13 +186,16 @@ class NamespacedSnapshot:
                 if f.startswith(prefix)]
 
     def generation(self, fingerprint: str):
+        """The tenant's pinned generation record, or ``None``."""
         return self._snapshot.generation(
             self.store.namespaced_fingerprint(str(fingerprint)))
 
     def load_result(self, key):
+        """The tenant's pinned floor for *key*, or ``None``."""
         return self._snapshot.load_result(self.store.namespaced(key))
 
     def close(self) -> None:
+        """Release the underlying pin lease (idempotent)."""
         self._snapshot.close()
 
     def __enter__(self) -> "NamespacedSnapshot":

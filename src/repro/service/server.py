@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import threading
 import time
+from dataclasses import dataclass
 
 from repro.datasets.vectors import VectorDataset
 from repro.service.admission import AdmissionController
@@ -45,11 +46,34 @@ from repro.similarity.partition import resolve_worker_count
 from repro.similarity.shm import default_ring_slots
 from repro.similarity.tiered import DEFAULT_MAX_PENDING, TieredApssEngine
 
-__all__ = ["ServiceClosedError", "ServiceSession", "SimilarityService"]
+__all__ = ["ServiceClosedError", "ServiceSession", "SimilarityService",
+           "TopKJoinResult"]
 
 
 class ServiceClosedError(RuntimeError):
     """The service is draining or closed and admits no new work."""
+
+
+@dataclass(frozen=True)
+class TopKJoinResult:
+    """Outcome of one :meth:`ServiceSession.top_k_join` request.
+
+    ``pairs`` holds the *k* most similar pairs at or above the request
+    threshold, descending, ties broken by ``(first, second)`` — identical
+    to running a raw-floor
+    :class:`~repro.similarity.streaming.TopKReducer` pass.  ``source``
+    records how the floor was obtained (``"store-factorized"`` /
+    ``"store-raw"`` for a zero-kernel serve from the tenant's landed
+    floor, ``"kernel"`` for a fresh coalesced sweep) and ``floor_pairs``
+    how many pairs the serving floor held in total.
+    """
+
+    k: int
+    threshold: float
+    measure: str
+    pairs: list
+    source: str
+    floor_pairs: int
 
 
 class SimilarityService:
@@ -220,7 +244,13 @@ class SimilarityService:
     # Observability
     # ------------------------------------------------------------------ #
     def health(self) -> dict:
-        """One structured snapshot for monitoring and the soak tests."""
+        """One structured snapshot for monitoring and the soak tests.
+
+        ``store`` is :meth:`SimilarityStore.stats` for the shared store
+        (``None`` on a storeless service): per-kind entry and byte counts,
+        so the raw-vs-factorised floor split — the compression win — is
+        observable in serving, not just in benchmarks.
+        """
         return {
             "state": self._state,
             "sessions": self.sessions,
@@ -231,6 +261,8 @@ class SimilarityService:
             "pending_refinements": (0 if self.tiered.closed
                                     else self.tiered.pending_refinements),
             "lanes": self.admission.stats(),
+            "store": (self.store.stats() if self.store is not None
+                      else None),
         }
 
 
@@ -258,6 +290,7 @@ class ServiceSession:
 
     @property
     def closed(self) -> bool:
+        """Whether this session handle has been closed (service may live on)."""
         return self._closed
 
     def _check_open(self) -> None:
@@ -307,6 +340,52 @@ class ServiceSession:
         with self.service.admission.probe.admit():
             return self.service.scheduler.coalesce(
                 key, lambda: tiered.probe(dataset, threshold, measure))
+
+    def top_k_join(self, dataset: VectorDataset, k: int, threshold: float,
+                   measure: str = "cosine", backend: str | None = None,
+                   **options) -> TopKJoinResult:
+        """The *k* most similar pairs at or above *threshold*.
+
+        The top-k similarity join workload, served from compressed floors:
+        when this tenant's landed floor covers *threshold* (exact, at or
+        below it), its factorised parts are streamed chunk-by-chunk into a
+        :class:`~repro.similarity.streaming.TopKReducer` — zero kernel
+        invocations, and the full pair list is never materialised.  On a
+        miss the floor is computed first (admitted and coalesced exactly
+        like :meth:`sweep`) and landed durably for next time.  Either way
+        the returned pairs equal a raw-floor ``TopKReducer`` pass: the
+        reducer is order-insensitive, so unordered compressed chunks and
+        the canonical raw floor reduce to the same top *k*.
+        """
+        from repro.similarity.streaming import TopKReducer
+        from repro.store.pairsets import factorize_result
+
+        self._check_open()
+        stored = None
+        if self.namespace is not None:
+            key = self.service.compute.cache_key(
+                dataset.fingerprint(), measure, backend, **options)
+            stored = self.namespace.load_pairset(key)
+            if stored is not None and not stored.covers(threshold):
+                stored = None
+        if stored is not None:
+            pairset = stored.pairset
+            source = f"store-{stored.encoding}"
+        else:
+            with self.service.admission.probe.admit():
+                result = self.service.scheduler.search(
+                    dataset, threshold, measure, backend=backend, **options)
+            if self.namespace is not None:
+                self.namespace.land_result(key, result)
+            pairset = factorize_result(result)
+            source = "kernel"
+        reducer = TopKReducer(int(k))
+        for first, second, values in pairset.iter_chunks(threshold):
+            reducer.update(first, second, values)
+        return TopKJoinResult(
+            k=int(k), threshold=float(threshold), measure=measure,
+            pairs=reducer.pairs(), source=source,
+            floor_pairs=pairset.n_pairs)
 
     # ------------------------------------------------------------------ #
     # Ingest lane

@@ -1,6 +1,6 @@
 """Persistent + incremental APSS knowledge store.
 
-Three pieces:
+Four pieces:
 
 * :class:`~repro.store.similarity_store.SimilarityStore` — the disk-backed,
   versioned, checksummed store for pair sets, reducer state, sketches and
@@ -9,6 +9,11 @@ Three pieces:
   path extending stored similarity state over
   :meth:`~repro.datasets.vectors.VectorDataset.append_rows` deltas in
   O(new x total) instead of O(total^2);
+* :mod:`repro.store.pairsets` — the factorised pair-set representation
+  (clique summaries + bipartite cross blocks + exact residual) behind the
+  ``pairs-factorized`` entry kind: large clustered floors persist at a
+  fraction of raw bytes and decompress lazily, bit-identically, with zero
+  kernel work;
 * the MVCC lineage layer (:mod:`repro.store.manifest`,
   :mod:`repro.store.gc`) — versioned manifests, snapshot-isolated reads
   (:class:`~repro.store.similarity_store.StoreSnapshot`), delta-chain
@@ -28,6 +33,14 @@ from repro.store.gc import (
     compact,
     fsck,
     lineage_bytes,
+)
+from repro.store.pairsets import (
+    MAX_FACTORIZE_RATIO,
+    MIN_FACTORIZE_PAIRS,
+    FactorizedPairSet,
+    StoredPairSet,
+    factorize_result,
+    maybe_factorize,
 )
 from repro.store.manifest import (
     FloorRef,
@@ -69,4 +82,10 @@ __all__ = [
     "collect_garbage",
     "lineage_bytes",
     "fsck",
+    "FactorizedPairSet",
+    "StoredPairSet",
+    "MAX_FACTORIZE_RATIO",
+    "MIN_FACTORIZE_PAIRS",
+    "factorize_result",
+    "maybe_factorize",
 ]

@@ -31,7 +31,11 @@ deterministically.
 :func:`fsck` is the invariant checker behind ``tools/fsck_store.py``: it
 audits the manifest/entry graph (dangling references, unresolvable floors,
 corrupt entries, orphans, stale pins) and is the on-disk leak oracle the
-crash battery asserts with.
+crash battery asserts with.  Factorised entries (the ``pairs-factorized``
+kind and ``encoding: factorized`` lineage floors, see
+:mod:`repro.store.pairsets`) get an extra *structural* decode on top of
+the checksum: an entry whose bytes are intact but whose part arrays are
+inconsistent is reported too, because the read path will evict it.
 """
 
 from __future__ import annotations
@@ -279,6 +283,74 @@ class FsckReport:
         return not self.errors
 
 
+def _audit_floor_entries(root: Path, report: FsckReport) -> None:
+    """Audit the mutable floor dirs (``pairs``/``pairs-factorized``).
+
+    These entries are keyed by digest (the key itself is unrecoverable
+    from the file name), so the audit checks everything *but* the lookup
+    key: magic, header, schema, payload length, checksum, npz decode —
+    and, for factorised entries, the structural part-array validation the
+    read path applies.  Failures are warnings: the store evicts such an
+    entry on first read and recomputes, so they are self-healing debris,
+    not broken invariants.
+    """
+    import hashlib
+    import io
+    import json
+
+    import numpy as np
+
+    from repro.store.pairsets import FactorizedPairSet
+    from repro.store.similarity_store import _MAGIC, SCHEMA_VERSION
+
+    def validate(path: Path, kind: str) -> None:
+        raw = path.read_bytes()
+        if not raw.startswith(_MAGIC):
+            raise ValueError("bad magic")
+        header_end = raw.index(b"\n", len(_MAGIC))
+        try:
+            header = json.loads(raw[len(_MAGIC):header_end])
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"unparsable header: {exc}") from exc
+        payload = raw[header_end + 1:]
+        if header.get("schema") != SCHEMA_VERSION:
+            raise ValueError(f"schema {header.get('schema')!r}")
+        if header.get("kind") != kind:
+            raise ValueError(f"recorded kind {header.get('kind')!r} != "
+                             f"{kind!r}")
+        if len(payload) != header.get("payload_bytes"):
+            raise ValueError("payload truncated")
+        if hashlib.sha256(payload).hexdigest() != header.get("sha256"):
+            raise ValueError("payload checksum mismatch")
+        try:
+            with np.load(io.BytesIO(payload)) as archive:
+                arrays = {name: archive[name] for name in archive.files}
+        except Exception as exc:
+            raise ValueError(f"undecodable payload: {exc}") from exc
+        meta = header.get("meta", {})
+        if kind == "pairs-factorized":
+            FactorizedPairSet.from_arrays(
+                arrays, threshold=float(meta.get("threshold", 0.0)))
+
+    checked = 0
+    invalid = 0
+    for kind in ("pairs", "pairs-factorized"):
+        directory = root / kind
+        if not directory.is_dir():
+            continue
+        for path in sorted(directory.glob("*.entry")):
+            checked += 1
+            try:
+                validate(path, kind)
+            except (OSError, TypeError, ValueError) as exc:
+                invalid += 1
+                report.warnings.append(
+                    f"{kind} entry {path.name} fails validation ({exc}); "
+                    f"it will be evicted and recomputed on next read")
+    report.stats["floor_entries_checked"] = checked
+    report.stats["floor_entries_invalid"] = invalid
+
+
 def fsck(root, *, strict_orphans: bool = False) -> FsckReport:
     """Audit the manifest/entry graph of the store at *root*.
 
@@ -292,7 +364,11 @@ def fsck(root, *, strict_orphans: bool = False) -> FsckReport:
 
     Collectable debris lands in ``report.warnings`` (promoted to errors
     with ``strict_orphans=True``, the post-GC contract): orphaned lineage
-    entries no manifest references, stray temp files, stale pin leases.
+    entries no manifest references, stray temp files, stale pin leases —
+    plus corrupt/truncated/structurally-invalid floor entries in the
+    mutable ``pairs``/``pairs-factorized`` dirs, which are warnings (not
+    errors) because the read path self-heals them: evict and recompute,
+    never serve wrong answers.
     """
     from repro.store.similarity_store import SimilarityStore
 
@@ -302,6 +378,7 @@ def fsck(root, *, strict_orphans: bool = False) -> FsckReport:
         report.errors.append(f"store root {root} does not exist")
         return report
     store = SimilarityStore(root)
+    _audit_floor_entries(root, report)
     log = store.lineage
     versions = log.versions()
     current_version = log.current_version()
@@ -338,11 +415,25 @@ def fsck(root, *, strict_orphans: bool = False) -> FsckReport:
                 key = lineage_entry_key(ref.sequence, record.fingerprint,
                                         axis)
                 try:
-                    store.read_entry_file(path, "lineage", key)
+                    arrays, meta = store.read_entry_file(path, "lineage",
+                                                         key)
                 except ValueError as exc:
                     report.errors.append(
                         f"entry {ref.file} referenced by manifest "
                         f"v{version} fails validation: {exc}")
+                    continue
+                if meta.get("encoding") == "factorized":
+                    from repro.store.pairsets import FactorizedPairSet
+
+                    try:
+                        FactorizedPairSet.from_arrays(
+                            arrays,
+                            threshold=float(meta.get("threshold", 0.0)))
+                    except (TypeError, ValueError) as exc:
+                        report.errors.append(
+                            f"factorized entry {ref.file} referenced by "
+                            f"manifest v{version} fails structural decode: "
+                            f"{exc}")
     current = manifests[current_version]
     resolved = 0
     for record in current.generations:

@@ -1,0 +1,27 @@
+"""Factorised pair-set subsystem: compressed floors the store can serve.
+
+See :mod:`repro.store.pairsets.factorized` for the representation
+(clique summaries + complete-bipartite cross blocks + exact residual),
+the lazy bit-identical decompression contract, and the size heuristic
+that falls back to raw entries when factorisation doesn't pay.
+"""
+
+from repro.store.pairsets.factorized import (
+    MAX_FACTORIZE_RATIO,
+    MIN_FACTORIZE_PAIRS,
+    RAW_PAIR_BYTES,
+    FactorizedPairSet,
+    StoredPairSet,
+    factorize_result,
+    maybe_factorize,
+)
+
+__all__ = [
+    "MAX_FACTORIZE_RATIO",
+    "MIN_FACTORIZE_PAIRS",
+    "RAW_PAIR_BYTES",
+    "FactorizedPairSet",
+    "StoredPairSet",
+    "factorize_result",
+    "maybe_factorize",
+]

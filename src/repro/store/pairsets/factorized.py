@@ -1,0 +1,829 @@
+"""Factorised pair-set representation: clique + bipartite-block compression.
+
+A stored similarity floor is a set of above-threshold pairs ``(first,
+second, value)`` — O(n²) raw bytes at scale (24 bytes per pair: two int64
+row ids plus a float64 value).  In clustered data that set is highly
+redundant: rows inside a similarity cluster are pairwise similar, so the
+floor is mostly a union of *near-cliques* plus a thin residual.  This is
+the stable two-level structure the set-similarity-join literature exploits
+(cluster-level signatures above row-level ones) and the FDB insight that a
+factorised representation can be asymptotically smaller than the flat
+relation while still answering queries directly on the compressed form.
+
+:class:`FactorizedPairSet` stores a floor as three part families:
+
+* **clique summaries** — for each discovered similarity cluster, the
+  sorted member rows plus the triangular array of intra-cluster values in
+  canonical pair order: ``k`` members and ``k·(k−1)/2`` float64 values
+  replace ``k·(k−1)/2`` raw 24-byte pairs (→ ~1/3 of raw, asymptotically);
+* **cross-cluster block summaries** — a complete-bipartite block between
+  two cliques (every left×right pair above threshold) stores the two
+  member lists plus a value matrix in canonical pair order;
+* **a residual exact pair list** — every pair in neither of the above,
+  kept verbatim in canonical order.
+
+Decompression is *lazy* and *zero-kernel*: :meth:`FactorizedPairSet.
+iter_pairs` streams pairs in canonical ``(first, second)`` order by
+k-way-merging per-part generators (O(#parts) heap memory, one part's
+arrays materialised at a time), and is bit-identical — same pairs, same
+float64 bits, same ordering — to filtering the raw floor.  Parts carry
+their value min/max so a threshold query skips parts entirely below it.
+
+:func:`maybe_factorize` is the store's size heuristic: floors smaller than
+:data:`MIN_FACTORIZE_PAIRS` or compressing worse than
+:data:`MAX_FACTORIZE_RATIO` of raw stay raw (clusterless data falls back
+naturally — its factorisation is all residual, which never pays).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.similarity.types import SimilarPair
+
+__all__ = [
+    "MIN_FACTORIZE_PAIRS",
+    "MAX_FACTORIZE_RATIO",
+    "RAW_PAIR_BYTES",
+    "FactorizedPairSet",
+    "StoredPairSet",
+    "maybe_factorize",
+    "factorize_result",
+]
+
+#: Floors with fewer pairs than this are never factorised: the per-part
+#: overhead dominates and a raw entry is both smaller and simpler.
+MIN_FACTORIZE_PAIRS = 512
+
+#: A factorisation must shrink the pair payload to at most this fraction
+#: of the raw 24-bytes-per-pair encoding to be kept; otherwise the store
+#: falls back to the raw representation (clusterless/adversarial corpora
+#: land here: their factorisation degenerates to the residual list).
+MAX_FACTORIZE_RATIO = 0.75
+
+#: Raw bytes per stored pair: int64 ``first`` + int64 ``second`` +
+#: float64 ``value``.
+RAW_PAIR_BYTES = 24
+
+#: Smallest clique worth summarising: at 3 members the summary
+#: (3 ids + 3 values) is already smaller than 3 raw pairs.
+_MIN_CLIQUE = 3
+
+#: Serialised array names (the npz payload of a ``pairs-factorized``
+#: store entry); :meth:`FactorizedPairSet.from_arrays` requires exactly
+#: these.
+ARRAY_NAMES = (
+    "shape", "members", "member_offsets", "clique_values",
+    "block_left", "block_left_offsets", "block_right",
+    "block_right_offsets", "block_values",
+    "residual_first", "residual_second", "residual_value",
+)
+
+
+def _tri(k: np.ndarray | int):
+    """Number of unordered pairs among *k* items (vectorised)."""
+    return k * (k - 1) // 2
+
+
+def _as_int64(values, name: str) -> np.ndarray:
+    array = np.asarray(values)
+    if array.dtype != np.int64:
+        if not np.issubdtype(array.dtype, np.integer):
+            raise ValueError(f"{name} must be an integer array, "
+                             f"got {array.dtype}")
+        array = array.astype(np.int64)
+    return array.ravel()
+
+
+def _as_float64(values, name: str) -> np.ndarray:
+    array = np.asarray(values)
+    if array.dtype != np.float64:
+        if not np.issubdtype(array.dtype, np.floating):
+            raise ValueError(f"{name} must be a float array, "
+                             f"got {array.dtype}")
+        array = array.astype(np.float64)
+    return array.ravel()
+
+
+def _segment_minmax(values: np.ndarray,
+                    offsets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-segment (min, max) of *values* split at *offsets* boundaries."""
+    n_segments = len(offsets) - 1
+    mins = np.empty(n_segments)
+    maxs = np.empty(n_segments)
+    if n_segments:
+        starts = offsets[:-1]
+        mins[:] = np.minimum.reduceat(values, starts)
+        maxs[:] = np.maximum.reduceat(values, starts)
+        empty = offsets[1:] == starts
+        mins[empty] = np.inf
+        maxs[empty] = -np.inf
+    return mins, maxs
+
+
+class FactorizedPairSet:
+    """A similarity floor factorised into cliques, blocks and a residual.
+
+    Construct with :meth:`from_pairs` (factorise a raw floor),
+    :meth:`from_raw_arrays` (wrap a raw floor residual-only, so raw and
+    factorised entries share one decompression path) or
+    :meth:`from_arrays` (deserialise a store entry, fully validated).
+    Instances are immutable value objects; every accessor is read-only.
+
+    The decompression contract: for any ``t >= self.threshold``,
+    :meth:`iter_pairs(t) <iter_pairs>` yields exactly the raw floor's
+    pairs with ``value >= t``, in canonical ``(first, second)`` order,
+    with bit-identical float64 values.
+    """
+
+    def __init__(self, *, n_rows: int, threshold: float,
+                 members: np.ndarray, member_offsets: np.ndarray,
+                 clique_values: np.ndarray,
+                 block_left: np.ndarray, block_left_offsets: np.ndarray,
+                 block_right: np.ndarray, block_right_offsets: np.ndarray,
+                 block_values: np.ndarray,
+                 residual_first: np.ndarray, residual_second: np.ndarray,
+                 residual_value: np.ndarray) -> None:
+        self.n_rows = int(n_rows)
+        self.threshold = float(threshold)
+        self._members = members
+        self._member_offsets = member_offsets
+        self._clique_values = clique_values
+        self._block_left = block_left
+        self._block_left_offsets = block_left_offsets
+        self._block_right = block_right
+        self._block_right_offsets = block_right_offsets
+        self._block_values = block_values
+        self._residual_first = residual_first
+        self._residual_second = residual_second
+        self._residual_value = residual_value
+        # Derived (never serialised): per-part value offsets and min/max
+        # for threshold pruning.
+        sizes = np.diff(member_offsets)
+        self._clique_value_offsets = np.concatenate(
+            [[0], np.cumsum(_tri(sizes))]).astype(np.int64)
+        left = np.diff(block_left_offsets)
+        right = np.diff(block_right_offsets)
+        self._block_value_offsets = np.concatenate(
+            [[0], np.cumsum(left * right)]).astype(np.int64)
+        self._clique_min, self._clique_max = _segment_minmax(
+            clique_values, self._clique_value_offsets)
+        self._block_min, self._block_max = _segment_minmax(
+            block_values, self._block_value_offsets)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_pairs(cls, first, second, value, *, n_rows: int,
+                   threshold: float) -> "FactorizedPairSet":
+        """Factorise a raw floor given as parallel pair arrays.
+
+        *first*/*second* are upper-triangle row ids (``first < second``,
+        every pair unique), *value* the float64 similarities; duplicates
+        or out-of-range ids raise ``ValueError``.  Clustering is greedy
+        and deterministic: seeds in descending-degree order, candidates in
+        ascending row order, a candidate joins a clique only when adjacent
+        to every current member.  Complete-bipartite cross blocks are then
+        lifted between clique pairs whose cross edges are all present;
+        everything else is residual.
+        """
+        first = _as_int64(first, "first")
+        second = _as_int64(second, "second")
+        value = _as_float64(value, "value")
+        if not (len(first) == len(second) == len(value)):
+            raise ValueError("pair arrays must have equal length")
+        n_rows = int(n_rows)
+        if len(first):
+            if first.min() < 0 or second.max() >= n_rows:
+                raise ValueError("pair row ids out of range")
+            if np.any(first >= second):
+                raise ValueError("pairs must be upper-triangle "
+                                 "(first < second)")
+        # Canonical order once; every part below indexes into these.
+        order = np.lexsort((second, first))
+        first, second, value = first[order], second[order], value[order]
+        keys = first * n_rows + second
+        if len(keys) > 1 and np.any(np.diff(keys) <= 0):
+            raise ValueError("duplicate pairs in floor")
+
+        empty = lambda dt: np.empty(0, dtype=dt)  # noqa: E731
+        if not len(first):
+            return cls(
+                n_rows=n_rows, threshold=threshold,
+                members=empty(np.int64), member_offsets=np.zeros(1, np.int64),
+                clique_values=empty(float),
+                block_left=empty(np.int64),
+                block_left_offsets=np.zeros(1, np.int64),
+                block_right=empty(np.int64),
+                block_right_offsets=np.zeros(1, np.int64),
+                block_values=empty(float),
+                residual_first=first, residual_second=second,
+                residual_value=value)
+
+        cliques = _greedy_cliques(first, second, keys, n_rows)
+        covered = np.zeros(len(keys), dtype=bool)
+        clique_value_parts: list[np.ndarray] = []
+        for m in cliques:
+            ii, jj = np.triu_indices(len(m), 1)
+            pos = np.searchsorted(keys, m[ii] * n_rows + m[jj])
+            clique_value_parts.append(value[pos])
+            covered[pos] = True
+
+        blocks = _lift_cross_blocks(cliques, first, second, covered, n_rows)
+        block_left_parts: list[np.ndarray] = []
+        block_right_parts: list[np.ndarray] = []
+        block_value_parts: list[np.ndarray] = []
+        for left_m, right_m in blocks:
+            pf, ps = _bipartite_pairs(left_m, right_m)
+            pos = np.searchsorted(keys, pf * n_rows + ps)
+            block_left_parts.append(left_m)
+            block_right_parts.append(right_m)
+            block_value_parts.append(value[pos])
+            covered[pos] = True
+
+        residual = ~covered
+
+        def concat(parts, dtype):
+            return (np.concatenate(parts) if parts
+                    else np.empty(0, dtype=dtype))
+
+        def offsets(parts):
+            return np.concatenate(
+                [[0], np.cumsum([len(p) for p in parts])]).astype(np.int64)
+
+        return cls(
+            n_rows=n_rows, threshold=threshold,
+            members=concat(cliques, np.int64),
+            member_offsets=offsets(cliques),
+            clique_values=concat(clique_value_parts, float),
+            block_left=concat(block_left_parts, np.int64),
+            block_left_offsets=offsets(block_left_parts),
+            block_right=concat(block_right_parts, np.int64),
+            block_right_offsets=offsets(block_right_parts),
+            block_values=concat(block_value_parts, float),
+            residual_first=first[residual],
+            residual_second=second[residual],
+            residual_value=value[residual])
+
+    @classmethod
+    def from_raw_arrays(cls, first, second, value, *, n_rows: int,
+                        threshold: float) -> "FactorizedPairSet":
+        """Wrap a raw floor residual-only (no cliques, no blocks).
+
+        The degenerate factorisation: every pair lands in the residual
+        list, canonically ordered.  Lets raw and factorised store entries
+        share one streaming/decompression code path
+        (:meth:`iter_pairs` / :meth:`iter_chunks`).
+        """
+        first = _as_int64(first, "first")
+        second = _as_int64(second, "second")
+        value = _as_float64(value, "value")
+        order = np.lexsort((second, first))
+        return cls(
+            n_rows=int(n_rows), threshold=threshold,
+            members=np.empty(0, np.int64),
+            member_offsets=np.zeros(1, np.int64),
+            clique_values=np.empty(0, float),
+            block_left=np.empty(0, np.int64),
+            block_left_offsets=np.zeros(1, np.int64),
+            block_right=np.empty(0, np.int64),
+            block_right_offsets=np.zeros(1, np.int64),
+            block_values=np.empty(0, float),
+            residual_first=first[order], residual_second=second[order],
+            residual_value=value[order])
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_arrays(self) -> dict:
+        """The npz payload of a ``pairs-factorized`` store entry."""
+        return {
+            "shape": np.array([self.n_rows], dtype=np.int64),
+            "members": self._members,
+            "member_offsets": self._member_offsets,
+            "clique_values": self._clique_values,
+            "block_left": self._block_left,
+            "block_left_offsets": self._block_left_offsets,
+            "block_right": self._block_right,
+            "block_right_offsets": self._block_right_offsets,
+            "block_values": self._block_values,
+            "residual_first": self._residual_first,
+            "residual_second": self._residual_second,
+            "residual_value": self._residual_value,
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: dict, *,
+                    threshold: float) -> "FactorizedPairSet":
+        """Deserialise and structurally validate a store-entry payload.
+
+        Every inconsistency — missing arrays, non-monotone offsets,
+        unsorted or out-of-range members, overlapping block sides,
+        mismatched value lengths, non-canonical residual — raises
+        ``ValueError``, which the store's read path translates into
+        evict-and-miss: a damaged factorised entry is recomputed, never
+        served wrong.
+        """
+        missing = [name for name in ARRAY_NAMES if name not in arrays]
+        if missing:
+            raise ValueError(f"factorized payload missing arrays {missing}")
+        shape = _as_int64(arrays["shape"], "shape")
+        if len(shape) != 1 or shape[0] < 0:
+            raise ValueError("factorized shape must be one non-negative "
+                             "row count")
+        n_rows = int(shape[0])
+        members = _as_int64(arrays["members"], "members")
+        member_offsets = _as_int64(arrays["member_offsets"],
+                                   "member_offsets")
+        clique_values = _as_float64(arrays["clique_values"], "clique_values")
+        block_left = _as_int64(arrays["block_left"], "block_left")
+        block_left_offsets = _as_int64(arrays["block_left_offsets"],
+                                       "block_left_offsets")
+        block_right = _as_int64(arrays["block_right"], "block_right")
+        block_right_offsets = _as_int64(arrays["block_right_offsets"],
+                                        "block_right_offsets")
+        block_values = _as_float64(arrays["block_values"], "block_values")
+        residual_first = _as_int64(arrays["residual_first"],
+                                   "residual_first")
+        residual_second = _as_int64(arrays["residual_second"],
+                                    "residual_second")
+        residual_value = _as_float64(arrays["residual_value"],
+                                     "residual_value")
+
+        def check_offsets(offsets, total, name, min_segment=0):
+            if (len(offsets) < 1 or offsets[0] != 0
+                    or offsets[-1] != total):
+                raise ValueError(f"{name} do not tile the member array")
+            sizes = np.diff(offsets)
+            if np.any(sizes < min_segment):
+                raise ValueError(f"{name} contain an undersized segment")
+            return sizes
+
+        def check_sorted_members(values, offsets, name):
+            if len(values) and (values.min() < 0 or values.max() >= n_rows):
+                raise ValueError(f"{name} row ids out of range")
+            if len(values) > 1:
+                steps = np.diff(values)
+                interior = np.ones(len(steps), dtype=bool)
+                interior[offsets[1:-1] - 1] = False
+                if np.any(steps[interior] <= 0):
+                    raise ValueError(f"{name} segments are not strictly "
+                                     f"sorted")
+
+        clique_sizes = check_offsets(member_offsets, len(members),
+                                     "member_offsets", min_segment=2)
+        check_sorted_members(members, member_offsets, "clique member")
+        if int(_tri(clique_sizes).sum()) != len(clique_values):
+            raise ValueError("clique_values length does not match member "
+                             "segment sizes")
+        left_sizes = check_offsets(block_left_offsets, len(block_left),
+                                   "block_left_offsets", min_segment=1)
+        right_sizes = check_offsets(block_right_offsets, len(block_right),
+                                    "block_right_offsets", min_segment=1)
+        if len(left_sizes) != len(right_sizes):
+            raise ValueError("block side counts disagree")
+        check_sorted_members(block_left, block_left_offsets, "block left")
+        check_sorted_members(block_right, block_right_offsets,
+                             "block right")
+        if int((left_sizes * right_sizes).sum()) != len(block_values):
+            raise ValueError("block_values length does not match block "
+                             "shapes")
+        for index in range(len(left_sizes)):
+            left_m = block_left[block_left_offsets[index]:
+                                block_left_offsets[index + 1]]
+            right_m = block_right[block_right_offsets[index]:
+                                  block_right_offsets[index + 1]]
+            if np.intersect1d(left_m, right_m).size:
+                raise ValueError("block sides overlap")
+        if not (len(residual_first) == len(residual_second)
+                == len(residual_value)):
+            raise ValueError("residual arrays must have equal length")
+        if len(residual_first):
+            if (residual_first.min() < 0
+                    or residual_second.max() >= n_rows):
+                raise ValueError("residual row ids out of range")
+            if np.any(residual_first >= residual_second):
+                raise ValueError("residual pairs must be upper-triangle")
+            keys = residual_first * n_rows + residual_second
+            if len(keys) > 1 and np.any(np.diff(keys) <= 0):
+                raise ValueError("residual pairs are not in strict "
+                                 "canonical order")
+        return cls(
+            n_rows=n_rows, threshold=threshold,
+            members=members, member_offsets=member_offsets,
+            clique_values=clique_values,
+            block_left=block_left, block_left_offsets=block_left_offsets,
+            block_right=block_right,
+            block_right_offsets=block_right_offsets,
+            block_values=block_values,
+            residual_first=residual_first,
+            residual_second=residual_second,
+            residual_value=residual_value)
+
+    # ------------------------------------------------------------------ #
+    # Shape / size accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def n_cliques(self) -> int:
+        """Number of clique summaries."""
+        return len(self._member_offsets) - 1
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of complete-bipartite cross-cluster blocks."""
+        return len(self._block_left_offsets) - 1
+
+    @property
+    def n_residual(self) -> int:
+        """Number of pairs kept verbatim in the residual list."""
+        return len(self._residual_first)
+
+    @property
+    def n_pairs(self) -> int:
+        """Total pairs represented (cliques + blocks + residual)."""
+        return (len(self._clique_values) + len(self._block_values)
+                + self.n_residual)
+
+    def nbytes(self) -> int:
+        """Serialised payload bytes (sum of every stored array)."""
+        return sum(int(np.asarray(a).nbytes)
+                   for a in self.to_arrays().values())
+
+    def raw_nbytes(self) -> int:
+        """Bytes the same floor costs raw (24 per pair)."""
+        return RAW_PAIR_BYTES * self.n_pairs
+
+    def compression_ratio(self) -> float:
+        """``nbytes / raw_nbytes`` (1.0 for an empty floor)."""
+        raw = self.raw_nbytes()
+        return self.nbytes() / raw if raw else 1.0
+
+    def stats(self) -> dict:
+        """Structural summary: part counts, pair counts, byte counts."""
+        return {
+            "n_rows": self.n_rows,
+            "threshold": self.threshold,
+            "n_pairs": self.n_pairs,
+            "n_cliques": self.n_cliques,
+            "n_blocks": self.n_blocks,
+            "clique_pairs": len(self._clique_values),
+            "block_pairs": len(self._block_values),
+            "residual_pairs": self.n_residual,
+            "nbytes": self.nbytes(),
+            "raw_nbytes": self.raw_nbytes(),
+            "compression_ratio": self.compression_ratio(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FactorizedPairSet(n_rows={self.n_rows}, "
+                f"pairs={self.n_pairs}, cliques={self.n_cliques}, "
+                f"blocks={self.n_blocks}, residual={self.n_residual}, "
+                f"ratio={self.compression_ratio():.2f})")
+
+    # ------------------------------------------------------------------ #
+    # Decompression
+    # ------------------------------------------------------------------ #
+    def _clique_chunk(self, index: int):
+        m = self._members[self._member_offsets[index]:
+                          self._member_offsets[index + 1]]
+        values = self._clique_values[self._clique_value_offsets[index]:
+                                     self._clique_value_offsets[index + 1]]
+        ii, jj = np.triu_indices(len(m), 1)
+        # Row-major triangular order over sorted members *is* canonical
+        # (first, second) order within the clique.
+        return m[ii], m[jj], values
+
+    def _block_chunk(self, index: int):
+        left_m = self._block_left[self._block_left_offsets[index]:
+                                  self._block_left_offsets[index + 1]]
+        right_m = self._block_right[self._block_right_offsets[index]:
+                                    self._block_right_offsets[index + 1]]
+        values = self._block_values[self._block_value_offsets[index]:
+                                    self._block_value_offsets[index + 1]]
+        pf, ps = _bipartite_pairs(left_m, right_m)
+        return pf, ps, values
+
+    def iter_chunks(self, threshold: float | None = None
+                    ) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Stream ``(first, second, value)`` array chunks above *threshold*.
+
+        One chunk per part (clique, block, residual), each canonically
+        ordered *within itself* but unordered across chunks — the shape
+        order-insensitive consumers want (e.g.
+        :meth:`~repro.similarity.streaming.TopKReducer.update`), with only
+        one part's arrays live at a time.  Parts entirely below
+        *threshold* are skipped without touching their values.
+        """
+        thr = self.threshold if threshold is None else float(threshold)
+        for index in range(self.n_cliques):
+            if self._clique_max[index] < thr:
+                continue
+            first, second, values = self._clique_chunk(index)
+            if self._clique_min[index] < thr:
+                keep = values >= thr
+                first, second, values = first[keep], second[keep], values[keep]
+            if len(values):
+                yield first, second, values
+        for index in range(self.n_blocks):
+            if self._block_max[index] < thr:
+                continue
+            first, second, values = self._block_chunk(index)
+            if self._block_min[index] < thr:
+                keep = values >= thr
+                first, second, values = first[keep], second[keep], values[keep]
+            if len(values):
+                yield first, second, values
+        if len(self._residual_value):
+            keep = self._residual_value >= thr
+            if keep.any():
+                yield (self._residual_first[keep],
+                       self._residual_second[keep],
+                       self._residual_value[keep])
+
+    def iter_pairs(self, threshold: float | None = None
+                   ) -> Iterator[SimilarPair]:
+        """Lazily stream the floor at *threshold* in canonical order.
+
+        A k-way merge (by ``(first, second)``) over per-part generators:
+        memory is O(#parts) heap entries plus one materialised part per
+        stream, never the full pair list.  Bit-identical to iterating the
+        raw floor filtered to *threshold*: same pairs, same order, same
+        float64 values.
+        """
+        streams = [
+            _pair_stream(first, second, values)
+            for first, second, values in self.iter_chunks(threshold)
+        ]
+        if not streams:
+            return
+        if len(streams) == 1:
+            yield from streams[0]
+            return
+        yield from heapq.merge(
+            *streams, key=lambda pair: (pair.first, pair.second))
+
+    def pairs(self, threshold: float | None = None) -> list[SimilarPair]:
+        """The floor at *threshold* as a canonical-order list.
+
+        Equivalent to ``list(self.iter_pairs(threshold))`` but built by
+        one vectorised lexsort over the concatenated chunks — the fast
+        path for store loads that need the whole floor anyway.
+        """
+        chunks = list(self.iter_chunks(threshold))
+        if not chunks:
+            return []
+        first = np.concatenate([c[0] for c in chunks])
+        second = np.concatenate([c[1] for c in chunks])
+        values = np.concatenate([c[2] for c in chunks])
+        order = np.lexsort((second, first))
+        return [SimilarPair(int(a), int(b), float(v))
+                for a, b, v in zip(first[order].tolist(),
+                                   second[order].tolist(),
+                                   values[order].tolist())]
+
+
+def _pair_stream(first: np.ndarray, second: np.ndarray,
+                 values: np.ndarray) -> Iterator[SimilarPair]:
+    """One part's pairs as a generator of :class:`SimilarPair`."""
+    return (SimilarPair(a, b, v)
+            for a, b, v in zip(first.tolist(), second.tolist(),
+                               values.tolist()))
+
+
+def _bipartite_pairs(left_m: np.ndarray, right_m: np.ndarray
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """Every left×right pair, upper-triangle oriented, canonically sorted.
+
+    The left-major product order is *not* canonical in general (left and
+    right row ids interleave), so the cross product is normalised to
+    ``(min, max)`` and lexsorted — deterministically, since the pairs are
+    unique.  Encoder and decoder both call this, which is what makes the
+    stored value order self-describing.
+    """
+    a = np.repeat(left_m, len(right_m))
+    b = np.tile(right_m, len(left_m))
+    pf = np.minimum(a, b)
+    ps = np.maximum(a, b)
+    order = np.lexsort((ps, pf))
+    return pf[order], ps[order]
+
+
+def _greedy_cliques(first: np.ndarray, second: np.ndarray,
+                    keys: np.ndarray, n_rows: int) -> list[np.ndarray]:
+    """Deterministic greedy clique cover of the floor's similarity graph.
+
+    Seeds are visited in descending degree (ties by ascending row id);
+    each seed's unassigned neighbours are offered in ascending row order
+    and join only when adjacent to every member so far (checked against
+    the sorted pair-key array — no adjacency matrix is ever built).
+    Cliques below :data:`_MIN_CLIQUE` members are discarded, leaving
+    their rows available to other seeds.
+    """
+    src = np.concatenate([first, second])
+    dst = np.concatenate([second, first])
+    order = np.lexsort((dst, src))
+    src, dst = src[order], dst[order]
+    counts = np.bincount(src, minlength=n_rows)
+    indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+
+    def all_adjacent(candidate: int, members: np.ndarray) -> bool:
+        lo = np.minimum(candidate, members)
+        hi = np.maximum(candidate, members)
+        wanted = lo * n_rows + hi
+        pos = np.searchsorted(keys, wanted)
+        inside = pos < len(keys)
+        if not inside.all():
+            return False
+        return bool(np.all(keys[pos] == wanted))
+
+    assigned = np.zeros(n_rows, dtype=bool)
+    seed_order = np.argsort(-counts, kind="stable")
+    cliques: list[np.ndarray] = []
+    for seed in seed_order.tolist():
+        if assigned[seed] or counts[seed] < _MIN_CLIQUE - 1:
+            continue
+        neighbours = dst[indptr[seed]:indptr[seed + 1]]
+        candidates = neighbours[~assigned[neighbours]]
+        if len(candidates) < _MIN_CLIQUE - 1:
+            continue
+        members = np.array([seed], dtype=np.int64)
+        for candidate in candidates.tolist():
+            if len(members) == 1 or all_adjacent(candidate, members):
+                members = np.append(members, candidate)
+        if len(members) >= _MIN_CLIQUE:
+            members.sort()
+            assigned[members] = True
+            cliques.append(members)
+    return cliques
+
+
+#: Smallest complete bipartite sub-block worth lifting out of the residual.
+_MIN_BLOCK_PAIRS = 4
+
+#: Largest presence matrix the block peeler will materialise per clique
+#: pair; denser cross structure than this stays residual (correct, just
+#: uncompressed).
+_MAX_BLOCK_CELLS = 1 << 22
+
+
+def _peel_complete_block(rows_left: np.ndarray, rows_right: np.ndarray
+                         ) -> tuple[np.ndarray, np.ndarray] | None:
+    """The largest-ish complete bipartite sub-block of the given cross pairs.
+
+    *rows_left*/*rows_right* are the two endpoints of every present cross
+    pair between one clique pair.  Greedy peeling: while any hole remains,
+    drop the row or column with the lowest fill fraction.  Returns the
+    surviving ``(left_members, right_members)`` (sorted, every cross pair
+    between them present) or ``None`` when nothing above
+    :data:`_MIN_BLOCK_PAIRS` survives.
+    """
+    unique_left, left_index = np.unique(rows_left, return_inverse=True)
+    unique_right, right_index = np.unique(rows_right, return_inverse=True)
+    n_left, n_right = len(unique_left), len(unique_right)
+    if n_left * n_right > _MAX_BLOCK_CELLS:
+        return None
+    present = np.zeros((n_left, n_right), dtype=bool)
+    present[left_index, right_index] = True
+    alive_row = np.ones(n_left, dtype=bool)
+    alive_col = np.ones(n_right, dtype=bool)
+    row_fill = present.sum(axis=1).astype(np.int64)
+    col_fill = present.sum(axis=0).astype(np.int64)
+    filled = int(row_fill.sum())
+    sentinel = np.iinfo(np.int64).max
+    while n_left and n_right and filled < n_left * n_right:
+        masked_rows = np.where(alive_row, row_fill, sentinel)
+        masked_cols = np.where(alive_col, col_fill, sentinel)
+        row = int(np.argmin(masked_rows))
+        col = int(np.argmin(masked_cols))
+        # Compare fill fractions row_fill/n_right vs col_fill/n_left
+        # without division; drop the sparser of the two.
+        if masked_rows[row] * n_left <= masked_cols[col] * n_right:
+            alive_row[row] = False
+            n_left -= 1
+            filled -= int(row_fill[row])
+            touched = present[row] & alive_col
+            col_fill[touched] -= 1
+            row_fill[row] = 0
+        else:
+            alive_col[col] = False
+            n_right -= 1
+            filled -= int(col_fill[col])
+            touched = present[:, col] & alive_row
+            row_fill[touched] -= 1
+            col_fill[col] = 0
+    if n_left < 1 or n_right < 1 or n_left * n_right < _MIN_BLOCK_PAIRS:
+        return None
+    return unique_left[alive_row], unique_right[alive_col]
+
+
+def _lift_cross_blocks(cliques: list[np.ndarray], first: np.ndarray,
+                       second: np.ndarray, covered: np.ndarray,
+                       n_rows: int) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Complete bipartite sub-blocks between clique pairs.
+
+    Groups the uncovered cross-clique pairs by unordered clique pair and
+    peels each group down to a hole-free bipartite core
+    (:func:`_peel_complete_block`); pairs outside a lifted core stay in
+    the residual, so decompression never has to represent holes.
+    """
+    if not cliques:
+        return []
+    cluster_id = np.full(n_rows, -1, dtype=np.int64)
+    for index, members in enumerate(cliques):
+        cluster_id[members] = index
+    ca = cluster_id[first]
+    cb = cluster_id[second]
+    cross = (~covered) & (ca >= 0) & (cb >= 0) & (ca != cb)
+    if not cross.any():
+        return []
+    idx = np.nonzero(cross)[0]
+    pair_first, pair_second = first[idx], second[idx]
+    cl_a, cl_b = ca[idx], cb[idx]
+    swap = cl_a > cl_b
+    left_row = np.where(swap, pair_second, pair_first)
+    right_row = np.where(swap, pair_first, pair_second)
+    group = np.minimum(cl_a, cl_b) * len(cliques) + np.maximum(cl_a, cl_b)
+    order = np.argsort(group, kind="stable")
+    group = group[order]
+    left_row, right_row = left_row[order], right_row[order]
+    boundaries = np.concatenate(
+        [[0], np.nonzero(np.diff(group))[0] + 1, [len(group)]])
+    blocks: list[tuple[np.ndarray, np.ndarray]] = []
+    for start, stop in zip(boundaries[:-1], boundaries[1:]):
+        if stop - start < _MIN_BLOCK_PAIRS:
+            continue
+        core = _peel_complete_block(left_row[start:stop],
+                                    right_row[start:stop])
+        if core is not None:
+            blocks.append(core)
+    return blocks
+
+
+@dataclass(frozen=True)
+class StoredPairSet:
+    """A floor loaded from the store in (possibly) factorised form.
+
+    What :meth:`SimilarityStore.load_pairset` returns: the
+    :class:`FactorizedPairSet` plus the entry's floor metadata, so callers
+    can check coverage (``threshold``/``exact``) before streaming —
+    without ever materialising the pair list.
+    """
+
+    pairset: FactorizedPairSet
+    threshold: float
+    n_rows: int
+    exact: bool
+    backend: str
+    measure: str
+    encoding: str  # "factorized" or "raw"
+
+    def covers(self, threshold: float, *,
+               require_exact: bool = True) -> bool:
+        """Whether this floor can serve a query at *threshold*."""
+        if require_exact and not self.exact:
+            return False
+        return self.threshold <= float(threshold)
+
+
+def maybe_factorize(first, second, value, *, n_rows: int,
+                    threshold: float) -> FactorizedPairSet | None:
+    """Factorise a floor when the size heuristic says it pays, else ``None``.
+
+    The store's fallback rule, in one place: floors under
+    :data:`MIN_FACTORIZE_PAIRS` pairs stay raw (entry overhead dominates),
+    and a factorisation whose payload exceeds
+    :data:`MAX_FACTORIZE_RATIO` × raw bytes is discarded — clusterless
+    floors degenerate to an all-residual encoding that is strictly larger
+    than raw, and must never be kept.
+    """
+    if len(np.asarray(first)) < MIN_FACTORIZE_PAIRS:
+        return None
+    pairset = FactorizedPairSet.from_pairs(
+        first, second, value, n_rows=n_rows, threshold=threshold)
+    if pairset.compression_ratio() > MAX_FACTORIZE_RATIO:
+        return None
+    return pairset
+
+
+def factorize_result(result) -> FactorizedPairSet:
+    """A pair set for an :class:`~repro.similarity.engine.EngineResult`.
+
+    Factorises when the heuristic pays, otherwise wraps the raw pairs
+    residual-only — either way the caller gets one streaming interface
+    (used by the service's top-k join on storeless runs).
+    """
+    first = np.array([p.first for p in result.pairs], dtype=np.int64)
+    second = np.array([p.second for p in result.pairs], dtype=np.int64)
+    value = np.array([p.similarity for p in result.pairs], dtype=np.float64)
+    pairset = maybe_factorize(first, second, value, n_rows=result.n_rows,
+                              threshold=result.threshold)
+    if pairset is None:
+        pairset = FactorizedPairSet.from_raw_arrays(
+            first, second, value, n_rows=result.n_rows,
+            threshold=result.threshold)
+    return pairset

@@ -6,7 +6,10 @@ exit.  ``SimilarityStore`` is the disk-backed layer underneath them: a
 directory of self-validating entries holding
 
 * **pair sets** — :class:`~repro.similarity.engine.EngineResult` floors, the
-  unit :class:`~repro.similarity.cache.CachedApssEngine` spills and restores;
+  unit :class:`~repro.similarity.cache.CachedApssEngine` spills and restores
+  (large clustered floors are stored *factorised* — clique summaries +
+  bipartite blocks + residual, :mod:`repro.store.pairsets` — and
+  decompressed bit-identically on load);
 * **reducer state** — the mergeable ``state()`` payloads of the streaming
   reducers (histogram, top-k, rank-selection sketch);
 * **sketch matrices** — per-row LSH sketches, so a reopened session skips
@@ -61,6 +64,11 @@ import numpy as np
 
 from repro.similarity.engine import EngineResult
 from repro.similarity.types import SimilarPair
+from repro.store.pairsets import (
+    FactorizedPairSet,
+    StoredPairSet,
+    maybe_factorize,
+)
 from repro.store.manifest import (
     FloorRef,
     GenerationRecord,
@@ -90,7 +98,12 @@ _LOGGER = logging.getLogger("repro.store")
 _UNSET = object()
 
 #: Entry kinds enumerated by :meth:`SimilarityStore.entry_count` by default.
-_ENTRY_KINDS = ("pairs", "reducers", "sketches", "sessions", "lineage")
+_ENTRY_KINDS = ("pairs", "pairs-factorized", "reducers", "sketches",
+                "sessions", "lineage")
+
+#: The two entry kinds a floor may live under; checked in this order
+#: (factorised entries supersede raw ones for the same key).
+_FLOOR_KINDS = ("pairs-factorized", "pairs")
 
 
 class StoreAttachError(RuntimeError):
@@ -119,6 +132,23 @@ def _arrays_pairs(arrays) -> list[SimilarPair]:
                                arrays["similarity"].tolist())]
 
 
+def _floor_entry_pairs(arrays: dict, meta: dict) -> list[SimilarPair]:
+    """Decode a floor entry payload — raw or factorised — to a pair list.
+
+    The one decode seam shared by entry loads and lineage resolution: a
+    payload whose meta carries ``encoding == "factorized"`` is run through
+    the full structural validation of
+    :meth:`~repro.store.pairsets.FactorizedPairSet.from_arrays` (raising
+    ``ValueError`` on any inconsistency, which callers turn into
+    evict-and-miss), everything else is the raw parallel-array layout.
+    """
+    if meta.get("encoding") == "factorized":
+        pairset = FactorizedPairSet.from_arrays(
+            arrays, threshold=float(meta.get("threshold", 0.0)))
+        return pairset.pairs()
+    return _arrays_pairs(arrays)
+
+
 class SimilarityStore:
     """A directory of checksummed, schema-versioned similarity-state entries.
 
@@ -126,9 +156,12 @@ class SimilarityStore:
     ----------
     root:
         Directory holding the store (created if missing).  Entries live in
-        per-kind subdirectories (``pairs/``, ``reducers/``, ``sketches/``,
-        ``sessions/``, plus the manifest-managed ``lineage/``), one file per
-        key.
+        per-kind subdirectories (``pairs/``, ``pairs-factorized/``,
+        ``reducers/``, ``sketches/``, ``sessions/``, plus the
+        manifest-managed ``lineage/``), one file per key.  A floor lives
+        under exactly one of ``pairs``/``pairs-factorized`` depending on
+        whether clique-based compression paid for it (see
+        :mod:`repro.store.pairsets`).
 
     Attributes
     ----------
@@ -291,6 +324,43 @@ class SimilarityStore:
         return sum(len(list((self.root / k).glob("*.entry")))
                    for k in kinds if (self.root / k).is_dir())
 
+    def stats(self) -> dict:
+        """Entry counts and on-disk bytes per kind, plus lineage bytes.
+
+        The observability face of the store: ``kinds`` maps each entry
+        kind to ``{"entries", "bytes"}`` (so the raw-vs-factorised split —
+        and therefore the compression win — is visible in serving, not
+        just in benchmarks), ``entries``/``bytes`` are the totals,
+        ``lineage_bytes`` additionally counts the manifest files, and
+        ``evictions`` is the lifetime validation-failure count.
+        Surfaced through :meth:`SimilarityService.health`.
+        """
+        kinds: dict[str, dict] = {}
+        total_entries = 0
+        total_bytes = 0
+        for kind in _ENTRY_KINDS:
+            directory = self.root / kind
+            entries = 0
+            n_bytes = 0
+            if directory.is_dir():
+                for path in directory.glob("*.entry"):
+                    try:
+                        size = path.stat().st_size
+                    except OSError:
+                        continue  # concurrently evicted or replaced
+                    entries += 1
+                    n_bytes += size
+            kinds[kind] = {"entries": entries, "bytes": n_bytes}
+            total_entries += entries
+            total_bytes += n_bytes
+        return {
+            "kinds": kinds,
+            "entries": total_entries,
+            "bytes": total_bytes,
+            "lineage_bytes": self.lineage_bytes(),
+            "evictions": self.evictions,
+        }
+
     # ------------------------------------------------------------------ #
     # Pair-set entries (EngineResult floors)
     # ------------------------------------------------------------------ #
@@ -302,6 +372,15 @@ class SimilarityStore:
         persisted — except the *approximate flavour* header: a non-exact
         floor records its ``epsilon`` false-negative budget so readers can
         reconstruct the recall bound (1 − ε) the entry was served under.
+
+        Large clustered floors land as a ``pairs-factorized`` entry
+        (clique + block + residual compression, see
+        :mod:`repro.store.pairsets`) when
+        :func:`~repro.store.pairsets.maybe_factorize`'s size heuristic
+        says it pays, and as a raw ``pairs`` entry otherwise; the sibling
+        kind under the same key is dropped either way, so at most one
+        representation of a floor exists.  Loading is transparent in both
+        directions.
         """
         meta = {
             "backend": result.backend,
@@ -316,11 +395,44 @@ class SimilarityStore:
             epsilon = result.details.get("epsilon")
             if epsilon is not None:
                 meta["epsilon"] = float(epsilon)
-        self.put("pairs", key, _pairs_arrays(result.pairs), meta)
+        arrays = _pairs_arrays(result.pairs)
+        pairset = None
+        try:
+            pairset = maybe_factorize(
+                arrays["first"], arrays["second"], arrays["similarity"],
+                n_rows=result.n_rows, threshold=result.threshold)
+        except ValueError:
+            # Factorisation is an optimisation: a floor it cannot encode
+            # (unsorted, duplicated, out-of-range pairs) stays raw.
+            pairset = None
+        if pairset is not None:
+            meta["encoding"] = "factorized"
+            self.put("pairs-factorized", key, pairset.to_arrays(), meta)
+            self.delete("pairs", key)
+        else:
+            self.put("pairs", key, arrays, meta)
+            self.delete("pairs-factorized", key)
+
+    def _floor_location(self, key: tuple) -> str | None:
+        """Which entry kind holds the floor for *key* on disk, if any."""
+        for kind in _FLOOR_KINDS:
+            if self._path(kind, key).is_file():
+                return kind
+        return None
 
     def load_result(self, key: tuple) -> EngineResult | None:
-        """Restore an engine-result floor, or ``None`` on miss/invalid."""
-        loaded = self.get("pairs", key)
+        """Restore an engine-result floor, or ``None`` on miss/invalid.
+
+        Serves raw and factorised entries alike: a ``pairs-factorized``
+        entry is structurally validated and decompressed to the identical
+        canonical pair list — zero kernel work, and callers cannot tell
+        the representations apart.
+        """
+        kind = self._floor_location(key)
+        if kind is None:
+            self.misses += 1
+            return None
+        loaded = self.get(kind, key)
         if loaded is None:
             return None
         arrays, meta = loaded
@@ -333,18 +445,66 @@ class SimilarityStore:
             result = EngineResult(
                 backend=str(meta["backend"]), measure=str(meta["measure"]),
                 threshold=float(meta["threshold"]), n_rows=int(meta["n_rows"]),
-                pairs=_arrays_pairs(arrays), exact=bool(meta["exact"]),
+                pairs=_floor_entry_pairs(arrays, meta),
+                exact=bool(meta["exact"]),
                 seconds=0.0,
                 n_candidates=int(meta.get("n_candidates", 0)),
                 n_pruned=int(meta.get("n_pruned", 0)),
                 details=details)
         except (KeyError, TypeError, ValueError) as exc:
-            self._evict(self._path("pairs", key), kind="pairs", key=key,
-                        failure=f"malformed floor meta: {exc}")
+            self._evict(self._path(kind, key), kind=kind, key=key,
+                        failure=f"malformed floor entry: {exc}")
             self.misses += 1
             return None
         self.hits += 1
         return result
+
+    def load_pairset(self, key: tuple) -> StoredPairSet | None:
+        """The floor for *key* in streamable (factorised) form, or ``None``.
+
+        Unlike :meth:`load_result` this never materialises the pair list:
+        a ``pairs-factorized`` entry hands back its compressed parts
+        directly, and a raw ``pairs`` entry is wrapped residual-only —
+        either way the caller streams
+        :meth:`~repro.store.pairsets.FactorizedPairSet.iter_pairs` /
+        ``iter_chunks`` at any threshold at or above the stored floor's.
+        Malformed entries are evicted and reported as a miss, exactly as
+        :meth:`load_result` does.
+        """
+        kind = self._floor_location(key)
+        if kind is None:
+            self.misses += 1
+            return None
+        loaded = self.get(kind, key)
+        if loaded is None:
+            return None
+        arrays, meta = loaded
+        try:
+            threshold = float(meta["threshold"])
+            n_rows = int(meta["n_rows"])
+            if kind == "pairs-factorized":
+                pairset = FactorizedPairSet.from_arrays(
+                    arrays, threshold=threshold)
+                if pairset.n_rows != n_rows:
+                    raise ValueError("factorized floor row count disagrees "
+                                     "with entry meta")
+                encoding = "factorized"
+            else:
+                pairset = FactorizedPairSet.from_raw_arrays(
+                    arrays["first"], arrays["second"], arrays["similarity"],
+                    n_rows=n_rows, threshold=threshold)
+                encoding = "raw"
+            stored = StoredPairSet(
+                pairset=pairset, threshold=threshold, n_rows=n_rows,
+                exact=bool(meta["exact"]), backend=str(meta["backend"]),
+                measure=str(meta["measure"]), encoding=encoding)
+        except (KeyError, TypeError, ValueError) as exc:
+            self._evict(self._path(kind, key), kind=kind, key=key,
+                        failure=f"malformed floor entry: {exc}")
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stored
 
     def land_result(self, key: tuple, result: EngineResult, *,
                     existing: "EngineResult | None" = _UNSET) -> bool:
@@ -485,7 +645,18 @@ class SimilarityStore:
         if kind == "delta":
             pairs = [p for p in pairs if p.second >= parent_rows]
             meta["parent_rows"] = int(parent_rows)
-        path = self.put("lineage", entry_key, _pairs_arrays(pairs), meta)
+        arrays = _pairs_arrays(pairs)
+        pairset = None
+        try:
+            pairset = maybe_factorize(
+                arrays["first"], arrays["second"], arrays["similarity"],
+                n_rows=result.n_rows, threshold=result.threshold)
+        except ValueError:
+            pairset = None  # unencodable floors stay raw (see save_result)
+        if pairset is not None:
+            meta["encoding"] = "factorized"
+            arrays = pairset.to_arrays()
+        path = self.put("lineage", entry_key, arrays, meta)
         return FloorRef(file=str(path.relative_to(self.root)), kind=kind,
                         threshold=float(result.threshold),
                         sequence=int(sequence))
@@ -644,7 +815,13 @@ class SimilarityStore:
                 return None
             if ref.kind == "full":
                 base_meta = meta
-            pairs.extend(_arrays_pairs(arrays))
+            try:
+                pairs.extend(_floor_entry_pairs(arrays, meta))
+            except ValueError as exc:
+                _LOGGER.warning(
+                    "lineage entry %s for fingerprint %s failed structural "
+                    "decode: %s", ref.file, gen.fingerprint, exc)
+                return None
         pairs = [p for p in pairs if p.similarity >= threshold]
         pairs.sort(key=lambda p: (p.first, p.second))
         return EngineResult(

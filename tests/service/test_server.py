@@ -136,6 +136,7 @@ def test_closed_service_refuses_everything(tmp_path):
     for call in (lambda: service.open_session("x"),
                  lambda: session.sweep(_dataset(), 0.5),
                  lambda: session.probe(_dataset(), 0.5),
+                 lambda: session.top_k_join(_dataset(), 5, 0.5),
                  lambda: session.ingest(_dataset(),
                                         _dataset(seed=1, n_rows=2)),
                  lambda: session.open_plasma(_dataset())):
@@ -213,3 +214,90 @@ def test_open_plasma_shares_engine_and_tenant_store(tmp_path):
         bob = service.open_session("bob").open_plasma(_dataset())
         assert bob.resumed_from == "fresh"
         bob.close()
+
+
+# --------------------------------------------------------------------- #
+# Top-k join: compressed floors in, ranked pairs out
+# --------------------------------------------------------------------- #
+
+def _clustered(n_rows: int = 400, seed: int = 29):
+    return make_clustered_vectors(n_rows, 12, 6, separation=6.0,
+                                  cluster_std=0.6, seed=seed)
+
+
+def _raw_reducer_pairs(result, k: int):
+    """The reference answer: a TopKReducer pass over the raw floor."""
+    import numpy as np
+
+    from repro.similarity.streaming import TopKReducer
+
+    reducer = TopKReducer(k)
+    reducer.update(
+        np.array([p.first for p in result.pairs], dtype=np.int64),
+        np.array([p.second for p in result.pairs], dtype=np.int64),
+        np.array([p.similarity for p in result.pairs]))
+    return [(p.first, p.second, p.similarity) for p in reducer.pairs()]
+
+
+def test_top_k_join_matches_a_raw_floor_reducer_pass(tmp_path):
+    dataset = _clustered()
+    with SimilarityService(tmp_path / "store") as service:
+        session = service.open_session("alice")
+        raw = session.sweep(dataset, 0.6)
+        joined = session.top_k_join(dataset, 25, 0.6)
+        assert joined.source == "store-factorized"
+        assert joined.floor_pairs == len(raw.pairs)
+        assert [(p.first, p.second, p.similarity) for p in joined.pairs] \
+            == _raw_reducer_pairs(raw, 25)
+        assert service.engine.search_calls == 1  # the sweep; join was free
+
+
+def test_top_k_join_computes_then_serves_from_the_store(tmp_path):
+    dataset = _clustered(seed=31)
+    with SimilarityService(tmp_path / "store") as service:
+        session = service.open_session("alice")
+        first = session.top_k_join(dataset, 10, 0.6)
+        assert first.source == "kernel"
+        assert service.engine.search_calls == 1
+        again = session.top_k_join(dataset, 10, 0.6)
+        assert again.source == "store-factorized"
+        assert service.engine.search_calls == 1  # zero extra kernel work
+        assert again.pairs == first.pairs
+        # A higher threshold is still covered by the landed floor.
+        higher = session.top_k_join(dataset, 10, 0.8)
+        assert higher.source == "store-factorized"
+        assert service.engine.search_calls == 1
+        assert all(p.similarity >= 0.8 for p in higher.pairs)
+
+
+def test_top_k_join_small_floor_is_served_raw(tmp_path):
+    dataset = _dataset()  # far below the factorisation floor
+    with SimilarityService(tmp_path / "store") as service:
+        session = service.open_session("alice")
+        first = session.top_k_join(dataset, 5, 0.5)
+        assert first.source == "kernel"
+        again = session.top_k_join(dataset, 5, 0.5)
+        assert again.source == "store-raw"
+        assert again.pairs == first.pairs
+
+
+def test_top_k_join_works_storeless():
+    dataset = _dataset()
+    with SimilarityService() as service:
+        session = service.open_session("tenant")
+        raw = session.sweep(dataset, 0.5)
+        joined = session.top_k_join(dataset, 5, 0.5)
+        assert joined.source == "kernel"
+        assert [(p.first, p.second, p.similarity) for p in joined.pairs] \
+            == _raw_reducer_pairs(raw, 5)
+
+
+def test_health_reports_store_stats(tmp_path):
+    dataset = _clustered(seed=37)
+    with SimilarityService(tmp_path / "store") as service:
+        service.open_session("alice").sweep(dataset, 0.6)
+        stats = service.health()["store"]
+        assert stats["entries"] >= 1
+        assert stats["kinds"]["pairs-factorized"]["entries"] == 1
+    with SimilarityService() as storeless:
+        assert storeless.health()["store"] is None

@@ -1,0 +1,577 @@
+"""The factorised pair-set store: round-trip fidelity, heuristic, fsck.
+
+The contract under test is the decompression guarantee: for any stored
+floor, ``from_pairs -> iter_pairs(threshold)`` is *bit-identical* to
+filtering the raw floor — same pairs, same canonical ``(first, second)``
+order, same float64 values — at every swept threshold, with zero kernel
+work.  Around it: the size heuristic (small/clusterless floors stay raw),
+the store's transparent ``pairs-factorized`` entry kind (landing, loading,
+overwrite, eviction of damaged entries), the fsck audit of factorised
+entries, and the acceptance criteria on a seeded clustered corpus.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from harness import seeded_clustered
+from repro.datasets import make_clustered_vectors
+from repro.similarity import ApssEngine, CachedApssEngine
+from repro.store import (
+    MAX_FACTORIZE_RATIO,
+    MIN_FACTORIZE_PAIRS,
+    FactorizedPairSet,
+    SimilarityStore,
+    factorize_result,
+    fsck,
+    floor_axis,
+    lineage_entry_key,
+    maybe_factorize,
+)
+
+# --------------------------------------------------------------------- #
+# Synthetic floors
+# --------------------------------------------------------------------- #
+
+def _synthetic_floor(seed: int, *, n_rows: int = 64, n_clusters: int = 3,
+                     hole_frac: float = 0.1, n_noise: int = 40):
+    """A clustered pair floor with holes and noise, from one seed.
+
+    Rows are split into *n_clusters* disjoint groups; each group's pairs
+    are present except a *hole_frac* random subset, and *n_noise* extra
+    random pairs are sprinkled on top.  Returns canonical-order
+    ``(first, second, value)`` arrays with values in ``[0.3, 1.0)``.
+    """
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n_rows)
+    cuts = np.sort(rng.choice(np.arange(4, n_rows - 4), size=n_clusters - 1,
+                              replace=False)) if n_clusters > 1 else []
+    groups = np.split(perm[:n_rows - 4], cuts) if n_clusters > 1 \
+        else [perm[:n_rows - 4]]
+    pairs = set()
+    for members in groups:
+        members = np.sort(members)
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                if rng.random() >= hole_frac:
+                    pairs.add((int(members[i]), int(members[j])))
+    for _ in range(n_noise):
+        a, b = rng.integers(0, n_rows, size=2)
+        if a != b:
+            pairs.add((min(int(a), int(b)), max(int(a), int(b))))
+    ordered = sorted(pairs)
+    first = np.array([p[0] for p in ordered], dtype=np.int64)
+    second = np.array([p[1] for p in ordered], dtype=np.int64)
+    value = rng.uniform(0.3, 1.0, size=len(ordered))
+    return first, second, value
+
+
+def _tuples(pairs) -> list[tuple]:
+    return [(p.first, p.second, p.similarity) for p in pairs]
+
+
+def _raw_tuples(first, second, value, threshold=None) -> list[tuple]:
+    """The reference decompression: filter + canonical lexsort, in numpy."""
+    if threshold is not None:
+        keep = value >= threshold
+        first, second, value = first[keep], second[keep], value[keep]
+    order = np.lexsort((second, first))
+    return list(zip(first[order].tolist(), second[order].tolist(),
+                    value[order].tolist()))
+
+
+def _assert_roundtrip(first, second, value, *, n_rows, threshold):
+    """from_pairs -> iter_pairs/pairs bit-identical to the raw floor."""
+    pairset = FactorizedPairSet.from_pairs(first, second, value,
+                                           n_rows=n_rows,
+                                           threshold=threshold)
+    assert pairset.n_pairs == len(first)
+    raw = _raw_tuples(first, second, value)
+    assert _tuples(pairset.iter_pairs()) == raw
+    sweep = [threshold] if not len(value) else sorted(
+        {threshold, float(np.median(value)), float(value.max()),
+         float(value.max()) + 0.5})
+    for t in sweep:
+        expect = _raw_tuples(first, second, value, t)
+        assert _tuples(pairset.iter_pairs(t)) == expect
+        assert _tuples(pairset.pairs(t)) == expect
+    # Serialise round trip: the npz payload rebuilds the same floor.
+    rebuilt = FactorizedPairSet.from_arrays(pairset.to_arrays(),
+                                            threshold=threshold)
+    assert _tuples(rebuilt.iter_pairs()) == raw
+    assert rebuilt.stats() == pairset.stats()
+    return pairset
+
+
+# --------------------------------------------------------------------- #
+# Round-trip fidelity (property-based)
+# --------------------------------------------------------------------- #
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1),
+       n_clusters=st.integers(1, 5),
+       hole_frac=st.floats(0.0, 0.5),
+       n_noise=st.integers(0, 80))
+def test_clustered_floor_roundtrip(seed, n_clusters, hole_frac, n_noise):
+    first, second, value = _synthetic_floor(
+        seed, n_clusters=n_clusters, hole_frac=hole_frac, n_noise=n_noise)
+    pairset = _assert_roundtrip(first, second, value, n_rows=64,
+                                threshold=0.3)
+    if hole_frac == 0.0 and n_clusters >= 2 and n_noise == 0:
+        assert pairset.n_cliques >= 1  # pure clusters must be discovered
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1), n_pairs=st.integers(0, 300))
+def test_adversarial_clusterless_floor_roundtrip(seed, n_pairs):
+    """Random sparse graphs (no cliques to find) still decompress exactly."""
+    rng = np.random.default_rng(seed)
+    n_rows = 400
+    seen = set()
+    while len(seen) < n_pairs:
+        a, b = rng.integers(0, n_rows, size=2)
+        if a != b:
+            seen.add((min(int(a), int(b)), max(int(a), int(b))))
+    ordered = sorted(seen)
+    first = np.array([p[0] for p in ordered], dtype=np.int64)
+    second = np.array([p[1] for p in ordered], dtype=np.int64)
+    value = rng.uniform(0.3, 1.0, size=len(ordered))
+    _assert_roundtrip(first, second, value, n_rows=n_rows, threshold=0.3)
+
+
+@pytest.mark.parametrize("measure", ["cosine", "jaccard", "dot"])
+def test_engine_floor_roundtrip_across_measures(measure):
+    """Real engine floors (any measure) survive factorisation bit-exactly."""
+    dataset = seeded_clustered(977, n_rows=90, n_features=12, n_clusters=4,
+                               separation=5.0, cluster_std=0.7)
+    threshold = {"cosine": 0.5, "jaccard": 0.4, "dot": 10.0}[measure]
+    result = ApssEngine().search(dataset, threshold, measure)
+    assert len(result.pairs) > 0
+    first = np.array([p.first for p in result.pairs], dtype=np.int64)
+    second = np.array([p.second for p in result.pairs], dtype=np.int64)
+    value = np.array([p.similarity for p in result.pairs], dtype=np.float64)
+    _assert_roundtrip(first, second, value, n_rows=dataset.n_rows,
+                      threshold=threshold)
+
+
+def test_empty_floor_roundtrip():
+    empty = np.empty(0, dtype=np.int64)
+    pairset = FactorizedPairSet.from_pairs(
+        empty, empty, np.empty(0), n_rows=10, threshold=0.5)
+    assert pairset.n_pairs == 0
+    assert list(pairset.iter_pairs()) == []
+    assert pairset.pairs() == []
+    rebuilt = FactorizedPairSet.from_arrays(pairset.to_arrays(),
+                                            threshold=0.5)
+    assert rebuilt.n_pairs == 0
+
+
+def test_iter_chunks_prunes_parts_below_threshold():
+    """Part-level min/max pruning: chunks below the sweep never surface."""
+    first, second, value = _synthetic_floor(7, n_clusters=3, hole_frac=0.0,
+                                            n_noise=0)
+    pairset = FactorizedPairSet.from_pairs(first, second, value, n_rows=64,
+                                           threshold=0.3)
+    above_max = float(value.max()) + 1.0
+    assert list(pairset.iter_chunks(above_max)) == []
+    total = sum(len(v) for _, _, v in pairset.iter_chunks(0.0))
+    assert total == pairset.n_pairs
+
+
+def test_from_pairs_rejects_malformed_input():
+    one = np.array([1], dtype=np.int64)
+    with pytest.raises(ValueError, match="upper-triangle"):
+        FactorizedPairSet.from_pairs([2], [1], [0.5], n_rows=4,
+                                     threshold=0.3)
+    with pytest.raises(ValueError, match="out of range"):
+        FactorizedPairSet.from_pairs([0], [9], [0.5], n_rows=4,
+                                     threshold=0.3)
+    with pytest.raises(ValueError, match="duplicate"):
+        FactorizedPairSet.from_pairs([0, 0], [1, 1], [0.5, 0.6], n_rows=4,
+                                     threshold=0.3)
+    with pytest.raises(ValueError, match="equal length"):
+        FactorizedPairSet.from_pairs(one, np.array([2, 3]), [0.5],
+                                     n_rows=4, threshold=0.3)
+
+
+# --------------------------------------------------------------------- #
+# The size heuristic
+# --------------------------------------------------------------------- #
+
+def test_small_floors_are_never_factorized():
+    first, second, value = _synthetic_floor(11, n_rows=30, n_clusters=2,
+                                            n_noise=0)
+    assert len(first) < MIN_FACTORIZE_PAIRS
+    assert maybe_factorize(first, second, value, n_rows=30,
+                           threshold=0.3) is None
+
+
+def test_clusterless_floors_fall_back_to_raw():
+    """Sparse random floors degenerate to all-residual and must not pay."""
+    rng = np.random.default_rng(23)
+    n_rows = 4000
+    seen = set()
+    while len(seen) < 2000:
+        a, b = rng.integers(0, n_rows, size=2)
+        if a != b:
+            seen.add((min(int(a), int(b)), max(int(a), int(b))))
+    ordered = sorted(seen)
+    first = np.array([p[0] for p in ordered], dtype=np.int64)
+    second = np.array([p[1] for p in ordered], dtype=np.int64)
+    value = rng.uniform(0.3, 1.0, size=len(ordered))
+    assert maybe_factorize(first, second, value, n_rows=n_rows,
+                           threshold=0.3) is None
+    # The degenerate factorisation really is worse than raw.
+    degenerate = FactorizedPairSet.from_pairs(first, second, value,
+                                              n_rows=n_rows, threshold=0.3)
+    assert degenerate.compression_ratio() > MAX_FACTORIZE_RATIO
+
+
+def test_clustered_floors_beat_the_ratio_bar():
+    first, second, value = _synthetic_floor(31, n_rows=200, n_clusters=4,
+                                            hole_frac=0.02, n_noise=50)
+    assert len(first) >= MIN_FACTORIZE_PAIRS
+    pairset = maybe_factorize(first, second, value, n_rows=200,
+                              threshold=0.3)
+    assert pairset is not None
+    assert pairset.compression_ratio() <= MAX_FACTORIZE_RATIO
+    assert pairset.nbytes() < pairset.raw_nbytes()
+
+
+def test_factorize_result_always_streams():
+    """Below the heuristic the wrapper is residual-only but still streams."""
+    dataset = seeded_clustered(401, n_rows=20)
+    result = ApssEngine().search(dataset, 0.3)
+    pairset = factorize_result(result)
+    assert pairset.n_cliques == 0 and pairset.n_blocks == 0
+    assert _tuples(pairset.iter_pairs()) == _tuples(result.pairs)
+
+
+# --------------------------------------------------------------------- #
+# Structural validation of serialised payloads
+# --------------------------------------------------------------------- #
+
+@pytest.fixture
+def valid_arrays():
+    first, second, value = _synthetic_floor(53, n_rows=80, n_clusters=3,
+                                            hole_frac=0.05, n_noise=60)
+    pairset = FactorizedPairSet.from_pairs(first, second, value, n_rows=80,
+                                           threshold=0.3)
+    assert pairset.n_cliques >= 1 and pairset.n_residual >= 1
+    return pairset.to_arrays()
+
+
+def _mutated(arrays: dict, name: str, mutate) -> dict:
+    out = {k: np.array(v, copy=True) for k, v in arrays.items()}
+    out[name] = mutate(out[name])
+    return out
+
+
+def test_from_arrays_rejects_structural_damage(valid_arrays):
+    cases = [
+        ("member_offsets", lambda a: a + 1,
+         "do not tile"),
+        ("member_offsets", lambda a: np.array([0, 1], dtype=np.int64),
+         "member"),  # undersized segment or bad tiling
+        ("members", lambda a: a[::-1].copy(),
+         "sorted|range"),
+        ("clique_values", lambda a: a[:-1],
+         "clique_values length"),
+        ("residual_second", lambda a: a + 10**6,
+         "out of range"),
+        ("residual_value", lambda a: a[:-1],
+         "equal length"),
+        ("shape", lambda a: np.array([-1], dtype=np.int64),
+         "row count"),
+    ]
+    for name, mutate, pattern in cases:
+        with pytest.raises(ValueError, match=pattern):
+            FactorizedPairSet.from_arrays(_mutated(valid_arrays, name,
+                                                   mutate), threshold=0.3)
+
+
+def test_from_arrays_rejects_missing_and_swapped_residual(valid_arrays):
+    incomplete = {k: v for k, v in valid_arrays.items()
+                  if k != "block_values"}
+    with pytest.raises(ValueError, match="missing arrays"):
+        FactorizedPairSet.from_arrays(incomplete, threshold=0.3)
+    swapped = {k: np.array(v, copy=True) for k, v in valid_arrays.items()}
+    swapped["residual_first"], swapped["residual_second"] = \
+        swapped["residual_second"], swapped["residual_first"]
+    with pytest.raises(ValueError, match="upper-triangle"):
+        FactorizedPairSet.from_arrays(swapped, threshold=0.3)
+
+
+def test_from_arrays_rejects_unordered_residual(valid_arrays):
+    shuffled = {k: np.array(v, copy=True) for k, v in valid_arrays.items()}
+    for name in ("residual_first", "residual_second", "residual_value"):
+        shuffled[name] = shuffled[name][::-1].copy()
+    with pytest.raises(ValueError, match="canonical order|upper-triangle"):
+        FactorizedPairSet.from_arrays(shuffled, threshold=0.3)
+
+
+# --------------------------------------------------------------------- #
+# Store integration: the pairs-factorized entry kind
+# --------------------------------------------------------------------- #
+
+KEY = ("fingerprint", "cosine", "exact-blocked", ())
+
+
+@pytest.fixture
+def store(tmp_path) -> SimilarityStore:
+    return SimilarityStore(tmp_path / "store")
+
+
+def _big_clustered_result(seed: int = 613, n_rows: int = 400,
+                          threshold: float = 0.6):
+    dataset = seeded_clustered(seed, n_rows=n_rows, n_features=12,
+                               n_clusters=6, separation=6.0,
+                               cluster_std=0.6)
+    result = ApssEngine().search(dataset, threshold)
+    assert len(result.pairs) >= MIN_FACTORIZE_PAIRS
+    return dataset, result
+
+
+def test_large_clustered_floor_lands_factorized(store):
+    _, result = _big_clustered_result()
+    store.save_result(KEY, result)
+    assert store.entry_count("pairs-factorized") == 1
+    assert store.entry_count("pairs") == 0
+    loaded = store.load_result(KEY)
+    assert loaded is not None
+    assert _tuples(loaded.pairs) == _tuples(result.pairs)
+    assert (loaded.threshold, loaded.n_rows, loaded.exact) == \
+        (result.threshold, result.n_rows, result.exact)
+
+
+def test_small_floor_stays_raw(store):
+    dataset = seeded_clustered(617, n_rows=25)
+    result = ApssEngine().search(dataset, 0.3)
+    store.save_result(KEY, result)
+    assert store.entry_count("pairs") == 1
+    assert store.entry_count("pairs-factorized") == 0
+    assert _tuples(store.load_result(KEY).pairs) == _tuples(result.pairs)
+
+
+def test_overwrite_switches_kind_and_deletes_sibling(store):
+    _, big = _big_clustered_result()
+    small = ApssEngine().search(seeded_clustered(619, n_rows=25), 0.3)
+    store.save_result(KEY, big)
+    store.save_result(KEY, small)  # factorized -> raw
+    assert store.entry_count("pairs") == 1
+    assert store.entry_count("pairs-factorized") == 0
+    assert _tuples(store.load_result(KEY).pairs) == _tuples(small.pairs)
+    store.save_result(KEY, big)    # raw -> factorized
+    assert store.entry_count("pairs") == 0
+    assert store.entry_count("pairs-factorized") == 1
+    assert _tuples(store.load_result(KEY).pairs) == _tuples(big.pairs)
+
+
+def test_load_pairset_reports_encoding_and_coverage(store):
+    _, big = _big_clustered_result(threshold=0.6)
+    store.save_result(KEY, big)
+    stored = store.load_pairset(KEY)
+    assert stored is not None
+    assert stored.encoding == "factorized"
+    assert stored.n_rows == big.n_rows
+    assert stored.covers(0.6) and stored.covers(0.9)
+    assert not stored.covers(0.5)  # floor starts above the query
+    assert _tuples(stored.pairset.iter_pairs(0.8)) == \
+        [t for t in _tuples(big.pairs) if t[2] >= 0.8]
+
+    small = ApssEngine().search(seeded_clustered(619, n_rows=25), 0.3)
+    store.save_result(KEY, small)
+    stored = store.load_pairset(KEY)
+    assert stored is not None and stored.encoding == "raw"
+    assert _tuples(stored.pairset.iter_pairs()) == _tuples(small.pairs)
+
+
+def test_load_pairset_misses_cleanly(store):
+    assert store.load_pairset(KEY) is None
+    assert store.misses == 1
+
+
+def _corrupt_file(path, mutate):
+    raw = bytearray(path.read_bytes())
+    mutate(raw)
+    path.write_bytes(bytes(raw))
+
+
+@pytest.mark.parametrize("damage", ["flip", "truncate"])
+def test_damaged_factorized_entry_is_evicted_never_served(store, damage):
+    _, result = _big_clustered_result()
+    store.save_result(KEY, result)
+    path = store._path("pairs-factorized", KEY)
+    if damage == "flip":
+        _corrupt_file(path, lambda raw: raw.__setitem__(-200,
+                                                        raw[-200] ^ 0xFF))
+    else:
+        path.write_bytes(path.read_bytes()[:len(path.read_bytes()) // 2])
+    assert store.load_result(KEY) is None
+    assert store.evictions == 1
+    assert not path.exists()
+    # And load_pairset takes the same evict-and-miss path.
+    store.save_result(KEY, result)
+    _corrupt_file(store._path("pairs-factorized", KEY),
+                  lambda raw: raw.__setitem__(-200, raw[-200] ^ 0xFF))
+    assert store.load_pairset(KEY) is None
+    assert store.evictions == 2
+
+
+def test_structurally_invalid_factorized_entry_is_evicted(store):
+    """A checksum-valid but structurally broken payload still never serves."""
+    _, result = _big_clustered_result()
+    store.save_result(KEY, result)
+    arrays, meta = store.get("pairs-factorized", KEY)
+    arrays = dict(arrays)
+    arrays["member_offsets"] = arrays["member_offsets"] + 1
+    store.put("pairs-factorized", KEY, arrays, meta)
+    assert store.load_result(KEY) is None
+    assert store.evictions == 1
+    store.put("pairs-factorized", KEY, arrays, meta)
+    assert store.load_pairset(KEY) is None
+    assert store.evictions == 2
+
+
+def test_store_stats_counts_factorized_entries(store):
+    _, result = _big_clustered_result()
+    store.save_result(KEY, result)
+    store.save_sketches(KEY, np.arange(12, dtype=np.int64).reshape(3, 4))
+    stats = store.stats()
+    assert stats["kinds"]["pairs-factorized"]["entries"] == 1
+    assert stats["kinds"]["pairs-factorized"]["bytes"] > 0
+    assert stats["kinds"]["sketches"]["entries"] == 1
+    assert stats["entries"] == 2
+    assert stats["bytes"] >= sum(k["bytes"] for k in stats["kinds"].values())
+    # Factorised entries are really smaller than the raw equivalent.
+    raw_bytes = 24 * len(result.pairs)
+    assert stats["kinds"]["pairs-factorized"]["bytes"] < raw_bytes
+
+
+# --------------------------------------------------------------------- #
+# fsck: factorised entries are audited
+# --------------------------------------------------------------------- #
+
+def test_fsck_passes_on_healthy_factorized_store(store):
+    dataset, result = _big_clustered_result()
+    key = (dataset.fingerprint(), "cosine", result.backend, ())
+    store.save_result(key, result)
+    store.publish_floor(key, result)
+    report = fsck(store.root)
+    assert report.ok, (report.errors, report.warnings)
+    assert report.stats.get("floor_entries_checked", 0) >= 1
+    assert report.stats.get("floor_entries_invalid", 0) == 0
+
+
+def test_fsck_flags_damaged_factorized_floor_entry(store):
+    _, result = _big_clustered_result()
+    store.save_result(KEY, result)
+    _corrupt_file(store._path("pairs-factorized", KEY),
+                  lambda raw: raw.__setitem__(-100, raw[-100] ^ 0xFF))
+    report = fsck(store.root)
+    assert report.stats.get("floor_entries_invalid", 0) == 1
+    assert any("evicted" in line for line in report.warnings)
+
+
+def test_fsck_flags_structurally_invalid_lineage_entry(store):
+    """A factorised lineage floor that fails structural decode is an error."""
+    dataset, result = _big_clustered_result()
+    key = (dataset.fingerprint(), "cosine", result.backend, ())
+    store.publish_floor(key, result)
+    record = store.manifest().generation(dataset.fingerprint())
+    ref = record.floors[floor_axis(key)]
+    entry_key = lineage_entry_key(ref.sequence, dataset.fingerprint(),
+                                  floor_axis(key))
+    arrays, meta = store.get("lineage", entry_key)
+    assert meta.get("encoding") == "factorized"
+    arrays = dict(arrays)
+    arrays["member_offsets"] = arrays["member_offsets"] + 1
+    store.put("lineage", entry_key, arrays, meta)
+    report = fsck(store.root)
+    assert not report.ok
+    assert any("structural decode" in line for line in report.errors)
+    # And the read path degrades to a miss, never a wrong answer.
+    with store.open_snapshot() as snapshot:
+        assert snapshot.load_result(key) is None
+
+
+# --------------------------------------------------------------------- #
+# Zero-kernel serving through the cached engine
+# --------------------------------------------------------------------- #
+
+def test_factorized_floor_serves_sweeps_with_zero_kernel_calls(tmp_path):
+    dataset, _ = _big_clustered_result()
+    warm = CachedApssEngine(store=SimilarityStore(tmp_path / "store"))
+    reference = warm.search(dataset, 0.6)
+    assert warm.store.entry_count("pairs-factorized") == 1
+    # A fresh engine over the same store: every sweep at or above the
+    # landed threshold is answered from the compressed floor.
+    cold = CachedApssEngine(store=SimilarityStore(tmp_path / "store"))
+    for threshold in (0.6, 0.75, 0.9):
+        served = cold.search(dataset, threshold)
+        assert _tuples(served.pairs) == \
+            [t for t in _tuples(reference.pairs) if t[2] >= threshold]
+    assert cold.engine.search_calls == 0
+
+
+# --------------------------------------------------------------------- #
+# Acceptance: the seeded clustered corpus criteria (tier-1 scale)
+# --------------------------------------------------------------------- #
+
+def _acceptance(tmp_path, *, n_rows: int):
+    from repro.service import SimilarityService
+    from repro.similarity.streaming import TopKReducer
+
+    dataset = make_clustered_vectors(n_rows, 16, 12, separation=6.0,
+                                     cluster_std=0.6, seed=42)
+    engine = ApssEngine()
+    raw = engine.search(dataset, 0.6)
+    pairset = factorize_result(raw)
+
+    # 1. Compression: <= 0.5x raw pair-entry bytes.
+    assert pairset.nbytes() <= 0.5 * 24 * len(raw.pairs)
+
+    # 2. Bit-identical at every swept threshold, zero kernel invocations.
+    calls_before = engine.search_calls
+    for threshold in (0.6, 0.7, 0.8, 0.9):
+        expect = [t for t in _tuples(raw.pairs) if t[2] >= threshold]
+        assert _tuples(pairset.pairs(threshold)) == expect
+    assert _tuples(pairset.iter_pairs(0.85)) == \
+        [t for t in _tuples(raw.pairs) if t[2] >= 0.85]
+    assert engine.search_calls == calls_before
+
+    # 3. Store round trip serves the same floor kernel-free.
+    cold = CachedApssEngine(store=SimilarityStore(tmp_path / "store"))
+    cold.search(dataset, 0.6)
+    assert cold.store.entry_count("pairs-factorized") == 1
+    reopened = CachedApssEngine(store=SimilarityStore(tmp_path / "store"))
+    assert _tuples(reopened.search(dataset, 0.7).pairs) == \
+        [t for t in _tuples(raw.pairs) if t[2] >= 0.7]
+    assert reopened.engine.search_calls == 0
+
+    # 4. top_k_join equals a raw-floor TopKReducer pass.
+    reference = TopKReducer(25)
+    reference.update(
+        np.array([p.first for p in raw.pairs], dtype=np.int64),
+        np.array([p.second for p in raw.pairs], dtype=np.int64),
+        np.array([p.similarity for p in raw.pairs]))
+    with SimilarityService(tmp_path / "svc") as service:
+        session = service.open_session("acceptance")
+        session.sweep(dataset, 0.6)
+        joined = session.top_k_join(dataset, 25, 0.6)
+        assert joined.source == "store-factorized"
+        assert _tuples(joined.pairs) == _tuples(reference.pairs())
+        assert service.engine.search_calls == 1  # only the sweep
+
+
+def test_acceptance_clustered_corpus(tmp_path):
+    _acceptance(tmp_path, n_rows=1200)
+
+
+@pytest.mark.slow
+def test_acceptance_clustered_corpus_full_scale(tmp_path):
+    """The literal ISSUE criterion: >= 5000 rows."""
+    _acceptance(tmp_path, n_rows=5000)

@@ -1,9 +1,9 @@
 """Tier-1 enforcement of the pydocstyle-lite (D1xx) documentation floor.
 
 Runs ``tools/check_docstrings.py`` over its default roots (the public
-similarity, store, LSH and core-session seams) — the same check CI runs as
-a standalone step — so a public symbol without at least a one-line summary
-fails the default test lane too, not just the docs job.
+similarity, store, LSH, core-session and service seams) — the same check
+CI runs as a standalone step — so a public symbol without at least a
+one-line summary fails the default test lane too, not just the docs job.
 """
 
 from __future__ import annotations
@@ -22,7 +22,7 @@ CHECKED_ROOTS = [REPO_ROOT / root for root in check_docstrings.DEFAULT_ROOTS]
 def test_default_roots_cover_all_refactored_layers():
     assert [str(r) for r in check_docstrings.DEFAULT_ROOTS] == [
         "src/repro/similarity", "src/repro/store",
-        "src/repro/lsh", "src/repro/core"]
+        "src/repro/lsh", "src/repro/core", "src/repro/service"]
 
 
 def test_public_similarity_and_store_seams_are_documented():

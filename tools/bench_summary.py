@@ -262,6 +262,61 @@ def render_service(rows: list[dict], baseline_rows: list[dict] | None
     return "\n".join(lines)
 
 
+#: Factorised pair-set metrics surfaced per workload, as
+#: ``(json key, display label, unit)``.
+PAIRSETS_TIME_KEYS = (
+    ("factorize_ms", "factorize", "ms"),
+    ("decompress_ms", "decompress", "ms"),
+    ("topk_ms", "top-k", "ms"),
+    ("topk_raw_ms", "top-k raw", "ms"),
+)
+
+
+def render_pairsets(rows: list[dict], baseline_rows: list[dict] | None
+                    ) -> str:
+    """Markdown table for the ``bench_pairsets.py`` compression metrics.
+
+    One row per workload: the compression ratio (the machine-speed-free
+    signal — growth against the checked-in baseline is the regression
+    marker), the chosen encoding, and encode/decompress/top-k timings
+    (trend only).  A workload whose decompression stopped being
+    bit-identical is marked regardless of baseline.
+    """
+    by_workload = {row.get("workload"): row for row in baseline_rows or []}
+    header = ["workload", "pairs", "encoding", "ratio", "factorize",
+              "decompress", "top-k", "top-k raw"]
+    if by_workload:
+        header += ["baseline ratio", "Δ ratio"]
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "|".join("---" for _ in header) + "|"]
+    for row in rows:
+        ratio = row.get("ratio")
+        broken = not (row.get("identical", True)
+                      and row.get("topk_identical", True))
+        marker = " ⚠️ not bit-identical" if broken else ""
+        cells = [str(row.get("workload", "—")),
+                 str(row.get("n_pairs", "—")),
+                 f"`{row.get('encoding', '—')}`",
+                 (f"{ratio:.2f}{marker}"
+                  if isinstance(ratio, (int, float)) else "—")]
+        for key, _, unit in PAIRSETS_TIME_KEYS:
+            value = row.get(key)
+            cells.append(f"{value:.1f}{unit}"
+                         if isinstance(value, (int, float)) else "—")
+        if by_workload:
+            base = by_workload.get(row.get("workload")) or {}
+            base_ratio = base.get("ratio")
+            if isinstance(base_ratio, (int, float)) and base_ratio > 0 \
+                    and isinstance(ratio, (int, float)):
+                delta_pct = 100.0 * (ratio - base_ratio) / base_ratio
+                worse = " ⚠️" if delta_pct > HIGHLIGHT_PCT else ""
+                cells += [f"{base_ratio:.2f}", f"{delta_pct:+.1f}%{worse}"]
+            else:
+                cells += ["—", "new"]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; prints markdown suitable for $GITHUB_STEP_SUMMARY."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -285,6 +340,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="also append the bench_service.py multi-tenant "
                              "trace trend table (p50/p99/coalescing) from "
                              "this run JSON")
+    parser.add_argument("--pairsets", type=Path, default=None,
+                        metavar="PATH",
+                        help="also append the bench_pairsets.py factorised "
+                             "pair-set trend table (compression ratio, "
+                             "decompression/top-k timings) from this run "
+                             "JSON")
     parser.add_argument("--title", default="APSS backend matrix — trend vs "
                                            "checked-in baseline")
     parser.add_argument("--fail-above", type=float, default=None,
@@ -352,6 +413,20 @@ def main(argv: list[str] | None = None) -> int:
         print("\n### Session server — multi-tenant trace p50/p99 & "
               "coalescing\n")
         print(render_service(service_rows, service_baseline))
+    if args.pairsets is not None and args.pairsets.exists():
+        pairsets_rows, pairsets_smoke = load_rows(args.pairsets)
+        pairsets_baseline = None
+        if args.baseline is not None and args.baseline.is_dir():
+            name = ("pairsets_smoke.json" if pairsets_smoke
+                    else "pairsets.json")
+            base_path = args.baseline / name
+            if base_path.exists():
+                pairsets_baseline = load_rows(base_path)[0]
+        elif args.baseline is not None and args.baseline.exists():
+            pairsets_baseline = load_rows(args.baseline)[0]
+        print("\n### Factorised pair-set store — compression & "
+              "decompression\n")
+        print(render_pairsets(pairsets_rows, pairsets_baseline))
     if args.fail_above is not None:
         over = [r for r in regressions if r[2] > args.fail_above]
         if over:

@@ -3,7 +3,8 @@
 
 A dependency-free subset of pydocstyle's D1xx family, run by CI (and by
 ``tests/test_docstrings.py``) over ``src/repro/similarity``,
-``src/repro/store``, ``src/repro/lsh`` and ``src/repro/core``:
+``src/repro/store``, ``src/repro/lsh``, ``src/repro/core`` and
+``src/repro/service``:
 
 * **D100** — public module missing a docstring;
 * **D101** — public class missing a docstring;
@@ -29,7 +30,7 @@ from pathlib import Path
 
 #: Default roots checked when no arguments are given (repo-relative).
 DEFAULT_ROOTS = ("src/repro/similarity", "src/repro/store",
-                 "src/repro/lsh", "src/repro/core")
+                 "src/repro/lsh", "src/repro/core", "src/repro/service")
 
 
 def _is_overload(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:

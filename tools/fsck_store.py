@@ -9,7 +9,13 @@ store directory:
 * every entry referenced by any on-disk manifest exists and validates
   (magic, schema, checksum, recorded key);
 * every delta floor in the current manifest resolves through its parent
-  chain to a full floor.
+  chain to a full floor;
+* every factorised pair-set entry (``pairs-factorized`` floors and
+  ``encoding: factorized`` lineage entries) passes the structural decode
+  that :meth:`FactorizedPairSet.from_arrays` enforces — offset tables
+  tile, members sort, value lengths match — so a corrupt compressed
+  floor surfaces here as well as at read time (where it is evicted and
+  recomputed, never served wrong).
 
 Collectable debris — orphaned lineage entries, stray temp files — is
 reported as warnings by default and promoted to errors with
