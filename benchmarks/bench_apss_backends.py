@@ -25,11 +25,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 
 from repro.datasets import make_clustered_vectors, make_sparse_corpus
-from repro.similarity import ApssEngine, available_backends
+from repro.similarity import ApssEngine, available_backends, reset_shared_pools
+from repro.similarity.backends.sharded import STRAGGLER_ENV_VAR
 
 #: Backends the registry must expose; a missing name means a backend module
 #: failed to import or register, which CI should treat as a hard failure.
@@ -192,6 +194,139 @@ def format_table(rows: list[dict]) -> str:
 
 
 # --------------------------------------------------------------------- #
+# Straggler scenario: work stealing vs static shard binding
+# --------------------------------------------------------------------- #
+
+#: Slowdown applied to worker slot 0 (via ``REPRO_APSS_STRAGGLER``): every
+#: shard it computes takes 10x longer, the canonical "one bad core" case.
+STRAGGLER_FACTOR = 10.0
+
+#: Floor the stealing-vs-static speedup must clear with one worker slowed
+#: ``STRAGGLER_FACTOR``x.  The ideal is ~(slots + factor - 1) / factor
+#: (static waits for the straggler's whole stripe; stealing leaves it one
+#: shard); 1.5x leaves generous headroom for scheduling overhead on small
+#: CI machines.
+STRAGGLER_MIN_SPEEDUP = 1.5
+
+
+def _straggler_workload(smoke: bool):
+    if smoke:
+        return make_clustered_vectors(1000, 96, 8, separation=4.0, seed=53,
+                                      name="straggler-1000x96"), 0.5
+    return make_clustered_vectors(1600, 160, 10, separation=4.0, seed=53,
+                                  name="straggler-1600x160"), 0.5
+
+
+def run_straggler(smoke: bool = True, n_workers: int = 4,
+                  repeats: int = 3) -> list[dict]:
+    """Time static-bound vs stealing shard execution with a slowed worker.
+
+    Worker slot 0 is slowed ``STRAGGLER_FACTOR``x through the
+    ``REPRO_APSS_STRAGGLER`` hook (the sleep is proportional to each shard's
+    measured kernel time, so the ratio is machine-free).  Static binding
+    (``steal="bound"``: same queue, stealing off) must wait for the
+    straggler's entire stripe; stealing redistributes it.  Both modes must
+    return identical pairs; rows report per-mode seconds, the per-worker
+    claim counters and the stealing row's ``speedup_vs_static``.
+    """
+    engine = ApssEngine()
+    dataset, threshold = _straggler_workload(smoke)
+    # Size blocks so the plan really has shards_per_worker shards per slot —
+    # the default memory budget would fit the whole bench dataset in one
+    # block, collapsing both modes to a single shard.  Fine shards (8 per
+    # worker) keep the straggler's marginal claim cheap, which tightens the
+    # run-to-run spread on small machines.
+    shards_per_worker = 8
+    options = dict(n_workers=n_workers, shards_per_worker=shards_per_worker,
+                   block_rows=max(1, dataset.n_rows
+                                  // (n_workers * shards_per_worker)))
+    previous = os.environ.get(STRAGGLER_ENV_VAR)
+    os.environ[STRAGGLER_ENV_VAR] = str(STRAGGLER_FACTOR)
+    reset_shared_pools()
+    try:
+        # Warm the slowed pool and publish the dataset once, off the clock.
+        engine.search(dataset, threshold, "cosine", backend="sharded-blocked",
+                      steal=True, **options)
+        rows = []
+        reference_pairs = None
+        static_seconds = None
+        for label, steal in (("static-bound", "bound"), ("stealing", True)):
+            best = None
+            for _ in range(repeats):
+                result = engine.search(dataset, threshold, "cosine",
+                                       backend="sharded-blocked", steal=steal,
+                                       **options)
+                if best is None or result.seconds < best.seconds:
+                    best = result
+            pairs = [p.as_tuple() for p in best.pairs]
+            if reference_pairs is None:
+                reference_pairs = pairs
+            assert pairs == reference_pairs, (
+                f"{label} returned different pairs under the straggler")
+            if label == "static-bound":
+                static_seconds = best.seconds
+            rows.append({
+                "scenario": "straggler",
+                "workload": dataset.name,
+                "n_workers": n_workers,
+                "n_shards": best.details["n_shards"],
+                "straggler_factor": STRAGGLER_FACTOR,
+                "mode": label,
+                "steal": best.details["steal"],
+                "claims": {str(slot): count for slot, count
+                           in sorted(best.details["claims"].items())},
+                "pairs": len(pairs),
+                "seconds": best.seconds,
+                "speedup_vs_static": (static_seconds / best.seconds
+                                      if label == "stealing" else None),
+            })
+        return rows
+    finally:
+        if previous is None:
+            os.environ.pop(STRAGGLER_ENV_VAR, None)
+        else:
+            os.environ[STRAGGLER_ENV_VAR] = previous
+        reset_shared_pools()
+
+
+def check_straggler(rows: list[dict]) -> None:
+    """Assert stealing actually rescues the straggler workload."""
+    by_mode = {row["mode"]: row for row in rows}
+    stealing = by_mode["stealing"]
+    static = by_mode["static-bound"]
+    speedup = stealing["speedup_vs_static"]
+    assert speedup is not None and speedup >= STRAGGLER_MIN_SPEEDUP, (
+        f"stealing only {speedup:.2f}x faster than static binding with a "
+        f"{STRAGGLER_FACTOR:g}x-slowed worker (static {static['seconds']:.3f}s,"
+        f" stealing {stealing['seconds']:.3f}s); floor is "
+        f"{STRAGGLER_MIN_SPEEDUP}x")
+    # The straggler must visibly shed work to its peers.  Which queue slot
+    # runs on the slowed *process* is the pool's choice, so the signature is
+    # the redistribution itself: static binding claims exactly one stripe
+    # per slot, stealing must end with somebody under it and somebody over.
+    stripe = static["n_shards"] // static["n_workers"]
+    assert all(count == stripe for count in static["claims"].values()), (
+        f"static binding did not claim exact stripes: {static['claims']}")
+    counts = stealing["claims"].values()
+    assert min(counts) < stripe < max(counts), (
+        f"stealing did not redistribute the straggler's stripe: "
+        f"{stealing['claims']}")
+
+
+def format_straggler_table(rows: list[dict]) -> str:
+    header = (f"{'mode':<14} {'shards':>7} {'claims[0]':>10} "
+              f"{'seconds':>10} {'vs static':>10}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        speedup = (f"{row['speedup_vs_static']:.2f}x"
+                   if row["speedup_vs_static"] else "-")
+        lines.append(f"{row['mode']:<14} {row['n_shards']:>7} "
+                     f"{row['claims']['0']:>10} {row['seconds']:>10.4f} "
+                     f"{speedup:>10}")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
 # pytest-benchmark harness (smoke scale)
 # --------------------------------------------------------------------- #
 
@@ -211,6 +346,13 @@ def test_apss_backend_matrix(benchmark, record):
         assert blocked["seconds"] * 5 < loop["seconds"], (
             f"exact-blocked only {loop['seconds'] / blocked['seconds']:.1f}x "
             f"faster on {workload}")
+
+
+def test_straggler_stealing_beats_static_binding(record):
+    """Smoke-scale straggler scenario: stealing must rescue a slowed worker."""
+    rows = run_straggler(smoke=True)
+    record("straggler_smoke", rows)
+    check_straggler(rows)
 
 
 # --------------------------------------------------------------------- #
@@ -244,19 +386,36 @@ def main(argv=None) -> int:
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write the matrix rows as machine-readable "
                              "JSON to PATH (uploaded as a CI artifact)")
+    parser.add_argument("--straggler", action="store_true",
+                        help="run the straggler scenario instead of the "
+                             "matrix: one worker slowed 10x, stealing vs "
+                             "static shard binding")
     args = parser.parse_args(argv)
 
     check_registry()
     if args.check:
         print(f"backend registry ok: {sorted(available_backends())}")
         return 0
-    rows = run_matrix(smoke=args.smoke)
-    check_matrix(rows)
-    print(format_table(rows))
 
     from conftest import record_result
 
     suffix = "_smoke" if args.smoke else ""
+    if args.straggler:
+        rows = run_straggler(smoke=args.smoke)
+        print(format_straggler_table(rows))
+        check_straggler(rows)
+        path = record_result(f"straggler{suffix}", rows)
+        print(f"\nresults written to {path}")
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(rows, handle, indent=2, default=float)
+            print(f"machine-readable straggler rows written to {args.json}")
+        return 0
+
+    rows = run_matrix(smoke=args.smoke)
+    check_matrix(rows)
+    print(format_table(rows))
+
     path = record_result(f"apss_backend_matrix{suffix}", rows)
     print(f"\nresults written to {path}")
     if args.json:

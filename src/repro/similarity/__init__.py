@@ -45,6 +45,12 @@ from repro.similarity.partition import (
     partition_blocks,
     partition_delta_blocks,
     resolve_worker_count,
+    shard_owner,
+)
+from repro.similarity.stealing import (
+    ShardQueue,
+    ShardQueueClient,
+    ShardQueueDescriptor,
 )
 
 __all__ = [
@@ -81,6 +87,10 @@ __all__ = [
     "resolve_worker_count",
     "InlineShardExecutor",
     "ShardExecutionError",
+    "ShardQueue",
+    "ShardQueueClient",
+    "ShardQueueDescriptor",
+    "shard_owner",
     "iter_similarity_blocks_sharded",
     "reset_shared_pools",
 ]

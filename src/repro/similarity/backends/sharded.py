@@ -46,20 +46,24 @@ from __future__ import annotations
 
 import atexit
 import os
+import shutil
+import tempfile
+import time
 from collections import deque
 from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import wait as _wait_futures
 from typing import Iterator
 
 import numpy as np
 
 from repro.datasets.vectors import DatasetDelta, VectorDataset
-from repro.similarity import shm
+from repro.similarity import shm, stealing
 from repro.similarity.backends.base import (ApssBackend, BackendOutput,
                                             register_backend)
 from repro.similarity.partition import (BlockShard, block_ranges,
                                         partition_blocks,
                                         partition_delta_blocks,
-                                        resolve_worker_count)
+                                        resolve_worker_count, shard_owner)
 from repro.similarity.streaming import (DEFAULT_MEMORY_BUDGET_MB,
                                         STREAMING_MEASURES, HistogramReducer,
                                         SelectionSketch, TopKReducer,
@@ -68,6 +72,7 @@ from repro.similarity.streaming import (DEFAULT_MEMORY_BUDGET_MB,
 from repro.similarity.types import SimilarPair
 
 __all__ = [
+    "STRAGGLER_ENV_VAR",
     "ShardExecutionError",
     "InjectedShardFault",
     "InlineShardExecutor",
@@ -76,6 +81,14 @@ __all__ = [
     "run_delta_shards",
     "reset_shared_pools",
 ]
+
+#: Environment variable simulating a straggler: when set to a factor > 1,
+#: the worker claiming pool slot 0 runs its block kernel that many times
+#: slower (it sleeps ``(factor - 1) x`` each block's measured compute time).
+#: The CI straggler lane and the scheduling benchmark use this to prove the
+#: work-stealing queue redistributes load; it is exact at any machine speed
+#: because the slowdown scales with the real kernel time.
+STRAGGLER_ENV_VAR = "REPRO_APSS_STRAGGLER"
 
 
 class ShardExecutionError(RuntimeError):
@@ -90,6 +103,23 @@ class ShardExecutionError(RuntimeError):
 
 class InjectedShardFault(RuntimeError):
     """Raised inside a worker by the fault-injection hook (test harness)."""
+
+
+class _StolenShardFailure(Exception):
+    """Picklable carrier of a shard failure through a steal runner.
+
+    A steal runner executes *many* shards per task, so a raw exception from
+    the pool would lose which shard died.  ``args`` carry both fields (the
+    default ``Exception`` pickling round-trips them across the process
+    boundary — exception ``__cause__`` chains do not survive pickling), and
+    the parent re-raises :class:`ShardExecutionError` *from* ``cause`` so
+    callers still see the original fault as the cause.
+    """
+
+    def __init__(self, shard_id: int, cause: BaseException) -> None:
+        super().__init__(shard_id, cause)
+        self.shard_id = shard_id
+        self.cause = cause
 
 
 class InlineShardExecutor:
@@ -118,6 +148,61 @@ class InlineShardExecutor:
 # --------------------------------------------------------------------- #
 # Worker side: module-level, picklable, spawn-safe
 # --------------------------------------------------------------------- #
+
+#: Per-process kernel slowdown factor, set by :func:`_worker_init` in the
+#: worker that claims pool slot 0 when the straggler lane is active.
+_SLOWDOWN = 1.0
+
+
+def _compute_block(matrix, transposed, sizes, start: int, stop: int,
+                   measure: str, columns_from: int = 0) -> np.ndarray:
+    """The block kernel plus the straggler throttle.
+
+    Every worker-side kernel invocation goes through here so the simulated
+    straggler (:data:`STRAGGLER_ENV_VAR`) slows *all* paths — search, stream
+    and delta — proportionally to their real compute time.
+    """
+    began = time.perf_counter()
+    slab = compute_block_slab(matrix, transposed, sizes, start, stop, measure,
+                              columns_from=columns_from)
+    if _SLOWDOWN > 1.0:
+        time.sleep((_SLOWDOWN - 1.0) * (time.perf_counter() - began))
+    return slab
+
+
+def _claim_pool_slot(token_dir: str, n_workers: int) -> int:
+    """Claim this worker's pool slot: first free ``O_EXCL`` token wins."""
+    for slot in range(n_workers):
+        try:
+            fd = os.open(os.path.join(token_dir, f"w-{slot}"),
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue
+        os.close(fd)
+        return slot
+    return 0  # pragma: no cover - a restarted worker beyond the slot count
+
+
+def _worker_init(token_dir: str, n_workers: int, slowdown: float,
+                 pin: bool) -> None:
+    """Pool initializer for the straggler/affinity lanes.
+
+    Each worker claims a distinct slot token; slot 0 becomes the straggler
+    when *slowdown* > 1, and with *pin* each worker sets its CPU affinity to
+    one core of the process's allowed set (``os.sched_setaffinity`` where
+    available — a no-op elsewhere, so the option is portable).
+    """
+    global _SLOWDOWN
+    slot = _claim_pool_slot(token_dir, n_workers)
+    if slowdown > 1.0 and slot == 0:
+        _SLOWDOWN = float(slowdown)
+    if pin and hasattr(os, "sched_setaffinity"):
+        try:
+            cpus = sorted(os.sched_getaffinity(0))
+            os.sched_setaffinity(0, {cpus[slot % len(cpus)]})
+        except OSError:  # pragma: no cover - affinity denied by the platform
+            pass
+
 
 def _shard_payload(dataset: VectorDataset, measure: str,
                    use_shared_memory: bool) -> tuple:
@@ -198,8 +283,8 @@ def _search_shard(payload: tuple, shard: BlockShard, threshold: float,
             raise InjectedShardFault(
                 f"injected fault in shard {shard.shard_id} at block "
                 f"[{start}, {stop})")
-        slab = compute_block_slab(matrix, transposed, sizes, start, stop,
-                                  measure, columns_from=start)
+        slab = _compute_block(matrix, transposed, sizes, start, stop,
+                              measure, columns_from=start)
         row_ids = np.arange(start, stop)
         col_ids = np.arange(start, n)
         keep = (slab >= threshold) & (col_ids[None, :] > row_ids[:, None])
@@ -226,7 +311,7 @@ def _stream_block(payload: tuple, start: int, stop: int,
         raise InjectedShardFault(
             f"injected fault streaming block [{start}, {stop})")
     matrix, transposed, sizes, measure = _prepare(payload)
-    slab = compute_block_slab(matrix, transposed, sizes, start, stop, measure)
+    slab = _compute_block(matrix, transposed, sizes, start, stop, measure)
     if slot_name is not None:
         return shm.write_slab(slot_name, slab)
     return slab
@@ -274,8 +359,7 @@ def _delta_shard(payload: tuple, shard: BlockShard, threshold: float | None,
             raise InjectedShardFault(
                 f"injected fault in delta shard {shard.shard_id} at block "
                 f"[{start}, {stop})")
-        slab = compute_block_slab(matrix, transposed, sizes, start, stop,
-                                  measure)
+        slab = _compute_block(matrix, transposed, sizes, start, stop, measure)
         row_ids = np.arange(start, stop)
         col_ids = np.arange(slab.shape[1])
         new_pair = col_ids[None, :] < row_ids[:, None]
@@ -302,11 +386,125 @@ def _delta_shard(payload: tuple, shard: BlockShard, threshold: float | None,
             np.concatenate(out_v), states)
 
 
+def _empty_chunk() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """An empty ``(i, j, v)`` pair chunk with the canonical dtypes."""
+    empty = np.empty(0)
+    return empty.astype(np.int64), empty.astype(np.int64), empty
+
+
+def _steal_search_worker(payload: tuple, descriptor, shards: tuple,
+                         threshold: float, worker_slot: int,
+                         allow_steal: bool = True,
+                         inject_shard_fault: int | None = None,
+                         claim_gate=None):
+    """One steal runner: claim shards from the queue until it drains.
+
+    Returns ``(worker_slot, claimed_shard_ids, (i, j, v))`` — the claim list
+    is the audit trail the parent cross-checks for exactly-once coverage and
+    publishes as per-worker claim counters.  A shard that fails (kernel error
+    or injected fault) surfaces as :class:`_StolenShardFailure` so the parent
+    can attribute the failure even though this task ran many shards.
+    """
+    client = stealing.ShardQueueClient(descriptor, worker_slot,
+                                       steal=allow_steal,
+                                       claim_gate=claim_gate)
+    claimed: list[int] = []
+    chunks: list[tuple] = []
+    while True:
+        try:
+            item = client.claim()
+        except stealing.ClaimFault as fault:
+            raise _StolenShardFailure(shards[fault.item].shard_id, fault.cause)
+        if item is None:
+            break
+        shard = shards[item]
+        try:
+            chunk = _search_shard(payload, shard, threshold,
+                                  fail=shard.shard_id == inject_shard_fault)
+        except BaseException as exc:  # noqa: BLE001 - attributed to the shard
+            raise _StolenShardFailure(shard.shard_id, exc)
+        claimed.append(shard.shard_id)
+        chunks.append(chunk)
+    if not chunks:
+        return worker_slot, claimed, _empty_chunk()
+    return worker_slot, claimed, (
+        np.concatenate([c[0] for c in chunks]),
+        np.concatenate([c[1] for c in chunks]),
+        np.concatenate([c[2] for c in chunks]))
+
+
+def _steal_delta_worker(payload: tuple, descriptor, shards: tuple,
+                        threshold: float | None,
+                        reducer_specs: dict | None, worker_slot: int,
+                        allow_steal: bool = True,
+                        inject_shard_fault: int | None = None,
+                        claim_gate=None):
+    """The delta-ingest twin of :func:`_steal_search_worker`.
+
+    Returns ``(worker_slot, claimed_shard_ids, (i, j, v), reducer_states)``
+    where *reducer_states* is the list of per-shard ``state()`` payload dicts
+    in claim order — merge commutativity makes that order irrelevant to the
+    folded result.
+    """
+    client = stealing.ShardQueueClient(descriptor, worker_slot,
+                                       steal=allow_steal,
+                                       claim_gate=claim_gate)
+    claimed: list[int] = []
+    chunks: list[tuple] = []
+    states: list[dict] = []
+    while True:
+        try:
+            item = client.claim()
+        except stealing.ClaimFault as fault:
+            raise _StolenShardFailure(shards[fault.item].shard_id, fault.cause)
+        if item is None:
+            break
+        shard = shards[item]
+        try:
+            first, second, values, shard_states = _delta_shard(
+                payload, shard, threshold, reducer_specs,
+                fail=shard.shard_id == inject_shard_fault)
+        except BaseException as exc:  # noqa: BLE001 - attributed to the shard
+            raise _StolenShardFailure(shard.shard_id, exc)
+        claimed.append(shard.shard_id)
+        chunks.append((first, second, values))
+        states.append(shard_states)
+    if not chunks:
+        return worker_slot, claimed, _empty_chunk(), states
+    return worker_slot, claimed, (
+        np.concatenate([c[0] for c in chunks]),
+        np.concatenate([c[1] for c in chunks]),
+        np.concatenate([c[2] for c in chunks])), states
+
+
 # --------------------------------------------------------------------- #
 # Shared process pools (amortise pool start-up across searches)
 # --------------------------------------------------------------------- #
 
-_POOLS: dict[int, ProcessPoolExecutor] = {}
+#: Keyed by ``(n_workers, pin_workers, straggler_factor)``: pools differing
+#: in affinity or straggler configuration must not be conflated — an
+#: affinity-pinned pool serving an unpinned search (or vice versa) would make
+#: the execution option silently sticky.
+_POOLS: dict[tuple, ProcessPoolExecutor] = {}
+
+#: Slot-token directories owned by live pools, removed on pool reset.
+_POOL_TOKEN_DIRS: list[str] = []
+
+
+def _resolve_straggler() -> float:
+    """The straggler slowdown factor from :data:`STRAGGLER_ENV_VAR` (>= 1)."""
+    env = os.environ.get(STRAGGLER_ENV_VAR, "").strip()
+    if not env:
+        return 1.0
+    try:
+        factor = float(env)
+    except ValueError:
+        raise ValueError(
+            f"{STRAGGLER_ENV_VAR} must be a number, got {env!r}") from None
+    if factor < 1.0:
+        raise ValueError(
+            f"{STRAGGLER_ENV_VAR} must be >= 1, got {factor}")
+    return factor
 
 
 def _disown_pools_after_fork() -> None:  # pragma: no cover - via children
@@ -318,14 +516,17 @@ def _disown_pools_after_fork() -> None:  # pragma: no cover - via children
     poolless and build their own on first use.
     """
     _POOLS.clear()
+    _POOL_TOKEN_DIRS.clear()
 
 
 if hasattr(os, "register_at_fork"):
     os.register_at_fork(after_in_child=_disown_pools_after_fork)
 
 
-def _shared_pool(n_workers: int) -> ProcessPoolExecutor:
-    pool = _POOLS.get(n_workers)
+def _shared_pool(n_workers: int, pin: bool = False) -> ProcessPoolExecutor:
+    slowdown = _resolve_straggler()
+    key = (n_workers, bool(pin), slowdown)
+    pool = _POOLS.get(key)
     if pool is not None and getattr(pool, "_broken", False):
         # A worker died abnormally (OOM kill, segfault): the pool is
         # permanently broken.  Evict and rebuild so one transient fault
@@ -338,8 +539,15 @@ def _shared_pool(n_workers: int) -> ProcessPoolExecutor:
         shm.release_datasets()
         pool = None
     if pool is None:
-        pool = ProcessPoolExecutor(max_workers=n_workers)
-        _POOLS[n_workers] = pool
+        if pin or slowdown > 1.0:
+            token_dir = tempfile.mkdtemp(prefix="repro-pool-")
+            _POOL_TOKEN_DIRS.append(token_dir)
+            pool = ProcessPoolExecutor(
+                max_workers=n_workers, initializer=_worker_init,
+                initargs=(token_dir, n_workers, slowdown, bool(pin)))
+        else:
+            pool = ProcessPoolExecutor(max_workers=n_workers)
+        _POOLS[key] = pool
     return pool
 
 
@@ -379,6 +587,9 @@ def reset_shared_pools(wait: bool = False) -> None:
             if process.is_alive():
                 process.kill()
                 process.join(5.0)
+    while _POOL_TOKEN_DIRS:
+        shutil.rmtree(_POOL_TOKEN_DIRS.pop(), ignore_errors=True)
+    stealing.release_queues()
     shm.release_all()
 
 
@@ -390,13 +601,14 @@ def _shutdown_pools() -> None:  # pragma: no cover - interpreter teardown
     reset_shared_pools(wait=True)
 
 
-def _resolve_executor(n_workers: int, executor_factory):
+def _resolve_executor(n_workers: int, executor_factory,
+                      pin_workers: bool = False):
     """Return ``(executor, owned)``; *owned* executors are shut down per call."""
     if executor_factory is not None:
         return executor_factory(n_workers), True
     if n_workers == 1:
         return InlineShardExecutor(), False
-    return _shared_pool(n_workers), False
+    return _shared_pool(n_workers, pin=pin_workers), False
 
 
 def _gather(ordered_futures, *, owned_executor=None):
@@ -424,6 +636,51 @@ def _gather(ordered_futures, *, owned_executor=None):
             raise ShardExecutionError(
                 f"streamed block [{tag[0]}, {tag[1]}) failed: {exc}",
                 block=tuple(tag)) from exc
+
+
+def _gather_steal(slot_futures, *, owned_executor=None) -> list:
+    """Collect steal-runner results; attribute failures to shards.
+
+    The steal twin of :func:`_gather`: one future per worker slot, each
+    covering every shard its runner claimed.  A :class:`_StolenShardFailure`
+    re-raises as :class:`ShardExecutionError` *from the original cause* so
+    fault attribution (shard id + ``__cause__``) is identical to the static
+    path; any other runner death is reported against the worker slot.
+    """
+    results = []
+    pending = list(slot_futures)
+    for position, (slot, future) in enumerate(pending):
+        try:
+            results.append(future.result())
+        except Exception as exc:
+            for _, leftover in pending[position + 1:]:
+                leftover.cancel()
+            if owned_executor is not None:
+                owned_executor.shutdown(wait=False, cancel_futures=True)
+            if isinstance(exc, _StolenShardFailure):
+                raise ShardExecutionError(
+                    f"shard {exc.shard_id} failed: {exc.cause}",
+                    shard_id=exc.shard_id) from exc.cause
+            raise ShardExecutionError(
+                f"steal worker {slot} failed: {exc}") from exc
+    return results
+
+
+def _check_claim_coverage(results, shards) -> dict[int, int]:
+    """Cross-check exactly-once claim coverage; return per-slot claim counts.
+
+    The queue's ``O_EXCL`` protocol makes double claims impossible and the
+    drain loop makes missed claims impossible — but a scheduling bug here
+    would silently drop or duplicate pairs, so the parent re-derives coverage
+    from the runners' own claim lists and fails loudly on any mismatch.
+    """
+    claimed = sorted(shard_id for _, ids, *_ in results for shard_id in ids)
+    expected = sorted(shard.shard_id for shard in shards)
+    if claimed != expected:
+        raise ShardExecutionError(
+            f"work-stealing queue covered shards {claimed}, expected "
+            f"{expected}")
+    return {slot: len(ids) for slot, ids, *_ in results}
 
 
 def _canonical_pair_list(chunks) -> list[SimilarPair]:
@@ -465,6 +722,25 @@ class ShardedBlockedBackend(ApssBackend):
         Whether multi-worker passes move the CSR payload through shared
         memory (default).  Purely a transport choice — results are
         bit-identical either way — so it lives in ``execution_options``.
+    steal:
+        Shard scheduling discipline.  ``None`` (default) resolves to work
+        stealing for multi-worker searches: one runner task per worker claims
+        shards dynamically from a :class:`~repro.similarity.stealing.ShardQueue`
+        (own stripe first, then stealing from the most-loaded peer), so a
+        slow worker straggles at most its in-flight shard.  ``True`` forces
+        the queue, ``"bound"`` runs the queue with stealing disabled (true
+        static binding — each worker executes exactly its stripe; the
+        comparator the straggler benchmark measures against), and ``False``
+        keeps the legacy one-task-per-shard fan-out.  All four produce
+        bit-identical results.
+    borrow_slabs:
+        Streaming-path option (forwarded by the engine's block-stream
+        dispatch): hand consumers read-only borrowed views of ring slots
+        instead of copies.  See :func:`iter_similarity_blocks_sharded`.
+    pin_workers:
+        Pin each pool worker to one CPU core via ``os.sched_setaffinity``
+        (no-op on platforms without it).  Execution-only: results are
+        identical, scheduling jitter shrinks.
     inject_shard_fault:
         Fault-injection hook: the shard with this id raises
         :class:`InjectedShardFault` mid-stream.  Exists so the failure path
@@ -479,7 +755,8 @@ class ShardedBlockedBackend(ApssBackend):
     #: ``inject_shard_fault`` is deliberately NOT here: it changes the
     #: outcome (the search raises), so a cached sweep must not swallow it.
     execution_options = ("n_workers", "shards_per_worker", "partition_strategy",
-                         "executor_factory", "use_shared_memory")
+                         "executor_factory", "use_shared_memory", "steal",
+                         "borrow_slabs", "pin_workers")
 
     def __init__(self, n_workers: int | None = None,
                  block_rows: int | None = None,
@@ -488,6 +765,9 @@ class ShardedBlockedBackend(ApssBackend):
                  partition_strategy: str = "striped",
                  executor_factory=None,
                  use_shared_memory: bool = True,
+                 steal=None,
+                 borrow_slabs: bool = True,
+                 pin_workers: bool = False,
                  inject_shard_fault: int | None = None) -> None:
         if block_rows is not None and block_rows <= 0:
             raise ValueError("block_rows must be positive")
@@ -495,6 +775,9 @@ class ShardedBlockedBackend(ApssBackend):
             raise ValueError("memory_budget_mb must be positive")
         if shards_per_worker < 1:
             raise ValueError("shards_per_worker must be at least 1")
+        if steal not in (None, True, False, "bound"):
+            raise ValueError(f"steal must be None, True, False or 'bound', "
+                             f"got {steal!r}")
         self.n_workers = resolve_worker_count(n_workers)
         self.block_rows = block_rows
         self.memory_budget_mb = float(memory_budget_mb)
@@ -502,20 +785,46 @@ class ShardedBlockedBackend(ApssBackend):
         self.partition_strategy = partition_strategy
         self.executor_factory = executor_factory
         self.use_shared_memory = bool(use_shared_memory)
+        self.steal = steal
+        self.borrow_slabs = bool(borrow_slabs)
+        self.pin_workers = bool(pin_workers)
         self.inject_shard_fault = inject_shard_fault
         # Validate eagerly so typos fail at construction, not mid-search.
         partition_blocks(2, 1, 1, strategy=partition_strategy)
 
+    def _steal_mode(self) -> str | None:
+        """Resolve the scheduling discipline: ``"steal"``, ``"bound"`` or ``None``.
+
+        ``None`` means the legacy one-task-per-shard fan-out.  Single-worker
+        searches never use the queue — there is nobody to steal from and the
+        inline path has no pool to schedule.
+        """
+        if self.n_workers <= 1:
+            return None
+        if self.steal is None or self.steal is True:
+            return "steal"
+        if self.steal == "bound":
+            return "bound"
+        return None
+
     @classmethod
     def parity_variants(cls) -> list[dict]:
-        """Parity-check the scheduling seams: worker counts and transports.
+        """Parity-check the scheduling seams: worker counts, scheduling, transports.
 
-        Inline, 2- and 4-worker pools over the shared-memory transport, plus
-        a 2-worker pass with the transport disabled — both payload paths
-        must produce byte-identical pair lists.
+        The full stealing on/off x borrowing on/off cross at 2 workers, both
+        scheduling disciplines at 4 workers, the static-bound queue mode, and
+        a stealing pass with the shared-memory transport disabled — every
+        combination must produce byte-identical pair lists.
         """
-        return [{"n_workers": 1}, {"n_workers": 2}, {"n_workers": 4},
-                {"n_workers": 2, "use_shared_memory": False}]
+        return [{"n_workers": 1},
+                {"n_workers": 2, "steal": False, "borrow_slabs": False},
+                {"n_workers": 2, "steal": False, "borrow_slabs": True},
+                {"n_workers": 2, "steal": True, "borrow_slabs": False},
+                {"n_workers": 2, "steal": True, "borrow_slabs": True},
+                {"n_workers": 2, "steal": "bound"},
+                {"n_workers": 4, "steal": False},
+                {"n_workers": 4, "steal": True},
+                {"n_workers": 2, "steal": True, "use_shared_memory": False}]
 
     def plan(self, n_rows: int) -> list[BlockShard]:
         """The deterministic shard plan for an *n_rows* dataset."""
@@ -544,34 +853,73 @@ class ShardedBlockedBackend(ApssBackend):
         payload = _shard_payload(dataset, measure,
                                  self.use_shared_memory and self.n_workers > 1)
         executor, owned = _resolve_executor(self.n_workers,
-                                            self.executor_factory)
+                                            self.executor_factory,
+                                            self.pin_workers)
         pinned = payload[0] == "shm" and payload[1].fingerprint
         if pinned:
             shm.pin_dataset(pinned)
+        steal_mode = self._steal_mode()
+        claims: dict[int, int] | None = None
+        queue = None
         try:
-            futures = [
-                (shard, executor.submit(
-                    _search_shard, payload, shard, float(threshold),
-                    shard.shard_id == self.inject_shard_fault))
-                for shard in shards]
-            chunks = list(_gather(futures,
-                                  owned_executor=executor if owned else None))
+            if steal_mode is not None:
+                queue = stealing.ShardQueue(len(shards), self.n_workers)
+                futures = [
+                    (slot, executor.submit(
+                        _steal_search_worker, payload, queue.descriptor(),
+                        tuple(shards), float(threshold), slot,
+                        steal_mode == "steal", self.inject_shard_fault,
+                        claim_gate=None))
+                    for slot in range(self.n_workers)]
+                results = _gather_steal(
+                    futures, owned_executor=executor if owned else None)
+                claims = _check_claim_coverage(results, shards)
+                chunks = [chunk for _, _, chunk in results]
+            else:
+                futures = [
+                    (shard, executor.submit(
+                        _search_shard, payload, shard, float(threshold),
+                        shard.shard_id == self.inject_shard_fault))
+                    for shard in shards]
+                chunks = list(_gather(
+                    futures, owned_executor=executor if owned else None))
         finally:
+            if queue is not None:
+                queue.close()
             if pinned:
                 shm.unpin_dataset(pinned)
             if owned:
                 executor.shutdown(wait=False, cancel_futures=True)
         # Canonical (first, second) order: the merged pair list is identical
-        # regardless of shard layout or completion order, so parity checks
-        # and cache fingerprints cannot observe the scheduler.
+        # regardless of shard layout, scheduling discipline or completion
+        # order, so parity checks and cache fingerprints cannot observe the
+        # scheduler.
         pairs = _canonical_pair_list(chunks)
         return BackendOutput(
             pairs=pairs, n_candidates=n * (n - 1) // 2,
             details={"n_workers": self.n_workers, "n_shards": len(shards),
                      "partition_strategy": self.partition_strategy,
                      "shared_memory": payload[0] == "shm",
+                     "steal": steal_mode or "static",
+                     "claims": claims,
                      "block_rows": resolve_block_rows(
                          n, self.block_rows, self.memory_budget_mb)})
+
+
+def _quiesce_futures(futures, timeout: float = 10.0) -> None:
+    """Cancel what can be cancelled; wait (bounded) for what cannot.
+
+    The close-quiesce step of an abandoned stream: a worker may be mid-write
+    into a ring slot, and unlinking the segment under it would rip the
+    mapping out from under ``write_slab``.  Cancellation removes queued
+    tasks; already-running writers are waited for (with a generous timeout
+    so a wedged pool cannot hang generator cleanup forever) before the
+    caller unlinks the ring.
+    """
+    live = [future for future in futures
+            if not future.cancel() and not future.cancelled()]
+    if live:
+        _wait_futures(live, timeout=timeout)
 
 
 def iter_similarity_blocks_sharded(
@@ -580,6 +928,8 @@ def iter_similarity_blocks_sharded(
         memory_budget_mb: float = DEFAULT_MEMORY_BUDGET_MB,
         executor_factory=None, max_pending: int | None = None,
         use_shared_memory: bool = True,
+        borrow_slabs: bool = True,
+        pin_workers: bool = False,
         inject_block_fault: int | None = None,
 ) -> Iterator[tuple[range, np.ndarray]]:
     """Sharded drop-in for :func:`repro.similarity.streaming.iter_similarity_blocks`.
@@ -590,12 +940,23 @@ def iter_similarity_blocks_sharded(
     next-in-order future, so out-of-order completions are absorbed by the
     window rather than reordering the stream.  Multi-worker streams return
     their slabs through a shared-memory ring of ``max_pending`` slots (one
-    per in-flight task; each slot is copied out before it can be reused)
-    unless *use_shared_memory* is off or segment creation fails, in which
-    case slabs fall back to pickled returns.  A failed block raises
-    :class:`ShardExecutionError` after every earlier block was yielded;
-    blocks after the failure are cancelled.  With one worker and no injected
-    executor this degrades to the plain in-process generator.
+    per in-flight task) unless *use_shared_memory* is off or segment creation
+    fails, in which case slabs fall back to pickled returns.
+
+    With *borrow_slabs* (the default) the yielded slab is a **read-only
+    borrowed view** of its ring slot — zero-copy from the worker's Gram
+    kernel to the consumer — valid until the next iteration step (the
+    generator releases the borrow when resumed, and the slot is then
+    rewritten by a later block).  Consumers that retain slabs across
+    iterations must copy them, or pass ``borrow_slabs=False`` to get
+    owned copies (the untrusted-consumer fallback; also the behaviour
+    whenever the ring is unavailable).
+
+    A failed block raises :class:`ShardExecutionError` after every earlier
+    block was yielded; blocks after the failure are cancelled, and in-flight
+    writers are quiesced before the ring is unlinked — an abandoned stream
+    never tears a slot out from under a mid-write worker.  With one worker
+    and no injected executor this degrades to the plain in-process generator.
     """
     if measure not in STREAMING_MEASURES:
         raise ValueError(f"unsupported streaming measure {measure!r}; "
@@ -629,7 +990,8 @@ def iter_similarity_blocks_sharded(
             ring = shm.SlabRing(window, rows_per_block * n * 8)
         except OSError:
             ring = None  # fall back to pickled slab returns
-    executor, owned = _resolve_executor(n_workers, executor_factory)
+    executor, owned = _resolve_executor(n_workers, executor_factory,
+                                        pin_workers)
     # Pin for the stream's whole lifetime: other datasets published while
     # this generator is suspended must not LRU-evict its segments.
     pinned = payload[0] == "shm" and payload[1].fingerprint
@@ -639,7 +1001,13 @@ def iter_similarity_blocks_sharded(
     next_to_submit = 0
     try:
         while next_to_submit < len(ranges) or pending:
-            while next_to_submit < len(ranges) and len(pending) < window:
+            while (next_to_submit < len(ranges) and len(pending) < window
+                   and not (ring is not None
+                            and ring.is_borrowed(next_to_submit))):
+                # The borrow check is belt-and-braces: the window guarantees
+                # the slot was consumed, and a consumed-but-still-borrowed
+                # slot (possible only if this loop moved) must never be
+                # handed to a writer.
                 start, stop = ranges[next_to_submit]
                 slot = (ring.slot_name(next_to_submit)
                         if ring is not None else None)
@@ -656,18 +1024,37 @@ def iter_similarity_blocks_sharded(
                         f"streamed block [{start}, {stop}) returned shape "
                         f"{tuple(result)}, expected {shape}",
                         block=(start, stop))
-                # Consume the slot before the refill loop can reuse it.
-                slab = ring.read(start // rows_per_block, shape)
+                task_index = start // rows_per_block
+                if borrow_slabs:
+                    # Zero-copy: the consumer reads the slot in place; the
+                    # borrow is released when the consumer asks for the next
+                    # block, at which point the slot may be rewritten.
+                    slab = ring.borrow(task_index, shape)
+                    try:
+                        yield range(start, stop), slab
+                    finally:
+                        # Runs on normal resume AND on generator close /
+                        # consumer crash, so an abandoned stream cannot leave
+                        # a slot borrowed forever.
+                        ring.release(task_index)
+                    continue
+                # Copy fallback: consume the slot before reuse.
+                slab = ring.read(task_index, shape)
             else:
                 slab = result
             yield range(start, stop), slab
     finally:
-        for _, future in pending:
-            future.cancel()
+        if ring is not None:
+            # Quiesce before unlink: a cancelled future stays cancelled, but
+            # a worker already writing its slab must finish (bounded) before
+            # the segment under it disappears.
+            _quiesce_futures([future for _, future in pending])
+            ring.close()
+        else:
+            for _, future in pending:
+                future.cancel()
         if pinned:
             shm.unpin_dataset(pinned)
-        if ring is not None:
-            ring.close()
         if owned:
             executor.shutdown(wait=False, cancel_futures=True)
 
@@ -682,6 +1069,8 @@ def run_delta_shards(child: VectorDataset, delta: DatasetDelta,
                      partition_strategy: str = "striped",
                      executor_factory=None,
                      use_shared_memory: bool = True,
+                     steal=None,
+                     pin_workers: bool = False,
                      inject_shard_fault: int | None = None,
                      ) -> tuple[list[SimilarPair], dict[str, list]]:
     """Fan the ``Δn x n`` append cross block over the shared worker pool.
@@ -690,14 +1079,22 @@ def run_delta_shards(child: VectorDataset, delta: DatasetDelta,
     row range of *delta* is partitioned by
     :func:`~repro.similarity.partition.partition_delta_blocks`, each shard
     scores its blocks against every column ``j < row`` (exactly the new
-    pairs), and the shard results merge canonically.  Returns
+    pairs), and the shard results merge canonically.  Scheduling follows the
+    same *steal* discipline as search — multi-worker ingest claims shards
+    from a work-stealing :class:`~repro.similarity.stealing.ShardQueue` by
+    default (``steal=False`` keeps the one-task-per-shard fan-out,
+    ``"bound"`` the static-binding queue mode).  Returns
     ``(pairs, states)`` — the new pairs at or above *threshold* in
     ``(first, second)`` order (empty when *threshold* is ``None``) and, per
     reducer kind in *reducer_specs*, the list of shard-local ``state()``
-    payloads for the caller to fold in through ``merge()``.  Callers are
-    expected to have validated the delta against the child dataset already
-    (see :class:`repro.store.delta.DeltaApssBackend`).
+    payloads for the caller to fold in through ``merge()`` (commutative, so
+    claim order is invisible in the folded result).  Callers are expected to
+    have validated the delta against the child dataset already (see
+    :class:`repro.store.delta.DeltaApssBackend`).
     """
+    if steal not in (None, True, False, "bound"):
+        raise ValueError(f"steal must be None, True, False or 'bound', "
+                         f"got {steal!r}")
     n_workers = resolve_worker_count(n_workers)
     rows_per_block = resolve_block_rows(child.n_rows, block_rows,
                                         memory_budget_mb)
@@ -713,22 +1110,57 @@ def run_delta_shards(child: VectorDataset, delta: DatasetDelta,
         raise ValueError(
             f"inject_shard_fault={inject_shard_fault} is out of range: the "
             f"delta plan has {len(shards)} shard(s)")
+    if n_workers <= 1:
+        steal_mode = None
+    elif steal is None or steal is True:
+        steal_mode = "steal"
+    elif steal == "bound":
+        steal_mode = "bound"
+    else:
+        steal_mode = None
     payload = _shard_payload(child, measure,
                              use_shared_memory and n_workers > 1)
-    executor, owned = _resolve_executor(n_workers, executor_factory)
+    executor, owned = _resolve_executor(n_workers, executor_factory,
+                                        pin_workers)
     pinned = payload[0] == "shm" and payload[1].fingerprint
     if pinned:
         shm.pin_dataset(pinned)
+    queue = None
     try:
-        futures = [
-            (shard, executor.submit(
-                _delta_shard, payload, shard,
-                None if threshold is None else float(threshold),
-                reducer_specs, shard.shard_id == inject_shard_fault))
-            for shard in shards]
-        chunks = list(_gather(futures,
-                              owned_executor=executor if owned else None))
+        if steal_mode is not None:
+            queue = stealing.ShardQueue(len(shards), n_workers)
+            futures = [
+                (slot, executor.submit(
+                    _steal_delta_worker, payload, queue.descriptor(),
+                    tuple(shards),
+                    None if threshold is None else float(threshold),
+                    reducer_specs, slot, steal_mode == "steal",
+                    inject_shard_fault, claim_gate=None))
+                for slot in range(n_workers)]
+            results = _gather_steal(
+                futures, owned_executor=executor if owned else None)
+            _check_claim_coverage(results, shards)
+            # One pair chunk per runner; per-shard reducer states are
+            # folded directly (merge is commutative, so runner/claim
+            # order is invisible in the folded result).
+            chunks = [(chunk[0], chunk[1], chunk[2], {})
+                      for _, _, chunk, _ in results]
+            for _, _, _, states_list in results:
+                for shard_states in states_list:
+                    for kind, state in shard_states.items():
+                        states[kind].append(state)
+        else:
+            futures = [
+                (shard, executor.submit(
+                    _delta_shard, payload, shard,
+                    None if threshold is None else float(threshold),
+                    reducer_specs, shard.shard_id == inject_shard_fault))
+                for shard in shards]
+            chunks = list(_gather(
+                futures, owned_executor=executor if owned else None))
     finally:
+        if queue is not None:
+            queue.close()
         if pinned:
             shm.unpin_dataset(pinned)
         if owned:

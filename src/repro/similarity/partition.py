@@ -35,6 +35,7 @@ __all__ = [
     "partition_blocks",
     "partition_delta_blocks",
     "resolve_worker_count",
+    "shard_owner",
 ]
 
 #: Environment variable overriding the default sharded worker count.
@@ -157,6 +158,21 @@ def partition_delta_blocks(parent_rows: int, child_rows: int, block_rows: int,
         return []
     return _assign_blocks(ranges, n_shards, strategy,
                           cost=lambda b: (b[1] - b[0]) * b[1])
+
+
+def shard_owner(shard_id: int, n_slots: int) -> int:
+    """The worker slot that *owns* a shard under striped ownership.
+
+    The single home of the ownership rule shared by the work-stealing queue
+    (own shards are claimed before stealing begins) and by true static
+    binding (``steal=False`` clients execute exactly their stripe).  Striping
+    by ``shard_id % n_slots`` mirrors the ``striped`` partition strategy's
+    cost balancing: consecutive shards — whose triangular costs differ the
+    most — land on different workers.
+    """
+    if n_slots < 1:
+        raise ValueError("n_slots must be at least 1")
+    return int(shard_id) % int(n_slots)
 
 
 def resolve_worker_count(n_workers: int | None = None) -> int:

@@ -19,10 +19,14 @@ process pool's result pipe as a pickled ndarray.  This module removes both:
 * **Slab ring** — :class:`SlabRing` is a bounded ring of slab-sized segments
   the streaming path hands to workers as return slots.  A worker writes its
   dense slab straight into its slot (:func:`write_slab`) and returns only the
-  shape; the parent copies the slab out (:meth:`SlabRing.read`) before the
-  slot can be reused.  Slot reuse is safe by construction: slot ``k % size``
-  is only resubmitted after task ``k - size`` was consumed, which the
-  streaming generator's bounded in-flight window guarantees.
+  shape; the parent either copies the slab out (:meth:`SlabRing.read`) or —
+  the zero-copy path — *borrows* the slot (:meth:`SlabRing.borrow`): a
+  read-only ndarray view of the mapped buffer, handed to trusted reducers in
+  place.  A borrowed slot cannot be handed to a writer again
+  (:meth:`SlabRing.slot_name` refuses) until :meth:`SlabRing.release` returns
+  it.  Slot reuse is safe by construction: slot ``k % size`` is only
+  resubmitted after task ``k - size`` was consumed (copied or released),
+  which the streaming generator's bounded in-flight window guarantees.
 
 Every entry point degrades gracefully: :func:`publish_dataset` and
 :class:`SlabRing` return ``None`` / raise ``OSError`` when shared memory is
@@ -39,6 +43,7 @@ import atexit
 import itertools
 import os
 import sys
+import weakref
 from dataclasses import dataclass
 
 import numpy as np
@@ -340,6 +345,46 @@ atexit.register(release_all)
 # Slab-return ring
 # --------------------------------------------------------------------- #
 
+class _SlotGuard:
+    """Keeps one ring slot's mapping alive while borrowed views reference it.
+
+    numpy does not hold a buffer export on ``segment.buf`` (it copies the
+    pointer and releases the ``Py_buffer`` immediately), so neither
+    ``SharedMemory.close()`` nor the object's ``__del__`` knows a view is
+    still reading the mapping — an eager close would unmap under the view
+    and turn a stale read into a segfault.  The guard counts live views via
+    ``weakref.finalize`` and defers the actual ``close()`` until the ring
+    has retired the slot *and* the last view has been garbage-collected.
+    """
+
+    def __init__(self, segment) -> None:
+        self.segment = segment
+        self.live_views = 0
+        self.retired = False
+
+    def track(self, view: np.ndarray) -> None:
+        """Register *view* as a live reader of this slot's mapping."""
+        self.live_views += 1
+        weakref.finalize(view, self.view_dropped)
+
+    def view_dropped(self) -> None:
+        """Finalizer hook: a tracked view was garbage-collected."""
+        self.live_views -= 1
+        self._maybe_close()
+
+    def retire(self) -> None:
+        """Ring-side teardown: close the mapping once no view needs it."""
+        self.retired = True
+        self._maybe_close()
+
+    def _maybe_close(self) -> None:
+        if self.retired and self.live_views <= 0:
+            try:
+                self.segment.close()
+            except (OSError, BufferError):  # pragma: no cover - best effort
+                pass
+
+
 class SlabRing:
     """A bounded ring of slab-sized segments used as worker return slots.
 
@@ -354,6 +399,8 @@ class SlabRing:
         if n_slots < 1:
             raise ValueError("n_slots must be at least 1")
         self._segments = []
+        self._borrowed: set[int] = set()
+        self._guards: dict[int, _SlotGuard] = {}
         try:
             for _ in range(n_slots):
                 self._segments.append(_create_segment("s", slot_bytes))
@@ -370,32 +417,113 @@ class SlabRing:
         return self._segments[index % len(self._segments)]
 
     def slot_name(self, index: int) -> str:
-        """The segment name task *index* must write its slab into."""
-        return self._slot(index).name
+        """The segment name task *index* must write its slab into.
+
+        Refuses while the slot is borrowed: handing a writer a slot whose
+        read-only view a consumer still holds would mutate data under the
+        consumer, the exact bug the borrow protocol exists to prevent.
+        """
+        segment = self._slot(index)
+        if index % len(self._segments) in self._borrowed:
+            raise RuntimeError(
+                f"ring slot {index % len(self._segments)} is still borrowed; "
+                f"release() it before it can be written again")
+        return segment.name
 
     def read(self, index: int, shape: tuple) -> np.ndarray:
         """Copy task *index*'s slab out of its slot (the slot is then free)."""
         return np.ndarray(shape, dtype=np.float64,
                           buffer=self._slot(index).buf).copy()
 
+    def borrow(self, index: int, shape: tuple) -> np.ndarray:
+        """A read-only, zero-copy view of task *index*'s slab.
+
+        The slot stays out of circulation — :meth:`slot_name` refuses it and
+        a second :meth:`borrow` raises — until :meth:`release` returns it.
+        The view is marked non-writable: borrowers are readers by contract,
+        and an accidental in-place update raises instead of corrupting a
+        buffer another task may rewrite later.
+        """
+        segment = self._slot(index)
+        slot = index % len(self._segments)
+        if slot in self._borrowed:
+            raise RuntimeError(f"ring slot {slot} is already borrowed")
+        view = np.ndarray(shape, dtype=np.float64, buffer=segment.buf)
+        view.flags.writeable = False
+        self._borrowed.add(slot)
+        guard = self._guards.get(slot)
+        if guard is None:
+            guard = self._guards[slot] = _SlotGuard(segment)
+        guard.track(view)
+        return view
+
+    def release(self, index: int) -> None:
+        """Return a borrowed slot to circulation.
+
+        Raises on a slot that is not borrowed — a double release is a
+        lifecycle bug upstream (the view may already be aliased by a new
+        writer) and must fail loudly, not late.
+        """
+        if not self._segments:
+            raise RuntimeError(
+                "slab ring is closed (released by reset_shared_pools() or "
+                "interpreter teardown while the stream was still running)")
+        slot = index % len(self._segments)
+        if slot not in self._borrowed:
+            raise RuntimeError(f"ring slot {slot} is not borrowed")
+        self._borrowed.discard(slot)
+
+    def is_borrowed(self, index: int) -> bool:
+        """Whether task *index*'s slot is currently borrowed."""
+        if not self._segments:
+            return False
+        return index % len(self._segments) in self._borrowed
+
+    def borrowed_slots(self) -> list[int]:
+        """Currently borrowed slot numbers, ascending (audit/test hook)."""
+        return sorted(self._borrowed)
+
+    def release_borrows(self) -> None:
+        """Drop every outstanding borrow (abandoned-stream cleanup path)."""
+        self._borrowed.clear()
+
     def segment_names(self) -> list[str]:
         """Names of the ring's live segments."""
         return [segment.name for segment in self._segments]
 
     def close(self) -> None:
-        """Close and unlink every slot (idempotent)."""
+        """Close and unlink every slot (idempotent).
+
+        Outstanding borrows are dropped first: no new borrow or write can
+        target the ring after this.  Slots that were ever borrowed are
+        *unlinked but not eagerly unmapped* — their :class:`_SlotGuard`
+        closes the mapping only after the last borrowed view is
+        garbage-collected, so a consumer that (against the contract)
+        retained a view past the stream sees stale data, never a segfault.
+        Unlinking removes the ``/dev/shm`` name immediately either way, so
+        the leak oracle stays clean.  Callers streaming through worker
+        processes must quiesce in-flight writers before closing — see
+        ``iter_similarity_blocks_sharded`` — or a worker may find its slot
+        unlinked mid-write.
+        """
+        self.release_borrows()
         if self in _RINGS:
             _RINGS.remove(self)
-        for segment in self._segments:
-            try:
-                segment.close()
-            except BufferError:  # pragma: no cover - exported views linger
-                pass
+        for slot, segment in enumerate(self._segments):
+            guard = self._guards.get(slot)
+            if guard is None:
+                try:
+                    segment.close()
+                except BufferError:  # pragma: no cover - exported views linger
+                    pass
+            else:
+                guard.retire()
             try:
                 segment.unlink()
             except OSError:
                 pass
         self._segments = []
+        self._guards = {}
 
 
 def write_slab(slot_name: str, slab: np.ndarray) -> tuple:

@@ -1,0 +1,297 @@
+"""Work-stealing shard queue for the sharded APSS backend.
+
+The balanced partition plan (:mod:`repro.similarity.partition`) decides *what*
+the shards are; this module decides *who executes them*, at runtime, under a
+work-stealing discipline: every worker owns a striped subset of the shard
+index space and claims its own shards first, and a worker that drains its own
+stripe steals the remaining work of the most-loaded peer instead of idling at
+the barrier.  One slow worker therefore straggles at most the shard it is
+currently computing — everything it has not yet claimed is stolen out from
+under it.
+
+The queue is a directory of *claim files*: claiming shard ``k`` is an
+``O_CREAT | O_EXCL`` create of ``claim-<k>``, which the filesystem makes
+atomic across processes — exactly-once without locks, pickling live handles,
+or shared-memory atomics (which CPython cannot express portably).  The winner
+writes its worker slot into the file, so the parent can audit *who executed
+what* after the fact (:meth:`ShardQueue.claims`).  The directory lives under
+``/dev/shm`` when available and carries the shared-memory transport's
+segment prefix, so the existing leak oracle (``own_shm_entries`` in the test
+harness) audits queue lifetimes for free.
+
+Determinism seam: :class:`ShardQueueClient` accepts a ``claim_gate`` — an
+object whose ``acquire(worker_slot)`` is called before each claim attempt and
+whose ``claimed(worker_slot, item)`` is called after each successful claim.
+The test harness's ``StealOrderReplayExecutor`` injects a gate that
+serialises claims into adversarial orders, simulates stragglers in virtual
+time, and injects per-shard failures — making steal scheduling replayable
+instead of a scheduler accident.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass
+
+from repro.similarity.partition import shard_owner
+
+__all__ = [
+    "ClaimFault",
+    "ShardQueue",
+    "ShardQueueClient",
+    "ShardQueueDescriptor",
+    "release_queues",
+]
+
+_generation = itertools.count()
+
+#: Live parent-side queues, so interpreter exit reclaims abandoned claim
+#: directories even when a search never ran its ``finally``.
+_QUEUES: list["ShardQueue"] = []
+
+
+def _reset_after_fork() -> None:  # pragma: no cover - exercised via children
+    """Disown inherited queue handles in a forked child.
+
+    The claim directories belong to the *parent*: a forked worker removing
+    them at exit would tear the queue out from under the search that created
+    it.  Children start with an empty registry instead.
+    """
+    _QUEUES.clear()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reset_after_fork)
+
+
+def release_queues() -> None:
+    """Remove every live claim directory (idempotent; wired to interpreter exit)."""
+    while _QUEUES:
+        _QUEUES.pop().close()
+
+
+atexit.register(release_queues)
+
+
+def _queue_base_dir() -> str:
+    """Where claim directories live: ``/dev/shm`` when present, else tmp.
+
+    Putting the directory on the same tmpfs as the shared-memory segments
+    keeps claims memory-speed *and* inside the blast radius of the
+    ``/dev/shm`` leak oracle the shm tests already run.
+    """
+    if os.path.isdir("/dev/shm") and os.access("/dev/shm", os.W_OK):
+        return "/dev/shm"
+    return tempfile.gettempdir()
+
+
+@dataclass(frozen=True)
+class ShardQueueDescriptor:
+    """Everything a worker needs to claim from a queue (picklable, tiny)."""
+
+    path: str
+    n_items: int
+    n_slots: int
+
+
+class ClaimFault(Exception):
+    """An injected claim-time failure, tagged with the item just claimed.
+
+    Raised by :meth:`ShardQueueClient.claim` when the claim gate's
+    ``claimed`` hook raises: the claim file already exists at that point, so
+    the exception must carry *which* item died for the parent to attribute
+    the failure to a shard.  ``args`` carry both fields, keeping the
+    exception picklable across process boundaries.
+    """
+
+    def __init__(self, item: int, cause: BaseException) -> None:
+        super().__init__(item, cause)
+        self.item = item
+        self.cause = cause
+
+
+def _scan_claims(path: str, n_items: int) -> dict[int, int]:
+    """Read the claim directory into ``{item: worker_slot}`` (slot -1 = unknown)."""
+    claimed: dict[int, int] = {}
+    for name in os.listdir(path):
+        if not name.startswith("claim-"):
+            continue
+        try:
+            item = int(name[len("claim-"):])
+        except ValueError:
+            continue
+        if not 0 <= item < n_items:
+            continue
+        try:
+            with open(os.path.join(path, name), encoding="ascii") as handle:
+                text = handle.read().strip()
+            claimed[item] = int(text) if text else -1
+        except (OSError, ValueError):
+            claimed[item] = -1  # mid-write or removed; still claimed
+    return claimed
+
+
+class ShardQueue:
+    """Parent-side handle owning one work-stealing claim directory.
+
+    ``n_items`` shards are up for grabs by ``n_slots`` workers.  Ownership is
+    striped (:func:`repro.similarity.partition.shard_owner`): shard ``k``
+    belongs to slot ``k % n_slots``, which matches the ``striped`` partition
+    strategy's cost balancing, so the no-contention fast path degenerates to
+    the static plan.  The queue itself holds no ordering state — the claim
+    files *are* the state — so any number of clients in any process may claim
+    concurrently.
+    """
+
+    def __init__(self, n_items: int, n_slots: int) -> None:
+        if n_items < 0:
+            raise ValueError("n_items must be non-negative")
+        if n_slots < 1:
+            raise ValueError("n_slots must be at least 1")
+        from repro.similarity import shm
+
+        self.n_items = int(n_items)
+        self.n_slots = int(n_slots)
+        self._path = os.path.join(
+            _queue_base_dir(),
+            f"{shm.SEGMENT_PREFIX}-{next(_generation):x}-q")
+        os.mkdir(self._path)
+        _QUEUES.append(self)
+
+    @property
+    def path(self) -> str:
+        """The claim directory (one ``claim-<item>`` file per claimed shard)."""
+        return self._path
+
+    def descriptor(self) -> ShardQueueDescriptor:
+        """The picklable handle workers build their clients from."""
+        return ShardQueueDescriptor(path=self._path, n_items=self.n_items,
+                                    n_slots=self.n_slots)
+
+    def claimed_by(self) -> dict[int, int]:
+        """``{item: worker_slot}`` for every claimed item (audit view)."""
+        return _scan_claims(self._path, self.n_items)
+
+    def claims(self) -> dict[int, int]:
+        """Per-worker claim counters: ``{worker_slot: items_claimed}``.
+
+        Every slot appears (zero-claim workers included) — the audit surface
+        the backend publishes in its search details.
+        """
+        counts = {slot: 0 for slot in range(self.n_slots)}
+        for slot in self.claimed_by().values():
+            if slot in counts:
+                counts[slot] += 1
+        return counts
+
+    def unclaimed(self) -> list[int]:
+        """Items nobody has claimed yet, ascending."""
+        claimed = self.claimed_by()
+        return [item for item in range(self.n_items) if item not in claimed]
+
+    def close(self) -> None:
+        """Remove the claim directory (idempotent).
+
+        Clients racing a close see ``FileNotFoundError`` on their next scan
+        and treat the queue as drained — a cancelled search quiesces its
+        surviving workers instead of crashing them.
+        """
+        if self in _QUEUES:
+            _QUEUES.remove(self)
+        shutil.rmtree(self._path, ignore_errors=True)
+
+
+class ShardQueueClient:
+    """Worker-side claimant over a :class:`ShardQueueDescriptor`.
+
+    Claim policy (deterministic given the set of already-claimed items):
+
+    1. **Own first** — the lowest unclaimed item of this worker's stripe
+       (``item % n_slots == worker_slot``), preserving the plan's locality.
+    2. **Steal** (when ``steal=True``) — from the victim with the most
+       unclaimed items (ties to the lowest slot), taking the victim's *last*
+       unclaimed item: LIFO stealing keeps the victim's own next claim — the
+       item it would take first — untouched as long as possible.
+
+    With ``steal=False`` the client executes exactly its own stripe: true
+    static binding, the comparator the straggler benchmark measures stealing
+    against.
+    """
+
+    def __init__(self, descriptor: ShardQueueDescriptor, worker_slot: int,
+                 steal: bool = True, claim_gate=None) -> None:
+        if not 0 <= worker_slot < descriptor.n_slots:
+            raise ValueError(f"worker_slot {worker_slot} out of range for "
+                             f"{descriptor.n_slots} slot(s)")
+        self._descriptor = descriptor
+        self._slot = int(worker_slot)
+        self._steal = bool(steal)
+        self._gate = claim_gate
+
+    def _candidate(self, claimed: dict[int, int]) -> int | None:
+        spec = self._descriptor
+        remaining = [item for item in range(spec.n_items)
+                     if item not in claimed]
+        if not remaining:
+            return None
+        stripes: dict[int, list[int]] = {}
+        for item in remaining:
+            stripes.setdefault(shard_owner(item, spec.n_slots), []).append(item)
+        own = stripes.get(self._slot)
+        if own:
+            return own[0]
+        if not self._steal:
+            return None
+        victim = max(stripes, key=lambda slot: (len(stripes[slot]), -slot))
+        return stripes[victim][-1]
+
+    def claim(self) -> int | None:
+        """Claim the next item for this worker, or ``None`` when drained.
+
+        Exactly-once is the filesystem's guarantee: losing the
+        ``O_CREAT | O_EXCL`` race just rescans.  A queue closed underneath
+        the client (cancelled search) reads as drained, not as an error.
+        """
+        spec = self._descriptor
+        while True:
+            if self._gate is not None:
+                acquire = getattr(self._gate, "acquire", None)
+                if acquire is not None:
+                    acquire(self._slot)
+            try:
+                item = self._candidate(_scan_claims(spec.path, spec.n_items))
+            except FileNotFoundError:
+                return None  # queue closed: treat as drained
+            if item is None:
+                return None
+            try:
+                fd = os.open(os.path.join(spec.path, f"claim-{item}"),
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue  # lost the race; rescan
+            except FileNotFoundError:
+                return None  # queue closed mid-claim
+            try:
+                os.write(fd, str(self._slot).encode("ascii"))
+            finally:
+                os.close(fd)
+            if self._gate is not None:
+                hook = getattr(self._gate, "claimed", None)
+                if hook is not None:
+                    try:
+                        hook(self._slot, item)
+                    except BaseException as exc:
+                        raise ClaimFault(item, exc) from exc
+            return item
+
+    def __iter__(self):
+        """Iterate claims until the queue drains."""
+        while True:
+            item = self.claim()
+            if item is None:
+                return
+            yield item

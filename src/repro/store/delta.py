@@ -145,11 +145,19 @@ class DeltaApssBackend:
         same shared pool (and shared-memory transport) as the
         ``sharded-blocked`` backend; ``None`` resolves like the sharded
         backend (``REPRO_APSS_WORKERS``, else CPU count).
-    shards_per_worker, partition_strategy, executor_factory, use_shared_memory:
+    shards_per_worker, partition_strategy, executor_factory, use_shared_memory,
+    steal, pin_workers:
         Sharded-pass scheduling knobs with
         :class:`~repro.similarity.backends.sharded.ShardedBlockedBackend`
-        semantics.  None of them change results — parity across worker
-        counts is property-tested.
+        semantics — multi-worker ingest claims shards from the same
+        work-stealing queue as search (``steal="bound"``/``False`` for the
+        static disciplines).  None of them change results — parity across
+        worker counts and steal modes is property-tested.
+    borrow_slabs:
+        Accepted for roster compatibility with the sharded backend's
+        ``parity_variants()`` and ignored: the delta pass returns pair
+        chunks and reducer state, not streamed slabs, so there is nothing
+        to borrow.
     inject_shard_fault:
         Fault-injection hook for the sharded pass (tests): the chosen shard
         raises mid-stream, the extension fails loudly, and — because
@@ -173,6 +181,9 @@ class DeltaApssBackend:
                  partition_strategy: str = "striped",
                  executor_factory=None,
                  use_shared_memory: bool = True,
+                 steal=None,
+                 pin_workers: bool = False,
+                 borrow_slabs: bool = True,
                  inject_shard_fault: int | None = None) -> None:
         if block_rows is not None and block_rows <= 0:
             raise ValueError("block_rows must be positive")
@@ -189,6 +200,12 @@ class DeltaApssBackend:
         self.partition_strategy = partition_strategy
         self.executor_factory = executor_factory
         self.use_shared_memory = bool(use_shared_memory)
+        if steal not in (None, True, False, "bound"):
+            raise ValueError(f"steal must be None, True, False or 'bound', "
+                             f"got {steal!r}")
+        self.steal = steal
+        self.pin_workers = bool(pin_workers)
+        self.borrow_slabs = bool(borrow_slabs)
         self.inject_shard_fault = inject_shard_fault
 
     def _sharded(self) -> bool:
@@ -209,6 +226,7 @@ class DeltaApssBackend:
             partition_strategy=self.partition_strategy,
             executor_factory=self.executor_factory,
             use_shared_memory=self.use_shared_memory,
+            steal=self.steal, pin_workers=self.pin_workers,
             inject_shard_fault=self.inject_shard_fault)
 
     def extend(self, parent: EngineResult, child: VectorDataset,

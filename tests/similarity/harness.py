@@ -24,12 +24,22 @@ Three things live here, shared by the parity, sharding and cache tests:
   result, exercising the "a shard died mid-stream" path without real
   processes (the real-process path is covered via the backend's
   ``inject_shard_fault`` hook).
+
+* **`StealOrderReplayExecutor`** — the work-stealing twin: a thread-backed
+  executor that injects itself as the ``claim_gate`` of every steal runner it
+  runs and *fully serialises claims* — at any instant exactly one worker is
+  between "granted a claim turn" and "parked waiting for the next one", so
+  the interleaving of claims (and therefore who steals what from whom) is a
+  deterministic function of the configured policy: LIFO/FIFO/seeded-random/
+  explicit slot orders, *virtual-time* stragglers (``delays`` — no real
+  sleeping), and per-shard claim-time failures.
 """
 
 from __future__ import annotations
 
 import glob
 import os
+import threading
 from concurrent.futures import Future
 
 import numpy as np
@@ -44,6 +54,8 @@ __all__ = [
     "own_shm_entries",
     "ShardOrderReplayExecutor",
     "replay_factory",
+    "StealOrderReplayExecutor",
+    "steal_replay_factory",
 ]
 
 
@@ -255,6 +267,214 @@ def replay_factory(order="lifo", failures: dict | None = None):
 
     def factory(n_workers: int) -> ShardOrderReplayExecutor:
         executor = ShardOrderReplayExecutor(order=order, failures=failures)
+        created.append(executor)
+        return executor
+
+    factory.created = created
+    return factory
+
+
+# --------------------------------------------------------------------- #
+# Adversarial steal-order replay executor
+# --------------------------------------------------------------------- #
+
+class StealOrderReplayExecutor:
+    """Thread-backed executor that serialises work-stealing claim turns.
+
+    The sharded backend submits one steal *runner* per worker slot, each with
+    a ``claim_gate=None`` keyword.  This executor replaces that keyword with
+    itself, so every runner calls back into ``acquire(worker_slot)`` before
+    each claim attempt and ``claimed(worker_slot, item)`` after each
+    successful claim.  ``acquire`` parks the worker until the arbiter grants
+    it a turn; a turn lasts from the grant until the worker parks again (or
+    its runner finishes), so claims — and the shard computations between
+    them — are *fully serialised*: the claim interleaving is a deterministic
+    function of the policy, never of OS scheduling.
+
+    Parameters
+    ----------
+    order:
+        Which parked worker gets the next turn: ``"fifo"`` (lowest slot,
+        default), ``"lifo"`` (highest slot), ``("random", seed)`` for a
+        seeded choice, or an explicit slot sequence (earlier entries win;
+        unlisted slots fall back to lowest-first).
+    delays:
+        ``{worker_slot: cost_factor}`` virtual-time stragglers: each turn
+        advances the granted worker's virtual clock by its factor (default
+        ``1.0``) and the next turn goes to the worker with the *smallest*
+        clock — a factor-10 worker therefore gets roughly a tenth of the
+        claim turns, with zero real sleeping.  When given, ``delays``
+        selection overrides *order*.
+    failures:
+        ``{shard_item: exception}`` raised from ``claimed`` right after that
+        shard's claim file is created — the claim-time fault path
+        (``ClaimFault`` → ``_StolenShardFailure`` → ``ShardExecutionError``).
+
+    Attributes
+    ----------
+    claims:
+        ``{worker_slot: [shard_items]}`` in claim order, per worker.
+    claim_order:
+        ``[(worker_slot, shard_item), ...]`` across all workers — assert on
+        this to prove the replay forced the interleaving you asked for.
+    """
+
+    def __init__(self, order="fifo", delays: dict | None = None,
+                 failures: dict | None = None,
+                 expected_runners: int | None = None) -> None:
+        self.delays = dict(delays or {})
+        self.failures = dict(failures or {})
+        #: Grants are held until this many gated runners were submitted, so
+        #: an early-starting runner cannot drain the queue before its peers
+        #: are even submitted (the factory wires this to ``n_workers``).
+        self.expected_runners = expected_runners
+        self.claims: dict[int, list[int]] = {}
+        self.claim_order: list[tuple[int, int]] = []
+        self._rng = None
+        if isinstance(order, tuple) and len(order) == 2 and order[0] == "random":
+            self._rng = np.random.default_rng(order[1])
+            self._order = "random"
+        else:
+            self._order = order
+        self._cond = threading.Condition()
+        self._participants = 0        # live gate-using runner threads
+        self._parked: set[int] = set()
+        self._granted: int | None = None
+        self._clock: dict[int, float] = {}
+        self._closed = False
+        self._slot_of: dict[int, int] = {}  # thread ident -> worker slot
+        self._threads: list[threading.Thread] = []
+        self._gated_seen = 0          # total gated runners ever submitted
+        self._turn = 0                # cursor into an explicit order list
+        self.submitted = 0
+
+    # -- executor protocol --------------------------------------------- #
+    def submit(self, fn, /, *args, **kwargs) -> Future:
+        future: Future = Future()
+        self.submitted += 1
+        gated = "claim_gate" in kwargs
+        if gated:
+            kwargs = dict(kwargs, claim_gate=self)
+            with self._cond:
+                self._participants += 1
+                self._gated_seen += 1
+                self._maybe_grant()
+        thread = threading.Thread(
+            target=self._run, args=(future, fn, args, kwargs, gated),
+            daemon=True)
+        self._threads.append(thread)
+        thread.start()
+        return future
+
+    def shutdown(self, wait: bool = True, *,
+                 cancel_futures: bool = False) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=10.0)
+
+    def _run(self, future: Future, fn, args, kwargs, gated: bool) -> None:
+        if not future.set_running_or_notify_cancel():
+            if gated:
+                self._retire()
+            return
+        try:
+            result = fn(*args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - relayed via future
+            future.set_exception(exc)
+        else:
+            future.set_result(result)
+        finally:
+            if gated:
+                self._retire()
+
+    def _retire(self) -> None:
+        with self._cond:
+            self._participants -= 1
+            slot = self._slot_of.pop(threading.get_ident(), None)
+            if slot is not None:
+                self._parked.discard(slot)
+                if self._granted == slot:
+                    self._granted = None
+            self._maybe_grant()
+            self._cond.notify_all()
+
+    # -- claim-gate protocol ------------------------------------------- #
+    def acquire(self, worker_slot: int) -> None:
+        """Park until the arbiter grants *worker_slot* the next claim turn."""
+        with self._cond:
+            self._slot_of[threading.get_ident()] = worker_slot
+            if self._granted == worker_slot:
+                self._granted = None  # the previous turn ends here
+            self._parked.add(worker_slot)
+            self._maybe_grant()
+            while not self._closed and self._granted != worker_slot:
+                self._cond.wait(timeout=5.0)
+                self._maybe_grant()
+            self._parked.discard(worker_slot)
+
+    def claimed(self, worker_slot: int, item: int) -> None:
+        """Record a successful claim; raise the configured failure, if any."""
+        with self._cond:
+            self.claims.setdefault(worker_slot, []).append(item)
+            self.claim_order.append((worker_slot, item))
+        failure = self.failures.get(item)
+        if failure is not None:
+            raise failure
+
+    # -- arbiter ------------------------------------------------------- #
+    def _maybe_grant(self) -> None:
+        """Grant the next turn once every live worker is parked (serialised)."""
+        if self._granted is not None or self._closed:
+            return
+        if (self.expected_runners is not None
+                and self._gated_seen < self.expected_runners):
+            return  # a peer runner has not even been submitted yet
+        if not self._parked or len(self._parked) < self._participants:
+            return
+        slot = self._pick(sorted(self._parked))
+        self._clock[slot] = (self._clock.get(slot, 0.0)
+                             + float(self.delays.get(slot, 1.0)))
+        self._granted = slot
+        self._cond.notify_all()
+
+    def _pick(self, parked: list[int]) -> int:
+        if self.delays:
+            return min(parked,
+                       key=lambda slot: (self._clock.get(slot, 0.0), slot))
+        if self._order == "fifo":
+            return parked[0]
+        if self._order == "lifo":
+            return parked[-1]
+        if self._order == "random":
+            return int(self._rng.choice(parked))
+        # Explicit slot list: a turn *sequence*, consumed one entry per
+        # grant; entries naming retired/absent slots are skipped, and the
+        # tail past the script falls back to first-parked.
+        while self._turn < len(self._order):
+            slot = self._order[self._turn]
+            self._turn += 1
+            if slot in parked:
+                return slot
+        return parked[0]
+
+
+def steal_replay_factory(order="fifo", delays: dict | None = None,
+                         failures: dict | None = None):
+    """An ``executor_factory`` building :class:`StealOrderReplayExecutor`s.
+
+    Mirrors :func:`replay_factory`: ignores the worker count (runners are
+    in-process threads) and records every executor on ``factory.created`` so
+    tests can assert on ``claims``/``claim_order`` after the search returns.
+    """
+    created: list[StealOrderReplayExecutor] = []
+
+    def factory(n_workers: int) -> StealOrderReplayExecutor:
+        executor = StealOrderReplayExecutor(order=order, delays=delays,
+                                            failures=failures,
+                                            expected_runners=n_workers)
         created.append(executor)
         return executor
 

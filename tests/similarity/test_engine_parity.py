@@ -112,13 +112,25 @@ def test_backends_are_apss_backend_instances():
 
 
 def test_parity_roster_covers_sharded_worker_counts():
-    """Registry introspection must produce the sharded worker-count and
-    transport variants (1/2/4 workers plus a shared-memory-off pass)."""
+    """Registry introspection must produce the sharded worker-count,
+    scheduling and transport variants: 1/2/4 workers, the stealing x
+    borrowing grid, the bound (static-binding) scheduler, and a
+    shared-memory-off pass."""
     sharded = [options for param in EXACT_VARIANTS
                for name, options in [param.values] if name == "sharded-blocked"]
-    assert [v["n_workers"] for v in sharded] == [1, 2, 4, 2]
-    assert sharded[-1]["use_shared_memory"] is False
-    assert all(v.get("use_shared_memory", True) for v in sharded[:3])
+    assert sorted({v.get("n_workers") for v in sharded}) == [1, 2, 4]
+    # The full stealing x borrowing grid is parity-checked at 2 workers.
+    grid = {(v["steal"], v["borrow_slabs"]) for v in sharded
+            if v.get("n_workers") == 2
+            and "steal" in v and "borrow_slabs" in v}
+    assert grid == {(False, False), (False, True), (True, False), (True, True)}
+    # Static binding ("bound"), both 4-worker schedulers, and the pickled
+    # transport under stealing each get a pass of their own.
+    assert any(v.get("steal") == "bound" for v in sharded)
+    assert {v.get("steal") for v in sharded
+            if v.get("n_workers") == 4} >= {False, True}
+    assert any(v.get("use_shared_memory") is False and v.get("steal") is True
+               for v in sharded)
 
 
 def test_every_parity_variant_instantiates():

@@ -114,9 +114,11 @@ def test_backend_constructor_validation():
 def test_adversarial_shard_completion_orders_merge_canonically(
         dataset, reference, order):
     factory = replay_factory(order=order)
+    # steal=False keeps the legacy one-task-per-shard fan-out this replay
+    # harness drives (the stealing path has its own in test_stealing.py).
     result = ENGINE.search(dataset, 0.25, "cosine", backend="sharded-blocked",
                            n_workers=2, shards_per_worker=3, block_rows=5,
-                           executor_factory=factory)
+                           steal=False, executor_factory=factory)
     executor = factory.created[0]
     assert executor.submitted > 1
     # The replay really completed shards out of submission order...
@@ -129,10 +131,10 @@ def test_adversarial_shard_completion_orders_merge_canonically(
 
 def test_completion_order_does_not_leak_into_pair_order(dataset):
     lifo = ENGINE.search(dataset, 0.25, "cosine", backend="sharded-blocked",
-                         n_workers=4, block_rows=3,
+                         n_workers=4, block_rows=3, steal=False,
                          executor_factory=replay_factory("lifo"))
     fifo = ENGINE.search(dataset, 0.25, "cosine", backend="sharded-blocked",
-                         n_workers=4, block_rows=3,
+                         n_workers=4, block_rows=3, steal=False,
                          executor_factory=replay_factory("fifo"))
     assert [p.as_tuple() for p in lifo.pairs] == [p.as_tuple() for p in fifo.pairs]
     firsts = [(p.first, p.second) for p in lifo.pairs]
@@ -169,7 +171,7 @@ def test_replayed_shard_failure_surfaces(dataset):
     with pytest.raises(ShardExecutionError, match="shard 2 failed"):
         ENGINE.search(dataset, 0.25, "cosine", backend="sharded-blocked",
                       n_workers=2, shards_per_worker=2, block_rows=5,
-                      executor_factory=factory)
+                      steal=False, executor_factory=factory)
 
 
 def test_replayed_failure_in_last_completing_shard_surfaces(dataset):
@@ -180,7 +182,7 @@ def test_replayed_failure_in_last_completing_shard_surfaces(dataset):
     with pytest.raises(ShardExecutionError) as excinfo:
         ENGINE.search(dataset, 0.25, "cosine", backend="sharded-blocked",
                       n_workers=2, shards_per_worker=2, block_rows=5,
-                      executor_factory=factory)
+                      steal=False, executor_factory=factory)
     assert excinfo.value.shard_id == 3
     assert isinstance(excinfo.value.__cause__, RuntimeError)
 
@@ -226,7 +228,7 @@ def test_broken_shared_pool_is_evicted_and_rebuilt(dataset, reference):
 
     ENGINE.search(dataset, 0.25, "cosine", backend="sharded-blocked",
                   n_workers=2, block_rows=5)
-    pool = sharded_module._POOLS[2]
+    pool = sharded_module._POOLS[(2, False, 1.0)]
     for process in pool._processes.values():
         process.kill()
     for process in pool._processes.values():
@@ -243,7 +245,7 @@ def test_broken_shared_pool_is_evicted_and_rebuilt(dataset, reference):
                                backend="sharded-blocked", n_workers=2,
                                block_rows=5)
     assert result.pair_set() == reference.pair_set()
-    assert sharded_module._POOLS[2] is not pool
+    assert sharded_module._POOLS[(2, False, 1.0)] is not pool
 
 
 def test_inject_shard_fault_is_cache_keyed_not_swallowed(dataset):
@@ -265,8 +267,10 @@ def test_inject_shard_fault_is_cache_keyed_not_swallowed(dataset):
 def test_sharded_streaming_yields_identical_slabs_in_order(dataset):
     plain = list(iter_similarity_blocks(dataset, "cosine", block_rows=9))
     for n_workers in (1, 2):
-        sharded = list(iter_similarity_blocks_sharded(
-            dataset, "cosine", block_rows=9, n_workers=n_workers))
+        # Copy at consume: multi-worker slabs are borrowed ring views,
+        # valid only until the next iteration step.
+        sharded = [(r, b.copy()) for r, b in iter_similarity_blocks_sharded(
+            dataset, "cosine", block_rows=9, n_workers=n_workers)]
         assert [r for r, _ in sharded] == [r for r, _ in plain]
         for (_, expected), (_, got) in zip(plain, sharded):
             assert np.array_equal(expected, got)
@@ -274,9 +278,9 @@ def test_sharded_streaming_yields_identical_slabs_in_order(dataset):
 
 def test_sharded_streaming_reorders_adversarial_completions(dataset):
     factory = replay_factory(order="lifo")
-    sharded = list(iter_similarity_blocks_sharded(
+    sharded = [(r, b.copy()) for r, b in iter_similarity_blocks_sharded(
         dataset, "cosine", block_rows=9, n_workers=4,
-        executor_factory=factory))
+        executor_factory=factory)]
     executor = factory.created[0]
     assert executor.completion_order != sorted(executor.completion_order)
     plain = list(iter_similarity_blocks(dataset, "cosine", block_rows=9))
@@ -323,7 +327,8 @@ def test_sharded_streaming_abandoned_generator_cancels_pending(dataset):
 
 def test_engine_dispatches_streaming_to_sharded_backend(dataset):
     engine = ApssEngine("sharded-blocked", n_workers=2, block_rows=9)
-    sharded = list(engine.iter_similarity_blocks(dataset, "cosine"))
+    sharded = [(r, b.copy())
+               for r, b in engine.iter_similarity_blocks(dataset, "cosine")]
     plain = list(ApssEngine().iter_similarity_blocks(dataset, "cosine",
                                                      block_rows=9))
     assert [r for r, _ in sharded] == [r for r, _ in plain]

@@ -119,9 +119,10 @@ def test_mid_stream_pool_evict_does_not_kill_a_live_stream(clean_transport,
     plain = list(iter_similarity_blocks(dataset, "cosine", block_rows=7))
     stream = iter_similarity_blocks_sharded(dataset, "cosine", block_rows=7,
                                             n_workers=2)
-    got = [next(stream)]
+    rows, slab = next(stream)
+    got = [(rows, slab.copy())]  # borrowed views must be copied to retain
     shm.release_datasets()  # what _shared_pool runs when another pool breaks
-    got.extend(stream)
+    got.extend((r, b.copy()) for r, b in stream)
     assert [r for r, _ in got] == [r for r, _ in plain]
     for (_, expected), (_, actual) in zip(plain, got):
         assert np.array_equal(expected, actual)
@@ -171,8 +172,13 @@ def test_search_parity_across_transports(clean_transport, dataset):
 
 def test_streamed_slabs_through_the_ring_are_identical(clean_transport, dataset):
     plain = list(iter_similarity_blocks(dataset, "cosine", block_rows=7))
-    ringed = list(iter_similarity_blocks_sharded(
-        dataset, "cosine", block_rows=7, n_workers=2))
+    ringed = []
+    for rows, slab in iter_similarity_blocks_sharded(
+            dataset, "cosine", block_rows=7, n_workers=2):
+        # The default stream hands out read-only borrowed ring views —
+        # zero-copy, valid until the next iteration step, copy to retain.
+        assert not slab.flags.writeable
+        ringed.append((rows, slab.copy()))
     assert [r for r, _ in ringed] == [r for r, _ in plain]
     for (_, expected), (_, got) in zip(plain, ringed):
         assert np.array_equal(expected, got)
@@ -181,14 +187,27 @@ def test_streamed_slabs_through_the_ring_are_identical(clean_transport, dataset)
     assert len(own_shm_entries()) == 3
 
 
+def test_streamed_slabs_with_borrowing_disabled_are_owned_copies(
+        clean_transport, dataset):
+    """``borrow_slabs=False`` is the untrusted-consumer fallback: yielded
+    slabs are owned, writable copies that stay valid after the stream."""
+    plain = list(iter_similarity_blocks(dataset, "cosine", block_rows=7))
+    kept = list(iter_similarity_blocks_sharded(
+        dataset, "cosine", block_rows=7, n_workers=2, borrow_slabs=False))
+    assert all(slab.flags.writeable for _, slab in kept)
+    assert [r for r, _ in kept] == [r for r, _ in plain]
+    for (_, expected), (_, got) in zip(plain, kept):
+        assert np.array_equal(expected, got)  # retained past stream end
+
+
 def test_adversarial_completion_orders_through_shared_memory(
         clean_transport, dataset):
     """The replay harness drives the shm transport in-process: slabs land in
     ring slots out of submission order and must still stream in row order."""
     factory = replay_factory(order="lifo")
-    ringed = list(iter_similarity_blocks_sharded(
+    ringed = [(r, b.copy()) for r, b in iter_similarity_blocks_sharded(
         dataset, "cosine", block_rows=7, n_workers=4,
-        executor_factory=factory))
+        executor_factory=factory)]
     executor = factory.created[0]
     assert executor.completion_order != sorted(executor.completion_order)
     plain = list(iter_similarity_blocks(dataset, "cosine", block_rows=7))
@@ -220,6 +239,110 @@ def test_ring_creation_failure_degrades_to_pickled_slabs(
     plain = list(iter_similarity_blocks(dataset, "cosine", block_rows=7))
     for (_, expected), (_, got) in zip(plain, ringless):
         assert np.array_equal(expected, got)
+
+
+# --------------------------------------------------------------------- #
+# Borrow lifecycle: zero-copy views never alias an in-flight writer
+# --------------------------------------------------------------------- #
+
+def test_borrowed_slot_is_never_recycled_while_borrowed(clean_transport):
+    ring = shm.SlabRing(2, 4 * 5 * 8)
+    try:
+        first = np.arange(20, dtype=np.float64).reshape(4, 5)
+        shm.write_slab(ring.slot_name(0), first)
+        view = ring.borrow(0, (4, 5))
+        assert not view.flags.writeable
+        assert np.array_equal(view, first)
+        assert ring.is_borrowed(0) and ring.borrowed_slots() == [0]
+        # Index 2 aliases slot 0 in a ring of 2: writers must be refused
+        # until the borrow is returned, under either index.
+        for index in (0, 2):
+            with pytest.raises(RuntimeError, match="borrowed"):
+                ring.slot_name(index)
+        ring.slot_name(1)  # the other slot circulates freely
+        ring.release(0)
+        assert not ring.is_borrowed(0)
+        shm.write_slab(ring.slot_name(2), -first)  # recycled after release
+        assert np.array_equal(ring.read(2, (4, 5)), -first)
+    finally:
+        ring.close()
+    assert own_shm_entries() == []
+
+
+def test_borrowed_views_are_read_only(clean_transport):
+    ring = shm.SlabRing(1, 6 * 8)
+    try:
+        shm.write_slab(ring.slot_name(0), np.zeros((2, 3)))
+        view = ring.borrow(0, (2, 3))
+        with pytest.raises(ValueError, match="read-only"):
+            view[0, 0] = 1.0
+    finally:
+        ring.close()
+
+
+def test_double_borrow_and_double_release_fail_loudly(clean_transport):
+    ring = shm.SlabRing(2, 64)
+    try:
+        ring.borrow(0, (2, 2))
+        with pytest.raises(RuntimeError, match="already borrowed"):
+            ring.borrow(0, (2, 2))
+        with pytest.raises(RuntimeError, match="already borrowed"):
+            ring.borrow(2, (2, 2))  # same slot via an aliasing index
+        ring.release(0)
+        with pytest.raises(RuntimeError, match="not borrowed"):
+            ring.release(0)
+    finally:
+        ring.close()
+
+
+def test_borrow_and_release_refuse_a_closed_ring(clean_transport):
+    ring = shm.SlabRing(1, 64)
+    view = ring.borrow(0, (2, 2))
+    ring.close()
+    with pytest.raises(RuntimeError, match="ring is closed"):
+        ring.borrow(0, (2, 2))
+    with pytest.raises(RuntimeError, match="ring is closed"):
+        ring.release(0)
+    # The close dropped the outstanding borrow and unlinked the name...
+    assert not ring.is_borrowed(0)
+    assert own_shm_entries() == []
+    # ...while a (contract-breaking) retained view degrades to stale reads,
+    # never a crash: the guard keeps the mapping alive until the view dies.
+    assert float(view.sum()) == view.sum()
+
+
+def test_release_all_drains_borrows(clean_transport):
+    ring = shm.SlabRing(2, 64)
+    ring.borrow(1, (2, 2))
+    assert ring.borrowed_slots() == [1]
+    shm.release_all()
+    assert ring.borrowed_slots() == []
+    assert own_shm_entries() == []
+
+
+def test_stream_yields_borrowed_views_and_releases_between_steps(
+        clean_transport, dataset):
+    stream = iter_similarity_blocks_sharded(dataset, "cosine", block_rows=7,
+                                            n_workers=2)
+    _, first_slab = next(stream)
+    assert not first_slab.flags.writeable  # borrowed, not copied
+    # By the next step the previous borrow has been released: every further
+    # yield is again a fresh read-only view, and the stream drains cleanly.
+    remaining = [(rows, slab) for rows, slab in stream]
+    assert all(not slab.flags.writeable for _, slab in remaining)
+    assert len(own_shm_entries()) == 3  # dataset segments only; ring gone
+
+
+def test_consumer_crash_mid_stream_releases_the_borrow(clean_transport,
+                                                       dataset):
+    """A consumer that raises while holding a borrowed slab must not wedge
+    the ring: generator cleanup releases the borrow and reclaims the ring."""
+    with pytest.raises(RuntimeError, match="consumer crashed"):
+        for _rows, slab in iter_similarity_blocks_sharded(
+                dataset, "cosine", block_rows=7, n_workers=2):
+            assert not slab.flags.writeable
+            raise RuntimeError("consumer crashed")
+    assert len(own_shm_entries()) == 3  # ring reclaimed, borrows drained
 
 
 # --------------------------------------------------------------------- #

@@ -317,6 +317,45 @@ def render_pairsets(rows: list[dict], baseline_rows: list[dict] | None
     return "\n".join(lines)
 
 
+def render_stealing(rows: list[dict], baseline_rows: list[dict] | None
+                    ) -> str:
+    """Markdown table for the ``bench_apss_backends.py --straggler`` run.
+
+    One row per scheduling mode (static-bound vs stealing) with one worker
+    slowed 10x.  The machine-speed-free signal is ``speedup_vs_static``
+    (static seconds / stealing seconds on the *same* machine in the *same*
+    run): a drop against the checked-in baseline means stealing stopped
+    rescuing the straggler, and is marked past :data:`HIGHLIGHT_PCT`.
+    """
+    by_mode = {row.get("mode"): row for row in baseline_rows or []}
+    header = ["mode", "shards", "claims", "seconds", "vs static"]
+    if by_mode:
+        header += ["baseline vs static", "Δ speedup"]
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "|".join("---" for _ in header) + "|"]
+    for row in rows:
+        claims = row.get("claims") or {}
+        spread = "/".join(str(claims[slot]) for slot in sorted(claims)) \
+            if claims else "—"
+        speedup = row.get("speedup_vs_static")
+        cells = [f"`{row.get('mode', '—')}`",
+                 str(row.get("n_shards", "—")), spread,
+                 _fmt_seconds(row.get("seconds")), _fmt_speedup(speedup)]
+        if by_mode:
+            base_speedup = (by_mode.get(row.get("mode")) or {}) \
+                .get("speedup_vs_static")
+            if isinstance(base_speedup, (int, float)) and base_speedup > 0 \
+                    and isinstance(speedup, (int, float)):
+                delta_pct = 100.0 * (speedup - base_speedup) / base_speedup
+                marker = " ⚠️" if delta_pct < -HIGHLIGHT_PCT else ""
+                cells += [_fmt_speedup(base_speedup),
+                          f"{delta_pct:+.1f}%{marker}"]
+            else:
+                cells += ["—", "—" if speedup is None else "new"]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; prints markdown suitable for $GITHUB_STEP_SUMMARY."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -346,6 +385,12 @@ def main(argv: list[str] | None = None) -> int:
                              "pair-set trend table (compression ratio, "
                              "decompression/top-k timings) from this run "
                              "JSON")
+    parser.add_argument("--stealing", type=Path, default=None,
+                        metavar="PATH",
+                        help="also append the bench_apss_backends.py "
+                             "--straggler trend table (work stealing vs "
+                             "static binding with a slowed worker) from "
+                             "this run JSON")
     parser.add_argument("--title", default="APSS backend matrix — trend vs "
                                            "checked-in baseline")
     parser.add_argument("--fail-above", type=float, default=None,
@@ -427,6 +472,18 @@ def main(argv: list[str] | None = None) -> int:
         print("\n### Factorised pair-set store — compression & "
               "decompression\n")
         print(render_pairsets(pairsets_rows, pairsets_baseline))
+    if args.stealing is not None and args.stealing.exists():
+        stealing_rows, _ = load_rows(args.stealing)
+        stealing_baseline = None
+        if args.baseline is not None and args.baseline.is_dir():
+            base_path = args.baseline / "straggler_smoke.json"
+            if base_path.exists():
+                stealing_baseline = load_rows(base_path)[0]
+        elif args.baseline is not None and args.baseline.exists():
+            stealing_baseline = load_rows(args.baseline)[0]
+        print("\n### Work stealing — straggler rescue vs static "
+              "shard binding\n")
+        print(render_stealing(stealing_rows, stealing_baseline))
     if args.fail_above is not None:
         over = [r for r in regressions if r[2] > args.fail_above]
         if over:
